@@ -1,0 +1,169 @@
+//! Buffer-size model (Section VI-D, Equations 13–18).
+//!
+//! The probability that a newly arriving edge `e` becomes a *left-over* edge (has to be
+//! buffered) is modelled as follows.  With `N` distinct edges already stored, `D` of them
+//! adjacent to `e`, a matrix of side `m` with `l` rooms per bucket, address sequences of
+//! length `r` and `k` sampled candidate buckets:
+//!
+//! * a non-adjacent edge lands in a specific bucket with probability `1/m²` (Eq. 13),
+//! * an adjacent edge lands in a specific bucket of the shared row/column with probability
+//!   `1/(r·m)` (Eq. 14),
+//! * a candidate bucket is still available if fewer than `l` edges landed in it (Eq. 16),
+//! * the edge overflows only if all `k` candidates are unavailable (Eq. 17).
+//!
+//! The paper's worked example (`N = 10⁶`, `D = 10⁴`, `m = 1000`, `r = 8`, `l = 3`, `k = 8`)
+//! gives an overflow probability of about 0.002; the unit tests check this.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the buffer model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferModelParams {
+    /// `N`: number of distinct edges already inserted.
+    pub existing_edges: f64,
+    /// `D`: how many of them are adjacent to the new edge.
+    pub adjacent_edges: f64,
+    /// `m`: matrix side length.
+    pub width: f64,
+    /// `r`: address-sequence length.
+    pub sequence_length: f64,
+    /// `l`: rooms per bucket.
+    pub rooms: f64,
+    /// `k`: sampled candidate buckets.
+    pub candidates: f64,
+}
+
+/// Binomial probability mass with the Poisson-style exponential tail the paper uses
+/// (`(1 − p)^(n−a) ≈ e^{−p·(n−a)}`), which keeps the expression numerically stable for the
+/// large `n` of real datasets.
+fn occupancy_pmf(n: f64, p: f64, a: u32) -> f64 {
+    if n < a as f64 {
+        return if a == 0 { 1.0 } else { 0.0 };
+    }
+    // C(n, a) · p^a for small a, computed iteratively.
+    let mut coefficient = 1.0;
+    for i in 0..a {
+        coefficient *= (n - i as f64) / (i as f64 + 1.0);
+    }
+    coefficient * p.powi(a as i32) * (-p * (n - a as f64)).exp()
+}
+
+/// Probability that a specific candidate bucket already holds at least `rooms` edges, i.e.
+/// is unavailable for the new edge (1 − Eq. 16).
+pub fn bucket_overflow_probability(params: &BufferModelParams) -> f64 {
+    let BufferModelParams { existing_edges, adjacent_edges, width, sequence_length, rooms, .. } =
+        *params;
+    let non_adjacent = (existing_edges - adjacent_edges).max(0.0);
+    let p_non_adjacent = 1.0 / (width * width);
+    let p_adjacent = 1.0 / (sequence_length * width);
+    // Probability that fewer than `rooms` edges landed in this bucket (Eq. 16).
+    let mut available = 0.0;
+    let rooms = rooms as u32;
+    for total in 0..rooms {
+        for from_non_adjacent in 0..=total {
+            let from_adjacent = total - from_non_adjacent;
+            available += occupancy_pmf(non_adjacent, p_non_adjacent, from_non_adjacent)
+                * occupancy_pmf(adjacent_edges, p_adjacent, from_adjacent);
+        }
+    }
+    (1.0 - available).clamp(0.0, 1.0)
+}
+
+/// Probability that the new edge becomes a left-over edge: all `k` candidate buckets are
+/// unavailable (Eq. 17).
+pub fn leftover_probability(params: &BufferModelParams) -> f64 {
+    bucket_overflow_probability(params).powf(params.candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_example() -> BufferModelParams {
+        BufferModelParams {
+            existing_edges: 1e6,
+            adjacent_edges: 1e4,
+            width: 1000.0,
+            sequence_length: 8.0,
+            rooms: 3.0,
+            candidates: 8.0,
+        }
+    }
+
+    #[test]
+    fn paper_worked_example_is_about_two_permille() {
+        // Section VI-D: "the upper bound probability of insertion failure is only 0.002".
+        let p = leftover_probability(&paper_example());
+        assert!(p < 0.01, "overflow probability {p} should be small");
+        assert!(p > 1e-5, "overflow probability {p} should not vanish at this load");
+    }
+
+    #[test]
+    fn probability_decreases_with_more_rooms_and_candidates() {
+        let base = leftover_probability(&paper_example());
+        let more_rooms = leftover_probability(&BufferModelParams { rooms: 4.0, ..paper_example() });
+        let more_candidates =
+            leftover_probability(&BufferModelParams { candidates: 16.0, ..paper_example() });
+        assert!(more_rooms < base);
+        assert!(more_candidates < base);
+    }
+
+    #[test]
+    fn probability_increases_with_load_and_skew() {
+        let base = leftover_probability(&paper_example());
+        let heavier =
+            leftover_probability(&BufferModelParams { existing_edges: 4e6, ..paper_example() });
+        let more_adjacent =
+            leftover_probability(&BufferModelParams { adjacent_edges: 1e5, ..paper_example() });
+        assert!(heavier > base);
+        assert!(more_adjacent > base);
+    }
+
+    #[test]
+    fn empty_matrix_never_overflows() {
+        let params = BufferModelParams {
+            existing_edges: 0.0,
+            adjacent_edges: 0.0,
+            ..paper_example()
+        };
+        assert_eq!(bucket_overflow_probability(&params), 0.0);
+        assert_eq!(leftover_probability(&params), 0.0);
+    }
+
+    #[test]
+    fn saturated_matrix_almost_surely_overflows() {
+        let params = BufferModelParams {
+            existing_edges: 1e8,
+            adjacent_edges: 1e6,
+            width: 100.0,
+            sequence_length: 4.0,
+            rooms: 1.0,
+            candidates: 4.0,
+        };
+        assert!(leftover_probability(&params) > 0.99);
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        for edges in [0.0, 1e3, 1e5, 1e7, 1e9] {
+            for width in [10.0, 100.0, 1000.0] {
+                let params = BufferModelParams {
+                    existing_edges: edges,
+                    adjacent_edges: edges / 100.0,
+                    width,
+                    sequence_length: 8.0,
+                    rooms: 2.0,
+                    candidates: 8.0,
+                };
+                let p = leftover_probability(&params);
+                assert!((0.0..=1.0).contains(&p), "p = {p} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_pmf_normalises_for_zero_events() {
+        assert!((occupancy_pmf(0.0, 0.5, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(occupancy_pmf(0.0, 0.5, 1), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Collision-rate analysis (Section VI-B / VI-C, Fig. 3).
+//!
+//! For an edge `e = (s, d)` with `D` adjacent edges (edges sharing `s` as source or `d` as
+//! destination) in a graph of `|E|` edges, and a node-hash range `M`:
+//!
+//! * a non-adjacent edge collides with `e` with probability `1/M²` (both endpoints must
+//!   collide),
+//! * an adjacent edge collides with probability `1/M` (the shared endpoint already agrees),
+//!
+//! so the probability that *no* edge collides with `e` — the *correct rate* `P` — is
+//!
+//! ```text
+//! P = (1 − 1/M²)^(|E|−D) · (1 − 1/M)^D ≈ exp(−(|E| − D)/M² − D/M)
+//!                                        = exp(−(|E| + (M−1)·D) / M²)        (Eq. 12)
+//! ```
+//!
+//! The primitive correct rates follow: the edge query is correct with probability `P`; a
+//! 1-hop successor (precursor) query for a node of out-degree (in-degree) `d` is correct
+//! only if none of the `|V| − d` non-neighbours collides into the neighbourhood, i.e. with
+//! probability `P^(|V|−d)` (Section VI-B).
+
+/// Probability that at least one other edge collides with the queried edge (`P̂ = 1 − P`).
+///
+/// * `hash_range` — `M`, the range of the node map function (`m·F` for GSS, `m` for TCM).
+/// * `total_edges` — `|E|`.
+/// * `adjacent_edges` — `D`, edges sharing the queried edge's source or destination.
+pub fn edge_collision_probability(hash_range: f64, total_edges: f64, adjacent_edges: f64) -> f64 {
+    1.0 - edge_query_correct_rate(hash_range, total_edges, adjacent_edges)
+}
+
+/// The correct rate `P` of an edge query (Equation 12).
+pub fn edge_query_correct_rate(hash_range: f64, total_edges: f64, adjacent_edges: f64) -> f64 {
+    assert!(hash_range >= 1.0, "hash range must be at least 1");
+    assert!(total_edges >= 0.0 && adjacent_edges >= 0.0, "counts must be non-negative");
+    let m = hash_range;
+    let exponent = (total_edges + (m - 1.0) * adjacent_edges) / (m * m);
+    (-exponent).exp()
+}
+
+/// The correct rate of a 1-hop successor query for a node with the given out-degree in a
+/// graph with `total_vertices` nodes: every non-successor must avoid colliding into the
+/// successor set, so the rate is `P^(|V| − d_out)` with `P` evaluated for a typical incident
+/// edge (`D ≈ d_out`).
+pub fn successor_query_correct_rate(
+    hash_range: f64,
+    total_edges: f64,
+    total_vertices: f64,
+    out_degree: f64,
+) -> f64 {
+    let p = edge_query_correct_rate(hash_range, total_edges, out_degree);
+    p.powf((total_vertices - out_degree).max(0.0))
+}
+
+/// The correct rate of a 1-hop precursor query (symmetric to the successor query).
+pub fn precursor_query_correct_rate(
+    hash_range: f64,
+    total_edges: f64,
+    total_vertices: f64,
+    in_degree: f64,
+) -> f64 {
+    successor_query_correct_rate(hash_range, total_edges, total_vertices, in_degree)
+}
+
+/// TCM's edge-query correct rate: same formula with `M = m` (the matrix width), because TCM
+/// has no fingerprints (Section VI-C closing remark).
+pub fn tcm_edge_query_correct_rate(width: f64, total_edges: f64, adjacent_edges: f64) -> f64 {
+    edge_query_correct_rate(width, total_edges, adjacent_edges)
+}
+
+/// One point of the Fig. 3 curves: correct rate as a function of `M / |V|` and the relevant
+/// degree, for a graph with `edges_per_vertex` average degree.
+pub fn figure3_point(
+    m_over_v: f64,
+    degree: f64,
+    total_vertices: f64,
+    edges_per_vertex: f64,
+    kind: Figure3Kind,
+) -> f64 {
+    let hash_range = m_over_v * total_vertices;
+    let total_edges = edges_per_vertex * total_vertices;
+    match kind {
+        Figure3Kind::EdgeQuery => edge_query_correct_rate(hash_range, total_edges, degree),
+        Figure3Kind::SuccessorQuery => {
+            successor_query_correct_rate(hash_range, total_edges, total_vertices, degree)
+        }
+        Figure3Kind::PrecursorQuery => {
+            precursor_query_correct_rate(hash_range, total_edges, total_vertices, degree)
+        }
+    }
+}
+
+/// Which panel of Fig. 3 a point belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure3Kind {
+    /// Fig. 3(a): edge query.
+    EdgeQuery,
+    /// Fig. 3(b): 1-hop successor query.
+    SuccessorQuery,
+    /// Fig. 3(c): 1-hop precursor query.
+    PrecursorQuery,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example_for_gss() {
+        // Section VI-C: F = 256, m = 1000 (so M = 256,000), |E| = 5×10^5, D = 200 gives a
+        // correct rate of e^{-0.00078} ≈ 0.9992.
+        let rate = edge_query_correct_rate(256_000.0, 5e5, 200.0);
+        assert!((rate - 0.9992).abs() < 2e-4, "rate {rate}");
+    }
+
+    #[test]
+    fn paper_worked_example_for_tcm() {
+        // Same setting for TCM (M = m = 1000) gives ≈ 0.497.
+        let rate = tcm_edge_query_correct_rate(1000.0, 5e5, 200.0);
+        assert!((rate - 0.497).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn correct_rate_increases_with_hash_range() {
+        let small = edge_query_correct_rate(1_000.0, 1e6, 100.0);
+        let large = edge_query_correct_rate(1_000_000.0, 1e6, 100.0);
+        assert!(large > small);
+        assert!(large <= 1.0 && small >= 0.0);
+    }
+
+    #[test]
+    fn correct_rate_decreases_with_degree_and_edges() {
+        let low_degree = edge_query_correct_rate(100_000.0, 1e6, 10.0);
+        let high_degree = edge_query_correct_rate(100_000.0, 1e6, 10_000.0);
+        assert!(low_degree > high_degree);
+        let few_edges = edge_query_correct_rate(100_000.0, 1e5, 10.0);
+        assert!(few_edges > low_degree);
+    }
+
+    #[test]
+    fn collision_probability_is_complement() {
+        let p = edge_query_correct_rate(50_000.0, 2e5, 50.0);
+        let collision = edge_collision_probability(50_000.0, 2e5, 50.0);
+        assert!((p + collision - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn successor_rate_matches_figure3_shape() {
+        // Section IV: "only when M/|V| > 200, the accuracy ratio is larger than 80%" and at
+        // M/|V| ≤ 1 it "falls down to nearly 0" (for the 1-hop queries).
+        let v = 100_000.0;
+        let degree = 10.0;
+        let high = successor_query_correct_rate(250.0 * v, 10.0 * v, v, degree);
+        assert!(high > 0.8, "M/|V| = 250 should exceed 80% accuracy, got {high}");
+        let low = successor_query_correct_rate(1.0 * v, 10.0 * v, v, degree);
+        assert!(low < 0.01, "M/|V| = 1 should be near zero, got {low}");
+    }
+
+    #[test]
+    fn successor_and_precursor_rates_are_symmetric() {
+        let a = successor_query_correct_rate(1e6, 1e6, 1e5, 25.0);
+        let b = precursor_query_correct_rate(1e6, 1e6, 1e5, 25.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn figure3_point_dispatches_by_kind() {
+        let v = 10_000.0;
+        let edge = figure3_point(100.0, 20.0, v, 10.0, Figure3Kind::EdgeQuery);
+        let succ = figure3_point(100.0, 20.0, v, 10.0, Figure3Kind::SuccessorQuery);
+        let prec = figure3_point(100.0, 20.0, v, 10.0, Figure3Kind::PrecursorQuery);
+        assert!(edge > succ, "successor queries are strictly harder than edge queries");
+        assert_eq!(succ, prec);
+    }
+
+    #[test]
+    #[should_panic(expected = "hash range")]
+    fn zero_hash_range_panics() {
+        let _ = edge_query_correct_rate(0.0, 1.0, 1.0);
+    }
+}

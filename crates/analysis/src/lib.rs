@@ -1,0 +1,24 @@
+//! # gss-analysis — the closed-form models of Section VI
+//!
+//! The paper derives three analytical results that this crate reproduces as plain functions
+//! so the benchmark harness can plot them (Fig. 3) and check them against measurements:
+//!
+//! * [`collision`] — the edge-collision probability and the correct-rate of the three query
+//!   primitives as a function of the hash range `M`, the graph size `|E|`/`|V|` and node
+//!   degrees (Equations 8–12, Fig. 3).
+//! * [`buffer_model`] — the probability that an edge becomes a *left-over* edge (is pushed
+//!   to the buffer) as a function of the matrix geometry and the degree of its endpoints
+//!   (Equations 13–18).
+//! * [`memory`] — memory accounting helpers comparing the paper's GSS and TCM layouts,
+//!   used to size the ratio-memory comparisons of Section VII.
+
+pub mod buffer_model;
+pub mod collision;
+pub mod memory;
+
+pub use buffer_model::{bucket_overflow_probability, leftover_probability, BufferModelParams};
+pub use collision::{
+    edge_collision_probability, edge_query_correct_rate, precursor_query_correct_rate,
+    successor_query_correct_rate, tcm_edge_query_correct_rate,
+};
+pub use memory::{gss_memory_bytes, tcm_memory_bytes, tcm_width_for_ratio, MemoryModel};

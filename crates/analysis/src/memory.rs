@@ -1,0 +1,103 @@
+//! Memory accounting for the ratio-memory comparisons of Section VII-C.
+//!
+//! The paper fixes the memory ratio between TCM and GSS ("in edge query primitives, we allow
+//! TCM to use 8 times memory, and in other queries we implement it with 256 times memory …
+//! This ratio is the memory used by all the 4 sketches in TCM divided by the memory used by
+//! GSS with 16 bit fingerprint").  These helpers compute both sides of that ratio so every
+//! experiment sizes TCM the same way.
+
+use serde::{Deserialize, Serialize};
+
+/// Memory model of a GSS matrix with the paper's room layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Matrix side length `m`.
+    pub width: usize,
+    /// Rooms per bucket `l`.
+    pub rooms: usize,
+    /// Fingerprint length in bits.
+    pub fingerprint_bits: u32,
+}
+
+impl MemoryModel {
+    /// Bytes per room: two fingerprints, one packed index byte, an 8-byte counter.
+    pub fn bytes_per_room(&self) -> usize {
+        (2 * self.fingerprint_bits as usize).div_ceil(8) + 1 + 8
+    }
+
+    /// Total matrix bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.width * self.width * self.rooms * self.bytes_per_room()
+    }
+}
+
+/// Total bytes of a GSS matrix with the given geometry.
+pub fn gss_memory_bytes(width: usize, rooms: usize, fingerprint_bits: u32) -> usize {
+    MemoryModel { width, rooms, fingerprint_bits }.total_bytes()
+}
+
+/// Total bytes of a TCM summary with `depth` counter matrices of side `width` (8-byte
+/// counters).
+pub fn tcm_memory_bytes(width: usize, depth: usize) -> usize {
+    width * width * depth * 8
+}
+
+/// The TCM matrix width that gives `ratio ×` the memory of the reference GSS configuration,
+/// spread over `depth` sketch copies — the sizing rule used by every figure.
+pub fn tcm_width_for_ratio(
+    gss_width: usize,
+    gss_rooms: usize,
+    gss_fingerprint_bits: u32,
+    ratio: f64,
+    depth: usize,
+) -> usize {
+    let budget = gss_memory_bytes(gss_width, gss_rooms, gss_fingerprint_bits) as f64 * ratio;
+    let counters_per_matrix = budget / depth as f64 / 8.0;
+    counters_per_matrix.sqrt().floor().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_per_room_matches_fingerprint_width() {
+        assert_eq!(MemoryModel { width: 1, rooms: 1, fingerprint_bits: 16 }.bytes_per_room(), 13);
+        assert_eq!(MemoryModel { width: 1, rooms: 1, fingerprint_bits: 12 }.bytes_per_room(), 12);
+        assert_eq!(MemoryModel { width: 1, rooms: 1, fingerprint_bits: 8 }.bytes_per_room(), 11);
+    }
+
+    #[test]
+    fn totals_scale_with_geometry() {
+        assert_eq!(gss_memory_bytes(1000, 2, 16), 1000 * 1000 * 2 * 13);
+        assert_eq!(tcm_memory_bytes(1000, 4), 1000 * 1000 * 4 * 8);
+    }
+
+    #[test]
+    fn ratio_sizing_gives_roughly_the_requested_ratio() {
+        let gss_bytes = gss_memory_bytes(1000, 2, 16);
+        for ratio in [1.0, 8.0, 16.0, 256.0] {
+            let width = tcm_width_for_ratio(1000, 2, 16, ratio, 4);
+            let tcm_bytes = tcm_memory_bytes(width, 4);
+            let achieved = tcm_bytes as f64 / gss_bytes as f64;
+            assert!(
+                (achieved - ratio).abs() / ratio < 0.01,
+                "ratio {ratio}: achieved {achieved} with width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn eight_times_memory_beats_gss_width_substantially() {
+        // Sanity: at 8× memory and depth 4, each TCM matrix is still much wider than m,
+        // yet its hash range (= width) remains far below GSS's m·F.
+        let width = tcm_width_for_ratio(1000, 2, 16, 8.0, 4);
+        assert!(width > 2000, "width {width}");
+        assert!((width as u64) < 1000 * (1u64 << 16));
+    }
+
+    #[test]
+    fn ratio_sizing_never_returns_zero() {
+        assert!(tcm_width_for_ratio(1, 1, 8, 0.001, 4) >= 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Count-Min and CU sketches over edge keys.
+//!
+//! These are the "first kind" of prior art in Section II: counter arrays that treat every
+//! stream item independently.  They answer edge-weight queries with one-sided error but
+//! cannot answer any topology query (successors, precursors, reachability), which is the
+//! gap GSS fills.  They are included both for completeness and for the related-work
+//! comparison in the experiment harness.
+
+use gss_graph::{EdgeKey, Weight};
+
+fn hash_edge(key: EdgeKey, seed: u64) -> u64 {
+    let mut z = key
+        .source
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(key.destination)
+        .wrapping_add(seed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A Count-Min sketch keyed by directed edges.
+#[derive(Debug, Clone)]
+pub struct CmSketch {
+    width: usize,
+    depth: usize,
+    counters: Vec<Weight>,
+    items: u64,
+}
+
+impl CmSketch {
+    /// Creates a sketch with `depth` rows of `width` counters.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, depth: usize) -> Self {
+        assert!(width > 0 && depth > 0, "CM sketch dimensions must be positive");
+        Self { width, depth, counters: vec![0; width * depth], items: 0 }
+    }
+
+    /// Number of counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total number of stream items recorded.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Memory footprint of the counters in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.counters.len() * std::mem::size_of::<Weight>()
+    }
+
+    fn index(&self, key: EdgeKey, row: usize) -> usize {
+        row * self.width + (hash_edge(key, row as u64 * 0xA24B_AED4) % self.width as u64) as usize
+    }
+
+    /// Adds `weight` to the counters of edge `key`.
+    pub fn update(&mut self, key: EdgeKey, weight: Weight) {
+        self.items += 1;
+        for row in 0..self.depth {
+            let index = self.index(key, row);
+            self.counters[index] += weight;
+        }
+    }
+
+    /// Point query: the minimum counter over the rows (never under-estimates for
+    /// non-negative updates).
+    pub fn estimate(&self, key: EdgeKey) -> Weight {
+        (0..self.depth).map(|row| self.counters[self.index(key, row)]).min().unwrap_or(0)
+    }
+}
+
+/// A CU (conservative update) sketch: identical to Count-Min but only the minimal counters
+/// are incremented on update, which tightens over-estimation for skewed streams.
+#[derive(Debug, Clone)]
+pub struct CuSketch {
+    inner: CmSketch,
+}
+
+impl CuSketch {
+    /// Creates a sketch with `depth` rows of `width` counters.
+    pub fn new(width: usize, depth: usize) -> Self {
+        Self { inner: CmSketch::new(width, depth) }
+    }
+
+    /// Memory footprint of the counters in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+
+    /// Conservative update: raise only counters currently at the row minimum, and only up to
+    /// `current estimate + weight`.
+    pub fn update(&mut self, key: EdgeKey, weight: Weight) {
+        self.inner.items += 1;
+        let target = self.estimate(key) + weight;
+        for row in 0..self.inner.depth {
+            let index = self.inner.index(key, row);
+            if self.inner.counters[index] < target {
+                self.inner.counters[index] = target;
+            }
+        }
+    }
+
+    /// Point query, identical to Count-Min.
+    pub fn estimate(&self, key: EdgeKey) -> Weight {
+        self.inner.estimate(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn workload() -> Vec<(EdgeKey, Weight)> {
+        (0..2000)
+            .map(|i| (EdgeKey::new(i % 113, (i * 31) % 97), (i % 4) as Weight + 1))
+            .collect()
+    }
+
+    #[test]
+    fn cm_never_underestimates() {
+        let mut sketch = CmSketch::new(512, 4);
+        let mut exact: HashMap<EdgeKey, Weight> = HashMap::new();
+        for (key, weight) in workload() {
+            sketch.update(key, weight);
+            *exact.entry(key).or_insert(0) += weight;
+        }
+        for (key, weight) in exact {
+            assert!(sketch.estimate(key) >= weight);
+        }
+    }
+
+    #[test]
+    fn cm_is_exact_when_wide_enough() {
+        let mut sketch = CmSketch::new(1 << 16, 4);
+        let mut exact: HashMap<EdgeKey, Weight> = HashMap::new();
+        for (key, weight) in workload() {
+            sketch.update(key, weight);
+            *exact.entry(key).or_insert(0) += weight;
+        }
+        let exact_hits = exact.iter().filter(|(k, w)| sketch.estimate(**k) == **w).count();
+        assert!(exact_hits as f64 > exact.len() as f64 * 0.95);
+    }
+
+    #[test]
+    fn cu_never_underestimates_and_is_tighter_than_cm() {
+        let mut cm = CmSketch::new(64, 4);
+        let mut cu = CuSketch::new(64, 4);
+        let mut exact: HashMap<EdgeKey, Weight> = HashMap::new();
+        for (key, weight) in workload() {
+            cm.update(key, weight);
+            cu.update(key, weight);
+            *exact.entry(key).or_insert(0) += weight;
+        }
+        let mut cm_error = 0;
+        let mut cu_error = 0;
+        for (key, weight) in exact {
+            assert!(cu.estimate(key) >= weight);
+            cm_error += cm.estimate(key) - weight;
+            cu_error += cu.estimate(key) - weight;
+        }
+        assert!(cu_error <= cm_error, "CU ({cu_error}) should not be worse than CM ({cm_error})");
+    }
+
+    #[test]
+    fn accessors_report_dimensions() {
+        let sketch = CmSketch::new(128, 3);
+        assert_eq!(sketch.width(), 128);
+        assert_eq!(sketch.depth(), 3);
+        assert_eq!(sketch.items(), 0);
+        assert_eq!(sketch.memory_bytes(), 128 * 3 * 8);
+        assert_eq!(CuSketch::new(16, 2).memory_bytes(), 16 * 2 * 8);
+    }
+
+    #[test]
+    fn absent_edges_usually_estimate_zero_in_sparse_sketches() {
+        let mut sketch = CmSketch::new(4096, 4);
+        sketch.update(EdgeKey::new(1, 2), 5);
+        assert_eq!(sketch.estimate(EdgeKey::new(1, 2)), 5);
+        assert_eq!(sketch.estimate(EdgeKey::new(3, 4)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimensions_panic() {
+        let _ = CmSketch::new(0, 1);
+    }
+}

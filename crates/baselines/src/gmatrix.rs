@@ -1,0 +1,289 @@
+//! gMatrix: the reversible-hash variant of TCM (Khan, Aggarwal — ASONAM 2016).
+//!
+//! gMatrix keeps the same `d` adjacency-matrix counter sketches as TCM but replaces the
+//! `⟨H(v), v⟩` id table with *reversible* hash functions, so node ids are recovered by
+//! inverting the hash instead of looking them up.  The reverse step has to enumerate every
+//! pre-image of a matrix address inside the id universe, which introduces the additional
+//! false positives the paper refers to ("the reversible hash function introduces additional
+//! errors in the reverse procedure.  Therefore the accuracy of gMatrix is no better than
+//! TCM").
+//!
+//! The reversible hash used here is an affine permutation `H(v) = (a·v + b) mod U` over a
+//! power-of-two id universe `U` (with `a` odd the map is a bijection), reduced to a matrix
+//! address by `H(v) mod m`.  Inverting an address enumerates the `U / m` hash values that
+//! reduce to it and maps each back through `v = a⁻¹ (H − b) mod U`.
+
+use gss_graph::{GraphSummary, SummaryStats, VertexId, Weight};
+
+/// Modular multiplicative inverse of an odd `a` modulo `2^64` (Newton iteration).
+fn inverse_pow2(a: u64) -> u64 {
+    debug_assert!(a % 2 == 1);
+    let mut x = a; // correct to 3 bits
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+    }
+    x
+}
+
+/// One gMatrix layer: a counter matrix under one reversible affine hash.
+#[derive(Debug, Clone)]
+struct GMatrixLayer {
+    multiplier: u64,
+    multiplier_inverse: u64,
+    increment: u64,
+    counters: Vec<Weight>,
+}
+
+/// A gMatrix summary over a bounded vertex-id universe `[0, universe)`.
+#[derive(Debug, Clone)]
+pub struct GMatrix {
+    width: usize,
+    universe: u64,
+    universe_mask: u64,
+    layers: Vec<GMatrixLayer>,
+    items_inserted: u64,
+}
+
+impl GMatrix {
+    /// Creates a gMatrix with `depth` layers of side `width`, for vertex ids below
+    /// `universe` (rounded up to a power of two).
+    ///
+    /// # Panics
+    /// Panics if `width == 0`, `depth == 0` or `universe == 0`.
+    pub fn new(width: usize, depth: usize, universe: u64) -> Self {
+        assert!(width > 0 && depth > 0, "gMatrix dimensions must be positive");
+        assert!(universe > 0, "universe must be positive");
+        let universe = universe.next_power_of_two();
+        let layers = (0..depth)
+            .map(|i| {
+                // Odd multipliers give bijections modulo a power of two.
+                let multiplier = 0x9E37_79B9_7F4A_7C15u64.wrapping_add(2 * i as u64) | 1;
+                GMatrixLayer {
+                    multiplier,
+                    multiplier_inverse: inverse_pow2(multiplier),
+                    increment: 0x7F4A_7C15u64.wrapping_mul(i as u64 + 1),
+                    counters: vec![0; width * width],
+                }
+            })
+            .collect();
+        Self {
+            width,
+            universe,
+            universe_mask: universe - 1,
+            layers,
+            items_inserted: 0,
+        }
+    }
+
+    /// Matrix side length.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Size of the (rounded) vertex-id universe.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Memory footprint of the counter matrices in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.layers.len() * self.width * self.width * std::mem::size_of::<Weight>()
+    }
+
+    fn hash(&self, layer: &GMatrixLayer, vertex: VertexId) -> u64 {
+        (vertex.wrapping_mul(layer.multiplier).wrapping_add(layer.increment)) & self.universe_mask
+    }
+
+    fn address(&self, layer: &GMatrixLayer, vertex: VertexId) -> usize {
+        (self.hash(layer, vertex) % self.width as u64) as usize
+    }
+
+    /// Enumerates every vertex id in the universe whose address in `layer` is `address`
+    /// (the reverse step of gMatrix).
+    fn invert_address(&self, layer: &GMatrixLayer, address: usize) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut hash = address as u64;
+        while hash < self.universe {
+            let vertex = hash
+                .wrapping_sub(layer.increment)
+                .wrapping_mul(layer.multiplier_inverse)
+                & self.universe_mask;
+            out.push(vertex);
+            hash += self.width as u64;
+        }
+        out
+    }
+
+    fn successors_in_layer(&self, layer: &GMatrixLayer, vertex: VertexId) -> Vec<VertexId> {
+        let row = self.address(layer, vertex);
+        let mut out = Vec::new();
+        for column in 0..self.width {
+            if layer.counters[row * self.width + column] != 0 {
+                out.extend(self.invert_address(layer, column));
+            }
+        }
+        out
+    }
+
+    fn precursors_in_layer(&self, layer: &GMatrixLayer, vertex: VertexId) -> Vec<VertexId> {
+        let column = self.address(layer, vertex);
+        let mut out = Vec::new();
+        for row in 0..self.width {
+            if layer.counters[row * self.width + column] != 0 {
+                out.extend(self.invert_address(layer, row));
+            }
+        }
+        out
+    }
+
+    fn intersect(&self, per_layer: Vec<Vec<VertexId>>) -> Vec<VertexId> {
+        let mut iter = per_layer.into_iter();
+        let mut result: std::collections::HashSet<VertexId> =
+            iter.next().unwrap_or_default().into_iter().collect();
+        for layer_set in iter {
+            let set: std::collections::HashSet<VertexId> = layer_set.into_iter().collect();
+            result.retain(|v| set.contains(v));
+        }
+        let mut out: Vec<VertexId> = result.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl GraphSummary for GMatrix {
+    fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
+        self.items_inserted += 1;
+        let width = self.width;
+        let addresses: Vec<(usize, usize)> = self
+            .layers
+            .iter()
+            .map(|layer| (self.address(layer, source), self.address(layer, destination)))
+            .collect();
+        for (layer, (row, column)) in self.layers.iter_mut().zip(addresses) {
+            layer.counters[row * width + column] += weight;
+        }
+    }
+
+    fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight> {
+        let estimate = self
+            .layers
+            .iter()
+            .map(|layer| {
+                let row = self.address(layer, source);
+                let column = self.address(layer, destination);
+                layer.counters[row * self.width + column]
+            })
+            .min()
+            .unwrap_or(0);
+        if estimate == 0 {
+            None
+        } else {
+            Some(estimate)
+        }
+    }
+
+    fn successors(&self, vertex: VertexId) -> Vec<VertexId> {
+        let per_layer =
+            self.layers.iter().map(|layer| self.successors_in_layer(layer, vertex)).collect();
+        self.intersect(per_layer)
+    }
+
+    fn precursors(&self, vertex: VertexId) -> Vec<VertexId> {
+        let per_layer =
+            self.layers.iter().map(|layer| self.precursors_in_layer(layer, vertex)).collect();
+        self.intersect(per_layer)
+    }
+
+    fn stats(&self) -> SummaryStats {
+        SummaryStats {
+            bytes: self.memory_bytes(),
+            items_inserted: self.items_inserted,
+            slots: self.layers.len() * self.width * self.width,
+            occupied_slots: self
+                .layers
+                .iter()
+                .map(|layer| layer.counters.iter().filter(|&&c| c != 0).count())
+                .sum(),
+            buffered_edges: 0,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("gMatrix(d={},w={},U={})", self.layers.len(), self.width, self.universe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_pow2_is_a_modular_inverse() {
+        for a in [1u64, 3, 5, 0x9E37_79B9_7F4A_7C15 | 1] {
+            assert_eq!(a.wrapping_mul(inverse_pow2(a)), 1);
+        }
+    }
+
+    #[test]
+    fn edge_weights_are_never_underestimated() {
+        let mut gm = GMatrix::new(32, 3, 1024);
+        let mut exact = std::collections::HashMap::new();
+        for i in 0..2000u64 {
+            let (s, d, w) = (i % 200, (i * 7) % 300, (i % 3) as i64 + 1);
+            gm.insert(s, d, w);
+            *exact.entry((s, d)).or_insert(0) += w;
+        }
+        for ((s, d), w) in exact {
+            assert!(gm.edge_weight(s, d).unwrap_or(0) >= w);
+        }
+    }
+
+    #[test]
+    fn successor_queries_cover_true_neighbours_with_extra_candidates() {
+        let mut gm = GMatrix::new(64, 2, 256);
+        gm.insert(1, 2, 1);
+        gm.insert(1, 3, 1);
+        gm.insert(5, 9, 1);
+        let successors = gm.successors(1);
+        assert!(successors.contains(&2));
+        assert!(successors.contains(&3));
+        // The reverse step enumerates pre-images, so false positives are expected; they are
+        // bounded by the universe size.
+        assert!(successors.len() <= 256);
+        let precursors = gm.precursors(9);
+        assert!(precursors.contains(&5));
+    }
+
+    #[test]
+    fn gmatrix_has_more_false_positives_than_tcm_with_id_table() {
+        use crate::tcm::TcmSketch;
+        let mut gm = GMatrix::new(16, 2, 4096);
+        let mut tcm = TcmSketch::new(16, 2);
+        for v in 0..200u64 {
+            gm.insert(v, v + 1000, 1);
+            tcm.insert(v, v + 1000, 1);
+        }
+        let gm_set = gm.successors(0).len();
+        let tcm_set = tcm.successors(0).len();
+        assert!(
+            gm_set >= tcm_set,
+            "gMatrix ({gm_set}) should be no more precise than TCM ({tcm_set})"
+        );
+    }
+
+    #[test]
+    fn universe_is_rounded_to_power_of_two_and_reported() {
+        let gm = GMatrix::new(8, 1, 1000);
+        assert_eq!(gm.universe(), 1024);
+        assert_eq!(gm.width(), 8);
+        assert_eq!(gm.memory_bytes(), 8 * 8 * 8);
+        assert!(gm.name().contains("gMatrix"));
+        assert_eq!(gm.stats().slots, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_width_panics() {
+        let _ = GMatrix::new(0, 1, 10);
+    }
+}

@@ -1,0 +1,10 @@
+//! Validates the Section VI analytical models (collision rate, buffer overflow probability)
+//! against measured edge-query ARE and buffer percentage across a width sweep.
+
+use gss_bench::{bench_scale, emit};
+use gss_experiments::run_model_vs_measured;
+
+fn main() {
+    let scale = bench_scale("ablation_model_vs_measured");
+    emit(&[run_model_vs_measured(scale)], "ablation_model_vs_measured");
+}

@@ -1,0 +1,10 @@
+//! Ablation over the GSS design parameters (sequence length, candidate count, rooms,
+//! fingerprint width): buffer percentage, edge-query ARE and update speed for each variant.
+
+use gss_bench::{bench_scale, emit};
+use gss_experiments::run_parameter_ablation;
+
+fn main() {
+    let scale = bench_scale("ablation_parameters");
+    emit(&[run_parameter_ablation(scale)], "ablation_parameters");
+}

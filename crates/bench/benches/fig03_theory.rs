@@ -1,0 +1,10 @@
+//! Regenerates Fig. 3: theoretical correct rate of the three query primitives as a function
+//! of the hash range `M` and the queried degree (Section VI-B analysis).
+
+use gss_bench::{bench_scale, emit};
+use gss_experiments::run_fig03;
+
+fn main() {
+    let _scale = bench_scale("fig03_theory");
+    emit(&run_fig03(), "fig03_theory");
+}

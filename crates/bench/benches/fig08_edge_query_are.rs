@@ -1,0 +1,15 @@
+//! Regenerates Fig. 8: average relative error of edge queries vs matrix width, for GSS with
+//! 12- and 16-bit fingerprints and TCM at 8x memory, on all five datasets.
+
+use gss_bench::{bench_scale, emit};
+use gss_datasets::SyntheticDataset;
+use gss_experiments::{run_accuracy_figure, AccuracyFigure, Table};
+
+fn main() {
+    let scale = bench_scale("fig08_edge_query_are");
+    let tables: Vec<Table> = SyntheticDataset::ALL
+        .iter()
+        .map(|&dataset| run_accuracy_figure(AccuracyFigure::EdgeQueryAre, dataset, scale))
+        .collect();
+    emit(&tables, "fig08_edge_query_are");
+}

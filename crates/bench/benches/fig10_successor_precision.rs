@@ -1,0 +1,15 @@
+//! Regenerates Fig. 10: average precision of 1-hop successor queries vs matrix width, for
+//! GSS and TCM at the paper's (scale-capped) memory ratio, on all five datasets.
+
+use gss_bench::{bench_scale, emit};
+use gss_datasets::SyntheticDataset;
+use gss_experiments::{run_accuracy_figure, AccuracyFigure, Table};
+
+fn main() {
+    let scale = bench_scale("fig10_successor_precision");
+    let tables: Vec<Table> = SyntheticDataset::ALL
+        .iter()
+        .map(|&dataset| run_accuracy_figure(AccuracyFigure::SuccessorPrecision, dataset, scale))
+        .collect();
+    emit(&tables, "fig10_successor_precision");
+}

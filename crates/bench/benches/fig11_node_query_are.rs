@@ -1,0 +1,15 @@
+//! Regenerates Fig. 11: average relative error of node queries (total out-going weight of a
+//! node) vs matrix width, for GSS and TCM, on all five datasets.
+
+use gss_bench::{bench_scale, emit};
+use gss_datasets::SyntheticDataset;
+use gss_experiments::{run_accuracy_figure, AccuracyFigure, Table};
+
+fn main() {
+    let scale = bench_scale("fig11_node_query_are");
+    let tables: Vec<Table> = SyntheticDataset::ALL
+        .iter()
+        .map(|&dataset| run_accuracy_figure(AccuracyFigure::NodeQueryAre, dataset, scale))
+        .collect();
+    emit(&tables, "fig11_node_query_are");
+}

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 12: true negative recall of reachability queries over 100 unreachable
+//! vertex pairs, for GSS and TCM, on all five datasets.
+
+use gss_bench::{bench_scale, emit};
+use gss_datasets::SyntheticDataset;
+use gss_experiments::{run_accuracy_figure, AccuracyFigure, Table};
+
+fn main() {
+    let scale = bench_scale("fig12_reachability_tnr");
+    let tables: Vec<Table> = SyntheticDataset::ALL
+        .iter()
+        .map(|&dataset| run_accuracy_figure(AccuracyFigure::ReachabilityTnr, dataset, scale))
+        .collect();
+    emit(&tables, "fig12_reachability_tnr");
+}

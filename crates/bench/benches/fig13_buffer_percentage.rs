@@ -1,0 +1,11 @@
+//! Regenerates Fig. 13: buffer percentage vs matrix width for the four GSS variants
+//! ({1,2} rooms x {square hashing, no square hashing}) on web-NotreDame, lkml-reply and the
+//! CAIDA-like stream.
+
+use gss_bench::{bench_scale, emit};
+use gss_experiments::run_fig13;
+
+fn main() {
+    let scale = bench_scale("fig13_buffer_percentage");
+    emit(&run_fig13(scale), "fig13_buffer_percentage");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 14: relative error of global triangle counting on cit-HepPh, GSS vs
+//! TRIEST at equal memory budgets.
+
+use gss_bench::{bench_scale, emit};
+use gss_experiments::run_fig14;
+
+fn main() {
+    let scale = bench_scale("fig14_triangle_count");
+    emit(&[run_fig14(scale)], "fig14_triangle_count");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 15: correct rate of subgraph matching in stream windows, GSS (VF2 over
+//! the primitives at one tenth of the memory) vs an exact windowed matcher.
+
+use gss_bench::{bench_scale, emit};
+use gss_experiments::run_fig15;
+
+fn main() {
+    let scale = bench_scale("fig15_subgraph_matching");
+    emit(&[run_fig15(scale)], "fig15_subgraph_matching");
+}

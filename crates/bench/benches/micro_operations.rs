@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the individual GSS operations (insert, edge query, 1-hop
+//! successor query, 1-hop precursor query) against TCM and the exact adjacency list.
+//!
+//! These are not a paper figure; they support the `O(1)` update / query-cost claims of
+//! Section VI-A with wall-clock measurements on this machine.
+
+use criterion::{Criterion, Throughput};
+use gss_datasets::SyntheticDataset;
+use gss_experiments::{build_gss, build_tcm_with_ratio, DatasetRun, ExperimentScale};
+use gss_graph::{AdjacencyListGraph, GraphSummary, VertexId};
+use std::hint::black_box;
+
+fn main() {
+    println!("## micro_operations — per-operation latencies (smoke-scale cit-HepPh stream)\n");
+    let dataset = SyntheticDataset::CitHepPh;
+    let run = DatasetRun::build(dataset, ExperimentScale::Smoke);
+    let widths = run.widths(ExperimentScale::Smoke);
+    let width = widths[widths.len() / 2];
+
+    let mut gss = build_gss(dataset, width, 16);
+    let mut tcm = build_tcm_with_ratio(width, 2, 8.0);
+    let mut adjacency = AdjacencyListGraph::new();
+    run.insert_into(&mut gss);
+    run.insert_into(&mut tcm);
+    run.insert_into(&mut adjacency);
+
+    let queries: Vec<(VertexId, VertexId)> = run
+        .edge_query_sample(256, 0xBEEF)
+        .into_iter()
+        .map(|(key, _)| (key.source, key.destination))
+        .collect();
+    let nodes: Vec<VertexId> = run.node_query_sample(256, 0xCAFE);
+
+    let mut criterion = Criterion::default().configure_from_args().sample_size(20);
+
+    {
+        let mut group = criterion.benchmark_group("insert_one_item");
+        group.throughput(Throughput::Elements(1));
+        let mut next = 0u64;
+        group.bench_function("gss", |b| {
+            b.iter(|| {
+                next = next.wrapping_add(1);
+                gss.insert(black_box(next % 10_000), black_box((next * 7) % 10_000), 1);
+            })
+        });
+        group.bench_function("tcm", |b| {
+            b.iter(|| {
+                next = next.wrapping_add(1);
+                tcm.insert(black_box(next % 10_000), black_box((next * 7) % 10_000), 1);
+            })
+        });
+        group.bench_function("adjacency_list", |b| {
+            b.iter(|| {
+                next = next.wrapping_add(1);
+                adjacency.insert(black_box(next % 10_000), black_box((next * 7) % 10_000), 1);
+            })
+        });
+        group.finish();
+    }
+
+    {
+        let mut group = criterion.benchmark_group("edge_query");
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_function("gss", |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .filter(|&&(s, d)| gss.edge_weight(s, d).is_some())
+                    .count()
+            })
+        });
+        group.bench_function("tcm", |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .filter(|&&(s, d)| tcm.edge_weight(s, d).is_some())
+                    .count()
+            })
+        });
+        group.bench_function("adjacency_list", |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .filter(|&&(s, d)| adjacency.edge_weight(s, d).is_some())
+                    .count()
+            })
+        });
+        group.finish();
+    }
+
+    {
+        let mut group = criterion.benchmark_group("one_hop_queries");
+        group.throughput(Throughput::Elements(nodes.len() as u64));
+        group.bench_function("gss_successors", |b| {
+            b.iter(|| nodes.iter().map(|&v| gss.successors(v).len()).sum::<usize>())
+        });
+        group.bench_function("gss_precursors", |b| {
+            b.iter(|| nodes.iter().map(|&v| gss.precursors(v).len()).sum::<usize>())
+        });
+        group.bench_function("adjacency_successors", |b| {
+            b.iter(|| nodes.iter().map(|&v| adjacency.successors(v).len()).sum::<usize>())
+        });
+        group.finish();
+    }
+
+    criterion.final_summary();
+}

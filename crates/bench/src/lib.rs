@@ -1,0 +1,67 @@
+//! # gss-bench — benchmark harness
+//!
+//! One `harness = false` bench target per table/figure of the paper (see `DESIGN.md` for the
+//! index).  Accuracy figures print the same x/y series the paper plots and write CSVs under
+//! `target/experiments/`; timing targets (Table I, `micro_operations`) additionally run
+//! under Criterion.
+//!
+//! All targets read the experiment scale from the `GSS_SCALE` environment variable
+//! (`smoke` — default, `laptop`, `paper`).
+
+use gss_experiments::{experiments_dir, ExperimentScale, Table};
+
+/// Prints each table and writes it as CSV under `target/experiments/`.
+///
+/// `name` is the CSV base name; multiple tables get `_0`, `_1`, … suffixes.
+pub fn emit(tables: &[Table], name: &str) {
+    let dir = experiments_dir();
+    for (index, table) in tables.iter().enumerate() {
+        table.print();
+        let file =
+            if tables.len() == 1 { name.to_string() } else { format!("{name}_{index}") };
+        match table.write_csv(&dir, &file) {
+            Ok(path) => println!("(csv written to {})\n", path.display()),
+            Err(error) => eprintln!("warning: could not write csv for {file}: {error}\n"),
+        }
+    }
+}
+
+/// The scale selected for this bench run, with a banner so logs are self-describing.
+pub fn bench_scale(target: &str) -> ExperimentScale {
+    let scale = ExperimentScale::from_env();
+    println!(
+        "## {target} — GSS paper reproduction bench (scale: {}, set GSS_SCALE=laptop|paper to \
+         enlarge)\n",
+        scale.name()
+    );
+    scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_writes_numbered_csvs_for_multiple_tables() {
+        let mut a = Table::new("a", &["x"]);
+        a.push_row(vec!["1".into()]);
+        let b = Table::new("b", &["y"]);
+        emit(&[a, b], "bench_emit_test");
+        let dir = experiments_dir();
+        assert!(dir.join("bench_emit_test_0.csv").exists());
+        assert!(dir.join("bench_emit_test_1.csv").exists());
+        std::fs::remove_file(dir.join("bench_emit_test_0.csv")).ok();
+        std::fs::remove_file(dir.join("bench_emit_test_1.csv")).ok();
+    }
+
+    #[test]
+    fn bench_scale_defaults_to_smoke_without_env() {
+        // The test environment does not set GSS_SCALE (and if it does, the call still
+        // returns a valid scale).
+        let scale = bench_scale("unit-test");
+        assert!(matches!(
+            scale,
+            ExperimentScale::Smoke | ExperimentScale::Laptop | ExperimentScale::Paper
+        ));
+    }
+}

@@ -1,0 +1,162 @@
+//! The left-over edge buffer `B`.
+//!
+//! Edges whose candidate buckets are all occupied spill into an adjacency-list buffer
+//! (Definition 5, item 4).  The paper stores it as plain adjacency lists; here the lists are
+//! indexed by a map from source hash to list position — the same acceleration the paper
+//! applies to its adjacency-list baseline — plus a reverse index for precursor queries.
+//! With square hashing and two rooms per bucket the buffer is empty in almost every
+//! experiment (Fig. 13), so none of this is on the hot path.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One buffered sketch edge: destination hash and accumulated weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct BufferedEdge {
+    destination: u64,
+    weight: i64,
+}
+
+/// Adjacency-list buffer for left-over edges, keyed by sketch-node hashes `H(v)`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LeftoverBuffer {
+    /// Forward adjacency: source hash → buffered out-edges.
+    forward: HashMap<u64, Vec<BufferedEdge>>,
+    /// Reverse index: destination hash → source hashes with a buffered edge to it.
+    reverse: HashMap<u64, Vec<u64>>,
+    /// Number of distinct buffered edges.
+    edges: usize,
+}
+
+impl LeftoverBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct edges currently buffered.
+    pub fn len(&self) -> usize {
+        self.edges
+    }
+
+    /// Returns `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.edges == 0
+    }
+
+    /// Adds `weight` to the buffered edge `(source, destination)`, creating it if needed.
+    pub fn insert(&mut self, source: u64, destination: u64, weight: i64) {
+        let list = self.forward.entry(source).or_default();
+        if let Some(entry) = list.iter_mut().find(|e| e.destination == destination) {
+            entry.weight += weight;
+            return;
+        }
+        list.push(BufferedEdge { destination, weight });
+        self.reverse.entry(destination).or_default().push(source);
+        self.edges += 1;
+    }
+
+    /// Returns the buffered weight of edge `(source, destination)`, if present.
+    pub fn edge_weight(&self, source: u64, destination: u64) -> Option<i64> {
+        self.forward
+            .get(&source)?
+            .iter()
+            .find(|e| e.destination == destination)
+            .map(|e| e.weight)
+    }
+
+    /// Destination hashes of all buffered edges leaving `source`.
+    pub fn successors(&self, source: u64) -> Vec<u64> {
+        self.forward
+            .get(&source)
+            .map(|list| list.iter().map(|e| e.destination).collect())
+            .unwrap_or_default()
+    }
+
+    /// Source hashes of all buffered edges entering `destination`.
+    pub fn precursors(&self, destination: u64) -> Vec<u64> {
+        self.reverse.get(&destination).cloned().unwrap_or_default()
+    }
+
+    /// Iterates over all buffered edges as `(source, destination, weight)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (u64, u64, i64)> + '_ {
+        self.forward.iter().flat_map(|(&source, list)| {
+            list.iter().map(move |e| (source, e.destination, e.weight))
+        })
+    }
+
+    /// Approximate heap usage in bytes (hash keys + adjacency entries), used by the memory
+    /// accounting of the experiments.
+    pub fn bytes(&self) -> usize {
+        let forward_entries: usize = self.forward.values().map(Vec::len).sum();
+        let reverse_entries: usize = self.reverse.values().map(Vec::len).sum();
+        self.forward.len() * 8
+            + forward_entries * (8 + 8)
+            + self.reverse.len() * 8
+            + reverse_entries * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_buffer_reports_nothing() {
+        let buffer = LeftoverBuffer::new();
+        assert!(buffer.is_empty());
+        assert_eq!(buffer.len(), 0);
+        assert_eq!(buffer.edge_weight(1, 2), None);
+        assert!(buffer.successors(1).is_empty());
+        assert!(buffer.precursors(2).is_empty());
+        assert_eq!(buffer.edges().count(), 0);
+        assert_eq!(buffer.bytes(), 0);
+    }
+
+    #[test]
+    fn insert_and_query_round_trip() {
+        let mut buffer = LeftoverBuffer::new();
+        buffer.insert(10, 20, 3);
+        buffer.insert(10, 30, 4);
+        buffer.insert(40, 20, 5);
+        assert_eq!(buffer.len(), 3);
+        assert_eq!(buffer.edge_weight(10, 20), Some(3));
+        assert_eq!(buffer.edge_weight(10, 30), Some(4));
+        assert_eq!(buffer.edge_weight(40, 20), Some(5));
+        assert_eq!(buffer.edge_weight(40, 30), None);
+        let mut succ = buffer.successors(10);
+        succ.sort_unstable();
+        assert_eq!(succ, vec![20, 30]);
+        let mut prec = buffer.precursors(20);
+        prec.sort_unstable();
+        assert_eq!(prec, vec![10, 40]);
+    }
+
+    #[test]
+    fn repeated_inserts_accumulate_weight_without_duplicating_edges() {
+        let mut buffer = LeftoverBuffer::new();
+        buffer.insert(1, 2, 5);
+        buffer.insert(1, 2, 7);
+        assert_eq!(buffer.len(), 1);
+        assert_eq!(buffer.edge_weight(1, 2), Some(12));
+        assert_eq!(buffer.precursors(2), vec![1]);
+    }
+
+    #[test]
+    fn negative_weights_act_as_deletions() {
+        let mut buffer = LeftoverBuffer::new();
+        buffer.insert(1, 2, 5);
+        buffer.insert(1, 2, -5);
+        assert_eq!(buffer.edge_weight(1, 2), Some(0));
+    }
+
+    #[test]
+    fn edges_iterator_and_bytes_track_content() {
+        let mut buffer = LeftoverBuffer::new();
+        buffer.insert(1, 2, 3);
+        buffer.insert(4, 5, 6);
+        let collected: std::collections::HashSet<_> = buffer.edges().collect();
+        assert_eq!(collected, [(1, 2, 3), (4, 5, 6)].into_iter().collect());
+        assert!(buffer.bytes() > 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! A thread-safe wrapper around [`GssSketch`].
+//!
+//! Graph streams are frequently consumed by several ingest threads (the paper's CAIDA use
+//! case is a multi-link packet capture).  [`ConcurrentGss`] provides shared-reference
+//! insertion and querying by wrapping the sketch in a `parking_lot::RwLock`; inserts take
+//! the write lock, queries take the read lock.  The wrapper intentionally keeps the exact
+//! semantics of the sequential sketch — it is a convenience for applications, not a
+//! different algorithm.
+
+use crate::config::GssConfig;
+use crate::error::ConfigError;
+use crate::sketch::GssSketch;
+use crate::stats::GssStats;
+use gss_graph::{GraphSummary, SummaryStats, VertexId, Weight};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A cloneable, thread-safe handle to a shared GSS sketch.
+#[derive(Debug, Clone)]
+pub struct ConcurrentGss {
+    inner: Arc<RwLock<GssSketch>>,
+}
+
+impl ConcurrentGss {
+    /// Builds a shared sketch from a configuration.
+    pub fn new(config: GssConfig) -> Result<Self, ConfigError> {
+        Ok(Self { inner: Arc::new(RwLock::new(GssSketch::new(config)?)) })
+    }
+
+    /// Wraps an existing sketch.
+    pub fn from_sketch(sketch: GssSketch) -> Self {
+        Self { inner: Arc::new(RwLock::new(sketch)) }
+    }
+
+    /// Inserts a stream item through a shared reference.
+    pub fn insert(&self, source: VertexId, destination: VertexId, weight: Weight) {
+        self.inner.write().insert(source, destination, weight);
+    }
+
+    /// Edge query primitive.
+    pub fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight> {
+        self.inner.read().edge_weight(source, destination)
+    }
+
+    /// 1-hop successor query primitive.
+    pub fn successors(&self, vertex: VertexId) -> Vec<VertexId> {
+        self.inner.read().successors(vertex)
+    }
+
+    /// 1-hop precursor query primitive.
+    pub fn precursors(&self, vertex: VertexId) -> Vec<VertexId> {
+        self.inner.read().precursors(vertex)
+    }
+
+    /// Structural statistics of the underlying sketch.
+    pub fn stats(&self) -> SummaryStats {
+        self.inner.read().stats()
+    }
+
+    /// Detailed statistics of the underlying sketch.
+    pub fn detailed_stats(&self) -> GssStats {
+        self.inner.read().detailed_stats()
+    }
+
+    /// Runs a closure with read access to the underlying sketch (for compound queries from
+    /// the [`gss_graph::algorithms`] module).
+    pub fn with_read<R>(&self, f: impl FnOnce(&GssSketch) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Takes the sketch out of the wrapper if this is the last handle.
+    pub fn try_into_inner(self) -> Result<GssSketch, Self> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(lock) => Ok(lock.into_inner()),
+            Err(inner) => Err(Self { inner }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn concurrent_inserts_from_multiple_threads_are_all_applied() {
+        let sketch = ConcurrentGss::new(GssConfig::paper_default(64)).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let handle = sketch.clone();
+                thread::spawn(move || {
+                    for i in 0..250u64 {
+                        handle.insert(t, 1000 + i, 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(sketch.stats().items_inserted, 1000);
+        for t in 0..4u64 {
+            assert_eq!(sketch.successors(t).len(), 250);
+        }
+    }
+
+    #[test]
+    fn queries_see_prior_inserts() {
+        let sketch = ConcurrentGss::new(GssConfig::paper_default(32)).unwrap();
+        sketch.insert(1, 2, 5);
+        assert_eq!(sketch.edge_weight(1, 2), Some(5));
+        assert_eq!(sketch.precursors(2), vec![1]);
+        assert_eq!(sketch.detailed_stats().matrix_edges, 1);
+        let reconstructed = sketch.with_read(|inner| inner.edge_weight(1, 2));
+        assert_eq!(reconstructed, Some(5));
+    }
+
+    #[test]
+    fn try_into_inner_returns_sketch_when_unique() {
+        let sketch = ConcurrentGss::from_sketch(GssSketch::with_width(16));
+        let inner = sketch.try_into_inner().expect("single handle");
+        assert_eq!(inner.items_inserted(), 0);
+    }
+
+    #[test]
+    fn try_into_inner_fails_when_shared() {
+        let sketch = ConcurrentGss::new(GssConfig::paper_default(16)).unwrap();
+        let clone = sketch.clone();
+        assert!(sketch.try_into_inner().is_err());
+        drop(clone);
+    }
+}

@@ -1,0 +1,288 @@
+//! Configuration of a GSS sketch.
+//!
+//! The knobs map one-to-one onto the parameters of Sections IV and V of the paper:
+//!
+//! | field | paper symbol | meaning |
+//! |---|---|---|
+//! | `width` | `m` | side length of the bucket matrix |
+//! | `fingerprint_bits` | `log₂ F` | fingerprint length; `M = m × F` is the hash range |
+//! | `rooms` | `l` | rooms (edge slots) per bucket (Section V-B2) |
+//! | `sequence_length` | `r` | length of the square-hashing address sequence (Section V-A) |
+//! | `candidates` | `k` | sampled candidate buckets per edge (Section V-B1) |
+//! | `square_hashing` | — | disable to get the basic version of Section IV |
+//! | `sampling` | — | disable to probe all `r²` mapped buckets (Table I "GSS(no sampling)") |
+//!
+//! The experiment section uses `l = 2`, `r = 16`, `k = 16` (8/8 for the two small datasets)
+//! and fingerprints of 12 or 16 bits; [`GssConfig::paper_default`] reproduces that setup.
+
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported address-sequence length.  Index positions are packed into 4 bits each
+/// inside a room, which is the paper's "less than 4 bits" observation.
+pub const MAX_SEQUENCE_LENGTH: usize = 16;
+
+/// Maximum supported fingerprint width in bits (fingerprints are stored in `u16`s).
+pub const MAX_FINGERPRINT_BITS: u32 = 16;
+
+/// Configuration for a [`GssSketch`](crate::GssSketch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GssConfig {
+    /// Side length `m` of the bucket matrix.
+    pub width: usize,
+    /// Fingerprint length in bits; `F = 2^fingerprint_bits`.
+    pub fingerprint_bits: u32,
+    /// Rooms per bucket (`l`).
+    pub rooms: usize,
+    /// Length `r` of the per-node hash-address sequence.
+    pub sequence_length: usize,
+    /// Number `k` of candidate buckets sampled from the `r × r` mapped buckets.
+    pub candidates: usize,
+    /// Whether square hashing is enabled.  When disabled the sketch degrades to the basic
+    /// version of Section IV: a single mapped bucket per edge.
+    pub square_hashing: bool,
+    /// Whether candidate-bucket sampling is enabled.  When disabled, all `r²` mapped buckets
+    /// are probed in row-major order (the "GSS(no sampling)" row of Table I).
+    pub sampling: bool,
+    /// Whether the sketch keeps the `⟨H(v), v⟩` reverse table needed to answer successor /
+    /// precursor queries in the original id space.  Costs `O(|V|)` memory, as in the paper.
+    pub track_node_ids: bool,
+    /// Seed mixed into the node hash function, so independent sketches can be built.
+    pub hash_seed: u64,
+}
+
+impl Default for GssConfig {
+    fn default() -> Self {
+        Self::paper_default(1000)
+    }
+}
+
+impl GssConfig {
+    /// The configuration used throughout the paper's evaluation (Section VII-C): 16-bit
+    /// fingerprints, 2 rooms per bucket, `r = 16`, `k = 16`.
+    pub fn paper_default(width: usize) -> Self {
+        Self {
+            width,
+            fingerprint_bits: 16,
+            rooms: 2,
+            sequence_length: 16,
+            candidates: 16,
+            square_hashing: true,
+            sampling: true,
+            track_node_ids: true,
+            hash_seed: 0x6C55_5EED,
+        }
+    }
+
+    /// The reduced setting the paper uses for the two small datasets (`r = 8`, `k = 8`).
+    pub fn paper_small(width: usize) -> Self {
+        Self { sequence_length: 8, candidates: 8, ..Self::paper_default(width) }
+    }
+
+    /// The basic version of Section IV: no square hashing, one room per bucket.
+    pub fn basic(width: usize) -> Self {
+        Self {
+            rooms: 1,
+            square_hashing: false,
+            sampling: false,
+            sequence_length: 1,
+            candidates: 1,
+            ..Self::paper_default(width)
+        }
+    }
+
+    /// Returns a copy with a different fingerprint width (12 and 16 bits in the paper).
+    pub fn with_fingerprint_bits(mut self, bits: u32) -> Self {
+        self.fingerprint_bits = bits;
+        self
+    }
+
+    /// Returns a copy with a different number of rooms per bucket.
+    pub fn with_rooms(mut self, rooms: usize) -> Self {
+        self.rooms = rooms;
+        self
+    }
+
+    /// Returns a copy with square hashing enabled or disabled.
+    pub fn with_square_hashing(mut self, enabled: bool) -> Self {
+        self.square_hashing = enabled;
+        if !enabled {
+            self.sequence_length = 1;
+            self.candidates = 1;
+            self.sampling = false;
+        }
+        self
+    }
+
+    /// Returns a copy with candidate sampling enabled or disabled.
+    pub fn with_sampling(mut self, enabled: bool) -> Self {
+        self.sampling = enabled;
+        self
+    }
+
+    /// Returns a copy with a different hash seed.
+    pub fn with_hash_seed(mut self, seed: u64) -> Self {
+        self.hash_seed = seed;
+        self
+    }
+
+    /// Fingerprint range `F = 2^fingerprint_bits`.
+    pub fn fingerprint_range(&self) -> u64 {
+        1u64 << self.fingerprint_bits
+    }
+
+    /// Hash range `M = m × F` of the node map function.
+    pub fn hash_range(&self) -> u64 {
+        self.width as u64 * self.fingerprint_range()
+    }
+
+    /// Number of buckets in the matrix (`m²`).
+    pub fn bucket_count(&self) -> usize {
+        self.width * self.width
+    }
+
+    /// Number of rooms in the matrix (`m² × l`).
+    pub fn room_count(&self) -> usize {
+        self.bucket_count() * self.rooms
+    }
+
+    /// Bytes per room under the paper's storage layout: two fingerprints, a packed index
+    /// pair (1 byte) and an 8-byte weight.  This is the figure used for equal-memory
+    /// comparisons against TCM, independent of Rust struct padding.
+    pub fn bytes_per_room(&self) -> usize {
+        let fingerprint_bytes = (2 * self.fingerprint_bits as usize).div_ceil(8);
+        fingerprint_bytes + 1 + 8
+    }
+
+    /// Total matrix bytes under the paper's layout.
+    pub fn matrix_bytes(&self) -> usize {
+        self.room_count() * self.bytes_per_room()
+    }
+
+    /// Effective number of probed candidate buckets per edge.
+    pub fn effective_candidates(&self) -> usize {
+        if !self.square_hashing {
+            1
+        } else if self.sampling {
+            self.candidates.min(self.sequence_length * self.sequence_length)
+        } else {
+            self.sequence_length * self.sequence_length
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.width == 0 {
+            return Err(ConfigError::new("matrix width must be positive"));
+        }
+        if self.fingerprint_bits == 0 || self.fingerprint_bits > MAX_FINGERPRINT_BITS {
+            return Err(ConfigError::new(format!(
+                "fingerprint_bits must be in 1..={MAX_FINGERPRINT_BITS}"
+            )));
+        }
+        if self.rooms == 0 {
+            return Err(ConfigError::new("each bucket needs at least one room"));
+        }
+        if self.sequence_length == 0 || self.sequence_length > MAX_SEQUENCE_LENGTH {
+            return Err(ConfigError::new(format!(
+                "sequence_length must be in 1..={MAX_SEQUENCE_LENGTH}"
+            )));
+        }
+        if self.candidates == 0 {
+            return Err(ConfigError::new("candidates must be positive"));
+        }
+        if !self.square_hashing && self.sequence_length != 1 {
+            return Err(ConfigError::new(
+                "sequence_length must be 1 when square hashing is disabled",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_vii_settings() {
+        let config = GssConfig::paper_default(1000);
+        assert_eq!(config.width, 1000);
+        assert_eq!(config.fingerprint_bits, 16);
+        assert_eq!(config.rooms, 2);
+        assert_eq!(config.sequence_length, 16);
+        assert_eq!(config.candidates, 16);
+        assert!(config.square_hashing);
+        assert!(config.sampling);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_small_reduces_r_and_k() {
+        let config = GssConfig::paper_small(600);
+        assert_eq!(config.sequence_length, 8);
+        assert_eq!(config.candidates, 8);
+    }
+
+    #[test]
+    fn basic_config_disables_square_hashing() {
+        let config = GssConfig::basic(100);
+        assert!(!config.square_hashing);
+        assert_eq!(config.rooms, 1);
+        assert_eq!(config.effective_candidates(), 1);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn derived_quantities_follow_definitions() {
+        let config = GssConfig::paper_default(500).with_fingerprint_bits(12);
+        assert_eq!(config.fingerprint_range(), 4096);
+        assert_eq!(config.hash_range(), 500 * 4096);
+        assert_eq!(config.bucket_count(), 250_000);
+        assert_eq!(config.room_count(), 500_000);
+        assert_eq!(config.bytes_per_room(), 3 + 1 + 8);
+        assert_eq!(config.matrix_bytes(), 500_000 * 12);
+    }
+
+    #[test]
+    fn bytes_per_room_for_16_bit_fingerprints() {
+        let config = GssConfig::paper_default(10);
+        assert_eq!(config.bytes_per_room(), 4 + 1 + 8);
+    }
+
+    #[test]
+    fn effective_candidates_without_sampling_is_r_squared() {
+        let config = GssConfig::paper_default(100).with_sampling(false);
+        assert_eq!(config.effective_candidates(), 256);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(GssConfig { width: 0, ..GssConfig::paper_default(1) }.validate().is_err());
+        assert!(GssConfig::paper_default(10).with_fingerprint_bits(0).validate().is_err());
+        assert!(GssConfig::paper_default(10).with_fingerprint_bits(17).validate().is_err());
+        assert!(GssConfig::paper_default(10).with_rooms(0).validate().is_err());
+        assert!(
+            GssConfig { sequence_length: 0, ..GssConfig::paper_default(10) }.validate().is_err()
+        );
+        assert!(
+            GssConfig { sequence_length: 17, ..GssConfig::paper_default(10) }.validate().is_err()
+        );
+        assert!(GssConfig { candidates: 0, ..GssConfig::paper_default(10) }.validate().is_err());
+        assert!(GssConfig {
+            square_hashing: false,
+            sequence_length: 4,
+            ..GssConfig::paper_default(10)
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn with_square_hashing_false_normalises_dependent_fields() {
+        let config = GssConfig::paper_default(10).with_square_hashing(false);
+        assert!(config.validate().is_ok());
+        assert_eq!(config.sequence_length, 1);
+        assert_eq!(config.candidates, 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types for sketch construction.
+
+use std::fmt;
+
+/// An invalid [`GssConfig`](crate::GssConfig) was supplied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a new configuration error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// The human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid GSS configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let err = ConfigError::new("width must be positive");
+        assert!(err.to_string().contains("width must be positive"));
+        assert_eq!(err.message(), "width must be positive");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let err = ConfigError::new("boom");
+        let as_dyn: &dyn std::error::Error = &err;
+        assert!(as_dyn.source().is_none());
+    }
+}

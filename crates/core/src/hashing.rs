@@ -1,0 +1,308 @@
+//! Node hashing: the map function `H(·)`, its address/fingerprint split, and the
+//! linear-congruential address sequences used by square hashing.
+//!
+//! Definition 5 of the paper: each node `v` is mapped to `H(v)` in `[0, M)` with
+//! `M = m × F`; its *address* is `h(v) = ⌊H(v)/F⌋ ∈ [0, m)` and its *fingerprint* is
+//! `f(v) = H(v) mod F ∈ [0, F)`.  Square hashing (Section V-A) derives `r` row/column
+//! addresses `hᵢ(v) = (h(v) + qᵢ(v)) mod m` from a linear-congruential sequence
+//! `q₁ = (a·f(v) + b) mod p`, `qᵢ = (a·qᵢ₋₁ + b) mod p` seeded by the fingerprint, which is
+//! what makes bucket positions *reversible*: from a room's `(row, fingerprint, index)` the
+//! original `H(v)` can be recovered exactly.
+
+use crate::config::GssConfig;
+use serde::{Deserialize, Serialize};
+
+/// Multiplier of the linear congruential sequence (a primitive root modulo [`LCG_MODULUS`]).
+pub const LCG_MULTIPLIER: u64 = 75;
+/// Additive constant of the linear congruential sequence (a small prime, per the paper).
+pub const LCG_INCREMENT: u64 = 74;
+/// Modulus of the linear congruential sequence (the Fermat prime 2^16 + 1).
+pub const LCG_MODULUS: u64 = 65_537;
+
+/// The hashed identity of a node inside the sketch: its full hash `H(v)`, matrix address
+/// `h(v)` and fingerprint `f(v)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HashedNode {
+    /// Full hash value `H(v) ∈ [0, M)`.
+    pub hash: u64,
+    /// Matrix address `h(v) ∈ [0, m)`.
+    pub address: usize,
+    /// Fingerprint `f(v) ∈ [0, F)`.
+    pub fingerprint: u16,
+}
+
+/// The node hash function of a sketch instance, together with the geometry needed to split
+/// hashes into addresses and fingerprints and to generate address sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeHasher {
+    width: u64,
+    fingerprint_range: u64,
+    seed: u64,
+    sequence_length: usize,
+}
+
+impl NodeHasher {
+    /// Builds the hasher described by `config`.
+    pub fn new(config: &GssConfig) -> Self {
+        Self {
+            width: config.width as u64,
+            fingerprint_range: config.fingerprint_range(),
+            seed: config.hash_seed,
+            sequence_length: config.sequence_length,
+        }
+    }
+
+    /// The value range `M = m × F` of the map function.
+    pub fn hash_range(&self) -> u64 {
+        self.width * self.fingerprint_range
+    }
+
+    /// 64-bit mix underlying `H(·)` (a SplitMix64 finaliser keyed by the sketch seed).
+    fn mix(&self, vertex: u64) -> u64 {
+        let mut z = vertex.wrapping_add(self.seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Maps an original vertex id to its full hash `H(v) ∈ [0, M)`.
+    pub fn hash_vertex(&self, vertex: u64) -> u64 {
+        self.mix(vertex) % self.hash_range()
+    }
+
+    /// Maps an original vertex id to its [`HashedNode`] (hash, address, fingerprint).
+    pub fn hashed_node(&self, vertex: u64) -> HashedNode {
+        self.split(self.hash_vertex(vertex))
+    }
+
+    /// Splits a full hash into address and fingerprint (`h(v) = ⌊H/F⌋`, `f(v) = H mod F`).
+    pub fn split(&self, hash: u64) -> HashedNode {
+        HashedNode {
+            hash,
+            address: (hash / self.fingerprint_range) as usize,
+            fingerprint: (hash % self.fingerprint_range) as u16,
+        }
+    }
+
+    /// Recomposes a full hash from an address and a fingerprint (`H = h·F + f`).
+    pub fn compose(&self, address: usize, fingerprint: u16) -> u64 {
+        address as u64 * self.fingerprint_range + fingerprint as u64
+    }
+
+    /// The linear congruential sequence `q₁..q_r` seeded by a fingerprint (Equation 1).
+    pub fn lcg_sequence(&self, fingerprint: u16) -> Vec<u64> {
+        lcg_sequence(fingerprint as u64, self.sequence_length)
+    }
+
+    /// The address sequence `h₁(v)..h_r(v)` of Equation 2: `hᵢ(v) = (h(v) + qᵢ) mod m`.
+    pub fn address_sequence(&self, node: HashedNode) -> Vec<usize> {
+        self.lcg_sequence(node.fingerprint)
+            .into_iter()
+            .map(|q| ((node.address as u64 + q) % self.width) as usize)
+            .collect()
+    }
+
+    /// Allocation-free variant of [`address_sequence`](Self::address_sequence): fills the
+    /// first `r` entries of `out` and returns `r`.  Used on the per-item insert path.
+    pub fn address_sequence_into(&self, node: HashedNode, out: &mut [usize]) -> usize {
+        let length = self.sequence_length.min(out.len());
+        let mut q = (LCG_MULTIPLIER * (node.fingerprint as u64 % LCG_MODULUS) + LCG_INCREMENT)
+            % LCG_MODULUS;
+        for slot in out.iter_mut().take(length) {
+            *slot = ((node.address as u64 + q) % self.width) as usize;
+            q = (LCG_MULTIPLIER * q + LCG_INCREMENT) % LCG_MODULUS;
+        }
+        length
+    }
+
+    /// Allocation-free variant of [`candidate_pairs`](Self::candidate_pairs): fills `out`
+    /// with up to `candidates` (row-index, column-index) pairs and returns the count.
+    pub fn candidate_pairs_into(
+        &self,
+        source_fingerprint: u16,
+        destination_fingerprint: u16,
+        candidates: usize,
+        out: &mut [(usize, usize)],
+    ) -> usize {
+        let r = self.sequence_length as u64;
+        let seed = source_fingerprint as u64 + destination_fingerprint as u64;
+        let count = candidates.min(out.len());
+        let mut q = (LCG_MULTIPLIER * (seed % LCG_MODULUS) + LCG_INCREMENT) % LCG_MODULUS;
+        for slot in out.iter_mut().take(count) {
+            *slot = ((((q / r) % r) as usize), ((q % r) as usize));
+            q = (LCG_MULTIPLIER * q + LCG_INCREMENT) % LCG_MODULUS;
+        }
+        count
+    }
+
+    /// Recovers the original matrix address `h(v)` from the row/column `position` a room was
+    /// found at, the stored fingerprint, and the stored 0-based sequence index — the inverse
+    /// of [`address_sequence`](Self::address_sequence), used by successor/precursor queries.
+    pub fn recover_address(&self, position: usize, fingerprint: u16, index: usize) -> usize {
+        let q = lcg_sequence(fingerprint as u64, index + 1)[index] % self.width;
+        ((position as u64 + self.width - q) % self.width) as usize
+    }
+
+    /// Recovers the full hash `H(v)` from a room's position, fingerprint and sequence index.
+    pub fn recover_hash(&self, position: usize, fingerprint: u16, index: usize) -> u64 {
+        self.compose(self.recover_address(position, fingerprint, index), fingerprint)
+    }
+
+    /// The candidate-bucket sample of Section V-B1: `k` (row-index, column-index) pairs,
+    /// each in `[0, r) × [0, r)`, drawn by a linear congruential sequence seeded by the sum
+    /// of the two fingerprints (Equations 4–5).
+    pub fn candidate_pairs(
+        &self,
+        source_fingerprint: u16,
+        destination_fingerprint: u16,
+        candidates: usize,
+    ) -> Vec<(usize, usize)> {
+        let r = self.sequence_length as u64;
+        let seed = source_fingerprint as u64 + destination_fingerprint as u64;
+        lcg_sequence(seed, candidates)
+            .into_iter()
+            .map(|q| ((((q / r) % r) as usize), ((q % r) as usize)))
+            .collect()
+    }
+}
+
+/// The raw linear congruential sequence of Equation 1 / Equation 4.
+pub fn lcg_sequence(seed: u64, length: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(length);
+    let mut current = (LCG_MULTIPLIER * (seed % LCG_MODULUS) + LCG_INCREMENT) % LCG_MODULUS;
+    for _ in 0..length {
+        out.push(current);
+        current = (LCG_MULTIPLIER * current + LCG_INCREMENT) % LCG_MODULUS;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hasher(width: usize, fingerprint_bits: u32) -> NodeHasher {
+        NodeHasher::new(
+            &GssConfig::paper_default(width).with_fingerprint_bits(fingerprint_bits),
+        )
+    }
+
+    #[test]
+    fn hash_values_stay_in_range() {
+        let h = hasher(1000, 12);
+        for vertex in 0..10_000u64 {
+            let node = h.hashed_node(vertex);
+            assert!(node.hash < h.hash_range());
+            assert!(node.address < 1000);
+            assert!(u64::from(node.fingerprint) < 4096);
+            assert_eq!(h.compose(node.address, node.fingerprint), node.hash);
+        }
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_seed_dependent() {
+        let a = hasher(500, 16);
+        let b = hasher(500, 16);
+        let c = NodeHasher::new(
+            &GssConfig::paper_default(500).with_hash_seed(12345),
+        );
+        for vertex in 0..100u64 {
+            assert_eq!(a.hash_vertex(vertex), b.hash_vertex(vertex));
+        }
+        assert!((0..100u64).any(|v| a.hash_vertex(v) != c.hash_vertex(v)));
+    }
+
+    #[test]
+    fn split_and_compose_are_inverses() {
+        let h = hasher(777, 13);
+        for hash in [0u64, 1, 12345, 777 * (1 << 13) - 1] {
+            let node = h.split(hash);
+            assert_eq!(h.compose(node.address, node.fingerprint), hash);
+        }
+    }
+
+    #[test]
+    fn lcg_sequence_matches_recurrence() {
+        let seq = lcg_sequence(9, 4);
+        let q1 = (LCG_MULTIPLIER * 9 + LCG_INCREMENT) % LCG_MODULUS;
+        let q2 = (LCG_MULTIPLIER * q1 + LCG_INCREMENT) % LCG_MODULUS;
+        assert_eq!(seq[0], q1);
+        assert_eq!(seq[1], q2);
+        assert_eq!(seq.len(), 4);
+    }
+
+    #[test]
+    fn lcg_sequences_have_no_short_repeats() {
+        // The paper requires the cycle of the sequence to exceed r (≤ 16 here).
+        for seed in 0..2048u64 {
+            let seq = lcg_sequence(seed, 16);
+            let distinct: std::collections::HashSet<_> = seq.iter().collect();
+            assert_eq!(distinct.len(), 16, "seed {seed} produced repeats: {seq:?}");
+        }
+    }
+
+    #[test]
+    fn address_sequence_has_expected_length_and_range() {
+        let h = hasher(321, 16);
+        let node = h.hashed_node(42);
+        let seq = h.address_sequence(node);
+        assert_eq!(seq.len(), 16);
+        assert!(seq.iter().all(|&a| a < 321));
+    }
+
+    #[test]
+    fn recover_address_inverts_address_sequence() {
+        let h = hasher(997, 12);
+        for vertex in 0..500u64 {
+            let node = h.hashed_node(vertex);
+            let seq = h.address_sequence(node);
+            for (index, &position) in seq.iter().enumerate() {
+                assert_eq!(
+                    h.recover_address(position, node.fingerprint, index),
+                    node.address,
+                    "vertex {vertex} index {index}"
+                );
+                assert_eq!(h.recover_hash(position, node.fingerprint, index), node.hash);
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_free_variants_match_the_vec_versions() {
+        let h = hasher(513, 16);
+        let mut addresses = [0usize; 16];
+        let mut pairs = [(0usize, 0usize); 16];
+        for vertex in 0..200u64 {
+            let node = h.hashed_node(vertex);
+            let count = h.address_sequence_into(node, &mut addresses);
+            assert_eq!(&addresses[..count], h.address_sequence(node).as_slice());
+            let other = h.hashed_node(vertex + 1);
+            let pair_count =
+                h.candidate_pairs_into(node.fingerprint, other.fingerprint, 16, &mut pairs);
+            assert_eq!(
+                &pairs[..pair_count],
+                h.candidate_pairs(node.fingerprint, other.fingerprint, 16).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_pairs_stay_inside_the_mapped_square() {
+        let h = hasher(100, 16);
+        let pairs = h.candidate_pairs(123, 456, 16);
+        assert_eq!(pairs.len(), 16);
+        assert!(pairs.iter().all(|&(i, j)| i < 16 && j < 16));
+        // Deterministic per fingerprint pair.
+        assert_eq!(pairs, h.candidate_pairs(123, 456, 16));
+        // And commutative in the seed (the paper seeds with the *sum* of fingerprints).
+        assert_eq!(pairs, h.candidate_pairs(456, 123, 16));
+    }
+
+    #[test]
+    fn different_fingerprints_usually_get_different_candidates() {
+        let h = hasher(100, 16);
+        let a = h.candidate_pairs(1, 2, 16);
+        let b = h.candidate_pairs(3, 4, 16);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,57 @@
+//! # gss-core — the Graph Stream Sketch
+//!
+//! A Rust implementation of **GSS**, the graph-stream summarization structure of
+//! *Fast and Accurate Graph Stream Summarization* (Gou, Zou, Zhao, Yang — ICDE 2019).
+//!
+//! GSS compresses a graph stream into a fingerprint-annotated bucket matrix:
+//!
+//! * every node `v` is hashed to `H(v) ∈ [0, m·F)`, split into a matrix *address*
+//!   `h(v) ∈ [0, m)` and a *fingerprint* `f(v) ∈ [0, F)`;
+//! * every edge is stored in one room of an `m × m` bucket matrix together with its
+//!   fingerprint pair, so edges with different endpoints can share rows/columns without
+//!   being confused — this is what lets GSS use a hash range `M = m·F ≫ m` and is the
+//!   source of its accuracy advantage over TCM;
+//! * *square hashing* spreads the edges of high-degree nodes over `r` rows/columns chosen
+//!   by a reversible linear-congruential sequence, and *candidate sampling* caps the probe
+//!   cost at `k` buckets; edges that still find no room spill into a small exact buffer.
+//!
+//! The sketch implements [`gss_graph::GraphSummary`], so every compound query in
+//! [`gss_graph::algorithms`] (node queries, reachability, triangle counting, subgraph
+//! matching, reconstruction) runs on it unchanged.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gss_core::{GssConfig, GssSketch};
+//! use gss_graph::GraphSummary;
+//!
+//! let mut sketch = GssSketch::new(GssConfig::paper_default(256)).unwrap();
+//! sketch.insert(1, 2, 10);
+//! sketch.insert(1, 3, 4);
+//! sketch.insert(1, 2, 5);
+//!
+//! assert_eq!(sketch.edge_weight(1, 2), Some(15));
+//! assert_eq!(sketch.successors(1), vec![2, 3]);
+//! assert_eq!(sketch.precursors(2), vec![1]);
+//! ```
+
+pub mod buffer;
+pub mod concurrent;
+pub mod config;
+pub mod error;
+pub mod hashing;
+pub mod matrix;
+pub mod merge;
+pub mod node_map;
+pub mod persistence;
+pub mod sketch;
+pub mod stats;
+
+pub use concurrent::ConcurrentGss;
+pub use config::{GssConfig, MAX_FINGERPRINT_BITS, MAX_SEQUENCE_LENGTH};
+pub use error::ConfigError;
+pub use hashing::{HashedNode, NodeHasher};
+pub use merge::{HashedEdge, ShardedGss};
+pub use persistence::PersistenceError;
+pub use sketch::GssSketch;
+pub use stats::GssStats;

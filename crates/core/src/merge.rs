@@ -1,0 +1,253 @@
+//! Merging of GSS sketches.
+//!
+//! Graph streams are often ingested by several workers (one per link, per shard, per
+//! ingestion thread); each worker keeps its own sketch and the coordinator combines them.
+//! Two GSS sketches built with the *same configuration* (same width, fingerprint length,
+//! rooms, sequence length, hash seed) are mergeable: a given sketch edge maps to the same
+//! candidate buckets in both, so replaying the other sketch's occupied rooms and buffer into
+//! `self` produces exactly the sketch that a single worker would have built from the
+//! concatenated streams (up to the order-independent placement of edges among their
+//! candidate buckets).
+//!
+//! Merging is also how the paper's use of "multiple sketches" for distributed settings
+//! (Section I cites GraphX/Pregel-style systems) is realised here.
+
+use crate::config::GssConfig;
+use crate::error::ConfigError;
+use crate::sketch::GssSketch;
+use gss_graph::{GraphSummary, VertexId, Weight};
+
+/// An edge extracted from a sketch in the *hashed* space, used as the unit of merging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashedEdge {
+    /// Hash `H(s)` of the source sketch node.
+    pub source_hash: u64,
+    /// Hash `H(d)` of the destination sketch node.
+    pub destination_hash: u64,
+    /// Accumulated weight.
+    pub weight: Weight,
+}
+
+impl GssSketch {
+    /// Extracts every stored sketch edge (matrix rooms and buffered edges) in the hashed
+    /// space, together with its accumulated weight.
+    pub fn hashed_edges(&self) -> Vec<HashedEdge> {
+        let mut edges = Vec::with_capacity(self.stored_edges());
+        let hasher = *self.hasher();
+        let square_hashing = self.config().square_hashing;
+        for (row, column, room) in self.matrix_rooms() {
+            let (source_hash, destination_hash) = if square_hashing {
+                (
+                    hasher.recover_hash(row, room.source_fingerprint, room.source_index as usize),
+                    hasher.recover_hash(
+                        column,
+                        room.destination_fingerprint,
+                        room.destination_index as usize,
+                    ),
+                )
+            } else {
+                (
+                    hasher.compose(row, room.source_fingerprint),
+                    hasher.compose(column, room.destination_fingerprint),
+                )
+            };
+            edges.push(HashedEdge { source_hash, destination_hash, weight: room.weight });
+        }
+        for (source_hash, destination_hash, weight) in self.buffered_edge_triples() {
+            edges.push(HashedEdge { source_hash, destination_hash, weight });
+        }
+        edges
+    }
+
+    /// Merges `other` into `self`.
+    ///
+    /// Both sketches must share the same configuration; otherwise the hash spaces differ and
+    /// the merge would corrupt fingerprints.  Node-id tables are merged as well, so
+    /// successor/precursor queries on the merged sketch keep answering in the original id
+    /// space.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the configurations differ.
+    pub fn merge_from(&mut self, other: &GssSketch) -> Result<(), ConfigError> {
+        if self.config() != other.config() {
+            return Err(ConfigError::new(format!(
+                "cannot merge sketches with different configurations ({:?} vs {:?})",
+                self.config(),
+                other.config()
+            )));
+        }
+        // Replay the other sketch's edges through the normal insert path, in the hashed
+        // space: we bypass re-hashing by inserting through a dedicated entry point.
+        for edge in other.hashed_edges() {
+            self.insert_hashed(edge.source_hash, edge.destination_hash, edge.weight);
+        }
+        // Carry the ⟨H(v), v⟩ table across so id translation keeps working.
+        self.absorb_node_map(other);
+        Ok(())
+    }
+
+    /// Merges a set of independently built sketches into a fresh one.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the sketches do not all share `config`.
+    pub fn merge_all(
+        config: GssConfig,
+        sketches: &[GssSketch],
+    ) -> Result<GssSketch, ConfigError> {
+        let mut merged = GssSketch::new(config)?;
+        for sketch in sketches {
+            merged.merge_from(sketch)?;
+        }
+        Ok(merged)
+    }
+}
+
+/// A sharded ingestion front-end: routes every stream item to one of `shards` independent
+/// sketches (by a hash of the item's endpoints) so multiple threads can ingest without
+/// contention, and merges them on demand.
+#[derive(Debug, Clone)]
+pub struct ShardedGss {
+    config: GssConfig,
+    shards: Vec<GssSketch>,
+}
+
+impl ShardedGss {
+    /// Creates `shards` empty sketches sharing one configuration.
+    pub fn new(config: GssConfig, shards: usize) -> Result<Self, ConfigError> {
+        if shards == 0 {
+            return Err(ConfigError::new("need at least one shard"));
+        }
+        let shards = (0..shards).map(|_| GssSketch::new(config)).collect::<Result<_, _>>()?;
+        Ok(Self { config, shards })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Routes an item to its shard and inserts it.
+    pub fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
+        let shard = (source ^ destination.rotate_left(17)) as usize % self.shards.len();
+        self.shards[shard].insert(source, destination, weight);
+    }
+
+    /// Read access to an individual shard.
+    pub fn shard(&self, index: usize) -> &GssSketch {
+        &self.shards[index]
+    }
+
+    /// Merges all shards into a single sketch.
+    pub fn merge(&self) -> Result<GssSketch, ConfigError> {
+        GssSketch::merge_all(self.config, &self.shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_graph::AdjacencyListGraph;
+
+    fn stream(seed: u64, items: usize) -> Vec<(u64, u64, i64)> {
+        let mut state = seed | 1;
+        (0..items)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) % 300, (state >> 17) % 300, (state % 7) as i64 + 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merged_sketch_equals_single_sketch_over_concatenated_stream() {
+        let config = GssConfig::paper_small(64);
+        let stream_a = stream(1, 1500);
+        let stream_b = stream(2, 1500);
+
+        let mut sketch_a = GssSketch::new(config).unwrap();
+        let mut sketch_b = GssSketch::new(config).unwrap();
+        let mut reference = GssSketch::new(config).unwrap();
+        let mut exact = AdjacencyListGraph::new();
+        for &(s, d, w) in &stream_a {
+            sketch_a.insert(s, d, w);
+            reference.insert(s, d, w);
+            exact.insert(s, d, w);
+        }
+        for &(s, d, w) in &stream_b {
+            sketch_b.insert(s, d, w);
+            reference.insert(s, d, w);
+            exact.insert(s, d, w);
+        }
+
+        sketch_a.merge_from(&sketch_b).unwrap();
+        // The merged sketch answers every edge query exactly like the reference sketch.
+        for (key, _) in exact.edges() {
+            assert_eq!(
+                sketch_a.edge_weight(key.source, key.destination),
+                reference.edge_weight(key.source, key.destination),
+                "edge {key:?}"
+            );
+        }
+        // And successor sets keep translating back to original ids.
+        for v in exact.vertices().into_iter().take(100) {
+            let merged = sketch_a.successors(v);
+            for truth in exact.successors(v) {
+                assert!(merged.contains(&truth), "missing successor {truth} of {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_configurations() {
+        let mut a = GssSketch::new(GssConfig::paper_default(32)).unwrap();
+        let b = GssSketch::new(GssConfig::paper_default(64)).unwrap();
+        assert!(a.merge_from(&b).is_err());
+        let c = GssSketch::new(GssConfig::paper_default(32).with_fingerprint_bits(12)).unwrap();
+        assert!(a.merge_from(&c).is_err());
+    }
+
+    #[test]
+    fn hashed_edges_cover_matrix_and_buffer() {
+        // A deliberately overloaded 2x2 matrix forces buffered edges.
+        let config = GssConfig {
+            width: 2,
+            rooms: 1,
+            sequence_length: 2,
+            candidates: 2,
+            ..GssConfig::paper_default(2)
+        };
+        let mut sketch = GssSketch::new(config).unwrap();
+        for (s, d, w) in stream(3, 200) {
+            sketch.insert(s, d, w);
+        }
+        assert!(sketch.buffered_edges() > 0);
+        assert_eq!(sketch.hashed_edges().len(), sketch.stored_edges());
+    }
+
+    #[test]
+    fn sharded_ingestion_merges_to_the_same_answers() {
+        let config = GssConfig::paper_small(64);
+        let items = stream(9, 2000);
+        let mut sharded = ShardedGss::new(config, 4).unwrap();
+        let mut exact = AdjacencyListGraph::new();
+        for &(s, d, w) in &items {
+            sharded.insert(s, d, w);
+            exact.insert(s, d, w);
+        }
+        assert_eq!(sharded.shard_count(), 4);
+        let merged = sharded.merge().unwrap();
+        for (key, weight) in exact.edges() {
+            let estimate = merged.edge_weight(key.source, key.destination).unwrap_or(0);
+            assert!(estimate >= weight, "edge {key:?} under-estimated after merge");
+        }
+        // Every shard received some share of a 2000-item stream (the router is a hash).
+        for index in 0..4 {
+            assert!(sharded.shard(index).items_inserted() > 0);
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        assert!(ShardedGss::new(GssConfig::paper_default(8), 0).is_err());
+    }
+}

@@ -1,0 +1,368 @@
+//! Snapshot persistence for GSS sketches.
+//!
+//! A sketch summarising a long-running stream is valuable state: operators want to
+//! checkpoint it, ship it to an analysis host, or keep one snapshot per time window.  This
+//! module serialises a [`GssSketch`] to a compact, self-describing binary format and
+//! restores it losslessly — configuration, matrix rooms, buffered edges, the `⟨H(v), v⟩`
+//! table and the item counter all round-trip.
+//!
+//! The format is versioned ([`FORMAT_MAGIC`]) and only stores *occupied* rooms, so a
+//! snapshot of a lightly loaded sketch is much smaller than its in-memory matrix.
+
+use crate::config::GssConfig;
+use crate::matrix::Room;
+use crate::sketch::GssSketch;
+use std::fmt;
+
+/// Magic bytes identifying a GSS snapshot (version 1).
+pub const FORMAT_MAGIC: [u8; 4] = *b"GSS\x01";
+
+/// Errors produced while encoding or decoding a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistenceError {
+    /// The input is shorter than the structure it claims to contain.
+    UnexpectedEof,
+    /// The input does not start with [`FORMAT_MAGIC`].
+    BadMagic,
+    /// The embedded configuration failed validation.
+    InvalidConfig(String),
+    /// A structural inconsistency was found (e.g. a room outside the matrix).
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEof => write!(f, "snapshot truncated"),
+            Self::BadMagic => write!(f, "not a GSS snapshot (bad magic)"),
+            Self::InvalidConfig(message) => write!(f, "invalid configuration: {message}"),
+            Self::Corrupt(message) => write!(f, "corrupt snapshot: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistenceError {}
+
+/// A little-endian byte writer.
+#[derive(Debug, Default)]
+struct Writer {
+    bytes: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, value: u8) {
+        self.bytes.push(value);
+    }
+    fn u16(&mut self, value: u16) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+    fn u32(&mut self, value: u32) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+    fn u64(&mut self, value: u64) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+    fn i64(&mut self, value: i64) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+}
+
+/// A little-endian byte reader with bounds checking.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, offset: 0 }
+    }
+
+    fn take(&mut self, count: usize) -> Result<&'a [u8], PersistenceError> {
+        if self.offset + count > self.bytes.len() {
+            return Err(PersistenceError::UnexpectedEof);
+        }
+        let slice = &self.bytes[self.offset..self.offset + count];
+        self.offset += count;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistenceError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, PersistenceError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("length checked")))
+    }
+    fn u32(&mut self) -> Result<u32, PersistenceError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+    fn u64(&mut self) -> Result<u64, PersistenceError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
+    }
+    fn i64(&mut self) -> Result<i64, PersistenceError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
+    }
+
+    fn finished(&self) -> bool {
+        self.offset == self.bytes.len()
+    }
+}
+
+fn encode_config(writer: &mut Writer, config: &GssConfig) {
+    writer.u64(config.width as u64);
+    writer.u32(config.fingerprint_bits);
+    writer.u64(config.rooms as u64);
+    writer.u64(config.sequence_length as u64);
+    writer.u64(config.candidates as u64);
+    let flags = (config.square_hashing as u8)
+        | ((config.sampling as u8) << 1)
+        | ((config.track_node_ids as u8) << 2);
+    writer.u8(flags);
+    writer.u64(config.hash_seed);
+}
+
+fn decode_config(reader: &mut Reader<'_>) -> Result<GssConfig, PersistenceError> {
+    let width = reader.u64()? as usize;
+    let fingerprint_bits = reader.u32()?;
+    let rooms = reader.u64()? as usize;
+    let sequence_length = reader.u64()? as usize;
+    let candidates = reader.u64()? as usize;
+    let flags = reader.u8()?;
+    let hash_seed = reader.u64()?;
+    let config = GssConfig {
+        width,
+        fingerprint_bits,
+        rooms,
+        sequence_length,
+        candidates,
+        square_hashing: flags & 1 != 0,
+        sampling: flags & 2 != 0,
+        track_node_ids: flags & 4 != 0,
+        hash_seed,
+    };
+    config.validate().map_err(|error| PersistenceError::InvalidConfig(error.to_string()))?;
+    Ok(config)
+}
+
+impl GssSketch {
+    /// Serialises the sketch to a self-describing byte snapshot.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut writer = Writer::default();
+        writer.bytes.extend_from_slice(&FORMAT_MAGIC);
+        encode_config(&mut writer, self.config());
+        writer.u64(self.items_inserted());
+
+        let rooms: Vec<(usize, usize, &Room)> = self.matrix_rooms().collect();
+        writer.u64(rooms.len() as u64);
+        for (row, column, room) in rooms {
+            writer.u32(row as u32);
+            writer.u32(column as u32);
+            writer.u16(room.source_fingerprint);
+            writer.u16(room.destination_fingerprint);
+            writer.u8(room.source_index);
+            writer.u8(room.destination_index);
+            writer.i64(room.weight);
+        }
+
+        let mut buffered: Vec<(u64, u64, i64)> = self.buffered_edge_triples().collect();
+        buffered.sort_unstable();
+        writer.u64(buffered.len() as u64);
+        for (source, destination, weight) in buffered {
+            writer.u64(source);
+            writer.u64(destination);
+            writer.i64(weight);
+        }
+
+        // Sort the hash-table sections so snapshots are byte-for-byte deterministic.
+        let mut node_entries: Vec<(u64, &[u64])> = self.node_map().iter().collect();
+        node_entries.sort_unstable_by_key(|(hash, _)| *hash);
+        writer.u64(node_entries.len() as u64);
+        for (hash, vertices) in node_entries {
+            writer.u64(hash);
+            writer.u32(vertices.len() as u32);
+            for &vertex in vertices {
+                writer.u64(vertex);
+            }
+        }
+        writer.bytes
+    }
+
+    /// Restores a sketch from a snapshot produced by [`to_snapshot`](Self::to_snapshot).
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, PersistenceError> {
+        let mut reader = Reader::new(bytes);
+        if reader.take(4)? != FORMAT_MAGIC {
+            return Err(PersistenceError::BadMagic);
+        }
+        let config = decode_config(&mut reader)?;
+        let items_inserted = reader.u64()?;
+        let mut sketch = GssSketch::new(config)
+            .map_err(|error| PersistenceError::InvalidConfig(error.to_string()))?;
+
+        let room_count = reader.u64()? as usize;
+        let mut slots_used: std::collections::HashMap<(u32, u32), usize> =
+            std::collections::HashMap::new();
+        for _ in 0..room_count {
+            let row = reader.u32()?;
+            let column = reader.u32()?;
+            let room = Room {
+                source_fingerprint: reader.u16()?,
+                destination_fingerprint: reader.u16()?,
+                source_index: reader.u8()?,
+                destination_index: reader.u8()?,
+                weight: reader.i64()?,
+                occupied: true,
+            };
+            if row as usize >= config.width || column as usize >= config.width {
+                return Err(PersistenceError::Corrupt(format!(
+                    "room at ({row}, {column}) outside a {} x {} matrix",
+                    config.width, config.width
+                )));
+            }
+            let slot = slots_used.entry((row, column)).or_insert(0);
+            if *slot >= config.rooms {
+                return Err(PersistenceError::Corrupt(format!(
+                    "bucket ({row}, {column}) holds more than {} rooms",
+                    config.rooms
+                )));
+            }
+            sketch.restore_room(row as usize, column as usize, *slot, room);
+            *slot += 1;
+        }
+
+        let buffered_count = reader.u64()? as usize;
+        for _ in 0..buffered_count {
+            let source = reader.u64()?;
+            let destination = reader.u64()?;
+            let weight = reader.i64()?;
+            sketch.restore_buffered(source, destination, weight);
+        }
+
+        let node_count = reader.u64()? as usize;
+        for _ in 0..node_count {
+            let hash = reader.u64()?;
+            let vertex_count = reader.u32()? as usize;
+            for _ in 0..vertex_count {
+                let vertex = reader.u64()?;
+                sketch.restore_node_id(hash, vertex);
+            }
+        }
+        sketch.set_items_inserted(items_inserted);
+        if !reader.finished() {
+            return Err(PersistenceError::Corrupt("trailing bytes after snapshot".to_string()));
+        }
+        Ok(sketch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_graph::GraphSummary;
+
+    fn populated_sketch() -> GssSketch {
+        let mut sketch = GssSketch::new(GssConfig::paper_small(48)).unwrap();
+        let mut state = 77u64;
+        for _ in 0..2500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            sketch.insert((state >> 33) % 500, (state >> 17) % 500, (state % 9) as i64 + 1);
+        }
+        sketch
+    }
+
+    #[test]
+    fn snapshot_round_trips_losslessly() {
+        let original = populated_sketch();
+        let bytes = original.to_snapshot();
+        let restored = GssSketch::from_snapshot(&bytes).unwrap();
+
+        assert_eq!(restored.config(), original.config());
+        assert_eq!(restored.items_inserted(), original.items_inserted());
+        assert_eq!(restored.stored_edges(), original.stored_edges());
+        assert_eq!(restored.buffered_edges(), original.buffered_edges());
+        // Every query answers identically.
+        for vertex in 0..500u64 {
+            assert_eq!(restored.successors(vertex), original.successors(vertex));
+            assert_eq!(restored.precursors(vertex), original.precursors(vertex));
+        }
+        for source in 0..100u64 {
+            for destination in 0..100u64 {
+                assert_eq!(
+                    restored.edge_weight(source, destination),
+                    original.edge_weight(source, destination)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_of_empty_sketch_round_trips() {
+        let empty = GssSketch::new(GssConfig::basic(16)).unwrap();
+        let restored = GssSketch::from_snapshot(&empty.to_snapshot()).unwrap();
+        assert_eq!(restored.stored_edges(), 0);
+        assert_eq!(restored.items_inserted(), 0);
+        assert_eq!(restored.config(), empty.config());
+    }
+
+    #[test]
+    fn snapshot_is_much_smaller_than_the_configured_matrix_for_sparse_sketches() {
+        let mut sketch = GssSketch::new(GssConfig::paper_default(1000)).unwrap();
+        sketch.insert(1, 2, 3);
+        let snapshot = sketch.to_snapshot();
+        assert!(snapshot.len() < 1000, "snapshot is {} bytes", snapshot.len());
+        assert!(sketch.config().matrix_bytes() > 1_000_000);
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_rejected() {
+        let sketch = populated_sketch();
+        let bytes = sketch.to_snapshot();
+        assert_eq!(
+            GssSketch::from_snapshot(&[]).err(),
+            Some(PersistenceError::UnexpectedEof)
+        );
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert_eq!(
+            GssSketch::from_snapshot(&wrong_magic).err(),
+            Some(PersistenceError::BadMagic)
+        );
+        let truncated = &bytes[..bytes.len() / 2];
+        assert_eq!(
+            GssSketch::from_snapshot(truncated).err(),
+            Some(PersistenceError::UnexpectedEof)
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            GssSketch::from_snapshot(&trailing),
+            Err(PersistenceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_room_coordinates_are_rejected() {
+        let mut sketch = GssSketch::new(GssConfig::paper_default(8)).unwrap();
+        sketch.insert(1, 2, 3);
+        let mut bytes = sketch.to_snapshot();
+        // The first room's row field sits right after magic(4) + config(4*8+4+1+8=45) +
+        // items(8) + room count(8) = 65; overwrite it with an out-of-range row.
+        let room_row_offset = 4 + 45 + 8 + 8;
+        bytes[room_row_offset..room_row_offset + 4].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(GssSketch::from_snapshot(&bytes), Err(PersistenceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(PersistenceError::BadMagic.to_string().contains("magic"));
+        assert!(PersistenceError::UnexpectedEof.to_string().contains("truncated"));
+        assert!(PersistenceError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(PersistenceError::Corrupt("y".into()).to_string().contains("y"));
+    }
+
+    #[test]
+    fn equal_snapshots_for_equal_sketches() {
+        let a = populated_sketch();
+        let b = populated_sketch();
+        assert_eq!(a.to_snapshot(), b.to_snapshot());
+    }
+}

@@ -1,0 +1,680 @@
+//! The GSS sketch itself: insertion and the three query primitives.
+//!
+//! This is the full augmented structure of Section V — square hashing, candidate-bucket
+//! sampling and multiple rooms — with the basic version of Section IV available by
+//! constructing it from [`GssConfig::basic`].  The implementation follows the paper's
+//! procedures closely:
+//!
+//! * **Edge updating** — map both endpoints with `H(·)`, derive the candidate buckets from
+//!   the two address sequences, walk them in order, add the weight to a room holding the
+//!   same fingerprint pair *and* index pair, otherwise claim the first free room, otherwise
+//!   spill to the buffer.  Because rooms are never freed, stopping at the first free room
+//!   can never split an edge across two rooms, so Theorem 1 (the storage of `G_h` is exact)
+//!   holds — including under deletions, which set weights to zero but keep the room
+//!   occupied.
+//! * **Edge query** — probe the same candidates, then the buffer.
+//! * **1-hop successor / precursor query** — scan the `r` rows (columns) of the node's
+//!   address sequence, filter rooms by fingerprint and index, reverse the linear-congruential
+//!   mapping to recover the neighbour's hash, then translate hashes back to original vertex
+//!   ids through the `⟨H(v), v⟩` table.
+
+use crate::buffer::LeftoverBuffer;
+use crate::config::GssConfig;
+use crate::error::ConfigError;
+use crate::hashing::{HashedNode, NodeHasher};
+use crate::matrix::BucketMatrix;
+use crate::node_map::NodeIdMap;
+use crate::stats::GssStats;
+use gss_graph::{GraphSummary, SummaryStats, VertexId, Weight};
+
+/// Graph Stream Sketch (GSS), the data structure proposed by the paper.
+#[derive(Debug, Clone)]
+pub struct GssSketch {
+    config: GssConfig,
+    hasher: NodeHasher,
+    matrix: BucketMatrix,
+    buffer: LeftoverBuffer,
+    node_map: NodeIdMap,
+    items_inserted: u64,
+}
+
+/// A candidate bucket for an edge: matrix coordinates plus the sequence indices that
+/// produced them.
+#[derive(Debug, Clone, Copy, Default)]
+struct Candidate {
+    row: usize,
+    column: usize,
+    source_index: u8,
+    destination_index: u8,
+}
+
+/// Upper bound on probed candidates per edge (`r² ≤ 16²`); sized so the probe list lives on
+/// the stack — the insert path performs no heap allocation.
+const MAX_CANDIDATES: usize = crate::config::MAX_SEQUENCE_LENGTH * crate::config::MAX_SEQUENCE_LENGTH;
+
+impl GssSketch {
+    /// Builds a sketch from a validated configuration.
+    pub fn new(config: GssConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self {
+            hasher: NodeHasher::new(&config),
+            matrix: BucketMatrix::new(config.width, config.rooms),
+            buffer: LeftoverBuffer::new(),
+            node_map: NodeIdMap::new(),
+            items_inserted: 0,
+            config,
+        })
+    }
+
+    /// Builds a sketch with the paper's default parameters at the given matrix width.
+    pub fn with_width(width: usize) -> Self {
+        Self::new(GssConfig::paper_default(width)).expect("paper defaults are valid")
+    }
+
+    /// The configuration this sketch was built with.
+    pub fn config(&self) -> &GssConfig {
+        &self.config
+    }
+
+    /// The node hasher (exposed for analysis and white-box tests).
+    pub fn hasher(&self) -> &NodeHasher {
+        &self.hasher
+    }
+
+    /// Number of stream items inserted so far.
+    pub fn items_inserted(&self) -> u64 {
+        self.items_inserted
+    }
+
+    /// Number of distinct sketch edges currently stored (matrix + buffer).
+    pub fn stored_edges(&self) -> usize {
+        self.matrix.occupied_rooms() + self.buffer.len()
+    }
+
+    /// Number of sketch edges that had to be stored in the left-over buffer.
+    pub fn buffered_edges(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Buffer percentage as defined in Section VII-B: buffered edges divided by the total
+    /// number of distinct edges stored.
+    pub fn buffer_percentage(&self) -> f64 {
+        let total = self.stored_edges();
+        if total == 0 {
+            0.0
+        } else {
+            self.buffer.len() as f64 / total as f64
+        }
+    }
+
+    /// Detailed structural statistics.
+    pub fn detailed_stats(&self) -> GssStats {
+        GssStats {
+            width: self.config.width,
+            rooms_per_bucket: self.config.rooms,
+            fingerprint_bits: self.config.fingerprint_bits,
+            items_inserted: self.items_inserted,
+            matrix_edges: self.matrix.occupied_rooms(),
+            buffered_edges: self.buffer.len(),
+            buffer_percentage: self.buffer_percentage(),
+            matrix_load_factor: self.matrix.load_factor(),
+            matrix_bytes: self.config.matrix_bytes(),
+            buffer_bytes: self.buffer.bytes(),
+            node_map_bytes: self.node_map.bytes(),
+            distinct_hashed_nodes: self.node_map.len(),
+            colliding_hashes: self.node_map.colliding_hashes(),
+        }
+    }
+
+    /// Memory footprint in bytes under the paper's storage layout (matrix + buffer,
+    /// excluding the optional node-id table).  This is the quantity the equal-memory
+    /// comparisons of Section VII are based on.
+    pub fn memory_bytes(&self) -> usize {
+        self.config.matrix_bytes() + self.buffer.bytes()
+    }
+
+    /// Fills `out` with the candidate buckets probed for an edge, in probe order, and
+    /// returns how many were produced.  Allocation-free: everything lives on the stack.
+    fn collect_candidates(
+        &self,
+        source: HashedNode,
+        destination: HashedNode,
+        out: &mut [Candidate; MAX_CANDIDATES],
+    ) -> usize {
+        if !self.config.square_hashing {
+            out[0] = Candidate {
+                row: source.address,
+                column: destination.address,
+                source_index: 0,
+                destination_index: 0,
+            };
+            return 1;
+        }
+        let mut source_addresses = [0usize; crate::config::MAX_SEQUENCE_LENGTH];
+        let mut destination_addresses = [0usize; crate::config::MAX_SEQUENCE_LENGTH];
+        self.hasher.address_sequence_into(source, &mut source_addresses);
+        self.hasher.address_sequence_into(destination, &mut destination_addresses);
+        let r = self.config.sequence_length;
+        if self.config.sampling {
+            let mut pairs = [(0usize, 0usize); crate::config::MAX_SEQUENCE_LENGTH];
+            let count = self.hasher.candidate_pairs_into(
+                source.fingerprint,
+                destination.fingerprint,
+                self.config.candidates.min(pairs.len()),
+                &mut pairs,
+            );
+            for (slot, &(i, j)) in out.iter_mut().zip(pairs.iter().take(count)) {
+                *slot = Candidate {
+                    row: source_addresses[i],
+                    column: destination_addresses[j],
+                    source_index: i as u8,
+                    destination_index: j as u8,
+                };
+            }
+            count
+        } else {
+            // Probe the full r × r square in row-major order, as in Section V-A.
+            let mut count = 0;
+            for i in 0..r {
+                for j in 0..r {
+                    out[count] = Candidate {
+                        row: source_addresses[i],
+                        column: destination_addresses[j],
+                        source_index: i as u8,
+                        destination_index: j as u8,
+                    };
+                    count += 1;
+                }
+            }
+            count
+        }
+    }
+
+    /// Recovers a neighbour hash from a room found during a successor scan.
+    fn recover_destination_hash(&self, column: usize, fingerprint: u16, index: u8) -> u64 {
+        if self.config.square_hashing {
+            self.hasher.recover_hash(column, fingerprint, index as usize)
+        } else {
+            self.hasher.compose(column, fingerprint)
+        }
+    }
+
+    /// Recovers a neighbour hash from a room found during a precursor scan.
+    fn recover_source_hash(&self, row: usize, fingerprint: u16, index: u8) -> u64 {
+        if self.config.square_hashing {
+            self.hasher.recover_hash(row, fingerprint, index as usize)
+        } else {
+            self.hasher.compose(row, fingerprint)
+        }
+    }
+
+    /// The rows scanned by a successor query (columns for a precursor query): the node's
+    /// address sequence under square hashing, or its single address in the basic version.
+    fn scan_addresses(&self, node: HashedNode) -> Vec<usize> {
+        if self.config.square_hashing {
+            self.hasher.address_sequence(node)
+        } else {
+            vec![node.address]
+        }
+    }
+
+    /// Translates a set of sketch-node hashes to original vertex ids via the reverse table.
+    /// Without id tracking the raw hashes are returned (documented fallback).
+    fn hashes_to_vertices(&self, hashes: impl IntoIterator<Item = u64>) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = if self.config.track_node_ids {
+            hashes
+                .into_iter()
+                .flat_map(|h| self.node_map.vertices_for(h).iter().copied())
+                .collect()
+        } else {
+            hashes.into_iter().collect()
+        };
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Iterates over the occupied matrix rooms as `(row, column, &Room)` (used by merging
+    /// and persistence).
+    pub(crate) fn matrix_rooms(
+        &self,
+    ) -> impl Iterator<Item = (usize, usize, &crate::matrix::Room)> {
+        self.matrix.occupied()
+    }
+
+    /// Iterates over buffered edges as `(source hash, destination hash, weight)` triples.
+    pub(crate) fn buffered_edge_triples(&self) -> impl Iterator<Item = (u64, u64, Weight)> + '_ {
+        self.buffer.edges()
+    }
+
+    /// Inserts an edge whose endpoints are already in the hashed space (used by merging);
+    /// does not touch the node-id table.
+    pub(crate) fn insert_hashed(&mut self, source_hash: u64, destination_hash: u64, weight: Weight) {
+        let source_node = self.hasher.split(source_hash);
+        let destination_node = self.hasher.split(destination_hash);
+        self.insert_nodes(source_node, destination_node, weight);
+    }
+
+    /// Copies every `⟨H(v), v⟩` registration of `other` into this sketch's id table.
+    pub(crate) fn absorb_node_map(&mut self, other: &GssSketch) {
+        for (hash, vertices) in other.node_map.iter() {
+            for &vertex in vertices {
+                self.node_map.register(hash, vertex);
+            }
+        }
+    }
+
+    /// Read access to the `⟨H(v), v⟩` table (used by persistence).
+    pub(crate) fn node_map(&self) -> &NodeIdMap {
+        &self.node_map
+    }
+
+    /// Restores one matrix room exactly as it was encoded (used by persistence; the target
+    /// room must be empty).
+    pub(crate) fn restore_room(
+        &mut self,
+        row: usize,
+        column: usize,
+        slot: usize,
+        room: crate::matrix::Room,
+    ) {
+        self.matrix.store(
+            row,
+            column,
+            slot,
+            room.source_fingerprint,
+            room.destination_fingerprint,
+            room.source_index,
+            room.destination_index,
+            room.weight,
+        );
+    }
+
+    /// Restores one buffered edge (used by persistence).
+    pub(crate) fn restore_buffered(&mut self, source_hash: u64, destination_hash: u64, weight: Weight) {
+        self.buffer.insert(source_hash, destination_hash, weight);
+    }
+
+    /// Restores one node-id registration (used by persistence).
+    pub(crate) fn restore_node_id(&mut self, hash: u64, vertex: VertexId) {
+        self.node_map.register(hash, vertex);
+    }
+
+    /// Overrides the inserted-items counter (used by persistence).
+    pub(crate) fn set_items_inserted(&mut self, items: u64) {
+        self.items_inserted = items;
+    }
+
+    /// Shared insert path over hashed endpoints: probe the candidate buckets in order and
+    /// stop at the first one that already holds this edge or has a free room; spill to the
+    /// buffer when all candidates are full (Section V, edge updating).  Because rooms are
+    /// never freed, stopping at the first free room can never split an edge across two
+    /// rooms, so Theorem 1 (exact storage of `G_h`) is preserved.
+    fn insert_nodes(&mut self, source_node: HashedNode, destination_node: HashedNode, weight: Weight) {
+        let mut candidates = [Candidate::default(); MAX_CANDIDATES];
+        let count = self.collect_candidates(source_node, destination_node, &mut candidates);
+        for candidate in &candidates[..count] {
+            if let Some(slot) = self.matrix.find_match(
+                candidate.row,
+                candidate.column,
+                source_node.fingerprint,
+                destination_node.fingerprint,
+                candidate.source_index,
+                candidate.destination_index,
+            ) {
+                self.matrix.add_weight(candidate.row, candidate.column, slot, weight);
+                return;
+            }
+            if let Some(slot) = self.matrix.find_empty(candidate.row, candidate.column) {
+                self.matrix.store(
+                    candidate.row,
+                    candidate.column,
+                    slot,
+                    source_node.fingerprint,
+                    destination_node.fingerprint,
+                    candidate.source_index,
+                    candidate.destination_index,
+                    weight,
+                );
+                return;
+            }
+        }
+        self.buffer.insert(source_node.hash, destination_node.hash, weight);
+    }
+
+    /// 1-hop successor query in the *hashed* space: the sketch-node hashes reported as
+    /// out-neighbours of `H(v)`.  Exposed for analysis; most callers want
+    /// [`successors`](GraphSummary::successors).
+    pub fn successor_hashes(&self, vertex: VertexId) -> Vec<u64> {
+        let node = self.hasher.hashed_node(vertex);
+        let mut result: Vec<u64> = Vec::new();
+        for (index, &row) in self.scan_addresses(node).iter().enumerate() {
+            for (column, room) in self.matrix.row_rooms(row) {
+                if room.source_fingerprint == node.fingerprint
+                    && room.source_index as usize == index
+                {
+                    result.push(self.recover_destination_hash(
+                        column,
+                        room.destination_fingerprint,
+                        room.destination_index,
+                    ));
+                }
+            }
+        }
+        result.extend(self.buffer.successors(node.hash));
+        result.sort_unstable();
+        result.dedup();
+        result
+    }
+
+    /// 1-hop precursor query in the hashed space.
+    pub fn precursor_hashes(&self, vertex: VertexId) -> Vec<u64> {
+        let node = self.hasher.hashed_node(vertex);
+        let mut result: Vec<u64> = Vec::new();
+        for (index, &column) in self.scan_addresses(node).iter().enumerate() {
+            for (row, room) in self.matrix.column_rooms(column) {
+                if room.destination_fingerprint == node.fingerprint
+                    && room.destination_index as usize == index
+                {
+                    result.push(self.recover_source_hash(
+                        row,
+                        room.source_fingerprint,
+                        room.source_index,
+                    ));
+                }
+            }
+        }
+        result.extend(self.buffer.precursors(node.hash));
+        result.sort_unstable();
+        result.dedup();
+        result
+    }
+}
+
+impl GraphSummary for GssSketch {
+    fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
+        self.items_inserted += 1;
+        let source_node = self.hasher.hashed_node(source);
+        let destination_node = self.hasher.hashed_node(destination);
+        if self.config.track_node_ids {
+            self.node_map.register(source_node.hash, source);
+            self.node_map.register(destination_node.hash, destination);
+        }
+        self.insert_nodes(source_node, destination_node, weight);
+    }
+
+    fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight> {
+        let source_node = self.hasher.hashed_node(source);
+        let destination_node = self.hasher.hashed_node(destination);
+        let mut candidates = [Candidate::default(); MAX_CANDIDATES];
+        let count = self.collect_candidates(source_node, destination_node, &mut candidates);
+        for candidate in candidates.iter().copied().take(count) {
+            if let Some(slot) = self.matrix.find_match(
+                candidate.row,
+                candidate.column,
+                source_node.fingerprint,
+                destination_node.fingerprint,
+                candidate.source_index,
+                candidate.destination_index,
+            ) {
+                return Some(self.matrix.bucket(candidate.row, candidate.column)[slot].weight);
+            }
+        }
+        self.buffer.edge_weight(source_node.hash, destination_node.hash)
+    }
+
+    fn successors(&self, vertex: VertexId) -> Vec<VertexId> {
+        self.hashes_to_vertices(self.successor_hashes(vertex))
+    }
+
+    fn precursors(&self, vertex: VertexId) -> Vec<VertexId> {
+        self.hashes_to_vertices(self.precursor_hashes(vertex))
+    }
+
+    fn stats(&self) -> SummaryStats {
+        SummaryStats {
+            bytes: self.memory_bytes(),
+            items_inserted: self.items_inserted,
+            slots: self.matrix.room_count(),
+            occupied_slots: self.matrix.occupied_rooms(),
+            buffered_edges: self.buffer.len(),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "GSS(fsize={},w={},l={},r={},k={}{}{})",
+            self.config.fingerprint_bits,
+            self.config.width,
+            self.config.rooms,
+            self.config.sequence_length,
+            self.config.candidates,
+            if self.config.square_hashing { "" } else { ",basic" },
+            if self.config.sampling { "" } else { ",no-sampling" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_graph::AdjacencyListGraph;
+
+    fn paper_figure_one_items() -> Vec<(u64, u64, i64)> {
+        vec![
+            (1, 2, 1),
+            (1, 3, 1),
+            (2, 4, 1),
+            (1, 3, 1),
+            (1, 6, 1),
+            (3, 6, 1),
+            (1, 5, 1),
+            (1, 3, 3),
+            (3, 6, 1),
+            (4, 1, 1),
+            (4, 6, 1),
+            (6, 5, 3),
+            (1, 7, 1),
+            (5, 2, 2),
+            (4, 1, 1),
+        ]
+    }
+
+    fn build_pair(config: GssConfig) -> (GssSketch, AdjacencyListGraph) {
+        let mut sketch = GssSketch::new(config).unwrap();
+        let mut exact = AdjacencyListGraph::new();
+        for (s, d, w) in paper_figure_one_items() {
+            sketch.insert(s, d, w);
+            exact.insert(s, d, w);
+        }
+        (sketch, exact)
+    }
+
+    #[test]
+    fn edge_queries_match_exact_graph_when_width_is_ample() {
+        let (sketch, exact) = build_pair(GssConfig::paper_default(64));
+        for (key, weight) in exact.edges() {
+            assert_eq!(
+                sketch.edge_weight(key.source, key.destination),
+                Some(weight),
+                "edge {key:?}"
+            );
+        }
+        // Absent edges are reported absent (no collisions at this tiny scale).
+        assert_eq!(sketch.edge_weight(2, 1), None);
+        assert_eq!(sketch.edge_weight(7, 4), None);
+    }
+
+    #[test]
+    fn successor_and_precursor_queries_match_exact_graph() {
+        let (sketch, exact) = build_pair(GssConfig::paper_default(64));
+        for v in exact.vertices() {
+            assert_eq!(sketch.successors(v), exact.successors(v), "successors of {v}");
+            assert_eq!(sketch.precursors(v), exact.precursors(v), "precursors of {v}");
+        }
+    }
+
+    #[test]
+    fn basic_version_answers_the_same_queries() {
+        let (sketch, exact) = build_pair(GssConfig::basic(64));
+        for (key, weight) in exact.edges() {
+            assert_eq!(sketch.edge_weight(key.source, key.destination), Some(weight));
+        }
+        for v in exact.vertices() {
+            assert_eq!(sketch.successors(v), exact.successors(v));
+            assert_eq!(sketch.precursors(v), exact.precursors(v));
+        }
+    }
+
+    #[test]
+    fn no_sampling_configuration_works() {
+        let config = GssConfig::paper_small(64).with_sampling(false);
+        let (sketch, exact) = build_pair(config);
+        for (key, weight) in exact.edges() {
+            assert_eq!(sketch.edge_weight(key.source, key.destination), Some(weight));
+        }
+    }
+
+    #[test]
+    fn duplicate_items_accumulate_instead_of_duplicating() {
+        let mut sketch = GssSketch::with_width(32);
+        for _ in 0..10 {
+            sketch.insert(5, 9, 2);
+        }
+        assert_eq!(sketch.edge_weight(5, 9), Some(20));
+        assert_eq!(sketch.stored_edges(), 1);
+    }
+
+    #[test]
+    fn deletions_subtract_weight() {
+        let mut sketch = GssSketch::with_width(32);
+        sketch.insert(1, 2, 10);
+        sketch.insert(1, 2, -4);
+        assert_eq!(sketch.edge_weight(1, 2), Some(6));
+    }
+
+    #[test]
+    fn tiny_matrix_overflows_into_buffer_but_stays_accurate() {
+        // A 2x2 matrix with 1 room cannot hold the 11 distinct edges: most must be buffered,
+        // yet every query stays exact because the buffer is exact and fingerprints
+        // disambiguate the matrix rooms.
+        let config = GssConfig {
+            width: 2,
+            rooms: 1,
+            sequence_length: 2,
+            candidates: 2,
+            ..GssConfig::paper_default(2)
+        };
+        let (sketch, exact) = build_pair(config);
+        assert!(sketch.buffered_edges() > 0);
+        assert!(sketch.buffer_percentage() > 0.0);
+        for (key, weight) in exact.edges() {
+            assert_eq!(sketch.edge_weight(key.source, key.destination), Some(weight));
+        }
+        for v in exact.vertices() {
+            let reported = sketch.successors(v);
+            for truth in exact.successors(v) {
+                assert!(reported.contains(&truth), "successor {truth} of {v} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn square_hashing_reduces_buffered_edges_under_pressure() {
+        // Insert many edges sharing one source (a high-degree hub) into a small matrix:
+        // without square hashing they all compete for one row and overflow; with square
+        // hashing they spread over r rows.
+        let hub_edges: Vec<(u64, u64, i64)> = (0..200u64).map(|d| (9999, d, 1)).collect();
+        let mut basic = GssSketch::new(GssConfig::basic(32)).unwrap();
+        let mut square =
+            GssSketch::new(GssConfig { rooms: 1, ..GssConfig::paper_default(32) }).unwrap();
+        for &(s, d, w) in &hub_edges {
+            basic.insert(s, d, w);
+            square.insert(s, d, w);
+        }
+        assert!(
+            square.buffered_edges() < basic.buffered_edges(),
+            "square hashing should buffer fewer edges ({} vs {})",
+            square.buffered_edges(),
+            basic.buffered_edges()
+        );
+    }
+
+    #[test]
+    fn stats_track_structure_sizes() {
+        let (sketch, _) = build_pair(GssConfig::paper_default(64));
+        let stats = sketch.stats();
+        assert_eq!(stats.items_inserted, 15);
+        assert_eq!(stats.occupied_slots, 11);
+        assert_eq!(stats.slots, 64 * 64 * 2);
+        let detailed = sketch.detailed_stats();
+        assert_eq!(detailed.matrix_edges, 11);
+        assert_eq!(detailed.buffered_edges, 0);
+        assert_eq!(detailed.buffer_percentage, 0.0);
+        assert_eq!(detailed.distinct_hashed_nodes, 7);
+        assert!(detailed.matrix_bytes > 0);
+        assert!(sketch.memory_bytes() >= detailed.matrix_bytes);
+    }
+
+    #[test]
+    fn name_reflects_configuration() {
+        let sketch = GssSketch::with_width(100);
+        assert!(sketch.name().contains("fsize=16"));
+        assert!(sketch.name().contains("w=100"));
+        let basic = GssSketch::new(GssConfig::basic(10)).unwrap();
+        assert!(basic.name().contains("basic"));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        assert!(GssSketch::new(GssConfig { width: 0, ..GssConfig::paper_default(1) }).is_err());
+    }
+
+    #[test]
+    fn weights_never_underestimate_on_random_streams() {
+        // Over-estimation is allowed (collisions add weight), under-estimation is not.
+        let mut sketch = GssSketch::new(GssConfig::paper_small(48).with_fingerprint_bits(8))
+            .unwrap();
+        let mut exact = AdjacencyListGraph::new();
+        let mut state = 12345u64;
+        for _ in 0..3000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let s = (state >> 33) % 400;
+            let d = (state >> 17) % 400;
+            let w = (state % 5) as i64 + 1;
+            sketch.insert(s, d, w);
+            exact.insert(s, d, w);
+        }
+        for (key, weight) in exact.edges() {
+            let reported = sketch
+                .edge_weight(key.source, key.destination)
+                .expect("true edges are never reported absent");
+            assert!(reported >= weight, "edge {key:?}: reported {reported} < true {weight}");
+        }
+    }
+
+    #[test]
+    fn successor_sets_never_miss_true_successors_on_random_streams() {
+        let mut sketch =
+            GssSketch::new(GssConfig::paper_small(48).with_fingerprint_bits(8)).unwrap();
+        let mut exact = AdjacencyListGraph::new();
+        let mut state = 98765u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let s = (state >> 33) % 300;
+            let d = (state >> 17) % 300;
+            sketch.insert(s, d, 1);
+            exact.insert(s, d, 1);
+        }
+        for v in exact.vertices() {
+            let reported = sketch.successors(v);
+            for truth in exact.successors(v) {
+                assert!(reported.contains(&truth), "missing successor {truth} of {v}");
+            }
+            let reported_pre = sketch.precursors(v);
+            for truth in exact.precursors(v) {
+                assert!(reported_pre.contains(&truth), "missing precursor {truth} of {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Detailed structural statistics of a GSS sketch.
+//!
+//! The buffer-percentage experiment (Fig. 13) and the memory accounting of the equal-memory
+//! comparisons both read these numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of a sketch's internal occupancy and memory usage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GssStats {
+    /// Matrix side length `m`.
+    pub width: usize,
+    /// Rooms per bucket `l`.
+    pub rooms_per_bucket: usize,
+    /// Fingerprint length in bits.
+    pub fingerprint_bits: u32,
+    /// Stream items inserted so far.
+    pub items_inserted: u64,
+    /// Distinct sketch edges stored in the matrix.
+    pub matrix_edges: usize,
+    /// Distinct sketch edges stored in the left-over buffer.
+    pub buffered_edges: usize,
+    /// `buffered_edges / (matrix_edges + buffered_edges)`, the metric plotted in Fig. 13.
+    pub buffer_percentage: f64,
+    /// Fraction of matrix rooms occupied.
+    pub matrix_load_factor: f64,
+    /// Matrix bytes under the paper's storage layout.
+    pub matrix_bytes: usize,
+    /// Buffer bytes (adjacency lists + indices).
+    pub buffer_bytes: usize,
+    /// Bytes of the `⟨H(v), v⟩` reverse table.
+    pub node_map_bytes: usize,
+    /// Number of distinct original vertices registered in the reverse table.
+    pub distinct_hashed_nodes: usize,
+    /// Number of hash values shared by two or more original vertices (node collisions).
+    pub colliding_hashes: usize,
+}
+
+impl GssStats {
+    /// Total bytes across matrix, buffer and reverse table.
+    pub fn total_bytes(&self) -> usize {
+        self.matrix_bytes + self.buffer_bytes + self.node_map_bytes
+    }
+
+    /// Fraction of original vertices involved in at least one hash collision, a cheap proxy
+    /// for the `M ≫ |V|` requirement discussed in Section IV.
+    pub fn node_collision_rate(&self) -> f64 {
+        if self.distinct_hashed_nodes == 0 {
+            0.0
+        } else {
+            self.colliding_hashes as f64 / self.distinct_hashed_nodes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GssStats {
+        GssStats {
+            width: 100,
+            rooms_per_bucket: 2,
+            fingerprint_bits: 16,
+            items_inserted: 1000,
+            matrix_edges: 900,
+            buffered_edges: 100,
+            buffer_percentage: 0.1,
+            matrix_load_factor: 0.045,
+            matrix_bytes: 260_000,
+            buffer_bytes: 2_400,
+            node_map_bytes: 16_000,
+            distinct_hashed_nodes: 500,
+            colliding_hashes: 5,
+        }
+    }
+
+    #[test]
+    fn total_bytes_sums_components() {
+        assert_eq!(sample().total_bytes(), 260_000 + 2_400 + 16_000);
+    }
+
+    #[test]
+    fn node_collision_rate_is_fraction_of_nodes() {
+        assert!((sample().node_collision_rate() - 0.01).abs() < 1e-12);
+        let empty = GssStats { distinct_hashed_nodes: 0, colliding_hashes: 0, ..sample() };
+        assert_eq!(empty.node_collision_rate(), 0.0);
+    }
+}

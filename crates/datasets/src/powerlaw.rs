@@ -1,0 +1,228 @@
+//! Power-law graph stream generators.
+//!
+//! Real-world streaming graphs — the network, citation, web and e-mail graphs the paper
+//! evaluates on — have heavy-tailed degree distributions ("In the real-world graphs, node
+//! degrees usually follow the power law distribution"), and the skew is precisely what
+//! motivates square hashing.  Two generators are provided:
+//!
+//! * [`PreferentialAttachmentGenerator`] — a directed Barabási–Albert-style process: each
+//!   new edge chooses endpoints preferentially by current degree, producing a power-law
+//!   degree distribution and a natural arrival order (timestamps increase as the graph
+//!   grows), which is how the paper replays its datasets.
+//! * [`ConfigurationModelGenerator`] — samples both endpoints of every edge independently
+//!   from Zipfian node popularity, giving direct control over the skew exponent; useful for
+//!   the parameter-ablation experiments.
+
+use crate::rng::Xoshiro256;
+use crate::zipf::ZipfSampler;
+use gss_graph::{StreamEdge, VertexId, Weight};
+
+/// Directed preferential-attachment stream generator.
+#[derive(Debug, Clone)]
+pub struct PreferentialAttachmentGenerator {
+    /// Number of distinct vertices in the generated graph.
+    pub vertices: usize,
+    /// Number of stream items (edges, possibly repeating) to generate.
+    pub edges: usize,
+    /// Zipf exponent for the edge-weight distribution (the paper uses Zipfian weights).
+    pub weight_exponent: f64,
+    /// Maximum edge weight rank (weights are drawn from `1..=max_weight`).
+    pub max_weight: usize,
+    /// Probability that a new item repeats an existing edge instead of creating a new one,
+    /// emulating the multi-occurrence items of communication streams (lkml, CAIDA).
+    pub repeat_probability: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl PreferentialAttachmentGenerator {
+    /// Creates a generator with the paper's default weighting (Zipf s = 1.2, weights ≤ 1000)
+    /// and a mild repeat probability.
+    pub fn new(vertices: usize, edges: usize, seed: u64) -> Self {
+        Self {
+            vertices,
+            edges,
+            weight_exponent: 1.2,
+            max_weight: 1000,
+            repeat_probability: 0.2,
+            seed,
+        }
+    }
+
+    /// Generates the full stream.
+    ///
+    /// The process keeps a multiset of endpoint "stubs"; each new edge picks its source and
+    /// destination from the stubs with probability proportional to current degree (plus one
+    /// smoothing stub per vertex), which yields a power-law degree distribution.
+    pub fn generate(&self) -> Vec<StreamEdge> {
+        assert!(self.vertices >= 2, "need at least two vertices");
+        let mut rng = Xoshiro256::seed_from_u64(self.seed);
+        let weight_sampler = ZipfSampler::new(self.max_weight.max(1), self.weight_exponent);
+        let mut items: Vec<StreamEdge> = Vec::with_capacity(self.edges);
+        // Degree-proportional sampling pool: starts with one stub per vertex so isolated
+        // vertices can still be chosen.
+        let mut stubs: Vec<VertexId> = (0..self.vertices as VertexId).collect();
+        for timestamp in 0..self.edges as u64 {
+            let repeat = !items.is_empty() && rng.next_bool(self.repeat_probability);
+            let (source, destination) = if repeat {
+                let existing = items[rng.next_index(items.len())];
+                (existing.source, existing.destination)
+            } else {
+                let source = stubs[rng.next_index(stubs.len())];
+                // Rejection loop keeps self-loops rare but permitted after a few attempts
+                // (real traces contain occasional self-communication).
+                let mut destination = stubs[rng.next_index(stubs.len())];
+                let mut attempts = 0;
+                while destination == source && attempts < 4 {
+                    destination = stubs[rng.next_index(stubs.len())];
+                    attempts += 1;
+                }
+                (source, destination)
+            };
+            let weight = weight_sampler.sample(&mut rng) as Weight;
+            items.push(StreamEdge::new(source, destination, timestamp, weight));
+            // Preferential attachment: both endpoints gain a stub.
+            stubs.push(source);
+            stubs.push(destination);
+        }
+        items
+    }
+}
+
+/// Configuration-model style generator with independent Zipfian endpoint popularity.
+#[derive(Debug, Clone)]
+pub struct ConfigurationModelGenerator {
+    /// Number of distinct vertices.
+    pub vertices: usize,
+    /// Number of stream items to generate.
+    pub edges: usize,
+    /// Zipf exponent of the out-degree (source popularity) distribution.
+    pub source_exponent: f64,
+    /// Zipf exponent of the in-degree (destination popularity) distribution.
+    pub destination_exponent: f64,
+    /// Zipf exponent of the weight distribution.
+    pub weight_exponent: f64,
+    /// Maximum weight rank.
+    pub max_weight: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl ConfigurationModelGenerator {
+    /// Creates a generator with symmetric endpoint skew.
+    pub fn new(vertices: usize, edges: usize, skew: f64, seed: u64) -> Self {
+        Self {
+            vertices,
+            edges,
+            source_exponent: skew,
+            destination_exponent: skew,
+            weight_exponent: 1.2,
+            max_weight: 1000,
+            seed,
+        }
+    }
+
+    /// Generates the full stream.  Vertex popularity ranks are shuffled so that vertex id 0
+    /// is not always the hub (hash-based sketches would otherwise see artificially regular
+    /// input).
+    pub fn generate(&self) -> Vec<StreamEdge> {
+        assert!(self.vertices >= 2, "need at least two vertices");
+        let mut rng = Xoshiro256::seed_from_u64(self.seed);
+        let source_sampler = ZipfSampler::new(self.vertices, self.source_exponent);
+        let destination_sampler = ZipfSampler::new(self.vertices, self.destination_exponent);
+        let weight_sampler = ZipfSampler::new(self.max_weight.max(1), self.weight_exponent);
+        // rank -> vertex id permutations (independent for sources and destinations).
+        let mut source_perm: Vec<VertexId> = (0..self.vertices as VertexId).collect();
+        let mut destination_perm: Vec<VertexId> = (0..self.vertices as VertexId).collect();
+        rng.shuffle(&mut source_perm);
+        rng.shuffle(&mut destination_perm);
+
+        let mut items = Vec::with_capacity(self.edges);
+        for timestamp in 0..self.edges as u64 {
+            let source = source_perm[source_sampler.sample(&mut rng) - 1];
+            let destination = destination_perm[destination_sampler.sample(&mut rng) - 1];
+            let weight = weight_sampler.sample(&mut rng) as Weight;
+            items.push(StreamEdge::new(source, destination, timestamp, weight));
+        }
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_graph::{AdjacencyListGraph, GraphSummary};
+
+    #[test]
+    fn preferential_attachment_produces_requested_item_count() {
+        let generator = PreferentialAttachmentGenerator::new(1000, 5000, 42);
+        let items = generator.generate();
+        assert_eq!(items.len(), 5000);
+        assert!(items.iter().all(|e| (e.source as usize) < 1000));
+        assert!(items.iter().all(|e| (e.destination as usize) < 1000));
+        assert!(items.iter().all(|e| e.weight >= 1));
+    }
+
+    #[test]
+    fn preferential_attachment_is_deterministic_per_seed() {
+        let a = PreferentialAttachmentGenerator::new(500, 2000, 7).generate();
+        let b = PreferentialAttachmentGenerator::new(500, 2000, 7).generate();
+        let c = PreferentialAttachmentGenerator::new(500, 2000, 8).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn preferential_attachment_has_skewed_degrees() {
+        let items = PreferentialAttachmentGenerator::new(2000, 20_000, 3).generate();
+        let mut graph = AdjacencyListGraph::new();
+        graph.insert_stream(items);
+        let mut degrees: Vec<usize> =
+            graph.vertices().iter().map(|&v| graph.out_degree(v)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top_share: usize = degrees.iter().take(degrees.len() / 100 + 1).sum();
+        let total: usize = degrees.iter().sum();
+        // The top 1% of vertices should own a disproportionate share of edges (heavy tail).
+        assert!(
+            top_share as f64 > total as f64 * 0.05,
+            "top 1% owns {top_share}/{total}, not heavy-tailed"
+        );
+    }
+
+    #[test]
+    fn timestamps_are_strictly_increasing() {
+        let items = PreferentialAttachmentGenerator::new(100, 1000, 5).generate();
+        for window in items.windows(2) {
+            assert!(window[0].timestamp < window[1].timestamp);
+        }
+    }
+
+    #[test]
+    fn configuration_model_respects_bounds_and_determinism() {
+        let generator = ConfigurationModelGenerator::new(300, 3000, 1.1, 99);
+        let a = generator.generate();
+        let b = generator.generate();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3000);
+        assert!(a.iter().all(|e| (e.source as usize) < 300 && (e.destination as usize) < 300));
+    }
+
+    #[test]
+    fn configuration_model_skew_concentrates_sources() {
+        let items = ConfigurationModelGenerator::new(1000, 30_000, 1.5, 17).generate();
+        let mut counts = std::collections::HashMap::new();
+        for item in &items {
+            *counts.entry(item.source).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        // With a strong Zipf skew the most popular source should emit far more than average.
+        let average = items.len() / counts.len().max(1);
+        assert!(max > average * 5, "max {max} vs average {average}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two vertices")]
+    fn tiny_vertex_count_panics() {
+        let _ = PreferentialAttachmentGenerator::new(1, 10, 0).generate();
+    }
+}

@@ -1,0 +1,209 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Experiments must be reproducible from a single seed, and the core crates must not pull in
+//! heavyweight dependencies, so this module implements two small, well-known generators:
+//!
+//! * [`SplitMix64`] — used to expand a single `u64` seed into the state of other generators
+//!   (the standard seeding procedure recommended by the xoshiro authors).
+//! * [`Xoshiro256`] — xoshiro256**, a fast, high-quality non-cryptographic generator used
+//!   for all workload generation.
+
+/// SplitMix64: a tiny generator primarily used for seeding [`Xoshiro256`].
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next pseudo-random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the workhorse generator for workload synthesis.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    state: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator whose 256-bit state is expanded from `seed` with SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self { state: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// Returns the next pseudo-random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality bits → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Returns a uniformly distributed integer in `[0, bound)` using Lemire's method.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-and-shift with rejection of the biased region.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniformly distributed `usize` in `[0, bound)`.
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Draws `count` distinct indices from `[0, bound)` (requires `count <= bound`).
+    ///
+    /// Uses Floyd's algorithm, so it is efficient even when `bound` is large.
+    pub fn sample_distinct(&mut self, bound: usize, count: usize) -> Vec<usize> {
+        assert!(count <= bound, "cannot sample {count} distinct values from {bound}");
+        let mut chosen = std::collections::HashSet::with_capacity(count);
+        let mut out = Vec::with_capacity(count);
+        for j in (bound - count)..bound {
+            let t = self.next_index(j + 1);
+            let value = if chosen.contains(&t) { j } else { t };
+            chosen.insert(value);
+            out.push(value);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_differs_across_seeds() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_for_a_seed() {
+        let mut a = Xoshiro256::seed_from_u64(7);
+        let mut b = Xoshiro256::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound_and_covers_range() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let x = rng.next_below(10);
+            assert!(x < 10);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should be hit in 10k draws");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        Xoshiro256::seed_from_u64(0).next_below(0);
+    }
+
+    #[test]
+    fn next_bool_probability_is_roughly_respected() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.next_bool(0.25)).count();
+        let frequency = hits as f64 / 100_000.0;
+        assert!((frequency - 0.25).abs() < 0.02, "frequency {frequency} too far from 0.25");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut data: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut data);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(data, (0..100).collect::<Vec<u32>>(), "shuffle should change order");
+    }
+
+    #[test]
+    fn sample_distinct_returns_unique_values_in_range() {
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let sample = rng.sample_distinct(1000, 50);
+        assert_eq!(sample.len(), 50);
+        let distinct: std::collections::HashSet<_> = sample.iter().collect();
+        assert_eq!(distinct.len(), 50);
+        assert!(sample.iter().all(|&x| x < 1000));
+    }
+
+    #[test]
+    fn uniformity_of_mean_is_reasonable() {
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+}

@@ -1,0 +1,300 @@
+//! Synthetic stand-ins for the paper's five evaluation datasets.
+//!
+//! The originals are not redistributable, so each [`SyntheticDataset`] profile records the
+//! published node/edge counts (Section VII-A) and generates a power-law stream at the same
+//! scale with Zipfian weights.  CAIDA (445M items over 2.6M IPs) is scaled down by default
+//! so that the full figure sweep remains laptop-sized; the scale factor is explicit so the
+//! harness reports it, and the matrix-width sweep is scaled by the same factor to preserve
+//! the `m²·l / |E|` ratios the figures are really about.
+//!
+//! Every profile can also be loaded from a real SNAP file if one is provided
+//! (see [`crate::snap`]), making the harness directly comparable with the paper when the
+//! data is available.
+
+use crate::powerlaw::PreferentialAttachmentGenerator;
+use crate::rng::Xoshiro256;
+use gss_graph::{StreamEdge, VecStream};
+use serde::{Deserialize, Serialize};
+
+/// The five datasets of Section VII-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyntheticDataset {
+    /// email-EuAll: 265,214 nodes, 420,045 edges (e-mail communication graph).
+    EmailEuAll,
+    /// cit-HepPh: 34,546 nodes, 421,578 edges (citation graph).
+    CitHepPh,
+    /// web-NotreDame: 325,729 nodes, 1,497,134 edges (web hyperlink graph).
+    WebNotreDame,
+    /// lkml-reply: 63,399 nodes, 1,096,440 items (mailing-list communication records).
+    LkmlReply,
+    /// CAIDA trace: 2,601,005 nodes, 445,440,480 items in the paper; scaled down here.
+    CaidaNetworkFlow,
+}
+
+impl SyntheticDataset {
+    /// All five datasets, in the order the paper presents them.
+    pub const ALL: [SyntheticDataset; 5] = [
+        SyntheticDataset::EmailEuAll,
+        SyntheticDataset::CitHepPh,
+        SyntheticDataset::WebNotreDame,
+        SyntheticDataset::LkmlReply,
+        SyntheticDataset::CaidaNetworkFlow,
+    ];
+
+    /// The dataset's display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyntheticDataset::EmailEuAll => "email-EuAll",
+            SyntheticDataset::CitHepPh => "cit-HepPh",
+            SyntheticDataset::WebNotreDame => "web-NotreDame",
+            SyntheticDataset::LkmlReply => "lkml-reply",
+            SyntheticDataset::CaidaNetworkFlow => "Caida-networkflow",
+        }
+    }
+
+    /// Full-scale profile with the paper's published sizes.
+    pub fn paper_profile(self) -> DatasetProfile {
+        match self {
+            SyntheticDataset::EmailEuAll => DatasetProfile {
+                dataset: self,
+                vertices: 265_214,
+                stream_items: 420_045,
+                scale: 1.0,
+                repeat_probability: 0.10,
+                seed: 0xE44A_11,
+            },
+            SyntheticDataset::CitHepPh => DatasetProfile {
+                dataset: self,
+                vertices: 34_546,
+                stream_items: 421_578,
+                scale: 1.0,
+                repeat_probability: 0.05,
+                seed: 0xC17_4E9,
+            },
+            SyntheticDataset::WebNotreDame => DatasetProfile {
+                dataset: self,
+                vertices: 325_729,
+                stream_items: 1_497_134,
+                scale: 1.0,
+                repeat_probability: 0.05,
+                seed: 0x40D8_EDA,
+            },
+            SyntheticDataset::LkmlReply => DatasetProfile {
+                dataset: self,
+                vertices: 63_399,
+                stream_items: 1_096_440,
+                scale: 1.0,
+                repeat_probability: 0.45,
+                seed: 0x1C71_0BE,
+            },
+            SyntheticDataset::CaidaNetworkFlow => DatasetProfile {
+                dataset: self,
+                vertices: 2_601_005,
+                stream_items: 445_440_480,
+                scale: 1.0,
+                repeat_probability: 0.80,
+                seed: 0xCA1D_A0,
+            },
+        }
+    }
+
+    /// Profile scaled so the whole figure sweep is feasible on a laptop: the three SNAP
+    /// graphs are kept at full size, lkml is kept at full size, CAIDA is reduced to ~1/64 of
+    /// the original item count.
+    pub fn laptop_profile(self) -> DatasetProfile {
+        match self {
+            SyntheticDataset::CaidaNetworkFlow => self.paper_profile().scaled(1.0 / 64.0),
+            _ => self.paper_profile(),
+        }
+    }
+
+    /// A heavily reduced profile (~1/32 of the laptop scale, floor of 2k vertices / 10k
+    /// items) used by smoke tests and quick benchmark runs.
+    pub fn smoke_profile(self) -> DatasetProfile {
+        let laptop = self.laptop_profile();
+        let scale = 1.0 / 32.0;
+        let mut profile = laptop.scaled(scale);
+        profile.vertices = profile.vertices.max(2_000);
+        profile.stream_items = profile.stream_items.max(10_000);
+        profile
+    }
+
+    /// The matrix widths swept in the paper's figures for this dataset (Figs. 8–12).
+    pub fn paper_widths(self) -> Vec<usize> {
+        match self {
+            SyntheticDataset::EmailEuAll => vec![600, 650, 700, 750, 800, 850, 900, 950, 1000],
+            SyntheticDataset::CitHepPh => vec![400, 500, 600, 700, 800, 900, 1000],
+            SyntheticDataset::WebNotreDame => {
+                vec![800, 850, 900, 950, 1000, 1050, 1100, 1150, 1200]
+            }
+            SyntheticDataset::LkmlReply => vec![300, 400, 500, 600, 700, 800, 900, 1000],
+            SyntheticDataset::CaidaNetworkFlow => {
+                vec![5000, 6000, 7000, 8000, 9000, 10000]
+            }
+        }
+    }
+}
+
+/// A concrete, generatable workload description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Which paper dataset this profile imitates.
+    pub dataset: SyntheticDataset,
+    /// Number of distinct vertices to generate.
+    pub vertices: usize,
+    /// Number of stream items to generate.
+    pub stream_items: usize,
+    /// Scale factor relative to the paper's dataset (1.0 = full size).
+    pub scale: f64,
+    /// Probability that an item repeats an already-emitted edge.
+    pub repeat_probability: f64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl DatasetProfile {
+    /// Returns a copy scaled by `factor` (both vertices and items), keeping at least 100
+    /// vertices and 100 items.
+    pub fn scaled(&self, factor: f64) -> DatasetProfile {
+        DatasetProfile {
+            dataset: self.dataset,
+            vertices: ((self.vertices as f64 * factor) as usize).max(100),
+            stream_items: ((self.stream_items as f64 * factor) as usize).max(100),
+            scale: self.scale * factor,
+            repeat_probability: self.repeat_probability,
+            seed: self.seed,
+        }
+    }
+
+    /// Matrix widths to sweep for this profile: the paper's widths, scaled by `sqrt(scale)`
+    /// so that `width² / |E|` matches the paper's memory ratios.
+    pub fn widths(&self) -> Vec<usize> {
+        self.dataset
+            .paper_widths()
+            .into_iter()
+            .map(|w| ((w as f64) * self.scale.sqrt()).round().max(16.0) as usize)
+            .collect()
+    }
+
+    /// Generates the stream for this profile.
+    pub fn generate(&self) -> Vec<StreamEdge> {
+        let mut generator =
+            PreferentialAttachmentGenerator::new(self.vertices, self.stream_items, self.seed);
+        generator.repeat_probability = self.repeat_probability;
+        let mut items = generator.generate();
+        // Communication-style datasets arrive in timestamp order already; shuffling the
+        // arrival order of the web/citation graphs avoids generation artifacts while keeping
+        // timestamps consistent with position.
+        if matches!(
+            self.dataset,
+            SyntheticDataset::EmailEuAll
+                | SyntheticDataset::CitHepPh
+                | SyntheticDataset::WebNotreDame
+        ) {
+            let mut rng = Xoshiro256::seed_from_u64(self.seed ^ 0x5F5F_5F5F);
+            rng.shuffle(&mut items);
+            for (position, item) in items.iter_mut().enumerate() {
+                item.timestamp = position as u64;
+            }
+        }
+        items
+    }
+
+    /// Generates the stream and wraps it in a replayable [`VecStream`].
+    pub fn generate_stream(&self) -> VecStream {
+        VecStream::new(self.generate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_graph::{AdjacencyListGraph, GraphSummary};
+
+    #[test]
+    fn all_profiles_have_positive_sizes() {
+        for dataset in SyntheticDataset::ALL {
+            let paper = dataset.paper_profile();
+            assert!(paper.vertices > 0);
+            assert!(paper.stream_items > 0);
+            assert_eq!(paper.scale, 1.0);
+            assert!(!dataset.name().is_empty());
+            assert!(!dataset.paper_widths().is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_profiles_match_published_counts() {
+        let email = SyntheticDataset::EmailEuAll.paper_profile();
+        assert_eq!(email.vertices, 265_214);
+        assert_eq!(email.stream_items, 420_045);
+        let cit = SyntheticDataset::CitHepPh.paper_profile();
+        assert_eq!(cit.vertices, 34_546);
+        assert_eq!(cit.stream_items, 421_578);
+        let caida = SyntheticDataset::CaidaNetworkFlow.paper_profile();
+        assert_eq!(caida.vertices, 2_601_005);
+        assert_eq!(caida.stream_items, 445_440_480);
+    }
+
+    #[test]
+    fn laptop_profile_scales_down_caida_only() {
+        for dataset in SyntheticDataset::ALL {
+            let laptop = dataset.laptop_profile();
+            let paper = dataset.paper_profile();
+            if dataset == SyntheticDataset::CaidaNetworkFlow {
+                assert!(laptop.stream_items < paper.stream_items);
+                assert!(laptop.scale < 1.0);
+            } else {
+                assert_eq!(laptop.stream_items, paper.stream_items);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_profile_keeps_minimums() {
+        let tiny = SyntheticDataset::CitHepPh.paper_profile().scaled(1e-9);
+        assert!(tiny.vertices >= 100);
+        assert!(tiny.stream_items >= 100);
+    }
+
+    #[test]
+    fn widths_scale_with_sqrt_of_scale() {
+        let paper = SyntheticDataset::LkmlReply.paper_profile();
+        let quarter = paper.scaled(0.25);
+        let paper_widths = paper.widths();
+        let scaled_widths = quarter.widths();
+        assert_eq!(paper_widths.len(), scaled_widths.len());
+        for (p, s) in paper_widths.iter().zip(&scaled_widths) {
+            let expected = (*p as f64 * 0.5).round() as usize;
+            assert!((expected as i64 - *s as i64).abs() <= 1, "{p} -> {s}, expected {expected}");
+        }
+    }
+
+    #[test]
+    fn smoke_profile_generates_quickly_and_matches_request() {
+        let profile = SyntheticDataset::EmailEuAll.smoke_profile();
+        let items = profile.generate();
+        assert_eq!(items.len(), profile.stream_items);
+        let mut graph = AdjacencyListGraph::new();
+        graph.insert_stream(items.clone());
+        assert!(graph.vertex_count() > 100);
+        // Deterministic regeneration.
+        assert_eq!(items, profile.generate());
+    }
+
+    #[test]
+    fn shuffled_datasets_have_position_timestamps() {
+        let profile = SyntheticDataset::CitHepPh.smoke_profile();
+        let items = profile.generate();
+        for (position, item) in items.iter().enumerate() {
+            assert_eq!(item.timestamp, position as u64);
+        }
+    }
+
+    #[test]
+    fn generate_stream_wraps_all_items() {
+        let profile = SyntheticDataset::LkmlReply.smoke_profile().scaled(0.1);
+        let stream = profile.generate_stream();
+        assert_eq!(stream.len(), profile.stream_items.max(100));
+    }
+}

@@ -1,0 +1,155 @@
+//! Zipfian sampling.
+//!
+//! The paper attaches Zipfian-distributed weights to the edges of the email-EuAll,
+//! cit-HepPh and web-NotreDame datasets ("We use the Zipfian distribution to add the weight
+//! to each edge and the edge weight represents the appearance times in the stream").  The
+//! sampler here draws ranks `1..=n` with probability proportional to `1 / rank^s` using a
+//! precomputed cumulative table and binary search, which is exact and fast for the sizes
+//! used in the experiments.
+
+use crate::rng::Xoshiro256;
+
+/// A Zipf(`n`, `s`) sampler over ranks `1..=n`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `1..=n` with exponent `s` (> 0).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive and finite");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalise to a proper CDF.
+        for value in &mut cumulative {
+            *value /= total;
+        }
+        // Guard against floating point drift: the last entry must be exactly 1.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Self { cumulative, exponent: s }
+    }
+
+    /// Number of ranks in the support.
+    pub fn support(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// The exponent `s` the sampler was built with.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Draws a rank in `1..=n`; rank 1 is the most likely.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let u = rng.next_f64();
+        // First index whose cumulative probability is >= u.
+        match self.cumulative.binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite")) {
+            Ok(index) => index + 1,
+            Err(index) => index + 1,
+        }
+    }
+
+    /// Probability mass of a given rank (1-based).
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 || rank > self.cumulative.len() {
+            return 0.0;
+        }
+        let upper = self.cumulative[rank - 1];
+        let lower = if rank >= 2 { self.cumulative[rank - 2] } else { 0.0 };
+        upper - lower
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_within_support() {
+        let sampler = ZipfSampler::new(100, 1.2);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let rank = sampler.sample(&mut rng);
+            assert!((1..=100).contains(&rank));
+        }
+        assert_eq!(sampler.support(), 100);
+        assert!((sampler.exponent() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_one_is_most_frequent() {
+        let sampler = ZipfSampler::new(50, 1.0);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut counts = vec![0usize; 51];
+        for _ in 0..50_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let max_rank = counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(r, _)| r);
+        assert_eq!(max_rank, Some(1));
+        assert!(counts[1] > counts[10]);
+        assert!(counts[1] > counts[50]);
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_matches_ratios() {
+        let sampler = ZipfSampler::new(10, 1.0);
+        let total: f64 = (1..=10).map(|r| sampler.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // With s = 1, P(1) / P(2) should be 2.
+        assert!((sampler.pmf(1) / sampler.pmf(2) - 2.0).abs() < 1e-9);
+        assert_eq!(sampler.pmf(0), 0.0);
+        assert_eq!(sampler.pmf(11), 0.0);
+    }
+
+    #[test]
+    fn empirical_frequencies_track_pmf() {
+        let sampler = ZipfSampler::new(20, 1.5);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let draws = 200_000;
+        let mut counts = vec![0usize; 21];
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for rank in 1..=5 {
+            let observed = counts[rank] as f64 / draws as f64;
+            let expected = sampler.pmf(rank);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {rank}: observed {observed} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be non-empty")]
+    fn empty_support_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn non_positive_exponent_panics() {
+        let _ = ZipfSampler::new(10, 0.0);
+    }
+
+    #[test]
+    fn single_rank_support_always_returns_one() {
+        let sampler = ZipfSampler::new(1, 2.0);
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&mut rng), 1);
+        }
+    }
+}

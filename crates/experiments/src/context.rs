@@ -1,0 +1,199 @@
+//! Per-dataset experiment context: the generated stream, its exact ground truth and the
+//! query sets derived from them.
+
+use crate::scale::ExperimentScale;
+use gss_datasets::{DatasetProfile, SyntheticDataset, Xoshiro256};
+use gss_graph::{AdjacencyListGraph, EdgeKey, GraphSummary, StreamEdge, VertexId, Weight};
+
+/// A fully materialised dataset: stream items, exact graph and vertex universe.
+#[derive(Debug, Clone)]
+pub struct DatasetRun {
+    /// The profile the stream was generated from.
+    pub profile: DatasetProfile,
+    /// The stream items, in arrival order.
+    pub items: Vec<StreamEdge>,
+    /// Exact ground truth built from the same items.
+    pub exact: AdjacencyListGraph,
+    /// All vertices appearing in the stream.
+    pub vertices: Vec<VertexId>,
+}
+
+impl DatasetRun {
+    /// Generates the dataset for the given scale and builds its ground truth.
+    pub fn build(dataset: SyntheticDataset, scale: ExperimentScale) -> Self {
+        Self::from_profile(scale.profile(dataset))
+    }
+
+    /// Builds a run from an explicit profile.
+    pub fn from_profile(profile: DatasetProfile) -> Self {
+        let items = profile.generate();
+        Self::from_items(profile, items)
+    }
+
+    /// Builds a run from pre-generated items (used by tests and the SNAP loader path).
+    pub fn from_items(profile: DatasetProfile, items: Vec<StreamEdge>) -> Self {
+        let mut exact = AdjacencyListGraph::with_capacity(profile.vertices);
+        for item in &items {
+            exact.insert(item.source, item.destination, item.weight);
+        }
+        let vertices = exact.vertices();
+        Self { profile, items, exact, vertices }
+    }
+
+    /// Number of distinct edges in the ground truth.
+    pub fn distinct_edges(&self) -> usize {
+        self.exact.edge_count()
+    }
+
+    /// The matrix widths this dataset should be swept over at the given scale.
+    pub fn widths(&self, scale: ExperimentScale) -> Vec<usize> {
+        scale.width_subset(&self.profile.widths())
+    }
+
+    /// A uniform sample of at most `limit` distinct edges with their exact weights — the
+    /// edge-query set (the paper queries all edges; sampling preserves the ARE in
+    /// expectation).
+    pub fn edge_query_sample(&self, limit: usize, seed: u64) -> Vec<(EdgeKey, Weight)> {
+        let mut edges: Vec<(EdgeKey, Weight)> = self.exact.edges().collect();
+        edges.sort();
+        sample_in_place(&mut edges, limit, seed);
+        edges
+    }
+
+    /// A uniform sample of at most `limit` vertices — the node / successor / precursor
+    /// query set.
+    pub fn node_query_sample(&self, limit: usize, seed: u64) -> Vec<VertexId> {
+        let mut vertices = self.vertices.clone();
+        sample_in_place(&mut vertices, limit, seed);
+        vertices
+    }
+
+    /// Up to `count` vertex pairs that are *unreachable* in the exact graph — the
+    /// reachability query set of Fig. 12 ("100 unreachable pairs of nodes which are randomly
+    /// generated from the graph").
+    pub fn unreachable_pairs(&self, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut pairs = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        let max_attempts = count * 200;
+        while pairs.len() < count && attempts < max_attempts {
+            attempts += 1;
+            let source = self.vertices[rng.next_index(self.vertices.len())];
+            let destination = self.vertices[rng.next_index(self.vertices.len())];
+            if source == destination {
+                continue;
+            }
+            if !self.exact.is_reachable(source, destination) {
+                pairs.push((source, destination));
+            }
+        }
+        pairs
+    }
+
+    /// Inserts the whole stream into a summary and returns the elapsed wall-clock seconds
+    /// (the Table I measurement).
+    pub fn insert_into<S: GraphSummary>(&self, summary: &mut S) -> f64 {
+        let start = std::time::Instant::now();
+        for item in &self.items {
+            summary.insert(item.source, item.destination, item.weight);
+        }
+        start.elapsed().as_secs_f64()
+    }
+}
+
+/// Keeps a deterministic uniform sample of at most `limit` elements of `items`, in place.
+fn sample_in_place<T>(items: &mut Vec<T>, limit: usize, seed: u64) {
+    if items.len() <= limit {
+        return;
+    }
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    // Partial Fisher–Yates: move a random remaining element into each of the first `limit`
+    // positions, then truncate.
+    for i in 0..limit {
+        let j = i + rng.next_index(items.len() - i);
+        items.swap(i, j);
+    }
+    items.truncate(limit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_run() -> DatasetRun {
+        let profile = SyntheticDataset::CitHepPh.smoke_profile().scaled(0.05);
+        DatasetRun::from_profile(profile)
+    }
+
+    #[test]
+    fn build_materialises_stream_and_ground_truth() {
+        let run = tiny_run();
+        assert_eq!(run.items.len(), run.profile.stream_items.max(100));
+        assert!(run.distinct_edges() > 0);
+        assert!(!run.vertices.is_empty());
+        assert!(run.distinct_edges() <= run.items.len());
+    }
+
+    #[test]
+    fn edge_sample_respects_limit_and_contains_true_weights() {
+        let run = tiny_run();
+        let sample = run.edge_query_sample(50, 1);
+        assert!(sample.len() <= 50);
+        for (key, weight) in &sample {
+            assert_eq!(run.exact.edge_weight(key.source, key.destination), Some(*weight));
+        }
+        // Deterministic.
+        assert_eq!(sample, run.edge_query_sample(50, 1));
+        assert_ne!(sample, run.edge_query_sample(50, 2));
+    }
+
+    #[test]
+    fn node_sample_contains_only_known_vertices() {
+        let run = tiny_run();
+        let sample = run.node_query_sample(30, 7);
+        assert!(sample.len() <= 30);
+        for v in &sample {
+            assert!(run.vertices.contains(v));
+        }
+    }
+
+    #[test]
+    fn unreachable_pairs_are_truly_unreachable() {
+        let run = tiny_run();
+        let pairs = run.unreachable_pairs(20, 3);
+        assert!(!pairs.is_empty());
+        for (s, d) in pairs {
+            assert!(!run.exact.is_reachable(s, d));
+        }
+    }
+
+    #[test]
+    fn insert_into_feeds_every_item() {
+        let run = tiny_run();
+        let mut graph = AdjacencyListGraph::new();
+        let elapsed = run.insert_into(&mut graph);
+        assert!(elapsed >= 0.0);
+        assert_eq!(graph.edge_count(), run.distinct_edges());
+    }
+
+    #[test]
+    fn widths_follow_scale_subsetting() {
+        let run = tiny_run();
+        let smoke = run.widths(ExperimentScale::Smoke);
+        let laptop = run.widths(ExperimentScale::Laptop);
+        assert!(smoke.len() <= laptop.len());
+        assert!(!smoke.is_empty());
+    }
+
+    #[test]
+    fn sampling_keeps_everything_when_under_limit() {
+        let mut items = vec![1, 2, 3];
+        sample_in_place(&mut items, 10, 0);
+        assert_eq!(items, vec![1, 2, 3]);
+        let mut many: Vec<u32> = (0..100).collect();
+        sample_in_place(&mut many, 10, 0);
+        assert_eq!(many.len(), 10);
+        let distinct: std::collections::HashSet<_> = many.iter().collect();
+        assert_eq!(distinct.len(), 10);
+    }
+}

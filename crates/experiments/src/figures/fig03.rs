@@ -1,0 +1,86 @@
+//! Fig. 3: theoretical influence of the hash range `M` on primitive accuracy.
+//!
+//! The paper plots the correct rate of the three primitives as a function of `M/|V|` and the
+//! degree of the queried edge/node, computed from the Section VI analysis.  This runner
+//! evaluates the same closed forms over a grid and emits one table per panel.
+
+use crate::report::{fmt_float, Table};
+use gss_analysis::collision::{figure3_point, Figure3Kind};
+
+/// Grid of `M / |V|` ratios matching the range the paper plots (up to a few hundred).
+const M_OVER_V: [f64; 10] = [0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 500.0];
+/// Degrees of the queried edge/node (the paper uses `ln(d)` axes; we list the raw degrees).
+const DEGREES: [f64; 5] = [1.0, 10.0, 100.0, 1_000.0, 10_000.0];
+
+/// Number of vertices assumed by the model evaluation (matches the order of magnitude of the
+/// paper's datasets; the curves depend only on the ratios).
+const TOTAL_VERTICES: f64 = 100_000.0;
+/// Average edges per vertex (`|E|/|V|`, "usually within 10" per Section II).
+const EDGES_PER_VERTEX: f64 = 10.0;
+
+fn panel(kind: Figure3Kind, title: &str) -> Table {
+    let mut headers: Vec<String> = vec!["M_over_V".to_string()];
+    headers.extend(DEGREES.iter().map(|d| format!("degree_{d}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(title, &header_refs);
+    for &ratio in &M_OVER_V {
+        let mut row = vec![fmt_float(ratio)];
+        for &degree in &DEGREES {
+            row.push(fmt_float(figure3_point(
+                ratio,
+                degree,
+                TOTAL_VERTICES,
+                EDGES_PER_VERTEX,
+                kind,
+            )));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Produces the three panels of Fig. 3.
+pub fn run_fig03() -> Vec<Table> {
+    vec![
+        panel(Figure3Kind::EdgeQuery, "Fig 3(a): edge query correct rate (theory)"),
+        panel(Figure3Kind::SuccessorQuery, "Fig 3(b): 1-hop successor query correct rate (theory)"),
+        panel(Figure3Kind::PrecursorQuery, "Fig 3(c): 1-hop precursor query correct rate (theory)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_three_panels_with_full_grids() {
+        let panels = run_fig03();
+        assert_eq!(panels.len(), 3);
+        for panel in &panels {
+            assert_eq!(panel.rows.len(), M_OVER_V.len());
+            assert_eq!(panel.headers.len(), DEGREES.len() + 1);
+        }
+    }
+
+    #[test]
+    fn correct_rate_grows_with_hash_range_in_every_panel() {
+        for panel in run_fig03() {
+            let first: f64 = panel.rows.first().unwrap()[1].parse().unwrap();
+            let last: f64 = panel.rows.last().unwrap()[1].parse().unwrap();
+            assert!(last >= first, "{}: {first} -> {last}", panel.title);
+        }
+    }
+
+    #[test]
+    fn successor_panel_shows_the_papers_thresholds() {
+        let panels = run_fig03();
+        let successor = &panels[1];
+        // Row with M/|V| = 1 should be near zero for degree 10; row with M/|V| = 500 high.
+        let low_row = successor.rows.iter().find(|r| r[0] == "1.000000").unwrap();
+        let low: f64 = low_row[2].parse().unwrap();
+        assert!(low < 0.01);
+        let high_row = successor.rows.iter().find(|r| r[0] == "500.00").unwrap();
+        let high: f64 = high_row[2].parse().unwrap();
+        assert!(high > 0.8);
+    }
+}

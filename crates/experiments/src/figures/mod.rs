@@ -1,0 +1,22 @@
+//! Per-figure experiment runners.
+//!
+//! One module per table/figure of the paper's evaluation (Section VII), plus the theory
+//! curves of Fig. 3 and the ablations suggested by Section V.  Each runner returns
+//! [`Table`](crate::report::Table)s carrying the same series the paper plots, so the bench
+//! harness just prints them and writes CSVs.
+
+pub mod ablation;
+pub mod accuracy;
+pub mod fig03;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod table1;
+
+pub use ablation::{run_model_vs_measured, run_parameter_ablation};
+pub use accuracy::{run_accuracy_figure, AccuracyFigure};
+pub use fig03::run_fig03;
+pub use fig13::run_fig13;
+pub use fig14::run_fig14;
+pub use fig15::run_fig15;
+pub use table1::run_table1;

@@ -1,0 +1,177 @@
+//! Evaluation metrics (Section VII-B of the paper).
+//!
+//! * **Average Relative Error (ARE)** — for edge and node queries:
+//!   `RE(q) = f̂(q)/f(q) − 1`, averaged over a query set.
+//! * **Average Precision** — for 1-hop successor/precursor queries and pattern matching:
+//!   `|SS| / |ŜS|` where `SS` is the true answer set and `ŜS ⊇ SS` the reported one.
+//! * **True Negative Recall** — for reachability queries over pairs known to be
+//!   unreachable: the fraction reported as unreachable.
+//! * **Buffer Percentage** — buffered edges over all stored edges (GSS only).
+//! * **Mips** — million insertions per second, for Table I.
+
+use gss_graph::{VertexId, Weight};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Relative error of one estimate against the exact value.
+///
+/// Queries with a true value of zero are skipped by the averaging helpers (relative error is
+/// undefined there), matching the paper's use of edges/nodes that exist in the stream.
+pub fn relative_error(estimate: Weight, truth: Weight) -> Option<f64> {
+    if truth == 0 {
+        None
+    } else {
+        Some(estimate as f64 / truth as f64 - 1.0)
+    }
+}
+
+/// Average relative error over `(estimate, truth)` pairs, skipping zero-truth entries.
+pub fn average_relative_error(pairs: &[(Weight, Weight)]) -> f64 {
+    let errors: Vec<f64> =
+        pairs.iter().filter_map(|&(estimate, truth)| relative_error(estimate, truth)).collect();
+    if errors.is_empty() {
+        0.0
+    } else {
+        errors.iter().sum::<f64>() / errors.len() as f64
+    }
+}
+
+/// Precision of one reported set against the true set: `|SS ∩ ŜS| / |ŜS|`.
+///
+/// An empty reported set has precision 1 if the true set is also empty, else 0.
+pub fn set_precision(truth: &[VertexId], reported: &[VertexId]) -> f64 {
+    if reported.is_empty() {
+        return if truth.is_empty() { 1.0 } else { 0.0 };
+    }
+    let truth_set: HashSet<VertexId> = truth.iter().copied().collect();
+    let hits = reported.iter().filter(|v| truth_set.contains(v)).count();
+    hits as f64 / reported.len() as f64
+}
+
+/// Recall of one reported set against the true set: `|SS ∩ ŜS| / |SS|` (1 for empty truth).
+pub fn set_recall(truth: &[VertexId], reported: &[VertexId]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let reported_set: HashSet<VertexId> = reported.iter().copied().collect();
+    let hits = truth.iter().filter(|v| reported_set.contains(v)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Mean of a slice of precisions (or any per-query scores); 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// True-negative recall: of `total` queries known to be negative, `reported_negative` were
+/// answered negatively.
+pub fn true_negative_recall(reported_negative: usize, total: usize) -> f64 {
+    if total == 0 {
+        1.0
+    } else {
+        reported_negative as f64 / total as f64
+    }
+}
+
+/// Million insertions per second.
+pub fn mips(items: u64, elapsed_seconds: f64) -> f64 {
+    if elapsed_seconds <= 0.0 {
+        0.0
+    } else {
+        items as f64 / elapsed_seconds / 1e6
+    }
+}
+
+/// Summary statistics (mean / min / max) of a set of per-query scores, reported alongside
+/// the headline averages in experiment output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoreSummary {
+    /// Mean score.
+    pub mean: f64,
+    /// Minimum score.
+    pub min: f64,
+    /// Maximum score.
+    pub max: f64,
+    /// Number of queries.
+    pub count: usize,
+}
+
+impl ScoreSummary {
+    /// Summarises a slice of scores.
+    pub fn from_scores(scores: &[f64]) -> Self {
+        if scores.is_empty() {
+            return Self { mean: 0.0, min: 0.0, max: 0.0, count: 0 };
+        }
+        Self {
+            mean: mean(scores),
+            min: scores.iter().copied().fold(f64::INFINITY, f64::min),
+            max: scores.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            count: scores.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_matches_definition() {
+        assert_eq!(relative_error(15, 10), Some(0.5));
+        assert_eq!(relative_error(10, 10), Some(0.0));
+        assert_eq!(relative_error(5, 0), None);
+    }
+
+    #[test]
+    fn are_skips_zero_truth_and_averages_the_rest() {
+        let pairs = vec![(15, 10), (10, 10), (7, 0)];
+        assert!((average_relative_error(&pairs) - 0.25).abs() < 1e-12);
+        assert_eq!(average_relative_error(&[]), 0.0);
+        assert_eq!(average_relative_error(&[(3, 0)]), 0.0);
+    }
+
+    #[test]
+    fn precision_counts_false_positives() {
+        assert_eq!(set_precision(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(set_precision(&[1, 2], &[1, 2, 3, 4]), 0.5);
+        assert_eq!(set_precision(&[], &[]), 1.0);
+        assert_eq!(set_precision(&[], &[7]), 0.0);
+        assert_eq!(set_precision(&[7], &[]), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_false_negatives() {
+        assert_eq!(set_recall(&[1, 2], &[1, 2, 3]), 1.0);
+        assert_eq!(set_recall(&[1, 2, 3, 4], &[1, 2]), 0.5);
+        assert_eq!(set_recall(&[], &[1]), 1.0);
+    }
+
+    #[test]
+    fn tnr_and_mips_handle_degenerate_inputs() {
+        assert_eq!(true_negative_recall(80, 100), 0.8);
+        assert_eq!(true_negative_recall(0, 0), 1.0);
+        assert_eq!(mips(2_000_000, 1.0), 2.0);
+        assert_eq!(mips(100, 0.0), 0.0);
+    }
+
+    #[test]
+    fn score_summary_reports_extremes() {
+        let summary = ScoreSummary::from_scores(&[0.5, 1.0, 0.75]);
+        assert!((summary.mean - 0.75).abs() < 1e-12);
+        assert_eq!(summary.min, 0.5);
+        assert_eq!(summary.max, 1.0);
+        assert_eq!(summary.count, 3);
+        let empty = ScoreSummary::from_scores(&[]);
+        assert_eq!(empty.count, 0);
+    }
+
+    #[test]
+    fn mean_of_empty_slice_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

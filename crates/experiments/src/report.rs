@@ -1,0 +1,179 @@
+//! Result tables: formatting, printing and CSV export.
+//!
+//! Every figure/table runner returns a [`Table`] with the same x/y series the paper plots;
+//! the bench harness prints it and writes a CSV copy under `target/experiments/`.
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// A simple result table with a title, column headers and string cells.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. `"Fig 8(a): edge query ARE — email-EuAll"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row has one cell per header.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of cells.
+    ///
+    /// # Panics
+    /// Panics if the row length does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match header count");
+        self.rows.push(cells);
+    }
+
+    /// Convenience: appends a row of displayable values.
+    pub fn push_display_row<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.push_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Renders the table as aligned ASCII text.
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        let format_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, cell)| format!("{:<width$}", cell, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&format_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1).max(0)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_ascii());
+    }
+
+    /// Writes the table as `<name>.csv` inside `directory`, creating it if needed.
+    pub fn write_csv(&self, directory: &Path, name: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(directory)?;
+        let path = directory.join(format!("{name}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// The default output directory for experiment CSVs: `target/experiments/`.
+pub fn experiments_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    Path::new(&target).join("experiments")
+}
+
+/// Formats a float with enough precision for the metrics in this workspace.
+pub fn fmt_float(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() >= 100.0 {
+        format!("{value:.2}")
+    } else {
+        format!("{value:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut table = Table::new("Fig X", &["width", "gss", "tcm"]);
+        table.push_display_row(&["600", "0.001", "0.5"]);
+        table.push_row(vec!["700".into(), "0.0005".into(), "0.4".into()]);
+        table
+    }
+
+    #[test]
+    fn ascii_rendering_contains_all_cells() {
+        let text = sample_table().to_ascii();
+        assert!(text.contains("Fig X"));
+        assert!(text.contains("width"));
+        assert!(text.contains("0.0005"));
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn csv_rendering_escapes_commas() {
+        let mut table = Table::new("t", &["a", "b"]);
+        table.push_row(vec!["x,y".into(), "plain".into()]);
+        let csv = table.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width must match")]
+    fn mismatched_row_panics() {
+        let mut table = Table::new("t", &["a", "b"]);
+        table.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_round_trips_to_disk() {
+        let dir = std::env::temp_dir().join("gss-report-test");
+        let path = sample_table().write_csv(&dir, "fig_x").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("width,gss,tcm"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn float_formatting_is_compact() {
+        assert_eq!(fmt_float(0.0), "0");
+        assert_eq!(fmt_float(123.456), "123.46");
+        assert_eq!(fmt_float(0.000123), "0.000123");
+    }
+
+    #[test]
+    fn experiments_dir_ends_with_experiments() {
+        assert!(experiments_dir().ends_with("experiments"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Experiment scale selection.
+//!
+//! The paper runs on a 62 GB server; this reproduction must also run on a laptop and inside
+//! CI.  Every experiment therefore accepts a scale:
+//!
+//! * [`ExperimentScale::Smoke`] — heavily reduced datasets (~1/32 of laptop scale) and
+//!   sampled query sets.  This is the default for `cargo bench` and finishes in minutes.
+//! * [`ExperimentScale::Laptop`] — the paper's dataset sizes (CAIDA scaled to 1/64) and
+//!   larger query samples.  Expect tens of minutes and a few GB of memory.
+//! * [`ExperimentScale::Paper`] — the paper's full sizes and memory ratios; only sensible on
+//!   a large-memory server.
+//!
+//! The scale is picked from the `GSS_SCALE` environment variable (`smoke`, `laptop`,
+//! `paper`) so the same bench binaries serve all three.
+
+use gss_datasets::{DatasetProfile, SyntheticDataset};
+use serde::{Deserialize, Serialize};
+
+/// How big an experiment run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ExperimentScale {
+    /// Minutes-scale run with reduced datasets and sampled query sets (default).
+    #[default]
+    Smoke,
+    /// The paper's dataset sizes (CAIDA reduced), larger query samples.
+    Laptop,
+    /// Full paper setup; requires a large-memory server.
+    Paper,
+}
+
+impl ExperimentScale {
+    /// Reads the scale from the `GSS_SCALE` environment variable, defaulting to `Smoke`.
+    pub fn from_env() -> Self {
+        match std::env::var("GSS_SCALE").unwrap_or_default().to_ascii_lowercase().as_str() {
+            "laptop" => Self::Laptop,
+            "paper" => Self::Paper,
+            _ => Self::Smoke,
+        }
+    }
+
+    /// Parses a scale name (used by the CLI).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Self::Smoke),
+            "laptop" => Some(Self::Laptop),
+            "paper" => Some(Self::Paper),
+            _ => None,
+        }
+    }
+
+    /// The dataset profile to generate for this scale.
+    pub fn profile(self, dataset: SyntheticDataset) -> DatasetProfile {
+        match self {
+            Self::Smoke => dataset.smoke_profile(),
+            Self::Laptop => dataset.laptop_profile(),
+            Self::Paper => dataset.paper_profile(),
+        }
+    }
+
+    /// Maximum number of queries sampled per query set (the paper queries *all* edges and
+    /// nodes; at smoke/laptop scale a uniform sample keeps runtimes reasonable while leaving
+    /// the averaged metrics unchanged in expectation).
+    pub fn query_sample(self) -> usize {
+        match self {
+            Self::Smoke => 500,
+            Self::Laptop => 2_000,
+            Self::Paper => usize::MAX,
+        }
+    }
+
+    /// The TCM memory ratio used for the topology-query figures (256× in the paper, capped
+    /// at smaller ratios on reduced scales so the TCM matrices stay allocatable).
+    pub fn tcm_topology_ratio(self) -> f64 {
+        match self {
+            Self::Smoke => 16.0,
+            Self::Laptop => 64.0,
+            Self::Paper => 256.0,
+        }
+    }
+
+    /// The TCM memory ratio used for the edge-query figure (8× in the paper).
+    pub fn tcm_edge_ratio(self) -> f64 {
+        8.0
+    }
+
+    /// How many matrix widths of the paper's sweep to evaluate (smoke runs take a subset to
+    /// bound runtime; the subset keeps the first, middle and last widths so trends remain
+    /// visible).
+    pub fn width_subset(self, widths: &[usize]) -> Vec<usize> {
+        match self {
+            Self::Smoke => {
+                if widths.len() <= 3 {
+                    widths.to_vec()
+                } else {
+                    vec![widths[0], widths[widths.len() / 2], widths[widths.len() - 1]]
+                }
+            }
+            _ => widths.to_vec(),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Smoke => "smoke",
+            Self::Laptop => "laptop",
+            Self::Paper => "paper",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_names_case_insensitively() {
+        assert_eq!(ExperimentScale::parse("smoke"), Some(ExperimentScale::Smoke));
+        assert_eq!(ExperimentScale::parse("LAPTOP"), Some(ExperimentScale::Laptop));
+        assert_eq!(ExperimentScale::parse("Paper"), Some(ExperimentScale::Paper));
+        assert_eq!(ExperimentScale::parse("huge"), None);
+    }
+
+    #[test]
+    fn profiles_grow_with_scale() {
+        let smoke = ExperimentScale::Smoke.profile(SyntheticDataset::WebNotreDame);
+        let laptop = ExperimentScale::Laptop.profile(SyntheticDataset::WebNotreDame);
+        let paper = ExperimentScale::Paper.profile(SyntheticDataset::WebNotreDame);
+        assert!(smoke.stream_items <= laptop.stream_items);
+        assert!(laptop.stream_items <= paper.stream_items);
+    }
+
+    #[test]
+    fn query_samples_and_ratios_are_ordered() {
+        assert!(ExperimentScale::Smoke.query_sample() < ExperimentScale::Laptop.query_sample());
+        assert!(
+            ExperimentScale::Smoke.tcm_topology_ratio()
+                < ExperimentScale::Paper.tcm_topology_ratio()
+        );
+        assert_eq!(ExperimentScale::Paper.tcm_edge_ratio(), 8.0);
+    }
+
+    #[test]
+    fn width_subset_keeps_endpoints() {
+        let widths = vec![600, 650, 700, 750, 800, 850, 900, 950, 1000];
+        let subset = ExperimentScale::Smoke.width_subset(&widths);
+        assert_eq!(subset, vec![600, 800, 1000]);
+        assert_eq!(ExperimentScale::Laptop.width_subset(&widths), widths);
+        assert_eq!(ExperimentScale::Smoke.width_subset(&[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for scale in [ExperimentScale::Smoke, ExperimentScale::Laptop, ExperimentScale::Paper] {
+            assert_eq!(ExperimentScale::parse(scale.name()), Some(scale));
+        }
+    }
+}

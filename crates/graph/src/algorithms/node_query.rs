@@ -1,0 +1,68 @@
+//! Node queries: aggregated weight of all out-going (or in-coming) edges of a vertex.
+//!
+//! The paper evaluates this compound query in Section VII-E (Fig. 11): "A node query for a
+//! node v is to compute the summary of the weights of all edges with source node v."  On a
+//! summary it is answered by a 1-hop successor query followed by one edge query per reported
+//! successor; over-estimation can therefore come both from extra successors (false
+//! positives) and from over-estimated edge weights.
+
+use crate::summary::GraphSummary;
+use crate::types::{VertexId, Weight};
+
+/// Total weight of all out-going edges of `vertex`, as reported by `summary`.
+pub fn node_out_weight<S: GraphSummary + ?Sized>(summary: &S, vertex: VertexId) -> Weight {
+    summary
+        .successors(vertex)
+        .into_iter()
+        .filter_map(|succ| summary.edge_weight(vertex, succ))
+        .sum()
+}
+
+/// Total weight of all in-coming edges of `vertex`, as reported by `summary`.
+pub fn node_in_weight<S: GraphSummary + ?Sized>(summary: &S, vertex: VertexId) -> Weight {
+    summary
+        .precursors(vertex)
+        .into_iter()
+        .filter_map(|pred| summary.edge_weight(pred, vertex))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::AdjacencyListGraph;
+
+    fn graph() -> AdjacencyListGraph {
+        let mut g = AdjacencyListGraph::new();
+        g.insert(1, 2, 3);
+        g.insert(1, 3, 4);
+        g.insert(2, 3, 5);
+        g.insert(3, 1, 7);
+        g
+    }
+
+    #[test]
+    fn out_weight_sums_all_outgoing_edges() {
+        let g = graph();
+        assert_eq!(node_out_weight(&g, 1), 7);
+        assert_eq!(node_out_weight(&g, 2), 5);
+        assert_eq!(node_out_weight(&g, 99), 0);
+    }
+
+    #[test]
+    fn in_weight_sums_all_incoming_edges() {
+        let g = graph();
+        assert_eq!(node_in_weight(&g, 3), 9);
+        assert_eq!(node_in_weight(&g, 1), 7);
+        assert_eq!(node_in_weight(&g, 99), 0);
+    }
+
+    #[test]
+    fn node_query_on_exact_graph_matches_dedicated_method() {
+        let g = graph();
+        for v in 1..=3 {
+            assert_eq!(node_out_weight(&g, v), g.node_out_weight(v));
+            assert_eq!(node_in_weight(&g, v), g.node_in_weight(v));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Traversal queries: BFS, reachability and k-hop neighbourhoods.
+//!
+//! Reachability (Fig. 12) is the paper's showcase compound query: it repeatedly invokes the
+//! 1-hop successor primitive.  Because approximate summaries only have false-positive
+//! neighbours, reachability answers have no false negatives — if `d` is truly reachable from
+//! `s`, every summary says "yes"; the accuracy metric is therefore *true-negative recall*
+//! on pairs known to be unreachable.
+
+use crate::summary::GraphSummary;
+use crate::types::VertexId;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Upper bound on the number of vertices a traversal will visit before giving up.
+///
+/// A badly over-approximating summary (e.g. TCM at small width) can make almost every vertex
+/// appear reachable from every other; the bound keeps experiments terminating in reasonable
+/// time without changing answers for well-behaved summaries.
+pub const DEFAULT_TRAVERSAL_LIMIT: usize = 5_000_000;
+
+/// Returns `true` if `summary` reports a directed path from `source` to `destination`.
+pub fn is_reachable<S: GraphSummary + ?Sized>(
+    summary: &S,
+    source: VertexId,
+    destination: VertexId,
+) -> bool {
+    is_reachable_bounded(summary, source, destination, DEFAULT_TRAVERSAL_LIMIT)
+}
+
+/// [`is_reachable`] with an explicit bound on visited vertices.
+pub fn is_reachable_bounded<S: GraphSummary + ?Sized>(
+    summary: &S,
+    source: VertexId,
+    destination: VertexId,
+    limit: usize,
+) -> bool {
+    if source == destination {
+        return true;
+    }
+    let mut visited: HashSet<VertexId> = HashSet::new();
+    let mut queue: VecDeque<VertexId> = VecDeque::new();
+    visited.insert(source);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        for next in summary.successors(v) {
+            if next == destination {
+                return true;
+            }
+            if visited.len() >= limit {
+                return false;
+            }
+            if visited.insert(next) {
+                queue.push_back(next);
+            }
+        }
+    }
+    false
+}
+
+/// Returns the set of vertices reachable from `source` (including `source` itself), visiting
+/// at most `limit` vertices.
+pub fn bfs_reachable_set<S: GraphSummary + ?Sized>(
+    summary: &S,
+    source: VertexId,
+    limit: usize,
+) -> HashSet<VertexId> {
+    let mut visited: HashSet<VertexId> = HashSet::new();
+    let mut queue: VecDeque<VertexId> = VecDeque::new();
+    visited.insert(source);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        if visited.len() >= limit {
+            break;
+        }
+        for next in summary.successors(v) {
+            if visited.len() >= limit {
+                break;
+            }
+            if visited.insert(next) {
+                queue.push_back(next);
+            }
+        }
+    }
+    visited
+}
+
+/// Returns the vertices whose shortest hop distance from `source` is exactly `k`,
+/// together with all vertices at distance `< k` (the full k-hop neighbourhood).
+pub fn k_hop_successors<S: GraphSummary + ?Sized>(
+    summary: &S,
+    source: VertexId,
+    k: usize,
+) -> HashSet<VertexId> {
+    let mut frontier: HashSet<VertexId> = HashSet::from([source]);
+    let mut visited: HashSet<VertexId> = HashSet::from([source]);
+    for _ in 0..k {
+        let mut next_frontier: HashSet<VertexId> = HashSet::new();
+        for &v in &frontier {
+            for next in summary.successors(v) {
+                if visited.insert(next) {
+                    next_frontier.insert(next);
+                }
+            }
+        }
+        if next_frontier.is_empty() {
+            break;
+        }
+        frontier = next_frontier;
+    }
+    visited.remove(&source);
+    visited
+}
+
+/// Returns the shortest hop distance from `source` to `destination`, or `None` if no path is
+/// found within `limit` visited vertices.
+pub fn shortest_hop_distance<S: GraphSummary + ?Sized>(
+    summary: &S,
+    source: VertexId,
+    destination: VertexId,
+    limit: usize,
+) -> Option<usize> {
+    if source == destination {
+        return Some(0);
+    }
+    let mut dist: HashMap<VertexId, usize> = HashMap::new();
+    let mut queue: VecDeque<VertexId> = VecDeque::new();
+    dist.insert(source, 0);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        for next in summary.successors(v) {
+            if next == destination {
+                return Some(d + 1);
+            }
+            if dist.len() >= limit {
+                return None;
+            }
+            if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(next) {
+                slot.insert(d + 1);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::AdjacencyListGraph;
+    use crate::summary::GraphSummary;
+
+    /// A chain 1 -> 2 -> 3 -> 4 plus a disconnected vertex 10 -> 11.
+    fn chain_graph() -> AdjacencyListGraph {
+        let mut g = AdjacencyListGraph::new();
+        g.insert(1, 2, 1);
+        g.insert(2, 3, 1);
+        g.insert(3, 4, 1);
+        g.insert(10, 11, 1);
+        g
+    }
+
+    #[test]
+    fn reachability_follows_chains() {
+        let g = chain_graph();
+        assert!(is_reachable(&g, 1, 4));
+        assert!(is_reachable(&g, 2, 4));
+        assert!(!is_reachable(&g, 4, 1));
+        assert!(!is_reachable(&g, 1, 11));
+        assert!(is_reachable(&g, 3, 3));
+    }
+
+    #[test]
+    fn bounded_reachability_respects_limit() {
+        let g = chain_graph();
+        // With a visit budget of 1 vertex we can still discover direct neighbours but not
+        // the end of the chain.
+        assert!(!is_reachable_bounded(&g, 1, 4, 1));
+        assert!(is_reachable_bounded(&g, 1, 2, 1));
+    }
+
+    #[test]
+    fn reachable_set_contains_all_downstream_vertices() {
+        let g = chain_graph();
+        let set = bfs_reachable_set(&g, 1, 1000);
+        assert_eq!(set, HashSet::from([1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn k_hop_neighbourhood_grows_with_k() {
+        let g = chain_graph();
+        assert_eq!(k_hop_successors(&g, 1, 1), HashSet::from([2]));
+        assert_eq!(k_hop_successors(&g, 1, 2), HashSet::from([2, 3]));
+        assert_eq!(k_hop_successors(&g, 1, 10), HashSet::from([2, 3, 4]));
+        assert!(k_hop_successors(&g, 4, 3).is_empty());
+    }
+
+    #[test]
+    fn shortest_distance_counts_hops() {
+        let g = chain_graph();
+        assert_eq!(shortest_hop_distance(&g, 1, 4, 1000), Some(3));
+        assert_eq!(shortest_hop_distance(&g, 1, 1, 1000), Some(0));
+        assert_eq!(shortest_hop_distance(&g, 4, 1, 1000), None);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut g = AdjacencyListGraph::new();
+        g.insert(1, 2, 1);
+        g.insert(2, 1, 1);
+        assert!(is_reachable(&g, 1, 2));
+        assert!(!is_reachable(&g, 1, 3));
+        assert_eq!(bfs_reachable_set(&g, 1, 1000), HashSet::from([1, 2]));
+    }
+}

@@ -1,0 +1,122 @@
+//! Triangle counting through the query primitives (Fig. 14).
+//!
+//! The paper compares GSS against TRIEST on the number of triangles in the (undirected
+//! interpretation of the) graph.  On a summary, the count is computed from the primitives
+//! alone: for every vertex in the queried universe we obtain its undirected neighbourhood
+//! (successors ∪ precursors) and count, for every pair of neighbours, whether the closing
+//! edge exists in either direction.  Each triangle is found three times (once per corner),
+//! so the total is divided by three.
+
+use crate::summary::GraphSummary;
+use crate::types::VertexId;
+use std::collections::HashSet;
+
+/// Returns the undirected neighbourhood of `vertex` (successors ∪ precursors, minus the
+/// vertex itself).
+fn undirected_neighbours<S: GraphSummary + ?Sized>(summary: &S, vertex: VertexId) -> Vec<VertexId> {
+    let mut set: HashSet<VertexId> = summary.successors(vertex).into_iter().collect();
+    set.extend(summary.precursors(vertex));
+    set.remove(&vertex);
+    let mut out: Vec<VertexId> = set.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Returns `true` if the summary reports an edge between `a` and `b` in either direction.
+fn undirected_edge_exists<S: GraphSummary + ?Sized>(summary: &S, a: VertexId, b: VertexId) -> bool {
+    summary.edge_weight(a, b).is_some() || summary.edge_weight(b, a).is_some()
+}
+
+/// Counts the triangles of the undirected interpretation of the graph restricted to
+/// `vertices` (the node universe known to the application, e.g. the interner contents or the
+/// exact vertex list of the evaluated dataset).
+pub fn count_triangles<S: GraphSummary + ?Sized>(summary: &S, vertices: &[VertexId]) -> u64 {
+    let universe: HashSet<VertexId> = vertices.iter().copied().collect();
+    let mut total: u64 = 0;
+    for &v in vertices {
+        let neighbours: Vec<VertexId> = undirected_neighbours(summary, v)
+            .into_iter()
+            .filter(|n| universe.contains(n))
+            .collect();
+        for (i, &a) in neighbours.iter().enumerate() {
+            for &b in &neighbours[i + 1..] {
+                if undirected_edge_exists(summary, a, b) {
+                    total += 1;
+                }
+            }
+        }
+    }
+    total / 3
+}
+
+/// Number of triangles incident to `vertex` (its local triangle count).
+pub fn local_triangle_count<S: GraphSummary + ?Sized>(summary: &S, vertex: VertexId) -> u64 {
+    let neighbours = undirected_neighbours(summary, vertex);
+    let mut count = 0;
+    for (i, &a) in neighbours.iter().enumerate() {
+        for &b in &neighbours[i + 1..] {
+            if undirected_edge_exists(summary, a, b) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::AdjacencyListGraph;
+    use crate::summary::GraphSummary;
+
+    /// Two triangles sharing the edge (1,2): {1,2,3} and {1,2,4}, plus a pendant vertex 5.
+    fn two_triangle_graph() -> AdjacencyListGraph {
+        let mut g = AdjacencyListGraph::new();
+        g.insert(1, 2, 1);
+        g.insert(2, 3, 1);
+        g.insert(3, 1, 1);
+        g.insert(2, 4, 1);
+        g.insert(4, 1, 1);
+        g.insert(4, 5, 1);
+        g
+    }
+
+    #[test]
+    fn counts_triangles_in_directed_graph_as_undirected() {
+        let g = two_triangle_graph();
+        let vertices = g.vertices();
+        assert_eq!(count_triangles(&g, &vertices), 2);
+    }
+
+    #[test]
+    fn empty_and_acyclic_graphs_have_no_triangles() {
+        let mut g = AdjacencyListGraph::new();
+        assert_eq!(count_triangles(&g, &[]), 0);
+        g.insert(1, 2, 1);
+        g.insert(2, 3, 1);
+        assert_eq!(count_triangles(&g, &g.vertices()), 0);
+    }
+
+    #[test]
+    fn local_counts_attribute_triangles_to_their_corners() {
+        let g = two_triangle_graph();
+        assert_eq!(local_triangle_count(&g, 1), 2);
+        assert_eq!(local_triangle_count(&g, 3), 1);
+        assert_eq!(local_triangle_count(&g, 5), 0);
+    }
+
+    #[test]
+    fn restricting_the_universe_restricts_the_count() {
+        let g = two_triangle_graph();
+        // Without vertex 4 only the {1,2,3} triangle remains.
+        assert_eq!(count_triangles(&g, &[1, 2, 3, 5]), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_create_duplicate_triangles() {
+        let mut g = two_triangle_graph();
+        g.insert(1, 2, 5);
+        g.insert(2, 1, 3);
+        assert_eq!(count_triangles(&g, &g.vertices()), 2);
+    }
+}

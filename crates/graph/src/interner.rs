@@ -1,0 +1,120 @@
+//! Interning of external node identifiers.
+//!
+//! The paper keeps a hash table of `⟨H(v), v⟩` pairs next to the sketch so that queries can
+//! translate between original node IDs (IP addresses, e-mail addresses, paper IDs…) and the
+//! hashed space.  In this workspace the sketches operate on dense [`VertexId`]s; the
+//! [`StringInterner`] provides the external-ID ↔ dense-ID mapping for applications (see the
+//! `network_monitoring` and `social_recommendation` examples).
+
+use crate::types::VertexId;
+use std::collections::HashMap;
+
+/// Bidirectional map between external string identifiers and dense [`VertexId`]s.
+///
+/// IDs are assigned densely starting at 0 in first-seen order, which also makes the interner
+/// usable as the node universe for experiments (every vertex in `0..len()` exists).
+#[derive(Debug, Clone, Default)]
+pub struct StringInterner {
+    to_id: HashMap<String, VertexId>,
+    to_name: Vec<String>,
+}
+
+impl StringInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the dense id for `name`, assigning a fresh one if the name is new.
+    pub fn intern(&mut self, name: &str) -> VertexId {
+        if let Some(&id) = self.to_id.get(name) {
+            return id;
+        }
+        let id = self.to_name.len() as VertexId;
+        self.to_id.insert(name.to_string(), id);
+        self.to_name.push(name.to_string());
+        id
+    }
+
+    /// Returns the dense id for `name` if it was interned before.
+    pub fn get(&self, name: &str) -> Option<VertexId> {
+        self.to_id.get(name).copied()
+    }
+
+    /// Returns the original name for a dense id.
+    pub fn resolve(&self, id: VertexId) -> Option<&str> {
+        self.to_name.get(id as usize).map(String::as_str)
+    }
+
+    /// Resolves a whole set of ids (e.g. a successor set) back to names, skipping unknowns.
+    pub fn resolve_all(&self, ids: &[VertexId]) -> Vec<&str> {
+        ids.iter().filter_map(|&id| self.resolve(id)).collect()
+    }
+
+    /// Number of distinct names interned so far.
+    pub fn len(&self) -> usize {
+        self.to_name.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.to_name.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &str)> {
+        self.to_name.iter().enumerate().map(|(i, name)| (i as VertexId, name.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut interner = StringInterner::new();
+        let a = interner.intern("10.0.0.1");
+        let b = interner.intern("10.0.0.2");
+        let a_again = interner.intern("10.0.0.1");
+        assert_eq!(a, a_again);
+        assert_ne!(a, b);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_first_seen() {
+        let mut interner = StringInterner::new();
+        assert_eq!(interner.intern("x"), 0);
+        assert_eq!(interner.intern("y"), 1);
+        assert_eq!(interner.intern("z"), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut interner = StringInterner::new();
+        let id = interner.intern("alice@example.com");
+        assert_eq!(interner.resolve(id), Some("alice@example.com"));
+        assert_eq!(interner.get("alice@example.com"), Some(id));
+        assert_eq!(interner.resolve(99), None);
+        assert_eq!(interner.get("unknown"), None);
+    }
+
+    #[test]
+    fn resolve_all_skips_unknown_ids() {
+        let mut interner = StringInterner::new();
+        interner.intern("a");
+        interner.intern("b");
+        assert_eq!(interner.resolve_all(&[1, 7, 0]), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn iter_yields_pairs_in_order() {
+        let mut interner = StringInterner::new();
+        interner.intern("a");
+        interner.intern("b");
+        let pairs: Vec<_> = interner.iter().collect();
+        assert_eq!(pairs, vec![(0, "a"), (1, "b")]);
+        assert!(!interner.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # gss-graph — streaming graph substrate
+//!
+//! This crate provides the substrate that every sketch and baseline in the workspace is
+//! built on top of:
+//!
+//! * [`StreamEdge`] / [`GraphStream`](stream::GraphStream) — the graph-stream data model of
+//!   the paper (Definition 1): an unbounded, timestamped sequence of weighted directed edges.
+//! * [`GraphSummary`] — the trait capturing the three *graph query primitives* of
+//!   Definition 4 (edge query, 1-hop successor query, 1-hop precursor query) plus edge
+//!   insertion.  GSS, TCM, gMatrix and the exact adjacency-list graph all implement it, so
+//!   every compound query and every experiment is written once, against this trait.
+//! * [`exact::AdjacencyListGraph`] — an exact, loss-less implementation used as ground truth
+//!   and as the "adjacency list" baseline of Table I.
+//! * [`algorithms`] — compound graph queries written purely in terms of the primitives:
+//!   node queries, reachability, k-hop neighbourhoods, triangle counting, subgraph matching
+//!   and full graph reconstruction (Section III of the paper argues all of these reduce to
+//!   the three primitives).
+//! * [`interner::StringInterner`] — maps external identifiers (IP addresses, e-mail
+//!   addresses, URLs…) to dense [`VertexId`]s, mirroring the `⟨H(v), v⟩` hash table the
+//!   paper keeps next to the sketch.
+
+pub mod algorithms;
+pub mod exact;
+pub mod interner;
+pub mod stream;
+pub mod summary;
+pub mod types;
+
+pub use exact::AdjacencyListGraph;
+pub use interner::StringInterner;
+pub use stream::{GraphStream, StreamEdge, StreamWindows, VecStream};
+pub use summary::{GraphSummary, SummaryStats};
+pub use types::{EdgeKey, Timestamp, VertexId, Weight};

@@ -1,0 +1,276 @@
+//! Graph-stream data model (Definition 1 of the paper).
+//!
+//! A graph stream is an unbounded sequence of items `(⟨s, d⟩; t; w)`.  This module provides
+//! the item type [`StreamEdge`], a [`GraphStream`] abstraction over any source of such items
+//! (in-memory vectors, generators, files), and window utilities used by the subgraph-matching
+//! experiment (Fig. 15), which queries fixed-size windows of the stream.
+
+use crate::types::{EdgeKey, Timestamp, VertexId, Weight};
+use serde::{Deserialize, Serialize};
+
+/// A single item of a graph stream: a directed edge with a timestamp and a weight.
+///
+/// Items with negative weight encode deletions of previously inserted weight
+/// (Definition 1: "An item with w < 0 means deleting a former data item").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamEdge {
+    /// Source vertex of the edge.
+    pub source: VertexId,
+    /// Destination vertex of the edge.
+    pub destination: VertexId,
+    /// Timestamp of the item.  Items are fed to summaries in timestamp order.
+    pub timestamp: Timestamp,
+    /// Weight contribution of this item.
+    pub weight: Weight,
+}
+
+impl StreamEdge {
+    /// Creates a new stream item.
+    pub const fn new(
+        source: VertexId,
+        destination: VertexId,
+        timestamp: Timestamp,
+        weight: Weight,
+    ) -> Self {
+        Self { source, destination, timestamp, weight }
+    }
+
+    /// The `(source, destination)` key this item contributes weight to.
+    pub const fn key(&self) -> EdgeKey {
+        EdgeKey::new(self.source, self.destination)
+    }
+
+    /// Returns a copy of this item representing the deletion of its weight.
+    pub const fn deletion(&self, timestamp: Timestamp) -> Self {
+        Self { source: self.source, destination: self.destination, timestamp, weight: -self.weight }
+    }
+}
+
+/// A source of graph-stream items.
+///
+/// The trait is deliberately minimal — it is an `Iterator` of [`StreamEdge`]s plus an
+/// optional size hint of distinct structural properties that generators can expose so the
+/// experiment harness can size sketches the same way the paper does (matrix width relative
+/// to `|E|`).
+pub trait GraphStream: Iterator<Item = StreamEdge> {
+    /// Number of items the stream will yield, if known.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// An in-memory graph stream backed by a vector of items.
+#[derive(Debug, Clone, Default)]
+pub struct VecStream {
+    items: Vec<StreamEdge>,
+    cursor: usize,
+}
+
+impl VecStream {
+    /// Creates a stream over the given items (yielded in the given order).
+    pub fn new(items: Vec<StreamEdge>) -> Self {
+        Self { items, cursor: 0 }
+    }
+
+    /// Creates a stream and sorts the items by timestamp first, as done for the
+    /// lkml-reply and CAIDA datasets in the paper ("we feed the data items to the data
+    /// structure according to their timestamps").
+    pub fn new_sorted_by_timestamp(mut items: Vec<StreamEdge>) -> Self {
+        items.sort_by_key(|e| e.timestamp);
+        Self::new(items)
+    }
+
+    /// Read-only access to the underlying items.
+    pub fn items(&self) -> &[StreamEdge] {
+        &self.items
+    }
+
+    /// Number of items in the stream.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the stream holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Resets the stream to its beginning so it can be replayed.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Consumes the stream and returns the underlying items.
+    pub fn into_items(self) -> Vec<StreamEdge> {
+        self.items
+    }
+}
+
+impl Iterator for VecStream {
+    type Item = StreamEdge;
+
+    fn next(&mut self) -> Option<StreamEdge> {
+        let item = self.items.get(self.cursor).copied();
+        if item.is_some() {
+            self.cursor += 1;
+        }
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.items.len() - self.cursor;
+        (remaining, Some(remaining))
+    }
+}
+
+impl GraphStream for VecStream {
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.items.len())
+    }
+}
+
+impl<I: Iterator<Item = StreamEdge>> GraphStream for std::iter::Peekable<I> {}
+
+/// Iterator over fixed-size, non-overlapping windows of a stream, used by the
+/// subgraph-matching experiment (Fig. 15) which "search[es] for subgraphs in windows of the
+/// data stream".
+#[derive(Debug, Clone)]
+pub struct StreamWindows {
+    items: Vec<StreamEdge>,
+    window_size: usize,
+    offset: usize,
+}
+
+impl StreamWindows {
+    /// Creates a window iterator over `items` with the given `window_size` (> 0).
+    ///
+    /// # Panics
+    /// Panics if `window_size == 0`.
+    pub fn new(items: Vec<StreamEdge>, window_size: usize) -> Self {
+        assert!(window_size > 0, "window_size must be positive");
+        Self { items, window_size, offset: 0 }
+    }
+
+    /// Number of complete or partial windows remaining.
+    pub fn remaining_windows(&self) -> usize {
+        let remaining = self.items.len().saturating_sub(self.offset);
+        remaining.div_ceil(self.window_size)
+    }
+}
+
+impl Iterator for StreamWindows {
+    type Item = Vec<StreamEdge>;
+
+    fn next(&mut self) -> Option<Vec<StreamEdge>> {
+        if self.offset >= self.items.len() {
+            return None;
+        }
+        let end = (self.offset + self.window_size).min(self.items.len());
+        let window = self.items[self.offset..end].to_vec();
+        self.offset = end;
+        Some(window)
+    }
+}
+
+/// Aggregates a slice of stream items into `(EdgeKey, total weight)` pairs — the exact
+/// streaming graph induced by the items (used for ground truth in experiments).
+pub fn aggregate_items(items: &[StreamEdge]) -> Vec<(EdgeKey, Weight)> {
+    let mut map: std::collections::HashMap<EdgeKey, Weight> = std::collections::HashMap::new();
+    for item in items {
+        *map.entry(item.key()).or_insert(0) += item.weight;
+    }
+    let mut out: Vec<(EdgeKey, Weight)> = map.into_iter().collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_items() -> Vec<StreamEdge> {
+        vec![
+            StreamEdge::new(1, 2, 0, 1),
+            StreamEdge::new(1, 3, 1, 2),
+            StreamEdge::new(1, 2, 2, 3),
+            StreamEdge::new(4, 1, 3, 5),
+        ]
+    }
+
+    #[test]
+    fn vec_stream_yields_in_order() {
+        let stream = VecStream::new(sample_items());
+        let collected: Vec<_> = stream.collect();
+        assert_eq!(collected, sample_items());
+    }
+
+    #[test]
+    fn vec_stream_len_hint_matches_len() {
+        let stream = VecStream::new(sample_items());
+        assert_eq!(stream.len_hint(), Some(4));
+        assert_eq!(stream.len(), 4);
+        assert!(!stream.is_empty());
+    }
+
+    #[test]
+    fn vec_stream_reset_replays_items() {
+        let mut stream = VecStream::new(sample_items());
+        let first: Vec<_> = stream.by_ref().collect();
+        stream.reset();
+        let second: Vec<_> = stream.collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn sorted_stream_orders_by_timestamp() {
+        let items = vec![
+            StreamEdge::new(1, 2, 5, 1),
+            StreamEdge::new(3, 4, 1, 1),
+            StreamEdge::new(5, 6, 3, 1),
+        ];
+        let stream = VecStream::new_sorted_by_timestamp(items);
+        let ts: Vec<_> = stream.map(|e| e.timestamp).collect();
+        assert_eq!(ts, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn deletion_negates_weight() {
+        let e = StreamEdge::new(1, 2, 0, 7);
+        let d = e.deletion(9);
+        assert_eq!(d.weight, -7);
+        assert_eq!(d.timestamp, 9);
+        assert_eq!(d.key(), e.key());
+    }
+
+    #[test]
+    fn windows_partition_the_stream() {
+        let items = sample_items();
+        let windows: Vec<_> = StreamWindows::new(items.clone(), 3).collect();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].len(), 3);
+        assert_eq!(windows[1].len(), 1);
+        let rejoined: Vec<_> = windows.into_iter().flatten().collect();
+        assert_eq!(rejoined, items);
+    }
+
+    #[test]
+    fn remaining_windows_counts_partial_windows() {
+        let windows = StreamWindows::new(sample_items(), 3);
+        assert_eq!(windows.remaining_windows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window_size must be positive")]
+    fn zero_window_size_panics() {
+        let _ = StreamWindows::new(sample_items(), 0);
+    }
+
+    #[test]
+    fn aggregate_sums_duplicate_keys() {
+        let agg = aggregate_items(&sample_items());
+        assert!(agg.contains(&(EdgeKey::new(1, 2), 4)));
+        assert!(agg.contains(&(EdgeKey::new(1, 3), 2)));
+        assert!(agg.contains(&(EdgeKey::new(4, 1), 5)));
+        assert_eq!(agg.len(), 3);
+    }
+}

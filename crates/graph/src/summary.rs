@@ -1,0 +1,153 @@
+//! The [`GraphSummary`] trait: the three graph query primitives of Definition 4.
+//!
+//! Every summarization structure in this workspace — the GSS sketch, the TCM and gMatrix
+//! baselines, and the exact adjacency-list graph — implements this trait.  All compound
+//! queries ([`crate::algorithms`]) and every experiment are written against it, which is
+//! exactly the argument the paper makes: once the three primitives are supported, "almost
+//! all algorithms for graphs can be implemented with these primitives".
+
+use crate::stream::StreamEdge;
+use crate::types::{VertexId, Weight};
+use serde::{Deserialize, Serialize};
+
+/// Size and occupancy statistics reported by a summary, used for the memory accounting in
+/// the experiments (equal-memory comparisons, buffer percentage of Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Total bytes of heap the structure currently occupies (approximate, structural).
+    pub bytes: usize,
+    /// Number of stream items inserted so far.
+    pub items_inserted: u64,
+    /// Number of distinct slots/buckets/entries the structure maintains.
+    pub slots: usize,
+    /// Number of slots currently occupied.
+    pub occupied_slots: usize,
+    /// Number of edges that overflowed into an auxiliary buffer (GSS-specific; 0 otherwise).
+    pub buffered_edges: usize,
+}
+
+impl SummaryStats {
+    /// Fraction of slots currently occupied, in `[0, 1]`.
+    pub fn load_factor(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.occupied_slots as f64 / self.slots as f64
+        }
+    }
+}
+
+/// A graph-stream summary supporting edge insertion and the three query primitives.
+///
+/// Implementations may be approximate.  The contract mirrors the paper:
+///
+/// * [`edge_weight`](GraphSummary::edge_weight) returns `None` when the edge is reported
+///   absent (the paper returns `-1`); approximate structures may over-estimate weights and
+///   may report false positives, but never false negatives for structures compared in the
+///   paper (all errors are one-sided when weights are non-negative).
+/// * [`successors`](GraphSummary::successors) / [`precursors`](GraphSummary::precursors)
+///   return the 1-hop out/in neighbourhoods in the *original* vertex-id space; approximate
+///   structures may include extra vertices (false positives) but must include every true
+///   neighbour.
+pub trait GraphSummary {
+    /// Inserts one stream item, accumulating `weight` onto edge `(source, destination)`.
+    fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight);
+
+    /// Returns the accumulated weight of edge `(source, destination)`, or `None` if the
+    /// structure reports the edge as absent.
+    fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight>;
+
+    /// Returns the set of vertices reported as 1-hop reachable from `vertex`
+    /// (the 1-hop successor query primitive).
+    fn successors(&self, vertex: VertexId) -> Vec<VertexId>;
+
+    /// Returns the set of vertices reported as reaching `vertex` in one hop
+    /// (the 1-hop precursor query primitive).
+    fn precursors(&self, vertex: VertexId) -> Vec<VertexId>;
+
+    /// Inserts a whole stream item (uses its weight; convenience wrapper).
+    fn insert_item(&mut self, item: &StreamEdge) {
+        self.insert(item.source, item.destination, item.weight);
+    }
+
+    /// Inserts every item yielded by an iterator, in order.
+    fn insert_stream<I: IntoIterator<Item = StreamEdge>>(&mut self, items: I)
+    where
+        Self: Sized,
+    {
+        for item in items {
+            self.insert_item(&item);
+        }
+    }
+
+    /// Structural statistics (memory, occupancy).  Implementations should make this cheap.
+    fn stats(&self) -> SummaryStats {
+        SummaryStats::default()
+    }
+
+    /// Human-readable name used in experiment reports (e.g. `"GSS(fsize=16)"`).
+    fn name(&self) -> String {
+        std::any::type_name::<Self>().to_string()
+    }
+}
+
+impl<T: GraphSummary + ?Sized> GraphSummary for Box<T> {
+    fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
+        (**self).insert(source, destination, weight);
+    }
+
+    fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight> {
+        (**self).edge_weight(source, destination)
+    }
+
+    fn successors(&self, vertex: VertexId) -> Vec<VertexId> {
+        (**self).successors(vertex)
+    }
+
+    fn precursors(&self, vertex: VertexId) -> Vec<VertexId> {
+        (**self).precursors(vertex)
+    }
+
+    fn stats(&self) -> SummaryStats {
+        (**self).stats()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::AdjacencyListGraph;
+
+    #[test]
+    fn load_factor_handles_empty_structure() {
+        let stats = SummaryStats::default();
+        assert_eq!(stats.load_factor(), 0.0);
+    }
+
+    #[test]
+    fn load_factor_is_fraction_of_occupied_slots() {
+        let stats = SummaryStats { slots: 10, occupied_slots: 4, ..Default::default() };
+        assert!((stats.load_factor() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxed_summary_delegates() {
+        let mut graph: Box<dyn GraphSummary> = Box::new(AdjacencyListGraph::new());
+        graph.insert(1, 2, 5);
+        assert_eq!(graph.edge_weight(1, 2), Some(5));
+        assert_eq!(graph.successors(1), vec![2]);
+        assert_eq!(graph.precursors(2), vec![1]);
+    }
+
+    #[test]
+    fn insert_stream_accumulates_all_items() {
+        let mut graph = AdjacencyListGraph::new();
+        let items = vec![StreamEdge::new(1, 2, 0, 1), StreamEdge::new(1, 2, 1, 2)];
+        graph.insert_stream(items);
+        assert_eq!(graph.edge_weight(1, 2), Some(3));
+    }
+}

@@ -1,0 +1,96 @@
+//! Fundamental value types shared across the workspace.
+//!
+//! The paper models a graph stream as a sequence of items `(⟨s, d⟩; t; w)` (Definition 1).
+//! We represent node identifiers as dense `u64`s (external identifiers such as IP addresses
+//! are interned via [`crate::interner::StringInterner`]), timestamps as `u64` ticks and
+//! weights as signed 64-bit integers so that deletions (negative weights) are expressible.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex in the *original* streaming graph `G`.
+///
+/// This is the identifier before any hashing; sketches map it to a hash value internally.
+pub type VertexId = u64;
+
+/// Logical timestamp of a stream item.
+pub type Timestamp = u64;
+
+/// Edge weight.  The paper allows negative weights to encode deletions of earlier items;
+/// all structures in this workspace therefore accumulate weights in a signed integer.
+pub type Weight = i64;
+
+/// A directed edge key `(source, destination)` in the original graph.
+///
+/// `EdgeKey` is the unit of aggregation: all stream items sharing the same key have their
+/// weights summed (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeKey {
+    /// Source vertex.
+    pub source: VertexId,
+    /// Destination vertex.
+    pub destination: VertexId,
+}
+
+impl EdgeKey {
+    /// Creates an edge key from `source` to `destination`.
+    pub const fn new(source: VertexId, destination: VertexId) -> Self {
+        Self { source, destination }
+    }
+
+    /// Returns the key with source and destination swapped.
+    ///
+    /// Useful when treating a directed structure as undirected (e.g. triangle counting).
+    pub const fn reversed(self) -> Self {
+        Self { source: self.destination, destination: self.source }
+    }
+
+    /// Returns `true` if the edge is a self loop.
+    pub const fn is_self_loop(self) -> bool {
+        self.source == self.destination
+    }
+
+    /// Canonical form for undirected interpretation: smaller endpoint first.
+    pub fn undirected_canonical(self) -> Self {
+        if self.source <= self.destination {
+            self
+        } else {
+            self.reversed()
+        }
+    }
+}
+
+impl From<(VertexId, VertexId)> for EdgeKey {
+    fn from((s, d): (VertexId, VertexId)) -> Self {
+        Self::new(s, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_key_reversed_swaps_endpoints() {
+        let e = EdgeKey::new(3, 9);
+        assert_eq!(e.reversed(), EdgeKey::new(9, 3));
+        assert_eq!(e.reversed().reversed(), e);
+    }
+
+    #[test]
+    fn edge_key_self_loop_detection() {
+        assert!(EdgeKey::new(5, 5).is_self_loop());
+        assert!(!EdgeKey::new(5, 6).is_self_loop());
+    }
+
+    #[test]
+    fn undirected_canonical_orders_endpoints() {
+        assert_eq!(EdgeKey::new(9, 3).undirected_canonical(), EdgeKey::new(3, 9));
+        assert_eq!(EdgeKey::new(3, 9).undirected_canonical(), EdgeKey::new(3, 9));
+    }
+
+    #[test]
+    fn edge_key_from_tuple() {
+        let e: EdgeKey = (1, 2).into();
+        assert_eq!(e, EdgeKey::new(1, 2));
+    }
+}

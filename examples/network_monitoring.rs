@@ -1,0 +1,108 @@
+//! Network-traffic monitoring (use case 1 of the paper's introduction).
+//!
+//! A stream of `(source IP, destination IP, bytes)` flow records is summarised by GSS.  The
+//! example then answers the questions a security analyst would ask:
+//!
+//! * which hosts did a suspected scanner talk to? (1-hop successor query)
+//! * who contacted the database server? (1-hop precursor query)
+//! * how much traffic flowed on a specific link? (edge query)
+//! * can a compromised workstation reach the payment system at all? (reachability)
+//!
+//! IP addresses are interned to dense vertex ids with [`StringInterner`], mirroring the
+//! `⟨H(v), v⟩` table the paper keeps next to the sketch.
+//!
+//! Run with: `cargo run --example network_monitoring`
+
+use gss::datasets::Xoshiro256;
+use gss::graph::algorithms::is_reachable;
+use gss::prelude::*;
+
+fn ip(subnet: u8, host: u64) -> String {
+    format!("10.{subnet}.{}.{}", host / 256, host % 256)
+}
+
+fn main() {
+    let mut interner = StringInterner::new();
+    let mut sketch = GssSketch::new(GssConfig::paper_default(512)).expect("valid configuration");
+    let mut rng = Xoshiro256::seed_from_u64(0x5EC0_11D);
+
+    // Simulate a day of flow records: 200 workstations talk to 20 servers, a scanner probes
+    // everything, and the payment system only accepts traffic from the API gateway.
+    let scanner = interner.intern("10.9.9.9");
+    let gateway = interner.intern("10.1.0.1");
+    let payment = interner.intern("10.2.0.2");
+    let database = interner.intern("10.2.0.3");
+
+    let workstations: Vec<VertexId> = (0..200).map(|h| interner.intern(&ip(3, h))).collect();
+    let servers: Vec<VertexId> = (0..20).map(|h| interner.intern(&ip(1, h + 10))).collect();
+
+    let mut flows = 0u64;
+    for _ in 0..50_000 {
+        let source = workstations[rng.next_index(workstations.len())];
+        let destination = servers[rng.next_index(servers.len())];
+        let bytes = 64 + rng.next_below(1500) as i64;
+        sketch.insert(source, destination, bytes);
+        flows += 1;
+    }
+    // Server tier talks to the database; the gateway talks to the payment system.
+    for &server in &servers {
+        sketch.insert(server, database, 4096);
+        sketch.insert(server, gateway, 512);
+        flows += 2;
+    }
+    sketch.insert(gateway, payment, 2048);
+    flows += 1;
+    // The scanner probes every workstation with tiny packets.
+    for &workstation in &workstations {
+        sketch.insert(scanner, workstation, 40);
+        flows += 1;
+    }
+
+    println!("== network monitoring: {flows} flow records summarised ==\n");
+
+    // 1. Fan-out of the suspected scanner.
+    let scanned = sketch.successors(scanner);
+    println!(
+        "scanner {} contacted {} distinct hosts (sample: {:?})",
+        interner.resolve(scanner).unwrap(),
+        scanned.len(),
+        interner.resolve_all(&scanned[..scanned.len().min(5)])
+    );
+
+    // 2. Who talks to the database server?
+    let db_clients = sketch.precursors(database);
+    println!(
+        "database {} receives traffic from {} hosts",
+        interner.resolve(database).unwrap(),
+        db_clients.len()
+    );
+
+    // 3. Traffic volume on a specific link.
+    let link = (servers[0], database);
+    println!(
+        "traffic {} -> {}: {:?} bytes",
+        interner.resolve(link.0).unwrap(),
+        interner.resolve(link.1).unwrap(),
+        sketch.edge_weight(link.0, link.1)
+    );
+
+    // 4. Can a workstation reach the payment system? (only via servers -> gateway -> payment)
+    let workstation = workstations[0];
+    println!(
+        "can {} reach the payment system? {}",
+        interner.resolve(workstation).unwrap(),
+        is_reachable(&sketch, workstation, payment)
+    );
+    println!(
+        "can the scanner reach the payment system? {}",
+        is_reachable(&sketch, scanner, payment)
+    );
+
+    let stats = sketch.detailed_stats();
+    println!(
+        "\nsketch memory: {} KiB (matrix) + {} B (buffer), buffer percentage {:.4}%",
+        stats.matrix_bytes / 1024,
+        stats.buffer_bytes,
+        stats.buffer_percentage * 100.0
+    );
+}

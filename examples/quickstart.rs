@@ -1,0 +1,70 @@
+//! Quickstart: summarise a small graph stream and run every query primitive.
+//!
+//! Reproduces the running example of the paper (the stream of Fig. 1), inserts it into a GSS
+//! sketch, and answers edge / successor / precursor / reachability / node queries, comparing
+//! each answer against the exact graph.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use gss::graph::algorithms::{is_reachable, node_out_weight};
+use gss::prelude::*;
+
+fn main() {
+    // The graph stream of Fig. 1: (source, destination, weight) items, one per timestamp.
+    // Vertices: a=1, b=2, c=3, d=4, e=5, f=6, g=7.
+    let stream: Vec<(u64, u64, i64)> = vec![
+        (1, 2, 1),
+        (1, 3, 1),
+        (2, 4, 1),
+        (1, 3, 1),
+        (1, 6, 1),
+        (3, 6, 1),
+        (1, 5, 1),
+        (1, 3, 3),
+        (3, 6, 1),
+        (4, 1, 1),
+        (4, 6, 1),
+        (6, 5, 3),
+        (1, 7, 1),
+        (5, 2, 2),
+        (4, 1, 1),
+    ];
+
+    // A GSS sketch with the paper's default parameters (16-bit fingerprints, 2 rooms,
+    // square hashing with r = k = 16) and an exact graph for comparison.
+    let mut sketch = GssSketch::new(GssConfig::paper_default(64)).expect("valid configuration");
+    let mut exact = AdjacencyListGraph::new();
+    for &(source, destination, weight) in &stream {
+        sketch.insert(source, destination, weight);
+        exact.insert(source, destination, weight);
+    }
+
+    println!("== GSS quickstart (stream of Fig. 1, {} items) ==\n", stream.len());
+
+    // Primitive 1: edge queries.
+    println!("edge query   a->c : GSS = {:?}, exact = {:?}", sketch.edge_weight(1, 3), exact.edge_weight(1, 3));
+    println!("edge query   d->a : GSS = {:?}, exact = {:?}", sketch.edge_weight(4, 1), exact.edge_weight(4, 1));
+    println!("edge query   c->a : GSS = {:?}, exact = {:?} (absent)", sketch.edge_weight(3, 1), exact.edge_weight(3, 1));
+
+    // Primitive 2 and 3: 1-hop successor / precursor queries.
+    println!("\nsuccessors of a  : GSS = {:?}", sketch.successors(1));
+    println!("successors of a  : exact = {:?}", exact.successors(1));
+    println!("precursors of f  : GSS = {:?}", sketch.precursors(6));
+    println!("precursors of f  : exact = {:?}", exact.precursors(6));
+
+    // Compound queries built on the primitives.
+    println!("\nnode query (out-weight of a): GSS = {}, exact = {}", node_out_weight(&sketch, 1), exact.node_out_weight(1));
+    println!("reachability b ~> e         : GSS = {}, exact = {}", is_reachable(&sketch, 2, 5), exact.is_reachable(2, 5));
+    println!("reachability g ~> a         : GSS = {}, exact = {}", is_reachable(&sketch, 7, 1), exact.is_reachable(7, 1));
+
+    // Structure statistics.
+    let stats = sketch.detailed_stats();
+    println!(
+        "\nsketch: {} items inserted, {} edges in the matrix, {} buffered ({}), {} bytes",
+        stats.items_inserted,
+        stats.matrix_edges,
+        stats.buffered_edges,
+        if stats.buffered_edges == 0 { "buffer empty, as expected" } else { "buffer in use" },
+        stats.total_bytes()
+    );
+}

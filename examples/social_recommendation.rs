@@ -1,0 +1,96 @@
+//! Social-network friend recommendation (use case 2 of the paper's introduction).
+//!
+//! Interactions between users form a weighted streaming graph.  The example summarises a
+//! synthetic interaction stream with GSS and then recommends "potential friends": users two
+//! hops away with the strongest combined interaction weight, computed purely through the
+//! query primitives (successor queries + edge queries).
+//!
+//! Run with: `cargo run --example social_recommendation`
+
+use gss::datasets::PreferentialAttachmentGenerator;
+use gss::prelude::*;
+use std::collections::HashMap;
+
+/// Recommends up to `limit` two-hop neighbours of `user`, ranked by the sum of
+/// `w(user → friend) + w(friend → candidate)` over all connecting friends.
+fn recommend(
+    sketch: &GssSketch,
+    user: VertexId,
+    limit: usize,
+) -> Vec<(VertexId, i64)> {
+    let direct: Vec<VertexId> = sketch.successors(user);
+    let direct_set: std::collections::HashSet<VertexId> = direct.iter().copied().collect();
+    let mut scores: HashMap<VertexId, i64> = HashMap::new();
+    for &friend in &direct {
+        let user_to_friend = sketch.edge_weight(user, friend).unwrap_or(0);
+        for candidate in sketch.successors(friend) {
+            if candidate == user || direct_set.contains(&candidate) {
+                continue;
+            }
+            let friend_to_candidate = sketch.edge_weight(friend, candidate).unwrap_or(0);
+            *scores.entry(candidate).or_insert(0) += user_to_friend + friend_to_candidate;
+        }
+    }
+    let mut ranked: Vec<(VertexId, i64)> = scores.into_iter().collect();
+    ranked.sort_by_key(|&(candidate, score)| (std::cmp::Reverse(score), candidate));
+    ranked.truncate(limit);
+    ranked
+}
+
+fn main() {
+    // A power-law interaction stream: 5,000 users, 80,000 weighted interactions.
+    let generator = PreferentialAttachmentGenerator::new(5_000, 80_000, 0x50C1A1);
+    let interactions = generator.generate();
+
+    let mut sketch = GssSketch::new(GssConfig::paper_default(512)).expect("valid configuration");
+    let mut exact = AdjacencyListGraph::new();
+    for item in &interactions {
+        sketch.insert(item.source, item.destination, item.weight);
+        exact.insert(item.source, item.destination, item.weight);
+    }
+
+    println!(
+        "== social recommendation: {} interactions among {} users ==\n",
+        interactions.len(),
+        exact.vertex_count()
+    );
+
+    // Pick the most active user (largest out-degree in the exact graph) and a median one.
+    let vertices = exact.vertices();
+    let most_active =
+        *vertices.iter().max_by_key(|&&v| exact.out_degree(v)).expect("non-empty graph");
+    let median = vertices[vertices.len() / 2];
+
+    for user in [most_active, median] {
+        println!(
+            "user {user}: {} direct contacts (exact {}), interaction weight {}",
+            sketch.successors(user).len(),
+            exact.out_degree(user),
+            gss::graph::algorithms::node_out_weight(&sketch, user)
+        );
+        let recommendations = recommend(&sketch, user, 5);
+        println!("  top recommendations (two-hop, by combined interaction weight):");
+        for (candidate, score) in &recommendations {
+            println!("    user {candidate:<6} score {score}");
+        }
+        // Sanity check against the exact graph: every recommended user really is two hops
+        // away (GSS has no false negatives, so true two-hop neighbours are never missed).
+        let truly_two_hop = recommendations
+            .iter()
+            .filter(|(candidate, _)| {
+                exact.successors(user).iter().any(|&friend| {
+                    exact.edge_weight(friend, *candidate).is_some()
+                })
+            })
+            .count();
+        println!("  verified against exact graph: {truly_two_hop}/{} are true two-hop contacts\n", recommendations.len());
+    }
+
+    let stats = sketch.detailed_stats();
+    println!(
+        "sketch stores {} edges in {} KiB; buffer percentage {:.4}%",
+        stats.matrix_edges + stats.buffered_edges,
+        stats.total_bytes() / 1024,
+        stats.buffer_percentage * 100.0
+    );
+}

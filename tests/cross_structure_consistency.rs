@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: the GSS sketch, the TCM baseline and the exact graph must
+//! agree on the semantics of the three query primitives when run over the same stream.
+//!
+//! These tests exercise the public API exactly as the experiment harness does: generate a
+//! synthetic stream, feed every summary, and compare answers against the ground truth.
+
+use gss::graph::algorithms::{
+    count_triangles, is_reachable, node_out_weight, reconstruct_graph,
+};
+use gss::prelude::*;
+
+/// A deterministic mid-sized stream with repeated edges and a hub vertex.
+fn test_stream() -> Vec<StreamEdge> {
+    let profile = SyntheticDataset::EmailEuAll.smoke_profile().scaled(0.02);
+    profile.generate()
+}
+
+fn build_summaries(items: &[StreamEdge]) -> (GssSketch, TcmSketch, AdjacencyListGraph) {
+    let mut gss = GssSketch::new(GssConfig::paper_default(256)).unwrap();
+    let mut tcm = TcmSketch::paper_default(512);
+    let mut exact = AdjacencyListGraph::new();
+    for item in items {
+        gss.insert(item.source, item.destination, item.weight);
+        tcm.insert(item.source, item.destination, item.weight);
+        exact.insert(item.source, item.destination, item.weight);
+    }
+    (gss, tcm, exact)
+}
+
+#[test]
+fn no_summary_underestimates_edge_weights() {
+    let items = test_stream();
+    let (gss, tcm, exact) = build_summaries(&items);
+    for (key, weight) in exact.edges() {
+        let gss_estimate = gss
+            .edge_weight(key.source, key.destination)
+            .expect("GSS never reports a true edge as absent");
+        let tcm_estimate = tcm
+            .edge_weight(key.source, key.destination)
+            .expect("TCM never reports a true edge as absent");
+        assert!(gss_estimate >= weight, "GSS underestimated {key:?}");
+        assert!(tcm_estimate >= weight, "TCM underestimated {key:?}");
+    }
+}
+
+#[test]
+fn gss_at_ample_width_is_exact_on_this_stream() {
+    let items = test_stream();
+    let (gss, _, exact) = build_summaries(&items);
+    // With a 256-wide matrix (2 rooms) and 16-bit fingerprints, M = 256·65536 ≫ |V|, so the
+    // probability of any collision in this small stream is negligible; the sketch should be
+    // exact edge-for-edge.
+    let mut exact_hits = 0usize;
+    let mut total = 0usize;
+    for (key, weight) in exact.edges() {
+        total += 1;
+        if gss.edge_weight(key.source, key.destination) == Some(weight) {
+            exact_hits += 1;
+        }
+    }
+    assert!(
+        exact_hits as f64 >= total as f64 * 0.999,
+        "expected ~exact answers, got {exact_hits}/{total}"
+    );
+}
+
+#[test]
+fn successor_and_precursor_sets_are_supersets_of_truth() {
+    let items = test_stream();
+    let (gss, tcm, exact) = build_summaries(&items);
+    for &v in exact.vertices().iter().take(300) {
+        let truth_successors = exact.successors(v);
+        let truth_precursors = exact.precursors(v);
+        let gss_successors = gss.successors(v);
+        let gss_precursors = gss.precursors(v);
+        let tcm_successors = tcm.successors(v);
+        for truth in &truth_successors {
+            assert!(gss_successors.contains(truth), "GSS missed successor {truth} of {v}");
+            assert!(tcm_successors.contains(truth), "TCM missed successor {truth} of {v}");
+        }
+        for truth in &truth_precursors {
+            assert!(gss_precursors.contains(truth), "GSS missed precursor {truth} of {v}");
+        }
+    }
+}
+
+#[test]
+fn reachability_has_no_false_negatives() {
+    let items = test_stream();
+    let (gss, _, exact) = build_summaries(&items);
+    let vertices = exact.vertices();
+    // Take a handful of truly reachable pairs and verify GSS agrees.
+    let mut checked = 0;
+    'outer: for &source in vertices.iter().take(25) {
+        for &destination in vertices.iter().rev().take(25) {
+            if source != destination && exact.is_reachable(source, destination) {
+                assert!(
+                    is_reachable(&gss, source, destination),
+                    "GSS lost reachability {source} -> {destination}"
+                );
+                checked += 1;
+                if checked >= 20 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(checked > 0, "test stream should contain reachable pairs");
+}
+
+#[test]
+fn node_queries_match_on_the_exact_and_sketched_graph() {
+    let items = test_stream();
+    let (gss, _, exact) = build_summaries(&items);
+    let mut matches = 0usize;
+    let mut total = 0usize;
+    for &v in exact.vertices().iter().take(500) {
+        total += 1;
+        if node_out_weight(&gss, v) == exact.node_out_weight(v) {
+            matches += 1;
+        }
+    }
+    assert!(matches as f64 >= total as f64 * 0.99, "node queries drifted: {matches}/{total}");
+}
+
+#[test]
+fn reconstruction_from_the_sketch_recovers_the_exact_graph() {
+    let items = test_stream();
+    let (gss, _, exact) = build_summaries(&items);
+    let universe = exact.vertices();
+    let rebuilt = reconstruct_graph(&gss, &universe);
+    assert!(rebuilt.edge_count() >= exact.edge_count());
+    for (key, weight) in exact.edges() {
+        let rebuilt_weight = rebuilt.edge_weight(key.source, key.destination);
+        assert!(rebuilt_weight.is_some(), "reconstruction lost edge {key:?}");
+        assert!(rebuilt_weight.unwrap() >= weight);
+    }
+}
+
+#[test]
+fn triangle_counts_agree_between_sketch_and_exact_graph() {
+    // Use a smaller stream so the O(Σ deg²) triangle counting stays fast in CI.
+    let profile = SyntheticDataset::CitHepPh.smoke_profile().scaled(0.01);
+    let items = profile.generate();
+    let (gss, _, exact) = build_summaries(&items);
+    let vertices = exact.vertices();
+    let exact_count = count_triangles(&exact, &vertices);
+    let sketch_count = count_triangles(&gss, &vertices);
+    assert!(sketch_count >= exact_count, "sketch lost triangles");
+    let relative = if exact_count == 0 {
+        0.0
+    } else {
+        (sketch_count - exact_count) as f64 / exact_count as f64
+    };
+    assert!(relative < 0.05, "triangle over-count too large: {relative}");
+}
+
+#[test]
+fn deletions_propagate_through_every_summary() {
+    let mut gss = GssSketch::new(GssConfig::paper_default(64)).unwrap();
+    let mut tcm = TcmSketch::paper_default(64);
+    let mut exact = AdjacencyListGraph::new();
+    for summary in [&mut gss as &mut dyn GraphSummary, &mut tcm, &mut exact] {
+        summary.insert(1, 2, 10);
+        summary.insert(1, 2, -4);
+        summary.insert(3, 4, 7);
+        summary.insert(3, 4, -7);
+    }
+    assert_eq!(gss.edge_weight(1, 2), Some(6));
+    assert_eq!(tcm.edge_weight(1, 2), Some(6));
+    assert_eq!(exact.edge_weight(1, 2), Some(6));
+    // Fully deleted edges report weight 0 (the key is retained — matching the paper, which
+    // never reclaims rooms).
+    assert_eq!(gss.edge_weight(3, 4), Some(0));
+    assert_eq!(exact.edge_weight(3, 4), Some(0));
+}

@@ -1,0 +1,133 @@
+//! End-to-end smoke tests of the experiment pipeline: every figure runner must produce a
+//! non-empty, well-formed table at a tiny scale, and the headline qualitative results of the
+//! paper must hold (GSS more accurate than TCM, buffer emptied by square hashing, sketches
+//! faster than adjacency lists).
+
+use gss::datasets::SyntheticDataset;
+use gss::experiments::figures::accuracy::run_accuracy_figure_on;
+use gss::experiments::figures::fig13::run_fig13_dataset_on;
+use gss::experiments::figures::fig14::run_fig14_on;
+use gss::experiments::figures::fig15::run_fig15_on;
+use gss::experiments::figures::table1::run_table1_dataset_on;
+use gss::experiments::{run_fig03, AccuracyFigure, DatasetRun, ExperimentScale};
+
+fn tiny(dataset: SyntheticDataset) -> DatasetRun {
+    DatasetRun::from_profile(dataset.smoke_profile().scaled(0.02))
+}
+
+fn parse(cell: &str) -> f64 {
+    cell.parse().unwrap_or_else(|_| panic!("cell {cell:?} is not numeric"))
+}
+
+#[test]
+fn fig03_theory_tables_are_well_formed() {
+    let tables = run_fig03();
+    assert_eq!(tables.len(), 3);
+    for table in tables {
+        assert!(!table.rows.is_empty());
+        for row in &table.rows {
+            for cell in &row[1..] {
+                let value = parse(cell);
+                assert!((0.0..=1.0).contains(&value));
+            }
+        }
+    }
+}
+
+#[test]
+fn fig08_gss_is_at_least_as_accurate_as_tcm_on_every_dataset_row() {
+    let dataset = SyntheticDataset::LkmlReply;
+    let run = tiny(dataset);
+    let table =
+        run_accuracy_figure_on(AccuracyFigure::EdgeQueryAre, dataset, ExperimentScale::Smoke, &run);
+    for row in &table.rows {
+        let gss16 = parse(&row[2]);
+        let tcm = parse(&row[3]);
+        assert!(gss16 <= tcm + 1e-9, "GSS ARE {gss16} worse than TCM {tcm}");
+    }
+}
+
+#[test]
+fn fig10_and_fig09_precision_orderings_hold() {
+    let dataset = SyntheticDataset::EmailEuAll;
+    let run = tiny(dataset);
+    for figure in [AccuracyFigure::SuccessorPrecision, AccuracyFigure::PrecursorPrecision] {
+        let table = run_accuracy_figure_on(figure, dataset, ExperimentScale::Smoke, &run);
+        let last = table.rows.last().unwrap();
+        let gss16 = parse(&last[2]);
+        let tcm = parse(&last[3]);
+        assert!(gss16 > 0.9, "{figure:?}: GSS precision {gss16} too low");
+        assert!(gss16 >= tcm - 1e-9, "{figure:?}: GSS {gss16} below TCM {tcm}");
+    }
+}
+
+#[test]
+fn fig11_and_fig12_compound_queries_favour_gss() {
+    let dataset = SyntheticDataset::CitHepPh;
+    let run = tiny(dataset);
+    let node = run_accuracy_figure_on(
+        AccuracyFigure::NodeQueryAre,
+        dataset,
+        ExperimentScale::Smoke,
+        &run,
+    );
+    let last = node.rows.last().unwrap();
+    assert!(parse(&last[2]) <= parse(&last[3]) + 1e-9);
+
+    let reach = run_accuracy_figure_on(
+        AccuracyFigure::ReachabilityTnr,
+        dataset,
+        ExperimentScale::Smoke,
+        &run,
+    );
+    let last = reach.rows.last().unwrap();
+    assert!(parse(&last[2]) >= parse(&last[3]) - 1e-9);
+    assert!(parse(&last[2]) > 0.9, "GSS reachability TNR should be near 1");
+}
+
+#[test]
+fn fig13_square_hashing_and_rooms_reduce_buffer_usage() {
+    let dataset = SyntheticDataset::WebNotreDame;
+    let run = tiny(dataset);
+    let table = run_fig13_dataset_on(dataset, ExperimentScale::Smoke, &run);
+    for row in &table.rows {
+        let room2 = parse(&row[2]);
+        let room2_plain = parse(&row[4]);
+        assert!(room2 <= room2_plain + 1e-9);
+    }
+    // At the widest setting the fully improved GSS buffers (almost) nothing.
+    let widest = table.rows.last().unwrap();
+    assert!(parse(&widest[2]) < 0.05, "fully-improved GSS should have a near-empty buffer");
+}
+
+#[test]
+fn table1_reports_positive_throughput_for_every_structure() {
+    let dataset = SyntheticDataset::CitHepPh;
+    let run = tiny(dataset);
+    let (gss, gss_no_sampling, tcm, adjacency) =
+        run_table1_dataset_on(dataset, ExperimentScale::Smoke, &run);
+    assert!(gss > 0.0 && gss_no_sampling > 0.0 && tcm > 0.0 && adjacency > 0.0);
+    // The paper's "sketches beat adjacency lists" ordering depends on hub lists being long
+    // enough to hurt (it reproduces at smoke/laptop scale in the table1 bench, see
+    // EXPERIMENTS.md); at this test's ~300-item stream every list is a handful of entries,
+    // so we only assert sanity here, not the ordering.
+    let fastest = gss.max(gss_no_sampling).max(tcm).max(adjacency);
+    assert!(fastest < 1_000.0, "implausible throughput {fastest} Mips — timer broken?");
+}
+
+#[test]
+fn fig14_and_fig15_report_rates_in_range() {
+    let cit = tiny(SyntheticDataset::CitHepPh);
+    let triangles = run_fig14_on(ExperimentScale::Smoke, &cit);
+    for row in &triangles.rows {
+        assert!(parse(&row[1]) >= 0.0);
+        assert!(parse(&row[2]) >= 0.0);
+    }
+
+    let web = tiny(SyntheticDataset::WebNotreDame);
+    let matching = run_fig15_on(ExperimentScale::Smoke, &web);
+    for row in &matching.rows {
+        let rate = parse(&row[1]);
+        assert!((0.0..=1.0).contains(&rate));
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests (proptest) of the core invariants of the GSS sketch and its
+//! substrate, run over randomly generated streams:
+//!
+//! 1. **No false negatives** — a true edge is never reported absent; true successors and
+//!    precursors are always contained in the reported sets.
+//! 2. **One-sided error** — with non-negative weights, reported edge weights never fall
+//!    below the true weight.
+//! 3. **Exactness of the hashed graph** — Theorem 1: two stream edges are aggregated iff
+//!    their endpoints have identical hashes, so summing deletions back out restores zero.
+//! 4. **Reversibility of square hashing** — the address-sequence recovery used by the 1-hop
+//!    queries inverts the forward mapping for every fingerprint and index.
+
+use gss::prelude::*;
+use gss_core::NodeHasher;
+use proptest::prelude::*;
+
+/// Strategy: a stream of up to `len` items over a vertex universe of `vertices`.
+fn stream_strategy(vertices: u64, len: usize) -> impl Strategy<Value = Vec<(u64, u64, i64)>> {
+    prop::collection::vec((0..vertices, 0..vertices, 1..50i64), 1..len)
+}
+
+/// Strategy: a GSS configuration drawn from the interesting corners of the parameter space.
+fn config_strategy() -> impl Strategy<Value = GssConfig> {
+    (
+        8usize..48,      // width
+        prop::sample::select(vec![8u32, 12, 16]), // fingerprint bits
+        1usize..3,       // rooms
+        prop::sample::select(vec![1usize, 4, 8, 16]), // sequence length
+        any::<bool>(),   // sampling
+    )
+        .prop_map(|(width, fingerprint_bits, rooms, sequence_length, sampling)| {
+            let square_hashing = sequence_length > 1;
+            GssConfig {
+                width,
+                fingerprint_bits,
+                rooms,
+                sequence_length,
+                candidates: sequence_length.max(2),
+                square_hashing,
+                sampling: sampling && square_hashing,
+                track_node_ids: true,
+                hash_seed: 0x1234_5678,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariants 1 and 2: over-estimation only, never a missing edge or neighbour.
+    #[test]
+    fn sketch_has_one_sided_error(
+        items in stream_strategy(200, 400),
+        config in config_strategy(),
+    ) {
+        let mut sketch = GssSketch::new(config).unwrap();
+        let mut exact = AdjacencyListGraph::new();
+        for &(s, d, w) in &items {
+            sketch.insert(s, d, w);
+            exact.insert(s, d, w);
+        }
+        for (key, weight) in exact.edges() {
+            let reported = sketch.edge_weight(key.source, key.destination);
+            prop_assert!(reported.is_some(), "edge {key:?} reported absent");
+            prop_assert!(reported.unwrap() >= weight,
+                "edge {key:?} under-estimated: {} < {weight}", reported.unwrap());
+        }
+        for v in exact.vertices() {
+            let successors = sketch.successors(v);
+            for truth in exact.successors(v) {
+                prop_assert!(successors.contains(&truth), "missing successor {truth} of {v}");
+            }
+            let precursors = sketch.precursors(v);
+            for truth in exact.precursors(v) {
+                prop_assert!(precursors.contains(&truth), "missing precursor {truth} of {v}");
+            }
+        }
+    }
+
+    /// Invariant 2 for the stream-item counter and stored-edge accounting.
+    #[test]
+    fn accounting_matches_stream_length(
+        items in stream_strategy(100, 300),
+        config in config_strategy(),
+    ) {
+        let mut sketch = GssSketch::new(config).unwrap();
+        let mut exact = AdjacencyListGraph::new();
+        for &(s, d, w) in &items {
+            sketch.insert(s, d, w);
+            exact.insert(s, d, w);
+        }
+        prop_assert_eq!(sketch.items_inserted(), items.len() as u64);
+        // The sketch aggregates by hashed endpoints, so it can never store *more* distinct
+        // edges than the exact graph.
+        prop_assert!(sketch.stored_edges() <= exact.edge_count());
+        let stats = sketch.detailed_stats();
+        prop_assert_eq!(stats.matrix_edges + stats.buffered_edges, sketch.stored_edges());
+        prop_assert!(stats.buffer_percentage >= 0.0 && stats.buffer_percentage <= 1.0);
+    }
+
+    /// Invariant 3 (Theorem 1): inserting a stream and then its exact negation leaves every
+    /// queried edge at weight zero — nothing leaks between distinct hashed edges.
+    #[test]
+    fn deleting_everything_returns_all_weights_to_zero(
+        items in stream_strategy(80, 150),
+        config in config_strategy(),
+    ) {
+        let mut sketch = GssSketch::new(config).unwrap();
+        for &(s, d, w) in &items {
+            sketch.insert(s, d, w);
+        }
+        for &(s, d, w) in &items {
+            sketch.insert(s, d, -w);
+        }
+        for &(s, d, _) in &items {
+            let weight = sketch.edge_weight(s, d);
+            prop_assert_eq!(weight, Some(0), "edge ({}, {}) not cancelled: {:?}", s, d, weight);
+        }
+    }
+
+    /// Invariant 4: square-hashing address recovery inverts the forward mapping.
+    #[test]
+    fn address_sequences_are_reversible(
+        vertex in any::<u64>(),
+        width in 2usize..2000,
+        fingerprint_bits in 4u32..17,
+    ) {
+        let config = GssConfig::paper_default(width).with_fingerprint_bits(fingerprint_bits);
+        let hasher = NodeHasher::new(&config);
+        let node = hasher.hashed_node(vertex);
+        let sequence = hasher.address_sequence(node);
+        for (index, &position) in sequence.iter().enumerate() {
+            prop_assert_eq!(hasher.recover_hash(position, node.fingerprint, index), node.hash);
+        }
+    }
+
+    /// The exact adjacency-list substrate is itself consistent: successor and precursor
+    /// views describe the same edge set.
+    #[test]
+    fn exact_graph_forward_and_reverse_views_agree(items in stream_strategy(60, 200)) {
+        let mut exact = AdjacencyListGraph::new();
+        for &(s, d, w) in &items {
+            exact.insert(s, d, w);
+        }
+        for v in exact.vertices() {
+            for succ in exact.successors(v) {
+                prop_assert!(exact.precursors(succ).contains(&v));
+            }
+            for pred in exact.precursors(v) {
+                prop_assert!(exact.successors(pred).contains(&v));
+            }
+        }
+    }
+
+    /// Zipfian weights and power-law streams from the dataset crate stay within their
+    /// declared bounds (these feed every experiment, so their contract matters).
+    #[test]
+    fn generated_streams_respect_their_profiles(
+        vertices in 10usize..200,
+        edges in 10usize..500,
+        seed in any::<u64>(),
+    ) {
+        let items = gss::datasets::PreferentialAttachmentGenerator::new(vertices, edges, seed)
+            .generate();
+        prop_assert_eq!(items.len(), edges);
+        for item in &items {
+            prop_assert!((item.source as usize) < vertices);
+            prop_assert!((item.destination as usize) < vertices);
+            prop_assert!(item.weight >= 1);
+        }
+    }
+}
