@@ -121,11 +121,8 @@ mod tests {
 
     #[test]
     fn empty_matrix_never_overflows() {
-        let params = BufferModelParams {
-            existing_edges: 0.0,
-            adjacent_edges: 0.0,
-            ..paper_example()
-        };
+        let params =
+            BufferModelParams { existing_edges: 0.0, adjacent_edges: 0.0, ..paper_example() };
         assert_eq!(bucket_overflow_probability(&params), 0.0);
         assert_eq!(leftover_probability(&params), 0.0);
     }

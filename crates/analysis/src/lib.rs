@@ -11,6 +11,18 @@
 //!   (Equations 13–18).
 //! * [`memory`] — memory accounting helpers comparing the paper's GSS and TCM layouts,
 //!   used to size the ratio-memory comparisons of Section VII.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gss_analysis::edge_query_correct_rate;
+//!
+//! // Growing the hash range M with |E| and degree fixed can only help (Fig. 3 shape).
+//! let small = edge_query_correct_rate(1_000.0, 10_000.0, 10.0);
+//! let large = edge_query_correct_rate(1_000_000.0, 10_000.0, 10.0);
+//! assert!(large >= small);
+//! assert!((0.0..=1.0).contains(&small) && (0.0..=1.0).contains(&large));
+//! ```
 
 pub mod buffer_model;
 pub mod collision;

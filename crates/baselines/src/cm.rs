@@ -121,9 +121,7 @@ mod tests {
     use std::collections::HashMap;
 
     fn workload() -> Vec<(EdgeKey, Weight)> {
-        (0..2000)
-            .map(|i| (EdgeKey::new(i % 113, (i * 31) % 97), (i % 4) as Weight + 1))
-            .collect()
+        (0..2000).map(|i| (EdgeKey::new(i % 113, (i * 31) % 97), (i % 4) as Weight + 1)).collect()
     }
 
     #[test]

@@ -66,13 +66,7 @@ impl GMatrix {
                 }
             })
             .collect();
-        Self {
-            width,
-            universe,
-            universe_mask: universe - 1,
-            layers,
-            items_inserted: 0,
-        }
+        Self { width, universe, universe_mask: universe - 1, layers, items_inserted: 0 }
     }
 
     /// Matrix side length.
@@ -104,9 +98,7 @@ impl GMatrix {
         let mut out = Vec::new();
         let mut hash = address as u64;
         while hash < self.universe {
-            let vertex = hash
-                .wrapping_sub(layer.increment)
-                .wrapping_mul(layer.multiplier_inverse)
+            let vertex = hash.wrapping_sub(layer.increment).wrapping_mul(layer.multiplier_inverse)
                 & self.universe_mask;
             out.push(vertex);
             hash += self.width as u64;

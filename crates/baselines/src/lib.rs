@@ -18,6 +18,23 @@
 //! * [`adjacency_baseline`] — the "Adjacency Lists" row of Table I: a map-indexed adjacency
 //!   list with linear-scan aggregation (the hash-map-based exact graph used as ground truth
 //!   lives in [`gss_graph::AdjacencyListGraph`]).
+//!
+//! ## Quick start
+//!
+//! Every baseline implements [`gss_graph::GraphSummary`], so it is queried exactly like
+//! GSS itself:
+//!
+//! ```
+//! use gss_baselines::TcmSketch;
+//! use gss_graph::GraphSummary;
+//!
+//! let mut tcm = TcmSketch::new(64, 3);
+//! tcm.insert(7, 9, 2);
+//! tcm.insert(7, 9, 1);
+//!
+//! // Like all sketch baselines, TCM over-estimates but never under-estimates.
+//! assert!(tcm.edge_weight(7, 9).unwrap_or(0) >= 3);
+//! ```
 
 pub mod adjacency_baseline;
 pub mod cm;

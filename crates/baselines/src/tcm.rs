@@ -46,8 +46,9 @@ impl TcmSketch {
     pub fn new(width: usize, depth: usize) -> Self {
         assert!(width > 0, "TCM width must be positive");
         assert!(depth > 0, "TCM depth must be positive");
-        let layers =
-            (0..depth).map(|i| TcmLayer::new(width, 0x7C31_A5E5 + 0x9E37_79B9 * i as u64)).collect();
+        let layers = (0..depth)
+            .map(|i| TcmLayer::new(width, 0x7C31_A5E5 + 0x9E37_79B9 * i as u64))
+            .collect();
         Self { width, layers, items_inserted: 0, track_node_ids: true }
     }
 
@@ -252,7 +253,7 @@ mod tests {
             tcm.insert(v, v + 100, 1);
         }
         let reported = tcm.successors(0);
-        let true_successors = vec![100u64];
+        let true_successors = [100u64];
         assert!(reported.len() > true_successors.len());
         assert!(reported.contains(&100));
     }
@@ -283,10 +284,7 @@ mod tests {
             *exact.entry((s, d)).or_insert(0) += w;
         }
         let error = |sketch: &TcmSketch| -> i64 {
-            exact
-                .iter()
-                .map(|(&(s, d), &w)| sketch.edge_weight(s, d).unwrap_or(0) - w)
-                .sum::<i64>()
+            exact.iter().map(|(&(s, d), &w)| sketch.edge_weight(s, d).unwrap_or(0) - w).sum::<i64>()
         };
         assert!(error(&deep) <= error(&shallow));
     }

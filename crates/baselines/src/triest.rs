@@ -61,7 +61,7 @@ impl Triest {
     /// # Panics
     /// Panics if `capacity < 3` (no triangle fits in a smaller sample).
     pub fn new(capacity: usize) -> Self {
-        Self::with_seed(capacity, 0x7217_E5)
+        Self::with_seed(capacity, 0x0072_17E5)
     }
 
     /// Creates an estimator with an explicit PRNG seed (for reproducible experiments).

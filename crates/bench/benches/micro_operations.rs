@@ -62,27 +62,14 @@ fn main() {
         let mut group = criterion.benchmark_group("edge_query");
         group.throughput(Throughput::Elements(queries.len() as u64));
         group.bench_function("gss", |b| {
-            b.iter(|| {
-                queries
-                    .iter()
-                    .filter(|&&(s, d)| gss.edge_weight(s, d).is_some())
-                    .count()
-            })
+            b.iter(|| queries.iter().filter(|&&(s, d)| gss.edge_weight(s, d).is_some()).count())
         });
         group.bench_function("tcm", |b| {
-            b.iter(|| {
-                queries
-                    .iter()
-                    .filter(|&&(s, d)| tcm.edge_weight(s, d).is_some())
-                    .count()
-            })
+            b.iter(|| queries.iter().filter(|&&(s, d)| tcm.edge_weight(s, d).is_some()).count())
         });
         group.bench_function("adjacency_list", |b| {
             b.iter(|| {
-                queries
-                    .iter()
-                    .filter(|&&(s, d)| adjacency.edge_weight(s, d).is_some())
-                    .count()
+                queries.iter().filter(|&&(s, d)| adjacency.edge_weight(s, d).is_some()).count()
             })
         });
         group.finish();

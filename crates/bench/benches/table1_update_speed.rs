@@ -4,11 +4,11 @@
 
 use criterion::{BatchSize, Criterion};
 use gss_bench::{bench_scale, emit};
+use gss_core::GssSketch;
 use gss_datasets::SyntheticDataset;
 use gss_experiments::{
     build_gss, build_tcm_with_ratio, gss_config_for, run_table1, DatasetRun, ExperimentScale,
 };
-use gss_core::GssSketch;
 use gss_graph::{AdjacencyListGraph, GraphSummary};
 use std::hint::black_box;
 

@@ -7,24 +7,20 @@
 //!
 //! All targets read the experiment scale from the `GSS_SCALE` environment variable
 //! (`smoke` — default, `laptop`, `paper`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gss_bench::bench_scale;
+//!
+//! // Prints the self-describing banner and returns the scale selected via GSS_SCALE.
+//! let scale = bench_scale("doctest");
+//! assert!(!scale.name().is_empty());
+//! ```
 
-use gss_experiments::{experiments_dir, ExperimentScale, Table};
+use gss_experiments::ExperimentScale;
 
-/// Prints each table and writes it as CSV under `target/experiments/`.
-///
-/// `name` is the CSV base name; multiple tables get `_0`, `_1`, … suffixes.
-pub fn emit(tables: &[Table], name: &str) {
-    let dir = experiments_dir();
-    for (index, table) in tables.iter().enumerate() {
-        table.print();
-        let file =
-            if tables.len() == 1 { name.to_string() } else { format!("{name}_{index}") };
-        match table.write_csv(&dir, &file) {
-            Ok(path) => println!("(csv written to {})\n", path.display()),
-            Err(error) => eprintln!("warning: could not write csv for {file}: {error}\n"),
-        }
-    }
-}
+pub use gss_experiments::emit;
 
 /// The scale selected for this bench run, with a banner so logs are self-describing.
 pub fn bench_scale(target: &str) -> ExperimentScale {
@@ -40,6 +36,7 @@ pub fn bench_scale(target: &str) -> ExperimentScale {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gss_experiments::{experiments_dir, Table};
 
     #[test]
     fn emit_writes_numbered_csvs_for_multiple_tables() {

@@ -58,11 +58,7 @@ impl LeftoverBuffer {
 
     /// Returns the buffered weight of edge `(source, destination)`, if present.
     pub fn edge_weight(&self, source: u64, destination: u64) -> Option<i64> {
-        self.forward
-            .get(&source)?
-            .iter()
-            .find(|e| e.destination == destination)
-            .map(|e| e.weight)
+        self.forward.get(&source)?.iter().find(|e| e.destination == destination).map(|e| e.weight)
     }
 
     /// Destination hashes of all buffered edges leaving `source`.
@@ -80,9 +76,9 @@ impl LeftoverBuffer {
 
     /// Iterates over all buffered edges as `(source, destination, weight)` triples.
     pub fn edges(&self) -> impl Iterator<Item = (u64, u64, i64)> + '_ {
-        self.forward.iter().flat_map(|(&source, list)| {
-            list.iter().map(move |e| (source, e.destination, e.weight))
-        })
+        self.forward
+            .iter()
+            .flat_map(|(&source, list)| list.iter().map(move |e| (source, e.destination, e.weight)))
     }
 
     /// Approximate heap usage in bytes (hash keys + adjacency entries), used by the memory

@@ -262,12 +262,12 @@ mod tests {
         assert!(GssConfig::paper_default(10).with_fingerprint_bits(0).validate().is_err());
         assert!(GssConfig::paper_default(10).with_fingerprint_bits(17).validate().is_err());
         assert!(GssConfig::paper_default(10).with_rooms(0).validate().is_err());
-        assert!(
-            GssConfig { sequence_length: 0, ..GssConfig::paper_default(10) }.validate().is_err()
-        );
-        assert!(
-            GssConfig { sequence_length: 17, ..GssConfig::paper_default(10) }.validate().is_err()
-        );
+        assert!(GssConfig { sequence_length: 0, ..GssConfig::paper_default(10) }
+            .validate()
+            .is_err());
+        assert!(GssConfig { sequence_length: 17, ..GssConfig::paper_default(10) }
+            .validate()
+            .is_err());
         assert!(GssConfig { candidates: 0, ..GssConfig::paper_default(10) }.validate().is_err());
         assert!(GssConfig {
             square_hashing: false,

@@ -182,9 +182,7 @@ mod tests {
     use super::*;
 
     fn hasher(width: usize, fingerprint_bits: u32) -> NodeHasher {
-        NodeHasher::new(
-            &GssConfig::paper_default(width).with_fingerprint_bits(fingerprint_bits),
-        )
+        NodeHasher::new(&GssConfig::paper_default(width).with_fingerprint_bits(fingerprint_bits))
     }
 
     #[test]
@@ -203,9 +201,7 @@ mod tests {
     fn hashing_is_deterministic_and_seed_dependent() {
         let a = hasher(500, 16);
         let b = hasher(500, 16);
-        let c = NodeHasher::new(
-            &GssConfig::paper_default(500).with_hash_seed(12345),
-        );
+        let c = NodeHasher::new(&GssConfig::paper_default(500).with_hash_seed(12345));
         for vertex in 0..100u64 {
             assert_eq!(a.hash_vertex(vertex), b.hash_vertex(vertex));
         }

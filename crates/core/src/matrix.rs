@@ -120,7 +120,12 @@ impl BucketMatrix {
         destination_index: u8,
     ) -> Option<usize> {
         self.bucket(row, column).iter().position(|room| {
-            room.matches(source_fingerprint, destination_fingerprint, source_index, destination_index)
+            room.matches(
+                source_fingerprint,
+                destination_fingerprint,
+                source_index,
+                destination_index,
+            )
         })
     }
 
@@ -255,7 +260,8 @@ mod tests {
         let row1: Vec<(usize, i64)> = matrix.row_rooms(1).map(|(c, r)| (c, r.weight)).collect();
         assert_eq!(row1, vec![(0, 10), (2, 20)]);
 
-        let col2: Vec<(usize, i64)> = matrix.column_rooms(2).map(|(r, room)| (r, room.weight)).collect();
+        let col2: Vec<(usize, i64)> =
+            matrix.column_rooms(2).map(|(r, room)| (r, room.weight)).collect();
         assert_eq!(col2, vec![(0, 30), (1, 20)]);
 
         let all: Vec<(usize, usize, i64)> =

@@ -90,10 +90,7 @@ impl GssSketch {
     ///
     /// # Errors
     /// Returns a [`ConfigError`] if the sketches do not all share `config`.
-    pub fn merge_all(
-        config: GssConfig,
-        sketches: &[GssSketch],
-    ) -> Result<GssSketch, ConfigError> {
+    pub fn merge_all(config: GssConfig, sketches: &[GssSketch]) -> Result<GssSketch, ConfigError> {
         let mut merged = GssSketch::new(config)?;
         for sketch in sketches {
             merged.merge_from(sketch)?;

@@ -316,16 +316,10 @@ mod tests {
     fn bad_magic_and_truncation_are_rejected() {
         let sketch = populated_sketch();
         let bytes = sketch.to_snapshot();
-        assert_eq!(
-            GssSketch::from_snapshot(&[]).err(),
-            Some(PersistenceError::UnexpectedEof)
-        );
+        assert_eq!(GssSketch::from_snapshot(&[]).err(), Some(PersistenceError::UnexpectedEof));
         let mut wrong_magic = bytes.clone();
         wrong_magic[0] = b'X';
-        assert_eq!(
-            GssSketch::from_snapshot(&wrong_magic).err(),
-            Some(PersistenceError::BadMagic)
-        );
+        assert_eq!(GssSketch::from_snapshot(&wrong_magic).err(), Some(PersistenceError::BadMagic));
         let truncated = &bytes[..bytes.len() / 2];
         assert_eq!(
             GssSketch::from_snapshot(truncated).err(),
@@ -333,10 +327,7 @@ mod tests {
         );
         let mut trailing = bytes.clone();
         trailing.push(0);
-        assert!(matches!(
-            GssSketch::from_snapshot(&trailing),
-            Err(PersistenceError::Corrupt(_))
-        ));
+        assert!(matches!(GssSketch::from_snapshot(&trailing), Err(PersistenceError::Corrupt(_))));
     }
 
     #[test]

@@ -50,7 +50,8 @@ struct Candidate {
 
 /// Upper bound on probed candidates per edge (`r² ≤ 16²`); sized so the probe list lives on
 /// the stack — the insert path performs no heap allocation.
-const MAX_CANDIDATES: usize = crate::config::MAX_SEQUENCE_LENGTH * crate::config::MAX_SEQUENCE_LENGTH;
+const MAX_CANDIDATES: usize =
+    crate::config::MAX_SEQUENCE_LENGTH * crate::config::MAX_SEQUENCE_LENGTH;
 
 impl GssSketch {
     /// Builds a sketch from a validated configuration.
@@ -175,11 +176,11 @@ impl GssSketch {
         } else {
             // Probe the full r × r square in row-major order, as in Section V-A.
             let mut count = 0;
-            for i in 0..r {
-                for j in 0..r {
+            for (i, &row) in source_addresses.iter().take(r).enumerate() {
+                for (j, &column) in destination_addresses.iter().take(r).enumerate() {
                     out[count] = Candidate {
-                        row: source_addresses[i],
-                        column: destination_addresses[j],
+                        row,
+                        column,
                         source_index: i as u8,
                         destination_index: j as u8,
                     };
@@ -222,10 +223,7 @@ impl GssSketch {
     /// Without id tracking the raw hashes are returned (documented fallback).
     fn hashes_to_vertices(&self, hashes: impl IntoIterator<Item = u64>) -> Vec<VertexId> {
         let mut out: Vec<VertexId> = if self.config.track_node_ids {
-            hashes
-                .into_iter()
-                .flat_map(|h| self.node_map.vertices_for(h).iter().copied())
-                .collect()
+            hashes.into_iter().flat_map(|h| self.node_map.vertices_for(h).iter().copied()).collect()
         } else {
             hashes.into_iter().collect()
         };
@@ -249,7 +247,12 @@ impl GssSketch {
 
     /// Inserts an edge whose endpoints are already in the hashed space (used by merging);
     /// does not touch the node-id table.
-    pub(crate) fn insert_hashed(&mut self, source_hash: u64, destination_hash: u64, weight: Weight) {
+    pub(crate) fn insert_hashed(
+        &mut self,
+        source_hash: u64,
+        destination_hash: u64,
+        weight: Weight,
+    ) {
         let source_node = self.hasher.split(source_hash);
         let destination_node = self.hasher.split(destination_hash);
         self.insert_nodes(source_node, destination_node, weight);
@@ -291,7 +294,12 @@ impl GssSketch {
     }
 
     /// Restores one buffered edge (used by persistence).
-    pub(crate) fn restore_buffered(&mut self, source_hash: u64, destination_hash: u64, weight: Weight) {
+    pub(crate) fn restore_buffered(
+        &mut self,
+        source_hash: u64,
+        destination_hash: u64,
+        weight: Weight,
+    ) {
         self.buffer.insert(source_hash, destination_hash, weight);
     }
 
@@ -310,7 +318,12 @@ impl GssSketch {
     /// buffer when all candidates are full (Section V, edge updating).  Because rooms are
     /// never freed, stopping at the first free room can never split an edge across two
     /// rooms, so Theorem 1 (exact storage of `G_h`) is preserved.
-    fn insert_nodes(&mut self, source_node: HashedNode, destination_node: HashedNode, weight: Weight) {
+    fn insert_nodes(
+        &mut self,
+        source_node: HashedNode,
+        destination_node: HashedNode,
+        weight: Weight,
+    ) {
         let mut candidates = [Candidate::default(); MAX_CANDIDATES];
         let count = self.collect_candidates(source_node, destination_node, &mut candidates);
         for candidate in &candidates[..count] {
@@ -633,8 +646,8 @@ mod tests {
     #[test]
     fn weights_never_underestimate_on_random_streams() {
         // Over-estimation is allowed (collisions add weight), under-estimation is not.
-        let mut sketch = GssSketch::new(GssConfig::paper_small(48).with_fingerprint_bits(8))
-            .unwrap();
+        let mut sketch =
+            GssSketch::new(GssConfig::paper_small(48).with_fingerprint_bits(8)).unwrap();
         let mut exact = AdjacencyListGraph::new();
         let mut state = 12345u64;
         for _ in 0..3000 {

@@ -16,6 +16,19 @@
 //!   same scale as the paper (CAIDA is scaled down, see `DESIGN.md`).
 //! * [`snap`] — a parser for SNAP-style edge-list files so the real datasets can be dropped
 //!   in when available.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gss_datasets::PreferentialAttachmentGenerator;
+//!
+//! let items = PreferentialAttachmentGenerator::new(50, 200, 7).generate();
+//! assert_eq!(items.len(), 200);
+//! assert!(items.iter().all(|e| (e.source as usize) < 50 && e.weight >= 1));
+//!
+//! // Same seed, same stream — every experiment is reproducible bit-for-bit.
+//! assert_eq!(items, PreferentialAttachmentGenerator::new(50, 200, 7).generate());
+//! ```
 
 pub mod powerlaw;
 pub mod rng;

@@ -61,7 +61,7 @@ impl SyntheticDataset {
                 stream_items: 420_045,
                 scale: 1.0,
                 repeat_probability: 0.10,
-                seed: 0xE44A_11,
+                seed: 0x00E4_4A11,
             },
             SyntheticDataset::CitHepPh => DatasetProfile {
                 dataset: self,
@@ -77,7 +77,7 @@ impl SyntheticDataset {
                 stream_items: 1_497_134,
                 scale: 1.0,
                 repeat_probability: 0.05,
-                seed: 0x40D8_EDA,
+                seed: 0x040D_8EDA,
             },
             SyntheticDataset::LkmlReply => DatasetProfile {
                 dataset: self,
@@ -85,7 +85,7 @@ impl SyntheticDataset {
                 stream_items: 1_096_440,
                 scale: 1.0,
                 repeat_probability: 0.45,
-                seed: 0x1C71_0BE,
+                seed: 0x01C7_10BE,
             },
             SyntheticDataset::CaidaNetworkFlow => DatasetProfile {
                 dataset: self,
@@ -93,7 +93,7 @@ impl SyntheticDataset {
                 stream_items: 445_440_480,
                 scale: 1.0,
                 repeat_probability: 0.80,
-                seed: 0xCA1D_A0,
+                seed: 0x00CA_1DA0,
             },
         }
     }

@@ -118,12 +118,12 @@ mod tests {
         let sampler = ZipfSampler::new(20, 1.5);
         let mut rng = Xoshiro256::seed_from_u64(3);
         let draws = 200_000;
-        let mut counts = vec![0usize; 21];
+        let mut counts = [0usize; 21];
         for _ in 0..draws {
             counts[sampler.sample(&mut rng)] += 1;
         }
-        for rank in 1..=5 {
-            let observed = counts[rank] as f64 / draws as f64;
+        for (rank, &count) in counts.iter().enumerate().take(6).skip(1) {
+            let observed = count as f64 / draws as f64;
             let expected = sampler.pmf(rank);
             assert!(
                 (observed - expected).abs() < 0.01,

@@ -16,46 +16,30 @@ use gss_experiments::figures::{
     run_fig03, run_fig13, run_fig14, run_fig15, run_model_vs_measured, run_parameter_ablation,
     run_table1,
 };
-use gss_experiments::{experiments_dir, AccuracyFigure, ExperimentScale, Table};
-
-fn emit(tables: Vec<Table>, name: &str) {
-    let dir = experiments_dir();
-    for (index, table) in tables.iter().enumerate() {
-        table.print();
-        let file = if tables.len() == 1 {
-            name.to_string()
-        } else {
-            format!("{name}_{index}")
-        };
-        match table.write_csv(&dir, &file) {
-            Ok(path) => println!("(csv written to {})\n", path.display()),
-            Err(error) => eprintln!("warning: could not write csv for {file}: {error}\n"),
-        }
-    }
-}
+use gss_experiments::{emit, AccuracyFigure, ExperimentScale, Table};
 
 fn accuracy(figure: AccuracyFigure, scale: ExperimentScale, name: &str) {
     let tables: Vec<Table> = SyntheticDataset::ALL
         .iter()
         .map(|&dataset| run_accuracy_figure(figure, dataset, scale))
         .collect();
-    emit(tables, name);
+    emit(&tables, name);
 }
 
 fn run(experiment: &str, scale: ExperimentScale) -> bool {
     match experiment {
-        "fig03" => emit(run_fig03(), "fig03_theory"),
+        "fig03" => emit(&run_fig03(), "fig03_theory"),
         "fig08" => accuracy(AccuracyFigure::EdgeQueryAre, scale, "fig08_edge_query_are"),
         "fig09" => accuracy(AccuracyFigure::PrecursorPrecision, scale, "fig09_precursor_precision"),
         "fig10" => accuracy(AccuracyFigure::SuccessorPrecision, scale, "fig10_successor_precision"),
         "fig11" => accuracy(AccuracyFigure::NodeQueryAre, scale, "fig11_node_query_are"),
         "fig12" => accuracy(AccuracyFigure::ReachabilityTnr, scale, "fig12_reachability_tnr"),
-        "fig13" => emit(run_fig13(scale), "fig13_buffer_percentage"),
-        "table1" => emit(vec![run_table1(scale)], "table1_update_speed"),
-        "fig14" => emit(vec![run_fig14(scale)], "fig14_triangle_count"),
-        "fig15" => emit(vec![run_fig15(scale)], "fig15_subgraph_matching"),
-        "ablation" => emit(vec![run_parameter_ablation(scale)], "ablation_parameters"),
-        "model" => emit(vec![run_model_vs_measured(scale)], "ablation_model_vs_measured"),
+        "fig13" => emit(&run_fig13(scale), "fig13_buffer_percentage"),
+        "table1" => emit(&[run_table1(scale)], "table1_update_speed"),
+        "fig14" => emit(&[run_fig14(scale)], "fig14_triangle_count"),
+        "fig15" => emit(&[run_fig15(scale)], "fig15_subgraph_matching"),
+        "ablation" => emit(&[run_parameter_ablation(scale)], "ablation_parameters"),
+        "model" => emit(&[run_model_vs_measured(scale)], "ablation_model_vs_measured"),
         "all" => {
             for experiment in [
                 "fig03", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "table1", "fig14",

@@ -86,7 +86,12 @@ fn reports_unreachable<S: GraphSummary + ?Sized>(
 }
 
 /// Evaluates one summary under the figure's metric.
-fn evaluate<S: GraphSummary>(figure: AccuracyFigure, summary: &S, run: &DatasetRun, sample: usize) -> f64 {
+fn evaluate<S: GraphSummary>(
+    figure: AccuracyFigure,
+    summary: &S,
+    run: &DatasetRun,
+    sample: usize,
+) -> f64 {
     match figure {
         AccuracyFigure::EdgeQueryAre => {
             let queries = run.edge_query_sample(sample, 0xED6E);
@@ -125,10 +130,8 @@ fn evaluate<S: GraphSummary>(figure: AccuracyFigure, summary: &S, run: &DatasetR
         AccuracyFigure::ReachabilityTnr => {
             let pairs = run.unreachable_pairs(100.min(sample), 0x3EAC);
             let limit = run.vertices.len() * 2;
-            let negatives = pairs
-                .iter()
-                .filter(|&&(s, d)| reports_unreachable(summary, s, d, limit))
-                .count();
+            let negatives =
+                pairs.iter().filter(|&&(s, d)| reports_unreachable(summary, s, d, limit)).count();
             true_negative_recall(negatives, pairs.len())
         }
     }

@@ -39,19 +39,14 @@ fn gss_width_for_tenth(bytes: usize) -> usize {
 }
 
 /// Evaluates one window: returns `(correct, attempted)` GSS pattern verdicts.
-fn evaluate_window(
-    window: &[StreamEdge],
-    instances_per_size: usize,
-    seed: u64,
-) -> (usize, usize) {
+fn evaluate_window(window: &[StreamEdge], instances_per_size: usize, seed: u64) -> (usize, usize) {
     let exact = ExactWindowMatcher::from_window(window);
     if exact.vertex_count() < 4 {
         return (0, 0);
     }
-    let mut gss = GssSketch::new(GssConfig::paper_default(gss_width_for_tenth(
-        exact.memory_bytes(),
-    )))
-    .expect("valid config");
+    let mut gss =
+        GssSketch::new(GssConfig::paper_default(gss_width_for_tenth(exact.memory_bytes())))
+            .expect("valid config");
     for item in window {
         gss.insert(item.source, item.destination, item.weight);
     }

@@ -16,11 +16,8 @@ use gss_datasets::SyntheticDataset;
 use gss_graph::GraphSummary;
 
 /// The datasets of Table I.
-pub const TABLE1_DATASETS: [SyntheticDataset; 3] = [
-    SyntheticDataset::EmailEuAll,
-    SyntheticDataset::CitHepPh,
-    SyntheticDataset::WebNotreDame,
-];
+pub const TABLE1_DATASETS: [SyntheticDataset; 3] =
+    [SyntheticDataset::EmailEuAll, SyntheticDataset::CitHepPh, SyntheticDataset::WebNotreDame];
 
 /// Number of insert repetitions per structure (100 in the paper).
 fn repetitions(scale: ExperimentScale) -> usize {
@@ -50,9 +47,14 @@ fn speed_width(run: &DatasetRun, scale: ExperimentScale) -> usize {
     widths[widths.len() / 2]
 }
 
-/// Runs Table I for one dataset and returns `(gss, gss_no_sampling, tcm, adjacency_list)`
-/// in Mips.
-pub fn run_table1_dataset(dataset: SyntheticDataset, scale: ExperimentScale) -> (f64, f64, f64, f64) {
+/// Update speeds in Mips for `(gss, gss_no_sampling, tcm, adjacency_list)` on one dataset.
+pub type SpeedMeasurements = (f64, f64, f64, f64);
+
+/// A Table I row: the structure's display name and its column extractor.
+type SpeedRow = (&'static str, fn(&SpeedMeasurements) -> f64);
+
+/// Runs Table I for one dataset and returns a [`SpeedMeasurements`] tuple.
+pub fn run_table1_dataset(dataset: SyntheticDataset, scale: ExperimentScale) -> SpeedMeasurements {
     let run = DatasetRun::build(dataset, scale);
     run_table1_dataset_on(dataset, scale, &run)
 }
@@ -62,7 +64,7 @@ pub fn run_table1_dataset_on(
     dataset: SyntheticDataset,
     scale: ExperimentScale,
     run: &DatasetRun,
-) -> (f64, f64, f64, f64) {
+) -> SpeedMeasurements {
     let repeats = repetitions(scale);
     let width = speed_width(run, scale);
     let gss = measure(run, repeats, || build_gss(dataset, width, 16));
@@ -85,7 +87,7 @@ pub fn run_table1(scale: ExperimentScale) -> Table {
     for dataset in TABLE1_DATASETS {
         results.push(run_table1_dataset(dataset, scale));
     }
-    let rows: [(&str, fn(&(f64, f64, f64, f64)) -> f64); 4] = [
+    let rows: [SpeedRow; 4] = [
         ("GSS", |r| r.0),
         ("GSS(no sampling)", |r| r.1),
         ("TCM", |r| r.2),

@@ -17,6 +17,21 @@
 //!
 //! The `gss-experiments` binary exposes all of this on the command line; the `gss-bench`
 //! crate wraps the same runners as `cargo bench` targets.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gss_experiments::{ExperimentScale, Table};
+//!
+//! // The scale is read from GSS_SCALE (smoke by default) and round-trips by name.
+//! let scale = ExperimentScale::from_env();
+//! assert_eq!(ExperimentScale::parse(scale.name()), Some(scale));
+//!
+//! // Result tables render to ASCII and CSV.
+//! let mut table = Table::new("demo", &["x", "y"]);
+//! table.push_row(vec!["1".into(), "2".into()]);
+//! assert!(table.to_csv().contains("1,2"));
+//! ```
 
 pub mod builders;
 pub mod context;
@@ -31,5 +46,5 @@ pub use figures::{
     run_accuracy_figure, run_fig03, run_fig13, run_fig14, run_fig15, run_model_vs_measured,
     run_parameter_ablation, run_table1, AccuracyFigure,
 };
-pub use report::{experiments_dir, Table};
+pub use report::{emit, experiments_dir, Table};
 pub use scale::ExperimentScale;

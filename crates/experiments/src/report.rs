@@ -61,7 +61,7 @@ impl Table {
         };
         out.push_str(&format_row(&self.headers));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1).max(0)));
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&format_row(row));
@@ -103,10 +103,40 @@ impl Table {
     }
 }
 
-/// The default output directory for experiment CSVs: `target/experiments/`.
+/// The default output directory for experiment CSVs: `target/experiments/` under the
+/// workspace root.
+///
+/// Benches and per-crate tests run with the crate directory as CWD, so a bare relative
+/// `target` would scatter `crates/*/target/` directories around the workspace; anchoring
+/// at the nearest ancestor holding a `Cargo.lock` keeps every writer on the same path.
 pub fn experiments_dir() -> PathBuf {
-    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
-    Path::new(&target).join("experiments")
+    if let Ok(target) = std::env::var("CARGO_TARGET_DIR") {
+        return Path::new(&target).join("experiments");
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target").join("experiments");
+        }
+        if !dir.pop() {
+            return Path::new("target").join("experiments");
+        }
+    }
+}
+
+/// Prints each table and writes it as CSV under [`experiments_dir`].
+///
+/// `name` is the CSV base name; multiple tables get `_0`, `_1`, … suffixes.
+pub fn emit(tables: &[Table], name: &str) {
+    let dir = experiments_dir();
+    for (index, table) in tables.iter().enumerate() {
+        table.print();
+        let file = if tables.len() == 1 { name.to_string() } else { format!("{name}_{index}") };
+        match table.write_csv(&dir, &file) {
+            Ok(path) => println!("(csv written to {})\n", path.display()),
+            Err(error) => eprintln!("warning: could not write csv for {file}: {error}\n"),
+        }
+    }
 }
 
 /// Formats a float with enough precision for the metrics in this workspace.

@@ -61,9 +61,9 @@ impl AdjacencyListGraph {
 
     /// Iterates over all distinct edges and their aggregated weights.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeKey, Weight)> + '_ {
-        self.out_edges.iter().flat_map(|(&s, targets)| {
-            targets.iter().map(move |(&d, &w)| (EdgeKey::new(s, d), w))
-        })
+        self.out_edges
+            .iter()
+            .flat_map(|(&s, targets)| targets.iter().map(move |(&d, &w)| (EdgeKey::new(s, d), w)))
     }
 
     /// Returns all vertices that appear in the graph (as source or destination).
@@ -95,10 +95,7 @@ impl AdjacencyListGraph {
     /// Sum of the weights of all in-coming edges of `vertex`.
     pub fn node_in_weight(&self, vertex: VertexId) -> Weight {
         self.in_edges.get(&vertex).map_or(0, |sources| {
-            sources
-                .iter()
-                .filter_map(|s| self.out_edges.get(s).and_then(|t| t.get(&vertex)))
-                .sum()
+            sources.iter().filter_map(|s| self.out_edges.get(s).and_then(|t| t.get(&vertex))).sum()
         })
     }
 

@@ -18,6 +18,24 @@
 //! * [`interner::StringInterner`] — maps external identifiers (IP addresses, e-mail
 //!   addresses, URLs…) to dense [`VertexId`]s, mirroring the `⟨H(v), v⟩` hash table the
 //!   paper keeps next to the sketch.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gss_graph::{AdjacencyListGraph, GraphSummary};
+//!
+//! let mut graph = AdjacencyListGraph::new();
+//! graph.insert(1, 2, 3);
+//! graph.insert(2, 3, 1);
+//!
+//! // The three query primitives of Definition 4…
+//! assert_eq!(graph.edge_weight(1, 2), Some(3));
+//! assert_eq!(graph.successors(2), vec![3]);
+//! assert_eq!(graph.precursors(2), vec![1]);
+//!
+//! // …and a compound query written against the `GraphSummary` trait.
+//! assert!(gss_graph::algorithms::is_reachable(&graph, 1, 3));
+//! ```
 
 pub mod algorithms;
 pub mod exact;

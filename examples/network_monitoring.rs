@@ -24,7 +24,7 @@ fn ip(subnet: u8, host: u64) -> String {
 fn main() {
     let mut interner = StringInterner::new();
     let mut sketch = GssSketch::new(GssConfig::paper_default(512)).expect("valid configuration");
-    let mut rng = Xoshiro256::seed_from_u64(0x5EC0_11D);
+    let mut rng = Xoshiro256::seed_from_u64(0x05EC_011D);
 
     // Simulate a day of flow records: 200 workstations talk to 20 servers, a scanner probes
     // everything, and the payment system only accepts traffic from the API gateway.

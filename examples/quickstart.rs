@@ -42,9 +42,21 @@ fn main() {
     println!("== GSS quickstart (stream of Fig. 1, {} items) ==\n", stream.len());
 
     // Primitive 1: edge queries.
-    println!("edge query   a->c : GSS = {:?}, exact = {:?}", sketch.edge_weight(1, 3), exact.edge_weight(1, 3));
-    println!("edge query   d->a : GSS = {:?}, exact = {:?}", sketch.edge_weight(4, 1), exact.edge_weight(4, 1));
-    println!("edge query   c->a : GSS = {:?}, exact = {:?} (absent)", sketch.edge_weight(3, 1), exact.edge_weight(3, 1));
+    println!(
+        "edge query   a->c : GSS = {:?}, exact = {:?}",
+        sketch.edge_weight(1, 3),
+        exact.edge_weight(1, 3)
+    );
+    println!(
+        "edge query   d->a : GSS = {:?}, exact = {:?}",
+        sketch.edge_weight(4, 1),
+        exact.edge_weight(4, 1)
+    );
+    println!(
+        "edge query   c->a : GSS = {:?}, exact = {:?} (absent)",
+        sketch.edge_weight(3, 1),
+        exact.edge_weight(3, 1)
+    );
 
     // Primitive 2 and 3: 1-hop successor / precursor queries.
     println!("\nsuccessors of a  : GSS = {:?}", sketch.successors(1));
@@ -53,9 +65,21 @@ fn main() {
     println!("precursors of f  : exact = {:?}", exact.precursors(6));
 
     // Compound queries built on the primitives.
-    println!("\nnode query (out-weight of a): GSS = {}, exact = {}", node_out_weight(&sketch, 1), exact.node_out_weight(1));
-    println!("reachability b ~> e         : GSS = {}, exact = {}", is_reachable(&sketch, 2, 5), exact.is_reachable(2, 5));
-    println!("reachability g ~> a         : GSS = {}, exact = {}", is_reachable(&sketch, 7, 1), exact.is_reachable(7, 1));
+    println!(
+        "\nnode query (out-weight of a): GSS = {}, exact = {}",
+        node_out_weight(&sketch, 1),
+        exact.node_out_weight(1)
+    );
+    println!(
+        "reachability b ~> e         : GSS = {}, exact = {}",
+        is_reachable(&sketch, 2, 5),
+        exact.is_reachable(2, 5)
+    );
+    println!(
+        "reachability g ~> a         : GSS = {}, exact = {}",
+        is_reachable(&sketch, 7, 1),
+        exact.is_reachable(7, 1)
+    );
 
     // Structure statistics.
     let stats = sketch.detailed_stats();

@@ -13,11 +13,7 @@ use std::collections::HashMap;
 
 /// Recommends up to `limit` two-hop neighbours of `user`, ranked by the sum of
 /// `w(user → friend) + w(friend → candidate)` over all connecting friends.
-fn recommend(
-    sketch: &GssSketch,
-    user: VertexId,
-    limit: usize,
-) -> Vec<(VertexId, i64)> {
+fn recommend(sketch: &GssSketch, user: VertexId, limit: usize) -> Vec<(VertexId, i64)> {
     let direct: Vec<VertexId> = sketch.successors(user);
     let direct_set: std::collections::HashSet<VertexId> = direct.iter().copied().collect();
     let mut scores: HashMap<VertexId, i64> = HashMap::new();
@@ -78,12 +74,16 @@ fn main() {
         let truly_two_hop = recommendations
             .iter()
             .filter(|(candidate, _)| {
-                exact.successors(user).iter().any(|&friend| {
-                    exact.edge_weight(friend, *candidate).is_some()
-                })
+                exact
+                    .successors(user)
+                    .iter()
+                    .any(|&friend| exact.edge_weight(friend, *candidate).is_some())
             })
             .count();
-        println!("  verified against exact graph: {truly_two_hop}/{} are true two-hop contacts\n", recommendations.len());
+        println!(
+            "  verified against exact graph: {truly_two_hop}/{} are true two-hop contacts\n",
+            recommendations.len()
+        );
     }
 
     let stats = sketch.detailed_stats();

@@ -48,8 +48,7 @@ pub mod prelude {
     pub use gss_core::{ConcurrentGss, GssConfig, GssSketch};
     pub use gss_datasets::{DatasetProfile, SyntheticDataset};
     pub use gss_graph::{
-        AdjacencyListGraph, GraphStream, GraphSummary, StreamEdge, StringInterner, VertexId,
-        Weight,
+        AdjacencyListGraph, GraphStream, GraphSummary, StreamEdge, StringInterner, VertexId, Weight,
     };
 }
 

@@ -4,9 +4,7 @@
 //! These tests exercise the public API exactly as the experiment harness does: generate a
 //! synthetic stream, feed every summary, and compare answers against the ground truth.
 
-use gss::graph::algorithms::{
-    count_triangles, is_reachable, node_out_weight, reconstruct_graph,
-};
+use gss::graph::algorithms::{count_triangles, is_reachable, node_out_weight, reconstruct_graph};
 use gss::prelude::*;
 
 /// A deterministic mid-sized stream with repeated edges and a hub vertex.

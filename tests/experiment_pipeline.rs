@@ -65,12 +65,8 @@ fn fig10_and_fig09_precision_orderings_hold() {
 fn fig11_and_fig12_compound_queries_favour_gss() {
     let dataset = SyntheticDataset::CitHepPh;
     let run = tiny(dataset);
-    let node = run_accuracy_figure_on(
-        AccuracyFigure::NodeQueryAre,
-        dataset,
-        ExperimentScale::Smoke,
-        &run,
-    );
+    let node =
+        run_accuracy_figure_on(AccuracyFigure::NodeQueryAre, dataset, ExperimentScale::Smoke, &run);
     let last = node.rows.last().unwrap();
     assert!(parse(&last[2]) <= parse(&last[3]) + 1e-9);
 

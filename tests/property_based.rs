@@ -22,11 +22,11 @@ fn stream_strategy(vertices: u64, len: usize) -> impl Strategy<Value = Vec<(u64,
 /// Strategy: a GSS configuration drawn from the interesting corners of the parameter space.
 fn config_strategy() -> impl Strategy<Value = GssConfig> {
     (
-        8usize..48,      // width
-        prop::sample::select(vec![8u32, 12, 16]), // fingerprint bits
-        1usize..3,       // rooms
+        8usize..48,                                   // width
+        prop::sample::select(vec![8u32, 12, 16]),     // fingerprint bits
+        1usize..3,                                    // rooms
         prop::sample::select(vec![1usize, 4, 8, 16]), // sequence length
-        any::<bool>(),   // sampling
+        any::<bool>(),                                // sampling
     )
         .prop_map(|(width, fingerprint_bits, rooms, sequence_length, sampling)| {
             let square_hashing = sequence_length > 1;

@@ -1,0 +1,57 @@
+//! Workspace smoke test: every target in the workspace — libraries, binaries, examples,
+//! integration tests and all `harness = false` bench targets — must at least compile.
+//!
+//! Benches and examples are not exercised by `cargo test`, so without this check they can
+//! bit-rot silently until someone runs `cargo bench`. Shelling out to `cargo check` from a
+//! test keeps the guarantee inside the tier-1 command (`cargo test -q`) instead of relying
+//! on CI configuration alone.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Locates the workspace root from this test binary's manifest dir.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn all_workspace_targets_compile() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(&cargo)
+        .args(["check", "--workspace", "--all-targets", "--quiet"])
+        .current_dir(workspace_root())
+        // Never pick up a partially-overridden toolchain from the test env.
+        .env_remove("RUSTC_WRAPPER")
+        .output()
+        .expect("failed to spawn `cargo check` — is cargo on PATH?");
+    assert!(
+        output.status.success(),
+        "`cargo check --workspace --all-targets` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn bench_targets_are_all_registered() {
+    // Every file in crates/bench/benches must have a [[bench]] entry with harness = false;
+    // an unregistered file would be silently skipped by `cargo bench`.
+    let bench_dir = workspace_root().join("crates/bench/benches");
+    let manifest = std::fs::read_to_string(workspace_root().join("crates/bench/Cargo.toml"))
+        .expect("bench manifest readable");
+    let mut missing = Vec::new();
+    for entry in std::fs::read_dir(&bench_dir).expect("benches dir readable") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+            if !manifest.contains(&format!("name = \"{stem}\"")) {
+                missing.push(stem);
+            }
+        }
+    }
+    assert!(missing.is_empty(), "bench files without a [[bench]] manifest entry: {missing:?}");
+    assert_eq!(
+        manifest.matches("harness = false").count(),
+        manifest.matches("[[bench]]").count(),
+        "every [[bench]] target must set harness = false"
+    );
+}

@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this shim implements the subset of
+//! the criterion API the bench targets use (`benchmark_group`, `bench_function`,
+//! `iter` / `iter_batched`, `Throughput`, `BatchSize`) as a small wall-clock harness.
+//! It has none of criterion's statistics — each benchmark runs `sample_size` samples and
+//! reports the mean, min and max per-iteration time, plus derived throughput when
+//! declared. Output goes to stdout so `cargo bench` logs stay self-describing.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// How measured throughput should be reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Hint for how expensive batched-setup inputs are; the shim treats all variants alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration, mirroring criterion's builder.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup { name, sample_size: self.sample_size, throughput: None, _criterion: self }
+    }
+
+    /// Prints the closing banner; the shim keeps no cross-group state to summarise.
+    pub fn final_summary(&mut self) {
+        println!("benchmarks complete");
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput used to derive rates in the report.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the group's sample count.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs and reports a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        for _ in 0..self.sample_size {
+            routine(&mut bencher);
+        }
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Closes the group (report lines are emitted eagerly, so this is just a separator).
+    pub fn finish(self) {
+        println!();
+    }
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("  {}/{id}: no samples recorded", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(count)) if !mean.is_zero() => {
+                format!(" ({:.3} Melem/s)", count as f64 / mean.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(count)) if !mean.is_zero() => {
+                format!(" ({:.3} MiB/s)", count as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {}/{id}: mean {mean:?}, min {min:?}, max {max:?} over {} samples{rate}",
+            self.name,
+            samples.len()
+        );
+    }
+}
+
+/// Per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        std_black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+
+    /// Times one sample of `routine` over a freshly built input, excluding setup time.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        std_black_box(routine(input));
+        self.samples.push(start.elapsed());
+    }
+
+    /// Like [`iter_batched`](Self::iter_batched), but the routine borrows the input.
+    pub fn iter_batched_ref<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut input = setup();
+        let start = Instant::now();
+        std_black_box(routine(&mut input));
+        self.samples.push(start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_one_sample_per_run() {
+        let mut criterion = Criterion::default().configure_from_args().sample_size(3);
+        let mut calls = 0u32;
+        {
+            let mut group = criterion.benchmark_group("shim_test");
+            group.throughput(Throughput::Elements(4));
+            group.bench_function("count_calls", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    calls
+                })
+            });
+            group.finish();
+        }
+        criterion.final_summary();
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn iter_batched_rebuilds_input_each_sample() {
+        let mut criterion = Criterion::default().sample_size(2);
+        let mut setups = 0u32;
+        let mut group = criterion.benchmark_group("batched");
+        group.bench_function("setup_count", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8, 2, 3]
+                },
+                |input| input.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 2);
+    }
+
+    #[test]
+    fn sample_size_never_drops_to_zero() {
+        let mut criterion = Criterion::default().sample_size(0);
+        let mut calls = 0u32;
+        let mut group = criterion.benchmark_group("clamp");
+        group.bench_function("once", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this workspace vendors the minimal
+//! serde surface the codebase uses: the `Serialize` / `Deserialize` trait names and the
+//! matching derive macros. No serialization format crate is linked anywhere, so the
+//! traits are markers with blanket impls and the derives are no-ops; swapping this
+//! directory for the real crates requires no source changes elsewhere.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace mirror of `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
