@@ -12,7 +12,7 @@
 //! nested hash maps and serves as the *ground truth* for accuracy experiments; this type
 //! reproduces the *performance characteristics* of the baseline the paper times.
 
-use gss_graph::{GraphSummary, SummaryStats, VertexId, Weight};
+use gss_graph::{SummaryRead, SummaryStats, SummaryWrite, VertexId, Weight};
 use std::collections::HashMap;
 
 /// One linked-list cell: a directed edge entry plus the index of the next cell of the same
@@ -74,7 +74,7 @@ impl PaperAdjacencyList {
     }
 }
 
-impl GraphSummary for PaperAdjacencyList {
+impl SummaryWrite for PaperAdjacencyList {
     fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
         self.items_inserted += 1;
         let head = self.forward_heads.get(&source).copied().unwrap_or(NIL);
@@ -96,7 +96,9 @@ impl GraphSummary for PaperAdjacencyList {
         self.backward_heads.insert(destination, reverse_cell);
         self.edge_count += 1;
     }
+}
 
+impl SummaryRead for PaperAdjacencyList {
     fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight> {
         let head = self.forward_heads.get(&source).copied()?;
         self.walk(head, destination).map(|cell| self.forward_cells[cell].weight)

@@ -9,7 +9,7 @@
 //! `DESIGN.md` for the substitution note.
 
 use gss_graph::algorithms::{find_pattern_matches, PatternGraph};
-use gss_graph::{AdjacencyListGraph, GraphSummary, StreamEdge, VertexId};
+use gss_graph::{AdjacencyListGraph, StreamEdge, SummaryRead, SummaryWrite, VertexId};
 
 /// An exact matcher over a window of stream items.
 #[derive(Debug, Clone)]

@@ -13,7 +13,7 @@
 //! address by `H(v) mod m`.  Inverting an address enumerates the `U / m` hash values that
 //! reduce to it and maps each back through `v = a⁻¹ (H − b) mod U`.
 
-use gss_graph::{GraphSummary, SummaryStats, VertexId, Weight};
+use gss_graph::{SummaryRead, SummaryStats, SummaryWrite, VertexId, Weight};
 
 /// Modular multiplicative inverse of an odd `a` modulo `2^64` (Newton iteration).
 fn inverse_pow2(a: u64) -> u64 {
@@ -142,7 +142,7 @@ impl GMatrix {
     }
 }
 
-impl GraphSummary for GMatrix {
+impl SummaryWrite for GMatrix {
     fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
         self.items_inserted += 1;
         let width = self.width;
@@ -155,7 +155,9 @@ impl GraphSummary for GMatrix {
             layer.counters[row * width + column] += weight;
         }
     }
+}
 
+impl SummaryRead for GMatrix {
     fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight> {
         let estimate = self
             .layers

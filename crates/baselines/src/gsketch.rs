@@ -10,13 +10,19 @@
 //! topology queries.
 
 use crate::cm::CmSketch;
-use gss_graph::{EdgeKey, Weight};
+use gss_graph::{EdgeKey, SummaryWrite, VertexId, Weight};
 
 /// A gSketch: `partitions` Count-Min sketches, each receiving the edges whose source vertex
 /// hashes to it.
+///
+/// gSketch supports edge-weight estimation but **no topology queries**, so it implements
+/// only the write half of the summary API ([`SummaryWrite`]) — it can be driven by the same
+/// ingest paths (per-item, batch, stream) as the full summaries, and queried through
+/// [`estimate`](GSketch::estimate).
 #[derive(Debug, Clone)]
 pub struct GSketch {
     partitions: Vec<CmSketch>,
+    items_inserted: u64,
 }
 
 impl GSketch {
@@ -26,12 +32,21 @@ impl GSketch {
     /// Panics if `partitions == 0`.
     pub fn new(partitions: usize, width: usize, depth: usize) -> Self {
         assert!(partitions > 0, "gSketch needs at least one partition");
-        Self { partitions: (0..partitions).map(|_| CmSketch::new(width, depth)).collect() }
+        Self {
+            partitions: (0..partitions).map(|_| CmSketch::new(width, depth)).collect(),
+            items_inserted: 0,
+        }
     }
 
     /// Number of partitions.
     pub fn partitions(&self) -> usize {
         self.partitions.len()
+    }
+
+    /// Number of stream items inserted so far (via [`update`](GSketch::update) or the
+    /// [`SummaryWrite`] ingest paths).
+    pub fn items_inserted(&self) -> u64 {
+        self.items_inserted
     }
 
     /// Total memory footprint in bytes.
@@ -47,6 +62,7 @@ impl GSketch {
 
     /// Adds `weight` to edge `key` in the partition owning its source vertex.
     pub fn update(&mut self, key: EdgeKey, weight: Weight) {
+        self.items_inserted += 1;
         let partition = self.partition_of(key.source);
         self.partitions[partition].update(key, weight);
     }
@@ -54,6 +70,12 @@ impl GSketch {
     /// Point query for an edge weight.
     pub fn estimate(&self, key: EdgeKey) -> Weight {
         self.partitions[self.partition_of(key.source)].estimate(key)
+    }
+}
+
+impl SummaryWrite for GSketch {
+    fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
+        self.update(EdgeKey::new(source, destination), weight);
     }
 }
 

@@ -21,12 +21,14 @@
 //!
 //! ## Quick start
 //!
-//! Every baseline implements [`gss_graph::GraphSummary`], so it is queried exactly like
-//! GSS itself:
+//! Every topology-capable baseline implements [`gss_graph::SummaryRead`] and
+//! [`gss_graph::SummaryWrite`] (and thereby the [`gss_graph::GraphSummary`] umbrella), so
+//! it is ingested and queried exactly like GSS itself; the counter-only summaries
+//! ([`GSketch`]) implement just the write half:
 //!
 //! ```
 //! use gss_baselines::TcmSketch;
-//! use gss_graph::GraphSummary;
+//! use gss_graph::{SummaryRead, SummaryWrite};
 //!
 //! let mut tcm = TcmSketch::new(64, 3);
 //! tcm.insert(7, 9, 2);

@@ -11,7 +11,7 @@
 //! share a row/column as soon as `m ≪ |V|`, which is exactly the accuracy gap the paper's
 //! figures show; this implementation reproduces it.
 
-use gss_graph::{GraphSummary, SummaryStats, VertexId, Weight};
+use gss_graph::{SummaryRead, SummaryStats, SummaryWrite, VertexId, Weight};
 use std::collections::HashMap;
 
 /// One TCM sketch copy: an `m × m` counter matrix under one hash function.
@@ -134,7 +134,7 @@ impl TcmSketch {
     }
 }
 
-impl GraphSummary for TcmSketch {
+impl SummaryWrite for TcmSketch {
     fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
         self.items_inserted += 1;
         let width = self.width;
@@ -159,7 +159,9 @@ impl GraphSummary for TcmSketch {
             }
         }
     }
+}
 
+impl SummaryRead for TcmSketch {
     fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight> {
         let estimate = self
             .layers

@@ -185,7 +185,7 @@ impl Triest {
 mod tests {
     use super::*;
     use gss_graph::algorithms::count_triangles;
-    use gss_graph::{AdjacencyListGraph, GraphSummary};
+    use gss_graph::{AdjacencyListGraph, SummaryWrite};
 
     /// A clique on `n` vertices contains n·(n−1)·(n−2)/6 triangles.
     fn clique_edges(n: u64) -> Vec<(u64, u64)> {

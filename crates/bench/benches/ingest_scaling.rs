@@ -1,0 +1,134 @@
+//! Multi-thread ingest scaling: [`ShardedGss`] (per-shard locks, source-vertex routing)
+//! against the single-lock wrapper it replaces, driven by 1/2/4/8 writer threads over a
+//! Zipf-distributed edge stream.
+//!
+//! Every writer feeds its slice of the stream through the batched ingest path
+//! (`insert_batch`), so the measurement compares lock granularity and per-shard load, not
+//! batching itself.  The single-lock baseline is `ShardedGss` with one shard — the exact
+//! code path of the deprecated `ConcurrentGss` wrapper (one sketch, one `RwLock`).
+//!
+//! Results are printed as a table and written as `BENCH_ingest.json` at the workspace root
+//! via [`gss_experiments::BenchReport`], seeding the bench trajectory.
+
+use gss_core::{GssConfig, ShardedGss};
+use gss_datasets::{Xoshiro256, ZipfSampler};
+use gss_experiments::{fmt_float, BenchReport, ExperimentScale, Table};
+use gss_graph::StreamEdge;
+use std::time::Instant;
+
+/// Writer-thread counts swept by the bench.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Items handed to one `insert_batch` call per lock acquisition.
+const BATCH: usize = 512;
+/// Timed repetitions per configuration (the minimum is reported).
+const REPEATS: usize = 3;
+
+/// A Zipf(α = 1.1) edge stream over `vertices` endpoints — the skewed shape of the paper's
+/// CAIDA/lkml workloads: hub-heavy, with duplicate keys for the batch folding to chew on
+/// but enough distinct edges to load a paper-sized matrix past capacity.
+fn zipf_stream(items: usize, vertices: usize, seed: u64) -> Vec<StreamEdge> {
+    let sampler = ZipfSampler::new(vertices, 1.1);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..items)
+        .map(|t| {
+            let source = sampler.sample(&mut rng) as u64 - 1;
+            let destination = sampler.sample(&mut rng) as u64 - 1;
+            StreamEdge::new(source, destination, t as u64, 1)
+        })
+        .collect()
+}
+
+fn stream_items(scale: ExperimentScale) -> usize {
+    match scale {
+        ExperimentScale::Smoke => 200_000,
+        ExperimentScale::Laptop => 1_000_000,
+        ExperimentScale::Paper => 5_000_000,
+    }
+}
+
+/// Splits `items` across `threads` writers (cloned handles) and returns the best
+/// wall-clock seconds over [`REPEATS`] runs; the sketch is rebuilt for every run.
+fn measure(config: GssConfig, shards: usize, threads: usize, items: &[StreamEdge]) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let sketch = ShardedGss::new(config, shards).expect("valid config");
+        let chunk_size = items.len().div_ceil(threads);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for chunk in items.chunks(chunk_size) {
+                let handle = sketch.clone();
+                scope.spawn(move || {
+                    for batch in chunk.chunks(BATCH) {
+                        handle.insert_batch(batch);
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(
+            sketch.stats().items_inserted,
+            items.len() as u64,
+            "writers must not lose items"
+        );
+        best = best.min(elapsed);
+    }
+    best
+}
+
+fn main() {
+    let scale = gss_bench::bench_scale("ingest_scaling");
+    let items = zipf_stream(stream_items(scale), 60_000, 0x001A_6E57);
+    // The paper sizes the matrix near the distinct-edge count (>90% load in Section
+    // VII); at that load a single sketch walks long candidate chains and spills to the
+    // buffer, so sharding relieves probing pressure on top of lock contention.
+    let config = GssConfig::paper_default(160);
+
+    let mut table = Table::new(
+        format!("Ingest scaling — {} Zipf items ({} scale)", items.len(), scale.name()),
+        &["threads", "single_lock_mitems_s", "sharded_mitems_s", "speedup"],
+    );
+    let mut report = BenchReport::new("ingest")
+        .context("scale", scale.name())
+        .context("items", items.len())
+        .context("distinct_vertices", 60_000)
+        .context("zipf_exponent", "1.1")
+        .context("width", config.width)
+        .context("batch", BATCH)
+        .context("repeats", REPEATS);
+
+    let mitems = |seconds: f64| items.len() as f64 / seconds / 1e6;
+    for threads in THREAD_COUNTS {
+        let single_seconds = measure(config, 1, threads, &items);
+        let sharded_seconds = measure(config, threads, threads, &items);
+        report.push(
+            "single_lock",
+            &[
+                ("threads", threads as f64),
+                ("shards", 1.0),
+                ("seconds", single_seconds),
+                ("mitems_per_sec", mitems(single_seconds)),
+            ],
+        );
+        report.push(
+            "sharded",
+            &[
+                ("threads", threads as f64),
+                ("shards", threads as f64),
+                ("seconds", sharded_seconds),
+                ("mitems_per_sec", mitems(sharded_seconds)),
+            ],
+        );
+        table.push_row(vec![
+            threads.to_string(),
+            fmt_float(mitems(single_seconds)),
+            fmt_float(mitems(sharded_seconds)),
+            format!("{:.2}x", single_seconds / sharded_seconds),
+        ]);
+    }
+
+    table.print();
+    match report.write() {
+        Ok(path) => println!("(json written to {})", path.display()),
+        Err(error) => eprintln!("warning: could not write BENCH_ingest.json: {error}"),
+    }
+}

@@ -7,7 +7,7 @@
 use criterion::{Criterion, Throughput};
 use gss_datasets::SyntheticDataset;
 use gss_experiments::{build_gss, build_tcm_with_ratio, DatasetRun, ExperimentScale};
-use gss_graph::{AdjacencyListGraph, GraphSummary, VertexId};
+use gss_graph::{AdjacencyListGraph, SummaryRead, SummaryWrite, VertexId};
 use std::hint::black_box;
 
 fn main() {

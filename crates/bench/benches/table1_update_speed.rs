@@ -9,7 +9,7 @@ use gss_datasets::SyntheticDataset;
 use gss_experiments::{
     build_gss, build_tcm_with_ratio, gss_config_for, run_table1, DatasetRun, ExperimentScale,
 };
-use gss_graph::{AdjacencyListGraph, GraphSummary};
+use gss_graph::{AdjacencyListGraph, SummaryRead, SummaryWrite};
 use std::hint::black_box;
 
 /// Criterion benchmark: insert a fixed smoke-scale stream into each structure.

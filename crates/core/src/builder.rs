@@ -1,0 +1,202 @@
+//! Fluent construction of GSS sketches.
+//!
+//! [`GssBuilder`] is the documented entry point for building a sketch, replacing the
+//! `GssConfig::paper_default` / `GssSketch::new` two-step: start from the paper's
+//! evaluation defaults, override the knobs you care about, and `build()` — validation
+//! happens once, at the end.
+//!
+//! ```
+//! use gss_core::GssSketch;
+//! use gss_graph::{SummaryRead, SummaryWrite};
+//!
+//! let mut sketch = GssSketch::builder()
+//!     .width(256)
+//!     .rooms(2)
+//!     .fingerprint_bits(12)
+//!     .build()
+//!     .expect("valid configuration");
+//! sketch.insert(1, 2, 3);
+//! assert_eq!(sketch.edge_weight(1, 2), Some(3));
+//! ```
+
+use crate::concurrent::ShardedGss;
+use crate::config::GssConfig;
+use crate::error::ConfigError;
+use crate::sketch::GssSketch;
+
+/// Fluent builder for [`GssSketch`] (and its sharded concurrent variant).
+///
+/// Obtained from [`GssSketch::builder`]; every knob defaults to the paper's Section VII
+/// evaluation setting (`l = 2`, `r = k = 16`, 16-bit fingerprints, square hashing and
+/// candidate sampling on, node-id tracking on) at a matrix width of 1000.
+#[derive(Debug, Clone, Copy)]
+pub struct GssBuilder {
+    config: GssConfig,
+}
+
+impl Default for GssBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GssBuilder {
+    /// Starts from the paper's default configuration.
+    pub fn new() -> Self {
+        Self { config: GssConfig::default() }
+    }
+
+    /// Starts from an explicit configuration (e.g. [`GssConfig::paper_small`] or
+    /// [`GssConfig::basic`]).
+    pub fn from_config(config: GssConfig) -> Self {
+        Self { config }
+    }
+
+    /// Matrix side length `m`.
+    pub fn width(mut self, width: usize) -> Self {
+        self.config.width = width;
+        self
+    }
+
+    /// Rooms per bucket `l` (Section V-B2).
+    pub fn rooms(mut self, rooms: usize) -> Self {
+        self.config.rooms = rooms;
+        self
+    }
+
+    /// Fingerprint length in bits (`F = 2^bits`; 12 and 16 in the paper).
+    pub fn fingerprint_bits(mut self, bits: u32) -> Self {
+        self.config.fingerprint_bits = bits;
+        self
+    }
+
+    /// Length `r` of the square-hashing address sequence (Section V-A).
+    pub fn sequence_length(mut self, r: usize) -> Self {
+        self.config.sequence_length = r;
+        self
+    }
+
+    /// Number `k` of sampled candidate buckets per edge (Section V-B1).
+    pub fn candidates(mut self, k: usize) -> Self {
+        self.config.candidates = k;
+        self
+    }
+
+    /// Enables or disables square hashing.  Disabling it yields the basic version of
+    /// Section IV (and normalises the dependent knobs, like
+    /// [`GssConfig::with_square_hashing`]).
+    pub fn square_hashing(mut self, enabled: bool) -> Self {
+        self.config = self.config.with_square_hashing(enabled);
+        self
+    }
+
+    /// Enables or disables candidate-bucket sampling.
+    pub fn sampling(mut self, enabled: bool) -> Self {
+        self.config.sampling = enabled;
+        self
+    }
+
+    /// Enables or disables the `⟨H(v), v⟩` reverse table (required for successor/precursor
+    /// answers in the original id space).
+    pub fn track_node_ids(mut self, enabled: bool) -> Self {
+        self.config.track_node_ids = enabled;
+        self
+    }
+
+    /// Seed mixed into the node hash function.
+    pub fn hash_seed(mut self, seed: u64) -> Self {
+        self.config.hash_seed = seed;
+        self
+    }
+
+    /// The configuration accumulated so far (not yet validated).
+    pub fn config(&self) -> GssConfig {
+        self.config
+    }
+
+    /// Validates the configuration and builds the sketch.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] describing the first invalid knob.
+    pub fn build(self) -> Result<GssSketch, ConfigError> {
+        GssSketch::new(self.config)
+    }
+
+    /// Validates the configuration and builds a [`ShardedGss`] with `shards` concurrent
+    /// ingest shards.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the configuration is invalid or `shards == 0`.
+    pub fn build_sharded(self, shards: usize) -> Result<ShardedGss, ConfigError> {
+        ShardedGss::new(self.config, shards)
+    }
+}
+
+impl GssSketch {
+    /// Starts a fluent [`GssBuilder`] seeded with the paper's default parameters.
+    pub fn builder() -> GssBuilder {
+        GssBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_graph::{SummaryRead, SummaryWrite};
+
+    #[test]
+    fn builder_defaults_match_the_paper_configuration() {
+        let sketch = GssSketch::builder().width(64).build().unwrap();
+        assert_eq!(sketch.config(), &GssConfig::paper_default(64));
+    }
+
+    #[test]
+    fn builder_overrides_every_knob() {
+        let config = GssSketch::builder()
+            .width(200)
+            .rooms(3)
+            .fingerprint_bits(12)
+            .sequence_length(8)
+            .candidates(8)
+            .sampling(false)
+            .track_node_ids(false)
+            .hash_seed(42)
+            .config();
+        assert_eq!(config.width, 200);
+        assert_eq!(config.rooms, 3);
+        assert_eq!(config.fingerprint_bits, 12);
+        assert_eq!(config.sequence_length, 8);
+        assert_eq!(config.candidates, 8);
+        assert!(!config.sampling);
+        assert!(!config.track_node_ids);
+        assert_eq!(config.hash_seed, 42);
+    }
+
+    #[test]
+    fn disabling_square_hashing_normalises_dependent_knobs() {
+        let config = GssSketch::builder().width(32).square_hashing(false).config();
+        assert!(!config.square_hashing);
+        assert_eq!(config.sequence_length, 1);
+        assert_eq!(config.candidates, 1);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configurations_surface_at_build_time() {
+        assert!(GssSketch::builder().width(0).build().is_err());
+        assert!(GssSketch::builder().fingerprint_bits(40).build().is_err());
+        assert!(GssSketch::builder().width(16).build_sharded(0).is_err());
+    }
+
+    #[test]
+    fn built_sketches_answer_queries() {
+        let mut sketch = GssSketch::builder().width(64).build().unwrap();
+        sketch.insert(1, 2, 5);
+        assert_eq!(sketch.edge_weight(1, 2), Some(5));
+        assert_eq!(sketch.successors(1), vec![2]);
+
+        let sharded = GssSketch::builder().width(64).build_sharded(4).unwrap();
+        sharded.insert(3, 4, 7);
+        assert_eq!(sharded.edge_weight(3, 4), Some(7));
+    }
+}

@@ -1,90 +1,301 @@
-//! A thread-safe wrapper around [`GssSketch`].
+//! Sharded concurrent ingest: [`ShardedGss`].
 //!
 //! Graph streams are frequently consumed by several ingest threads (the paper's CAIDA use
-//! case is a multi-link packet capture).  [`ConcurrentGss`] provides shared-reference
-//! insertion and querying by wrapping the sketch in a `parking_lot::RwLock`; inserts take
-//! the write lock, queries take the read lock.  The wrapper intentionally keeps the exact
-//! semantics of the sequential sketch — it is a convenience for applications, not a
-//! different algorithm.
+//! case is a multi-link packet capture).  The historical [`ConcurrentGss`] wrapper
+//! serialised all writers behind one `RwLock`; [`ShardedGss`] replaces it with `N`
+//! independent sketch shards behind per-shard locks, so writers touching different shards
+//! never contend.
+//!
+//! ## Sharding semantics
+//!
+//! Every stream item is routed to the shard owning its **source vertex** (a hash of the
+//! source id modulo the shard count).  Because all `(s, *)` edges live in one shard:
+//!
+//! * **edge queries** and **1-hop successor queries** are answered by the source's shard
+//!   alone — one read lock, same cost as a single sketch;
+//! * **1-hop precursor queries** fan out: edges *into* a vertex may come from sources in
+//!   any shard, so every shard is scanned and the answers are unioned (sorted, deduped);
+//! * **stats** aggregate field-wise across shards ([`SummaryStats::merged_with`]);
+//!   [`ShardedGss::detailed_stats`] likewise sums the per-shard [`GssStats`] — note that a
+//!   vertex appearing in several shards is counted once per shard there.
+//!
+//! All shards share one [`GssConfig`] (including the hash seed), so they stay mergeable:
+//! [`ShardedGss::merge`] combines them through the existing [`GssSketch::merge_all`]
+//! machinery into the single sketch a sequential run over the concatenated stream would
+//! have produced (up to order-independent room placement).  Memory is `shards ×` a single
+//! sketch of the same width; shrink `width` accordingly for equal-memory comparisons.
+//!
+//! Accuracy is unchanged in kind: every shard keeps GSS's one-sided error, so the sharded
+//! front-end never under-estimates a weight and never drops a true neighbour.  Spreading
+//! edges over `N` matrices *lowers* each shard's load factor, which in practice shortens
+//! candidate probes and reduces buffer spills — the source of the ingest speed-up even
+//! without contention.
 
 use crate::config::GssConfig;
 use crate::error::ConfigError;
 use crate::sketch::GssSketch;
 use crate::stats::GssStats;
-use gss_graph::{GraphSummary, SummaryStats, VertexId, Weight};
+use gss_graph::{StreamEdge, SummaryRead, SummaryStats, SummaryWrite, VertexId, Weight};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
-/// A cloneable, thread-safe handle to a shared GSS sketch.
+/// Deprecated single-lock wrapper, kept as a thin alias.
+///
+/// Migration: `ConcurrentGss::new(config)` becomes `ShardedGss::new(config, shards)` —
+/// `ShardedGss::new(config, 1)` reproduces the old single-lock behaviour exactly (one
+/// sketch, one lock), while `shards > 1` unlocks concurrent ingest.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ShardedGss` (`ShardedGss::new(config, 1)` \
+     reproduces the single-lock behaviour)"
+)]
+pub type ConcurrentGss = ShardedGss;
+
+/// A cloneable, thread-safe handle to a set of GSS sketch shards partitioned by source
+/// vertex (see the [module docs](self) for the sharding semantics).
 #[derive(Debug, Clone)]
-pub struct ConcurrentGss {
-    inner: Arc<RwLock<GssSketch>>,
+pub struct ShardedGss {
+    config: GssConfig,
+    shards: Arc<Vec<RwLock<GssSketch>>>,
 }
 
-impl ConcurrentGss {
-    /// Builds a shared sketch from a configuration.
-    pub fn new(config: GssConfig) -> Result<Self, ConfigError> {
-        Ok(Self { inner: Arc::new(RwLock::new(GssSketch::new(config)?)) })
-    }
-
-    /// Wraps an existing sketch.
-    pub fn from_sketch(sketch: GssSketch) -> Self {
-        Self { inner: Arc::new(RwLock::new(sketch)) }
-    }
-
-    /// Inserts a stream item through a shared reference.
-    pub fn insert(&self, source: VertexId, destination: VertexId, weight: Weight) {
-        self.inner.write().insert(source, destination, weight);
-    }
-
-    /// Edge query primitive.
-    pub fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight> {
-        self.inner.read().edge_weight(source, destination)
-    }
-
-    /// 1-hop successor query primitive.
-    pub fn successors(&self, vertex: VertexId) -> Vec<VertexId> {
-        self.inner.read().successors(vertex)
-    }
-
-    /// 1-hop precursor query primitive.
-    pub fn precursors(&self, vertex: VertexId) -> Vec<VertexId> {
-        self.inner.read().precursors(vertex)
-    }
-
-    /// Structural statistics of the underlying sketch.
-    pub fn stats(&self) -> SummaryStats {
-        self.inner.read().stats()
-    }
-
-    /// Detailed statistics of the underlying sketch.
-    pub fn detailed_stats(&self) -> GssStats {
-        self.inner.read().detailed_stats()
-    }
-
-    /// Runs a closure with read access to the underlying sketch (for compound queries from
-    /// the [`gss_graph::algorithms`] module).
-    pub fn with_read<R>(&self, f: impl FnOnce(&GssSketch) -> R) -> R {
-        f(&self.inner.read())
-    }
-
-    /// Takes the sketch out of the wrapper if this is the last handle.
-    pub fn try_into_inner(self) -> Result<GssSketch, Self> {
-        match Arc::try_unwrap(self.inner) {
-            Ok(lock) => Ok(lock.into_inner()),
-            Err(inner) => Err(Self { inner }),
+impl ShardedGss {
+    /// Builds `shards` empty sketches sharing one configuration.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the configuration is invalid or `shards == 0`.
+    pub fn new(config: GssConfig, shards: usize) -> Result<Self, ConfigError> {
+        if shards == 0 {
+            return Err(ConfigError::new("need at least one shard"));
         }
+        let shards = (0..shards)
+            .map(|_| GssSketch::new(config).map(RwLock::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { config, shards: Arc::new(shards) })
+    }
+
+    /// Builds a sharded sketch with one shard per available CPU (capped at 16).
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the configuration is invalid.
+    pub fn with_default_shards(config: GssConfig) -> Result<Self, ConfigError> {
+        let shards =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
+        Self::new(config, shards.clamp(1, 16))
+    }
+
+    /// Wraps an existing sketch as a single-shard (single-lock) handle.
+    pub fn from_sketch(sketch: GssSketch) -> Self {
+        let config = *sketch.config();
+        Self { config, shards: Arc::new(vec![RwLock::new(sketch)]) }
+    }
+
+    /// The configuration every shard was built with.
+    pub fn config(&self) -> &GssConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `source` (a SplitMix64 mix of the source id, reduced modulo the
+    /// shard count — deliberately independent of the sketch's own node hash).
+    fn shard_index(&self, source: VertexId) -> usize {
+        let mut z = source.wrapping_add(0xD6E8_FEB8_6659_FD93);
+        z = (z ^ (z >> 32)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        z ^= z >> 29;
+        (z % self.shards.len() as u64) as usize
+    }
+
+    /// Inserts a stream item through a shared reference, locking only the owning shard.
+    pub fn insert(&self, source: VertexId, destination: VertexId, weight: Weight) {
+        self.shards[self.shard_index(source)].write().insert(source, destination, weight);
+    }
+
+    /// Inserts a batch through a shared reference: items are grouped by shard, then each
+    /// shard is locked once and fed its sub-batch via [`GssSketch::insert_batch`] — so a
+    /// batch both amortises hashing *and* takes each lock once instead of per item.
+    pub fn insert_batch(&self, items: &[StreamEdge]) {
+        if self.shards.len() == 1 {
+            self.shards[0].write().insert_batch(items);
+            return;
+        }
+        // Not `vec![Vec::with_capacity(..); n]`: `Vec::clone` drops capacity, which would
+        // silently discard the pre-sizing for every buffer but one.
+        let mut per_shard: Vec<Vec<StreamEdge>> = (0..self.shards.len())
+            .map(|_| Vec::with_capacity(items.len() / self.shards.len() + 1))
+            .collect();
+        for item in items {
+            per_shard[self.shard_index(item.source)].push(*item);
+        }
+        for (shard, sub_batch) in self.shards.iter().zip(&per_shard) {
+            if !sub_batch.is_empty() {
+                shard.write().insert_batch(sub_batch);
+            }
+        }
+    }
+
+    /// Edge query primitive (answered by the source's shard).
+    pub fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight> {
+        self.shards[self.shard_index(source)].read().edge_weight(source, destination)
+    }
+
+    /// 1-hop successor query primitive (answered by the vertex's shard).
+    pub fn successors(&self, vertex: VertexId) -> Vec<VertexId> {
+        self.shards[self.shard_index(vertex)].read().successors(vertex)
+    }
+
+    /// 1-hop precursor query primitive: fans out to every shard and unions the answers.
+    pub fn precursors(&self, vertex: VertexId) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.read().precursors(vertex));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Structural statistics aggregated field-wise across shards.
+    pub fn stats(&self) -> SummaryStats {
+        self.shards
+            .iter()
+            .map(|shard| shard.read().stats())
+            .fold(SummaryStats::default(), |acc, stats| acc.merged_with(&stats))
+    }
+
+    /// Detailed statistics summed field-wise across shards (geometry fields are per-shard;
+    /// vertices hashed in several shards are counted once per shard).
+    pub fn detailed_stats(&self) -> GssStats {
+        let per_shard: Vec<GssStats> =
+            self.shards.iter().map(|shard| shard.read().detailed_stats()).collect();
+        let mut total = per_shard[0];
+        for stats in &per_shard[1..] {
+            total.items_inserted += stats.items_inserted;
+            total.matrix_edges += stats.matrix_edges;
+            total.buffered_edges += stats.buffered_edges;
+            total.matrix_bytes += stats.matrix_bytes;
+            total.buffer_bytes += stats.buffer_bytes;
+            total.node_map_bytes += stats.node_map_bytes;
+            total.distinct_hashed_nodes += stats.distinct_hashed_nodes;
+            total.colliding_hashes += stats.colliding_hashes;
+        }
+        let stored = total.matrix_edges + total.buffered_edges;
+        total.buffer_percentage =
+            if stored == 0 { 0.0 } else { total.buffered_edges as f64 / stored as f64 };
+        total.matrix_load_factor =
+            per_shard.iter().map(|s| s.matrix_load_factor).sum::<f64>() / per_shard.len() as f64;
+        total
+    }
+
+    /// Runs a closure with read access to one shard (for white-box inspection).
+    ///
+    /// # Panics
+    /// Panics if `index >= self.shard_count()`.
+    pub fn with_shard_read<R>(&self, index: usize, f: impl FnOnce(&GssSketch) -> R) -> R {
+        f(&self.shards[index].read())
+    }
+
+    /// Merges `sketches` into one, carrying the summed stream-item counter across (the
+    /// merge machinery replays stored edges and does not count items itself).
+    fn merge_sketches(config: GssConfig, sketches: &[GssSketch]) -> GssSketch {
+        let mut merged = GssSketch::merge_all(config, sketches)
+            .expect("shards share one configuration by construction");
+        merged.set_items_inserted(sketches.iter().map(GssSketch::items_inserted).sum());
+        merged
+    }
+
+    /// Merges all shards into a single sequential sketch through the merge machinery
+    /// (shards share a configuration by construction, so merging cannot fail).  The
+    /// merged sketch keeps the total `items_inserted` of all shards.
+    pub fn merge(&self) -> GssSketch {
+        let sketches: Vec<GssSketch> =
+            self.shards.iter().map(|shard| shard.read().clone()).collect();
+        Self::merge_sketches(self.config, &sketches)
+    }
+
+    /// Consumes the handle and returns the merged sketch if this was the last clone.
+    ///
+    /// # Errors
+    /// Returns `self` unchanged when other handles still exist.
+    pub fn try_into_inner(self) -> Result<GssSketch, Self> {
+        let config = self.config;
+        match Arc::try_unwrap(self.shards) {
+            Ok(shards) => {
+                let mut sketches = shards.into_iter().map(RwLock::into_inner);
+                if sketches.len() == 1 {
+                    return Ok(sketches.next().expect("length checked"));
+                }
+                let sketches: Vec<GssSketch> = sketches.collect();
+                Ok(Self::merge_sketches(config, &sketches))
+            }
+            Err(shards) => Err(Self { config, shards }),
+        }
+    }
+}
+
+impl SummaryRead for ShardedGss {
+    fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight> {
+        ShardedGss::edge_weight(self, source, destination)
+    }
+
+    fn successors(&self, vertex: VertexId) -> Vec<VertexId> {
+        ShardedGss::successors(self, vertex)
+    }
+
+    fn precursors(&self, vertex: VertexId) -> Vec<VertexId> {
+        ShardedGss::precursors(self, vertex)
+    }
+
+    fn stats(&self) -> SummaryStats {
+        ShardedGss::stats(self)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "ShardedGss(shards={},{})",
+            self.shard_count(),
+            self.shards[0].read().name().trim_start_matches("GSS(").trim_end_matches(')')
+        )
+    }
+}
+
+impl SummaryWrite for ShardedGss {
+    fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
+        ShardedGss::insert(self, source, destination, weight);
+    }
+
+    fn insert_batch(&mut self, items: &[StreamEdge]) {
+        ShardedGss::insert_batch(self, items);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gss_graph::AdjacencyListGraph;
     use std::thread;
+
+    fn stream(seed: u64, items: usize) -> Vec<StreamEdge> {
+        let mut state = seed | 1;
+        (0..items)
+            .map(|t| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                StreamEdge::new(
+                    (state >> 33) % 300,
+                    (state >> 17) % 300,
+                    t as u64,
+                    (state % 7) as i64 + 1,
+                )
+            })
+            .collect()
+    }
 
     #[test]
     fn concurrent_inserts_from_multiple_threads_are_all_applied() {
-        let sketch = ConcurrentGss::new(GssConfig::paper_default(64)).unwrap();
+        let sketch = ShardedGss::new(GssConfig::paper_default(64), 4).unwrap();
         let threads: Vec<_> = (0..4)
             .map(|t| {
                 let handle = sketch.clone();
@@ -105,28 +316,156 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_batched_writers_never_lose_items() {
+        let sketch = ShardedGss::new(GssConfig::paper_small(64), 4).unwrap();
+        let items = stream(11, 4000);
+        let threads: Vec<_> = items
+            .chunks(1000)
+            .map(|chunk| {
+                let handle = sketch.clone();
+                let chunk = chunk.to_vec();
+                thread::spawn(move || handle.insert_batch(&chunk))
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(sketch.stats().items_inserted, 4000);
+        let mut exact = AdjacencyListGraph::new();
+        for item in &items {
+            exact.insert(item.source, item.destination, item.weight);
+        }
+        for (key, weight) in exact.edges() {
+            let reported = sketch.edge_weight(key.source, key.destination).unwrap_or(0);
+            assert!(reported >= weight, "edge {key:?} under-estimated");
+        }
+    }
+
+    #[test]
     fn queries_see_prior_inserts() {
-        let sketch = ConcurrentGss::new(GssConfig::paper_default(32)).unwrap();
+        let sketch = ShardedGss::new(GssConfig::paper_default(32), 4).unwrap();
         sketch.insert(1, 2, 5);
         assert_eq!(sketch.edge_weight(1, 2), Some(5));
+        assert_eq!(sketch.successors(1), vec![2]);
         assert_eq!(sketch.precursors(2), vec![1]);
         assert_eq!(sketch.detailed_stats().matrix_edges, 1);
-        let reconstructed = sketch.with_read(|inner| inner.edge_weight(1, 2));
-        assert_eq!(reconstructed, Some(5));
+        let total: usize =
+            (0..4).map(|i| sketch.with_shard_read(i, |inner| inner.stored_edges())).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn precursor_queries_union_across_shards() {
+        // Many different sources (spread over all shards) point at one destination; a
+        // precursor query must recover every one of them.
+        let sketch = ShardedGss::new(GssConfig::paper_default(64), 4).unwrap();
+        for source in 0..40u64 {
+            sketch.insert(source, 7777, 1);
+        }
+        let precursors = sketch.precursors(7777);
+        assert_eq!(precursors, (0..40u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merged_shards_answer_like_a_sequential_sketch() {
+        let config = GssConfig::paper_small(64);
+        let items = stream(9, 2000);
+        let sharded = ShardedGss::new(config, 4).unwrap();
+        let mut reference = GssSketch::new(config).unwrap();
+        let mut exact = AdjacencyListGraph::new();
+        for item in &items {
+            sharded.insert(item.source, item.destination, item.weight);
+            reference.insert(item.source, item.destination, item.weight);
+            exact.insert(item.source, item.destination, item.weight);
+        }
+        let merged = sharded.merge();
+        assert_eq!(merged.items_inserted(), 2000); // the item counter survives the merge
+        for (key, weight) in exact.edges() {
+            let estimate = merged.edge_weight(key.source, key.destination).unwrap_or(0);
+            assert!(estimate >= weight, "edge {key:?} under-estimated after merge");
+        }
+        // Every shard received some share of a 2000-item stream (the router is a hash).
+        for index in 0..4 {
+            assert!(sharded.with_shard_read(index, |inner| inner.items_inserted()) > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_queries_keep_one_sided_error() {
+        let items = stream(23, 3000);
+        let sharded = ShardedGss::new(GssConfig::paper_small(48), 4).unwrap();
+        let mut exact = AdjacencyListGraph::new();
+        sharded.insert_batch(&items);
+        for item in &items {
+            exact.insert(item.source, item.destination, item.weight);
+        }
+        for (key, weight) in exact.edges() {
+            let reported = sharded
+                .edge_weight(key.source, key.destination)
+                .expect("true edges are never reported absent");
+            assert!(reported >= weight, "edge {key:?} under-estimated");
+        }
+        for v in exact.vertices().into_iter().take(100) {
+            let successors = sharded.successors(v);
+            for truth in exact.successors(v) {
+                assert!(successors.contains(&truth), "missing successor {truth} of {v}");
+            }
+            let precursors = sharded.precursors(v);
+            for truth in exact.precursors(v) {
+                assert!(precursors.contains(&truth), "missing precursor {truth} of {v}");
+            }
+        }
     }
 
     #[test]
     fn try_into_inner_returns_sketch_when_unique() {
-        let sketch = ConcurrentGss::from_sketch(GssSketch::with_width(16));
+        let sketch = ShardedGss::from_sketch(GssSketch::with_width(16));
+        assert_eq!(sketch.shard_count(), 1);
         let inner = sketch.try_into_inner().expect("single handle");
         assert_eq!(inner.items_inserted(), 0);
+
+        let sharded = ShardedGss::new(GssConfig::paper_default(16), 3).unwrap();
+        sharded.insert(1, 2, 4);
+        let merged = sharded.try_into_inner().expect("single handle");
+        assert_eq!(merged.edge_weight(1, 2), Some(4));
+        // Multi-shard unwrap carries the item counter, like the single-shard path.
+        assert_eq!(merged.items_inserted(), 1);
     }
 
     #[test]
     fn try_into_inner_fails_when_shared() {
-        let sketch = ConcurrentGss::new(GssConfig::paper_default(16)).unwrap();
+        let sketch = ShardedGss::new(GssConfig::paper_default(16), 2).unwrap();
         let clone = sketch.clone();
         assert!(sketch.try_into_inner().is_err());
         drop(clone);
+    }
+
+    #[test]
+    fn zero_shards_is_rejected_and_defaults_are_sane() {
+        assert!(ShardedGss::new(GssConfig::paper_default(8), 0).is_err());
+        let default = ShardedGss::with_default_shards(GssConfig::paper_default(8)).unwrap();
+        assert!((1..=16).contains(&default.shard_count()));
+    }
+
+    #[test]
+    fn trait_object_access_works_for_both_halves() {
+        let mut sketch = ShardedGss::new(GssConfig::paper_default(32), 2).unwrap();
+        {
+            let writer: &mut dyn SummaryWrite = &mut sketch;
+            writer.insert(1, 2, 3);
+            writer.insert_batch(&[StreamEdge::new(1, 2, 0, 2)]);
+        }
+        let reader: &dyn SummaryRead = &sketch;
+        assert_eq!(reader.edge_weight(1, 2), Some(5));
+        assert_eq!(reader.stats().items_inserted, 2);
+        assert!(reader.name().contains("ShardedGss(shards=2"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_alias_still_resolves() {
+        let sketch: ConcurrentGss = ShardedGss::new(GssConfig::paper_default(16), 1).unwrap();
+        sketch.insert(1, 2, 1);
+        assert_eq!(sketch.edge_weight(1, 2), Some(1));
     }
 }

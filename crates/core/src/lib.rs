@@ -15,27 +15,38 @@
 //!   by a reversible linear-congruential sequence, and *candidate sampling* caps the probe
 //!   cost at `k` buckets; edges that still find no room spill into a small exact buffer.
 //!
-//! The sketch implements [`gss_graph::GraphSummary`], so every compound query in
+//! The sketch implements [`gss_graph::SummaryRead`] and [`gss_graph::SummaryWrite`] (and
+//! through them the [`gss_graph::GraphSummary`] umbrella), so every compound query in
 //! [`gss_graph::algorithms`] (node queries, reachability, triangle counting, subgraph
-//! matching, reconstruction) runs on it unchanged.
+//! matching, reconstruction) runs on it unchanged.  Ingestion is batch-first:
+//! [`SummaryWrite::insert_batch`](gss_graph::SummaryWrite::insert_batch) hashes each
+//! distinct endpoint once, reuses address sequences across items sharing an endpoint and
+//! folds duplicate keys before probing, and [`ShardedGss`] runs ingest over several
+//! sketch shards with per-shard locks for concurrent writers.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use gss_core::{GssConfig, GssSketch};
-//! use gss_graph::GraphSummary;
+//! use gss_core::GssSketch;
+//! use gss_graph::{StreamEdge, SummaryRead, SummaryWrite};
 //!
-//! let mut sketch = GssSketch::new(GssConfig::paper_default(256)).unwrap();
+//! // The builder is the entry point: paper defaults, override what you need.
+//! let mut sketch = GssSketch::builder().width(256).build().unwrap();
 //! sketch.insert(1, 2, 10);
-//! sketch.insert(1, 3, 4);
-//! sketch.insert(1, 2, 5);
+//! sketch.insert_batch(&[StreamEdge::new(1, 3, 1, 4), StreamEdge::new(1, 2, 2, 5)]);
 //!
 //! assert_eq!(sketch.edge_weight(1, 2), Some(15));
 //! assert_eq!(sketch.successors(1), vec![2, 3]);
 //! assert_eq!(sketch.precursors(2), vec![1]);
+//!
+//! // Concurrent ingest: shards partitioned by source vertex, cloneable handles.
+//! let sharded = GssSketch::builder().width(256).build_sharded(4).unwrap();
+//! sharded.insert(7, 8, 1); // takes &self — share clones across writer threads
+//! assert_eq!(sharded.edge_weight(7, 8), Some(1));
 //! ```
 
 pub mod buffer;
+pub mod builder;
 pub mod concurrent;
 pub mod config;
 pub mod error;
@@ -47,11 +58,14 @@ pub mod persistence;
 pub mod sketch;
 pub mod stats;
 
+pub use builder::GssBuilder;
+#[allow(deprecated)]
 pub use concurrent::ConcurrentGss;
+pub use concurrent::ShardedGss;
 pub use config::{GssConfig, MAX_FINGERPRINT_BITS, MAX_SEQUENCE_LENGTH};
 pub use error::ConfigError;
 pub use hashing::{HashedNode, NodeHasher};
-pub use merge::{HashedEdge, ShardedGss};
+pub use merge::HashedEdge;
 pub use persistence::PersistenceError;
 pub use sketch::GssSketch;
 pub use stats::GssStats;

@@ -15,7 +15,7 @@
 use crate::config::GssConfig;
 use crate::error::ConfigError;
 use crate::sketch::GssSketch;
-use gss_graph::{GraphSummary, VertexId, Weight};
+use gss_graph::Weight;
 
 /// An edge extracted from a sketch in the *hashed* space, used as the unit of merging.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,51 +99,10 @@ impl GssSketch {
     }
 }
 
-/// A sharded ingestion front-end: routes every stream item to one of `shards` independent
-/// sketches (by a hash of the item's endpoints) so multiple threads can ingest without
-/// contention, and merges them on demand.
-#[derive(Debug, Clone)]
-pub struct ShardedGss {
-    config: GssConfig,
-    shards: Vec<GssSketch>,
-}
-
-impl ShardedGss {
-    /// Creates `shards` empty sketches sharing one configuration.
-    pub fn new(config: GssConfig, shards: usize) -> Result<Self, ConfigError> {
-        if shards == 0 {
-            return Err(ConfigError::new("need at least one shard"));
-        }
-        let shards = (0..shards).map(|_| GssSketch::new(config)).collect::<Result<_, _>>()?;
-        Ok(Self { config, shards })
-    }
-
-    /// Number of shards.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// Routes an item to its shard and inserts it.
-    pub fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
-        let shard = (source ^ destination.rotate_left(17)) as usize % self.shards.len();
-        self.shards[shard].insert(source, destination, weight);
-    }
-
-    /// Read access to an individual shard.
-    pub fn shard(&self, index: usize) -> &GssSketch {
-        &self.shards[index]
-    }
-
-    /// Merges all shards into a single sketch.
-    pub fn merge(&self) -> Result<GssSketch, ConfigError> {
-        GssSketch::merge_all(self.config, &self.shards)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gss_graph::AdjacencyListGraph;
+    use gss_graph::{AdjacencyListGraph, SummaryRead, SummaryWrite};
 
     fn stream(seed: u64, items: usize) -> Vec<(u64, u64, i64)> {
         let mut state = seed | 1;
@@ -219,32 +178,5 @@ mod tests {
         }
         assert!(sketch.buffered_edges() > 0);
         assert_eq!(sketch.hashed_edges().len(), sketch.stored_edges());
-    }
-
-    #[test]
-    fn sharded_ingestion_merges_to_the_same_answers() {
-        let config = GssConfig::paper_small(64);
-        let items = stream(9, 2000);
-        let mut sharded = ShardedGss::new(config, 4).unwrap();
-        let mut exact = AdjacencyListGraph::new();
-        for &(s, d, w) in &items {
-            sharded.insert(s, d, w);
-            exact.insert(s, d, w);
-        }
-        assert_eq!(sharded.shard_count(), 4);
-        let merged = sharded.merge().unwrap();
-        for (key, weight) in exact.edges() {
-            let estimate = merged.edge_weight(key.source, key.destination).unwrap_or(0);
-            assert!(estimate >= weight, "edge {key:?} under-estimated after merge");
-        }
-        // Every shard received some share of a 2000-item stream (the router is a hash).
-        for index in 0..4 {
-            assert!(sharded.shard(index).items_inserted() > 0);
-        }
-    }
-
-    #[test]
-    fn zero_shards_is_rejected() {
-        assert!(ShardedGss::new(GssConfig::paper_default(8), 0).is_err());
     }
 }

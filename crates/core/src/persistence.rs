@@ -257,7 +257,7 @@ impl GssSketch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gss_graph::GraphSummary;
+    use gss_graph::{SummaryRead, SummaryWrite};
 
     fn populated_sketch() -> GssSketch {
         let mut sketch = GssSketch::new(GssConfig::paper_small(48)).unwrap();

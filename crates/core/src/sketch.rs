@@ -25,7 +25,8 @@ use crate::hashing::{HashedNode, NodeHasher};
 use crate::matrix::BucketMatrix;
 use crate::node_map::NodeIdMap;
 use crate::stats::GssStats;
-use gss_graph::{GraphSummary, SummaryStats, VertexId, Weight};
+use gss_graph::{StreamEdge, SummaryRead, SummaryStats, SummaryWrite, VertexId, Weight};
+use std::collections::HashMap;
 
 /// Graph Stream Sketch (GSS), the data structure proposed by the paper.
 #[derive(Debug, Clone)]
@@ -52,6 +53,14 @@ struct Candidate {
 /// the stack — the insert path performs no heap allocation.
 const MAX_CANDIDATES: usize =
     crate::config::MAX_SEQUENCE_LENGTH * crate::config::MAX_SEQUENCE_LENGTH;
+
+/// A batch-local cache entry: a hashed endpoint together with its precomputed address
+/// sequence, so consecutive items sharing an endpoint reuse both.
+#[derive(Debug, Clone, Copy)]
+struct BatchEndpoint {
+    node: HashedNode,
+    addresses: [usize; crate::config::MAX_SEQUENCE_LENGTH],
+}
 
 impl GssSketch {
     /// Builds a sketch from a validated configuration.
@@ -142,6 +151,32 @@ impl GssSketch {
         destination: HashedNode,
         out: &mut [Candidate; MAX_CANDIDATES],
     ) -> usize {
+        let mut source_addresses = [0usize; crate::config::MAX_SEQUENCE_LENGTH];
+        let mut destination_addresses = [0usize; crate::config::MAX_SEQUENCE_LENGTH];
+        if self.config.square_hashing {
+            self.hasher.address_sequence_into(source, &mut source_addresses);
+            self.hasher.address_sequence_into(destination, &mut destination_addresses);
+        }
+        self.collect_candidates_from(
+            source,
+            destination,
+            &source_addresses,
+            &destination_addresses,
+            out,
+        )
+    }
+
+    /// [`collect_candidates`](Self::collect_candidates) over *precomputed* address
+    /// sequences, so the batched insert path computes each endpoint's sequence once per
+    /// batch instead of once per item.
+    fn collect_candidates_from(
+        &self,
+        source: HashedNode,
+        destination: HashedNode,
+        source_addresses: &[usize; crate::config::MAX_SEQUENCE_LENGTH],
+        destination_addresses: &[usize; crate::config::MAX_SEQUENCE_LENGTH],
+        out: &mut [Candidate; MAX_CANDIDATES],
+    ) -> usize {
         if !self.config.square_hashing {
             out[0] = Candidate {
                 row: source.address,
@@ -151,10 +186,6 @@ impl GssSketch {
             };
             return 1;
         }
-        let mut source_addresses = [0usize; crate::config::MAX_SEQUENCE_LENGTH];
-        let mut destination_addresses = [0usize; crate::config::MAX_SEQUENCE_LENGTH];
-        self.hasher.address_sequence_into(source, &mut source_addresses);
-        self.hasher.address_sequence_into(destination, &mut destination_addresses);
         let r = self.config.sequence_length;
         if self.config.sampling {
             let mut pairs = [(0usize, 0usize); crate::config::MAX_SEQUENCE_LENGTH];
@@ -326,7 +357,19 @@ impl GssSketch {
     ) {
         let mut candidates = [Candidate::default(); MAX_CANDIDATES];
         let count = self.collect_candidates(source_node, destination_node, &mut candidates);
-        for candidate in &candidates[..count] {
+        self.place_edge(source_node, destination_node, &candidates[..count], weight);
+    }
+
+    /// Walks `candidates` in probe order and places the edge: add to a matching room, claim
+    /// the first free room, or spill to the buffer.
+    fn place_edge(
+        &mut self,
+        source_node: HashedNode,
+        destination_node: HashedNode,
+        candidates: &[Candidate],
+        weight: Weight,
+    ) {
+        for candidate in candidates {
             if let Some(slot) = self.matrix.find_match(
                 candidate.row,
                 candidate.column,
@@ -355,9 +398,34 @@ impl GssSketch {
         self.buffer.insert(source_node.hash, destination_node.hash, weight);
     }
 
+    /// Hashes `vertex` once per batch: returns the index of its cache entry, creating it
+    /// (and registering the `⟨H(v), v⟩` pair) on first sight.
+    fn batch_endpoint(
+        &mut self,
+        vertex: VertexId,
+        index: &mut HashMap<VertexId, u32>,
+        cached: &mut Vec<BatchEndpoint>,
+    ) -> u32 {
+        if let Some(&slot) = index.get(&vertex) {
+            return slot;
+        }
+        let node = self.hasher.hashed_node(vertex);
+        if self.config.track_node_ids {
+            self.node_map.register(node.hash, vertex);
+        }
+        let mut addresses = [0usize; crate::config::MAX_SEQUENCE_LENGTH];
+        if self.config.square_hashing {
+            self.hasher.address_sequence_into(node, &mut addresses);
+        }
+        let slot = cached.len() as u32;
+        cached.push(BatchEndpoint { node, addresses });
+        index.insert(vertex, slot);
+        slot
+    }
+
     /// 1-hop successor query in the *hashed* space: the sketch-node hashes reported as
     /// out-neighbours of `H(v)`.  Exposed for analysis; most callers want
-    /// [`successors`](GraphSummary::successors).
+    /// [`successors`](SummaryRead::successors).
     pub fn successor_hashes(&self, vertex: VertexId) -> Vec<u64> {
         let node = self.hasher.hashed_node(vertex);
         let mut result: Vec<u64> = Vec::new();
@@ -404,7 +472,7 @@ impl GssSketch {
     }
 }
 
-impl GraphSummary for GssSketch {
+impl SummaryWrite for GssSketch {
     fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
         self.items_inserted += 1;
         let source_node = self.hasher.hashed_node(source);
@@ -416,6 +484,89 @@ impl GraphSummary for GssSketch {
         self.insert_nodes(source_node, destination_node, weight);
     }
 
+    /// Batched edge updating, observationally identical to per-item [`insert`] but with the
+    /// per-item work amortised across the batch:
+    ///
+    /// * every distinct endpoint is hashed (and its `⟨H(v), v⟩` pair registered) once;
+    /// * each endpoint's square-hashing address sequence is computed once and reused by
+    ///   every item sharing that endpoint;
+    /// * duplicate `(source, destination)` keys are folded into a single accumulated weight
+    ///   before the candidate buckets are probed.  Folding preserves first-occurrence order
+    ///   of the distinct keys, and since a room is claimed at an edge's *first* insertion
+    ///   and later items only add weight, the resulting matrix/buffer state is exactly the
+    ///   state the per-item path produces.
+    ///
+    /// [`insert`]: SummaryWrite::insert
+    fn insert_batch(&mut self, items: &[StreamEdge]) {
+        if items.len() < 2 {
+            if let Some(item) = items.first() {
+                self.insert_item(item);
+            }
+            return;
+        }
+        self.items_inserted += items.len() as u64;
+        let mut endpoint_index: HashMap<VertexId, u32> =
+            HashMap::with_capacity(items.len().min(4096));
+        let mut endpoints: Vec<BatchEndpoint> = Vec::new();
+        // Folded distinct edges in first-occurrence order: (source slot, destination slot,
+        // accumulated weight).
+        let mut folded: Vec<(u32, u32, Weight)> = Vec::with_capacity(items.len());
+        let mut edge_index: HashMap<(VertexId, VertexId), u32> =
+            HashMap::with_capacity(items.len().min(4096));
+        for item in items {
+            let source = self.batch_endpoint(item.source, &mut endpoint_index, &mut endpoints);
+            let destination =
+                self.batch_endpoint(item.destination, &mut endpoint_index, &mut endpoints);
+            match edge_index.entry((item.source, item.destination)) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    folded[*slot.get() as usize].2 += item.weight;
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(folded.len() as u32);
+                    folded.push((source, destination, item.weight));
+                }
+            }
+        }
+        let mut candidates = [Candidate::default(); MAX_CANDIDATES];
+        for &(source, destination, weight) in &folded {
+            let source = endpoints[source as usize];
+            let destination = endpoints[destination as usize];
+            let count = self.collect_candidates_from(
+                source.node,
+                destination.node,
+                &source.addresses,
+                &destination.addresses,
+                &mut candidates,
+            );
+            self.place_edge(source.node, destination.node, &candidates[..count], weight);
+        }
+    }
+
+    /// Streams through [`insert_batch`](SummaryWrite::insert_batch) in fixed-size chunks so
+    /// unbounded iterators still benefit from batched hashing without unbounded buffering.
+    fn insert_stream(&mut self, items: &mut dyn Iterator<Item = StreamEdge>) {
+        const CHUNK: usize = 1024;
+        let mut buffer: Vec<StreamEdge> = Vec::with_capacity(CHUNK);
+        loop {
+            buffer.clear();
+            while buffer.len() < CHUNK {
+                match items.next() {
+                    Some(item) => buffer.push(item),
+                    None => break,
+                }
+            }
+            if buffer.is_empty() {
+                return;
+            }
+            self.insert_batch(&buffer);
+            if buffer.len() < CHUNK {
+                return;
+            }
+        }
+    }
+}
+
+impl SummaryRead for GssSketch {
     fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight> {
         let source_node = self.hasher.hashed_node(source);
         let destination_node = self.hasher.hashed_node(destination);
@@ -641,6 +792,96 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         assert!(GssSketch::new(GssConfig { width: 0, ..GssConfig::paper_default(1) }).is_err());
+    }
+
+    fn random_items(seed: u64, count: usize, vertices: u64) -> Vec<StreamEdge> {
+        let mut state = seed | 1;
+        (0..count)
+            .map(|t| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                StreamEdge::new(
+                    (state >> 33) % vertices,
+                    (state >> 17) % vertices,
+                    t as u64,
+                    (state % 5) as i64 + 1,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_batch_is_observationally_identical_to_per_item_insert() {
+        for config in [
+            GssConfig::paper_default(48),
+            GssConfig::paper_small(32),
+            GssConfig::basic(32),
+            GssConfig { width: 2, rooms: 1, sequence_length: 2, ..GssConfig::paper_default(2) },
+        ] {
+            let items = random_items(0xBA7C, 800, 120);
+            let mut sequential = GssSketch::new(config).unwrap();
+            let mut batched = GssSketch::new(config).unwrap();
+            for item in &items {
+                sequential.insert_item(item);
+            }
+            for chunk in items.chunks(97) {
+                batched.insert_batch(chunk);
+            }
+            assert_eq!(batched.items_inserted(), sequential.items_inserted());
+            assert_eq!(batched.stored_edges(), sequential.stored_edges());
+            assert_eq!(batched.buffered_edges(), sequential.buffered_edges());
+            for item in &items {
+                assert_eq!(
+                    batched.edge_weight(item.source, item.destination),
+                    sequential.edge_weight(item.source, item.destination),
+                    "edge ({}, {})",
+                    item.source,
+                    item.destination
+                );
+            }
+            for v in 0..120u64 {
+                assert_eq!(batched.successors(v), sequential.successors(v), "successors of {v}");
+                assert_eq!(batched.precursors(v), sequential.precursors(v), "precursors of {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_batch_folds_duplicates_and_counts_every_item() {
+        let mut sketch = GssSketch::with_width(32);
+        let items: Vec<StreamEdge> = (0..10).map(|t| StreamEdge::new(5, 9, t, 2)).collect();
+        sketch.insert_batch(&items);
+        assert_eq!(sketch.edge_weight(5, 9), Some(20));
+        assert_eq!(sketch.stored_edges(), 1);
+        assert_eq!(sketch.items_inserted(), 10);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_behave_like_per_item_inserts() {
+        let mut sketch = GssSketch::with_width(16);
+        sketch.insert_batch(&[]);
+        assert_eq!(sketch.items_inserted(), 0);
+        sketch.insert_batch(&[StreamEdge::new(1, 2, 0, 7)]);
+        assert_eq!(sketch.edge_weight(1, 2), Some(7));
+        assert_eq!(sketch.items_inserted(), 1);
+    }
+
+    #[test]
+    fn insert_stream_chunks_match_per_item_inserts() {
+        // 2500 items crosses the internal 1024-item chunk boundary twice.
+        let items = random_items(0x57E4, 2500, 300);
+        let mut streamed = GssSketch::new(GssConfig::paper_small(40)).unwrap();
+        let mut sequential = GssSketch::new(GssConfig::paper_small(40)).unwrap();
+        streamed.insert_stream(&mut items.iter().copied());
+        for item in &items {
+            sequential.insert_item(item);
+        }
+        assert_eq!(streamed.items_inserted(), 2500);
+        for item in &items {
+            assert_eq!(
+                streamed.edge_weight(item.source, item.destination),
+                sequential.edge_weight(item.source, item.destination)
+            );
+        }
     }
 
     #[test]

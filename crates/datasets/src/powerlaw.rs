@@ -151,7 +151,7 @@ impl ConfigurationModelGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gss_graph::{AdjacencyListGraph, GraphSummary};
+    use gss_graph::{AdjacencyListGraph, SummaryWrite};
 
     #[test]
     fn preferential_attachment_produces_requested_item_count() {
@@ -176,7 +176,7 @@ mod tests {
     fn preferential_attachment_has_skewed_degrees() {
         let items = PreferentialAttachmentGenerator::new(2000, 20_000, 3).generate();
         let mut graph = AdjacencyListGraph::new();
-        graph.insert_stream(items);
+        graph.insert_stream(&mut items.into_iter());
         let mut degrees: Vec<usize> =
             graph.vertices().iter().map(|&v| graph.out_degree(v)).collect();
         degrees.sort_unstable_by(|a, b| b.cmp(a));

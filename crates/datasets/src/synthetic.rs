@@ -209,7 +209,7 @@ impl DatasetProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gss_graph::{AdjacencyListGraph, GraphSummary};
+    use gss_graph::{AdjacencyListGraph, SummaryWrite};
 
     #[test]
     fn all_profiles_have_positive_sizes() {
@@ -276,7 +276,7 @@ mod tests {
         let items = profile.generate();
         assert_eq!(items.len(), profile.stream_items);
         let mut graph = AdjacencyListGraph::new();
-        graph.insert_stream(items.clone());
+        graph.insert_stream(&mut items.clone().into_iter());
         assert!(graph.vertex_count() > 100);
         // Deterministic regeneration.
         assert_eq!(items, profile.generate());

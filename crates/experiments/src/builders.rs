@@ -37,7 +37,7 @@ pub fn build_tcm_with_ratio(gss_width: usize, gss_rooms: usize, ratio: f64) -> T
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gss_graph::GraphSummary;
+    use gss_graph::SummaryRead;
 
     #[test]
     fn small_datasets_use_reduced_sequences() {

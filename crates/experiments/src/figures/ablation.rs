@@ -13,7 +13,7 @@ use crate::scale::ExperimentScale;
 use gss_analysis::{edge_query_correct_rate, leftover_probability, BufferModelParams};
 use gss_core::{GssConfig, GssSketch};
 use gss_datasets::SyntheticDataset;
-use gss_graph::GraphSummary;
+use gss_graph::SummaryRead;
 
 /// Evaluates one GSS configuration: returns `(buffer_percentage, edge_are, mips)`.
 fn evaluate_config(run: &DatasetRun, config: GssConfig, sample: usize) -> (f64, f64, f64) {

@@ -16,7 +16,7 @@ use crate::report::{fmt_float, Table};
 use crate::scale::ExperimentScale;
 use gss_datasets::SyntheticDataset;
 use gss_graph::algorithms::node_query::node_out_weight;
-use gss_graph::{GraphSummary, VertexId};
+use gss_graph::{SummaryRead, VertexId};
 use std::collections::{HashSet, VecDeque};
 
 /// Which of the five accuracy figures to run.
@@ -58,8 +58,8 @@ impl AccuracyFigure {
 /// Bounded BFS that distinguishes "search exhausted, destination not found" (a definite
 /// negative answer) from "visit budget exceeded" (treated as *reachable*, the conservative
 /// answer for a structure with false-positive edges).
-fn reports_unreachable<S: GraphSummary + ?Sized>(
-    summary: &S,
+fn reports_unreachable(
+    summary: &dyn SummaryRead,
     source: VertexId,
     destination: VertexId,
     limit: usize,
@@ -86,9 +86,9 @@ fn reports_unreachable<S: GraphSummary + ?Sized>(
 }
 
 /// Evaluates one summary under the figure's metric.
-fn evaluate<S: GraphSummary>(
+fn evaluate(
     figure: AccuracyFigure,
-    summary: &S,
+    summary: &dyn SummaryRead,
     run: &DatasetRun,
     sample: usize,
 ) -> f64 {
@@ -184,6 +184,7 @@ pub fn run_accuracy_figure_on(
 mod tests {
     use super::*;
     use gss_datasets::DatasetProfile;
+    use gss_graph::SummaryWrite;
 
     fn tiny_run(dataset: SyntheticDataset) -> DatasetRun {
         let profile: DatasetProfile = dataset.smoke_profile().scaled(0.02);

@@ -15,7 +15,7 @@ use gss_baselines::ExactWindowMatcher;
 use gss_core::{GssConfig, GssSketch};
 use gss_datasets::SyntheticDataset;
 use gss_graph::algorithms::find_pattern_matches;
-use gss_graph::{GraphSummary, StreamEdge};
+use gss_graph::{StreamEdge, SummaryRead, SummaryWrite};
 
 /// Window sizes (in stream items) at paper scale.
 pub const PAPER_WINDOW_SIZES: [usize; 5] = [10_000, 20_000, 30_000, 40_000, 50_000];

@@ -13,7 +13,7 @@ use crate::scale::ExperimentScale;
 use gss_baselines::PaperAdjacencyList;
 use gss_core::GssSketch;
 use gss_datasets::SyntheticDataset;
-use gss_graph::GraphSummary;
+use gss_graph::SummaryWrite;
 
 /// The datasets of Table I.
 pub const TABLE1_DATASETS: [SyntheticDataset; 3] =
@@ -29,7 +29,7 @@ fn repetitions(scale: ExperimentScale) -> usize {
 }
 
 /// Measures the average Mips of repeatedly rebuilding `make()` and inserting the stream.
-fn measure<S: GraphSummary, F: Fn() -> S>(run: &DatasetRun, repeats: usize, make: F) -> f64 {
+fn measure<S: SummaryWrite, F: Fn() -> S>(run: &DatasetRun, repeats: usize, make: F) -> f64 {
     let mut total_seconds = 0.0;
     let mut total_items = 0u64;
     for _ in 0..repeats {

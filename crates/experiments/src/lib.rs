@@ -46,5 +46,7 @@ pub use figures::{
     run_accuracy_figure, run_fig03, run_fig13, run_fig14, run_fig15, run_model_vs_measured,
     run_parameter_ablation, run_table1, AccuracyFigure,
 };
-pub use report::{emit, experiments_dir, Table};
+pub use report::{
+    emit, experiments_dir, fmt_float, workspace_root, BenchReport, BenchResult, Table,
+};
 pub use scale::ExperimentScale;

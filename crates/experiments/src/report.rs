@@ -103,24 +103,128 @@ impl Table {
     }
 }
 
+/// The workspace root: the nearest ancestor of the current directory holding a
+/// `Cargo.lock` (falling back to the current directory itself).
+///
+/// Benches and per-crate tests run with the crate directory as CWD, so bare relative
+/// paths would scatter outputs around the workspace; anchoring here keeps every writer on
+/// the same path.
+pub fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
 /// The default output directory for experiment CSVs: `target/experiments/` under the
 /// workspace root.
-///
-/// Benches and per-crate tests run with the crate directory as CWD, so a bare relative
-/// `target` would scatter `crates/*/target/` directories around the workspace; anchoring
-/// at the nearest ancestor holding a `Cargo.lock` keeps every writer on the same path.
 pub fn experiments_dir() -> PathBuf {
     if let Ok(target) = std::env::var("CARGO_TARGET_DIR") {
         return Path::new(&target).join("experiments");
     }
-    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    loop {
-        if dir.join("Cargo.lock").exists() {
-            return dir.join("target").join("experiments");
+    workspace_root().join("target").join("experiments")
+}
+
+/// A machine-readable benchmark report, written as `BENCH_<name>.json` at the workspace
+/// root so throughput numbers accumulate as a trajectory alongside the code.
+///
+/// The JSON is hand-rolled (the vendored `serde` shim has no real serialisation): an
+/// object with the bench name, free-form string context (scale, machine, stream shape) and
+/// one object per measurement holding a name plus numeric fields.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// Bench name, e.g. `"ingest"`; the output file is `BENCH_<name>.json`.
+    pub bench: String,
+    /// Free-form string context (`scale`, `items`, …), serialised as a JSON object.
+    pub context: Vec<(String, String)>,
+    /// One entry per measurement.
+    pub results: Vec<BenchResult>,
+}
+
+/// One measurement of a [`BenchReport`]: a name plus numeric fields
+/// (`{"name": "sharded", "threads": 4, "mitems_per_sec": 12.3}`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchResult {
+    /// Measurement name (structure/configuration under test).
+    pub name: String,
+    /// Numeric fields (thread counts, seconds, derived rates).
+    pub fields: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// Creates an empty report for `bench`.
+    pub fn new(bench: impl Into<String>) -> Self {
+        Self { bench: bench.into(), context: Vec::new(), results: Vec::new() }
+    }
+
+    /// Appends a context key/value pair.
+    pub fn context(mut self, key: impl Into<String>, value: impl std::fmt::Display) -> Self {
+        self.context.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Appends one measurement.
+    pub fn push(&mut self, name: impl Into<String>, fields: &[(&str, f64)]) {
+        self.results.push(BenchResult {
+            name: name.into(),
+            fields: fields.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        fn escape(text: &str) -> String {
+            let mut out = String::with_capacity(text.len());
+            for c in text.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
         }
-        if !dir.pop() {
-            return Path::new("target").join("experiments");
+        fn number(value: f64) -> String {
+            if value.is_finite() {
+                format!("{value:.6}")
+            } else {
+                "null".to_string() // JSON has no NaN/Inf
+            }
         }
+        let mut out = String::new();
+        out.push_str(&format!("{{\n  \"bench\": \"{}\",\n", escape(&self.bench)));
+        out.push_str("  \"context\": {");
+        for (index, (key, value)) in self.context.iter().enumerate() {
+            let comma = if index == 0 { "" } else { "," };
+            out.push_str(&format!("{comma}\n    \"{}\": \"{}\"", escape(key), escape(value)));
+        }
+        out.push_str(if self.context.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"results\": [");
+        for (index, result) in self.results.iter().enumerate() {
+            let comma = if index == 0 { "" } else { "," };
+            out.push_str(&format!("{comma}\n    {{\"name\": \"{}\"", escape(&result.name)));
+            for (key, value) in &result.fields {
+                out.push_str(&format!(", \"{}\": {}", escape(key), number(*value)));
+            }
+            out.push('}');
+        }
+        out.push_str(if self.results.is_empty() { "]\n}\n" } else { "\n  ]\n}\n" });
+        out
+    }
+
+    /// Writes the report as `BENCH_<bench>.json` at the workspace root and returns the
+    /// path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = workspace_root().join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
     }
 }
 
@@ -205,5 +309,37 @@ mod tests {
     #[test]
     fn experiments_dir_ends_with_experiments() {
         assert!(experiments_dir().ends_with("experiments"));
+    }
+
+    #[test]
+    fn bench_report_renders_valid_json() {
+        let mut report = BenchReport::new("unit_test").context("scale", "smoke");
+        report.push("sharded", &[("threads", 4.0), ("mitems_per_sec", 1.25)]);
+        report.push(r#"quo"te"#, &[("nan", f64::NAN)]);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"unit_test\""));
+        assert!(json.contains("\"scale\": \"smoke\""));
+        assert!(json.contains("\"threads\": 4.000000"));
+        assert!(json.contains("\"mitems_per_sec\": 1.250000"));
+        assert!(json.contains(r#"\"te"#)); // quote escaped
+        assert!(json.contains("\"nan\": null"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn bench_report_round_trips_to_disk() {
+        let report = BenchReport::new("report_unit_test");
+        let path = report.write().unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap() == "BENCH_report_unit_test.json");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"results\": []"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn workspace_root_holds_the_lockfile() {
+        assert!(workspace_root().join("Cargo.lock").exists());
     }
 }

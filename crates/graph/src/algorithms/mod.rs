@@ -4,9 +4,9 @@
 //! successor queries and 1-hop precursor queries, "all kinds of queries and algorithms can
 //! be supported" — either by reconstructing the graph or by invoking the primitives lazily
 //! during the algorithm.  This module is the concrete realisation of that claim: every
-//! function is generic over [`GraphSummary`](crate::summary::GraphSummary), so the same
-//! code runs on the exact graph, on GSS, on TCM and on gMatrix, and the experiments compare
-//! their answers.
+//! function takes a `&dyn` [`SummaryRead`](crate::summary::SummaryRead), so the same
+//! (un-monomorphised) code runs on the exact graph, on GSS, on TCM and on gMatrix, and the
+//! experiments compare their answers.
 //!
 //! * [`node_query`] — weighted out/in degree (the node query of Fig. 11).
 //! * [`traversal`] — BFS, reachability (Fig. 12), k-hop neighbourhoods, connected reach sets.

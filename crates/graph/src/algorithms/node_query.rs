@@ -6,11 +6,11 @@
 //! successor; over-estimation can therefore come both from extra successors (false
 //! positives) and from over-estimated edge weights.
 
-use crate::summary::GraphSummary;
+use crate::summary::SummaryRead;
 use crate::types::{VertexId, Weight};
 
 /// Total weight of all out-going edges of `vertex`, as reported by `summary`.
-pub fn node_out_weight<S: GraphSummary + ?Sized>(summary: &S, vertex: VertexId) -> Weight {
+pub fn node_out_weight(summary: &dyn SummaryRead, vertex: VertexId) -> Weight {
     summary
         .successors(vertex)
         .into_iter()
@@ -19,7 +19,7 @@ pub fn node_out_weight<S: GraphSummary + ?Sized>(summary: &S, vertex: VertexId) 
 }
 
 /// Total weight of all in-coming edges of `vertex`, as reported by `summary`.
-pub fn node_in_weight<S: GraphSummary + ?Sized>(summary: &S, vertex: VertexId) -> Weight {
+pub fn node_in_weight(summary: &dyn SummaryRead, vertex: VertexId) -> Weight {
     summary
         .precursors(vertex)
         .into_iter()
@@ -31,6 +31,7 @@ pub fn node_in_weight<S: GraphSummary + ?Sized>(summary: &S, vertex: VertexId) -
 mod tests {
     use super::*;
     use crate::exact::AdjacencyListGraph;
+    use crate::summary::SummaryWrite;
 
     fn graph() -> AdjacencyListGraph {
         let mut g = AdjacencyListGraph::new();

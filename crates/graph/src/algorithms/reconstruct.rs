@@ -7,7 +7,7 @@
 //! node universe (normally the contents of the ID hash table / interner).
 
 use crate::exact::AdjacencyListGraph;
-use crate::summary::GraphSummary;
+use crate::summary::{SummaryRead, SummaryWrite};
 use crate::types::VertexId;
 
 /// Reconstructs an exact [`AdjacencyListGraph`] of everything `summary` reports for the
@@ -15,10 +15,7 @@ use crate::types::VertexId;
 ///
 /// For an approximate summary the reconstruction may contain extra edges (false positives)
 /// and over-estimated weights, but always contains every true edge among `universe`.
-pub fn reconstruct_graph<S: GraphSummary + ?Sized>(
-    summary: &S,
-    universe: &[VertexId],
-) -> AdjacencyListGraph {
+pub fn reconstruct_graph(summary: &dyn SummaryRead, universe: &[VertexId]) -> AdjacencyListGraph {
     let mut graph = AdjacencyListGraph::with_capacity(universe.len());
     for &v in universe {
         for succ in summary.successors(v) {
@@ -33,7 +30,7 @@ pub fn reconstruct_graph<S: GraphSummary + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::summary::GraphSummary;
+    use crate::summary::SummaryWrite;
 
     #[test]
     fn reconstruction_of_exact_graph_is_identical() {

@@ -6,7 +6,7 @@
 //! `s`, every summary says "yes"; the accuracy metric is therefore *true-negative recall*
 //! on pairs known to be unreachable.
 
-use crate::summary::GraphSummary;
+use crate::summary::SummaryRead;
 use crate::types::VertexId;
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -18,17 +18,13 @@ use std::collections::{HashMap, HashSet, VecDeque};
 pub const DEFAULT_TRAVERSAL_LIMIT: usize = 5_000_000;
 
 /// Returns `true` if `summary` reports a directed path from `source` to `destination`.
-pub fn is_reachable<S: GraphSummary + ?Sized>(
-    summary: &S,
-    source: VertexId,
-    destination: VertexId,
-) -> bool {
+pub fn is_reachable(summary: &dyn SummaryRead, source: VertexId, destination: VertexId) -> bool {
     is_reachable_bounded(summary, source, destination, DEFAULT_TRAVERSAL_LIMIT)
 }
 
 /// [`is_reachable`] with an explicit bound on visited vertices.
-pub fn is_reachable_bounded<S: GraphSummary + ?Sized>(
-    summary: &S,
+pub fn is_reachable_bounded(
+    summary: &dyn SummaryRead,
     source: VertexId,
     destination: VertexId,
     limit: usize,
@@ -58,8 +54,8 @@ pub fn is_reachable_bounded<S: GraphSummary + ?Sized>(
 
 /// Returns the set of vertices reachable from `source` (including `source` itself), visiting
 /// at most `limit` vertices.
-pub fn bfs_reachable_set<S: GraphSummary + ?Sized>(
-    summary: &S,
+pub fn bfs_reachable_set(
+    summary: &dyn SummaryRead,
     source: VertexId,
     limit: usize,
 ) -> HashSet<VertexId> {
@@ -85,8 +81,8 @@ pub fn bfs_reachable_set<S: GraphSummary + ?Sized>(
 
 /// Returns the vertices whose shortest hop distance from `source` is exactly `k`,
 /// together with all vertices at distance `< k` (the full k-hop neighbourhood).
-pub fn k_hop_successors<S: GraphSummary + ?Sized>(
-    summary: &S,
+pub fn k_hop_successors(
+    summary: &dyn SummaryRead,
     source: VertexId,
     k: usize,
 ) -> HashSet<VertexId> {
@@ -112,8 +108,8 @@ pub fn k_hop_successors<S: GraphSummary + ?Sized>(
 
 /// Returns the shortest hop distance from `source` to `destination`, or `None` if no path is
 /// found within `limit` visited vertices.
-pub fn shortest_hop_distance<S: GraphSummary + ?Sized>(
-    summary: &S,
+pub fn shortest_hop_distance(
+    summary: &dyn SummaryRead,
     source: VertexId,
     destination: VertexId,
     limit: usize,
@@ -147,7 +143,7 @@ pub fn shortest_hop_distance<S: GraphSummary + ?Sized>(
 mod tests {
     use super::*;
     use crate::exact::AdjacencyListGraph;
-    use crate::summary::GraphSummary;
+    use crate::summary::SummaryWrite;
 
     /// A chain 1 -> 2 -> 3 -> 4 plus a disconnected vertex 10 -> 11.
     fn chain_graph() -> AdjacencyListGraph {

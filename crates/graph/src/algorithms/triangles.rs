@@ -7,13 +7,13 @@
 //! edge exists in either direction.  Each triangle is found three times (once per corner),
 //! so the total is divided by three.
 
-use crate::summary::GraphSummary;
+use crate::summary::SummaryRead;
 use crate::types::VertexId;
 use std::collections::HashSet;
 
 /// Returns the undirected neighbourhood of `vertex` (successors ∪ precursors, minus the
 /// vertex itself).
-fn undirected_neighbours<S: GraphSummary + ?Sized>(summary: &S, vertex: VertexId) -> Vec<VertexId> {
+fn undirected_neighbours(summary: &dyn SummaryRead, vertex: VertexId) -> Vec<VertexId> {
     let mut set: HashSet<VertexId> = summary.successors(vertex).into_iter().collect();
     set.extend(summary.precursors(vertex));
     set.remove(&vertex);
@@ -23,14 +23,14 @@ fn undirected_neighbours<S: GraphSummary + ?Sized>(summary: &S, vertex: VertexId
 }
 
 /// Returns `true` if the summary reports an edge between `a` and `b` in either direction.
-fn undirected_edge_exists<S: GraphSummary + ?Sized>(summary: &S, a: VertexId, b: VertexId) -> bool {
+fn undirected_edge_exists(summary: &dyn SummaryRead, a: VertexId, b: VertexId) -> bool {
     summary.edge_weight(a, b).is_some() || summary.edge_weight(b, a).is_some()
 }
 
 /// Counts the triangles of the undirected interpretation of the graph restricted to
 /// `vertices` (the node universe known to the application, e.g. the interner contents or the
 /// exact vertex list of the evaluated dataset).
-pub fn count_triangles<S: GraphSummary + ?Sized>(summary: &S, vertices: &[VertexId]) -> u64 {
+pub fn count_triangles(summary: &dyn SummaryRead, vertices: &[VertexId]) -> u64 {
     let universe: HashSet<VertexId> = vertices.iter().copied().collect();
     let mut total: u64 = 0;
     for &v in vertices {
@@ -50,7 +50,7 @@ pub fn count_triangles<S: GraphSummary + ?Sized>(summary: &S, vertices: &[Vertex
 }
 
 /// Number of triangles incident to `vertex` (its local triangle count).
-pub fn local_triangle_count<S: GraphSummary + ?Sized>(summary: &S, vertex: VertexId) -> u64 {
+pub fn local_triangle_count(summary: &dyn SummaryRead, vertex: VertexId) -> u64 {
     let neighbours = undirected_neighbours(summary, vertex);
     let mut count = 0;
     for (i, &a) in neighbours.iter().enumerate() {
@@ -67,7 +67,7 @@ pub fn local_triangle_count<S: GraphSummary + ?Sized>(summary: &S, vertex: Verte
 mod tests {
     use super::*;
     use crate::exact::AdjacencyListGraph;
-    use crate::summary::GraphSummary;
+    use crate::summary::SummaryWrite;
 
     /// Two triangles sharing the edge (1,2): {1,2,3} and {1,2,4}, plus a pendant vertex 5.
     fn two_triangle_graph() -> AdjacencyListGraph {

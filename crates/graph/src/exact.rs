@@ -12,7 +12,7 @@
 //! per-edge allocations are what make it slower than the sketches in the update-speed
 //! experiment.
 
-use crate::summary::{GraphSummary, SummaryStats};
+use crate::summary::{SummaryRead, SummaryStats, SummaryWrite};
 use crate::types::{EdgeKey, VertexId, Weight};
 use std::collections::HashMap;
 
@@ -125,7 +125,7 @@ impl AdjacencyListGraph {
     }
 }
 
-impl GraphSummary for AdjacencyListGraph {
+impl SummaryWrite for AdjacencyListGraph {
     fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
         self.items_inserted += 1;
         let targets = self.out_edges.entry(source).or_default();
@@ -140,7 +140,9 @@ impl GraphSummary for AdjacencyListGraph {
             }
         }
     }
+}
 
+impl SummaryRead for AdjacencyListGraph {
     fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight> {
         self.out_edges.get(&source).and_then(|targets| targets.get(&destination)).copied()
     }

@@ -3,12 +3,14 @@
 //! This crate provides the substrate that every sketch and baseline in the workspace is
 //! built on top of:
 //!
-//! * [`StreamEdge`] / [`GraphStream`](stream::GraphStream) — the graph-stream data model of
+//! * [`StreamEdge`] / [`GraphStream`] — the graph-stream data model of
 //!   the paper (Definition 1): an unbounded, timestamped sequence of weighted directed edges.
-//! * [`GraphSummary`] — the trait capturing the three *graph query primitives* of
-//!   Definition 4 (edge query, 1-hop successor query, 1-hop precursor query) plus edge
-//!   insertion.  GSS, TCM, gMatrix and the exact adjacency-list graph all implement it, so
-//!   every compound query and every experiment is written once, against this trait.
+//! * [`SummaryRead`] / [`SummaryWrite`] — the traits capturing the three *graph query
+//!   primitives* of Definition 4 (edge query, 1-hop successor query, 1-hop precursor
+//!   query) and stream ingestion (per-item, batch and iterator insertion).  GSS, TCM,
+//!   gMatrix and the exact adjacency-list graph all implement both halves, so every
+//!   compound query and every experiment is written once, against these traits.
+//!   [`GraphSummary`] is the blanket-implemented `SummaryRead + SummaryWrite` umbrella.
 //! * [`exact::AdjacencyListGraph`] — an exact, loss-less implementation used as ground truth
 //!   and as the "adjacency list" baseline of Table I.
 //! * [`algorithms`] — compound graph queries written purely in terms of the primitives:
@@ -22,18 +24,18 @@
 //! ## Quick start
 //!
 //! ```
-//! use gss_graph::{AdjacencyListGraph, GraphSummary};
+//! use gss_graph::{AdjacencyListGraph, StreamEdge, SummaryRead, SummaryWrite};
 //!
 //! let mut graph = AdjacencyListGraph::new();
 //! graph.insert(1, 2, 3);
-//! graph.insert(2, 3, 1);
+//! graph.insert_batch(&[StreamEdge::new(2, 3, 0, 1)]);
 //!
 //! // The three query primitives of Definition 4…
 //! assert_eq!(graph.edge_weight(1, 2), Some(3));
 //! assert_eq!(graph.successors(2), vec![3]);
 //! assert_eq!(graph.precursors(2), vec![1]);
 //!
-//! // …and a compound query written against the `GraphSummary` trait.
+//! // …and a compound query written against `&dyn SummaryRead`.
 //! assert!(gss_graph::algorithms::is_reachable(&graph, 1, 3));
 //! ```
 
@@ -47,5 +49,5 @@ pub mod types;
 pub use exact::AdjacencyListGraph;
 pub use interner::StringInterner;
 pub use stream::{GraphStream, StreamEdge, StreamWindows, VecStream};
-pub use summary::{GraphSummary, SummaryStats};
+pub use summary::{GraphSummary, SummaryRead, SummaryStats, SummaryWrite};
 pub use types::{EdgeKey, Timestamp, VertexId, Weight};

@@ -132,7 +132,7 @@ impl GraphStream for VecStream {
 impl<I: Iterator<Item = StreamEdge>> GraphStream for std::iter::Peekable<I> {}
 
 /// Iterator over fixed-size, non-overlapping windows of a stream, used by the
-/// subgraph-matching experiment (Fig. 15) which "search[es] for subgraphs in windows of the
+/// subgraph-matching experiment (Fig. 15) which "search\[es\] for subgraphs in windows of the
 /// data stream".
 #[derive(Debug, Clone)]
 pub struct StreamWindows {

@@ -31,13 +31,18 @@ fn main() {
     ];
 
     // A GSS sketch with the paper's default parameters (16-bit fingerprints, 2 rooms,
-    // square hashing with r = k = 16) and an exact graph for comparison.
-    let mut sketch = GssSketch::new(GssConfig::paper_default(64)).expect("valid configuration");
+    // square hashing with r = k = 16) and an exact graph for comparison.  The stream goes
+    // in through the batch-first ingest path, which hashes each endpoint once and folds
+    // duplicate keys before probing.
+    let mut sketch = GssSketch::builder().width(64).build().expect("valid configuration");
     let mut exact = AdjacencyListGraph::new();
-    for &(source, destination, weight) in &stream {
-        sketch.insert(source, destination, weight);
-        exact.insert(source, destination, weight);
-    }
+    let items: Vec<StreamEdge> = stream
+        .iter()
+        .enumerate()
+        .map(|(t, &(s, d, w))| StreamEdge::new(s, d, t as u64, w))
+        .collect();
+    sketch.insert_batch(&items);
+    exact.insert_batch(&items);
 
     println!("== GSS quickstart (stream of Fig. 1, {} items) ==\n", stream.len());
 

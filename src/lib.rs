@@ -20,19 +20,24 @@
 //! ```
 //! use gss::prelude::*;
 //!
-//! // Summarise a small stream with the paper's default parameters.
-//! let mut sketch = GssSketch::new(GssConfig::paper_default(128)).unwrap();
+//! // Summarise a small stream with the paper's default parameters (the builder is the
+//! // entry point; `SummaryWrite` provides per-item, batch and stream ingestion).
+//! let mut sketch = GssSketch::builder().width(128).build().unwrap();
 //! sketch.insert(1, 2, 3);
-//! sketch.insert(2, 3, 5);
-//! sketch.insert(1, 2, 4);
+//! sketch.insert_batch(&[StreamEdge::new(2, 3, 0, 5), StreamEdge::new(1, 2, 1, 4)]);
 //!
-//! // The three query primitives…
+//! // The three query primitives (`SummaryRead`)…
 //! assert_eq!(sketch.edge_weight(1, 2), Some(7));
 //! assert_eq!(sketch.successors(1), vec![2]);
 //! assert_eq!(sketch.precursors(3), vec![2]);
 //!
 //! // …and compound queries built on top of them.
 //! assert!(gss::graph::algorithms::is_reachable(&sketch, 1, 3));
+//!
+//! // Concurrent ingest: shards behind per-shard locks, routed by source vertex.
+//! let sharded = GssSketch::builder().width(128).build_sharded(4).unwrap();
+//! sharded.insert(1, 2, 3); // &self — clone the handle into writer threads
+//! assert_eq!(sharded.edge_weight(1, 2), Some(3));
 //! ```
 
 pub use gss_analysis as analysis;
@@ -44,11 +49,15 @@ pub use gss_graph as graph;
 
 /// The most commonly used items, re-exported for `use gss::prelude::*`.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use gss_core::ConcurrentGss;
+
     pub use gss_baselines::TcmSketch;
-    pub use gss_core::{ConcurrentGss, GssConfig, GssSketch};
+    pub use gss_core::{GssBuilder, GssConfig, GssSketch, ShardedGss};
     pub use gss_datasets::{DatasetProfile, SyntheticDataset};
     pub use gss_graph::{
-        AdjacencyListGraph, GraphStream, GraphSummary, StreamEdge, StringInterner, VertexId, Weight,
+        AdjacencyListGraph, GraphStream, GraphSummary, StreamEdge, StringInterner, SummaryRead,
+        SummaryWrite, VertexId, Weight,
     };
 }
 
