@@ -9,10 +9,14 @@
 //!
 //! Results are printed as a table and written as `BENCH_ingest.json` at the workspace root
 //! via [`gss_experiments::BenchReport`], seeding the bench trajectory.
+//!
+//! Set `GSS_STORAGE=file` to run the same sweep with every shard's room matrix on the
+//! paged file backend (one sketch file per shard under the temp dir) — the configuration
+//! that matters for larger-than-RAM matrices.
 
 use gss_core::{GssConfig, ShardedGss};
 use gss_datasets::{Xoshiro256, ZipfSampler};
-use gss_experiments::{fmt_float, BenchReport, ExperimentScale, Table};
+use gss_experiments::{fmt_float, storage_backend_from_env, BenchReport, ExperimentScale, Table};
 use gss_graph::StreamEdge;
 use std::time::Instant;
 
@@ -47,11 +51,27 @@ fn stream_items(scale: ExperimentScale) -> usize {
 }
 
 /// Splits `items` across `threads` writers (cloned handles) and returns the best
-/// wall-clock seconds over [`REPEATS`] runs; the sketch is rebuilt for every run.
-fn measure(config: GssConfig, shards: usize, threads: usize, items: &[StreamEdge]) -> f64 {
+/// wall-clock seconds over [`REPEATS`] runs; the sketch is rebuilt for every run on the
+/// `GSS_STORAGE`-selected backend (fresh sketch files per run under the file backend).
+fn measure(
+    config: GssConfig,
+    shards: usize,
+    threads: usize,
+    items: &[StreamEdge],
+    scale: ExperimentScale,
+) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..REPEATS {
-        let sketch = ShardedGss::new(config, shards).expect("valid config");
+        // Split the scale's page-cache budget across shards so sharded and single-shard
+        // runs compare at the same total cache size, not shards × the budget.
+        let storage = match storage_backend_from_env(scale, &format!("ingest-s{shards}-t{threads}"))
+        {
+            gss_core::StorageBackend::File { path, cache_pages } => {
+                gss_core::StorageBackend::File { path, cache_pages: (cache_pages / shards).max(1) }
+            }
+            memory => memory,
+        };
+        let sketch = ShardedGss::with_storage(config, shards, &storage).expect("valid config");
         let chunk_size = items.len().div_ceil(threads);
         let start = Instant::now();
         std::thread::scope(|scope| {
@@ -87,8 +107,16 @@ fn main() {
         format!("Ingest scaling — {} Zipf items ({} scale)", items.len(), scale.name()),
         &["threads", "single_lock_mitems_s", "sharded_mitems_s", "speedup"],
     );
-    let mut report = BenchReport::new("ingest")
+    let storage_name = match storage_backend_from_env(scale, "probe") {
+        gss_core::StorageBackend::Memory => "memory",
+        gss_core::StorageBackend::File { .. } => "file",
+    };
+    // File-backed runs get their own report file so the two trajectories accumulate
+    // side by side instead of overwriting each other.
+    let report_name = if storage_name == "file" { "ingest_file" } else { "ingest" };
+    let mut report = BenchReport::new(report_name)
         .context("scale", scale.name())
+        .context("storage", storage_name)
         .context("items", items.len())
         .context("distinct_vertices", 60_000)
         .context("zipf_exponent", "1.1")
@@ -98,8 +126,8 @@ fn main() {
 
     let mitems = |seconds: f64| items.len() as f64 / seconds / 1e6;
     for threads in THREAD_COUNTS {
-        let single_seconds = measure(config, 1, threads, &items);
-        let sharded_seconds = measure(config, threads, threads, &items);
+        let single_seconds = measure(config, 1, threads, &items, scale);
+        let sharded_seconds = measure(config, threads, threads, &items, scale);
         report.push(
             "single_lock",
             &[

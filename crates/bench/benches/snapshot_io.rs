@@ -1,0 +1,159 @@
+//! Snapshot and storage-backend I/O: streaming snapshot write/read bandwidth, ingest
+//! throughput on the in-memory vs the paged file backend, and the cost of reopening a
+//! sketch file in place.
+//!
+//! Results are printed as a table and written as `BENCH_snapshot.json` at the workspace
+//! root via [`gss_experiments::BenchReport`], alongside `BENCH_ingest.json` in the bench
+//! trajectory.  The file backend always runs here (unlike the figure benches, which only
+//! touch it under `GSS_STORAGE=file`), because comparing the two backends is the point.
+
+use gss_core::{GssConfig, GssSketch, StorageBackend};
+use gss_datasets::{Xoshiro256, ZipfSampler};
+use gss_experiments::{fmt_float, BenchReport, ExperimentScale, Table};
+use gss_graph::{StreamEdge, SummaryWrite};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Items handed to one `insert_batch` call.
+const BATCH: usize = 512;
+
+fn zipf_stream(items: usize, vertices: usize, seed: u64) -> Vec<StreamEdge> {
+    let sampler = ZipfSampler::new(vertices, 1.1);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..items)
+        .map(|t| {
+            let source = sampler.sample(&mut rng) as u64 - 1;
+            let destination = sampler.sample(&mut rng) as u64 - 1;
+            StreamEdge::new(source, destination, t as u64, 1)
+        })
+        .collect()
+}
+
+fn stream_items(scale: ExperimentScale) -> usize {
+    match scale {
+        ExperimentScale::Smoke => 100_000,
+        ExperimentScale::Laptop => 500_000,
+        ExperimentScale::Paper => 2_000_000,
+    }
+}
+
+fn matrix_width(scale: ExperimentScale) -> usize {
+    match scale {
+        ExperimentScale::Smoke => 160,
+        ExperimentScale::Laptop => 400,
+        ExperimentScale::Paper => 1000,
+    }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gss-snapshot-io-{}-{name}", std::process::id()))
+}
+
+fn ingest(sketch: &mut GssSketch, items: &[StreamEdge]) -> f64 {
+    let start = Instant::now();
+    for batch in items.chunks(BATCH) {
+        sketch.insert_batch(batch);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let scale = gss_bench::bench_scale("snapshot_io");
+    let items = zipf_stream(stream_items(scale), 60_000, 0x5A17_B07E);
+    let config = GssConfig::paper_default(matrix_width(scale));
+    let cache_pages = scale.file_cache_pages();
+    let mitems = |seconds: f64| items.len() as f64 / seconds / 1e6;
+
+    // Ingest: in-memory baseline vs the paged file backend over the same stream.
+    let mut memory_sketch = GssSketch::new(config).expect("valid config");
+    let memory_seconds = ingest(&mut memory_sketch, &items);
+
+    let file_path = temp_path("sketch.gss");
+    let mut file_sketch = GssSketch::with_storage(
+        config,
+        StorageBackend::File { path: file_path.clone(), cache_pages },
+    )
+    .expect("sketch file creatable in the temp dir");
+    let file_seconds = ingest(&mut file_sketch, &items);
+
+    // Streaming snapshot write and read through buffered files.
+    let snapshot_path = temp_path("sketch.snap");
+    let write_start = Instant::now();
+    memory_sketch.save_to_path(&snapshot_path).expect("snapshot writable");
+    let write_seconds = write_start.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(&snapshot_path).expect("snapshot exists").len();
+    let mb = snapshot_bytes as f64 / (1024.0 * 1024.0);
+
+    let read_start = Instant::now();
+    let restored = GssSketch::load_from_path(&snapshot_path).expect("snapshot readable");
+    let read_seconds = read_start.elapsed().as_secs_f64();
+    assert_eq!(restored.stored_edges(), memory_sketch.stored_edges());
+
+    // Open-in-place: sync the file sketch, drop it, reopen without a decode pass.
+    file_sketch.sync().expect("sketch file syncable");
+    let file_stored = file_sketch.stored_edges();
+    drop(file_sketch);
+    let reopen_start = Instant::now();
+    let reopened = GssSketch::open_file(&file_path, cache_pages).expect("sketch file reopens");
+    let reopen_seconds = reopen_start.elapsed().as_secs_f64();
+    assert_eq!(reopened.stored_edges(), file_stored);
+    drop(reopened);
+    std::fs::remove_file(&file_path).ok();
+    std::fs::remove_file(&snapshot_path).ok();
+
+    let mut table = Table::new(
+        format!(
+            "Snapshot & storage I/O — {} Zipf items, width {} ({} scale)",
+            items.len(),
+            config.width,
+            scale.name()
+        ),
+        &["measure", "seconds", "rate"],
+    );
+    table.push_row(vec![
+        "ingest memory".into(),
+        fmt_float(memory_seconds),
+        format!("{} Mitems/s", fmt_float(mitems(memory_seconds))),
+    ]);
+    table.push_row(vec![
+        "ingest file".into(),
+        fmt_float(file_seconds),
+        format!("{} Mitems/s", fmt_float(mitems(file_seconds))),
+    ]);
+    table.push_row(vec![
+        "snapshot write".into(),
+        fmt_float(write_seconds),
+        format!("{} MB/s", fmt_float(mb / write_seconds)),
+    ]);
+    table.push_row(vec![
+        "snapshot read".into(),
+        fmt_float(read_seconds),
+        format!("{} MB/s", fmt_float(mb / read_seconds)),
+    ]);
+    table.push_row(vec!["open in place".into(), fmt_float(reopen_seconds), "-".into()]);
+    table.print();
+
+    let mut report = BenchReport::new("snapshot")
+        .context("scale", scale.name())
+        .context("items", items.len())
+        .context("width", config.width)
+        .context("cache_pages", cache_pages)
+        .context("batch", BATCH)
+        .context("snapshot_bytes", snapshot_bytes);
+    report.push(
+        "ingest_memory",
+        &[("seconds", memory_seconds), ("mitems_per_sec", mitems(memory_seconds))],
+    );
+    report.push(
+        "ingest_file",
+        &[("seconds", file_seconds), ("mitems_per_sec", mitems(file_seconds))],
+    );
+    report
+        .push("snapshot_write", &[("seconds", write_seconds), ("mb_per_sec", mb / write_seconds)]);
+    report.push("snapshot_read", &[("seconds", read_seconds), ("mb_per_sec", mb / read_seconds)]);
+    report.push("open_in_place", &[("seconds", reopen_seconds)]);
+    match report.write() {
+        Ok(path) => println!("(json written to {})", path.display()),
+        Err(error) => eprintln!("warning: could not write BENCH_snapshot.json: {error}"),
+    }
+}

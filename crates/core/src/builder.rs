@@ -23,15 +23,20 @@ use crate::concurrent::ShardedGss;
 use crate::config::GssConfig;
 use crate::error::ConfigError;
 use crate::sketch::GssSketch;
+use crate::storage::StorageBackend;
+use std::path::PathBuf;
 
 /// Fluent builder for [`GssSketch`] (and its sharded concurrent variant).
 ///
 /// Obtained from [`GssSketch::builder`]; every knob defaults to the paper's Section VII
 /// evaluation setting (`l = 2`, `r = k = 16`, 16-bit fingerprints, square hashing and
-/// candidate sampling on, node-id tracking on) at a matrix width of 1000.
-#[derive(Debug, Clone, Copy)]
+/// candidate sampling on, node-id tracking on) at a matrix width of 1000, with the room
+/// matrix stored in memory.  Use [`storage`](Self::storage) /
+/// [`storage_file`](Self::storage_file) to put the matrix in a paged sketch file instead.
+#[derive(Debug, Clone)]
 pub struct GssBuilder {
     config: GssConfig,
+    storage: StorageBackend,
 }
 
 impl Default for GssBuilder {
@@ -43,13 +48,13 @@ impl Default for GssBuilder {
 impl GssBuilder {
     /// Starts from the paper's default configuration.
     pub fn new() -> Self {
-        Self { config: GssConfig::default() }
+        Self { config: GssConfig::default(), storage: StorageBackend::Memory }
     }
 
     /// Starts from an explicit configuration (e.g. [`GssConfig::paper_small`] or
     /// [`GssConfig::basic`]).
     pub fn from_config(config: GssConfig) -> Self {
-        Self { config }
+        Self { config, storage: StorageBackend::Memory }
     }
 
     /// Matrix side length `m`.
@@ -109,26 +114,53 @@ impl GssBuilder {
         self
     }
 
+    /// Where the room matrix lives: [`StorageBackend::Memory`] (default) or
+    /// [`StorageBackend::File`] for a paged, larger-than-RAM sketch file.
+    pub fn storage(mut self, storage: StorageBackend) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Shorthand for [`storage`](Self::storage) with a file backend at `path` and the
+    /// default page-cache size.
+    pub fn storage_file(self, path: impl Into<PathBuf>) -> Self {
+        self.storage(StorageBackend::file(path))
+    }
+
     /// The configuration accumulated so far (not yet validated).
     pub fn config(&self) -> GssConfig {
         self.config
     }
 
-    /// Validates the configuration and builds the sketch.
+    /// Validates the configuration and builds the sketch on the selected storage backend.
     ///
     /// # Errors
-    /// Returns a [`ConfigError`] describing the first invalid knob.
+    /// Returns a [`ConfigError`] describing the first invalid knob, or carrying the I/O
+    /// failure if a sketch file cannot be created.
     pub fn build(self) -> Result<GssSketch, ConfigError> {
-        GssSketch::new(self.config)
+        GssSketch::with_storage(self.config, self.storage)
     }
 
     /// Validates the configuration and builds a [`ShardedGss`] with `shards` concurrent
-    /// ingest shards.
+    /// ingest shards on the selected storage backend (a file backend fans out to one
+    /// file per shard).
     ///
     /// # Errors
-    /// Returns a [`ConfigError`] if the configuration is invalid or `shards == 0`.
+    /// Returns a [`ConfigError`] if the configuration is invalid, `shards == 0`, or a
+    /// shard file cannot be created.
     pub fn build_sharded(self, shards: usize) -> Result<ShardedGss, ConfigError> {
-        ShardedGss::new(self.config, shards)
+        ShardedGss::with_storage(self.config, shards, &self.storage)
+    }
+
+    /// Like [`build_sharded`](Self::build_sharded), but holds **total** matrix memory at
+    /// the budget of a single sketch by shrinking each shard's width to `width / √shards`
+    /// ([`GssConfig::equal_memory_width`]) — the equal-memory comparison mode.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the configuration is invalid, `shards == 0`, or a
+    /// shard file cannot be created.
+    pub fn build_sharded_equal_memory(self, shards: usize) -> Result<ShardedGss, ConfigError> {
+        ShardedGss::with_storage_equal_memory(self.config, shards, &self.storage)
     }
 }
 
@@ -186,6 +218,35 @@ mod tests {
         assert!(GssSketch::builder().width(0).build().is_err());
         assert!(GssSketch::builder().fingerprint_bits(40).build().is_err());
         assert!(GssSketch::builder().width(16).build_sharded(0).is_err());
+    }
+
+    #[test]
+    fn equal_memory_sharding_shrinks_per_shard_width() {
+        let sharded = GssSketch::builder().width(100).build_sharded_equal_memory(4).unwrap();
+        assert_eq!(sharded.shard_count(), 4);
+        assert_eq!(sharded.config().width, 50);
+        sharded.insert(1, 2, 3);
+        assert_eq!(sharded.edge_weight(1, 2), Some(3));
+        assert!(GssSketch::builder().width(100).build_sharded_equal_memory(0).is_err());
+    }
+
+    #[test]
+    fn file_storage_builds_and_reports_backend() {
+        let path =
+            std::env::temp_dir().join(format!("gss-builder-{}-file.gss", std::process::id()));
+        let mut sketch = GssSketch::builder().width(32).storage_file(&path).build().unwrap();
+        assert_eq!(sketch.storage_backend(), "file");
+        sketch.insert(1, 2, 9);
+        assert_eq!(sketch.edge_weight(1, 2), Some(9));
+        drop(sketch);
+        let reopened = GssSketch::open_file(&path, 8).unwrap();
+        assert_eq!(reopened.edge_weight(1, 2), Some(9));
+        drop(reopened);
+        std::fs::remove_file(&path).ok();
+        // An uncreatable path surfaces as a ConfigError carrying the I/O failure.
+        let bad =
+            GssSketch::builder().width(8).storage_file("/nonexistent-gss-dir/sketch.gss").build();
+        assert!(bad.unwrap_err().to_string().contains("sketch file"));
     }
 
     #[test]

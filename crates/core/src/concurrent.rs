@@ -35,6 +35,7 @@ use crate::config::GssConfig;
 use crate::error::ConfigError;
 use crate::sketch::GssSketch;
 use crate::stats::GssStats;
+use crate::storage::StorageBackend;
 use gss_graph::{StreamEdge, SummaryRead, SummaryStats, SummaryWrite, VertexId, Weight};
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -65,13 +66,60 @@ impl ShardedGss {
     /// # Errors
     /// Returns a [`ConfigError`] if the configuration is invalid or `shards == 0`.
     pub fn new(config: GssConfig, shards: usize) -> Result<Self, ConfigError> {
+        Self::with_storage(config, shards, &StorageBackend::Memory)
+    }
+
+    /// Builds `shards` empty sketches sharing one configuration on an explicit storage
+    /// backend.  A [`StorageBackend::File`] base path fans out to one file per shard
+    /// (`<name>.shard0`, `<name>.shard1`, …), so each shard owns its page cache and its
+    /// portion of the on-disk matrix.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the configuration is invalid, `shards == 0`, or a
+    /// shard file cannot be created.
+    pub fn with_storage(
+        config: GssConfig,
+        shards: usize,
+        storage: &StorageBackend,
+    ) -> Result<Self, ConfigError> {
         if shards == 0 {
             return Err(ConfigError::new("need at least one shard"));
         }
         let shards = (0..shards)
-            .map(|_| GssSketch::new(config).map(RwLock::new))
+            .map(|index| GssSketch::with_storage(config, storage.for_shard(index)).map(RwLock::new))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self { config, shards: Arc::new(shards) })
+    }
+
+    /// Builds a sharded sketch whose **total** matrix memory equals one sketch of
+    /// `config`: each shard's width is shrunk to `width / √shards`
+    /// ([`GssConfig::equal_memory_width`]), so sharded-vs-single comparisons hold memory
+    /// constant instead of multiplying it by the shard count.
+    ///
+    /// The narrower per-shard matrix raises per-shard load factor, trading a little of
+    /// the accuracy headroom of [`ShardedGss::new`] for a fair memory budget — this is
+    /// the constructor to use when reproducing the paper's equal-memory comparisons on a
+    /// sharded front-end.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the configuration is invalid or `shards == 0`.
+    pub fn new_equal_memory(config: GssConfig, shards: usize) -> Result<Self, ConfigError> {
+        Self::with_storage_equal_memory(config, shards, &StorageBackend::Memory)
+    }
+
+    /// [`new_equal_memory`](Self::new_equal_memory) on an explicit storage backend: the
+    /// single place where the equal-memory width rule meets shard construction.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the configuration is invalid, `shards == 0`, or a
+    /// shard file cannot be created.
+    pub fn with_storage_equal_memory(
+        config: GssConfig,
+        shards: usize,
+        storage: &StorageBackend,
+    ) -> Result<Self, ConfigError> {
+        let per_shard = GssConfig { width: config.equal_memory_width(shards), ..config };
+        Self::with_storage(per_shard, shards, storage)
     }
 
     /// Builds a sharded sketch with one shard per available CPU (capped at 16).
@@ -459,6 +507,61 @@ mod tests {
         assert_eq!(reader.edge_weight(1, 2), Some(5));
         assert_eq!(reader.stats().items_inserted, 2);
         assert!(reader.name().contains("ShardedGss(shards=2"));
+    }
+
+    #[test]
+    fn equal_memory_mode_keeps_the_total_matrix_budget() {
+        let config = GssConfig::paper_default(64);
+        let single = GssSketch::new(config).unwrap();
+        let sharded = ShardedGss::new_equal_memory(config, 4).unwrap();
+        assert_eq!(sharded.config().width, 32);
+        let total: usize =
+            (0..4).map(|i| sharded.with_shard_read(i, |inner| inner.config().matrix_bytes())).sum();
+        assert_eq!(total, single.config().matrix_bytes());
+        // Still a working sketch with one-sided error.
+        let items = stream(31, 2000);
+        sharded.insert_batch(&items);
+        let mut exact = AdjacencyListGraph::new();
+        for item in &items {
+            exact.insert(item.source, item.destination, item.weight);
+        }
+        for (key, weight) in exact.edges() {
+            let reported = sharded.edge_weight(key.source, key.destination).unwrap_or(0);
+            assert!(reported >= weight, "edge {key:?} under-estimated");
+        }
+        assert!(ShardedGss::new_equal_memory(config, 0).is_err());
+    }
+
+    #[test]
+    fn file_backed_shards_write_one_file_each_and_reopen() {
+        let base =
+            std::env::temp_dir().join(format!("gss-sharded-{}-file.gss", std::process::id()));
+        let config = GssConfig::paper_small(24);
+        let items = stream(17, 1200);
+        {
+            let sharded = ShardedGss::with_storage(
+                config,
+                3,
+                &StorageBackend::File { path: base.clone(), cache_pages: 16 },
+            )
+            .unwrap();
+            sharded.insert_batch(&items);
+            assert_eq!(sharded.stats().items_inserted, 1200);
+            // Queries work while the shards live on disk.
+            assert!(sharded.edge_weight(items[0].source, items[0].destination).is_some());
+        } // drop syncs every shard file
+        let mut total_items = 0;
+        for index in 0..3 {
+            let path = base.with_file_name(format!(
+                "{}.shard{index}",
+                base.file_name().unwrap().to_string_lossy()
+            ));
+            let shard = GssSketch::open_file(&path, 16).unwrap();
+            assert_eq!(shard.config(), &config);
+            total_items += shard.items_inserted();
+            std::fs::remove_file(&path).ok();
+        }
+        assert_eq!(total_items, 1200);
     }
 
     #[test]

@@ -25,6 +25,19 @@ pub const MAX_SEQUENCE_LENGTH: usize = 16;
 /// Maximum supported fingerprint width in bits (fingerprints are stored in `u16`s).
 pub const MAX_FINGERPRINT_BITS: u32 = 16;
 
+/// Maximum supported matrix side length `m`.  Far above any paper-scale setting (the paper
+/// sweeps widths around 1000), this bound exists so size arithmetic on decoded
+/// configurations — snapshots and sketch-file headers carry `width` as a raw `u64` — can
+/// never overflow and a bit-flipped header is rejected instead of panicking.
+pub const MAX_WIDTH: usize = 1 << 20;
+
+/// Maximum supported rooms per bucket `l` (the paper uses 1 or 2).
+pub const MAX_ROOMS_PER_BUCKET: usize = 1 << 10;
+
+/// Maximum total rooms `m² × l` a configuration may describe (16 Gi rooms = a 256 GiB room
+/// region).  Caps the allocation/file size a decoded configuration can request.
+pub const MAX_TOTAL_ROOMS: u128 = 1 << 34;
+
 /// Configuration for a [`GssSketch`](crate::GssSketch).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GssConfig {
@@ -159,6 +172,14 @@ impl GssConfig {
         self.room_count() * self.bytes_per_room()
     }
 
+    /// The per-shard matrix width that keeps `shards` sketches at the total memory of one
+    /// sketch of this configuration: matrix memory grows with `width²`, so each shard gets
+    /// `width / √shards` (rounded, at least 1).  Used by the equal-memory sharding mode for
+    /// apples-to-apples sharded-vs-single comparisons.
+    pub fn equal_memory_width(&self, shards: usize) -> usize {
+        ((self.width as f64) / (shards.max(1) as f64).sqrt()).round().max(1.0) as usize
+    }
+
     /// Effective number of probed candidate buckets per edge.
     pub fn effective_candidates(&self) -> usize {
         if !self.square_hashing {
@@ -171,9 +192,17 @@ impl GssConfig {
     }
 
     /// Validates the configuration.
+    ///
+    /// Besides the paper's parameter ranges, the size bounds ([`MAX_WIDTH`],
+    /// [`MAX_ROOMS_PER_BUCKET`], [`MAX_TOTAL_ROOMS`]) are enforced here so every
+    /// validated configuration — including one decoded from an untrusted snapshot or
+    /// sketch-file header — has overflow-free size arithmetic and a bounded footprint.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.width == 0 {
             return Err(ConfigError::new("matrix width must be positive"));
+        }
+        if self.width > MAX_WIDTH {
+            return Err(ConfigError::new(format!("matrix width must be at most {MAX_WIDTH}")));
         }
         if self.fingerprint_bits == 0 || self.fingerprint_bits > MAX_FINGERPRINT_BITS {
             return Err(ConfigError::new(format!(
@@ -182,6 +211,17 @@ impl GssConfig {
         }
         if self.rooms == 0 {
             return Err(ConfigError::new("each bucket needs at least one room"));
+        }
+        if self.rooms > MAX_ROOMS_PER_BUCKET {
+            return Err(ConfigError::new(format!(
+                "rooms per bucket must be at most {MAX_ROOMS_PER_BUCKET}"
+            )));
+        }
+        let total_rooms = self.width as u128 * self.width as u128 * self.rooms as u128;
+        if total_rooms > MAX_TOTAL_ROOMS {
+            return Err(ConfigError::new(format!(
+                "matrix describes {total_rooms} rooms, above the {MAX_TOTAL_ROOMS} cap"
+            )));
         }
         if self.sequence_length == 0 || self.sequence_length > MAX_SEQUENCE_LENGTH {
             return Err(ConfigError::new(format!(
@@ -251,9 +291,46 @@ mod tests {
     }
 
     #[test]
+    fn equal_memory_width_shrinks_by_sqrt_shards() {
+        let config = GssConfig::paper_default(1000);
+        assert_eq!(config.equal_memory_width(1), 1000);
+        assert_eq!(config.equal_memory_width(4), 500);
+        assert_eq!(config.equal_memory_width(16), 250);
+        // Non-square shard counts round to the nearest width; total memory stays within
+        // a few percent of the single-sketch budget.
+        let width2 = config.equal_memory_width(2);
+        let total = 2.0 * (width2 * width2) as f64;
+        assert!((total / (1000.0 * 1000.0) - 1.0).abs() < 0.05, "width {width2}");
+        // Degenerate cases never produce a zero width.
+        assert_eq!(GssConfig::paper_default(1).equal_memory_width(64), 1);
+        assert_eq!(config.equal_memory_width(0), 1000);
+    }
+
+    #[test]
     fn effective_candidates_without_sampling_is_r_squared() {
         let config = GssConfig::paper_default(100).with_sampling(false);
         assert_eq!(config.effective_candidates(), 256);
+    }
+
+    #[test]
+    fn validation_rejects_oversized_geometry() {
+        // A bit-flipped snapshot header can claim any width/rooms; the caps reject it
+        // before size arithmetic overflows or a giant allocation is attempted.
+        assert!(GssConfig { width: MAX_WIDTH + 1, ..GssConfig::paper_default(8) }
+            .validate()
+            .is_err());
+        assert!(GssConfig { width: usize::MAX, ..GssConfig::paper_default(8) }.validate().is_err());
+        assert!(GssConfig::paper_default(8)
+            .with_rooms(MAX_ROOMS_PER_BUCKET + 1)
+            .validate()
+            .is_err());
+        // Width and rooms individually in range, product over the cap.
+        assert!(GssConfig { width: MAX_WIDTH, rooms: 32, ..GssConfig::paper_default(8) }
+            .validate()
+            .is_err());
+        // A legitimately large configuration (65536² × 2 rooms ≈ 8.6 G rooms, a ~137 GiB
+        // file-backed matrix) stays valid.
+        assert!(GssConfig::paper_default(65_536).validate().is_ok());
     }
 
     #[test]

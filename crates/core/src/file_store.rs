@@ -1,0 +1,614 @@
+//! Paged file-backed room storage: [`FileStore`].
+//!
+//! The room grid dominates a sketch's footprint (`m² × l` records regardless of the
+//! stream), so a paper-scale matrix can exceed RAM.  `FileStore` keeps the grid in a file
+//! of fixed-size little-endian room records ([`ROOM_RECORD_BYTES`] each, the same layout
+//! snapshots use) and serves reads/writes through an LRU cache of 4-KiB pages with
+//! dirty-page write-back — std-only `seek` + `read`/`write` I/O, no `mmap`, no platform
+//! dependencies.
+//!
+//! ## File layout
+//!
+//! ```text
+//! [0 .. 4096)                      header page: magic, config, items, occupied, tail_len, clean flag
+//! [4096 .. 4096 + pages × 4096)    room records, 16 bytes each, page-aligned region
+//! [tail_offset .. tail_offset+n)   tail: buffer edges + ⟨H(v), v⟩ table (streaming snapshot sections)
+//! ```
+//!
+//! Because the header carries the full configuration and the rooms live in place, **the
+//! sketch file doubles as its own checkpoint**: [`crate::GssSketch::open_file`] re-opens
+//! it without decoding the room region at all — open cost is proportional to the (usually
+//! tiny) tail, not to the matrix.
+//!
+//! ## Consistency
+//!
+//! The header's `clean` flag is cleared on the first mutation after a sync and set again
+//! by [`FileStore::write_tail`] (called from `GssSketch::sync`, which also runs on drop).
+//! Re-opening a file whose flag is clear fails with [`PersistenceError::Corrupt`] rather
+//! than silently serving a torn matrix.
+//!
+//! Runtime I/O failures (disk full, file removed under us) inside the [`RoomStore`] hot
+//! path panic with a descriptive message — the trait is infallible by design because the
+//! in-memory backend is; construction, open and sync report errors properly.
+
+use crate::config::GssConfig;
+use crate::matrix::Room;
+use crate::persistence::PersistenceError;
+use crate::storage::{
+    decode_config, decode_room, encode_config, encode_room, RoomStore, CONFIG_BYTES,
+    ROOM_RECORD_BYTES,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes identifying a GSS sketch file (version 1).
+pub const FILE_MAGIC: [u8; 8] = *b"GSSFILE\x01";
+
+/// Bytes per cache page (and per on-disk page; room records never straddle pages because
+/// [`ROOM_RECORD_BYTES`] divides this).
+pub const PAGE_BYTES: usize = 4096;
+
+/// Size of the header region (one page, so the room region starts page-aligned).
+const HEADER_BYTES: u64 = PAGE_BYTES as u64;
+
+// Header field offsets.
+const OFF_CONFIG: usize = 8;
+const OFF_ITEMS: usize = OFF_CONFIG + CONFIG_BYTES;
+const OFF_OCCUPIED: usize = OFF_ITEMS + 8;
+const OFF_TAIL_LEN: usize = OFF_OCCUPIED + 8;
+const OFF_CLEAN: usize = OFF_TAIL_LEN + 8;
+
+/// Everything [`FileStore::open`] recovers from an existing sketch file besides the store
+/// itself: the sketch-level state the file checkpoints.
+#[derive(Debug)]
+pub struct FileHeader {
+    /// The configuration the file was created with.
+    pub config: GssConfig,
+    /// Stream items inserted when the file was last synced.
+    pub items_inserted: u64,
+    /// Tail bytes (buffer + node-table sections, decoded by persistence).
+    pub tail: Vec<u8>,
+}
+
+/// One cached page of room records.
+struct Page {
+    data: Box<[u8; PAGE_BYTES]>,
+    dirty: bool,
+    /// LRU stamp: monotonically increasing touch tick.
+    stamp: u64,
+}
+
+struct FileInner {
+    file: File,
+    occupied_rooms: usize,
+    /// Mirrors the header's clean flag so it is only rewritten on transitions.
+    clean: bool,
+    tick: u64,
+    pages: HashMap<u64, Page>,
+    /// Recency index: stamp → page index (stamps are unique ticks), so the LRU victim is
+    /// the first entry — O(log n) eviction instead of scanning the whole cache.
+    recency: std::collections::BTreeMap<u64, u64>,
+}
+
+/// A paged file-backed [`RoomStore`] with an LRU dirty-page write-back cache.
+pub struct FileStore {
+    path: PathBuf,
+    width: usize,
+    rooms_per_bucket: usize,
+    cache_pages: usize,
+    inner: Mutex<FileInner>,
+}
+
+impl std::fmt::Debug for FileStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileStore")
+            .field("path", &self.path)
+            .field("width", &self.width)
+            .field("rooms_per_bucket", &self.rooms_per_bucket)
+            .field("cache_pages", &self.cache_pages)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FileStore {
+    /// Default page-cache capacity: 1024 pages = 4 MiB of resident room records.
+    pub const DEFAULT_CACHE_PAGES: usize = 1024;
+
+    /// Creates a fresh sketch file at `path` (truncating any existing file): header with
+    /// `config`, a zeroed page-aligned room region sized by `set_len`, no tail.
+    pub fn create(path: &Path, config: &GssConfig, cache_pages: usize) -> io::Result<Self> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let width = config.width;
+        let rooms_per_bucket = config.rooms;
+        let room_count = width * width * rooms_per_bucket;
+        let mut header = [0u8; PAGE_BYTES];
+        header[0..8].copy_from_slice(&FILE_MAGIC);
+        header[OFF_CONFIG..OFF_CONFIG + CONFIG_BYTES].copy_from_slice(&encode_config(config));
+        header[OFF_CLEAN] = 1;
+        file.write_all(&header)?;
+        // A sparse zero region where the filesystem supports it; room records decode
+        // all-zeroes as unoccupied rooms, so no explicit formatting pass is needed.
+        file.set_len(Self::tail_offset_for(room_count))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            width,
+            rooms_per_bucket,
+            cache_pages: cache_pages.max(1),
+            inner: Mutex::new(FileInner {
+                file,
+                occupied_rooms: 0,
+                clean: true,
+                tick: 0,
+                pages: HashMap::new(),
+                recency: std::collections::BTreeMap::new(),
+            }),
+        })
+    }
+
+    /// Opens an existing sketch file in place, validating the header and reading the tail.
+    /// The room region is **not** decoded — open cost is `O(header + tail)`.
+    pub fn open(path: &Path, cache_pages: usize) -> Result<(Self, FileHeader), PersistenceError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut header = [0u8; PAGE_BYTES];
+        file.read_exact(&mut header)?;
+        if header[0..8] != FILE_MAGIC {
+            return Err(PersistenceError::BadMagic);
+        }
+        let config = decode_config(
+            header[OFF_CONFIG..OFF_CONFIG + CONFIG_BYTES].try_into().expect("length checked"),
+        )?;
+        let u64_at = |offset: usize| {
+            u64::from_le_bytes(header[offset..offset + 8].try_into().expect("length checked"))
+        };
+        let items_inserted = u64_at(OFF_ITEMS);
+        let occupied = u64_at(OFF_OCCUPIED);
+        let tail_len = u64_at(OFF_TAIL_LEN);
+        if header[OFF_CLEAN] != 1 {
+            return Err(PersistenceError::Corrupt(
+                "sketch file was not cleanly synced (crash or missing sync before reopen)"
+                    .to_string(),
+            ));
+        }
+        let room_count = config.room_count();
+        if occupied > room_count as u64 {
+            return Err(PersistenceError::Corrupt(format!(
+                "header claims {occupied} occupied rooms in a {room_count}-room matrix"
+            )));
+        }
+        let tail_offset = Self::tail_offset_for(room_count);
+        let file_len = file.metadata()?.len();
+        if file_len < tail_offset + tail_len {
+            return Err(PersistenceError::UnexpectedEof);
+        }
+        let mut tail = vec![0u8; tail_len as usize];
+        file.seek(SeekFrom::Start(tail_offset))?;
+        file.read_exact(&mut tail)?;
+        let store = Self {
+            path: path.to_path_buf(),
+            width: config.width,
+            rooms_per_bucket: config.rooms,
+            cache_pages: cache_pages.max(1),
+            inner: Mutex::new(FileInner {
+                file,
+                occupied_rooms: occupied as usize,
+                clean: true,
+                tick: 0,
+                pages: HashMap::new(),
+                recency: std::collections::BTreeMap::new(),
+            }),
+        };
+        Ok((store, FileHeader { config, items_inserted, tail }))
+    }
+
+    /// Location of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Page-cache capacity in pages.
+    pub fn cache_pages(&self) -> usize {
+        self.cache_pages
+    }
+
+    /// Byte offset where the tail begins (room region rounded up to whole pages).
+    fn tail_offset_for(room_count: usize) -> u64 {
+        let pages = (room_count * ROOM_RECORD_BYTES).div_ceil(PAGE_BYTES) as u64;
+        HEADER_BYTES + pages * PAGE_BYTES as u64
+    }
+
+    fn room_count_internal(&self) -> usize {
+        self.width * self.width * self.rooms_per_bucket
+    }
+
+    /// Flat index of `(row, column, slot)` in the room region.
+    fn room_index(&self, row: usize, column: usize, slot: usize) -> usize {
+        debug_assert!(row < self.width && column < self.width && slot < self.rooms_per_bucket);
+        (row * self.width + column) * self.rooms_per_bucket + slot
+    }
+
+    /// Runs `f` under the lock, panicking with context on I/O failure (see module docs).
+    fn with_inner<T>(&self, f: impl FnOnce(&mut FileInner) -> io::Result<T>) -> T {
+        let mut inner = self.inner.lock();
+        f(&mut inner).unwrap_or_else(|error| {
+            panic!("sketch file I/O failed on {}: {error}", self.path.display())
+        })
+    }
+
+    /// Returns the cached page, faulting it in (and evicting the least-recently-used page,
+    /// writing it back if dirty) on a miss.
+    fn page(inner: &mut FileInner, page_index: u64, capacity: usize) -> io::Result<&mut Page> {
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.pages.contains_key(&page_index) {
+            if inner.pages.len() >= capacity {
+                let (_, victim) =
+                    inner.recency.pop_first().expect("cache is non-empty when at capacity");
+                let page = inner.pages.remove(&victim).expect("victim exists");
+                if page.dirty {
+                    Self::write_page(&mut inner.file, victim, &page)?;
+                }
+            }
+            let mut data = Box::new([0u8; PAGE_BYTES]);
+            inner.file.seek(SeekFrom::Start(HEADER_BYTES + page_index * PAGE_BYTES as u64))?;
+            inner.file.read_exact(&mut data[..])?;
+            inner.pages.insert(page_index, Page { data, dirty: false, stamp: tick });
+        }
+        let page = inner.pages.get_mut(&page_index).expect("just inserted or present");
+        if page.stamp != tick {
+            inner.recency.remove(&page.stamp);
+        }
+        inner.recency.insert(tick, page_index);
+        page.stamp = tick;
+        Ok(page)
+    }
+
+    fn write_page(file: &mut File, page_index: u64, page: &Page) -> io::Result<()> {
+        file.seek(SeekFrom::Start(HEADER_BYTES + page_index * PAGE_BYTES as u64))?;
+        file.write_all(&page.data[..])
+    }
+
+    /// Reads the room at flat index `index` through the cache.
+    fn read_room(inner: &mut FileInner, index: usize, capacity: usize) -> io::Result<Room> {
+        let byte = index * ROOM_RECORD_BYTES;
+        let page = Self::page(inner, (byte / PAGE_BYTES) as u64, capacity)?;
+        let offset = byte % PAGE_BYTES;
+        let record: &[u8; ROOM_RECORD_BYTES] =
+            page.data[offset..offset + ROOM_RECORD_BYTES].try_into().expect("length checked");
+        Ok(decode_room(record))
+    }
+
+    /// Writes the room at flat index `index` through the cache, marking the page dirty and
+    /// clearing the header's clean flag on the first mutation after a sync.
+    fn write_room(
+        inner: &mut FileInner,
+        index: usize,
+        room: &Room,
+        capacity: usize,
+    ) -> io::Result<()> {
+        if inner.clean {
+            inner.clean = false;
+            inner.file.seek(SeekFrom::Start(OFF_CLEAN as u64))?;
+            inner.file.write_all(&[0])?;
+        }
+        let byte = index * ROOM_RECORD_BYTES;
+        let page = Self::page(inner, (byte / PAGE_BYTES) as u64, capacity)?;
+        let offset = byte % PAGE_BYTES;
+        page.data[offset..offset + ROOM_RECORD_BYTES].copy_from_slice(&encode_room(room));
+        page.dirty = true;
+        Ok(())
+    }
+
+    /// Flushes every dirty page to the file (pages stay cached, now clean).
+    pub fn flush_pages(&self) -> io::Result<()> {
+        self.inner_flush(&mut self.inner.lock())
+    }
+
+    fn inner_flush(&self, inner: &mut FileInner) -> io::Result<()> {
+        // Write in page order so a sequentially-filled matrix flushes sequentially.
+        let mut dirty: Vec<u64> =
+            inner.pages.iter().filter(|(_, page)| page.dirty).map(|(&index, _)| index).collect();
+        dirty.sort_unstable();
+        for index in dirty {
+            let page = inner.pages.remove(&index).expect("listed page exists");
+            Self::write_page(&mut inner.file, index, &page)?;
+            inner.pages.insert(index, Page { dirty: false, ..page });
+        }
+        Ok(())
+    }
+
+    /// Checkpoints the file: flushes dirty pages, rewrites the tail (truncating any stale
+    /// longer one), updates the header counters and sets the clean flag.  After this the
+    /// file is reopenable via [`FileStore::open`].
+    pub fn write_tail(&self, items_inserted: u64, tail: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        // Clear the clean flag before touching anything, even when no room mutation
+        // preceded this checkpoint (buffer-only inserts never call write_room): a crash
+        // between the partial tail write below and the final header update must leave
+        // the file rejected as unclean, not accepted with a torn tail.
+        if inner.clean {
+            inner.file.seek(SeekFrom::Start(OFF_CLEAN as u64))?;
+            inner.file.write_all(&[0])?;
+            inner.file.sync_data()?;
+            inner.clean = false;
+        }
+        self.inner_flush(&mut inner)?;
+        let tail_offset = Self::tail_offset_for(self.room_count_internal());
+        inner.file.seek(SeekFrom::Start(tail_offset))?;
+        inner.file.write_all(tail)?;
+        inner.file.set_len(tail_offset + tail.len() as u64)?;
+        let mut fields = [0u8; OFF_CLEAN + 1 - OFF_ITEMS];
+        fields[0..8].copy_from_slice(&items_inserted.to_le_bytes());
+        fields[8..16].copy_from_slice(&(inner.occupied_rooms as u64).to_le_bytes());
+        fields[16..24].copy_from_slice(&(tail.len() as u64).to_le_bytes());
+        fields[24] = 1;
+        inner.file.seek(SeekFrom::Start(OFF_ITEMS as u64))?;
+        inner.file.write_all(&fields)?;
+        inner.file.sync_all()?;
+        inner.clean = true;
+        Ok(())
+    }
+}
+
+impl RoomStore for FileStore {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn rooms_per_bucket(&self) -> usize {
+        self.rooms_per_bucket
+    }
+
+    fn room_count(&self) -> usize {
+        self.room_count_internal()
+    }
+
+    fn occupied_rooms(&self) -> usize {
+        self.inner.lock().occupied_rooms
+    }
+
+    fn room(&self, row: usize, column: usize, slot: usize) -> Room {
+        let index = self.room_index(row, column, slot);
+        self.with_inner(|inner| Self::read_room(inner, index, self.cache_pages))
+    }
+
+    fn find_match(
+        &self,
+        row: usize,
+        column: usize,
+        source_fingerprint: u16,
+        destination_fingerprint: u16,
+        source_index: u8,
+        destination_index: u8,
+    ) -> Option<usize> {
+        let start = self.room_index(row, column, 0);
+        self.with_inner(|inner| {
+            for slot in 0..self.rooms_per_bucket {
+                let room = Self::read_room(inner, start + slot, self.cache_pages)?;
+                if room.matches(
+                    source_fingerprint,
+                    destination_fingerprint,
+                    source_index,
+                    destination_index,
+                ) {
+                    return Ok(Some(slot));
+                }
+            }
+            Ok(None)
+        })
+    }
+
+    fn find_empty(&self, row: usize, column: usize) -> Option<usize> {
+        let start = self.room_index(row, column, 0);
+        self.with_inner(|inner| {
+            for slot in 0..self.rooms_per_bucket {
+                if !Self::read_room(inner, start + slot, self.cache_pages)?.occupied {
+                    return Ok(Some(slot));
+                }
+            }
+            Ok(None)
+        })
+    }
+
+    fn add_weight(&mut self, row: usize, column: usize, slot: usize, weight: i64) {
+        let index = self.room_index(row, column, slot);
+        self.with_inner(|inner| {
+            let mut room = Self::read_room(inner, index, self.cache_pages)?;
+            debug_assert!(room.occupied, "adding weight to an empty room");
+            room.weight += weight;
+            Self::write_room(inner, index, &room, self.cache_pages)
+        });
+    }
+
+    fn store_room(&mut self, row: usize, column: usize, slot: usize, room: Room) {
+        debug_assert!(room.occupied, "storing an unoccupied room");
+        let index = self.room_index(row, column, slot);
+        self.with_inner(|inner| {
+            debug_assert!(
+                !Self::read_room(inner, index, self.cache_pages)?.occupied,
+                "overwriting an occupied room"
+            );
+            Self::write_room(inner, index, &room, self.cache_pages)?;
+            inner.occupied_rooms += 1;
+            Ok(())
+        });
+    }
+
+    fn scan_row(&self, row: usize, visit: &mut dyn FnMut(usize, Room)) {
+        let start = self.room_index(row, 0, 0);
+        let rooms_per_row = self.width * self.rooms_per_bucket;
+        self.with_inner(|inner| {
+            for offset in 0..rooms_per_row {
+                let room = Self::read_room(inner, start + offset, self.cache_pages)?;
+                if room.occupied {
+                    visit(offset / self.rooms_per_bucket, room);
+                }
+            }
+            Ok(())
+        });
+    }
+
+    fn scan_column(&self, column: usize, visit: &mut dyn FnMut(usize, Room)) {
+        self.with_inner(|inner| {
+            for row in 0..self.width {
+                let start = (row * self.width + column) * self.rooms_per_bucket;
+                for slot in 0..self.rooms_per_bucket {
+                    let room = Self::read_room(inner, start + slot, self.cache_pages)?;
+                    if room.occupied {
+                        visit(row, room);
+                    }
+                }
+            }
+            Ok(())
+        });
+    }
+
+    fn scan_occupied(&self, visit: &mut dyn FnMut(usize, usize, Room)) {
+        let total = self.room_count_internal();
+        let per_bucket = self.rooms_per_bucket;
+        let width = self.width;
+        self.with_inner(|inner| {
+            for index in 0..total {
+                let room = Self::read_room(inner, index, self.cache_pages)?;
+                if room.occupied {
+                    let bucket = index / per_bucket;
+                    visit(bucket / width, bucket % width, room);
+                }
+            }
+            Ok(())
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("gss-file-store-{}-{name}.gss", std::process::id()))
+    }
+
+    fn sample_room(weight: i64) -> Room {
+        Room {
+            source_fingerprint: 17,
+            destination_fingerprint: 23,
+            source_index: 1,
+            destination_index: 2,
+            weight,
+            occupied: true,
+        }
+    }
+
+    #[test]
+    fn create_store_and_reopen_round_trips_rooms() {
+        let path = temp_path("roundtrip");
+        let config = GssConfig::paper_default(8);
+        {
+            let mut store = FileStore::create(&path, &config, 4).unwrap();
+            assert_eq!(store.room_count(), 8 * 8 * 2);
+            assert_eq!(store.occupied_rooms(), 0);
+            assert_eq!(store.find_empty(3, 5), Some(0));
+            store.store_room(3, 5, 0, sample_room(42));
+            store.store_room(7, 0, 1, sample_room(-7));
+            store.add_weight(3, 5, 0, 8);
+            assert_eq!(store.room(3, 5, 0).weight, 50);
+            assert_eq!(store.find_match(3, 5, 17, 23, 1, 2), Some(0));
+            assert_eq!(store.find_empty(3, 5), Some(1));
+            assert_eq!(store.occupied_rooms(), 2);
+            store.write_tail(123, b"tailbytes").unwrap();
+        }
+        let (store, header) = FileStore::open(&path, 4).unwrap();
+        assert_eq!(header.config, config);
+        assert_eq!(header.items_inserted, 123);
+        assert_eq!(header.tail, b"tailbytes");
+        assert_eq!(store.occupied_rooms(), 2);
+        assert_eq!(store.room(3, 5, 0).weight, 50);
+        assert_eq!(store.room(7, 0, 1).weight, -7);
+        let mut seen = Vec::new();
+        store.scan_occupied(&mut |r, c, room| seen.push((r, c, room.weight)));
+        assert_eq!(seen, vec![(3, 5, 50), (7, 0, 1 - 8)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tiny_cache_evicts_and_writes_back() {
+        let path = temp_path("evict");
+        // width 40, l 2 → 3200 rooms = 50 KiB ≫ one 4-KiB page: a 1-page cache thrashes.
+        let config = GssConfig::paper_default(40);
+        let mut store = FileStore::create(&path, &config, 1).unwrap();
+        for row in 0..40 {
+            store.store_room(row, (row * 7) % 40, 0, sample_room(row as i64 + 1));
+        }
+        for row in 0..40 {
+            assert_eq!(store.room(row, (row * 7) % 40, 0).weight, row as i64 + 1);
+        }
+        assert_eq!(store.occupied_rooms(), 40);
+        store.write_tail(0, &[]).unwrap();
+        let (reopened, _) = FileStore::open(&path, 1).unwrap();
+        for row in 0..40 {
+            assert_eq!(reopened.room(row, (row * 7) % 40, 0).weight, row as i64 + 1);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn row_and_column_scans_match_memory_semantics() {
+        let path = temp_path("scan");
+        let mut store = FileStore::create(&path, &GssConfig::paper_default(3), 8).unwrap();
+        store.store_room(1, 0, 0, sample_room(10));
+        store.store_room(1, 2, 1, sample_room(20));
+        store.store_room(0, 2, 0, sample_room(30));
+        let mut row1 = Vec::new();
+        store.scan_row(1, &mut |c, room| row1.push((c, room.weight)));
+        assert_eq!(row1, vec![(0, 10), (2, 20)]);
+        let mut col2 = Vec::new();
+        store.scan_column(2, &mut |r, room| col2.push((r, room.weight)));
+        assert_eq!(col2, vec![(0, 30), (1, 20)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unclean_files_and_bad_magic_are_rejected_on_open() {
+        let path = temp_path("unclean");
+        {
+            let mut store = FileStore::create(&path, &GssConfig::paper_default(4), 2).unwrap();
+            store.store_room(0, 0, 0, sample_room(1));
+            store.flush_pages().unwrap();
+            // No write_tail: the clean flag stays cleared.
+        }
+        assert!(matches!(
+            FileStore::open(&path, 2),
+            Err(PersistenceError::Corrupt(message)) if message.contains("cleanly")
+        ));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(FileStore::open(&path, 2), Err(PersistenceError::BadMagic)));
+        std::fs::write(&path, b"GS").unwrap();
+        assert!(matches!(FileStore::open(&path, 2), Err(PersistenceError::UnexpectedEof)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_room_region_is_rejected() {
+        let path = temp_path("truncated");
+        {
+            let mut store = FileStore::create(&path, &GssConfig::paper_default(32), 2).unwrap();
+            store.store_room(0, 0, 0, sample_room(1));
+            store.write_tail(1, b"abc").unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        assert!(matches!(FileStore::open(&path, 2), Err(PersistenceError::UnexpectedEof)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let path = temp_path("missing-never-created");
+        assert!(matches!(FileStore::open(&path, 2), Err(PersistenceError::Io(_))));
+    }
+}

@@ -24,6 +24,13 @@
 //! folds duplicate keys before probing, and [`ShardedGss`] runs ingest over several
 //! sketch shards with per-shard locks for concurrent writers.
 //!
+//! Room storage is pluggable ([`storage::RoomStore`]): the dense in-memory matrix is the
+//! default, and [`StorageBackend::File`] keeps the matrix in a paged sketch file (LRU page
+//! cache, dirty-page write-back) so a matrix larger than RAM still runs — and the file
+//! doubles as its own checkpoint, reopenable in place via [`GssSketch::open_file`].
+//! Snapshots stream ([`GssSketch::write_snapshot_to`] / [`GssSketch::read_snapshot_from`])
+//! and share the same fixed-size room-record layout as the sketch file.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -50,6 +57,7 @@ pub mod builder;
 pub mod concurrent;
 pub mod config;
 pub mod error;
+pub mod file_store;
 pub mod hashing;
 pub mod matrix;
 pub mod merge;
@@ -57,15 +65,22 @@ pub mod node_map;
 pub mod persistence;
 pub mod sketch;
 pub mod stats;
+pub mod storage;
 
 pub use builder::GssBuilder;
 #[allow(deprecated)]
 pub use concurrent::ConcurrentGss;
 pub use concurrent::ShardedGss;
-pub use config::{GssConfig, MAX_FINGERPRINT_BITS, MAX_SEQUENCE_LENGTH};
+pub use config::{
+    GssConfig, MAX_FINGERPRINT_BITS, MAX_ROOMS_PER_BUCKET, MAX_SEQUENCE_LENGTH, MAX_TOTAL_ROOMS,
+    MAX_WIDTH,
+};
 pub use error::ConfigError;
+pub use file_store::FileStore;
 pub use hashing::{HashedNode, NodeHasher};
+pub use matrix::MemoryStore;
 pub use merge::HashedEdge;
 pub use persistence::PersistenceError;
 pub use sketch::GssSketch;
 pub use stats::GssStats;
+pub use storage::{RoomStorage, RoomStore, StorageBackend, ROOM_RECORD_BYTES};

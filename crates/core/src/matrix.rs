@@ -1,4 +1,4 @@
-//! The bucket matrix: an `m × m` grid of buckets, each with `l` rooms.
+//! The in-memory bucket matrix: an `m × m` grid of buckets, each with `l` rooms.
 //!
 //! A *room* stores one sketch edge: the fingerprint pair `⟨f(s), f(d)⟩`, the index pair
 //! `(i_s, i_d)` recording which entries of the two address sequences produced this bucket
@@ -9,7 +9,11 @@
 //! Rooms are stored in a flat `Vec` in row-major bucket order; scanning a row (for successor
 //! queries) walks a contiguous region, scanning a column (for precursor queries) strides by
 //! `m × l`, mirroring the cache behaviour the paper discusses.
+//!
+//! [`MemoryStore`] is the dense default backend of the [`RoomStore`] abstraction; the
+//! paged file backend lives in [`crate::file_store`].
 
+use crate::storage::RoomStore;
 use serde::{Deserialize, Serialize};
 
 /// One room: storage for a single sketch edge.
@@ -47,16 +51,19 @@ impl Room {
     }
 }
 
-/// The `m × m × l` room store.
+/// The dense in-memory `m × m × l` room store (the default [`RoomStore`] backend).
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct BucketMatrix {
+pub struct MemoryStore {
     width: usize,
     rooms_per_bucket: usize,
     rooms: Vec<Room>,
     occupied_rooms: usize,
 }
 
-impl BucketMatrix {
+/// Former name of [`MemoryStore`], kept as an alias for existing callers.
+pub type BucketMatrix = MemoryStore;
+
+impl MemoryStore {
     /// Allocates an empty matrix of `width × width` buckets with `rooms_per_bucket` rooms.
     pub fn new(width: usize, rooms_per_bucket: usize) -> Self {
         Self {
@@ -201,6 +208,92 @@ impl BucketMatrix {
             let bucket = index / rooms_per_bucket;
             (bucket / width, bucket % width, room)
         })
+    }
+}
+
+impl RoomStore for MemoryStore {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn rooms_per_bucket(&self) -> usize {
+        self.rooms_per_bucket
+    }
+
+    fn room_count(&self) -> usize {
+        self.rooms.len()
+    }
+
+    fn occupied_rooms(&self) -> usize {
+        self.occupied_rooms
+    }
+
+    fn room(&self, row: usize, column: usize, slot: usize) -> Room {
+        self.bucket(row, column)[slot]
+    }
+
+    fn find_match(
+        &self,
+        row: usize,
+        column: usize,
+        source_fingerprint: u16,
+        destination_fingerprint: u16,
+        source_index: u8,
+        destination_index: u8,
+    ) -> Option<usize> {
+        MemoryStore::find_match(
+            self,
+            row,
+            column,
+            source_fingerprint,
+            destination_fingerprint,
+            source_index,
+            destination_index,
+        )
+    }
+
+    fn find_empty(&self, row: usize, column: usize) -> Option<usize> {
+        MemoryStore::find_empty(self, row, column)
+    }
+
+    fn add_weight(&mut self, row: usize, column: usize, slot: usize, weight: i64) {
+        MemoryStore::add_weight(self, row, column, slot, weight);
+    }
+
+    fn store_room(&mut self, row: usize, column: usize, slot: usize, room: Room) {
+        debug_assert!(room.occupied, "storing an unoccupied room");
+        self.store(
+            row,
+            column,
+            slot,
+            room.source_fingerprint,
+            room.destination_fingerprint,
+            room.source_index,
+            room.destination_index,
+            room.weight,
+        );
+    }
+
+    fn scan_row(&self, row: usize, visit: &mut dyn FnMut(usize, Room)) {
+        for (column, room) in self.row_rooms(row) {
+            visit(column, *room);
+        }
+    }
+
+    fn scan_column(&self, column: usize, visit: &mut dyn FnMut(usize, Room)) {
+        for (row, room) in self.column_rooms(column) {
+            visit(row, *room);
+        }
+    }
+
+    fn scan_occupied(&self, visit: &mut dyn FnMut(usize, usize, Room)) {
+        for (row, column, room) in self.occupied() {
+            visit(row, column, *room);
+        }
+    }
+
+    fn load_factor(&self) -> f64 {
+        MemoryStore::load_factor(self)
     }
 }
 

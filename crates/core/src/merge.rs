@@ -35,7 +35,7 @@ impl GssSketch {
         let mut edges = Vec::with_capacity(self.stored_edges());
         let hasher = *self.hasher();
         let square_hashing = self.config().square_hashing;
-        for (row, column, room) in self.matrix_rooms() {
+        self.for_each_matrix_room(&mut |row, column, room| {
             let (source_hash, destination_hash) = if square_hashing {
                 (
                     hasher.recover_hash(row, room.source_fingerprint, room.source_index as usize),
@@ -52,7 +52,7 @@ impl GssSketch {
                 )
             };
             edges.push(HashedEdge { source_hash, destination_hash, weight: room.weight });
-        }
+        });
         for (source_hash, destination_hash, weight) in self.buffered_edge_triples() {
             edges.push(HashedEdge { source_hash, destination_hash, weight });
         }

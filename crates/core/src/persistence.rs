@@ -1,4 +1,4 @@
-//! Snapshot persistence for GSS sketches.
+//! Streaming snapshot persistence for GSS sketches.
 //!
 //! A sketch summarising a long-running stream is valuable state: operators want to
 //! checkpoint it, ship it to an analysis host, or keep one snapshot per time window.  This
@@ -6,28 +6,49 @@
 //! restores it losslessly — configuration, matrix rooms, buffered edges, the `⟨H(v), v⟩`
 //! table and the item counter all round-trip.
 //!
-//! The format is versioned ([`FORMAT_MAGIC`]) and only stores *occupied* rooms, so a
-//! snapshot of a lightly loaded sketch is much smaller than its in-memory matrix.
+//! Snapshots **stream**: [`GssSketch::write_snapshot_to`] writes to any [`io::Write`]
+//! (socket, pipe, [`BufWriter`](io::BufWriter)) without materialising the encoding, and
+//! [`GssSketch::read_snapshot_from`] reads from any [`io::Read`] without slurping the
+//! input — memory use is bounded by the sketch being built, not by the snapshot size.
+//! [`GssSketch::to_snapshot`] / [`GssSketch::from_snapshot`] remain as byte-slice
+//! conveniences, and [`GssSketch::save_to_path`] / [`GssSketch::load_from_path`] wrap the
+//! streams in buffered files.
+//!
+//! The format is versioned ([`FORMAT_MAGIC`]) and only stores *occupied* rooms, each as
+//! `row u32 | column u32 |` the same fixed 16-byte room record
+//! ([`crate::storage::ROOM_RECORD_BYTES`]) used by the `FileStore` file body — one record
+//! layout for every byte of room state, wherever it lives.  File-backed sketches
+//! additionally checkpoint **in place**: their sketch file reopens directly via
+//! [`GssSketch::open_file`] with no decode pass over the matrix (see
+//! [`crate::file_store`]); the tail sections of that file reuse the buffer/node encoders
+//! below.
 
-use crate::config::GssConfig;
 use crate::matrix::Room;
 use crate::sketch::GssSketch;
+use crate::storage::{
+    decode_config, decode_room, encode_config, encode_room, CONFIG_BYTES, ROOM_RECORD_BYTES,
+};
 use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
 
-/// Magic bytes identifying a GSS snapshot (version 1).
-pub const FORMAT_MAGIC: [u8; 4] = *b"GSS\x01";
+/// Magic bytes identifying a GSS snapshot (version 2 — version 1 was the non-streaming
+/// format without the shared fixed-size room record).
+pub const FORMAT_MAGIC: [u8; 4] = *b"GSS\x02";
 
-/// Errors produced while encoding or decoding a snapshot.
+/// Errors produced while encoding or decoding a snapshot or sketch file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PersistenceError {
     /// The input is shorter than the structure it claims to contain.
     UnexpectedEof,
-    /// The input does not start with [`FORMAT_MAGIC`].
+    /// The input does not start with the expected magic bytes.
     BadMagic,
     /// The embedded configuration failed validation.
     InvalidConfig(String),
     /// A structural inconsistency was found (e.g. a room outside the matrix).
     Corrupt(String),
+    /// The underlying reader/writer failed.
+    Io(String),
 }
 
 impl fmt::Display for PersistenceError {
@@ -37,181 +58,208 @@ impl fmt::Display for PersistenceError {
             Self::BadMagic => write!(f, "not a GSS snapshot (bad magic)"),
             Self::InvalidConfig(message) => write!(f, "invalid configuration: {message}"),
             Self::Corrupt(message) => write!(f, "corrupt snapshot: {message}"),
+            Self::Io(message) => write!(f, "snapshot I/O failed: {message}"),
         }
     }
 }
 
 impl std::error::Error for PersistenceError {}
 
-/// A little-endian byte writer.
-#[derive(Debug, Default)]
-struct Writer {
-    bytes: Vec<u8>,
-}
-
-impl Writer {
-    fn u8(&mut self, value: u8) {
-        self.bytes.push(value);
-    }
-    fn u16(&mut self, value: u16) {
-        self.bytes.extend_from_slice(&value.to_le_bytes());
-    }
-    fn u32(&mut self, value: u32) {
-        self.bytes.extend_from_slice(&value.to_le_bytes());
-    }
-    fn u64(&mut self, value: u64) {
-        self.bytes.extend_from_slice(&value.to_le_bytes());
-    }
-    fn i64(&mut self, value: i64) {
-        self.bytes.extend_from_slice(&value.to_le_bytes());
-    }
-}
-
-/// A little-endian byte reader with bounds checking.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    offset: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, offset: 0 }
-    }
-
-    fn take(&mut self, count: usize) -> Result<&'a [u8], PersistenceError> {
-        if self.offset + count > self.bytes.len() {
-            return Err(PersistenceError::UnexpectedEof);
+impl From<io::Error> for PersistenceError {
+    fn from(error: io::Error) -> Self {
+        if error.kind() == io::ErrorKind::UnexpectedEof {
+            Self::UnexpectedEof
+        } else {
+            Self::Io(error.to_string())
         }
-        let slice = &self.bytes[self.offset..self.offset + count];
-        self.offset += count;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> Result<u8, PersistenceError> {
-        Ok(self.take(1)?[0])
-    }
-    fn u16(&mut self) -> Result<u16, PersistenceError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("length checked")))
-    }
-    fn u32(&mut self) -> Result<u32, PersistenceError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
-    }
-    fn u64(&mut self) -> Result<u64, PersistenceError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
-    }
-    fn i64(&mut self) -> Result<i64, PersistenceError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
-    }
-
-    fn finished(&self) -> bool {
-        self.offset == self.bytes.len()
     }
 }
 
-fn encode_config(writer: &mut Writer, config: &GssConfig) {
-    writer.u64(config.width as u64);
-    writer.u32(config.fingerprint_bits);
-    writer.u64(config.rooms as u64);
-    writer.u64(config.sequence_length as u64);
-    writer.u64(config.candidates as u64);
-    let flags = (config.square_hashing as u8)
-        | ((config.sampling as u8) << 1)
-        | ((config.track_node_ids as u8) << 2);
-    writer.u8(flags);
-    writer.u64(config.hash_seed);
+fn read_array<const N: usize>(reader: &mut impl Read) -> Result<[u8; N], PersistenceError> {
+    let mut buffer = [0u8; N];
+    reader.read_exact(&mut buffer)?;
+    Ok(buffer)
 }
 
-fn decode_config(reader: &mut Reader<'_>) -> Result<GssConfig, PersistenceError> {
-    let width = reader.u64()? as usize;
-    let fingerprint_bits = reader.u32()?;
-    let rooms = reader.u64()? as usize;
-    let sequence_length = reader.u64()? as usize;
-    let candidates = reader.u64()? as usize;
-    let flags = reader.u8()?;
-    let hash_seed = reader.u64()?;
-    let config = GssConfig {
-        width,
-        fingerprint_bits,
-        rooms,
-        sequence_length,
-        candidates,
-        square_hashing: flags & 1 != 0,
-        sampling: flags & 2 != 0,
-        track_node_ids: flags & 4 != 0,
-        hash_seed,
-    };
-    config.validate().map_err(|error| PersistenceError::InvalidConfig(error.to_string()))?;
-    Ok(config)
+fn read_u32(reader: &mut impl Read) -> Result<u32, PersistenceError> {
+    Ok(u32::from_le_bytes(read_array(reader)?))
+}
+
+fn read_u64(reader: &mut impl Read) -> Result<u64, PersistenceError> {
+    Ok(u64::from_le_bytes(read_array(reader)?))
+}
+
+fn read_i64(reader: &mut impl Read) -> Result<i64, PersistenceError> {
+    Ok(i64::from_le_bytes(read_array(reader)?))
+}
+
+fn write_bytes(writer: &mut impl Write, bytes: &[u8]) -> Result<(), PersistenceError> {
+    writer.write_all(bytes)?;
+    Ok(())
+}
+
+/// Writes the buffered-edge and node-table sections (shared by snapshots and the tail of
+/// `FileStore` sketch files).  Both sections are sorted so equal sketches serialise to
+/// identical bytes.
+pub(crate) fn write_tail_sections(
+    sketch: &GssSketch,
+    writer: &mut impl Write,
+) -> Result<(), PersistenceError> {
+    let mut buffered: Vec<(u64, u64, i64)> = sketch.buffered_edge_triples().collect();
+    buffered.sort_unstable();
+    write_bytes(writer, &(buffered.len() as u64).to_le_bytes())?;
+    for (source, destination, weight) in buffered {
+        write_bytes(writer, &source.to_le_bytes())?;
+        write_bytes(writer, &destination.to_le_bytes())?;
+        write_bytes(writer, &weight.to_le_bytes())?;
+    }
+
+    let mut node_entries: Vec<(u64, &[u64])> = sketch.node_map().iter().collect();
+    node_entries.sort_unstable_by_key(|(hash, _)| *hash);
+    write_bytes(writer, &(node_entries.len() as u64).to_le_bytes())?;
+    for (hash, vertices) in node_entries {
+        write_bytes(writer, &hash.to_le_bytes())?;
+        write_bytes(writer, &(vertices.len() as u32).to_le_bytes())?;
+        for &vertex in vertices {
+            write_bytes(writer, &vertex.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads the sections written by [`write_tail_sections`].  Decodes into bare buffer/node
+/// structures rather than a sketch so callers can validate a tail **before** assembling a
+/// sketch around live storage — an error here must not leave a half-built sketch whose
+/// drop-sync would overwrite the very file it failed to open.
+pub(crate) fn read_tail_sections(
+    buffer: &mut crate::buffer::LeftoverBuffer,
+    node_map: &mut crate::node_map::NodeIdMap,
+    reader: &mut impl Read,
+) -> Result<(), PersistenceError> {
+    let buffered_count = read_u64(reader)?;
+    for _ in 0..buffered_count {
+        let source = read_u64(reader)?;
+        let destination = read_u64(reader)?;
+        let weight = read_i64(reader)?;
+        buffer.insert(source, destination, weight);
+    }
+    let node_count = read_u64(reader)?;
+    for _ in 0..node_count {
+        let hash = read_u64(reader)?;
+        let vertex_count = read_u32(reader)?;
+        for _ in 0..vertex_count {
+            node_map.register(hash, read_u64(reader)?);
+        }
+    }
+    Ok(())
+}
+
+/// Encodes the tail of a `FileStore` sketch file (buffer + node table) into bytes.
+pub(crate) fn encode_tail(sketch: &GssSketch) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_tail_sections(sketch, &mut bytes).expect("writing to a Vec cannot fail");
+    bytes
+}
+
+/// Decodes a `FileStore` tail into bare buffer/node structures.  An empty tail (a file
+/// created but never synced with content) decodes as an empty buffer and node table.
+pub(crate) fn decode_tail(
+    buffer: &mut crate::buffer::LeftoverBuffer,
+    node_map: &mut crate::node_map::NodeIdMap,
+    bytes: &[u8],
+) -> Result<(), PersistenceError> {
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let mut remaining = bytes;
+    read_tail_sections(buffer, node_map, &mut remaining)?;
+    if !remaining.is_empty() {
+        return Err(PersistenceError::Corrupt("trailing bytes after sketch-file tail".into()));
+    }
+    Ok(())
 }
 
 impl GssSketch {
-    /// Serialises the sketch to a self-describing byte snapshot.
-    pub fn to_snapshot(&self) -> Vec<u8> {
-        let mut writer = Writer::default();
-        writer.bytes.extend_from_slice(&FORMAT_MAGIC);
-        encode_config(&mut writer, self.config());
-        writer.u64(self.items_inserted());
-
-        let rooms: Vec<(usize, usize, &Room)> = self.matrix_rooms().collect();
-        writer.u64(rooms.len() as u64);
-        for (row, column, room) in rooms {
-            writer.u32(row as u32);
-            writer.u32(column as u32);
-            writer.u16(room.source_fingerprint);
-            writer.u16(room.destination_fingerprint);
-            writer.u8(room.source_index);
-            writer.u8(room.destination_index);
-            writer.i64(room.weight);
-        }
-
-        let mut buffered: Vec<(u64, u64, i64)> = self.buffered_edge_triples().collect();
-        buffered.sort_unstable();
-        writer.u64(buffered.len() as u64);
-        for (source, destination, weight) in buffered {
-            writer.u64(source);
-            writer.u64(destination);
-            writer.i64(weight);
-        }
-
-        // Sort the hash-table sections so snapshots are byte-for-byte deterministic.
-        let mut node_entries: Vec<(u64, &[u64])> = self.node_map().iter().collect();
-        node_entries.sort_unstable_by_key(|(hash, _)| *hash);
-        writer.u64(node_entries.len() as u64);
-        for (hash, vertices) in node_entries {
-            writer.u64(hash);
-            writer.u32(vertices.len() as u32);
-            for &vertex in vertices {
-                writer.u64(vertex);
+    /// Streams a self-describing snapshot of the sketch into `writer`.
+    ///
+    /// The encoding never materialises in memory, so snapshotting a file-backed sketch
+    /// larger than RAM works: rooms are visited in storage order and written one record at
+    /// a time.  Wrap `writer` in a [`io::BufWriter`] when it is an unbuffered file or
+    /// socket.
+    ///
+    /// # Errors
+    /// Returns [`PersistenceError::Io`] if the writer fails.
+    pub fn write_snapshot_to(&self, mut writer: impl Write) -> Result<(), PersistenceError> {
+        let writer = &mut writer;
+        write_bytes(writer, &FORMAT_MAGIC)?;
+        write_bytes(writer, &encode_config(self.config()))?;
+        write_bytes(writer, &self.items_inserted().to_le_bytes())?;
+        write_bytes(writer, &(self.matrix_edge_count() as u64).to_le_bytes())?;
+        let mut room_error: Option<PersistenceError> = None;
+        self.for_each_matrix_room(&mut |row, column, room| {
+            if room_error.is_some() {
+                return;
             }
+            let result = write_bytes(writer, &(row as u32).to_le_bytes())
+                .and_then(|()| write_bytes(writer, &(column as u32).to_le_bytes()))
+                .and_then(|()| write_bytes(writer, &encode_room(&room)));
+            if let Err(error) = result {
+                room_error = Some(error);
+            }
+        });
+        if let Some(error) = room_error {
+            return Err(error);
         }
-        writer.bytes
+        write_tail_sections(self, writer)
     }
 
-    /// Restores a sketch from a snapshot produced by [`to_snapshot`](Self::to_snapshot).
-    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, PersistenceError> {
-        let mut reader = Reader::new(bytes);
-        if reader.take(4)? != FORMAT_MAGIC {
+    /// Restores a sketch by streaming a snapshot out of `reader`.
+    ///
+    /// Reads exactly the snapshot's bytes and no more, so snapshots can be embedded in
+    /// larger streams.  Wrap `reader` in a [`io::BufReader`] when it is an unbuffered
+    /// file or socket.
+    ///
+    /// # Errors
+    /// Any structural problem — truncation, wrong magic, invalid configuration, rooms
+    /// outside the matrix, overfull buckets — is reported as a [`PersistenceError`];
+    /// malformed input never panics.
+    pub fn read_snapshot_from(reader: impl Read) -> Result<Self, PersistenceError> {
+        Self::read_snapshot_into(reader, crate::storage::StorageBackend::Memory)
+    }
+
+    /// Like [`read_snapshot_from`](Self::read_snapshot_from), but restores the matrix
+    /// onto an explicit storage backend — the way to bring a snapshot of a
+    /// larger-than-RAM sketch back up without a RAM-sized allocation: restore it straight
+    /// into a fresh [`StorageBackend::File`](crate::storage::StorageBackend::File).
+    ///
+    /// # Errors
+    /// As [`read_snapshot_from`](Self::read_snapshot_from), plus an
+    /// [`PersistenceError::Io`] if the target sketch file cannot be created.
+    pub fn read_snapshot_into(
+        mut reader: impl Read,
+        storage: crate::storage::StorageBackend,
+    ) -> Result<Self, PersistenceError> {
+        let reader = &mut reader;
+        if read_array::<4>(reader)? != FORMAT_MAGIC {
             return Err(PersistenceError::BadMagic);
         }
-        let config = decode_config(&mut reader)?;
-        let items_inserted = reader.u64()?;
-        let mut sketch = GssSketch::new(config)
+        let config = decode_config(&read_array::<CONFIG_BYTES>(reader)?)?;
+        let items_inserted = read_u64(reader)?;
+        let mut sketch = GssSketch::with_storage(config, storage)
             .map_err(|error| PersistenceError::InvalidConfig(error.to_string()))?;
 
-        let room_count = reader.u64()? as usize;
+        let room_count = read_u64(reader)?;
         let mut slots_used: std::collections::HashMap<(u32, u32), usize> =
             std::collections::HashMap::new();
         for _ in 0..room_count {
-            let row = reader.u32()?;
-            let column = reader.u32()?;
-            let room = Room {
-                source_fingerprint: reader.u16()?,
-                destination_fingerprint: reader.u16()?,
-                source_index: reader.u8()?,
-                destination_index: reader.u8()?,
-                weight: reader.i64()?,
-                occupied: true,
-            };
+            let row = read_u32(reader)?;
+            let column = read_u32(reader)?;
+            let room: Room = decode_room(&read_array::<ROOM_RECORD_BYTES>(reader)?);
+            if !room.occupied {
+                return Err(PersistenceError::Corrupt(format!(
+                    "room at ({row}, {column}) encoded as unoccupied"
+                )));
+            }
             if row as usize >= config.width || column as usize >= config.width {
                 return Err(PersistenceError::Corrupt(format!(
                     "room at ({row}, {column}) outside a {} x {} matrix",
@@ -229,25 +277,51 @@ impl GssSketch {
             *slot += 1;
         }
 
-        let buffered_count = reader.u64()? as usize;
-        for _ in 0..buffered_count {
-            let source = reader.u64()?;
-            let destination = reader.u64()?;
-            let weight = reader.i64()?;
-            sketch.restore_buffered(source, destination, weight);
-        }
-
-        let node_count = reader.u64()? as usize;
-        for _ in 0..node_count {
-            let hash = reader.u64()?;
-            let vertex_count = reader.u32()? as usize;
-            for _ in 0..vertex_count {
-                let vertex = reader.u64()?;
-                sketch.restore_node_id(hash, vertex);
-            }
+        {
+            let (buffer, node_map) = sketch.tail_parts_mut();
+            read_tail_sections(buffer, node_map, reader)?;
         }
         sketch.set_items_inserted(items_inserted);
-        if !reader.finished() {
+        Ok(sketch)
+    }
+
+    /// Serialises the sketch to a self-describing byte snapshot (an in-memory wrapper
+    /// around [`write_snapshot_to`](Self::write_snapshot_to)).
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        self.write_snapshot_to(&mut bytes).expect("writing to a Vec cannot fail");
+        bytes
+    }
+
+    /// Restores a sketch from a byte snapshot, rejecting trailing bytes (a wrapper around
+    /// [`read_snapshot_from`](Self::read_snapshot_from)).
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, PersistenceError> {
+        let mut remaining = bytes;
+        let sketch = Self::read_snapshot_from(&mut remaining)?;
+        if !remaining.is_empty() {
+            return Err(PersistenceError::Corrupt("trailing bytes after snapshot".to_string()));
+        }
+        Ok(sketch)
+    }
+
+    /// Writes a snapshot to `path` through a buffered file (convenience over
+    /// [`write_snapshot_to`](Self::write_snapshot_to)).
+    pub fn save_to_path(&self, path: impl AsRef<Path>) -> Result<(), PersistenceError> {
+        let file = std::fs::File::create(path)?;
+        let mut writer = io::BufWriter::new(file);
+        self.write_snapshot_to(&mut writer)?;
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// Restores a sketch from a snapshot file written by
+    /// [`save_to_path`](Self::save_to_path), rejecting trailing bytes.
+    pub fn load_from_path(path: impl AsRef<Path>) -> Result<Self, PersistenceError> {
+        let file = std::fs::File::open(path)?;
+        let mut reader = io::BufReader::new(file);
+        let sketch = Self::read_snapshot_from(&mut reader)?;
+        let mut probe = [0u8; 1];
+        if reader.read(&mut probe)? != 0 {
             return Err(PersistenceError::Corrupt("trailing bytes after snapshot".to_string()));
         }
         Ok(sketch)
@@ -257,6 +331,7 @@ impl GssSketch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::GssConfig;
     use gss_graph::{SummaryRead, SummaryWrite};
 
     fn populated_sketch() -> GssSketch {
@@ -292,6 +367,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn streaming_round_trip_matches_byte_round_trip() {
+        let original = populated_sketch();
+        // Stream through a pipe-like buffer in small chunks to exercise partial reads.
+        let mut streamed = Vec::new();
+        original.write_snapshot_to(&mut streamed).unwrap();
+        assert_eq!(streamed, original.to_snapshot());
+        let restored = GssSketch::read_snapshot_from(streamed.as_slice()).unwrap();
+        assert_eq!(restored.stored_edges(), original.stored_edges());
+        // read_snapshot_from stops at the snapshot boundary inside a larger stream.
+        let mut embedded = streamed.clone();
+        embedded.extend_from_slice(b"extra trailing payload");
+        let mut cursor = embedded.as_slice();
+        let from_stream = GssSketch::read_snapshot_from(&mut cursor).unwrap();
+        assert_eq!(from_stream.stored_edges(), original.stored_edges());
+        assert_eq!(cursor, b"extra trailing payload");
+    }
+
+    #[test]
+    fn save_and_load_from_path_round_trip() {
+        let original = populated_sketch();
+        let path = std::env::temp_dir()
+            .join(format!("gss-snapshot-{}-roundtrip.snap", std::process::id()));
+        original.save_to_path(&path).unwrap();
+        let restored = GssSketch::load_from_path(&path).unwrap();
+        assert_eq!(restored.items_inserted(), original.items_inserted());
+        assert_eq!(restored.stored_edges(), original.stored_edges());
+        // A file with trailing garbage is rejected.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(7);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(GssSketch::load_from_path(&path), Err(PersistenceError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(GssSketch::load_from_path(&path), Err(PersistenceError::Io(_))));
     }
 
     #[test]
@@ -335,10 +446,22 @@ mod tests {
         let mut sketch = GssSketch::new(GssConfig::paper_default(8)).unwrap();
         sketch.insert(1, 2, 3);
         let mut bytes = sketch.to_snapshot();
-        // The first room's row field sits right after magic(4) + config(4*8+4+1+8=45) +
-        // items(8) + room count(8) = 65; overwrite it with an out-of-range row.
-        let room_row_offset = 4 + 45 + 8 + 8;
+        // The first room's row field sits right after magic(4) + config(45) + items(8) +
+        // room count(8) = 65; overwrite it with an out-of-range row.
+        let room_row_offset = 4 + CONFIG_BYTES + 8 + 8;
         bytes[room_row_offset..room_row_offset + 4].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(GssSketch::from_snapshot(&bytes), Err(PersistenceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn unoccupied_room_records_are_rejected() {
+        let mut sketch = GssSketch::new(GssConfig::paper_default(8)).unwrap();
+        sketch.insert(1, 2, 3);
+        let mut bytes = sketch.to_snapshot();
+        // The occupancy flag of the first room record: after the row/column pair.
+        let occupied_offset = 4 + CONFIG_BYTES + 8 + 8 + 4 + 4 + 6;
+        assert_eq!(bytes[occupied_offset], 1);
+        bytes[occupied_offset] = 0;
         assert!(matches!(GssSketch::from_snapshot(&bytes), Err(PersistenceError::Corrupt(_))));
     }
 
@@ -348,6 +471,7 @@ mod tests {
         assert!(PersistenceError::UnexpectedEof.to_string().contains("truncated"));
         assert!(PersistenceError::InvalidConfig("x".into()).to_string().contains("x"));
         assert!(PersistenceError::Corrupt("y".into()).to_string().contains("y"));
+        assert!(PersistenceError::Io("z".into()).to_string().contains("z"));
     }
 
     #[test]

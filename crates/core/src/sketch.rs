@@ -21,19 +21,28 @@
 use crate::buffer::LeftoverBuffer;
 use crate::config::GssConfig;
 use crate::error::ConfigError;
+use crate::file_store::FileStore;
 use crate::hashing::{HashedNode, NodeHasher};
-use crate::matrix::BucketMatrix;
+use crate::matrix::MemoryStore;
 use crate::node_map::NodeIdMap;
+use crate::persistence::PersistenceError;
 use crate::stats::GssStats;
+use crate::storage::{RoomStorage, RoomStore, StorageBackend};
 use gss_graph::{StreamEdge, SummaryRead, SummaryStats, SummaryWrite, VertexId, Weight};
 use std::collections::HashMap;
+use std::path::Path;
 
 /// Graph Stream Sketch (GSS), the data structure proposed by the paper.
+///
+/// The room matrix lives behind the pluggable [`RoomStorage`] backend: dense in-memory by
+/// default, or a paged sketch file ([`StorageBackend::File`]) for matrices larger than
+/// RAM.  Cloning a file-backed sketch detaches the clone into memory; the file itself is
+/// owned by the original and checkpointed by [`sync`](Self::sync) (also run on drop).
 #[derive(Debug, Clone)]
 pub struct GssSketch {
     config: GssConfig,
     hasher: NodeHasher,
-    matrix: BucketMatrix,
+    matrix: RoomStorage,
     buffer: LeftoverBuffer,
     node_map: NodeIdMap,
     items_inserted: u64,
@@ -63,17 +72,99 @@ struct BatchEndpoint {
 }
 
 impl GssSketch {
-    /// Builds a sketch from a validated configuration.
+    /// Builds an in-memory sketch from a validated configuration.
     pub fn new(config: GssConfig) -> Result<Self, ConfigError> {
+        Self::with_storage(config, StorageBackend::Memory)
+    }
+
+    /// Builds a sketch from a validated configuration with an explicit storage backend.
+    ///
+    /// [`StorageBackend::File`] creates (truncating) a paged sketch file at the given
+    /// path; use [`open_file`](Self::open_file) to reopen an existing one.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the configuration is invalid or the sketch file
+    /// cannot be created (the I/O failure is carried in the message).
+    pub fn with_storage(config: GssConfig, storage: StorageBackend) -> Result<Self, ConfigError> {
         config.validate()?;
-        Ok(Self {
+        let matrix = match storage {
+            StorageBackend::Memory => {
+                RoomStorage::Memory(MemoryStore::new(config.width, config.rooms))
+            }
+            StorageBackend::File { path, cache_pages } => RoomStorage::File(
+                FileStore::create(&path, &config, cache_pages).map_err(|error| {
+                    ConfigError::new(format!(
+                        "cannot create sketch file {}: {error}",
+                        path.display()
+                    ))
+                })?,
+            ),
+        };
+        Ok(Self::from_parts(config, matrix))
+    }
+
+    /// Assembles a sketch around an existing store (shared by construction and reopen).
+    fn from_parts(config: GssConfig, matrix: RoomStorage) -> Self {
+        Self {
             hasher: NodeHasher::new(&config),
-            matrix: BucketMatrix::new(config.width, config.rooms),
+            matrix,
             buffer: LeftoverBuffer::new(),
             node_map: NodeIdMap::new(),
             items_inserted: 0,
             config,
-        })
+        }
+    }
+
+    /// Reopens a file-backed sketch **in place**: the sketch file written by a previous
+    /// file-backed run (and checkpointed by [`sync`](Self::sync) or drop) becomes this
+    /// sketch's live storage with no decode pass over the room matrix — open cost is
+    /// proportional to the buffer and node table, not to the matrix.
+    ///
+    /// # Errors
+    /// Returns a [`PersistenceError`] if the file is missing, truncated, from a different
+    /// format version, not cleanly synced, or structurally inconsistent.
+    pub fn open_file(path: impl AsRef<Path>, cache_pages: usize) -> Result<Self, PersistenceError> {
+        let (store, header) = FileStore::open(path.as_ref(), cache_pages)?;
+        // Decode the tail *before* assembling the sketch: if it is corrupt, returning
+        // here drops only the bare store (no Drop), leaving the rejected file byte-for-
+        // byte intact — a half-built sketch would checkpoint its partial state over the
+        // evidence on drop.
+        let mut buffer = LeftoverBuffer::new();
+        let mut node_map = NodeIdMap::new();
+        crate::persistence::decode_tail(&mut buffer, &mut node_map, &header.tail)?;
+        let mut sketch = Self::from_parts(header.config, RoomStorage::File(store));
+        sketch.buffer = buffer;
+        sketch.node_map = node_map;
+        sketch.items_inserted = header.items_inserted;
+        Ok(sketch)
+    }
+
+    /// Mutable access to the buffer and node table together (used by persistence to
+    /// stream tail sections into a sketch it is restoring).
+    pub(crate) fn tail_parts_mut(&mut self) -> (&mut LeftoverBuffer, &mut NodeIdMap) {
+        (&mut self.buffer, &mut self.node_map)
+    }
+
+    /// Checkpoints a file-backed sketch: flushes dirty pages, rewrites the buffer/node
+    /// tail and marks the file clean so [`open_file`](Self::open_file) accepts it.  A
+    /// no-op for in-memory sketches.  Runs automatically on drop (ignoring errors there —
+    /// call `sync` explicitly when you need the result).
+    ///
+    /// # Errors
+    /// Returns [`PersistenceError::Io`] if the file cannot be written.
+    pub fn sync(&mut self) -> Result<(), PersistenceError> {
+        if let Some(store) = self.matrix.as_file() {
+            let tail = crate::persistence::encode_tail(self);
+            store
+                .write_tail(self.items_inserted, &tail)
+                .map_err(|error| PersistenceError::Io(error.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Which storage backend the matrix uses (`"memory"` or `"file"`).
+    pub fn storage_backend(&self) -> &'static str {
+        self.matrix.backend_name()
     }
 
     /// Builds a sketch with the paper's default parameters at the given matrix width.
@@ -263,12 +354,19 @@ impl GssSketch {
         out
     }
 
-    /// Iterates over the occupied matrix rooms as `(row, column, &Room)` (used by merging
-    /// and persistence).
-    pub(crate) fn matrix_rooms(
+    /// Visits every occupied matrix room as `(row, column, room)` (used by merging and
+    /// persistence; a callback rather than an iterator so the file backend can stream
+    /// rooms through its page cache without materialising them).
+    pub(crate) fn for_each_matrix_room(
         &self,
-    ) -> impl Iterator<Item = (usize, usize, &crate::matrix::Room)> {
-        self.matrix.occupied()
+        visit: &mut dyn FnMut(usize, usize, crate::matrix::Room),
+    ) {
+        self.matrix.scan_occupied(visit);
+    }
+
+    /// Number of occupied matrix rooms (used by persistence to write the room count).
+    pub(crate) fn matrix_edge_count(&self) -> usize {
+        self.matrix.occupied_rooms()
     }
 
     /// Iterates over buffered edges as `(source hash, destination hash, weight)` triples.
@@ -312,31 +410,7 @@ impl GssSketch {
         slot: usize,
         room: crate::matrix::Room,
     ) {
-        self.matrix.store(
-            row,
-            column,
-            slot,
-            room.source_fingerprint,
-            room.destination_fingerprint,
-            room.source_index,
-            room.destination_index,
-            room.weight,
-        );
-    }
-
-    /// Restores one buffered edge (used by persistence).
-    pub(crate) fn restore_buffered(
-        &mut self,
-        source_hash: u64,
-        destination_hash: u64,
-        weight: Weight,
-    ) {
-        self.buffer.insert(source_hash, destination_hash, weight);
-    }
-
-    /// Restores one node-id registration (used by persistence).
-    pub(crate) fn restore_node_id(&mut self, hash: u64, vertex: VertexId) {
-        self.node_map.register(hash, vertex);
+        self.matrix.store_room(row, column, slot, room);
     }
 
     /// Overrides the inserted-items counter (used by persistence).
@@ -382,15 +456,18 @@ impl GssSketch {
                 return;
             }
             if let Some(slot) = self.matrix.find_empty(candidate.row, candidate.column) {
-                self.matrix.store(
+                self.matrix.store_room(
                     candidate.row,
                     candidate.column,
                     slot,
-                    source_node.fingerprint,
-                    destination_node.fingerprint,
-                    candidate.source_index,
-                    candidate.destination_index,
-                    weight,
+                    crate::matrix::Room {
+                        source_fingerprint: source_node.fingerprint,
+                        destination_fingerprint: destination_node.fingerprint,
+                        source_index: candidate.source_index,
+                        destination_index: candidate.destination_index,
+                        weight,
+                        occupied: true,
+                    },
                 );
                 return;
             }
@@ -430,7 +507,7 @@ impl GssSketch {
         let node = self.hasher.hashed_node(vertex);
         let mut result: Vec<u64> = Vec::new();
         for (index, &row) in self.scan_addresses(node).iter().enumerate() {
-            for (column, room) in self.matrix.row_rooms(row) {
+            self.matrix.scan_row(row, &mut |column, room| {
                 if room.source_fingerprint == node.fingerprint
                     && room.source_index as usize == index
                 {
@@ -440,7 +517,7 @@ impl GssSketch {
                         room.destination_index,
                     ));
                 }
-            }
+            });
         }
         result.extend(self.buffer.successors(node.hash));
         result.sort_unstable();
@@ -453,7 +530,7 @@ impl GssSketch {
         let node = self.hasher.hashed_node(vertex);
         let mut result: Vec<u64> = Vec::new();
         for (index, &column) in self.scan_addresses(node).iter().enumerate() {
-            for (row, room) in self.matrix.column_rooms(column) {
+            self.matrix.scan_column(column, &mut |row, room| {
                 if room.destination_fingerprint == node.fingerprint
                     && room.destination_index as usize == index
                 {
@@ -463,12 +540,21 @@ impl GssSketch {
                         room.source_index,
                     ));
                 }
-            }
+            });
         }
         result.extend(self.buffer.precursors(node.hash));
         result.sort_unstable();
         result.dedup();
         result
+    }
+}
+
+/// File-backed sketches checkpoint themselves when dropped, so "build, fill, drop,
+/// reopen" works without an explicit [`GssSketch::sync`].  Failures are ignored here
+/// (drop cannot report them); sync explicitly when durability must be confirmed.
+impl Drop for GssSketch {
+    fn drop(&mut self) {
+        let _ = self.sync();
     }
 }
 
@@ -581,7 +667,7 @@ impl SummaryRead for GssSketch {
                 candidate.source_index,
                 candidate.destination_index,
             ) {
-                return Some(self.matrix.bucket(candidate.row, candidate.column)[slot].weight);
+                return Some(self.matrix.room(candidate.row, candidate.column, slot).weight);
             }
         }
         self.buffer.edge_weight(source_node.hash, destination_node.hash)

@@ -1,0 +1,411 @@
+//! Pluggable room storage: the [`RoomStore`] trait and its two backends.
+//!
+//! The `m × m × l` room grid is the only part of a GSS sketch whose size is proportional to
+//! the configured matrix rather than to the observed stream, so it is the part that decides
+//! whether a `GSS_SCALE=paper` CAIDA-style run fits on a machine.  This module abstracts it
+//! behind [`RoomStore`]:
+//!
+//! * [`MemoryStore`] — the original dense `Vec<Room>` (row-major buckets), fastest and the
+//!   default;
+//! * [`FileStore`] — a std-only paged file backend
+//!   (fixed-size little-endian room records, page-granular I/O, an LRU cache with
+//!   dirty-page write-back) for sketches larger than RAM.  A `FileStore` sketch file
+//!   doubles as its own checkpoint: see
+//!   [`GssSketch::open_file`](crate::GssSketch::open_file).
+//!
+//! [`RoomStorage`] is the enum the sketch actually holds — enum dispatch keeps
+//! [`GssSketch`](crate::GssSketch) a non-generic type so every existing caller, trait
+//! object and collection keeps compiling.
+//!
+//! Both backends, the streaming snapshots of [`persistence`](crate::persistence) and the
+//! `FileStore` file body share one fixed-size room record ([`ROOM_RECORD_BYTES`]), encoded
+//! little-endian by [`encode_room`] / [`decode_room`], so bytes move between the in-memory
+//! matrix, sketch files and snapshots without translation.
+
+use crate::config::GssConfig;
+use crate::file_store::FileStore;
+use crate::matrix::{MemoryStore, Room};
+use crate::persistence::PersistenceError;
+use std::path::PathBuf;
+
+/// Size of one encoded room record in bytes (fingerprint pair, index pair, occupancy flag,
+/// one pad byte, 8-byte weight).
+pub const ROOM_RECORD_BYTES: usize = 16;
+
+/// Size of the encoded [`GssConfig`] used in file headers and snapshots.
+pub(crate) const CONFIG_BYTES: usize = 45;
+
+/// Encodes one room as a fixed-size little-endian record.
+///
+/// Layout: `source_fingerprint u16 | destination_fingerprint u16 | source_index u8 |
+/// destination_index u8 | occupied u8 | pad u8 | weight i64`.
+pub fn encode_room(room: &Room) -> [u8; ROOM_RECORD_BYTES] {
+    let mut bytes = [0u8; ROOM_RECORD_BYTES];
+    bytes[0..2].copy_from_slice(&room.source_fingerprint.to_le_bytes());
+    bytes[2..4].copy_from_slice(&room.destination_fingerprint.to_le_bytes());
+    bytes[4] = room.source_index;
+    bytes[5] = room.destination_index;
+    bytes[6] = room.occupied as u8;
+    bytes[8..16].copy_from_slice(&room.weight.to_le_bytes());
+    bytes
+}
+
+/// Decodes a room record written by [`encode_room`].  Total: any byte pattern decodes
+/// (an arbitrary occupancy byte is read as "occupied"), so corrupt inputs surface as
+/// validation errors downstream, never as panics.
+pub fn decode_room(bytes: &[u8; ROOM_RECORD_BYTES]) -> Room {
+    Room {
+        source_fingerprint: u16::from_le_bytes([bytes[0], bytes[1]]),
+        destination_fingerprint: u16::from_le_bytes([bytes[2], bytes[3]]),
+        source_index: bytes[4],
+        destination_index: bytes[5],
+        occupied: bytes[6] != 0,
+        weight: i64::from_le_bytes(bytes[8..16].try_into().expect("length checked")),
+    }
+}
+
+/// Encodes a configuration as the fixed [`CONFIG_BYTES`]-byte block shared by snapshots
+/// and sketch-file headers.
+pub(crate) fn encode_config(config: &GssConfig) -> [u8; CONFIG_BYTES] {
+    let mut bytes = [0u8; CONFIG_BYTES];
+    bytes[0..8].copy_from_slice(&(config.width as u64).to_le_bytes());
+    bytes[8..12].copy_from_slice(&config.fingerprint_bits.to_le_bytes());
+    bytes[12..20].copy_from_slice(&(config.rooms as u64).to_le_bytes());
+    bytes[20..28].copy_from_slice(&(config.sequence_length as u64).to_le_bytes());
+    bytes[28..36].copy_from_slice(&(config.candidates as u64).to_le_bytes());
+    bytes[36] = (config.square_hashing as u8)
+        | ((config.sampling as u8) << 1)
+        | ((config.track_node_ids as u8) << 2);
+    bytes[37..45].copy_from_slice(&config.hash_seed.to_le_bytes());
+    bytes
+}
+
+/// Decodes and validates a configuration block written by [`encode_config`].
+pub(crate) fn decode_config(bytes: &[u8; CONFIG_BYTES]) -> Result<GssConfig, PersistenceError> {
+    let u64_at = |offset: usize| {
+        u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("length checked"))
+    };
+    let flags = bytes[36];
+    let config = GssConfig {
+        width: u64_at(0) as usize,
+        fingerprint_bits: u32::from_le_bytes(bytes[8..12].try_into().expect("length checked")),
+        rooms: u64_at(12) as usize,
+        sequence_length: u64_at(20) as usize,
+        candidates: u64_at(28) as usize,
+        square_hashing: flags & 1 != 0,
+        sampling: flags & 2 != 0,
+        track_node_ids: flags & 4 != 0,
+        hash_seed: u64_at(37),
+    };
+    config.validate().map_err(|error| PersistenceError::InvalidConfig(error.to_string()))?;
+    Ok(config)
+}
+
+/// Where a sketch keeps its room matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum StorageBackend {
+    /// Dense in-memory `Vec<Room>` (the default; fastest).
+    #[default]
+    Memory,
+    /// Paged sketch file at `path` with an LRU cache of `cache_pages` 4-KiB pages.
+    /// The file is created (truncating any existing file) when the sketch is built; use
+    /// [`GssSketch::open_file`](crate::GssSketch::open_file) to reopen an existing one.
+    File {
+        /// Location of the sketch file.
+        path: PathBuf,
+        /// Number of 4-KiB pages the cache may hold (clamped to at least 1).
+        cache_pages: usize,
+    },
+}
+
+impl StorageBackend {
+    /// Convenience constructor for the file backend with the default cache size
+    /// ([`FileStore::DEFAULT_CACHE_PAGES`]).
+    pub fn file(path: impl Into<PathBuf>) -> Self {
+        Self::File { path: path.into(), cache_pages: FileStore::DEFAULT_CACHE_PAGES }
+    }
+
+    /// Derives the backend for shard `index` of a sharded sketch: memory stays memory, a
+    /// file backend gets `<name>.shard<index>` appended so every shard owns its own file.
+    pub(crate) fn for_shard(&self, index: usize) -> Self {
+        match self {
+            Self::Memory => Self::Memory,
+            Self::File { path, cache_pages } => {
+                let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+                name.push(format!(".shard{index}"));
+                Self::File { path: path.with_file_name(name), cache_pages: *cache_pages }
+            }
+        }
+    }
+}
+
+/// Random access to an `m × m × l` grid of rooms.
+///
+/// Scan callbacks visit **occupied rooms only** and pass rooms by value (records are 16
+/// bytes), so implementations backed by page caches need not hand out references into
+/// locked internals.
+pub trait RoomStore {
+    /// Side length `m`.
+    fn width(&self) -> usize;
+    /// Rooms per bucket `l`.
+    fn rooms_per_bucket(&self) -> usize;
+    /// Total number of rooms (`m² × l`).
+    fn room_count(&self) -> usize;
+    /// Number of currently occupied rooms.
+    fn occupied_rooms(&self) -> usize;
+    /// Reads the room at `slot` of bucket `(row, column)`.
+    fn room(&self, row: usize, column: usize, slot: usize) -> Room;
+    /// Position within bucket `(row, column)` of the room matching the fingerprint/index
+    /// quadruple, if any.
+    fn find_match(
+        &self,
+        row: usize,
+        column: usize,
+        source_fingerprint: u16,
+        destination_fingerprint: u16,
+        source_index: u8,
+        destination_index: u8,
+    ) -> Option<usize>;
+    /// Position of the first empty room in bucket `(row, column)`, if any.
+    fn find_empty(&self, row: usize, column: usize) -> Option<usize>;
+    /// Adds `weight` to the (occupied) room at `slot` of bucket `(row, column)`.
+    fn add_weight(&mut self, row: usize, column: usize, slot: usize, weight: i64);
+    /// Writes a fresh edge into the (empty) room at `slot` of bucket `(row, column)`.
+    fn store_room(&mut self, row: usize, column: usize, slot: usize, room: Room);
+    /// Visits every occupied room of matrix row `row` as `(column, room)`.
+    fn scan_row(&self, row: usize, visit: &mut dyn FnMut(usize, Room));
+    /// Visits every occupied room of matrix column `column` as `(row, room)`.
+    fn scan_column(&self, column: usize, visit: &mut dyn FnMut(usize, Room));
+    /// Visits every occupied room as `(row, column, room)`.
+    fn scan_occupied(&self, visit: &mut dyn FnMut(usize, usize, Room));
+
+    /// Fraction of rooms occupied.
+    fn load_factor(&self) -> f64 {
+        if self.room_count() == 0 {
+            0.0
+        } else {
+            self.occupied_rooms() as f64 / self.room_count() as f64
+        }
+    }
+}
+
+/// The store a [`GssSketch`](crate::GssSketch) holds: enum dispatch over the two backends.
+#[derive(Debug)]
+pub enum RoomStorage {
+    /// Dense in-memory backend.
+    Memory(MemoryStore),
+    /// Paged file backend.
+    File(FileStore),
+}
+
+impl RoomStorage {
+    /// Which backend this is, for stats and display.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            Self::Memory(_) => "memory",
+            Self::File(_) => "file",
+        }
+    }
+
+    /// The file store, when file-backed.
+    pub(crate) fn as_file(&self) -> Option<&FileStore> {
+        match self {
+            Self::Memory(_) => None,
+            Self::File(store) => Some(store),
+        }
+    }
+}
+
+/// Cloning a file-backed store **detaches it into memory**: the clone is a
+/// [`MemoryStore`] holding the same rooms, leaving the original file untouched.  This is
+/// what merge/analysis paths want (they clone to read), and it keeps
+/// `#[derive(Clone)]`-style ergonomics on the sketch without duplicating files on disk.
+impl Clone for RoomStorage {
+    fn clone(&self) -> Self {
+        match self {
+            Self::Memory(store) => Self::Memory(store.clone()),
+            Self::File(store) => {
+                let mut memory = MemoryStore::new(store.width(), store.rooms_per_bucket());
+                store.scan_occupied(&mut |row, column, room| {
+                    memory.store_room(row, column, memory_slot_for(&memory, row, column), room);
+                });
+                Self::Memory(memory)
+            }
+        }
+    }
+}
+
+/// First free slot of a bucket during a detach-copy (the scan visits rooms bucket-major,
+/// so this is just the running fill level).
+fn memory_slot_for(memory: &MemoryStore, row: usize, column: usize) -> usize {
+    memory.find_empty(row, column).expect("detach copy cannot overfill a bucket")
+}
+
+macro_rules! dispatch {
+    ($self:ident, $store:ident => $body:expr) => {
+        match $self {
+            RoomStorage::Memory($store) => $body,
+            RoomStorage::File($store) => $body,
+        }
+    };
+}
+
+impl RoomStore for RoomStorage {
+    fn width(&self) -> usize {
+        dispatch!(self, store => store.width())
+    }
+
+    fn rooms_per_bucket(&self) -> usize {
+        dispatch!(self, store => store.rooms_per_bucket())
+    }
+
+    fn room_count(&self) -> usize {
+        dispatch!(self, store => store.room_count())
+    }
+
+    fn occupied_rooms(&self) -> usize {
+        dispatch!(self, store => store.occupied_rooms())
+    }
+
+    fn room(&self, row: usize, column: usize, slot: usize) -> Room {
+        dispatch!(self, store => store.room(row, column, slot))
+    }
+
+    fn find_match(
+        &self,
+        row: usize,
+        column: usize,
+        source_fingerprint: u16,
+        destination_fingerprint: u16,
+        source_index: u8,
+        destination_index: u8,
+    ) -> Option<usize> {
+        dispatch!(self, store => store.find_match(
+            row,
+            column,
+            source_fingerprint,
+            destination_fingerprint,
+            source_index,
+            destination_index,
+        ))
+    }
+
+    fn find_empty(&self, row: usize, column: usize) -> Option<usize> {
+        dispatch!(self, store => store.find_empty(row, column))
+    }
+
+    fn add_weight(&mut self, row: usize, column: usize, slot: usize, weight: i64) {
+        dispatch!(self, store => store.add_weight(row, column, slot, weight))
+    }
+
+    fn store_room(&mut self, row: usize, column: usize, slot: usize, room: Room) {
+        dispatch!(self, store => store.store_room(row, column, slot, room))
+    }
+
+    fn scan_row(&self, row: usize, visit: &mut dyn FnMut(usize, Room)) {
+        dispatch!(self, store => store.scan_row(row, visit))
+    }
+
+    fn scan_column(&self, column: usize, visit: &mut dyn FnMut(usize, Room)) {
+        dispatch!(self, store => store.scan_column(column, visit))
+    }
+
+    fn scan_occupied(&self, visit: &mut dyn FnMut(usize, usize, Room)) {
+        dispatch!(self, store => store.scan_occupied(visit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_room() -> Room {
+        Room {
+            source_fingerprint: 0xA1B2,
+            destination_fingerprint: 0x0304,
+            source_index: 7,
+            destination_index: 11,
+            weight: -123_456_789,
+            occupied: true,
+        }
+    }
+
+    #[test]
+    fn room_record_round_trips() {
+        let room = sample_room();
+        let bytes = encode_room(&room);
+        assert_eq!(bytes.len(), ROOM_RECORD_BYTES);
+        assert_eq!(decode_room(&bytes), room);
+        let empty = Room::default();
+        assert_eq!(decode_room(&encode_room(&empty)), empty);
+    }
+
+    #[test]
+    fn room_record_is_little_endian_and_padded() {
+        let bytes = encode_room(&sample_room());
+        assert_eq!(bytes[0..2], [0xB2, 0xA1]);
+        assert_eq!(bytes[6], 1);
+        assert_eq!(bytes[7], 0, "pad byte stays zero");
+    }
+
+    #[test]
+    fn any_byte_pattern_decodes_without_panicking() {
+        let mut bytes = [0u8; ROOM_RECORD_BYTES];
+        for (i, byte) in bytes.iter_mut().enumerate() {
+            *byte = (i as u8).wrapping_mul(37).wrapping_add(191);
+        }
+        let room = decode_room(&bytes);
+        assert!(room.occupied, "non-zero occupancy byte reads as occupied");
+    }
+
+    #[test]
+    fn config_block_round_trips() {
+        let config = GssConfig::paper_small(321).with_fingerprint_bits(12).with_hash_seed(99);
+        let decoded = decode_config(&encode_config(&config)).unwrap();
+        assert_eq!(decoded, config);
+    }
+
+    #[test]
+    fn invalid_config_blocks_are_rejected() {
+        let mut bytes = encode_config(&GssConfig::paper_default(10));
+        bytes[0..8].copy_from_slice(&0u64.to_le_bytes()); // width = 0
+        assert!(matches!(decode_config(&bytes), Err(PersistenceError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn shard_backends_get_distinct_paths() {
+        let backend = StorageBackend::file("/tmp/demo.gss");
+        let shard0 = backend.for_shard(0);
+        let shard1 = backend.for_shard(1);
+        assert_ne!(shard0, shard1);
+        match (&shard0, &shard1) {
+            (StorageBackend::File { path: a, .. }, StorageBackend::File { path: b, .. }) => {
+                assert!(a.to_string_lossy().ends_with("demo.gss.shard0"));
+                assert!(b.to_string_lossy().ends_with("demo.gss.shard1"));
+            }
+            _ => panic!("expected file backends"),
+        }
+        assert_eq!(StorageBackend::Memory.for_shard(3), StorageBackend::Memory);
+    }
+
+    #[test]
+    fn memory_storage_dispatches_through_the_trait() {
+        let mut storage = RoomStorage::Memory(MemoryStore::new(4, 2));
+        assert_eq!(storage.backend_name(), "memory");
+        assert_eq!(storage.width(), 4);
+        assert_eq!(storage.room_count(), 32);
+        storage.store_room(1, 2, 0, sample_room());
+        assert_eq!(storage.occupied_rooms(), 1);
+        let got = storage.room(1, 2, 0);
+        assert_eq!(got, sample_room());
+        assert_eq!(storage.find_match(1, 2, 0xA1B2, 0x0304, 7, 11), Some(0));
+        assert_eq!(storage.find_empty(1, 2), Some(1));
+        storage.add_weight(1, 2, 0, 10);
+        assert_eq!(storage.room(1, 2, 0).weight, -123_456_779);
+        let mut seen = Vec::new();
+        storage.scan_occupied(&mut |r, c, room| seen.push((r, c, room.weight)));
+        assert_eq!(seen, vec![(1, 2, -123_456_779)]);
+        let cloned = storage.clone();
+        assert_eq!(cloned.occupied_rooms(), 1);
+    }
+}

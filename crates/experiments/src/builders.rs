@@ -1,5 +1,11 @@
 //! Construction of the summaries compared in the figures, with the paper's sizing rules.
+//!
+//! Every GSS sketch built here honours the `GSS_STORAGE` environment variable (see
+//! [`crate::scale::storage_backend_from_env`]): `GSS_STORAGE=file` runs the whole figure
+//! suite on the paged file backend, which is how `GSS_SCALE=paper` matrices larger than
+//! RAM are exercised.
 
+use crate::scale::{storage_backend_from_env, ExperimentScale};
 use gss_analysis::tcm_width_for_ratio;
 use gss_baselines::TcmSketch;
 use gss_core::{GssConfig, GssSketch};
@@ -20,10 +26,15 @@ pub fn gss_config_for(dataset: SyntheticDataset, width: usize, fingerprint_bits:
     base.with_fingerprint_bits(fingerprint_bits)
 }
 
-/// Builds the GSS sketch the paper evaluates for a dataset/width/fingerprint combination.
+/// Builds the GSS sketch the paper evaluates for a dataset/width/fingerprint combination,
+/// on the storage backend selected by `GSS_STORAGE` (memory by default).
 pub fn build_gss(dataset: SyntheticDataset, width: usize, fingerprint_bits: u32) -> GssSketch {
-    GssSketch::new(gss_config_for(dataset, width, fingerprint_bits))
-        .expect("paper configurations are valid")
+    let storage = storage_backend_from_env(
+        ExperimentScale::from_env(),
+        &format!("{}-w{width}-f{fingerprint_bits}", dataset.name()),
+    );
+    GssSketch::with_storage(gss_config_for(dataset, width, fingerprint_bits), storage)
+        .expect("paper configurations are valid and the sketch file is creatable")
 }
 
 /// Builds the TCM baseline sized at `ratio ×` the memory of the *16-bit fingerprint* GSS at

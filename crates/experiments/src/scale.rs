@@ -12,9 +12,16 @@
 //!
 //! The scale is picked from the `GSS_SCALE` environment variable (`smoke`, `laptop`,
 //! `paper`) so the same bench binaries serve all three.
+//!
+//! Orthogonally, `GSS_STORAGE` (`memory` — default, `file`) selects the room-storage
+//! backend experiment sketches are built on ([`storage_backend_from_env`]): `file` routes
+//! every sketch through the paged [`gss_core::FileStore`] so paper-scale matrices that
+//! exceed RAM still run, at the cost of page-cache I/O on the hot path.
 
+use gss_core::StorageBackend;
 use gss_datasets::{DatasetProfile, SyntheticDataset};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How big an experiment run should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -107,6 +114,46 @@ impl ExperimentScale {
             Self::Paper => "paper",
         }
     }
+
+    /// Page-cache budget for file-backed sketches at this scale (pages of 4 KiB).
+    pub fn file_cache_pages(self) -> usize {
+        match self {
+            Self::Smoke => 256,    // 1 MiB
+            Self::Laptop => 4096,  // 16 MiB
+            Self::Paper => 65_536, // 256 MiB — far below a paper-scale matrix
+        }
+    }
+}
+
+/// Distinguishes the sketch files of concurrent/consecutive experiment runs.
+static STORAGE_SEQUENCE: AtomicU64 = AtomicU64::new(0);
+
+/// The storage backend experiment sketches are built on, from the `GSS_STORAGE`
+/// environment variable: `memory` (default) or `file`.
+///
+/// With `file`, each call yields a fresh sketch-file path under
+/// `<tmp>/gss-experiments/`, tagged with `label`, the process id and a sequence number so
+/// concurrent runs and repeated builds never collide; the cache budget follows
+/// [`ExperimentScale::file_cache_pages`].  Files are left behind for post-run inspection
+/// (they live in the temp dir, so the OS reclaims them).
+pub fn storage_backend_from_env(scale: ExperimentScale, label: &str) -> StorageBackend {
+    match std::env::var("GSS_STORAGE").unwrap_or_default().to_ascii_lowercase().as_str() {
+        "file" => {
+            let dir = std::env::temp_dir().join("gss-experiments");
+            let _ = std::fs::create_dir_all(&dir);
+            let sequence = STORAGE_SEQUENCE.fetch_add(1, Ordering::Relaxed);
+            // Keep the label filesystem-safe.
+            let label: String = label
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+                .collect();
+            StorageBackend::File {
+                path: dir.join(format!("{label}-{}-{sequence}.gss", std::process::id())),
+                cache_pages: scale.file_cache_pages(),
+            }
+        }
+        _ => StorageBackend::Memory,
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +194,25 @@ mod tests {
         assert_eq!(subset, vec![600, 800, 1000]);
         assert_eq!(ExperimentScale::Laptop.width_subset(&widths), widths);
         assert_eq!(ExperimentScale::Smoke.width_subset(&[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn storage_backend_defaults_to_memory_and_caches_scale_with_size() {
+        // The test environment does not set GSS_STORAGE (and if it ever does, the file
+        // variant still yields fresh, distinct paths).
+        let a = storage_backend_from_env(ExperimentScale::Smoke, "unit test/a");
+        let b = storage_backend_from_env(ExperimentScale::Smoke, "unit test/a");
+        match (&a, &b) {
+            (StorageBackend::Memory, StorageBackend::Memory) => {}
+            (StorageBackend::File { path: pa, .. }, StorageBackend::File { path: pb, .. }) => {
+                assert_ne!(pa, pb, "sequence number must distinguish paths");
+                assert!(!pa.to_string_lossy().contains('/') || pa.parent().is_some());
+            }
+            _ => panic!("both calls must agree on the backend"),
+        }
+        assert!(
+            ExperimentScale::Smoke.file_cache_pages() < ExperimentScale::Paper.file_cache_pages()
+        );
     }
 
     #[test]

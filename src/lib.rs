@@ -53,7 +53,7 @@ pub mod prelude {
     pub use gss_core::ConcurrentGss;
 
     pub use gss_baselines::TcmSketch;
-    pub use gss_core::{GssBuilder, GssConfig, GssSketch, ShardedGss};
+    pub use gss_core::{GssBuilder, GssConfig, GssSketch, ShardedGss, StorageBackend};
     pub use gss_datasets::{DatasetProfile, SyntheticDataset};
     pub use gss_graph::{
         AdjacencyListGraph, GraphStream, GraphSummary, StreamEdge, StringInterner, SummaryRead,

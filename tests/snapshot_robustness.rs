@@ -1,0 +1,100 @@
+//! Decode robustness: feeding `GssSketch::from_snapshot` damaged or arbitrary bytes must
+//! produce a [`PersistenceError`](gss_core::PersistenceError) (or, for benign bit flips, a
+//! valid sketch) — **never** a panic, unbounded allocation or hang.
+//!
+//! Three mutation families over a valid snapshot are exercised: truncation at an arbitrary
+//! offset, bit flips at arbitrary positions, and wholesale replacement with arbitrary
+//! bytes.  The test's assertion is mostly the absence of a panic; where the damage is
+//! provably fatal (strict truncation, wrong magic) the specific error is asserted too.
+
+use gss::prelude::*;
+use gss_core::PersistenceError;
+use proptest::prelude::*;
+
+/// A deterministic, moderately loaded sketch whose snapshot has every section non-empty
+/// (matrix rooms, buffered edges, node table).
+fn snapshot_bytes() -> Vec<u8> {
+    let config = GssConfig {
+        width: 8,
+        rooms: 1,
+        sequence_length: 4,
+        candidates: 4,
+        ..GssConfig::paper_default(8)
+    };
+    let mut sketch = GssSketch::new(config).unwrap();
+    let mut state = 3u64;
+    for _ in 0..600 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        sketch.insert((state >> 33) % 120, (state >> 17) % 120, (state % 7) as i64 + 1);
+    }
+    assert!(sketch.buffered_edges() > 0, "buffer section must be exercised");
+    sketch.to_snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any strict prefix of a valid snapshot is rejected (counts written before the data
+    /// guarantee a cut always lands mid-structure), and rejection never panics.
+    #[test]
+    fn truncated_snapshots_error_out(cut in 0usize..2048) {
+        let bytes = snapshot_bytes();
+        let cut = cut % bytes.len(); // strict prefix
+        let result = GssSketch::from_snapshot(&bytes[..cut]);
+        prop_assert!(result.is_err(), "prefix of {cut} bytes decoded successfully");
+    }
+
+    /// Bit flips decode to either a structured error or a valid sketch — never a panic.
+    /// Flips inside the magic must specifically report `BadMagic`.
+    #[test]
+    fn bit_flipped_snapshots_never_panic(
+        position in 0usize..4096,
+        bit in 0u8..8,
+        flips in prop::collection::vec((0usize..4096, 0u8..8), 0..8),
+    ) {
+        let mut bytes = snapshot_bytes();
+        let len = bytes.len();
+        bytes[position % len] ^= 1 << bit;
+        for &(extra_position, extra_bit) in &flips {
+            bytes[extra_position % len] ^= 1 << extra_bit;
+        }
+        match GssSketch::from_snapshot(&bytes) {
+            Ok(sketch) => {
+                // A benign flip (e.g. inside a weight) still yields a queryable sketch.
+                let _ = sketch.edge_weight(1, 2);
+                let _ = sketch.successors(1);
+            }
+            Err(error) => {
+                if (position % len) < 4 && flips.is_empty() {
+                    prop_assert_eq!(error, PersistenceError::BadMagic);
+                }
+            }
+        }
+    }
+
+    /// Arbitrary byte soup — including inputs that happen to start with the magic — is
+    /// handled without panicking, and never allocates proportionally to lying counts.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in prop::collection::vec(0u8..=255, 0..600),
+        with_magic in any::<bool>(),
+    ) {
+        let mut bytes = bytes;
+        if with_magic && bytes.len() >= 4 {
+            bytes[..4].copy_from_slice(b"GSS\x02");
+        }
+        let _ = GssSketch::from_snapshot(&bytes);
+    }
+}
+
+#[test]
+fn huge_section_counts_do_not_preallocate() {
+    // A snapshot header claiming u64::MAX rooms must fail fast on EOF instead of trying
+    // to reserve memory for the claimed count.
+    let config = GssConfig::paper_default(8);
+    let sketch = GssSketch::new(config).unwrap();
+    let mut bytes = sketch.to_snapshot();
+    let room_count_offset = 4 + 45 + 8; // magic + config + items
+    bytes[room_count_offset..room_count_offset + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert_eq!(GssSketch::from_snapshot(&bytes).err(), Some(PersistenceError::UnexpectedEof));
+}

@@ -1,0 +1,151 @@
+//! Acceptance property for the pluggable storage layer: **the backend is unobservable**.
+//!
+//! For any insert sequence and configuration:
+//!
+//! 1. a `MemoryStore` sketch and a `FileStore` sketch answer edge-weight, successor and
+//!    precursor queries identically;
+//! 2. dropping the file-backed sketch and reopening its file in place
+//!    ([`GssSketch::open_file`]) preserves configuration, matrix rooms, buffered edges,
+//!    the `⟨H(v), v⟩` node table and the item counter;
+//! 3. a streamed snapshot round-trip ([`write_snapshot_to`] → [`read_snapshot_from`])
+//!    preserves the same state, for both backends.
+//!
+//! [`GssSketch::open_file`]: gss_core::GssSketch::open_file
+//! [`write_snapshot_to`]: gss_core::GssSketch::write_snapshot_to
+//! [`read_snapshot_from`]: gss_core::GssSketch::read_snapshot_from
+
+use gss::prelude::*;
+use gss_core::StorageBackend;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique sketch-file paths across proptest cases (cases run in one process).
+fn fresh_path() -> PathBuf {
+    static SEQUENCE: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "gss-storage-equivalence-{}-{}.gss",
+        std::process::id(),
+        SEQUENCE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Strategy: a stream of up to `len` items over a vertex universe of `vertices`
+/// (weights include negatives, so deletions are exercised too).
+fn stream_strategy(vertices: u64, len: usize) -> impl Strategy<Value = Vec<(u64, u64, i64)>> {
+    prop::collection::vec((0..vertices, 0..vertices, -5..50i64), 1..len)
+}
+
+/// Strategy: configurations from the interesting corners, kept small enough that the
+/// file-backed matrix plus an intentionally tiny page cache still forces eviction.
+fn config_strategy() -> impl Strategy<Value = GssConfig> {
+    (
+        4usize..32,                               // width
+        prop::sample::select(vec![8u32, 12, 16]), // fingerprint bits
+        1usize..3,                                // rooms
+        prop::sample::select(vec![1usize, 4, 8]), // sequence length
+        any::<bool>(),                            // sampling
+    )
+        .prop_map(|(width, fingerprint_bits, rooms, sequence_length, sampling)| {
+            let square_hashing = sequence_length > 1;
+            GssConfig {
+                width,
+                fingerprint_bits,
+                rooms,
+                sequence_length,
+                candidates: sequence_length.max(2),
+                square_hashing,
+                sampling: sampling && square_hashing,
+                track_node_ids: true,
+                hash_seed: 0x5709_0A6E,
+            }
+        })
+}
+
+/// Asserts that two sketches are observationally identical over the touched vertex set.
+fn assert_same_answers(a: &GssSketch, b: &GssSketch, items: &[(u64, u64, i64)], label: &str) {
+    assert_eq!(a.config(), b.config(), "{label}: config");
+    assert_eq!(a.items_inserted(), b.items_inserted(), "{label}: item counter");
+    assert_eq!(a.stored_edges(), b.stored_edges(), "{label}: stored edges");
+    assert_eq!(a.buffered_edges(), b.buffered_edges(), "{label}: buffered edges");
+    for &(source, destination, _) in items {
+        assert_eq!(
+            a.edge_weight(source, destination),
+            b.edge_weight(source, destination),
+            "{label}: edge ({source}, {destination})"
+        );
+        assert_eq!(a.successors(source), b.successors(source), "{label}: successors {source}");
+        assert_eq!(
+            a.precursors(destination),
+            b.precursors(destination),
+            "{label}: precursors {destination}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn file_and_memory_backends_are_observationally_identical(
+        items in stream_strategy(150, 300),
+        config in config_strategy(),
+    ) {
+        let path = fresh_path();
+        let mut memory = GssSketch::new(config).unwrap();
+        // cache_pages = 2 keeps the cache far below the matrix, forcing eviction traffic.
+        let mut file = GssSketch::with_storage(
+            config,
+            StorageBackend::File { path: path.clone(), cache_pages: 2 },
+        )
+        .unwrap();
+        for &(s, d, w) in &items {
+            memory.insert(s, d, w);
+            file.insert(s, d, w);
+        }
+        assert_same_answers(&memory, &file, &items, "memory vs file");
+
+        // Drop-then-reopen: the sketch file is its own checkpoint.
+        drop(file);
+        let reopened = GssSketch::open_file(&path, 2).unwrap();
+        assert_same_answers(&memory, &reopened, &items, "memory vs reopened file");
+
+        // Streamed snapshot round-trips for both backends.
+        let mut bytes = Vec::new();
+        memory.write_snapshot_to(&mut bytes).unwrap();
+        let restored = GssSketch::read_snapshot_from(bytes.as_slice()).unwrap();
+        assert_same_answers(&memory, &restored, &items, "memory vs snapshot");
+
+        let mut file_bytes = Vec::new();
+        reopened.write_snapshot_to(&mut file_bytes).unwrap();
+        prop_assert_eq!(&bytes, &file_bytes, "backends must snapshot to identical bytes");
+        drop(reopened);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_ingest_is_backend_agnostic_too(
+        items in stream_strategy(100, 400),
+        config in config_strategy(),
+    ) {
+        let path = fresh_path();
+        let edges: Vec<StreamEdge> = items
+            .iter()
+            .enumerate()
+            .map(|(t, &(s, d, w))| StreamEdge::new(s, d, t as u64, w))
+            .collect();
+        let mut memory = GssSketch::new(config).unwrap();
+        let mut file = GssSketch::with_storage(
+            config,
+            StorageBackend::File { path: path.clone(), cache_pages: 3 },
+        )
+        .unwrap();
+        for chunk in edges.chunks(61) {
+            memory.insert_batch(chunk);
+            file.insert_batch(chunk);
+        }
+        assert_same_answers(&memory, &file, &items, "batched memory vs file");
+        drop(file);
+        std::fs::remove_file(&path).ok();
+    }
+}
