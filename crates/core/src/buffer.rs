@@ -26,6 +26,10 @@ pub struct LeftoverBuffer {
     reverse: HashMap<u64, Vec<u64>>,
     /// Number of distinct buffered edges.
     edges: usize,
+    /// Accounted bytes, maintained incrementally on insert so [`bytes`](Self::bytes) is
+    /// O(1) — experiments poll it per report via `memory_bytes()`, which used to recount
+    /// every adjacency entry on every call.
+    bytes: usize,
 }
 
 impl LeftoverBuffer {
@@ -47,12 +51,18 @@ impl LeftoverBuffer {
     /// Adds `weight` to the buffered edge `(source, destination)`, creating it if needed.
     pub fn insert(&mut self, source: u64, destination: u64, weight: i64) {
         let list = self.forward.entry(source).or_default();
+        let new_source = list.is_empty();
         if let Some(entry) = list.iter_mut().find(|e| e.destination == destination) {
             entry.weight += weight;
             return;
         }
         list.push(BufferedEdge { destination, weight });
-        self.reverse.entry(destination).or_default().push(source);
+        // 8 bytes per new hash key, 16 per forward entry (destination + weight), 8 per
+        // reverse entry — the same accounting `bytes()` used to recompute per call.
+        self.bytes += 16 + 8 * usize::from(new_source);
+        let reverse = self.reverse.entry(destination).or_default();
+        self.bytes += 8 + 8 * usize::from(reverse.is_empty());
+        reverse.push(source);
         self.edges += 1;
     }
 
@@ -82,14 +92,10 @@ impl LeftoverBuffer {
     }
 
     /// Approximate heap usage in bytes (hash keys + adjacency entries), used by the memory
-    /// accounting of the experiments.
+    /// accounting of the experiments.  O(1): the count is maintained on insert instead of
+    /// being recomputed from every adjacency list per call.
     pub fn bytes(&self) -> usize {
-        let forward_entries: usize = self.forward.values().map(Vec::len).sum();
-        let reverse_entries: usize = self.reverse.values().map(Vec::len).sum();
-        self.forward.len() * 8
-            + forward_entries * (8 + 8)
-            + self.reverse.len() * 8
-            + reverse_entries * 8
+        self.bytes
     }
 }
 
@@ -153,6 +159,30 @@ mod tests {
         buffer.insert(4, 5, 6);
         let collected: std::collections::HashSet<_> = buffer.edges().collect();
         assert_eq!(collected, [(1, 2, 3), (4, 5, 6)].into_iter().collect());
+        assert!(buffer.bytes() > 0);
+    }
+
+    /// The pre-refactor accounting, recomputed from the adjacency lists.
+    fn recounted_bytes(buffer: &LeftoverBuffer) -> usize {
+        let forward_entries: usize = buffer.forward.values().map(Vec::len).sum();
+        let reverse_entries: usize = buffer.reverse.values().map(Vec::len).sum();
+        buffer.forward.len() * 8
+            + forward_entries * (8 + 8)
+            + buffer.reverse.len() * 8
+            + reverse_entries * 8
+    }
+
+    #[test]
+    fn incremental_bytes_match_a_full_recount() {
+        let mut buffer = LeftoverBuffer::new();
+        assert_eq!(buffer.bytes(), recounted_bytes(&buffer));
+        let mut state = 0x000B_17E5_u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // A small universe forces shared sources/destinations and duplicate edges.
+            buffer.insert((state >> 33) % 40, (state >> 17) % 40, (state % 9) as i64 - 4);
+            assert_eq!(buffer.bytes(), recounted_bytes(&buffer));
+        }
         assert!(buffer.bytes() > 0);
     }
 }

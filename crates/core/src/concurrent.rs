@@ -14,7 +14,11 @@
 //! * **edge queries** and **1-hop successor queries** are answered by the source's shard
 //!   alone — one read lock, same cost as a single sketch;
 //! * **1-hop precursor queries** fan out: edges *into* a vertex may come from sources in
-//!   any shard, so every shard is scanned and the answers are unioned (sorted, deduped);
+//!   any shard, so every shard is scanned and the answers are unioned (sorted, deduped).
+//!   Each shard's column scans are steered by its bucket-occupancy index
+//!   ([`crate::storage::OccupancyIndex`]), so the fan-out costs `shards ×` a
+//!   load-proportional scan rather than `shards ×` a full-geometry scan — and per-shard
+//!   load factors are `1/shards` of a single sketch's to begin with;
 //! * **stats** aggregate field-wise across shards ([`SummaryStats::merged_with`]);
 //!   [`ShardedGss::detailed_stats`] likewise sums the per-shard [`GssStats`] — note that a
 //!   vertex appearing in several shards is counted once per shard there.
@@ -225,6 +229,7 @@ impl ShardedGss {
             total.matrix_edges += stats.matrix_edges;
             total.buffered_edges += stats.buffered_edges;
             total.matrix_bytes += stats.matrix_bytes;
+            total.occupancy_index_bytes += stats.occupancy_index_bytes;
             total.buffer_bytes += stats.buffer_bytes;
             total.node_map_bytes += stats.node_map_bytes;
             total.distinct_hashed_nodes += stats.distinct_hashed_nodes;

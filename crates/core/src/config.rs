@@ -172,6 +172,14 @@ impl GssConfig {
         self.room_count() * self.bytes_per_room()
     }
 
+    /// Bytes of the bucket-occupancy index the room stores maintain: two bitmaps (per-row
+    /// and per-column) of one bit per bucket, each row/column line rounded up to whole
+    /// 64-bit words — `≈ 2·m²/8` bytes, under 1% of [`matrix_bytes`](Self::matrix_bytes)
+    /// at the paper's `l = 2`.
+    pub fn occupancy_index_bytes(&self) -> usize {
+        2 * self.width * self.width.div_ceil(64) * 8
+    }
+
     /// The per-shard matrix width that keeps `shards` sketches at the total memory of one
     /// sketch of this configuration: matrix memory grows with `width²`, so each shard gets
     /// `width / √shards` (rounded, at least 1).  Used by the equal-memory sharding mode for

@@ -17,8 +17,9 @@
 //!
 //! Because the header carries the full configuration and the rooms live in place, **the
 //! sketch file doubles as its own checkpoint**: [`crate::GssSketch::open_file`] re-opens
-//! it without decoding the room region at all — open cost is proportional to the (usually
-//! tiny) tail, not to the matrix.
+//! it with no per-room decode or insert pass — open streams the room region once
+//! (sequential reads of the occupancy flags, rebuilding the in-memory
+//! [`OccupancyIndex`]) plus the (usually tiny) tail.
 //!
 //! ## Consistency
 //!
@@ -35,8 +36,8 @@ use crate::config::GssConfig;
 use crate::matrix::Room;
 use crate::persistence::PersistenceError;
 use crate::storage::{
-    decode_config, decode_room, encode_config, encode_room, RoomStore, CONFIG_BYTES,
-    ROOM_RECORD_BYTES,
+    decode_config, decode_room, encode_config, encode_room, BucketProbe, OccupancyIndex, RoomStore,
+    CONFIG_BYTES, ROOM_OCCUPIED_BYTE, ROOM_RECORD_BYTES,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -91,6 +92,24 @@ struct FileInner {
     /// Recency index: stamp → page index (stamps are unique ticks), so the LRU victim is
     /// the first entry — O(log n) eviction instead of scanning the whole cache.
     recency: std::collections::BTreeMap<u64, u64>,
+    /// In-memory bucket-occupancy bitmaps (never written to the file; rebuilt from the
+    /// room region on [`FileStore::open`]), steering scans past empty buckets so a
+    /// precursor query touches only pages that actually hold matching rooms.
+    index: OccupancyIndex,
+    /// Page-cache lookups served (hits + faults) since creation/open.
+    page_lookups: u64,
+    /// Page-cache misses that faulted a page in from the file.
+    page_faults: u64,
+}
+
+/// Cumulative page-cache counters of a [`FileStore`] (reported by the `query_scaling`
+/// bench to show how many pages a query path actually touches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageCacheStats {
+    /// Cache lookups served (every room read/write touches one page).
+    pub lookups: u64,
+    /// Lookups that missed and faulted the page in from disk.
+    pub faults: u64,
 }
 
 /// A paged file-backed [`RoomStore`] with an LRU dirty-page write-back cache.
@@ -145,12 +164,18 @@ impl FileStore {
                 tick: 0,
                 pages: HashMap::new(),
                 recency: std::collections::BTreeMap::new(),
+                index: OccupancyIndex::new(width),
+                page_lookups: 0,
+                page_faults: 0,
             }),
         })
     }
 
     /// Opens an existing sketch file in place, validating the header and reading the tail.
-    /// The room region is **not** decoded — open cost is `O(header + tail)`.
+    /// The room region is **streamed once** (sequential reads, occupancy flags only, no
+    /// per-room decode or insert pass) to rebuild the in-memory occupancy index and
+    /// cross-check the header's occupied-room count — open cost is one sequential pass
+    /// over the file plus the (usually tiny) tail.
     pub fn open(path: &Path, cache_pages: usize) -> Result<(Self, FileHeader), PersistenceError> {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         let mut header = [0u8; PAGE_BYTES];
@@ -187,6 +212,14 @@ impl FileStore {
         let mut tail = vec![0u8; tail_len as usize];
         file.seek(SeekFrom::Start(tail_offset))?;
         file.read_exact(&mut tail)?;
+        let index = Self::rebuild_index(&mut file, &config)?;
+        let rebuilt_occupied = index.1;
+        if rebuilt_occupied != occupied as usize {
+            return Err(PersistenceError::Corrupt(format!(
+                "header claims {occupied} occupied rooms but the room region holds \
+                 {rebuilt_occupied}"
+            )));
+        }
         let store = Self {
             path: path.to_path_buf(),
             width: config.width,
@@ -199,9 +232,44 @@ impl FileStore {
                 tick: 0,
                 pages: HashMap::new(),
                 recency: std::collections::BTreeMap::new(),
+                index: index.0,
+                page_lookups: 0,
+                page_faults: 0,
             }),
         };
         Ok((store, FileHeader { config, items_inserted, tail }))
+    }
+
+    /// Streams the room region sequentially and rebuilds the occupancy index from the
+    /// per-record occupancy flags, bypassing the page cache (the pass is one-shot and
+    /// would otherwise evict the whole cache).  Returns the index and the number of
+    /// occupied rooms found.
+    fn rebuild_index(
+        file: &mut File,
+        config: &GssConfig,
+    ) -> Result<(OccupancyIndex, usize), PersistenceError> {
+        let width = config.width;
+        let rooms_per_bucket = config.rooms;
+        let mut index = OccupancyIndex::new(width);
+        let mut occupied = 0usize;
+        let mut page = [0u8; PAGE_BYTES];
+        let mut remaining = config.room_count();
+        let mut flat = 0usize;
+        file.seek(SeekFrom::Start(HEADER_BYTES))?;
+        while remaining > 0 {
+            file.read_exact(&mut page)?;
+            let records = (PAGE_BYTES / ROOM_RECORD_BYTES).min(remaining);
+            for record in 0..records {
+                if page[record * ROOM_RECORD_BYTES + ROOM_OCCUPIED_BYTE] != 0 {
+                    occupied += 1;
+                    let bucket = (flat + record) / rooms_per_bucket;
+                    index.mark(bucket / width, bucket % width);
+                }
+            }
+            flat += records;
+            remaining -= records;
+        }
+        Ok((index, occupied))
     }
 
     /// Location of the backing file.
@@ -242,8 +310,10 @@ impl FileStore {
     /// writing it back if dirty) on a miss.
     fn page(inner: &mut FileInner, page_index: u64, capacity: usize) -> io::Result<&mut Page> {
         inner.tick += 1;
+        inner.page_lookups += 1;
         let tick = inner.tick;
         if !inner.pages.contains_key(&page_index) {
+            inner.page_faults += 1;
             if inner.pages.len() >= capacity {
                 let (_, victim) =
                     inner.recency.pop_first().expect("cache is non-empty when at capacity");
@@ -305,6 +375,48 @@ impl FileStore {
     /// Flushes every dirty page to the file (pages stay cached, now clean).
     pub fn flush_pages(&self) -> io::Result<()> {
         self.inner_flush(&mut self.inner.lock())
+    }
+
+    /// Cumulative page-cache counters since this store was created or opened.
+    pub fn page_stats(&self) -> PageCacheStats {
+        let inner = self.inner.lock();
+        PageCacheStats { lookups: inner.page_lookups, faults: inner.page_faults }
+    }
+
+    /// Full-grid row scan ignoring the occupancy index — the pre-index behaviour, kept as
+    /// the measurable baseline (one lock for the whole scan, every bucket of the row
+    /// probed through the page cache).
+    pub fn scan_row_naive(&self, row: usize, visit: &mut dyn FnMut(usize, Room)) {
+        let start = self.room_index(row, 0, 0);
+        let rooms_per_row = self.width * self.rooms_per_bucket;
+        self.with_inner(|inner| {
+            for offset in 0..rooms_per_row {
+                let room = Self::read_room(inner, start + offset, self.cache_pages)?;
+                if room.occupied {
+                    visit(offset / self.rooms_per_bucket, room);
+                }
+            }
+            Ok(())
+        });
+    }
+
+    /// Full-grid column scan ignoring the occupancy index (see
+    /// [`scan_row_naive`](Self::scan_row_naive)); each probed bucket sits on a different
+    /// page once `m·l·16 > 4096`, which is what made naive precursor queries fault in
+    /// nearly the whole sketch file.
+    pub fn scan_column_naive(&self, column: usize, visit: &mut dyn FnMut(usize, Room)) {
+        self.with_inner(|inner| {
+            for row in 0..self.width {
+                let start = (row * self.width + column) * self.rooms_per_bucket;
+                for slot in 0..self.rooms_per_bucket {
+                    let room = Self::read_room(inner, start + slot, self.cache_pages)?;
+                    if room.occupied {
+                        visit(row, room);
+                    }
+                }
+            }
+            Ok(())
+        });
     }
 
     fn inner_flush(&self, inner: &mut FileInner) -> io::Result<()> {
@@ -413,6 +525,36 @@ impl RoomStore for FileStore {
         })
     }
 
+    fn probe_bucket(
+        &self,
+        row: usize,
+        column: usize,
+        source_fingerprint: u16,
+        destination_fingerprint: u16,
+        source_index: u8,
+        destination_index: u8,
+    ) -> BucketProbe {
+        let start = self.room_index(row, column, 0);
+        self.with_inner(|inner| {
+            let mut first_empty = None;
+            for slot in 0..self.rooms_per_bucket {
+                let room = Self::read_room(inner, start + slot, self.cache_pages)?;
+                if room.matches(
+                    source_fingerprint,
+                    destination_fingerprint,
+                    source_index,
+                    destination_index,
+                ) {
+                    return Ok(BucketProbe::Match(slot));
+                }
+                if !room.occupied && first_empty.is_none() {
+                    first_empty = Some(slot);
+                }
+            }
+            Ok(first_empty.map_or(BucketProbe::Full, BucketProbe::Empty))
+        })
+    }
+
     fn add_weight(&mut self, row: usize, column: usize, slot: usize, weight: i64) {
         let index = self.room_index(row, column, slot);
         self.with_inner(|inner| {
@@ -433,33 +575,21 @@ impl RoomStore for FileStore {
             );
             Self::write_room(inner, index, &room, self.cache_pages)?;
             inner.occupied_rooms += 1;
+            inner.index.mark(row, column);
             Ok(())
         });
     }
 
     fn scan_row(&self, row: usize, visit: &mut dyn FnMut(usize, Room)) {
-        let start = self.room_index(row, 0, 0);
-        let rooms_per_row = self.width * self.rooms_per_bucket;
-        self.with_inner(|inner| {
-            for offset in 0..rooms_per_row {
-                let room = Self::read_room(inner, start + offset, self.cache_pages)?;
-                if room.occupied {
-                    visit(offset / self.rooms_per_bucket, room);
-                }
-            }
-            Ok(())
-        });
+        self.with_inner(|inner| self.scan_row_locked(inner, row, visit));
     }
 
     fn scan_column(&self, column: usize, visit: &mut dyn FnMut(usize, Room)) {
         self.with_inner(|inner| {
-            for row in 0..self.width {
-                let start = (row * self.width + column) * self.rooms_per_bucket;
-                for slot in 0..self.rooms_per_bucket {
-                    let room = Self::read_room(inner, start + slot, self.cache_pages)?;
-                    if room.occupied {
-                        visit(row, room);
-                    }
+            for word_index in 0..inner.index.words_per_line() {
+                let word = inner.index.column_word(column, word_index);
+                for row in OccupancyIndex::set_positions(word_index, word) {
+                    self.visit_bucket(inner, row, column, &mut |room| visit(row, room))?;
                 }
             }
             Ok(())
@@ -467,19 +597,54 @@ impl RoomStore for FileStore {
     }
 
     fn scan_occupied(&self, visit: &mut dyn FnMut(usize, usize, Room)) {
-        let total = self.room_count_internal();
-        let per_bucket = self.rooms_per_bucket;
-        let width = self.width;
+        // Row-major over the occupancy bitmaps: the same ascending (row, column, slot)
+        // order as a flat pass, but sparse matrices skip their empty buckets.
         self.with_inner(|inner| {
-            for index in 0..total {
-                let room = Self::read_room(inner, index, self.cache_pages)?;
-                if room.occupied {
-                    let bucket = index / per_bucket;
-                    visit(bucket / width, bucket % width, room);
-                }
+            for row in 0..self.width {
+                self.scan_row_locked(inner, row, &mut |column, room| visit(row, column, room))?;
             }
             Ok(())
         });
+    }
+}
+
+impl FileStore {
+    /// One indexed row scan under an already-held lock: word-by-word over the row's
+    /// occupancy bitmap (each word is copied out of `inner` before the bucket reads,
+    /// which need `inner` mutably for the page cache), so only buckets that ever
+    /// received an edge are read.  Shared by `scan_row` and `scan_occupied`.
+    fn scan_row_locked(
+        &self,
+        inner: &mut FileInner,
+        row: usize,
+        visit: &mut dyn FnMut(usize, Room),
+    ) -> io::Result<()> {
+        for word_index in 0..inner.index.words_per_line() {
+            let word = inner.index.row_word(row, word_index);
+            for column in OccupancyIndex::set_positions(word_index, word) {
+                self.visit_bucket(inner, row, column, &mut |room| visit(column, room))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads bucket `(row, column)` through the page cache, visiting its occupied rooms
+    /// in slot order.
+    fn visit_bucket(
+        &self,
+        inner: &mut FileInner,
+        row: usize,
+        column: usize,
+        visit: &mut dyn FnMut(Room),
+    ) -> io::Result<()> {
+        let start = (row * self.width + column) * self.rooms_per_bucket;
+        for slot in 0..self.rooms_per_bucket {
+            let room = Self::read_room(inner, start + slot, self.cache_pages)?;
+            if room.occupied {
+                visit(room);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -610,5 +775,61 @@ mod tests {
     fn missing_file_reports_io_error() {
         let path = temp_path("missing-never-created");
         assert!(matches!(FileStore::open(&path, 2), Err(PersistenceError::Io(_))));
+    }
+
+    #[test]
+    fn reopen_rebuilds_the_occupancy_index_and_scans_skip_empty_buckets() {
+        let path = temp_path("index-rebuild");
+        {
+            let mut store = FileStore::create(&path, &GssConfig::paper_default(48), 4).unwrap();
+            store.store_room(7, 11, 0, sample_room(5));
+            store.store_room(7, 40, 1, sample_room(6));
+            store.store_room(33, 11, 0, sample_room(7));
+            store.write_tail(3, &[]).unwrap();
+        }
+        let (reopened, _) = FileStore::open(&path, 4).unwrap();
+        let mut row7 = Vec::new();
+        reopened.scan_row(7, &mut |column, room| row7.push((column, room.weight)));
+        assert_eq!(row7, vec![(11, 5), (40, 6)]);
+        let mut column11 = Vec::new();
+        reopened.scan_column(11, &mut |row, room| column11.push((row, room.weight)));
+        assert_eq!(column11, vec![(7, 5), (33, 7)]);
+        // The indexed column scan touches only the two pages holding occupied buckets of
+        // this column; the naive baseline probes all 48 and touches ~one page per bucket.
+        let before = reopened.page_stats();
+        let mut count = 0;
+        reopened.scan_column(11, &mut |_, _| count += 1);
+        let indexed_lookups = reopened.page_stats().lookups - before.lookups;
+        let before = reopened.page_stats();
+        reopened.scan_column_naive(11, &mut |_, _| count += 1);
+        let naive_lookups = reopened.page_stats().lookups - before.lookups;
+        assert_eq!(count, 4);
+        assert!(
+            indexed_lookups * 8 <= naive_lookups,
+            "indexed scan touched {indexed_lookups} pages, naive {naive_lookups}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn occupancy_flag_corruption_is_caught_on_open() {
+        let path = temp_path("occupancy-mismatch");
+        {
+            let mut store = FileStore::create(&path, &GssConfig::paper_default(8), 4).unwrap();
+            store.store_room(1, 1, 0, sample_room(1));
+            store.write_tail(1, &[]).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip the occupancy flag of a room deep in the region: the header still claims
+        // one occupied room, so the index rebuild detects the mismatch.
+        let room_offset = PAGE_BYTES + (5 * 8 + 5) * 2 * ROOM_RECORD_BYTES + ROOM_OCCUPIED_BYTE;
+        assert_eq!(bytes[room_offset], 0);
+        bytes[room_offset] = 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            FileStore::open(&path, 4),
+            Err(PersistenceError::Corrupt(message)) if message.contains("occupied")
+        ));
+        std::fs::remove_file(&path).ok();
     }
 }

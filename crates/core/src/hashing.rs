@@ -19,6 +19,108 @@ pub const LCG_INCREMENT: u64 = 74;
 /// Modulus of the linear congruential sequence (the Fermat prime 2^16 + 1).
 pub const LCG_MODULUS: u64 = 65_537;
 
+/// A precomputed mul-shift reciprocal (libdivide-style strength reduction): division and
+/// remainder by a runtime-constant divisor become one 64×64→128 multiplication each,
+/// replacing the hardware `div` in the per-item hot paths.
+///
+/// With `magic = ⌊2⁶⁴/d⌋ + 1` (exactly `2⁶⁴/d` when `d` is a power of two),
+///
+/// * `⌊magic·n / 2⁶⁴⌋ = ⌊n/d⌋` and
+/// * `⌊(magic·n mod 2⁶⁴)·d / 2⁶⁴⌋ = n mod d`
+///
+/// hold exactly for every `n` with `n·d < 2⁶⁴` (Granlund–Montgomery / Lemire): writing
+/// `magic·d = 2⁶⁴ + e` with `0 ≤ e ≤ d`, the error term `e·n/2⁶⁴` stays below one unit in
+/// both identities whenever `n·d < 2⁶⁴`.  Every use in this module keeps `d ≤ 2²⁰` (the
+/// matrix width cap) and `n < 2⁴¹`, far inside the bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reciprocal {
+    divisor: u64,
+    /// `⌊2⁶⁴/divisor⌋ + 1`, or 0 for `divisor == 1` (where both results are trivial).
+    magic: u64,
+}
+
+impl Reciprocal {
+    /// Precomputes the reciprocal of `divisor` (which must be positive).
+    pub fn new(divisor: u64) -> Self {
+        debug_assert!(divisor > 0, "reciprocal of zero");
+        // `⌊(2⁶⁴−1)/d⌋ + 1` equals `⌊2⁶⁴/d⌋ + 1` for d ∤ 2⁶⁴ and exactly `2⁶⁴/d` for a
+        // power of two — both forms satisfy the identities above.  d = 1 would overflow,
+        // so it is encoded as magic 0 (`rem` then correctly multiplies to 0).
+        let magic = if divisor == 1 { 0 } else { (u64::MAX / divisor) + 1 };
+        Self { divisor, magic }
+    }
+
+    /// The divisor this reciprocal was built for.
+    pub fn divisor(self) -> u64 {
+        self.divisor
+    }
+
+    /// `n % divisor`, exact for `n·divisor < 2⁶⁴`.
+    // Not the `Rem` trait: this is a scalar helper with a documented domain bound, and a
+    // `%` operator spelling would hide that it is an approximation outside the bound.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn rem(self, n: u64) -> u64 {
+        debug_assert!(
+            self.divisor == 1 || n.checked_mul(self.divisor).is_some(),
+            "n = {n} outside the exactness bound for divisor {}",
+            self.divisor
+        );
+        let low_bits = self.magic.wrapping_mul(n);
+        ((low_bits as u128 * self.divisor as u128) >> 64) as u64
+    }
+
+    /// `n / divisor`, exact for `n·divisor < 2⁶⁴`.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn div(self, n: u64) -> u64 {
+        debug_assert!(
+            self.divisor == 1 || n.checked_mul(self.divisor).is_some(),
+            "n = {n} outside the exactness bound for divisor {}",
+            self.divisor
+        );
+        if self.magic == 0 {
+            n
+        } else {
+            ((self.magic as u128 * n as u128) >> 64) as u64
+        }
+    }
+}
+
+/// `n mod 65537` without hardware division, specialised to the Fermat prime: folding with
+/// `2³² ≡ 1` and then `2¹⁶ ≡ −1 (mod 2¹⁶ + 1)` reduces any `u64` with a handful of
+/// shifts/adds.  Branch-free (the final normalisation is two flag-to-integer
+/// subtractions), so the LCG hot loops carry no data-dependent branches.  Bit-identical
+/// to `n % LCG_MODULUS`.
+#[inline]
+pub fn mod_fermat_65537(n: u64) -> u64 {
+    // 2³² ≡ 1: fold the halves; the sum is below 2³³.
+    let folded = (n >> 32) + (n & 0xFFFF_FFFF);
+    // 2¹⁶ ≡ −1: the residue is `lo − hi` with hi < 2¹⁷ and lo < 2¹⁶; biasing by 2·65537
+    // keeps it positive and below 3·65537, so at most two subtractions normalise it.
+    let biased = (folded & 0xFFFF) + 2 * LCG_MODULUS - (folded >> 16);
+    biased - LCG_MODULUS * (u64::from(biased >= LCG_MODULUS) + u64::from(biased >= 2 * LCG_MODULUS))
+}
+
+/// One step of the linear congruential recurrence, via a reduction specialised even
+/// further than [`mod_fermat_65537`]: `q` is a canonical residue (as every value this
+/// function produces is), so `n = a·q + b < 2²³` and its high fold `n ≫ 16 < 2⁷` — one
+/// biased subtraction normalises.  Bit-identical to `(a·q + b) % LCG_MODULUS`.
+#[inline]
+fn lcg_next(q: u64) -> u64 {
+    debug_assert!(q < LCG_MODULUS);
+    let n = LCG_MULTIPLIER * q + LCG_INCREMENT;
+    // 2¹⁶ ≡ −1 (mod 2¹⁶ + 1): n ≡ lo − hi; bias by the modulus to stay non-negative.
+    let biased = (n & 0xFFFF) + LCG_MODULUS - (n >> 16);
+    biased - LCG_MODULUS * u64::from(biased >= LCG_MODULUS)
+}
+
+/// First element `q₁` of the sequence for an arbitrary (not yet reduced) seed.
+#[inline]
+fn lcg_start(seed: u64) -> u64 {
+    lcg_next(mod_fermat_65537(seed))
+}
+
 /// The hashed identity of a node inside the sketch: its full hash `H(v)`, matrix address
 /// `h(v)` and fingerprint `f(v)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -33,22 +135,43 @@ pub struct HashedNode {
 
 /// The node hash function of a sketch instance, together with the geometry needed to split
 /// hashes into addresses and fingerprints and to generate address sequences.
+///
+/// All per-item arithmetic is division-free: the fingerprint range `F` is a power of two
+/// (shift/mask), reductions modulo the width go through a precomputed [`Reciprocal`], and
+/// the linear congruential sequence reduces modulo its Fermat-prime modulus with
+/// [`mod_fermat_65537`].  Every result is bit-identical to the straightforward `%`/`/`
+/// arithmetic (property-tested below), so hashes, sketches and snapshots are unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeHasher {
     width: u64,
     fingerprint_range: u64,
     seed: u64,
     sequence_length: usize,
+    /// log₂ `F`, for the shift/mask address–fingerprint split.
+    fingerprint_shift: u32,
+    /// Mul-shift reciprocal of the matrix width `m`.
+    width_reciprocal: Reciprocal,
+    /// `2³² mod m`, for the two-step reduction of 63-bit quotients modulo the width.
+    pow32_mod_width: u64,
+    /// Mul-shift reciprocal of the sequence length `r` (candidate-pair decomposition).
+    sequence_reciprocal: Reciprocal,
 }
 
 impl NodeHasher {
     /// Builds the hasher described by `config`.
     pub fn new(config: &GssConfig) -> Self {
+        let width = config.width as u64;
+        let fingerprint_range = config.fingerprint_range();
+        let width_reciprocal = Reciprocal::new(width);
         Self {
-            width: config.width as u64,
-            fingerprint_range: config.fingerprint_range(),
+            width,
+            fingerprint_range,
             seed: config.hash_seed,
             sequence_length: config.sequence_length,
+            fingerprint_shift: fingerprint_range.trailing_zeros(),
+            width_reciprocal,
+            pow32_mod_width: width_reciprocal.rem(1u64 << 32),
+            sequence_reciprocal: Reciprocal::new(config.sequence_length as u64),
         }
     }
 
@@ -66,8 +189,16 @@ impl NodeHasher {
     }
 
     /// Maps an original vertex id to its full hash `H(v) ∈ [0, M)`.
+    ///
+    /// Division-free: with `F = 2^b`, `n mod m·F = ((n ≫ b) mod m)·F + (n mod F)`, and the
+    /// 63-bit quotient `n ≫ b` reduces modulo the width in two reciprocal mul-shifts
+    /// (split at 32 bits so each step stays inside the [`Reciprocal`] exactness bound).
     pub fn hash_vertex(&self, vertex: u64) -> u64 {
-        self.mix(vertex) % self.hash_range()
+        let n = self.mix(vertex);
+        let low = n & (self.fingerprint_range - 1);
+        let t = n >> self.fingerprint_shift;
+        let partial = self.width_reciprocal.rem(t >> 32) * self.pow32_mod_width + (t & 0xFFFF_FFFF);
+        (self.width_reciprocal.rem(partial) << self.fingerprint_shift) | low
     }
 
     /// Maps an original vertex id to its [`HashedNode`] (hash, address, fingerprint).
@@ -76,11 +207,12 @@ impl NodeHasher {
     }
 
     /// Splits a full hash into address and fingerprint (`h(v) = ⌊H/F⌋`, `f(v) = H mod F`).
+    /// `F` is a power of two, so the split is a shift and a mask.
     pub fn split(&self, hash: u64) -> HashedNode {
         HashedNode {
             hash,
-            address: (hash / self.fingerprint_range) as usize,
-            fingerprint: (hash % self.fingerprint_range) as u16,
+            address: (hash >> self.fingerprint_shift) as usize,
+            fingerprint: (hash & (self.fingerprint_range - 1)) as u16,
         }
     }
 
@@ -98,7 +230,7 @@ impl NodeHasher {
     pub fn address_sequence(&self, node: HashedNode) -> Vec<usize> {
         self.lcg_sequence(node.fingerprint)
             .into_iter()
-            .map(|q| ((node.address as u64 + q) % self.width) as usize)
+            .map(|q| self.width_reciprocal.rem(node.address as u64 + q) as usize)
             .collect()
     }
 
@@ -106,11 +238,10 @@ impl NodeHasher {
     /// first `r` entries of `out` and returns `r`.  Used on the per-item insert path.
     pub fn address_sequence_into(&self, node: HashedNode, out: &mut [usize]) -> usize {
         let length = self.sequence_length.min(out.len());
-        let mut q = (LCG_MULTIPLIER * (node.fingerprint as u64 % LCG_MODULUS) + LCG_INCREMENT)
-            % LCG_MODULUS;
+        let mut q = lcg_start(node.fingerprint as u64);
         for slot in out.iter_mut().take(length) {
-            *slot = ((node.address as u64 + q) % self.width) as usize;
-            q = (LCG_MULTIPLIER * q + LCG_INCREMENT) % LCG_MODULUS;
+            *slot = self.width_reciprocal.rem(node.address as u64 + q) as usize;
+            q = lcg_next(q);
         }
         length
     }
@@ -124,13 +255,13 @@ impl NodeHasher {
         candidates: usize,
         out: &mut [(usize, usize)],
     ) -> usize {
-        let r = self.sequence_length as u64;
         let seed = source_fingerprint as u64 + destination_fingerprint as u64;
         let count = candidates.min(out.len());
-        let mut q = (LCG_MULTIPLIER * (seed % LCG_MODULUS) + LCG_INCREMENT) % LCG_MODULUS;
+        let mut q = lcg_start(seed);
         for slot in out.iter_mut().take(count) {
-            *slot = ((((q / r) % r) as usize), ((q % r) as usize));
-            q = (LCG_MULTIPLIER * q + LCG_INCREMENT) % LCG_MODULUS;
+            let r = self.sequence_reciprocal;
+            *slot = ((r.rem(r.div(q)) as usize), (r.rem(q) as usize));
+            q = lcg_next(q);
         }
         count
     }
@@ -138,9 +269,15 @@ impl NodeHasher {
     /// Recovers the original matrix address `h(v)` from the row/column `position` a room was
     /// found at, the stored fingerprint, and the stored 0-based sequence index — the inverse
     /// of [`address_sequence`](Self::address_sequence), used by successor/precursor queries.
+    /// Allocation-free: this runs once per matching room during a scan, so the LCG is
+    /// replayed inline instead of materialising the sequence.
     pub fn recover_address(&self, position: usize, fingerprint: u16, index: usize) -> usize {
-        let q = lcg_sequence(fingerprint as u64, index + 1)[index] % self.width;
-        ((position as u64 + self.width - q) % self.width) as usize
+        let mut q = lcg_start(fingerprint as u64);
+        for _ in 0..index {
+            q = lcg_next(q);
+        }
+        let q = self.width_reciprocal.rem(q);
+        self.width_reciprocal.rem(position as u64 + self.width - q) as usize
     }
 
     /// Recovers the full hash `H(v)` from a room's position, fingerprint and sequence index.
@@ -157,11 +294,11 @@ impl NodeHasher {
         destination_fingerprint: u16,
         candidates: usize,
     ) -> Vec<(usize, usize)> {
-        let r = self.sequence_length as u64;
+        let r = self.sequence_reciprocal;
         let seed = source_fingerprint as u64 + destination_fingerprint as u64;
         lcg_sequence(seed, candidates)
             .into_iter()
-            .map(|q| ((((q / r) % r) as usize), ((q % r) as usize)))
+            .map(|q| ((r.rem(r.div(q)) as usize), (r.rem(q) as usize)))
             .collect()
     }
 }
@@ -169,10 +306,10 @@ impl NodeHasher {
 /// The raw linear congruential sequence of Equation 1 / Equation 4.
 pub fn lcg_sequence(seed: u64, length: usize) -> Vec<u64> {
     let mut out = Vec::with_capacity(length);
-    let mut current = (LCG_MULTIPLIER * (seed % LCG_MODULUS) + LCG_INCREMENT) % LCG_MODULUS;
+    let mut current = lcg_start(seed);
     for _ in 0..length {
         out.push(current);
-        current = (LCG_MULTIPLIER * current + LCG_INCREMENT) % LCG_MODULUS;
+        current = lcg_next(current);
     }
     out
 }
@@ -300,5 +437,128 @@ mod tests {
         let a = h.candidate_pairs(1, 2, 16);
         let b = h.candidate_pairs(3, 4, 16);
         assert_ne!(a, b);
+    }
+
+    /// A deterministic pseudo-random walk over u64 (SplitMix-ish), for the bit-identity
+    /// sweeps below.
+    fn walk(state: &mut u64) -> u64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state ^ (*state >> 29)
+    }
+
+    #[test]
+    fn reciprocal_matches_hardware_division_inside_the_bound() {
+        let divisors = [1u64, 2, 3, 5, 7, 16, 63, 64, 65, 1000, 65_537, (1 << 20) - 1, 1 << 20];
+        let mut state = 0x1D5A_F00Du64;
+        for &d in &divisors {
+            let r = Reciprocal::new(d);
+            assert_eq!(r.divisor(), d);
+            // Boundary numerators plus a random sweep, all within n·d < 2⁶⁴.
+            let cap = u64::MAX / d;
+            let mut numerators = vec![0, 1, d - 1, d, d.saturating_add(1), cap - 1, cap];
+            for _ in 0..2000 {
+                let n = walk(&mut state);
+                numerators.push(if cap == u64::MAX { n } else { n % (cap + 1) });
+            }
+            for n in numerators {
+                assert_eq!(r.rem(n), n % d, "rem: {n} % {d}");
+                assert_eq!(r.div(n), n / d, "div: {n} / {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn fermat_reduction_matches_hardware_modulus() {
+        for n in 0..200_000u64 {
+            assert_eq!(mod_fermat_65537(n), n % LCG_MODULUS, "n = {n}");
+        }
+        let mut state = 0xFE12_34ABu64;
+        for _ in 0..200_000 {
+            let n = walk(&mut state);
+            assert_eq!(mod_fermat_65537(n), n % LCG_MODULUS, "n = {n}");
+        }
+        for n in [u64::MAX, u64::MAX - 1, 1 << 32, (1 << 32) - 1, (1 << 32) + 1] {
+            assert_eq!(mod_fermat_65537(n), n % LCG_MODULUS, "n = {n}");
+        }
+    }
+
+    /// The division-free hot path is bit-identical to the plain `%`/`/` arithmetic it
+    /// replaced, across widths (including 1, powers of two and the cap), fingerprint
+    /// sizes and sequence lengths.
+    #[test]
+    fn division_free_hashing_is_bit_identical_to_reference_arithmetic() {
+        let widths =
+            [1usize, 2, 3, 7, 64, 160, 997, 1000, 1024, 4096, 99_991, crate::config::MAX_WIDTH];
+        let mut state = 0x0B17_1DE9u64;
+        for &width in &widths {
+            for bits in [1u32, 8, 12, 16] {
+                for sequence_length in [1usize, 5, 8, 16] {
+                    let config = GssConfig {
+                        sequence_length,
+                        candidates: sequence_length,
+                        square_hashing: sequence_length > 1,
+                        sampling: sequence_length > 1,
+                        ..GssConfig::paper_default(width).with_fingerprint_bits(bits)
+                    };
+                    let h = NodeHasher::new(&config);
+                    let range = h.hash_range();
+                    let fingerprint_range = config.fingerprint_range();
+                    for _ in 0..200 {
+                        let vertex = walk(&mut state);
+                        // hash_vertex ≡ mix % M, split ≡ (/F, %F).
+                        let hash = h.hash_vertex(vertex);
+                        let node = h.hashed_node(vertex);
+                        assert_eq!(node.address as u64, hash / fingerprint_range);
+                        assert_eq!(node.fingerprint as u64, hash % fingerprint_range);
+                        assert!(hash < range);
+                        // Address sequence ≡ (h + qᵢ) % m over the reference LCG.
+                        let mut q = (LCG_MULTIPLIER * (node.fingerprint as u64 % LCG_MODULUS)
+                            + LCG_INCREMENT)
+                            % LCG_MODULUS;
+                        for &address in &h.address_sequence(node) {
+                            assert_eq!(
+                                address as u64,
+                                (node.address as u64 + q) % h.width,
+                                "width {width} bits {bits}"
+                            );
+                            q = (LCG_MULTIPLIER * q + LCG_INCREMENT) % LCG_MODULUS;
+                        }
+                        // Candidate pairs ≡ ((q/r) % r, q % r) over the reference LCG.
+                        let other = h.hash_vertex(walk(&mut state)) % fingerprint_range;
+                        let seed = node.fingerprint as u64 + other;
+                        let r = sequence_length as u64;
+                        let mut q =
+                            (LCG_MULTIPLIER * (seed % LCG_MODULUS) + LCG_INCREMENT) % LCG_MODULUS;
+                        for &(i, j) in
+                            &h.candidate_pairs(node.fingerprint, other as u16, sequence_length)
+                        {
+                            assert_eq!((i as u64, j as u64), ((q / r) % r, q % r));
+                            q = (LCG_MULTIPLIER * q + LCG_INCREMENT) % LCG_MODULUS;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_mix_reduction_agrees_for_the_paper_configurations() {
+        // The exact end-to-end check the refactor must preserve: H(v) for the shipped
+        // configurations equals the pre-refactor `mix(v) % M` value.
+        for config in
+            [GssConfig::paper_default(1000), GssConfig::paper_small(160), GssConfig::basic(64)]
+        {
+            let h = NodeHasher::new(&config);
+            let mut state = 0xACCE_55EDu64;
+            for _ in 0..5000 {
+                let vertex = walk(&mut state);
+                let mut z =
+                    vertex.wrapping_add(config.hash_seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                assert_eq!(h.hash_vertex(vertex), z % h.hash_range());
+            }
+        }
     }
 }

@@ -76,11 +76,14 @@ pub use config::{
     MAX_WIDTH,
 };
 pub use error::ConfigError;
-pub use file_store::FileStore;
-pub use hashing::{HashedNode, NodeHasher};
+pub use file_store::{FileStore, PageCacheStats};
+pub use hashing::{HashedNode, NodeHasher, Reciprocal};
 pub use matrix::MemoryStore;
 pub use merge::HashedEdge;
 pub use persistence::PersistenceError;
 pub use sketch::GssSketch;
 pub use stats::GssStats;
-pub use storage::{RoomStorage, RoomStore, StorageBackend, ROOM_RECORD_BYTES};
+pub use storage::{
+    naive_scan_column, naive_scan_row, BucketProbe, OccupancyIndex, RoomStorage, RoomStore,
+    StorageBackend, ROOM_RECORD_BYTES,
+};

@@ -8,12 +8,14 @@
 //!
 //! Rooms are stored in a flat `Vec` in row-major bucket order; scanning a row (for successor
 //! queries) walks a contiguous region, scanning a column (for precursor queries) strides by
-//! `m × l`, mirroring the cache behaviour the paper discusses.
+//! `m × l`, mirroring the cache behaviour the paper discusses.  An
+//! [`OccupancyIndex`] (per-row and per-column bucket bitmaps) makes both scans
+//! load-factor-proportional: only buckets that ever received an edge are probed.
 //!
 //! [`MemoryStore`] is the dense default backend of the [`RoomStore`] abstraction; the
 //! paged file backend lives in [`crate::file_store`].
 
-use crate::storage::RoomStore;
+use crate::storage::{BucketProbe, OccupancyIndex, RoomStore};
 use serde::{Deserialize, Serialize};
 
 /// One room: storage for a single sketch edge.
@@ -58,6 +60,9 @@ pub struct MemoryStore {
     rooms_per_bucket: usize,
     rooms: Vec<Room>,
     occupied_rooms: usize,
+    /// Bucket-occupancy bitmaps steering [`RoomStore::scan_row`] /
+    /// [`RoomStore::scan_column`] past empty buckets.
+    index: OccupancyIndex,
 }
 
 /// Former name of [`MemoryStore`], kept as an alias for existing callers.
@@ -71,6 +76,7 @@ impl MemoryStore {
             rooms_per_bucket,
             rooms: vec![Room::default(); width * width * rooms_per_bucket],
             occupied_rooms: 0,
+            index: OccupancyIndex::new(width),
         }
     }
 
@@ -174,10 +180,17 @@ impl MemoryStore {
             occupied: true,
         };
         self.occupied_rooms += 1;
+        self.index.mark(row, column);
     }
 
-    /// Iterates over the occupied rooms of matrix row `row` as `(column, &Room)` pairs
-    /// (used by the 1-hop successor query).
+    /// The bucket-occupancy bitmaps (exposed for white-box tests and memory accounting).
+    pub fn occupancy_index(&self) -> &OccupancyIndex {
+        &self.index
+    }
+
+    /// Iterates over the occupied rooms of matrix row `row` as `(column, &Room)` pairs by
+    /// walking the full row — the index-free reference behaviour; the hot path is the
+    /// indexed [`RoomStore::scan_row`].
     pub fn row_rooms(&self, row: usize) -> impl Iterator<Item = (usize, &Room)> {
         let start = row * self.width * self.rooms_per_bucket;
         let end = start + self.width * self.rooms_per_bucket;
@@ -190,7 +203,8 @@ impl MemoryStore {
     }
 
     /// Iterates over the occupied rooms of matrix column `column` as `(row, &Room)` pairs
-    /// (used by the 1-hop precursor query).
+    /// by walking the full column — the index-free reference behaviour; the hot path is
+    /// the indexed [`RoomStore::scan_column`].
     pub fn column_rooms(&self, column: usize) -> impl Iterator<Item = (usize, &Room)> + '_ {
         (0..self.width).flat_map(move |row| {
             self.bucket(row, column)
@@ -256,6 +270,32 @@ impl RoomStore for MemoryStore {
         MemoryStore::find_empty(self, row, column)
     }
 
+    fn probe_bucket(
+        &self,
+        row: usize,
+        column: usize,
+        source_fingerprint: u16,
+        destination_fingerprint: u16,
+        source_index: u8,
+        destination_index: u8,
+    ) -> BucketProbe {
+        let mut first_empty = None;
+        for (slot, room) in self.bucket(row, column).iter().enumerate() {
+            if room.matches(
+                source_fingerprint,
+                destination_fingerprint,
+                source_index,
+                destination_index,
+            ) {
+                return BucketProbe::Match(slot);
+            }
+            if !room.occupied && first_empty.is_none() {
+                first_empty = Some(slot);
+            }
+        }
+        first_empty.map_or(BucketProbe::Full, BucketProbe::Empty)
+    }
+
     fn add_weight(&mut self, row: usize, column: usize, slot: usize, weight: i64) {
         MemoryStore::add_weight(self, row, column, slot, weight);
     }
@@ -275,20 +315,38 @@ impl RoomStore for MemoryStore {
     }
 
     fn scan_row(&self, row: usize, visit: &mut dyn FnMut(usize, Room)) {
-        for (column, room) in self.row_rooms(row) {
-            visit(column, *room);
-        }
+        // Index-steered: only buckets that ever received an edge are probed, in the same
+        // ascending (column, slot) order the full scan produced.
+        self.index.for_each_in_row(row, |column| {
+            for room in self.bucket(row, column) {
+                if room.occupied {
+                    visit(column, *room);
+                }
+            }
+        });
     }
 
     fn scan_column(&self, column: usize, visit: &mut dyn FnMut(usize, Room)) {
-        for (row, room) in self.column_rooms(column) {
-            visit(row, *room);
-        }
+        self.index.for_each_in_column(column, |row| {
+            for room in self.bucket(row, column) {
+                if room.occupied {
+                    visit(row, *room);
+                }
+            }
+        });
     }
 
     fn scan_occupied(&self, visit: &mut dyn FnMut(usize, usize, Room)) {
-        for (row, column, room) in self.occupied() {
-            visit(row, column, *room);
+        // Same ascending (row, column, slot) order as the flat iteration, but sparse
+        // matrices skip their empty buckets (this is the snapshot-write path).
+        for row in 0..self.width {
+            self.index.for_each_in_row(row, |column| {
+                for room in self.bucket(row, column) {
+                    if room.occupied {
+                        visit(row, column, *room);
+                    }
+                }
+            });
         }
     }
 

@@ -17,7 +17,10 @@
 //! The format is versioned ([`FORMAT_MAGIC`]) and only stores *occupied* rooms, each as
 //! `row u32 | column u32 |` the same fixed 16-byte room record
 //! ([`crate::storage::ROOM_RECORD_BYTES`]) used by the `FileStore` file body — one record
-//! layout for every byte of room state, wherever it lives.  File-backed sketches
+//! layout for every byte of room state, wherever it lives.  The bucket-occupancy index
+//! ([`crate::storage::OccupancyIndex`]) is never serialised: restore replays each room
+//! through the store, which rebuilds the bitmaps as a side effect, so snapshot bytes are
+//! identical with or without the index.  File-backed sketches
 //! additionally checkpoint **in place**: their sketch file reopens directly via
 //! [`GssSketch::open_file`] with no decode pass over the matrix (see
 //! [`crate::file_store`]); the tail sections of that file reuse the buffer/node encoders

@@ -27,7 +27,7 @@ use crate::matrix::MemoryStore;
 use crate::node_map::NodeIdMap;
 use crate::persistence::PersistenceError;
 use crate::stats::GssStats;
-use crate::storage::{RoomStorage, RoomStore, StorageBackend};
+use crate::storage::{BucketProbe, RoomStorage, RoomStore, StorageBackend};
 use gss_graph::{StreamEdge, SummaryRead, SummaryStats, SummaryWrite, VertexId, Weight};
 use std::collections::HashMap;
 use std::path::Path;
@@ -117,8 +117,9 @@ impl GssSketch {
 
     /// Reopens a file-backed sketch **in place**: the sketch file written by a previous
     /// file-backed run (and checkpointed by [`sync`](Self::sync) or drop) becomes this
-    /// sketch's live storage with no decode pass over the room matrix — open cost is
-    /// proportional to the buffer and node table, not to the matrix.
+    /// sketch's live storage with no per-room decode or insert pass — open streams the
+    /// room region once to rebuild the in-memory bucket-occupancy index (sequential
+    /// occupancy-flag reads), then decodes only the buffer and node table.
     ///
     /// # Errors
     /// Returns a [`PersistenceError`] if the file is missing, truncated, from a different
@@ -165,6 +166,13 @@ impl GssSketch {
     /// Which storage backend the matrix uses (`"memory"` or `"file"`).
     pub fn storage_backend(&self) -> &'static str {
         self.matrix.backend_name()
+    }
+
+    /// The room storage behind this sketch — white-box access for benches and equivalence
+    /// tests (naive reference scans, page-cache statistics via
+    /// [`RoomStorage::as_file`]).
+    pub fn room_storage(&self) -> &RoomStorage {
+        &self.matrix
     }
 
     /// Builds a sketch with the paper's default parameters at the given matrix width.
@@ -220,6 +228,7 @@ impl GssSketch {
             buffer_percentage: self.buffer_percentage(),
             matrix_load_factor: self.matrix.load_factor(),
             matrix_bytes: self.config.matrix_bytes(),
+            occupancy_index_bytes: self.config.occupancy_index_bytes(),
             buffer_bytes: self.buffer.bytes(),
             node_map_bytes: self.node_map.bytes(),
             distinct_hashed_nodes: self.node_map.len(),
@@ -333,11 +342,18 @@ impl GssSketch {
 
     /// The rows scanned by a successor query (columns for a precursor query): the node's
     /// address sequence under square hashing, or its single address in the basic version.
-    fn scan_addresses(&self, node: HashedNode) -> Vec<usize> {
+    /// Allocation-free: fills the stack array `out` and returns the count, like
+    /// [`collect_candidates`](Self::collect_candidates) on the insert path.
+    fn scan_addresses_into(
+        &self,
+        node: HashedNode,
+        out: &mut [usize; crate::config::MAX_SEQUENCE_LENGTH],
+    ) -> usize {
         if self.config.square_hashing {
-            self.hasher.address_sequence(node)
+            self.hasher.address_sequence_into(node, out)
         } else {
-            vec![node.address]
+            out[0] = node.address;
+            1
         }
     }
 
@@ -435,7 +451,10 @@ impl GssSketch {
     }
 
     /// Walks `candidates` in probe order and places the edge: add to a matching room, claim
-    /// the first free room, or spill to the buffer.
+    /// the first free room, or spill to the buffer.  Each bucket is probed in **one pass**
+    /// ([`RoomStore::probe_bucket`]) that answers match/first-empty/full together,
+    /// replacing the former `find_match`-then-`find_empty` double scan — half the bucket
+    /// reads per candidate, and half the page-cache lookups on the file backend.
     fn place_edge(
         &mut self,
         source_node: HashedNode,
@@ -444,7 +463,7 @@ impl GssSketch {
         weight: Weight,
     ) {
         for candidate in candidates {
-            if let Some(slot) = self.matrix.find_match(
+            match self.matrix.probe_bucket(
                 candidate.row,
                 candidate.column,
                 source_node.fingerprint,
@@ -452,24 +471,27 @@ impl GssSketch {
                 candidate.source_index,
                 candidate.destination_index,
             ) {
-                self.matrix.add_weight(candidate.row, candidate.column, slot, weight);
-                return;
-            }
-            if let Some(slot) = self.matrix.find_empty(candidate.row, candidate.column) {
-                self.matrix.store_room(
-                    candidate.row,
-                    candidate.column,
-                    slot,
-                    crate::matrix::Room {
-                        source_fingerprint: source_node.fingerprint,
-                        destination_fingerprint: destination_node.fingerprint,
-                        source_index: candidate.source_index,
-                        destination_index: candidate.destination_index,
-                        weight,
-                        occupied: true,
-                    },
-                );
-                return;
+                BucketProbe::Match(slot) => {
+                    self.matrix.add_weight(candidate.row, candidate.column, slot, weight);
+                    return;
+                }
+                BucketProbe::Empty(slot) => {
+                    self.matrix.store_room(
+                        candidate.row,
+                        candidate.column,
+                        slot,
+                        crate::matrix::Room {
+                            source_fingerprint: source_node.fingerprint,
+                            destination_fingerprint: destination_node.fingerprint,
+                            source_index: candidate.source_index,
+                            destination_index: candidate.destination_index,
+                            weight,
+                            occupied: true,
+                        },
+                    );
+                    return;
+                }
+                BucketProbe::Full => {}
             }
         }
         self.buffer.insert(source_node.hash, destination_node.hash, weight);
@@ -506,7 +528,9 @@ impl GssSketch {
     pub fn successor_hashes(&self, vertex: VertexId) -> Vec<u64> {
         let node = self.hasher.hashed_node(vertex);
         let mut result: Vec<u64> = Vec::new();
-        for (index, &row) in self.scan_addresses(node).iter().enumerate() {
+        let mut addresses = [0usize; crate::config::MAX_SEQUENCE_LENGTH];
+        let count = self.scan_addresses_into(node, &mut addresses);
+        for (index, &row) in addresses[..count].iter().enumerate() {
             self.matrix.scan_row(row, &mut |column, room| {
                 if room.source_fingerprint == node.fingerprint
                     && room.source_index as usize == index
@@ -529,7 +553,9 @@ impl GssSketch {
     pub fn precursor_hashes(&self, vertex: VertexId) -> Vec<u64> {
         let node = self.hasher.hashed_node(vertex);
         let mut result: Vec<u64> = Vec::new();
-        for (index, &column) in self.scan_addresses(node).iter().enumerate() {
+        let mut addresses = [0usize; crate::config::MAX_SEQUENCE_LENGTH];
+        let count = self.scan_addresses_into(node, &mut addresses);
+        for (index, &column) in addresses[..count].iter().enumerate() {
             self.matrix.scan_column(column, &mut |row, room| {
                 if room.destination_fingerprint == node.fingerprint
                     && room.destination_index as usize == index

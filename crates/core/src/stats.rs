@@ -26,6 +26,9 @@ pub struct GssStats {
     pub matrix_load_factor: f64,
     /// Matrix bytes under the paper's storage layout.
     pub matrix_bytes: usize,
+    /// Bytes of the bucket-occupancy bitmaps steering row/column scans (an acceleration
+    /// structure outside the paper's layout, so excluded from equal-memory comparisons).
+    pub occupancy_index_bytes: usize,
     /// Buffer bytes (adjacency lists + indices).
     pub buffer_bytes: usize,
     /// Bytes of the `⟨H(v), v⟩` reverse table.
@@ -37,9 +40,9 @@ pub struct GssStats {
 }
 
 impl GssStats {
-    /// Total bytes across matrix, buffer and reverse table.
+    /// Total bytes across matrix, occupancy index, buffer and reverse table.
     pub fn total_bytes(&self) -> usize {
-        self.matrix_bytes + self.buffer_bytes + self.node_map_bytes
+        self.matrix_bytes + self.occupancy_index_bytes + self.buffer_bytes + self.node_map_bytes
     }
 
     /// Fraction of original vertices involved in at least one hash collision, a cheap proxy
@@ -68,6 +71,7 @@ mod tests {
             buffer_percentage: 0.1,
             matrix_load_factor: 0.045,
             matrix_bytes: 260_000,
+            occupancy_index_bytes: 3_200,
             buffer_bytes: 2_400,
             node_map_bytes: 16_000,
             distinct_hashed_nodes: 500,
@@ -77,7 +81,7 @@ mod tests {
 
     #[test]
     fn total_bytes_sums_components() {
-        assert_eq!(sample().total_bytes(), 260_000 + 2_400 + 16_000);
+        assert_eq!(sample().total_bytes(), 260_000 + 3_200 + 2_400 + 16_000);
     }
 
     #[test]

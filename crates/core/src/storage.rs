@@ -26,11 +26,139 @@ use crate::config::GssConfig;
 use crate::file_store::FileStore;
 use crate::matrix::{MemoryStore, Room};
 use crate::persistence::PersistenceError;
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+
+/// Compact per-row and per-column bucket-occupancy bitmaps.
+///
+/// One bit per bucket in each direction (`2·m²/8` bytes total, under 1% of matrix memory
+/// at `l = 2`), set on the first [`RoomStore::store_room`] into a bucket and never
+/// cleared (rooms are never freed — deletions zero weights but keep rooms occupied).
+/// Row/column scans walk set bits with popcount-guided jumps instead of probing every
+/// bucket, which makes successor/precursor queries proportional to the load factor
+/// rather than to the matrix geometry.
+///
+/// The index is a pure acceleration structure: it never reaches disk or snapshots (file
+/// format and snapshot bytes stay identical) and is rebuilt from room occupancy on
+/// [`open_file`](crate::GssSketch::open_file) and snapshot restore.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OccupancyIndex {
+    width: usize,
+    words_per_line: usize,
+    /// `width` lines of `words_per_line` words; bit `c` of line `r` ⇔ bucket `(r, c)`
+    /// holds at least one occupied room.
+    rows: Vec<u64>,
+    /// The transposed mirror: bit `r` of line `c` ⇔ bucket `(r, c)` is occupied.
+    columns: Vec<u64>,
+}
+
+impl OccupancyIndex {
+    /// An all-empty index for a `width × width` bucket grid.
+    pub fn new(width: usize) -> Self {
+        let words_per_line = width.div_ceil(64);
+        Self {
+            width,
+            words_per_line,
+            rows: vec![0; width * words_per_line],
+            columns: vec![0; width * words_per_line],
+        }
+    }
+
+    /// Marks bucket `(row, column)` as holding at least one occupied room.
+    #[inline]
+    pub fn mark(&mut self, row: usize, column: usize) {
+        debug_assert!(row < self.width && column < self.width);
+        self.rows[row * self.words_per_line + column / 64] |= 1u64 << (column % 64);
+        self.columns[column * self.words_per_line + row / 64] |= 1u64 << (row % 64);
+    }
+
+    /// Whether bucket `(row, column)` has been marked occupied.
+    #[inline]
+    pub fn contains(&self, row: usize, column: usize) -> bool {
+        self.rows[row * self.words_per_line + column / 64] & (1u64 << (column % 64)) != 0
+    }
+
+    /// Number of 64-bit words per bitmap line.
+    #[inline]
+    pub fn words_per_line(&self) -> usize {
+        self.words_per_line
+    }
+
+    /// The `word`-th bitmap word of row `row` (occupied columns of that row).
+    #[inline]
+    pub fn row_word(&self, row: usize, word: usize) -> u64 {
+        self.rows[row * self.words_per_line + word]
+    }
+
+    /// The `word`-th bitmap word of column `column` (occupied rows of that column).
+    #[inline]
+    pub fn column_word(&self, column: usize, word: usize) -> u64 {
+        self.columns[column * self.words_per_line + word]
+    }
+
+    /// Visits the occupied columns of `row` in ascending order.
+    pub fn for_each_in_row(&self, row: usize, visit: impl FnMut(usize)) {
+        Self::for_each_set(&self.rows[row * self.words_per_line..][..self.words_per_line], visit);
+    }
+
+    /// Visits the occupied rows of `column` in ascending order.
+    pub fn for_each_in_column(&self, column: usize, visit: impl FnMut(usize)) {
+        Self::for_each_set(
+            &self.columns[column * self.words_per_line..][..self.words_per_line],
+            visit,
+        );
+    }
+
+    /// Heap bytes of the two bitmaps.
+    pub fn bytes(&self) -> usize {
+        (self.rows.len() + self.columns.len()) * std::mem::size_of::<u64>()
+    }
+
+    /// The set bit positions of one bitmap word, offset by `word_index · 64` — the single
+    /// home of the `trailing_zeros`/`bits &= bits − 1` walk.  Callers that cannot hold a
+    /// borrow of the index across the visit (the file backend's index shares a lock with
+    /// its page cache) copy a word out with [`row_word`](Self::row_word) /
+    /// [`column_word`](Self::column_word) and iterate it here.
+    pub fn set_positions(word_index: usize, mut word: u64) -> impl Iterator<Item = usize> {
+        std::iter::from_fn(move || {
+            if word == 0 {
+                None
+            } else {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                Some(word_index * 64 + bit)
+            }
+        })
+    }
+
+    fn for_each_set(line: &[u64], mut visit: impl FnMut(usize)) {
+        for (word_index, &word) in line.iter().enumerate() {
+            for position in Self::set_positions(word_index, word) {
+                visit(position);
+            }
+        }
+    }
+}
+
+/// The outcome of a fused single-pass bucket probe ([`RoomStore::probe_bucket`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BucketProbe {
+    /// The bucket holds the probed edge at this slot.
+    Match(usize),
+    /// No match; this is the first empty slot.
+    Empty(usize),
+    /// No match and no empty slot.
+    Full,
+}
 
 /// Size of one encoded room record in bytes (fingerprint pair, index pair, occupancy flag,
 /// one pad byte, 8-byte weight).
 pub const ROOM_RECORD_BYTES: usize = 16;
+
+/// Byte offset of the occupancy flag inside a room record — the one field readers may
+/// inspect without decoding the record (the `FileStore` index rebuild streams just this
+/// byte).  Must match [`encode_room`]/[`decode_room`] below.
+pub const ROOM_OCCUPIED_BYTE: usize = 6;
 
 /// Size of the encoded [`GssConfig`] used in file headers and snapshots.
 pub(crate) const CONFIG_BYTES: usize = 45;
@@ -45,7 +173,7 @@ pub fn encode_room(room: &Room) -> [u8; ROOM_RECORD_BYTES] {
     bytes[2..4].copy_from_slice(&room.destination_fingerprint.to_le_bytes());
     bytes[4] = room.source_index;
     bytes[5] = room.destination_index;
-    bytes[6] = room.occupied as u8;
+    bytes[ROOM_OCCUPIED_BYTE] = room.occupied as u8;
     bytes[8..16].copy_from_slice(&room.weight.to_le_bytes());
     bytes
 }
@@ -59,7 +187,7 @@ pub fn decode_room(bytes: &[u8; ROOM_RECORD_BYTES]) -> Room {
         destination_fingerprint: u16::from_le_bytes([bytes[2], bytes[3]]),
         source_index: bytes[4],
         destination_index: bytes[5],
-        occupied: bytes[6] != 0,
+        occupied: bytes[ROOM_OCCUPIED_BYTE] != 0,
         weight: i64::from_le_bytes(bytes[8..16].try_into().expect("length checked")),
     }
 }
@@ -168,6 +296,40 @@ pub trait RoomStore {
     ) -> Option<usize>;
     /// Position of the first empty room in bucket `(row, column)`, if any.
     fn find_empty(&self, row: usize, column: usize) -> Option<usize>;
+    /// Fused single-pass probe of bucket `(row, column)`: the slot matching the
+    /// fingerprint/index quadruple, else the first empty slot, else
+    /// [`BucketProbe::Full`] — observationally identical to [`find_match`] followed by
+    /// [`find_empty`], in one pass over the bucket (half the bucket reads, and half the
+    /// page-cache lookups on the file backend).
+    ///
+    /// [`find_match`]: RoomStore::find_match
+    /// [`find_empty`]: RoomStore::find_empty
+    fn probe_bucket(
+        &self,
+        row: usize,
+        column: usize,
+        source_fingerprint: u16,
+        destination_fingerprint: u16,
+        source_index: u8,
+        destination_index: u8,
+    ) -> BucketProbe {
+        let mut first_empty = None;
+        for slot in 0..self.rooms_per_bucket() {
+            let room = self.room(row, column, slot);
+            if room.matches(
+                source_fingerprint,
+                destination_fingerprint,
+                source_index,
+                destination_index,
+            ) {
+                return BucketProbe::Match(slot);
+            }
+            if !room.occupied && first_empty.is_none() {
+                first_empty = Some(slot);
+            }
+        }
+        first_empty.map_or(BucketProbe::Full, BucketProbe::Empty)
+    }
     /// Adds `weight` to the (occupied) room at `slot` of bucket `(row, column)`.
     fn add_weight(&mut self, row: usize, column: usize, slot: usize, weight: i64);
     /// Writes a fresh edge into the (empty) room at `slot` of bucket `(row, column)`.
@@ -185,6 +347,41 @@ pub trait RoomStore {
             0.0
         } else {
             self.occupied_rooms() as f64 / self.room_count() as f64
+        }
+    }
+}
+
+/// Reference full-grid row scan, **ignoring any occupancy index**: probes every bucket of
+/// the row through [`RoomStore::room`].  This is the geometry-proportional behaviour the
+/// indexed [`RoomStore::scan_row`] replaced; it is kept as the observational baseline for
+/// the equivalence property tests and the `query_scaling` bench.
+pub fn naive_scan_row<S: RoomStore + ?Sized>(
+    store: &S,
+    row: usize,
+    visit: &mut dyn FnMut(usize, Room),
+) {
+    for column in 0..store.width() {
+        for slot in 0..store.rooms_per_bucket() {
+            let room = store.room(row, column, slot);
+            if room.occupied {
+                visit(column, room);
+            }
+        }
+    }
+}
+
+/// Reference full-grid column scan, ignoring any occupancy index (see [`naive_scan_row`]).
+pub fn naive_scan_column<S: RoomStore + ?Sized>(
+    store: &S,
+    column: usize,
+    visit: &mut dyn FnMut(usize, Room),
+) {
+    for row in 0..store.width() {
+        for slot in 0..store.rooms_per_bucket() {
+            let room = store.room(row, column, slot);
+            if room.occupied {
+                visit(row, room);
+            }
         }
     }
 }
@@ -207,11 +404,31 @@ impl RoomStorage {
         }
     }
 
-    /// The file store, when file-backed.
-    pub(crate) fn as_file(&self) -> Option<&FileStore> {
+    /// The file store, when file-backed (page-cache statistics live there).
+    pub fn as_file(&self) -> Option<&FileStore> {
         match self {
             Self::Memory(_) => None,
             Self::File(store) => Some(store),
+        }
+    }
+
+    /// Full-grid row scan ignoring the occupancy index — the pre-index behaviour, kept as
+    /// the baseline the `query_scaling` bench and the equivalence tests measure against.
+    /// The file backend takes its page-cache lock once for the whole scan, exactly like
+    /// the indexed [`RoomStore::scan_row`].
+    pub fn scan_row_naive(&self, row: usize, visit: &mut dyn FnMut(usize, Room)) {
+        match self {
+            Self::Memory(store) => naive_scan_row(store, row, visit),
+            Self::File(store) => store.scan_row_naive(row, visit),
+        }
+    }
+
+    /// Full-grid column scan ignoring the occupancy index (see
+    /// [`scan_row_naive`](Self::scan_row_naive)).
+    pub fn scan_column_naive(&self, column: usize, visit: &mut dyn FnMut(usize, Room)) {
+        match self {
+            Self::Memory(store) => naive_scan_column(store, column, visit),
+            Self::File(store) => store.scan_column_naive(column, visit),
         }
     }
 }
@@ -292,6 +509,25 @@ impl RoomStore for RoomStorage {
 
     fn find_empty(&self, row: usize, column: usize) -> Option<usize> {
         dispatch!(self, store => store.find_empty(row, column))
+    }
+
+    fn probe_bucket(
+        &self,
+        row: usize,
+        column: usize,
+        source_fingerprint: u16,
+        destination_fingerprint: u16,
+        source_index: u8,
+        destination_index: u8,
+    ) -> BucketProbe {
+        dispatch!(self, store => store.probe_bucket(
+            row,
+            column,
+            source_fingerprint,
+            destination_fingerprint,
+            source_index,
+            destination_index,
+        ))
     }
 
     fn add_weight(&mut self, row: usize, column: usize, slot: usize, weight: i64) {
@@ -386,6 +622,65 @@ mod tests {
             _ => panic!("expected file backends"),
         }
         assert_eq!(StorageBackend::Memory.for_shard(3), StorageBackend::Memory);
+    }
+
+    #[test]
+    fn occupancy_index_marks_and_iterates_across_word_boundaries() {
+        // Width 70 straddles the 64-bit word boundary in every line.
+        let mut index = OccupancyIndex::new(70);
+        assert_eq!(index.words_per_line(), 2);
+        assert!(index.bytes() > 0);
+        let marks = [(0, 0), (0, 63), (0, 64), (0, 69), (5, 2), (63, 5), (64, 5), (69, 68)];
+        for &(row, column) in &marks {
+            assert!(!index.contains(row, column));
+            index.mark(row, column);
+            assert!(index.contains(row, column));
+        }
+        index.mark(0, 64); // re-marking is idempotent
+        let mut row0 = Vec::new();
+        index.for_each_in_row(0, |column| row0.push(column));
+        assert_eq!(row0, vec![0, 63, 64, 69], "ascending column order");
+        let mut column5 = Vec::new();
+        index.for_each_in_column(5, |row| column5.push(row));
+        assert_eq!(column5, vec![63, 64], "ascending row order");
+        let mut empty = Vec::new();
+        index.for_each_in_row(33, |column| empty.push(column));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn probe_bucket_fuses_find_match_and_find_empty() {
+        let mut storage = RoomStorage::Memory(MemoryStore::new(4, 2));
+        // Empty bucket: first empty slot.
+        assert_eq!(storage.probe_bucket(1, 2, 1, 2, 3, 4), BucketProbe::Empty(0));
+        storage.store_room(1, 2, 0, sample_room());
+        // Match wins over the remaining empty slot.
+        assert_eq!(storage.probe_bucket(1, 2, 0xA1B2, 0x0304, 7, 11), BucketProbe::Match(0));
+        // Miss falls through to the empty slot.
+        assert_eq!(storage.probe_bucket(1, 2, 1, 2, 3, 4), BucketProbe::Empty(1));
+        storage.store_room(1, 2, 1, Room { source_fingerprint: 9, ..sample_room() });
+        assert_eq!(storage.probe_bucket(1, 2, 9, 0x0304, 7, 11), BucketProbe::Match(1));
+        assert_eq!(storage.probe_bucket(1, 2, 1, 2, 3, 4), BucketProbe::Full);
+    }
+
+    #[test]
+    fn naive_scans_visit_what_indexed_scans_visit() {
+        let mut store = MemoryStore::new(5, 2);
+        store.store_room(2, 0, 0, sample_room());
+        store.store_room(2, 4, 0, sample_room());
+        store.store_room(0, 4, 0, sample_room());
+        let mut indexed = Vec::new();
+        store.scan_row(2, &mut |column, _| indexed.push(column));
+        let mut naive = Vec::new();
+        naive_scan_row(&store, 2, &mut |column, _| naive.push(column));
+        assert_eq!(indexed, naive);
+        assert_eq!(indexed, vec![0, 4]);
+        let mut indexed = Vec::new();
+        store.scan_column(4, &mut |row, _| indexed.push(row));
+        let mut naive = Vec::new();
+        naive_scan_column(&store, 4, &mut |row, _| naive.push(row));
+        assert_eq!(indexed, naive);
+        assert_eq!(indexed, vec![0, 2]);
     }
 
     #[test]
