@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Throughput regression guard: compare a freshly measured BENCH_ingest.json against the
+# committed trajectory and fail when smoke ingest throughput drops by more than the
+# tolerance (CI boxes are noisy; 30% is a regression, not jitter).
+#
+# Usage: ci/bench_guard.sh <committed BENCH_ingest.json> <fresh BENCH_ingest.json>
+set -euo pipefail
+
+BASELINE="${1:?usage: bench_guard.sh <committed json> <fresh json>}"
+FRESH="${2:?usage: bench_guard.sh <committed json> <fresh json>}"
+# Fresh must reach at least this fraction of the committed single-thread rate.  The
+# committed trajectory is produced on the dev container class; if CI moves to a much
+# slower runner class, set BENCH_GUARD_TOLERANCE in the workflow instead of letting the
+# guard rot red.
+TOLERANCE="${BENCH_GUARD_TOLERANCE:-0.70}"
+
+# The reports are written by gss_experiments::BenchReport: one result object per line,
+# so the single-thread sharded entry is grep-able without a JSON parser.
+extract() {
+  grep -o '"name": "sharded", "threads": 1\.[0-9]*[^}]*' "$1" |
+    grep -o '"mitems_per_sec": [0-9.]*' | head -1 | grep -o '[0-9.]*$'
+}
+
+old=$(extract "$BASELINE")
+new=$(extract "$FRESH")
+if [ -z "$old" ] || [ -z "$new" ]; then
+  echo "bench guard: could not extract single-thread throughput (old='$old' new='$new')"
+  exit 1
+fi
+
+echo "bench guard: committed ${old} Mitems/s, fresh ${new} Mitems/s (tolerance ${TOLERANCE}x)"
+if awk -v a="$old" -v b="$new" -v t="$TOLERANCE" 'BEGIN { exit !(b + 0 >= a * t) }'; then
+  echo "bench guard: OK"
+else
+  echo "bench guard: ingest throughput regressed more than $(awk -v t="$TOLERANCE" \
+    'BEGIN { printf "%d", (1 - t) * 100 }')% vs the committed trajectory"
+  exit 1
+fi

@@ -1,0 +1,195 @@
+//! Durability cost: what crash consistency charges the ingest path, and what recovery
+//! costs at reopen time.
+//!
+//! Two sweeps over one Zipf stream:
+//!
+//! * **Ingest throughput** — in-memory baseline vs the file backend under
+//!   `Durability::Strict` (write-ahead log drained per batch, synchronous write-back)
+//!   vs `Durability::Buffered` (batched log drains, background flusher thread).
+//! * **Recovery time vs WAL length** — Strict file sketches abandoned (crash-simulated)
+//!   at growing stream prefixes, then reopened through write-ahead-log replay; reports
+//!   the log length and the wall-clock cost of `GssSketch::open_file`, plus the clean
+//!   open time as the no-replay baseline.
+//!
+//! Results are printed as a table and written as `BENCH_durability.json` at the
+//! workspace root via [`gss_experiments::BenchReport`].
+
+use gss_core::{Durability, GssConfig, GssSketch, StorageBackend};
+use gss_datasets::{Xoshiro256, ZipfSampler};
+use gss_experiments::{fmt_float, BenchReport, ExperimentScale, Table};
+use gss_graph::{StreamEdge, SummaryWrite};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Items handed to one `insert_batch` call.
+const BATCH: usize = 512;
+
+fn zipf_stream(items: usize, vertices: usize, seed: u64) -> Vec<StreamEdge> {
+    let sampler = ZipfSampler::new(vertices, 1.1);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..items)
+        .map(|t| {
+            let source = sampler.sample(&mut rng) as u64 - 1;
+            let destination = sampler.sample(&mut rng) as u64 - 1;
+            StreamEdge::new(source, destination, t as u64, 1)
+        })
+        .collect()
+}
+
+fn stream_items(scale: ExperimentScale) -> usize {
+    match scale {
+        ExperimentScale::Smoke => 100_000,
+        ExperimentScale::Laptop => 500_000,
+        ExperimentScale::Paper => 2_000_000,
+    }
+}
+
+fn matrix_width(scale: ExperimentScale) -> usize {
+    match scale {
+        ExperimentScale::Smoke => 160,
+        ExperimentScale::Laptop => 400,
+        ExperimentScale::Paper => 1000,
+    }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gss-durability-{}-{name}", std::process::id()))
+}
+
+fn ingest(sketch: &mut GssSketch, items: &[StreamEdge]) -> f64 {
+    let start = Instant::now();
+    for batch in items.chunks(BATCH) {
+        sketch.insert_batch(batch);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn file_sketch(
+    config: GssConfig,
+    path: &Path,
+    cache_pages: usize,
+    durability: Durability,
+) -> GssSketch {
+    GssSketch::with_storage_durability(
+        config,
+        StorageBackend::File { path: path.to_path_buf(), cache_pages },
+        durability,
+    )
+    .expect("sketch file creatable in the temp dir")
+}
+
+fn main() {
+    let scale = gss_bench::bench_scale("durability_cost");
+    let items = zipf_stream(stream_items(scale), 60_000, 0xD04A_B1E5);
+    let config = GssConfig::paper_default(matrix_width(scale));
+    let cache_pages = scale.file_cache_pages();
+    let mitems = |count: usize, seconds: f64| count as f64 / seconds / 1e6;
+
+    let mut table = Table::new(
+        format!(
+            "Durability cost — {} Zipf items, width {} ({} scale)",
+            items.len(),
+            config.width,
+            scale.name()
+        ),
+        &["measure", "seconds", "rate / detail"],
+    );
+    let mut report = BenchReport::new("durability")
+        .context("scale", scale.name())
+        .context("items", items.len())
+        .context("width", config.width)
+        .context("cache_pages", cache_pages)
+        .context("batch", BATCH);
+
+    // Ingest throughput: memory vs Strict vs Buffered over the same stream.
+    let mut memory_sketch = GssSketch::new(config).expect("valid config");
+    let memory_seconds = ingest(&mut memory_sketch, &items);
+    drop(memory_sketch);
+    for (name, durability) in [("strict", Durability::Strict), ("buffered", Durability::Buffered)] {
+        let path = temp_path(&format!("ingest-{name}.gss"));
+        let mut sketch = file_sketch(config, &path, cache_pages, durability);
+        let seconds = ingest(&mut sketch, &items);
+        let stats = sketch.detailed_stats();
+        drop(sketch);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(gss_core::wal::wal_path(&path)).ok();
+        table.push_row(vec![
+            format!("ingest file ({name})"),
+            fmt_float(seconds),
+            format!(
+                "{} Mitems/s, {} wal flushes, {} pages flushed",
+                fmt_float(mitems(items.len(), seconds)),
+                stats.wal_flushes,
+                stats.pages_flushed
+            ),
+        ]);
+        report.push(
+            format!("ingest_file_{name}"),
+            &[
+                ("seconds", seconds),
+                ("mitems_per_sec", mitems(items.len(), seconds)),
+                ("wal_flushes", stats.wal_flushes as f64),
+                ("pages_flushed", stats.pages_flushed as f64),
+            ],
+        );
+    }
+    table.push_row(vec![
+        "ingest memory".into(),
+        fmt_float(memory_seconds),
+        format!("{} Mitems/s", fmt_float(mitems(items.len(), memory_seconds))),
+    ]);
+    report.push(
+        "ingest_memory",
+        &[("seconds", memory_seconds), ("mitems_per_sec", mitems(items.len(), memory_seconds))],
+    );
+
+    // Recovery time vs WAL length: abandon (crash-simulate) Strict sketches at growing
+    // prefixes and time the write-ahead-log replay on reopen.
+    for percent in [25usize, 50, 100] {
+        let count = (items.len() * percent / 100).max(BATCH);
+        let path = temp_path(&format!("recover-{percent}.gss"));
+        let mut sketch = file_sketch(config, &path, cache_pages, Durability::Strict);
+        ingest(&mut sketch, &items[..count]);
+        let wal_bytes = sketch.detailed_stats().wal_bytes;
+        sketch.abandon();
+        let start = Instant::now();
+        let recovered = GssSketch::open_file(&path, cache_pages).expect("recovery succeeds");
+        let seconds = start.elapsed().as_secs_f64();
+        assert_eq!(recovered.items_inserted(), count as u64, "no item loss in recovery");
+        drop(recovered);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(gss_core::wal::wal_path(&path)).ok();
+        table.push_row(vec![
+            format!("recover {percent}% ({count} items)"),
+            fmt_float(seconds),
+            format!("{:.1} MB wal replayed", wal_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+        report.push(
+            format!("recover_{percent}pct"),
+            &[("items", count as f64), ("wal_bytes", wal_bytes as f64), ("seconds", seconds)],
+        );
+    }
+
+    // Clean-open baseline: the same file checkpointed properly, no replay needed.
+    {
+        let path = temp_path("clean-open.gss");
+        let mut sketch = file_sketch(config, &path, cache_pages, Durability::Strict);
+        ingest(&mut sketch, &items);
+        sketch.sync().expect("checkpoint");
+        drop(sketch);
+        let start = Instant::now();
+        let reopened = GssSketch::open_file(&path, cache_pages).expect("clean reopen");
+        let seconds = start.elapsed().as_secs_f64();
+        drop(reopened);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(gss_core::wal::wal_path(&path)).ok();
+        table.push_row(vec!["open clean (no replay)".into(), fmt_float(seconds), "-".into()]);
+        report.push("open_clean", &[("seconds", seconds)]);
+    }
+
+    table.print();
+    match report.write() {
+        Ok(path) => println!("(json written to {})", path.display()),
+        Err(error) => eprintln!("warning: could not write BENCH_durability.json: {error}"),
+    }
+}

@@ -12,7 +12,8 @@
 //!
 //! Set `GSS_STORAGE=file` to run the same sweep with every shard's room matrix on the
 //! paged file backend (one sketch file per shard under the temp dir) — the configuration
-//! that matters for larger-than-RAM matrices.
+//! that matters for larger-than-RAM matrices — and `GSS_DURABILITY=strict|buffered` to
+//! pick its write-ahead-log / write-back policy.
 
 use gss_core::{GssConfig, ShardedGss};
 use gss_datasets::{Xoshiro256, ZipfSampler};
@@ -71,7 +72,13 @@ fn measure(
             }
             memory => memory,
         };
-        let sketch = ShardedGss::with_storage(config, shards, &storage).expect("valid config");
+        let sketch = ShardedGss::with_storage_durability(
+            config,
+            shards,
+            &storage,
+            gss_experiments::durability_from_env(),
+        )
+        .expect("valid config");
         let chunk_size = items.len().div_ceil(threads);
         let start = Instant::now();
         std::thread::scope(|scope| {

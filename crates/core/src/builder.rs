@@ -20,7 +20,7 @@
 //! ```
 
 use crate::concurrent::ShardedGss;
-use crate::config::GssConfig;
+use crate::config::{Durability, GssConfig};
 use crate::error::ConfigError;
 use crate::sketch::GssSketch;
 use crate::storage::StorageBackend;
@@ -37,6 +37,8 @@ use std::path::PathBuf;
 pub struct GssBuilder {
     config: GssConfig,
     storage: StorageBackend,
+    durability: Durability,
+    wal_checkpoint_bytes: u64,
 }
 
 impl Default for GssBuilder {
@@ -48,13 +50,18 @@ impl Default for GssBuilder {
 impl GssBuilder {
     /// Starts from the paper's default configuration.
     pub fn new() -> Self {
-        Self { config: GssConfig::default(), storage: StorageBackend::Memory }
+        Self {
+            config: GssConfig::default(),
+            storage: StorageBackend::Memory,
+            durability: Durability::Strict,
+            wal_checkpoint_bytes: crate::config::WAL_CHECKPOINT_BYTES,
+        }
     }
 
     /// Starts from an explicit configuration (e.g. [`GssConfig::paper_small`] or
     /// [`GssConfig::basic`]).
     pub fn from_config(config: GssConfig) -> Self {
-        Self { config, storage: StorageBackend::Memory }
+        Self { config, ..Self::new() }
     }
 
     /// Matrix side length `m`.
@@ -127,6 +134,25 @@ impl GssBuilder {
         self.storage(StorageBackend::file(path))
     }
 
+    /// Durability policy of a file-backed sketch (default [`Durability::Strict`]):
+    /// `Strict` drains the write-ahead log and writes evicted pages back synchronously
+    /// on the ingest path (zero acknowledged-item loss under `SIGKILL`); `Buffered`
+    /// batches log drains and moves page write-back onto a background flusher thread
+    /// (bounded loss window, faster ingest).  Ignored by the in-memory backend.
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Write-ahead-log size at which a file-backed sketch checkpoints itself during
+    /// ingest (default [`crate::config::WAL_CHECKPOINT_BYTES`], 64 MiB), bounding
+    /// sidecar-log disk use and crash-recovery replay time for runs that never call
+    /// [`GssSketch::sync`] explicitly.  Ignored by the in-memory backend.
+    pub fn wal_checkpoint_bytes(mut self, bytes: u64) -> Self {
+        self.wal_checkpoint_bytes = bytes;
+        self
+    }
+
     /// The configuration accumulated so far (not yet validated).
     pub fn config(&self) -> GssConfig {
         self.config
@@ -138,7 +164,10 @@ impl GssBuilder {
     /// Returns a [`ConfigError`] describing the first invalid knob, or carrying the I/O
     /// failure if a sketch file cannot be created.
     pub fn build(self) -> Result<GssSketch, ConfigError> {
-        GssSketch::with_storage(self.config, self.storage)
+        let mut sketch =
+            GssSketch::with_storage_durability(self.config, self.storage, self.durability)?;
+        sketch.set_wal_checkpoint_bytes(self.wal_checkpoint_bytes);
+        Ok(sketch)
     }
 
     /// Validates the configuration and builds a [`ShardedGss`] with `shards` concurrent
@@ -149,7 +178,7 @@ impl GssBuilder {
     /// Returns a [`ConfigError`] if the configuration is invalid, `shards == 0`, or a
     /// shard file cannot be created.
     pub fn build_sharded(self, shards: usize) -> Result<ShardedGss, ConfigError> {
-        ShardedGss::with_storage(self.config, shards, &self.storage)
+        ShardedGss::with_storage_durability(self.config, shards, &self.storage, self.durability)
     }
 
     /// Like [`build_sharded`](Self::build_sharded), but holds **total** matrix memory at
@@ -160,7 +189,12 @@ impl GssBuilder {
     /// Returns a [`ConfigError`] if the configuration is invalid, `shards == 0`, or a
     /// shard file cannot be created.
     pub fn build_sharded_equal_memory(self, shards: usize) -> Result<ShardedGss, ConfigError> {
-        ShardedGss::with_storage_equal_memory(self.config, shards, &self.storage)
+        ShardedGss::with_storage_equal_memory_durability(
+            self.config,
+            shards,
+            &self.storage,
+            self.durability,
+        )
     }
 }
 

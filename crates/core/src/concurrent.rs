@@ -35,7 +35,7 @@
 //! candidate probes and reduces buffer spills — the source of the ingest speed-up even
 //! without contention.
 
-use crate::config::GssConfig;
+use crate::config::{Durability, GssConfig};
 use crate::error::ConfigError;
 use crate::sketch::GssSketch;
 use crate::stats::GssStats;
@@ -86,13 +86,45 @@ impl ShardedGss {
         shards: usize,
         storage: &StorageBackend,
     ) -> Result<Self, ConfigError> {
+        Self::with_storage_durability(config, shards, storage, Durability::Strict)
+    }
+
+    /// [`with_storage`](Self::with_storage) with an explicit [`Durability`] policy.  Each
+    /// file-backed shard owns its own write-ahead log (`<name>.shardN.wal`) alongside its
+    /// sketch file, so shards recover independently after a crash.
+    ///
+    /// # Errors
+    /// As [`with_storage`](Self::with_storage).
+    pub fn with_storage_durability(
+        config: GssConfig,
+        shards: usize,
+        storage: &StorageBackend,
+        durability: Durability,
+    ) -> Result<Self, ConfigError> {
         if shards == 0 {
             return Err(ConfigError::new("need at least one shard"));
         }
         let shards = (0..shards)
-            .map(|index| GssSketch::with_storage(config, storage.for_shard(index)).map(RwLock::new))
+            .map(|index| {
+                GssSketch::with_storage_durability(config, storage.for_shard(index), durability)
+                    .map(RwLock::new)
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self { config, shards: Arc::new(shards) })
+    }
+
+    /// Checkpoints every file-backed shard ([`GssSketch::sync`]), taking each shard's
+    /// write lock in turn.  A no-op for in-memory shards.
+    ///
+    /// # Errors
+    /// Returns the first shard's [`PersistenceError`](crate::persistence::PersistenceError),
+    /// leaving later shards unsynced (each shard file is independently consistent
+    /// regardless).
+    pub fn sync(&self) -> Result<(), crate::persistence::PersistenceError> {
+        for shard in self.shards.iter() {
+            shard.write().sync()?;
+        }
+        Ok(())
     }
 
     /// Builds a sharded sketch whose **total** matrix memory equals one sketch of
@@ -122,8 +154,24 @@ impl ShardedGss {
         shards: usize,
         storage: &StorageBackend,
     ) -> Result<Self, ConfigError> {
+        Self::with_storage_equal_memory_durability(config, shards, storage, Durability::Strict)
+    }
+
+    /// [`with_storage_equal_memory`](Self::with_storage_equal_memory) with an explicit
+    /// [`Durability`] policy: the single place where the equal-memory width rule meets
+    /// shard construction.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if the configuration is invalid, `shards == 0`, or a
+    /// shard file cannot be created.
+    pub fn with_storage_equal_memory_durability(
+        config: GssConfig,
+        shards: usize,
+        storage: &StorageBackend,
+        durability: Durability,
+    ) -> Result<Self, ConfigError> {
         let per_shard = GssConfig { width: config.equal_memory_width(shards), ..config };
-        Self::with_storage(per_shard, shards, storage)
+        Self::with_storage_durability(per_shard, shards, storage, durability)
     }
 
     /// Builds a sharded sketch with one shard per available CPU (capped at 16).
@@ -234,6 +282,10 @@ impl ShardedGss {
             total.node_map_bytes += stats.node_map_bytes;
             total.distinct_hashed_nodes += stats.distinct_hashed_nodes;
             total.colliding_hashes += stats.colliding_hashes;
+            total.wal_bytes += stats.wal_bytes;
+            total.wal_flushes += stats.wal_flushes;
+            total.pages_flushed += stats.pages_flushed;
+            total.checkpoints += stats.checkpoints;
         }
         let stored = total.matrix_edges + total.buffered_edges;
         total.buffer_percentage =

@@ -7,13 +7,20 @@
 //! dirty-page write-back — std-only `seek` + `read`/`write` I/O, no `mmap`, no platform
 //! dependencies.
 //!
-//! ## File layout
+//! ## File layout (format v2, magic `GSSFILE\x02`)
 //!
 //! ```text
-//! [0 .. 4096)                      header page: magic, config, items, occupied, tail_len, clean flag
+//! [0 .. 4096)                      header page: magic, config, items, occupied, tail
+//!                                  lengths + CRCs, clean flag
 //! [4096 .. 4096 + pages × 4096)    room records, 16 bytes each, page-aligned region
-//! [tail_offset .. tail_offset+n)   tail: buffer edges + ⟨H(v), v⟩ table (streaming snapshot sections)
+//! [tail_offset .. tail_offset+n)   tail: buffer section then ⟨H(v), v⟩ section
+//!                                  (the streaming snapshot encodings)
 //! ```
+//!
+//! Version-1 files (`GSSFILE\x01`, written before the durability subsystem) still open
+//! when clean; their header simply lacks the per-section lengths/CRCs, and open upgrades
+//! it in place to v2 (tail bytes untouched) so that mutations made through the reopened
+//! store are immediately crash-recoverable.
 //!
 //! Because the header carries the full configuration and the rooms live in place, **the
 //! sketch file doubles as its own checkpoint**: [`crate::GssSketch::open_file`] re-opens
@@ -21,32 +28,61 @@
 //! (sequential reads of the occupancy flags, rebuilding the in-memory
 //! [`OccupancyIndex`]) plus the (usually tiny) tail.
 //!
-//! ## Consistency
+//! ## Durability and crash recovery
 //!
-//! The header's `clean` flag is cleared on the first mutation after a sync and set again
-//! by [`FileStore::write_tail`] (called from `GssSketch::sync`, which also runs on drop).
-//! Re-opening a file whose flag is clear fails with [`PersistenceError::Corrupt`] rather
-//! than silently serving a torn matrix.
+//! Every room mutation is appended to a write-ahead log (`<sketch>.wal`, see
+//! [`crate::wal`]) before the page holding it may be written back, and every checkpoint
+//! ([`FileStore::checkpoint`], reached through `GssSketch::sync` and drop) first logs the
+//! tail image it is about to write.  Re-opening a file whose clean flag is clear
+//! therefore **replays the log** — room records back into the room region, buffer/node
+//! deltas on top of the last checkpointed tail — instead of rejecting the file; only an
+//! unclean file with no log (e.g. a v1 file) still fails with
+//! [`PersistenceError::Corrupt`].
+//!
+//! The [`Durability`] knob picks the policy: `Strict` drains the log before every insert
+//! returns and writes evicted pages back synchronously (zero acknowledged-item loss);
+//! `Buffered` batches log drains ([`WAL_BUFFER_BYTES`]) and moves page write-back onto a
+//! background flusher thread (bounded queue, barriered by checkpoint and drop).
+//!
+//! Checkpoints are **incremental**: the buffer and node tail sections carry generation
+//! stamps, and a checkpoint rewrites only the sections whose generation moved (plus the
+//! node section whenever the buffer section changes length, since it shifts).
+//!
+//! **Single-opener contract**: a sketch file (plus its log) must be open in at most one
+//! process at a time.  Recovery *mutates* — it replays the log into the room region and
+//! truncates it — so opening the live file of a running ingester would race its writes
+//! and corrupt both views; even a clean open resets the sidecar log.  Ship a snapshot
+//! ([`crate::GssSketch::write_snapshot_to`]) to read a live sketch's state from another
+//! process.  (An advisory lock file would enforce this; see ROADMAP — `std` alone has no
+//! portable file locking.)
 //!
 //! Runtime I/O failures (disk full, file removed under us) inside the [`RoomStore`] hot
 //! path panic with a descriptive message — the trait is infallible by design because the
 //! in-memory backend is; construction, open and sync report errors properly.
 
-use crate::config::GssConfig;
+use crate::config::{Durability, GssConfig, WAL_BUFFER_BYTES};
 use crate::matrix::Room;
 use crate::persistence::PersistenceError;
 use crate::storage::{
     decode_config, decode_room, encode_config, encode_room, BucketProbe, OccupancyIndex, RoomStore,
     CONFIG_BYTES, ROOM_OCCUPIED_BYTE, ROOM_RECORD_BYTES,
 };
+use crate::wal::{crc32, read_replay, wal_path, WalWriter};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
 
-/// Magic bytes identifying a GSS sketch file (version 1).
-pub const FILE_MAGIC: [u8; 8] = *b"GSSFILE\x01";
+/// Magic bytes identifying a GSS sketch file (version 2: per-section tail lengths/CRCs
+/// in the header, write-ahead log sidecar).
+pub const FILE_MAGIC: [u8; 8] = *b"GSSFILE\x02";
+
+/// Version-1 magic (pre-durability files; clean ones still open, their header upgraded
+/// to v2 in place).
+pub const FILE_MAGIC_V1: [u8; 8] = *b"GSSFILE\x01";
 
 /// Bytes per cache page (and per on-disk page; room records never straddle pages because
 /// [`ROOM_RECORD_BYTES`] divides this).
@@ -61,6 +97,15 @@ const OFF_ITEMS: usize = OFF_CONFIG + CONFIG_BYTES;
 const OFF_OCCUPIED: usize = OFF_ITEMS + 8;
 const OFF_TAIL_LEN: usize = OFF_OCCUPIED + 8;
 const OFF_CLEAN: usize = OFF_TAIL_LEN + 8;
+// v2 extension: per-section tail lengths and CRCs (zero in v1 files).
+const OFF_BUFFER_LEN: usize = OFF_CLEAN + 1;
+const OFF_BUFFER_CRC: usize = OFF_BUFFER_LEN + 8;
+const OFF_NODE_LEN: usize = OFF_BUFFER_CRC + 4;
+const OFF_NODE_CRC: usize = OFF_NODE_LEN + 8;
+const HEADER_FIELDS_END: usize = OFF_NODE_CRC + 4;
+
+/// Pages the background flusher queue may hold before evictions block (1 MiB).
+const FLUSH_QUEUE_PAGES: usize = 256;
 
 /// Everything [`FileStore::open`] recovers from an existing sketch file besides the store
 /// itself: the sketch-level state the file checkpoints.
@@ -68,11 +113,33 @@ const OFF_CLEAN: usize = OFF_TAIL_LEN + 8;
 pub struct FileHeader {
     /// The configuration the file was created with.
     pub config: GssConfig,
-    /// Stream items inserted when the file was last synced.
+    /// Stream items inserted when the file was last synced (or recovered).
     pub items_inserted: u64,
     /// Tail bytes (buffer + node-table sections, decoded by persistence).
     pub tail: Vec<u8>,
+    /// Whether the file was unclean and its state was rebuilt by write-ahead-log replay.
+    pub recovered: bool,
 }
+
+/// The durability points at which an installed flush hook fires (in order of a
+/// checkpoint's progress).  Kill-point tests copy the sketch file and its log at a chosen
+/// point — every write below the point is on disk, nothing above it is — which simulates
+/// a crash at exactly that boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPoint {
+    /// Pending write-ahead-log frames were appended to the log file.
+    WalFlush,
+    /// A dirty page was written back to the room region (foreground writes only).
+    PageWriteBack,
+    /// Tail sections were rewritten; the header still describes the old tail.
+    TailWrite,
+    /// The checkpoint committed (header + clean flag written); the log is not yet
+    /// truncated.
+    CheckpointDone,
+}
+
+/// An injectable observer of durability points (see [`FlushPoint`]).
+pub type FlushHook = Box<dyn FnMut(FlushPoint) + Send>;
 
 /// One cached page of room records.
 struct Page {
@@ -80,6 +147,34 @@ struct Page {
     dirty: bool,
     /// LRU stamp: monotonically increasing touch tick.
     stamp: u64,
+}
+
+/// The tail state of the last completed checkpoint: what [`FileStore::checkpoint`]
+/// compares incoming generation stamps against to skip unchanged sections.
+#[derive(Debug, Clone, Copy, Default)]
+struct SyncedTail {
+    items: u64,
+    buffer_gen: u64,
+    node_gen: u64,
+    buffer_len: u64,
+    buffer_crc: u32,
+    node_len: u64,
+    node_crc: u32,
+}
+
+/// The tail sections a checkpoint may rewrite.  `None` means "unchanged since the last
+/// checkpoint" (the generation stamp must then equal the synced one); the node section
+/// must be provided whenever the buffer section changes length, because it shifts.
+#[derive(Debug, Clone, Copy)]
+pub struct TailSections<'a> {
+    /// Encoded buffer section, when it changed.
+    pub buffer: Option<&'a [u8]>,
+    /// Encoded node-table section, when it changed (or moved).
+    pub node: Option<&'a [u8]>,
+    /// Generation stamp of the buffer content being checkpointed.
+    pub buffer_gen: u64,
+    /// Generation stamp of the node-table content being checkpointed.
+    pub node_gen: u64,
 }
 
 struct FileInner {
@@ -100,6 +195,20 @@ struct FileInner {
     page_lookups: u64,
     /// Page-cache misses that faulted a page in from the file.
     page_faults: u64,
+    /// The write-ahead room log (see [`crate::wal`]).
+    wal: WalWriter,
+    /// Tail state as of the last completed checkpoint.
+    synced: SyncedTail,
+    /// Injectable durability-point observer (kill-point tests).
+    hook: Option<FlushHook>,
+    /// Set by [`FileStore::abandon`]: drop without draining, simulating a crash.
+    abandoned: bool,
+    /// Dirty pages written back on the foreground path.
+    pages_written: u64,
+    /// Cumulative tail-section bytes rewritten by checkpoints.
+    tail_bytes_written: u64,
+    /// Completed checkpoints.
+    checkpoints: u64,
 }
 
 /// Cumulative page-cache counters of a [`FileStore`] (reported by the `query_scaling`
@@ -112,12 +221,185 @@ pub struct PageCacheStats {
     pub faults: u64,
 }
 
-/// A paged file-backed [`RoomStore`] with an LRU dirty-page write-back cache.
+/// Cumulative durability counters of a [`FileStore`] (surfaced through
+/// [`GssStats`](crate::GssStats) and the `durability_cost` bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Current write-ahead-log bytes (on disk plus pending in memory).
+    pub wal_bytes: u64,
+    /// Drains of the pending log buffer into the log file.
+    pub wal_flushes: u64,
+    /// Dirty pages written back on the foreground (eviction/checkpoint) path.
+    pub pages_written: u64,
+    /// Dirty pages written back by the background flusher thread.
+    pub pages_written_background: u64,
+    /// Tail-section bytes rewritten by checkpoints (incremental checkpoints keep this
+    /// far below `checkpoints × tail size`).
+    pub tail_bytes_written: u64,
+    /// Completed checkpoints.
+    pub checkpoints: u64,
+}
+
+/// Shared state between a [`FileStore`] and its background flusher thread.
+struct FlusherShared {
+    state: StdMutex<FlusherState>,
+    /// Signalled when the queue gains work or shutdown is requested.
+    work: StdCondvar,
+    /// Signalled when a write lands or the queue shrinks.
+    done: StdCondvar,
+    pages_written: AtomicU64,
+}
+
+#[derive(Default)]
+struct FlusherState {
+    queue: VecDeque<(u64, Box<[u8; PAGE_BYTES]>)>,
+    /// The page index currently being written (popped from the queue).
+    writing: Option<u64>,
+    shutdown: bool,
+    /// With `shutdown`: exit without writing the remaining queue (crash simulation).
+    discard: bool,
+    error: Option<String>,
+}
+
+/// Handle to the background write-back thread ([`Durability::Buffered`] only).
+struct Flusher {
+    shared: Arc<FlusherShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Flusher {
+    /// Opens an independent handle on the sketch file (own cursor) and spawns the thread.
+    fn spawn(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let shared = Arc::new(FlusherShared {
+            state: StdMutex::new(FlusherState::default()),
+            work: StdCondvar::new(),
+            done: StdCondvar::new(),
+            pages_written: AtomicU64::new(0),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("gss-flusher".into())
+            .spawn(move || Self::run(&thread_shared, file))?;
+        Ok(Self { shared, thread: Some(thread) })
+    }
+
+    fn run(shared: &FlusherShared, mut file: File) {
+        loop {
+            let (index, data) = {
+                let mut state = shared.state.lock().expect("flusher state lock");
+                loop {
+                    if state.error.is_some() || state.discard {
+                        state.queue.clear();
+                    }
+                    if state.shutdown && state.queue.is_empty() {
+                        shared.done.notify_all();
+                        return;
+                    }
+                    if let Some(job) = state.queue.pop_front() {
+                        state.writing = Some(job.0);
+                        // Queue space freed: wake a blocked evictor.
+                        shared.done.notify_all();
+                        break job;
+                    }
+                    state = shared.work.wait(state).expect("flusher state lock");
+                }
+            };
+            let result = file
+                .seek(SeekFrom::Start(HEADER_BYTES + index * PAGE_BYTES as u64))
+                .and_then(|_| file.write_all(&data[..]));
+            let mut state = shared.state.lock().expect("flusher state lock");
+            state.writing = None;
+            match result {
+                Ok(()) => {
+                    shared.pages_written.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(error) => state.error = Some(error.to_string()),
+            }
+            shared.done.notify_all();
+        }
+    }
+
+    fn check(state: &FlusherState) -> io::Result<()> {
+        match &state.error {
+            Some(message) => {
+                Err(io::Error::other(format!("background page write-back failed: {message}")))
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Hands a dirty page to the thread, blocking while the bounded queue is full.
+    fn enqueue(&self, index: u64, data: Box<[u8; PAGE_BYTES]>) -> io::Result<()> {
+        let mut state = self.shared.state.lock().expect("flusher state lock");
+        loop {
+            Self::check(&state)?;
+            if state.queue.len() < FLUSH_QUEUE_PAGES {
+                break;
+            }
+            state = self.shared.done.wait(state).expect("flusher state lock");
+        }
+        state.queue.push_back((index, data));
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Takes a still-queued page back (a fault on it must not read stale file bytes).
+    /// If the thread is mid-write of exactly this page, waits for the write to land so a
+    /// fresh file read is current, then returns `None`.
+    fn steal(&self, index: u64) -> io::Result<Option<Box<[u8; PAGE_BYTES]>>> {
+        let mut state = self.shared.state.lock().expect("flusher state lock");
+        Self::check(&state)?;
+        if let Some(position) = state.queue.iter().position(|(i, _)| *i == index) {
+            let (_, data) = state.queue.remove(position).expect("position just found");
+            self.shared.done.notify_all();
+            return Ok(Some(data));
+        }
+        while state.writing == Some(index) {
+            state = self.shared.done.wait(state).expect("flusher state lock");
+            Self::check(&state)?;
+        }
+        Ok(None)
+    }
+
+    /// Blocks until every queued page is on disk (checkpoint/drop barrier).
+    fn barrier(&self) -> io::Result<()> {
+        let mut state = self.shared.state.lock().expect("flusher state lock");
+        loop {
+            Self::check(&state)?;
+            if state.queue.is_empty() && state.writing.is_none() {
+                return Ok(());
+            }
+            state = self.shared.done.wait(state).expect("flusher state lock");
+        }
+    }
+
+    fn pages_written(&self) -> u64 {
+        self.shared.pages_written.load(Ordering::Relaxed)
+    }
+
+    fn shutdown(&mut self, discard: bool) {
+        {
+            let mut state = self.shared.state.lock().expect("flusher state lock");
+            state.shutdown = true;
+            state.discard |= discard;
+        }
+        self.shared.work.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// A paged file-backed [`RoomStore`] with an LRU dirty-page write-back cache, a
+/// write-ahead room log and incremental checkpoints.
 pub struct FileStore {
     path: PathBuf,
     width: usize,
     rooms_per_bucket: usize,
     cache_pages: usize,
+    durability: Durability,
+    flusher: Option<Flusher>,
     inner: Mutex<FileInner>,
 }
 
@@ -128,35 +410,96 @@ impl std::fmt::Debug for FileStore {
             .field("width", &self.width)
             .field("rooms_per_bucket", &self.rooms_per_bucket)
             .field("cache_pages", &self.cache_pages)
+            .field("durability", &self.durability)
             .finish_non_exhaustive()
     }
+}
+
+/// Invokes the installed flush hook, if any.
+fn fire(inner: &mut FileInner, point: FlushPoint) {
+    if let Some(hook) = inner.hook.as_mut() {
+        hook(point);
+    }
+}
+
+/// Clears the header's clean flag on the first mutation after a checkpoint.  Every
+/// logged mutation — room writes, buffer spills, node registrations, commits — must pass
+/// through here *before* its frames may drain: a file whose log holds acknowledged
+/// frames while its header still reads clean would discard them on reopen.
+fn mark_unclean(inner: &mut FileInner) -> io::Result<()> {
+    if inner.clean {
+        inner.clean = false;
+        inner.file.seek(SeekFrom::Start(OFF_CLEAN as u64))?;
+        inner.file.write_all(&[0])?;
+    }
+    Ok(())
+}
+
+/// Drains pending write-ahead-log frames to the log file — the write-ahead barrier every
+/// page write-back must pass first.
+fn drain_wal(inner: &mut FileInner) -> io::Result<()> {
+    if inner.wal.pending_bytes() > 0 {
+        inner.wal.flush()?;
+        fire(inner, FlushPoint::WalFlush);
+    }
+    Ok(())
 }
 
 impl FileStore {
     /// Default page-cache capacity: 1024 pages = 4 MiB of resident room records.
     pub const DEFAULT_CACHE_PAGES: usize = 1024;
 
-    /// Creates a fresh sketch file at `path` (truncating any existing file): header with
-    /// `config`, a zeroed page-aligned room region sized by `set_len`, no tail.
+    /// Creates a fresh sketch file at `path` with [`Durability::Strict`] (truncating any
+    /// existing file): header with `config`, a zeroed page-aligned room region sized by
+    /// `set_len`, no tail, an empty write-ahead log at `<path>.wal`.
     pub fn create(path: &Path, config: &GssConfig, cache_pages: usize) -> io::Result<Self> {
+        Self::create_durable(path, config, cache_pages, Durability::Strict)
+    }
+
+    /// [`create`](Self::create) with an explicit durability policy.
+    pub fn create_durable(
+        path: &Path,
+        config: &GssConfig,
+        cache_pages: usize,
+        durability: Durability,
+    ) -> io::Result<Self> {
         let mut file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         let width = config.width;
         let rooms_per_bucket = config.rooms;
         let room_count = width * width * rooms_per_bucket;
+        // A fresh file carries the canonical empty tail: two zero-count sections of 8
+        // bytes each, so incremental checkpoints can rewrite either section alone from
+        // the very first sync.  `set_len` zero-fills them (a zero count *is* all-zeroes).
+        let empty_crc = crc32(&0u64.to_le_bytes());
+        let empty_section_len = 8u64;
         let mut header = [0u8; PAGE_BYTES];
         header[0..8].copy_from_slice(&FILE_MAGIC);
         header[OFF_CONFIG..OFF_CONFIG + CONFIG_BYTES].copy_from_slice(&encode_config(config));
+        header[OFF_TAIL_LEN..OFF_TAIL_LEN + 8]
+            .copy_from_slice(&(2 * empty_section_len).to_le_bytes());
         header[OFF_CLEAN] = 1;
+        header[OFF_BUFFER_LEN..OFF_BUFFER_LEN + 8]
+            .copy_from_slice(&empty_section_len.to_le_bytes());
+        header[OFF_BUFFER_CRC..OFF_BUFFER_CRC + 4].copy_from_slice(&empty_crc.to_le_bytes());
+        header[OFF_NODE_LEN..OFF_NODE_LEN + 8].copy_from_slice(&empty_section_len.to_le_bytes());
+        header[OFF_NODE_CRC..OFF_NODE_CRC + 4].copy_from_slice(&empty_crc.to_le_bytes());
         file.write_all(&header)?;
         // A sparse zero region where the filesystem supports it; room records decode
         // all-zeroes as unoccupied rooms, so no explicit formatting pass is needed.
-        file.set_len(Self::tail_offset_for(room_count))?;
+        file.set_len(Self::tail_offset_for(room_count) + 2 * empty_section_len)?;
+        let wal = WalWriter::create(&wal_path(path))?;
+        let flusher = match durability {
+            Durability::Strict => None,
+            Durability::Buffered => Some(Flusher::spawn(path)?),
+        };
         Ok(Self {
             path: path.to_path_buf(),
             width,
             rooms_per_bucket,
             cache_pages: cache_pages.max(1),
+            durability,
+            flusher,
             inner: Mutex::new(FileInner {
                 file,
                 occupied_rooms: 0,
@@ -167,41 +510,108 @@ impl FileStore {
                 index: OccupancyIndex::new(width),
                 page_lookups: 0,
                 page_faults: 0,
+                wal,
+                synced: SyncedTail {
+                    items: 0,
+                    buffer_gen: 0,
+                    node_gen: 0,
+                    buffer_len: empty_section_len,
+                    buffer_crc: empty_crc,
+                    node_len: empty_section_len,
+                    node_crc: empty_crc,
+                },
+                hook: None,
+                abandoned: false,
+                pages_written: 0,
+                tail_bytes_written: 0,
+                checkpoints: 0,
             }),
         })
     }
 
-    /// Opens an existing sketch file in place, validating the header and reading the tail.
-    /// The room region is **streamed once** (sequential reads, occupancy flags only, no
-    /// per-room decode or insert pass) to rebuild the in-memory occupancy index and
-    /// cross-check the header's occupied-room count — open cost is one sequential pass
-    /// over the file plus the (usually tiny) tail.
+    /// Opens an existing sketch file in place with [`Durability::Strict`], validating the
+    /// header and reading the tail.  The room region is **streamed once** (sequential
+    /// reads, occupancy flags only, no per-room decode or insert pass) to rebuild the
+    /// in-memory occupancy index — open cost is one sequential pass over the file plus
+    /// the (usually tiny) tail.
+    ///
+    /// An **unclean** v2 file (crash before the last checkpoint completed) is recovered
+    /// by replaying its write-ahead log; see the module docs.  Unclean v1 files are still
+    /// rejected as [`PersistenceError::Corrupt`] — they predate the log.
     pub fn open(path: &Path, cache_pages: usize) -> Result<(Self, FileHeader), PersistenceError> {
+        Self::open_durable(path, cache_pages, Durability::Strict)
+    }
+
+    /// [`open`](Self::open) with an explicit durability policy for the reopened store.
+    pub fn open_durable(
+        path: &Path,
+        cache_pages: usize,
+        durability: Durability,
+    ) -> Result<(Self, FileHeader), PersistenceError> {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         let mut header = [0u8; PAGE_BYTES];
         file.read_exact(&mut header)?;
-        if header[0..8] != FILE_MAGIC {
+        let version = if header[0..8] == FILE_MAGIC {
+            2
+        } else if header[0..8] == FILE_MAGIC_V1 {
+            1
+        } else {
             return Err(PersistenceError::BadMagic);
-        }
+        };
         let config = decode_config(
             header[OFF_CONFIG..OFF_CONFIG + CONFIG_BYTES].try_into().expect("length checked"),
         )?;
         let u64_at = |offset: usize| {
             u64::from_le_bytes(header[offset..offset + 8].try_into().expect("length checked"))
         };
+        let u32_at = |offset: usize| {
+            u32::from_le_bytes(header[offset..offset + 4].try_into().expect("length checked"))
+        };
         let items_inserted = u64_at(OFF_ITEMS);
         let occupied = u64_at(OFF_OCCUPIED);
         let tail_len = u64_at(OFF_TAIL_LEN);
-        if header[OFF_CLEAN] != 1 {
-            return Err(PersistenceError::Corrupt(
-                "sketch file was not cleanly synced (crash or missing sync before reopen)"
-                    .to_string(),
-            ));
+        let clean = header[OFF_CLEAN] == 1;
+        // v1 tails are monolithic (no valid section split), so their generation stamps
+        // are poisoned: the first sketch sync then rewrites the whole tail, upgrading
+        // the file to properly sectioned v2 in place.
+        let poison = if version == 1 { u64::MAX } else { 0 };
+        let synced = SyncedTail {
+            items: items_inserted,
+            buffer_gen: poison,
+            node_gen: poison,
+            buffer_len: if version == 2 { u64_at(OFF_BUFFER_LEN) } else { tail_len },
+            buffer_crc: u32_at(OFF_BUFFER_CRC),
+            node_len: if version == 2 { u64_at(OFF_NODE_LEN) } else { 0 },
+            node_crc: u32_at(OFF_NODE_CRC),
+        };
+        if !clean {
+            if version == 1 {
+                return Err(PersistenceError::Corrupt(
+                    "sketch file was not cleanly synced (crash or missing sync before reopen) \
+                     and predates the write-ahead log"
+                        .to_string(),
+                ));
+            }
+            return Self::recover(
+                file,
+                path,
+                config,
+                items_inserted,
+                synced,
+                cache_pages,
+                durability,
+            );
         }
         let room_count = config.room_count();
         if occupied > room_count as u64 {
             return Err(PersistenceError::Corrupt(format!(
                 "header claims {occupied} occupied rooms in a {room_count}-room matrix"
+            )));
+        }
+        if version == 2 && synced.buffer_len.checked_add(synced.node_len) != Some(tail_len) {
+            return Err(PersistenceError::Corrupt(format!(
+                "tail sections ({} + {} bytes) disagree with the tail length {tail_len}",
+                synced.buffer_len, synced.node_len
             )));
         }
         let tail_offset = Self::tail_offset_for(room_count);
@@ -212,6 +622,14 @@ impl FileStore {
         let mut tail = vec![0u8; tail_len as usize];
         file.seek(SeekFrom::Start(tail_offset))?;
         file.read_exact(&mut tail)?;
+        if version == 2 {
+            let (buffer, node) = tail.split_at(synced.buffer_len as usize);
+            if crc32(buffer) != synced.buffer_crc || crc32(node) != synced.node_crc {
+                return Err(PersistenceError::Corrupt(
+                    "tail section checksum mismatch".to_string(),
+                ));
+            }
+        }
         let index = Self::rebuild_index(&mut file, &config)?;
         let rebuilt_occupied = index.1;
         if rebuilt_occupied != occupied as usize {
@@ -220,24 +638,197 @@ impl FileStore {
                  {rebuilt_occupied}"
             )));
         }
-        let store = Self {
+        let mut synced = synced;
+        if version == 1 {
+            // Upgrade the header to v2 *now*, not at the first checkpoint: mutations
+            // after this open are write-ahead logged immediately, and recovery needs the
+            // v2 magic plus valid section CRCs (whole tail as the buffer section, empty
+            // node section) to accept the file.  The tail bytes themselves are untouched.
+            synced.buffer_crc = crc32(&tail);
+            synced.node_crc = crc32(&[]);
+            let mut fields = [0u8; HEADER_FIELDS_END - OFF_BUFFER_LEN];
+            fields[0..8].copy_from_slice(&synced.buffer_len.to_le_bytes());
+            fields[8..12].copy_from_slice(&synced.buffer_crc.to_le_bytes());
+            fields[12..20].copy_from_slice(&synced.node_len.to_le_bytes());
+            fields[20..24].copy_from_slice(&synced.node_crc.to_le_bytes());
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&FILE_MAGIC)?;
+            file.seek(SeekFrom::Start(OFF_BUFFER_LEN as u64))?;
+            file.write_all(&fields)?;
+            file.sync_data()?;
+        }
+        // A stale log (crash after the clean flag landed but before truncation) is fully
+        // covered by the completed checkpoint: discard it.
+        let wal = WalWriter::create(&wal_path(path)).map_err(PersistenceError::from)?;
+        let store = Self::assemble(
+            path,
+            &config,
+            cache_pages,
+            durability,
+            file,
+            occupied as usize,
+            true,
+            index.0,
+            wal,
+            synced,
+        )?;
+        Ok((store, FileHeader { config, items_inserted, tail, recovered: false }))
+    }
+
+    /// Crash recovery: rebuilds a consistent sketch file from an unclean v2 file plus its
+    /// write-ahead log, then checkpoints the recovered state so the file is clean again.
+    /// See the module docs for the replay semantics.
+    #[allow(clippy::too_many_arguments)]
+    fn recover(
+        mut file: File,
+        path: &Path,
+        config: GssConfig,
+        header_items: u64,
+        synced: SyncedTail,
+        cache_pages: usize,
+        durability: Durability,
+    ) -> Result<(Self, FileHeader), PersistenceError> {
+        let log = wal_path(path);
+        let room_count = config.room_count();
+        let replay = read_replay(&log, room_count as u64)?.ok_or_else(|| {
+            PersistenceError::Corrupt(
+                "sketch file was not cleanly synced (crash or missing sync before reopen) and \
+                 has no write-ahead log to replay"
+                    .to_string(),
+            )
+        })?;
+        let tail_offset = Self::tail_offset_for(room_count);
+        // Base tail sections: the image a mid-checkpoint crash logged wins; otherwise the
+        // file's sections, which the header CRCs must validate (they were written by the
+        // last completed checkpoint and not touched since).
+        let mut read_section = |offset: u64, len: u64, crc: u32, what: &str| {
+            let mut bytes = vec![0u8; len as usize];
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut bytes)?;
+            if crc32(&bytes) != crc {
+                return Err(PersistenceError::Corrupt(format!(
+                    "{what} section checksum mismatch during write-ahead-log recovery"
+                )));
+            }
+            Ok(bytes)
+        };
+        let buffer_bytes = match replay.tail_buffer {
+            Some(bytes) => bytes,
+            None => read_section(tail_offset, synced.buffer_len, synced.buffer_crc, "buffer")?,
+        };
+        let node_bytes = match replay.tail_node {
+            Some(bytes) => bytes,
+            None => read_section(
+                tail_offset + synced.buffer_len,
+                synced.node_len,
+                synced.node_crc,
+                "node",
+            )?,
+        };
+        // Decode the base tail and lay the logged deltas on top — all in memory, so a
+        // decode failure rejects the file without modifying it.
+        let mut buffer = crate::buffer::LeftoverBuffer::new();
+        let mut node_map = crate::node_map::NodeIdMap::new();
+        let mut base_tail = buffer_bytes;
+        base_tail.extend_from_slice(&node_bytes);
+        crate::persistence::decode_tail(&mut buffer, &mut node_map, &base_tail)?;
+        for &(source, destination, weight) in &replay.buffer_ops {
+            buffer.insert(source, destination, weight);
+        }
+        for &(hash, vertex) in &replay.node_ops {
+            node_map.register(hash, vertex);
+        }
+        let items = replay.items.unwrap_or(header_items);
+        // Replay room records into the room region (full post-write values: idempotent
+        // over whatever subset of dirty pages reached the file before the crash).
+        // `read_replay` bounds every index below `room_count`.
+        for &(index, ref record) in &replay.rooms {
+            debug_assert!(index < room_count as u64, "replay indices are bounds-checked");
+            file.seek(SeekFrom::Start(HEADER_BYTES + index * ROOM_RECORD_BYTES as u64))?;
+            file.write_all(record)?;
+        }
+        let (index, occupied) = Self::rebuild_index(&mut file, &config)?;
+        // Cut any torn suffix off the log before appending: the recovery checkpoint's
+        // TAIL frame must be reachable by a replay of the log as it stands.
+        let wal =
+            WalWriter::open_append(&log, replay.valid_bytes).map_err(PersistenceError::from)?;
+        let store = Self::assemble(
+            path,
+            &config,
+            cache_pages,
+            durability,
+            file,
+            occupied,
+            false,
+            index,
+            wal,
+            synced,
+        )?;
+        // Checkpoint the recovered state: tail rewritten whole, header counts re-derived,
+        // clean flag set, log truncated.  A crash during *this* checkpoint replays to the
+        // same state (its tail image lands behind the frames it supersedes).
+        let buffer_section = crate::persistence::encode_buffer_section(&buffer);
+        let node_section = crate::persistence::encode_node_section(&node_map);
+        store
+            .checkpoint(
+                items,
+                TailSections {
+                    buffer: Some(&buffer_section),
+                    node: Some(&node_section),
+                    buffer_gen: 0,
+                    node_gen: 0,
+                },
+            )
+            .map_err(|error| PersistenceError::Io(error.to_string()))?;
+        let mut tail = buffer_section;
+        tail.extend_from_slice(&node_section);
+        Ok((store, FileHeader { config, items_inserted: items, tail, recovered: true }))
+    }
+
+    /// Shared tail of `create`/`open`/`recover`: builds the store around an open file.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        path: &Path,
+        config: &GssConfig,
+        cache_pages: usize,
+        durability: Durability,
+        file: File,
+        occupied_rooms: usize,
+        clean: bool,
+        index: OccupancyIndex,
+        wal: WalWriter,
+        synced: SyncedTail,
+    ) -> Result<Self, PersistenceError> {
+        let flusher = match durability {
+            Durability::Strict => None,
+            Durability::Buffered => Some(Flusher::spawn(path).map_err(PersistenceError::from)?),
+        };
+        Ok(Self {
             path: path.to_path_buf(),
             width: config.width,
             rooms_per_bucket: config.rooms,
             cache_pages: cache_pages.max(1),
+            durability,
+            flusher,
             inner: Mutex::new(FileInner {
                 file,
-                occupied_rooms: occupied as usize,
-                clean: true,
+                occupied_rooms,
+                clean,
                 tick: 0,
                 pages: HashMap::new(),
                 recency: std::collections::BTreeMap::new(),
-                index: index.0,
+                index,
                 page_lookups: 0,
                 page_faults: 0,
+                wal,
+                synced,
+                hook: None,
+                abandoned: false,
+                pages_written: 0,
+                tail_bytes_written: 0,
+                checkpoints: 0,
             }),
-        };
-        Ok((store, FileHeader { config, items_inserted, tail }))
+        })
     }
 
     /// Streams the room region sequentially and rebuilds the occupancy index from the
@@ -282,6 +873,22 @@ impl FileStore {
         self.cache_pages
     }
 
+    /// The durability policy this store runs under.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Installs (or clears) the durability-point observer used by kill-point tests.
+    pub fn set_flush_hook(&self, hook: Option<FlushHook>) {
+        self.inner.lock().hook = hook;
+    }
+
+    /// Marks the store as crash-simulated: drop will neither drain the background queue
+    /// nor checkpoint, leaving the file exactly as a `SIGKILL` would.
+    pub fn abandon(&self) {
+        self.inner.lock().abandoned = true;
+    }
+
     /// Byte offset where the tail begins (room region rounded up to whole pages).
     fn tail_offset_for(room_count: usize) -> u64 {
         let pages = (room_count * ROOM_RECORD_BYTES).div_ceil(PAGE_BYTES) as u64;
@@ -308,24 +915,40 @@ impl FileStore {
 
     /// Returns the cached page, faulting it in (and evicting the least-recently-used page,
     /// writing it back if dirty) on a miss.
-    fn page(inner: &mut FileInner, page_index: u64, capacity: usize) -> io::Result<&mut Page> {
+    fn page<'a>(&self, inner: &'a mut FileInner, page_index: u64) -> io::Result<&'a mut Page> {
         inner.tick += 1;
         inner.page_lookups += 1;
         let tick = inner.tick;
         if !inner.pages.contains_key(&page_index) {
             inner.page_faults += 1;
-            if inner.pages.len() >= capacity {
+            if inner.pages.len() >= self.cache_pages {
                 let (_, victim) =
                     inner.recency.pop_first().expect("cache is non-empty when at capacity");
                 let page = inner.pages.remove(&victim).expect("victim exists");
                 if page.dirty {
-                    Self::write_page(&mut inner.file, victim, &page)?;
+                    // Write-ahead barrier: frames covering this page must be durable
+                    // before the page itself is.
+                    drain_wal(inner)?;
+                    match &self.flusher {
+                        Some(flusher) => flusher.enqueue(victim, page.data)?,
+                        None => {
+                            Self::write_page(&mut inner.file, victim, &page.data)?;
+                            inner.pages_written += 1;
+                            fire(inner, FlushPoint::PageWriteBack);
+                        }
+                    }
                 }
             }
-            let mut data = Box::new([0u8; PAGE_BYTES]);
-            inner.file.seek(SeekFrom::Start(HEADER_BYTES + page_index * PAGE_BYTES as u64))?;
-            inner.file.read_exact(&mut data[..])?;
-            inner.pages.insert(page_index, Page { data, dirty: false, stamp: tick });
+            // A page sitting in the background queue has not reached the file yet: take
+            // it back (still dirty) instead of reading stale bytes.
+            let (data, dirty) = match self.flusher.as_ref().map(|f| f.steal(page_index)) {
+                Some(stolen) => match stolen? {
+                    Some(data) => (data, true),
+                    None => (Self::read_page(&mut inner.file, page_index)?, false),
+                },
+                None => (Self::read_page(&mut inner.file, page_index)?, false),
+            };
+            inner.pages.insert(page_index, Page { data, dirty, stamp: tick });
         }
         let page = inner.pages.get_mut(&page_index).expect("just inserted or present");
         if page.stamp != tick {
@@ -336,43 +959,82 @@ impl FileStore {
         Ok(page)
     }
 
-    fn write_page(file: &mut File, page_index: u64, page: &Page) -> io::Result<()> {
+    fn read_page(file: &mut File, page_index: u64) -> io::Result<Box<[u8; PAGE_BYTES]>> {
+        let mut data = Box::new([0u8; PAGE_BYTES]);
         file.seek(SeekFrom::Start(HEADER_BYTES + page_index * PAGE_BYTES as u64))?;
-        file.write_all(&page.data[..])
+        file.read_exact(&mut data[..])?;
+        Ok(data)
+    }
+
+    fn write_page(file: &mut File, page_index: u64, data: &[u8; PAGE_BYTES]) -> io::Result<()> {
+        file.seek(SeekFrom::Start(HEADER_BYTES + page_index * PAGE_BYTES as u64))?;
+        file.write_all(&data[..])
     }
 
     /// Reads the room at flat index `index` through the cache.
-    fn read_room(inner: &mut FileInner, index: usize, capacity: usize) -> io::Result<Room> {
+    fn read_room(&self, inner: &mut FileInner, index: usize) -> io::Result<Room> {
         let byte = index * ROOM_RECORD_BYTES;
-        let page = Self::page(inner, (byte / PAGE_BYTES) as u64, capacity)?;
+        let page = self.page(inner, (byte / PAGE_BYTES) as u64)?;
         let offset = byte % PAGE_BYTES;
         let record: &[u8; ROOM_RECORD_BYTES] =
             page.data[offset..offset + ROOM_RECORD_BYTES].try_into().expect("length checked");
         Ok(decode_room(record))
     }
 
-    /// Writes the room at flat index `index` through the cache, marking the page dirty and
-    /// clearing the header's clean flag on the first mutation after a sync.
-    fn write_room(
-        inner: &mut FileInner,
-        index: usize,
-        room: &Room,
-        capacity: usize,
-    ) -> io::Result<()> {
-        if inner.clean {
-            inner.clean = false;
-            inner.file.seek(SeekFrom::Start(OFF_CLEAN as u64))?;
-            inner.file.write_all(&[0])?;
-        }
+    /// Writes the room at flat index `index` through the cache: logs the full post-write
+    /// record to the write-ahead log, marks the page dirty and clears the header's clean
+    /// flag on the first mutation after a checkpoint.
+    fn write_room(&self, inner: &mut FileInner, index: usize, room: &Room) -> io::Result<()> {
+        let record = encode_room(room);
+        inner.wal.log_room(index as u64, &record);
+        mark_unclean(inner)?;
         let byte = index * ROOM_RECORD_BYTES;
-        let page = Self::page(inner, (byte / PAGE_BYTES) as u64, capacity)?;
+        let page = self.page(inner, (byte / PAGE_BYTES) as u64)?;
         let offset = byte % PAGE_BYTES;
-        page.data[offset..offset + ROOM_RECORD_BYTES].copy_from_slice(&encode_room(room));
+        page.data[offset..offset + ROOM_RECORD_BYTES].copy_from_slice(&record);
         page.dirty = true;
         Ok(())
     }
 
-    /// Flushes every dirty page to the file (pages stay cached, now clean).
+    /// Logs a left-over buffer insertion to the write-ahead log (the buffer itself lives
+    /// in the sketch, not in room storage — only its durability passes through here).
+    pub(crate) fn log_buffer_insert(&self, source: u64, destination: u64, weight: i64) {
+        self.with_inner(|inner| {
+            inner.wal.log_buffer(source, destination, weight);
+            mark_unclean(inner)
+        });
+    }
+
+    /// Logs a `⟨H(v), v⟩` registration to the write-ahead log.
+    pub(crate) fn log_node(&self, hash: u64, vertex: u64) {
+        self.with_inner(|inner| {
+            inner.wal.log_node(hash, vertex);
+            mark_unclean(inner)
+        });
+    }
+
+    /// Logs the completion of an insert/batch and applies the durability policy: under
+    /// [`Durability::Strict`] the log drains before this returns (the acknowledged items
+    /// are now crash-safe); under [`Durability::Buffered`] it drains once the pending
+    /// buffer exceeds [`WAL_BUFFER_BYTES`].  Returns the total log bytes so the sketch
+    /// can trigger an automatic checkpoint when the log grows past its bound.
+    pub(crate) fn log_commit(&self, items: u64) -> u64 {
+        self.with_inner(|inner| {
+            inner.wal.log_commit(items);
+            // Unclean-before-drain: a drained log behind a still-clean header would be
+            // discarded on reopen, losing the items this commit acknowledges.
+            mark_unclean(inner)?;
+            if self.durability == Durability::Strict
+                || inner.wal.pending_bytes() >= WAL_BUFFER_BYTES
+            {
+                drain_wal(inner)?;
+            }
+            Ok(inner.wal.bytes())
+        })
+    }
+
+    /// Flushes every dirty page to the file (pages stay cached, now clean), barriering
+    /// the background flusher first.  Does **not** checkpoint.
     pub fn flush_pages(&self) -> io::Result<()> {
         self.inner_flush(&mut self.inner.lock())
     }
@@ -383,6 +1045,26 @@ impl FileStore {
         PageCacheStats { lookups: inner.page_lookups, faults: inner.page_faults }
     }
 
+    /// Cumulative durability counters since this store was created or opened.
+    pub fn durability_stats(&self) -> DurabilityStats {
+        let inner = self.inner.lock();
+        DurabilityStats {
+            wal_bytes: inner.wal.bytes(),
+            wal_flushes: inner.wal.flushes(),
+            pages_written: inner.pages_written,
+            pages_written_background: self.flusher.as_ref().map_or(0, Flusher::pages_written),
+            tail_bytes_written: inner.tail_bytes_written,
+            checkpoints: inner.checkpoints,
+        }
+    }
+
+    /// Generation stamps of the last checkpointed tail sections, plus the checkpointed
+    /// buffer-section length (the sketch uses these to encode only changed sections).
+    pub(crate) fn synced_tail_state(&self) -> (u64, u64, u64) {
+        let inner = self.inner.lock();
+        (inner.synced.buffer_gen, inner.synced.node_gen, inner.synced.buffer_len)
+    }
+
     /// Full-grid row scan ignoring the occupancy index — the pre-index behaviour, kept as
     /// the measurable baseline (one lock for the whole scan, every bucket of the row
     /// probed through the page cache).
@@ -391,7 +1073,7 @@ impl FileStore {
         let rooms_per_row = self.width * self.rooms_per_bucket;
         self.with_inner(|inner| {
             for offset in 0..rooms_per_row {
-                let room = Self::read_room(inner, start + offset, self.cache_pages)?;
+                let room = self.read_room(inner, start + offset)?;
                 if room.occupied {
                     visit(offset / self.rooms_per_bucket, room);
                 }
@@ -409,7 +1091,7 @@ impl FileStore {
             for row in 0..self.width {
                 let start = (row * self.width + column) * self.rooms_per_bucket;
                 for slot in 0..self.rooms_per_bucket {
-                    let room = Self::read_room(inner, start + slot, self.cache_pages)?;
+                    let room = self.read_room(inner, start + slot)?;
                     if room.occupied {
                         visit(row, room);
                     }
@@ -419,49 +1101,164 @@ impl FileStore {
         });
     }
 
+    /// Drains the write-ahead log, barriers the background flusher and writes every dirty
+    /// cached page to the file (pages stay cached, now clean).
     fn inner_flush(&self, inner: &mut FileInner) -> io::Result<()> {
+        drain_wal(inner)?;
+        if let Some(flusher) = &self.flusher {
+            flusher.barrier()?;
+        }
         // Write in page order so a sequentially-filled matrix flushes sequentially.
         let mut dirty: Vec<u64> =
             inner.pages.iter().filter(|(_, page)| page.dirty).map(|(&index, _)| index).collect();
         dirty.sort_unstable();
+        let wrote = !dirty.is_empty();
         for index in dirty {
             let page = inner.pages.remove(&index).expect("listed page exists");
-            Self::write_page(&mut inner.file, index, &page)?;
+            Self::write_page(&mut inner.file, index, &page.data)?;
+            inner.pages_written += 1;
             inner.pages.insert(index, Page { dirty: false, ..page });
+        }
+        if wrote {
+            fire(inner, FlushPoint::PageWriteBack);
         }
         Ok(())
     }
 
-    /// Checkpoints the file: flushes dirty pages, rewrites the tail (truncating any stale
-    /// longer one), updates the header counters and sets the clean flag.  After this the
-    /// file is reopenable via [`FileStore::open`].
-    pub fn write_tail(&self, items_inserted: u64, tail: &[u8]) -> io::Result<()> {
-        let mut inner = self.inner.lock();
-        // Clear the clean flag before touching anything, even when no room mutation
-        // preceded this checkpoint (buffer-only inserts never call write_room): a crash
-        // between the partial tail write below and the final header update must leave
-        // the file rejected as unclean, not accepted with a torn tail.
-        if inner.clean {
-            inner.file.seek(SeekFrom::Start(OFF_CLEAN as u64))?;
-            inner.file.write_all(&[0])?;
-            inner.file.sync_data()?;
-            inner.clean = false;
+    /// Checkpoints the file: logs the new tail image, flushes the write-ahead log and
+    /// every dirty page, rewrites only the tail sections whose generation stamp moved,
+    /// updates the header (counters, section lengths/CRCs, clean flag) and truncates the
+    /// log.  After this the file reopens via [`FileStore::open`] with no replay.
+    ///
+    /// A fully clean store (no mutations, matching generations) returns immediately.
+    pub fn checkpoint(&self, items: u64, sections: TailSections<'_>) -> io::Result<()> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let synced = inner.synced;
+        if inner.clean
+            && inner.wal.is_empty()
+            && sections.buffer.is_none()
+            && sections.node.is_none()
+            && sections.buffer_gen == synced.buffer_gen
+            && sections.node_gen == synced.node_gen
+            && items == synced.items
+        {
+            return Ok(());
         }
-        self.inner_flush(&mut inner)?;
+        debug_assert!(
+            sections.buffer.is_some() || sections.buffer_gen == synced.buffer_gen,
+            "a moved buffer generation must come with its section bytes"
+        );
+        debug_assert!(
+            sections.node.is_some() || sections.node_gen == synced.node_gen,
+            "a moved node generation must come with its section bytes"
+        );
+        let buffer_len = sections.buffer.map_or(synced.buffer_len, |b| b.len() as u64);
+        let node_len = sections.node.map_or(synced.node_len, |n| n.len() as u64);
+        debug_assert!(
+            sections.node.is_some() || buffer_len == synced.buffer_len,
+            "the node section must be rewritten when the buffer section changes length"
+        );
+        // 1. The tail image goes to the log first: a crash anywhere below recovers it.
+        inner.wal.log_tail(items, sections.buffer, sections.node);
+        inner.wal.sync()?;
+        fire(inner, FlushPoint::WalFlush);
+        // 2. Mark the file unclean before touching it (a no-op when a mutation already
+        //    did — items-only checkpoints exist): a crash between the partial tail write
+        //    below and the final header update must leave the file routed through
+        //    recovery, never accepted with a torn tail.
+        let was_clean = inner.clean;
+        mark_unclean(inner)?;
+        if was_clean {
+            inner.file.sync_data()?;
+        }
+        // 3. Every dirty page out: background queue barriered, cache flushed.
+        self.inner_flush(inner)?;
+        // 4. Only the tail sections whose generation moved are rewritten.
         let tail_offset = Self::tail_offset_for(self.room_count_internal());
-        inner.file.seek(SeekFrom::Start(tail_offset))?;
-        inner.file.write_all(tail)?;
-        inner.file.set_len(tail_offset + tail.len() as u64)?;
-        let mut fields = [0u8; OFF_CLEAN + 1 - OFF_ITEMS];
-        fields[0..8].copy_from_slice(&items_inserted.to_le_bytes());
-        fields[8..16].copy_from_slice(&(inner.occupied_rooms as u64).to_le_bytes());
-        fields[16..24].copy_from_slice(&(tail.len() as u64).to_le_bytes());
-        fields[24] = 1;
+        if let Some(buffer) = sections.buffer {
+            inner.file.seek(SeekFrom::Start(tail_offset))?;
+            inner.file.write_all(buffer)?;
+            inner.tail_bytes_written += buffer.len() as u64;
+        }
+        if let Some(node) = sections.node {
+            inner.file.seek(SeekFrom::Start(tail_offset + buffer_len))?;
+            inner.file.write_all(node)?;
+            inner.tail_bytes_written += node.len() as u64;
+        }
+        inner.file.set_len(tail_offset + buffer_len + node_len)?;
+        fire(inner, FlushPoint::TailWrite);
+        // 5. Header: magic, counters, section CRCs, clean flag.
+        let buffer_crc = sections.buffer.map_or(synced.buffer_crc, crc32);
+        let node_crc = sections.node.map_or(synced.node_crc, crc32);
+        let mut fields = [0u8; HEADER_FIELDS_END - OFF_ITEMS];
+        let at = |offset: usize| offset - OFF_ITEMS;
+        fields[at(OFF_ITEMS)..at(OFF_ITEMS) + 8].copy_from_slice(&items.to_le_bytes());
+        fields[at(OFF_OCCUPIED)..at(OFF_OCCUPIED) + 8]
+            .copy_from_slice(&(inner.occupied_rooms as u64).to_le_bytes());
+        fields[at(OFF_TAIL_LEN)..at(OFF_TAIL_LEN) + 8]
+            .copy_from_slice(&(buffer_len + node_len).to_le_bytes());
+        fields[at(OFF_CLEAN)] = 1;
+        fields[at(OFF_BUFFER_LEN)..at(OFF_BUFFER_LEN) + 8]
+            .copy_from_slice(&buffer_len.to_le_bytes());
+        fields[at(OFF_BUFFER_CRC)..at(OFF_BUFFER_CRC) + 4]
+            .copy_from_slice(&buffer_crc.to_le_bytes());
+        fields[at(OFF_NODE_LEN)..at(OFF_NODE_LEN) + 8].copy_from_slice(&node_len.to_le_bytes());
+        fields[at(OFF_NODE_CRC)..at(OFF_NODE_CRC) + 4].copy_from_slice(&node_crc.to_le_bytes());
+        inner.file.seek(SeekFrom::Start(0))?;
+        inner.file.write_all(&FILE_MAGIC)?;
         inner.file.seek(SeekFrom::Start(OFF_ITEMS as u64))?;
         inner.file.write_all(&fields)?;
         inner.file.sync_all()?;
         inner.clean = true;
+        inner.checkpoints += 1;
+        fire(inner, FlushPoint::CheckpointDone);
+        // 6. Every logged frame is now covered by the checkpoint.
+        inner.wal.truncate()?;
+        inner.synced = SyncedTail {
+            items,
+            buffer_gen: sections.buffer_gen,
+            node_gen: sections.node_gen,
+            buffer_len,
+            buffer_crc,
+            node_len,
+            node_crc,
+        };
         Ok(())
+    }
+
+    /// Checkpoints with an opaque, whole tail (compatibility wrapper over
+    /// [`checkpoint`](Self::checkpoint): the bytes land as the "buffer" section and an
+    /// empty node section, which decodes identically — section boundaries only matter
+    /// for incremental rewrites and CRCs).
+    pub fn write_tail(&self, items_inserted: u64, tail: &[u8]) -> io::Result<()> {
+        let force_gen = {
+            let inner = self.inner.lock();
+            // Wrapping: v1 opens poison the stamps to u64::MAX.  Any value works here —
+            // both sections are provided, so no skip comparison ever reads it.
+            inner.synced.buffer_gen.max(inner.synced.node_gen).wrapping_add(1)
+        };
+        self.checkpoint(
+            items_inserted,
+            TailSections {
+                buffer: Some(tail),
+                node: Some(&[]),
+                buffer_gen: force_gen,
+                node_gen: force_gen,
+            },
+        )
+    }
+}
+
+/// Joins the background flusher.  A normal drop drains the queue first (every enqueued
+/// page reaches the file); an [`abandoned`](FileStore::abandon) store discards it,
+/// leaving the file exactly as a crash would.
+impl Drop for FileStore {
+    fn drop(&mut self) {
+        if let Some(mut flusher) = self.flusher.take() {
+            let discard = self.inner.lock().abandoned;
+            flusher.shutdown(discard);
+        }
     }
 }
 
@@ -484,7 +1281,7 @@ impl RoomStore for FileStore {
 
     fn room(&self, row: usize, column: usize, slot: usize) -> Room {
         let index = self.room_index(row, column, slot);
-        self.with_inner(|inner| Self::read_room(inner, index, self.cache_pages))
+        self.with_inner(|inner| self.read_room(inner, index))
     }
 
     fn find_match(
@@ -499,7 +1296,7 @@ impl RoomStore for FileStore {
         let start = self.room_index(row, column, 0);
         self.with_inner(|inner| {
             for slot in 0..self.rooms_per_bucket {
-                let room = Self::read_room(inner, start + slot, self.cache_pages)?;
+                let room = self.read_room(inner, start + slot)?;
                 if room.matches(
                     source_fingerprint,
                     destination_fingerprint,
@@ -517,7 +1314,7 @@ impl RoomStore for FileStore {
         let start = self.room_index(row, column, 0);
         self.with_inner(|inner| {
             for slot in 0..self.rooms_per_bucket {
-                if !Self::read_room(inner, start + slot, self.cache_pages)?.occupied {
+                if !self.read_room(inner, start + slot)?.occupied {
                     return Ok(Some(slot));
                 }
             }
@@ -538,7 +1335,7 @@ impl RoomStore for FileStore {
         self.with_inner(|inner| {
             let mut first_empty = None;
             for slot in 0..self.rooms_per_bucket {
-                let room = Self::read_room(inner, start + slot, self.cache_pages)?;
+                let room = self.read_room(inner, start + slot)?;
                 if room.matches(
                     source_fingerprint,
                     destination_fingerprint,
@@ -558,10 +1355,10 @@ impl RoomStore for FileStore {
     fn add_weight(&mut self, row: usize, column: usize, slot: usize, weight: i64) {
         let index = self.room_index(row, column, slot);
         self.with_inner(|inner| {
-            let mut room = Self::read_room(inner, index, self.cache_pages)?;
+            let mut room = self.read_room(inner, index)?;
             debug_assert!(room.occupied, "adding weight to an empty room");
             room.weight += weight;
-            Self::write_room(inner, index, &room, self.cache_pages)
+            self.write_room(inner, index, &room)
         });
     }
 
@@ -569,11 +1366,8 @@ impl RoomStore for FileStore {
         debug_assert!(room.occupied, "storing an unoccupied room");
         let index = self.room_index(row, column, slot);
         self.with_inner(|inner| {
-            debug_assert!(
-                !Self::read_room(inner, index, self.cache_pages)?.occupied,
-                "overwriting an occupied room"
-            );
-            Self::write_room(inner, index, &room, self.cache_pages)?;
+            debug_assert!(!self.read_room(inner, index)?.occupied, "overwriting an occupied room");
+            self.write_room(inner, index, &room)?;
             inner.occupied_rooms += 1;
             inner.index.mark(row, column);
             Ok(())
@@ -639,7 +1433,7 @@ impl FileStore {
     ) -> io::Result<()> {
         let start = (row * self.width + column) * self.rooms_per_bucket;
         for slot in 0..self.rooms_per_bucket {
-            let room = Self::read_room(inner, start + slot, self.cache_pages)?;
+            let room = self.read_room(inner, start + slot)?;
             if room.occupied {
                 visit(room);
             }
@@ -654,6 +1448,11 @@ mod tests {
 
     fn temp_path(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("gss-file-store-{}-{name}.gss", std::process::id()))
+    }
+
+    fn remove(path: &Path) {
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(wal_path(path)).ok();
     }
 
     fn sample_room(weight: i64) -> Room {
@@ -689,13 +1488,14 @@ mod tests {
         assert_eq!(header.config, config);
         assert_eq!(header.items_inserted, 123);
         assert_eq!(header.tail, b"tailbytes");
+        assert!(!header.recovered);
         assert_eq!(store.occupied_rooms(), 2);
         assert_eq!(store.room(3, 5, 0).weight, 50);
         assert_eq!(store.room(7, 0, 1).weight, -7);
         let mut seen = Vec::new();
         store.scan_occupied(&mut |r, c, room| seen.push((r, c, room.weight)));
         assert_eq!(seen, vec![(3, 5, 50), (7, 0, 1 - 8)]);
-        std::fs::remove_file(&path).ok();
+        remove(&path);
     }
 
     #[test]
@@ -711,12 +1511,35 @@ mod tests {
             assert_eq!(store.room(row, (row * 7) % 40, 0).weight, row as i64 + 1);
         }
         assert_eq!(store.occupied_rooms(), 40);
+        assert!(store.durability_stats().pages_written > 0, "evictions write back");
         store.write_tail(0, &[]).unwrap();
         let (reopened, _) = FileStore::open(&path, 1).unwrap();
         for row in 0..40 {
             assert_eq!(reopened.room(row, (row * 7) % 40, 0).weight, row as i64 + 1);
         }
-        std::fs::remove_file(&path).ok();
+        remove(&path);
+    }
+
+    #[test]
+    fn buffered_store_round_trips_through_the_background_flusher() {
+        let path = temp_path("buffered");
+        let config = GssConfig::paper_default(40);
+        let mut store = FileStore::create_durable(&path, &config, 1, Durability::Buffered).unwrap();
+        for row in 0..40 {
+            store.store_room(row, (row * 7) % 40, 0, sample_room(row as i64 + 1));
+        }
+        // Reads see every write even while pages sit in the background queue (steal-back).
+        for row in 0..40 {
+            assert_eq!(store.room(row, (row * 7) % 40, 0).weight, row as i64 + 1);
+        }
+        store.write_tail(40, b"t").unwrap();
+        let stats = store.durability_stats();
+        assert_eq!(stats.checkpoints, 1);
+        drop(store);
+        let (reopened, header) = FileStore::open(&path, 4).unwrap();
+        assert_eq!(header.items_inserted, 40);
+        assert_eq!(reopened.occupied_rooms(), 40);
+        remove(&path);
     }
 
     #[test]
@@ -732,18 +1555,31 @@ mod tests {
         let mut col2 = Vec::new();
         store.scan_column(2, &mut |r, room| col2.push((r, room.weight)));
         assert_eq!(col2, vec![(0, 30), (1, 20)]);
-        std::fs::remove_file(&path).ok();
+        remove(&path);
     }
 
     #[test]
-    fn unclean_files_and_bad_magic_are_rejected_on_open() {
+    fn unclean_files_recover_from_the_wal_and_bad_magic_is_rejected() {
         let path = temp_path("unclean");
         {
             let mut store = FileStore::create(&path, &GssConfig::paper_default(4), 2).unwrap();
             store.store_room(0, 0, 0, sample_room(1));
-            store.flush_pages().unwrap();
-            // No write_tail: the clean flag stays cleared.
+            store.log_commit(1);
+            // No write_tail: the clean flag stays cleared, the room lives only in the
+            // cache — and in the drained WAL.
         }
+        let (recovered, header) = FileStore::open(&path, 2).unwrap();
+        assert!(header.recovered);
+        assert_eq!(header.items_inserted, 1);
+        assert_eq!(recovered.occupied_rooms(), 1);
+        assert_eq!(recovered.room(0, 0, 0).weight, 1);
+        drop(recovered);
+        // Same crash state but the log is gone: unrecoverable, rejected.
+        {
+            let mut store = FileStore::create(&path, &GssConfig::paper_default(4), 2).unwrap();
+            store.store_room(0, 0, 0, sample_room(1));
+        }
+        std::fs::remove_file(wal_path(&path)).unwrap();
         assert!(matches!(
             FileStore::open(&path, 2),
             Err(PersistenceError::Corrupt(message)) if message.contains("cleanly")
@@ -754,7 +1590,73 @@ mod tests {
         assert!(matches!(FileStore::open(&path, 2), Err(PersistenceError::BadMagic)));
         std::fs::write(&path, b"GS").unwrap();
         assert!(matches!(FileStore::open(&path, 2), Err(PersistenceError::UnexpectedEof)));
-        std::fs::remove_file(&path).ok();
+        remove(&path);
+    }
+
+    #[test]
+    fn version_1_files_still_open_and_upgrade_on_checkpoint() {
+        let path = temp_path("v1-compat");
+        let config = GssConfig::paper_default(8);
+        {
+            let mut store = FileStore::create(&path, &config, 4).unwrap();
+            store.store_room(2, 3, 0, sample_room(9));
+            store.write_tail(5, b"oldtail").unwrap();
+        }
+        // Rewrite the header as PR-3/4 would have written it: v1 magic, no section fields.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0..8].copy_from_slice(&FILE_MAGIC_V1);
+        for byte in &mut bytes[OFF_BUFFER_LEN..HEADER_FIELDS_END] {
+            *byte = 0;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        std::fs::remove_file(wal_path(&path)).unwrap();
+        let (store, header) = FileStore::open(&path, 4).unwrap();
+        assert_eq!(header.items_inserted, 5);
+        assert_eq!(header.tail, b"oldtail");
+        assert_eq!(store.room(2, 3, 0).weight, 9);
+        let upgraded = std::fs::read(&path).unwrap();
+        assert_eq!(&upgraded[0..8], &FILE_MAGIC, "open upgrades the magic in place");
+        store.write_tail(6, b"newtail").unwrap();
+        drop(store);
+        let (_, reheader) = FileStore::open(&path, 4).unwrap();
+        assert_eq!(reheader.tail, b"newtail");
+        remove(&path);
+    }
+
+    #[test]
+    fn upgraded_v1_files_recover_from_a_crash_before_their_first_checkpoint() {
+        let path = temp_path("v1-crash");
+        let config = GssConfig::paper_default(8);
+        // A decodable v1 tail: the canonical empty buffer + node sections (16 zero
+        // bytes) — recovery must decode the base tail, unlike a plain clean open.
+        let v1_tail = [0u8; 16];
+        {
+            let mut store = FileStore::create(&path, &config, 4).unwrap();
+            store.store_room(2, 3, 0, sample_room(9));
+            store.write_tail(5, &v1_tail).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0..8].copy_from_slice(&FILE_MAGIC_V1);
+        for byte in &mut bytes[OFF_BUFFER_LEN..HEADER_FIELDS_END] {
+            *byte = 0;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        std::fs::remove_file(wal_path(&path)).unwrap();
+        {
+            // Open the v1 file (upgrading it), mutate, then crash before any checkpoint.
+            let (mut store, header) = FileStore::open(&path, 4).unwrap();
+            assert_eq!(header.tail, v1_tail);
+            store.store_room(1, 1, 0, sample_room(4));
+            store.log_commit(6);
+            store.abandon();
+        }
+        let (recovered, header) = FileStore::open(&path, 4).unwrap();
+        assert!(header.recovered, "the acknowledged mutation survives the crash");
+        assert_eq!(header.items_inserted, 6);
+        assert_eq!(recovered.room(1, 1, 0).weight, 4);
+        assert_eq!(recovered.room(2, 3, 0).weight, 9);
+        assert_eq!(header.tail, v1_tail, "the monolithic v1 tail rides along unchanged");
+        remove(&path);
     }
 
     #[test]
@@ -768,7 +1670,7 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
         assert!(matches!(FileStore::open(&path, 2), Err(PersistenceError::UnexpectedEof)));
-        std::fs::remove_file(&path).ok();
+        remove(&path);
     }
 
     #[test]
@@ -808,7 +1710,7 @@ mod tests {
             indexed_lookups * 8 <= naive_lookups,
             "indexed scan touched {indexed_lookups} pages, naive {naive_lookups}"
         );
-        std::fs::remove_file(&path).ok();
+        remove(&path);
     }
 
     #[test]
@@ -830,6 +1732,71 @@ mod tests {
             FileStore::open(&path, 4),
             Err(PersistenceError::Corrupt(message)) if message.contains("occupied")
         ));
-        std::fs::remove_file(&path).ok();
+        remove(&path);
+    }
+
+    #[test]
+    fn incremental_checkpoints_skip_unchanged_sections() {
+        let path = temp_path("incremental");
+        let store = FileStore::create(&path, &GssConfig::paper_default(8), 4).unwrap();
+        let buffer = b"buffer-section".to_vec();
+        let node = b"node-section-bytes".to_vec();
+        store
+            .checkpoint(
+                1,
+                TailSections {
+                    buffer: Some(&buffer),
+                    node: Some(&node),
+                    buffer_gen: 1,
+                    node_gen: 1,
+                },
+            )
+            .unwrap();
+        let after_first = store.durability_stats().tail_bytes_written;
+        assert_eq!(after_first, (buffer.len() + node.len()) as u64);
+        // Same generations: the checkpoint is a no-op (fast path).
+        store
+            .checkpoint(1, TailSections { buffer: None, node: None, buffer_gen: 1, node_gen: 1 })
+            .unwrap();
+        assert_eq!(store.durability_stats().tail_bytes_written, after_first);
+        assert_eq!(store.durability_stats().checkpoints, 1);
+        // Node-only change: only the node section is rewritten.
+        let node2 = b"node-section-other".to_vec();
+        store
+            .checkpoint(
+                2,
+                TailSections { buffer: None, node: Some(&node2), buffer_gen: 1, node_gen: 2 },
+            )
+            .unwrap();
+        assert_eq!(store.durability_stats().tail_bytes_written, after_first + node2.len() as u64);
+        drop(store);
+        let (_, header) = FileStore::open(&path, 4).unwrap();
+        assert_eq!(header.items_inserted, 2);
+        let mut expected = buffer.clone();
+        expected.extend_from_slice(&node2);
+        assert_eq!(header.tail, expected);
+        remove(&path);
+    }
+
+    #[test]
+    fn flush_hook_observes_the_checkpoint_sequence() {
+        let path = temp_path("hook");
+        let mut store = FileStore::create(&path, &GssConfig::paper_default(8), 4).unwrap();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        store.set_flush_hook(Some(Box::new(move |point| sink.lock().push(point))));
+        store.store_room(0, 0, 0, sample_room(3));
+        store.write_tail(1, b"t").unwrap();
+        let seen = seen.lock().clone();
+        assert_eq!(
+            seen,
+            vec![
+                FlushPoint::WalFlush,
+                FlushPoint::PageWriteBack,
+                FlushPoint::TailWrite,
+                FlushPoint::CheckpointDone,
+            ]
+        );
+        remove(&path);
     }
 }

@@ -266,16 +266,43 @@ impl NodeHasher {
         count
     }
 
+    /// The `index`-th element `q_{index+1}` of the LCG sequence seeded by `fingerprint`
+    /// — the quantity [`recover_address`](Self::recover_address) subtracts.  Depends on
+    /// nothing but its arguments, which is what makes it memoisable.
+    #[inline]
+    fn sequence_q(fingerprint: u16, index: usize) -> u64 {
+        let mut q = lcg_start(fingerprint as u64);
+        for _ in 0..index {
+            q = lcg_next(q);
+        }
+        q
+    }
+
     /// Recovers the original matrix address `h(v)` from the row/column `position` a room was
     /// found at, the stored fingerprint, and the stored 0-based sequence index — the inverse
     /// of [`address_sequence`](Self::address_sequence), used by successor/precursor queries.
     /// Allocation-free: this runs once per matching room during a scan, so the LCG is
     /// replayed inline instead of materialising the sequence.
     pub fn recover_address(&self, position: usize, fingerprint: u16, index: usize) -> usize {
-        let mut q = lcg_start(fingerprint as u64);
-        for _ in 0..index {
-            q = lcg_next(q);
-        }
+        self.recover_address_from_q(position, Self::sequence_q(fingerprint, index))
+    }
+
+    /// [`recover_address`](Self::recover_address) through a [`RecoverQCache`], so
+    /// hub-heavy query mixes (many rooms sharing `(fingerprint, index)` pairs across
+    /// repeated scans) replay the LCG once per pair instead of once per matching room.
+    pub fn recover_address_cached(
+        &self,
+        position: usize,
+        fingerprint: u16,
+        index: usize,
+        cache: &RecoverQCache,
+    ) -> usize {
+        let q = cache.q_for(fingerprint, index, || Self::sequence_q(fingerprint, index));
+        self.recover_address_from_q(position, q)
+    }
+
+    #[inline]
+    fn recover_address_from_q(&self, position: usize, q: u64) -> usize {
         let q = self.width_reciprocal.rem(q);
         self.width_reciprocal.rem(position as u64 + self.width - q) as usize
     }
@@ -283,6 +310,17 @@ impl NodeHasher {
     /// Recovers the full hash `H(v)` from a room's position, fingerprint and sequence index.
     pub fn recover_hash(&self, position: usize, fingerprint: u16, index: usize) -> u64 {
         self.compose(self.recover_address(position, fingerprint, index), fingerprint)
+    }
+
+    /// [`recover_hash`](Self::recover_hash) through a [`RecoverQCache`].
+    pub fn recover_hash_cached(
+        &self,
+        position: usize,
+        fingerprint: u16,
+        index: usize,
+        cache: &RecoverQCache,
+    ) -> u64 {
+        self.compose(self.recover_address_cached(position, fingerprint, index, cache), fingerprint)
     }
 
     /// The candidate-bucket sample of Section V-B1: `k` (row-index, column-index) pairs,
@@ -300,6 +338,70 @@ impl NodeHasher {
             .into_iter()
             .map(|q| ((r.rem(r.div(q)) as usize), (r.rem(q) as usize)))
             .collect()
+    }
+}
+
+/// A tiny fixed-size memo of `(fingerprint, sequence index) → q` for
+/// [`NodeHasher::recover_address_cached`], the ROADMAP's hub-heavy query follow-up.
+///
+/// Direct-mapped, 256 entries (2 KiB): each slot packs `key + 1` in the high half and the
+/// cached `q < 2¹⁷` in the low half of one `AtomicU64`, so lookups are a single relaxed
+/// load and collisions simply overwrite — always correct, at worst a recomputation.
+/// Relaxed ordering suffices because an entry's value is a pure function of its key.
+pub struct RecoverQCache {
+    slots: Box<[AtomicU64; Self::SLOTS]>,
+}
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+impl RecoverQCache {
+    const SLOTS: usize = 256;
+
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self { slots: Box::new(std::array::from_fn(|_| AtomicU64::new(0))) }
+    }
+
+    /// The cached `q` for `(fingerprint, index)`, computing and storing it on a miss.
+    #[inline]
+    fn q_for(&self, fingerprint: u16, index: usize, compute: impl FnOnce() -> u64) -> u64 {
+        debug_assert!(index < 16, "sequence indices are 4-bit");
+        let key = ((fingerprint as u64) << 4) | index as u64;
+        // Multiplicative scatter so fingerprints differing only in high bits (or only in
+        // the index) spread over the slots.
+        let slot = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as usize & (Self::SLOTS - 1);
+        let entry = self.slots[slot].load(Ordering::Relaxed);
+        if entry >> 32 == key + 1 {
+            return entry & 0xFFFF_FFFF;
+        }
+        let q = compute();
+        self.slots[slot].store(((key + 1) << 32) | q, Ordering::Relaxed);
+        q
+    }
+}
+
+impl Default for RecoverQCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Clones the current entries (each slot copied with a relaxed load; any concurrent
+/// writes are benignly lost — the clone just starts slightly colder).
+impl Clone for RecoverQCache {
+    fn clone(&self) -> Self {
+        let fresh = Self::new();
+        for (slot, source) in fresh.slots.iter().zip(self.slots.iter()) {
+            slot.store(source.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        fresh
+    }
+}
+
+impl std::fmt::Debug for RecoverQCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let filled = self.slots.iter().filter(|s| s.load(Ordering::Relaxed) != 0).count();
+        f.debug_struct("RecoverQCache").field("filled", &filled).finish()
     }
 }
 
@@ -397,6 +499,38 @@ mod tests {
                 );
                 assert_eq!(h.recover_hash(position, node.fingerprint, index), node.hash);
             }
+        }
+    }
+
+    #[test]
+    fn cached_recover_address_matches_the_uncached_path() {
+        // Every (fingerprint, index) pair, hammered twice (miss then hit), across widths
+        // — including slot collisions, which must recompute rather than mis-answer.
+        for width in [1usize, 64, 997, 1024] {
+            let h = hasher(width, 12);
+            let cache = RecoverQCache::new();
+            let mut state = 0xCAC4E_u64;
+            for _ in 0..5000 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let fingerprint = (state >> 40) as u16 & 0x0FFF;
+                let index = (state >> 7) as usize % 16;
+                let position = (state >> 13) as usize % width;
+                for _ in 0..2 {
+                    assert_eq!(
+                        h.recover_address_cached(position, fingerprint, index, &cache),
+                        h.recover_address(position, fingerprint, index),
+                        "width {width} fingerprint {fingerprint} index {index}"
+                    );
+                    assert_eq!(
+                        h.recover_hash_cached(position, fingerprint, index, &cache),
+                        h.recover_hash(position, fingerprint, index)
+                    );
+                }
+            }
+            // The clone carries the entries (or at worst recomputes): still correct.
+            let cloned = cache.clone();
+            assert_eq!(h.recover_address_cached(0, 7, 3, &cloned), h.recover_address(0, 7, 3));
+            assert!(format!("{cache:?}").contains("filled"));
         }
     }
 

@@ -66,18 +66,19 @@ pub mod persistence;
 pub mod sketch;
 pub mod stats;
 pub mod storage;
+pub mod wal;
 
 pub use builder::GssBuilder;
 #[allow(deprecated)]
 pub use concurrent::ConcurrentGss;
 pub use concurrent::ShardedGss;
 pub use config::{
-    GssConfig, MAX_FINGERPRINT_BITS, MAX_ROOMS_PER_BUCKET, MAX_SEQUENCE_LENGTH, MAX_TOTAL_ROOMS,
-    MAX_WIDTH,
+    Durability, GssConfig, MAX_FINGERPRINT_BITS, MAX_ROOMS_PER_BUCKET, MAX_SEQUENCE_LENGTH,
+    MAX_TOTAL_ROOMS, MAX_WIDTH, WAL_BUFFER_BYTES,
 };
 pub use error::ConfigError;
-pub use file_store::{FileStore, PageCacheStats};
-pub use hashing::{HashedNode, NodeHasher, Reciprocal};
+pub use file_store::{DurabilityStats, FileStore, FlushHook, FlushPoint, PageCacheStats};
+pub use hashing::{HashedNode, NodeHasher, Reciprocal, RecoverQCache};
 pub use matrix::MemoryStore;
 pub use merge::HashedEdge;
 pub use persistence::PersistenceError;

@@ -23,13 +23,17 @@ impl NodeIdMap {
         Self::default()
     }
 
-    /// Registers that original vertex `vertex` hashes to `hash`.  Idempotent per vertex.
-    pub fn register(&mut self, hash: u64, vertex: u64) {
+    /// Registers that original vertex `vertex` hashes to `hash`.  Idempotent per vertex;
+    /// returns `true` when the pair was new (callers use this to stamp generations and
+    /// write-ahead log only real mutations).
+    pub fn register(&mut self, hash: u64, vertex: u64) -> bool {
         let list = self.by_hash.entry(hash).or_default();
         if !list.contains(&vertex) {
             list.push(vertex);
             self.distinct_vertices += 1;
+            return true;
         }
+        false
     }
 
     /// All original vertices that map to `hash` (empty if the hash was never registered).

@@ -101,14 +101,13 @@ fn write_bytes(writer: &mut impl Write, bytes: &[u8]) -> Result<(), PersistenceE
     Ok(())
 }
 
-/// Writes the buffered-edge and node-table sections (shared by snapshots and the tail of
-/// `FileStore` sketch files).  Both sections are sorted so equal sketches serialise to
-/// identical bytes.
-pub(crate) fn write_tail_sections(
-    sketch: &GssSketch,
+/// Writes the buffered-edge section (shared by snapshots and the tail of `FileStore`
+/// sketch files).  Sorted so equal buffers serialise to identical bytes.
+pub(crate) fn write_buffer_section(
+    buffer: &crate::buffer::LeftoverBuffer,
     writer: &mut impl Write,
 ) -> Result<(), PersistenceError> {
-    let mut buffered: Vec<(u64, u64, i64)> = sketch.buffered_edge_triples().collect();
+    let mut buffered: Vec<(u64, u64, i64)> = buffer.edges().collect();
     buffered.sort_unstable();
     write_bytes(writer, &(buffered.len() as u64).to_le_bytes())?;
     for (source, destination, weight) in buffered {
@@ -116,8 +115,16 @@ pub(crate) fn write_tail_sections(
         write_bytes(writer, &destination.to_le_bytes())?;
         write_bytes(writer, &weight.to_le_bytes())?;
     }
+    Ok(())
+}
 
-    let mut node_entries: Vec<(u64, &[u64])> = sketch.node_map().iter().collect();
+/// Writes the `⟨H(v), v⟩` node-table section.  Sorted so equal tables serialise to
+/// identical bytes.
+pub(crate) fn write_node_section(
+    node_map: &crate::node_map::NodeIdMap,
+    writer: &mut impl Write,
+) -> Result<(), PersistenceError> {
+    let mut node_entries: Vec<(u64, &[u64])> = node_map.iter().collect();
     node_entries.sort_unstable_by_key(|(hash, _)| *hash);
     write_bytes(writer, &(node_entries.len() as u64).to_le_bytes())?;
     for (hash, vertices) in node_entries {
@@ -128,6 +135,31 @@ pub(crate) fn write_tail_sections(
         }
     }
     Ok(())
+}
+
+/// Writes both tail sections back-to-back (the snapshot layout and the whole-tail form
+/// of a `FileStore` file).
+pub(crate) fn write_tail_sections(
+    buffer: &crate::buffer::LeftoverBuffer,
+    node_map: &crate::node_map::NodeIdMap,
+    writer: &mut impl Write,
+) -> Result<(), PersistenceError> {
+    write_buffer_section(buffer, writer)?;
+    write_node_section(node_map, writer)
+}
+
+/// Encodes the buffer section into bytes (incremental checkpoints and WAL recovery).
+pub(crate) fn encode_buffer_section(buffer: &crate::buffer::LeftoverBuffer) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_buffer_section(buffer, &mut bytes).expect("writing to a Vec cannot fail");
+    bytes
+}
+
+/// Encodes the node-table section into bytes (incremental checkpoints and WAL recovery).
+pub(crate) fn encode_node_section(node_map: &crate::node_map::NodeIdMap) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_node_section(node_map, &mut bytes).expect("writing to a Vec cannot fail");
+    bytes
 }
 
 /// Reads the sections written by [`write_tail_sections`].  Decodes into bare buffer/node
@@ -155,13 +187,6 @@ pub(crate) fn read_tail_sections(
         }
     }
     Ok(())
-}
-
-/// Encodes the tail of a `FileStore` sketch file (buffer + node table) into bytes.
-pub(crate) fn encode_tail(sketch: &GssSketch) -> Vec<u8> {
-    let mut bytes = Vec::new();
-    write_tail_sections(sketch, &mut bytes).expect("writing to a Vec cannot fail");
-    bytes
 }
 
 /// Decodes a `FileStore` tail into bare buffer/node structures.  An empty tail (a file
@@ -213,7 +238,7 @@ impl GssSketch {
         if let Some(error) = room_error {
             return Err(error);
         }
-        write_tail_sections(self, writer)
+        write_tail_sections(self.buffer(), self.node_map(), writer)
     }
 
     /// Restores a sketch by streaming a snapshot out of `reader`.
@@ -285,6 +310,11 @@ impl GssSketch {
             read_tail_sections(buffer, node_map, reader)?;
         }
         sketch.set_items_inserted(items_inserted);
+        // The streamed tail content bypassed the write-ahead log (only live mutations
+        // are logged), so a file-backed restore must checkpoint before it is handed
+        // out — otherwise a crash before the caller's first sync would recover the
+        // rooms but an *empty* buffer and node table.
+        sketch.sync()?;
         Ok(sketch)
     }
 

@@ -19,10 +19,10 @@
 //!   ids through the `⟨H(v), v⟩` table.
 
 use crate::buffer::LeftoverBuffer;
-use crate::config::GssConfig;
+use crate::config::{Durability, GssConfig};
 use crate::error::ConfigError;
-use crate::file_store::FileStore;
-use crate::hashing::{HashedNode, NodeHasher};
+use crate::file_store::{FileStore, TailSections};
+use crate::hashing::{HashedNode, NodeHasher, RecoverQCache};
 use crate::matrix::MemoryStore;
 use crate::node_map::NodeIdMap;
 use crate::persistence::PersistenceError;
@@ -38,6 +38,11 @@ use std::path::Path;
 /// default, or a paged sketch file ([`StorageBackend::File`]) for matrices larger than
 /// RAM.  Cloning a file-backed sketch detaches the clone into memory; the file itself is
 /// owned by the original and checkpointed by [`sync`](Self::sync) (also run on drop).
+///
+/// File-backed sketches are crash-consistent: every mutation is write-ahead logged
+/// (see [`crate::wal`]) under the policy chosen by [`Durability`], so a killed process
+/// reopens its sketch file via [`open_file`](Self::open_file) with at most the
+/// documented `Buffered` loss window — `Strict` loses nothing acknowledged.
 #[derive(Debug, Clone)]
 pub struct GssSketch {
     config: GssConfig,
@@ -46,6 +51,17 @@ pub struct GssSketch {
     buffer: LeftoverBuffer,
     node_map: NodeIdMap,
     items_inserted: u64,
+    /// Generation stamp of the buffer content, bumped on every buffered insert; lets
+    /// [`sync`](Self::sync) skip re-encoding (and rewriting) an unchanged tail section.
+    buffer_gen: u64,
+    /// Generation stamp of the `⟨H(v), v⟩` table, bumped on every new registration.
+    node_gen: u64,
+    /// Memo for [`NodeHasher::recover_address_cached`] on the query path.
+    recover_cache: RecoverQCache,
+    /// Log size at which ingest checkpoints automatically (bounds WAL growth).
+    wal_checkpoint_bytes: u64,
+    /// Cleared by [`abandon`](Self::abandon) so drop simulates a crash.
+    sync_on_drop: bool,
 }
 
 /// A candidate bucket for an edge: matrix coordinates plus the sequence indices that
@@ -86,19 +102,34 @@ impl GssSketch {
     /// Returns a [`ConfigError`] if the configuration is invalid or the sketch file
     /// cannot be created (the I/O failure is carried in the message).
     pub fn with_storage(config: GssConfig, storage: StorageBackend) -> Result<Self, ConfigError> {
+        Self::with_storage_durability(config, storage, Durability::Strict)
+    }
+
+    /// [`with_storage`](Self::with_storage) with an explicit [`Durability`] policy for
+    /// the file backend (ignored by the in-memory backend).
+    ///
+    /// # Errors
+    /// As [`with_storage`](Self::with_storage).
+    pub fn with_storage_durability(
+        config: GssConfig,
+        storage: StorageBackend,
+        durability: Durability,
+    ) -> Result<Self, ConfigError> {
         config.validate()?;
         let matrix = match storage {
             StorageBackend::Memory => {
                 RoomStorage::Memory(MemoryStore::new(config.width, config.rooms))
             }
-            StorageBackend::File { path, cache_pages } => RoomStorage::File(
-                FileStore::create(&path, &config, cache_pages).map_err(|error| {
-                    ConfigError::new(format!(
-                        "cannot create sketch file {}: {error}",
-                        path.display()
-                    ))
-                })?,
-            ),
+            StorageBackend::File { path, cache_pages } => RoomStorage::File(Box::new(
+                FileStore::create_durable(&path, &config, cache_pages, durability).map_err(
+                    |error| {
+                        ConfigError::new(format!(
+                            "cannot create sketch file {}: {error}",
+                            path.display()
+                        ))
+                    },
+                )?,
+            )),
         };
         Ok(Self::from_parts(config, matrix))
     }
@@ -111,6 +142,11 @@ impl GssSketch {
             buffer: LeftoverBuffer::new(),
             node_map: NodeIdMap::new(),
             items_inserted: 0,
+            buffer_gen: 0,
+            node_gen: 0,
+            recover_cache: RecoverQCache::new(),
+            wal_checkpoint_bytes: crate::config::WAL_CHECKPOINT_BYTES,
+            sync_on_drop: true,
             config,
         }
     }
@@ -121,11 +157,32 @@ impl GssSketch {
     /// room region once to rebuild the in-memory bucket-occupancy index (sequential
     /// occupancy-flag reads), then decodes only the buffer and node table.
     ///
+    /// An **unclean** file (the process died before its last checkpoint) is recovered by
+    /// replaying the write-ahead log — see [`crate::wal`]; only an unclean file with no
+    /// usable log is rejected.
+    ///
+    /// The file (and its log) must not be open in any other process: recovery mutates,
+    /// so opening a *live* ingester's file would corrupt it — see the single-opener
+    /// contract in [`crate::file_store`].  Use snapshots to share live state.
+    ///
     /// # Errors
     /// Returns a [`PersistenceError`] if the file is missing, truncated, from a different
-    /// format version, not cleanly synced, or structurally inconsistent.
+    /// format version, unrecoverably unclean, or structurally inconsistent.
     pub fn open_file(path: impl AsRef<Path>, cache_pages: usize) -> Result<Self, PersistenceError> {
-        let (store, header) = FileStore::open(path.as_ref(), cache_pages)?;
+        Self::open_file_durability(path, cache_pages, Durability::Strict)
+    }
+
+    /// [`open_file`](Self::open_file) with an explicit [`Durability`] policy for the
+    /// reopened sketch.
+    ///
+    /// # Errors
+    /// As [`open_file`](Self::open_file).
+    pub fn open_file_durability(
+        path: impl AsRef<Path>,
+        cache_pages: usize,
+        durability: Durability,
+    ) -> Result<Self, PersistenceError> {
+        let (store, header) = FileStore::open_durable(path.as_ref(), cache_pages, durability)?;
         // Decode the tail *before* assembling the sketch: if it is corrupt, returning
         // here drops only the bare store (no Drop), leaving the rejected file byte-for-
         // byte intact — a half-built sketch would checkpoint its partial state over the
@@ -133,7 +190,7 @@ impl GssSketch {
         let mut buffer = LeftoverBuffer::new();
         let mut node_map = NodeIdMap::new();
         crate::persistence::decode_tail(&mut buffer, &mut node_map, &header.tail)?;
-        let mut sketch = Self::from_parts(header.config, RoomStorage::File(store));
+        let mut sketch = Self::from_parts(header.config, RoomStorage::File(Box::new(store)));
         sketch.buffer = buffer;
         sketch.node_map = node_map;
         sketch.items_inserted = header.items_inserted;
@@ -141,26 +198,65 @@ impl GssSketch {
     }
 
     /// Mutable access to the buffer and node table together (used by persistence to
-    /// stream tail sections into a sketch it is restoring).
+    /// stream tail sections into a sketch it is restoring).  Conservatively bumps both
+    /// tail generations: the caller streams arbitrary content in.
     pub(crate) fn tail_parts_mut(&mut self) -> (&mut LeftoverBuffer, &mut NodeIdMap) {
+        self.buffer_gen += 1;
+        self.node_gen += 1;
         (&mut self.buffer, &mut self.node_map)
     }
 
-    /// Checkpoints a file-backed sketch: flushes dirty pages, rewrites the buffer/node
-    /// tail and marks the file clean so [`open_file`](Self::open_file) accepts it.  A
-    /// no-op for in-memory sketches.  Runs automatically on drop (ignoring errors there —
-    /// call `sync` explicitly when you need the result).
+    /// Read access to the left-over buffer (used by persistence).
+    pub(crate) fn buffer(&self) -> &LeftoverBuffer {
+        &self.buffer
+    }
+
+    /// Checkpoints a file-backed sketch: logs the tail image to the write-ahead log,
+    /// flushes dirty pages (barriering the background flusher under
+    /// [`Durability::Buffered`]), rewrites **only the tail sections whose generation
+    /// stamp moved**, marks the file clean and truncates the log.  A fully unchanged
+    /// sketch returns without touching the file; a no-op for in-memory sketches.  Runs
+    /// automatically on drop (ignoring errors there — call `sync` explicitly when
+    /// durability must be confirmed).
     ///
     /// # Errors
     /// Returns [`PersistenceError::Io`] if the file cannot be written.
     pub fn sync(&mut self) -> Result<(), PersistenceError> {
-        if let Some(store) = self.matrix.as_file() {
-            let tail = crate::persistence::encode_tail(self);
+        if let RoomStorage::File(store) = &self.matrix {
+            let (synced_buffer_gen, synced_node_gen, synced_buffer_len) = store.synced_tail_state();
+            let buffer_section = (synced_buffer_gen != self.buffer_gen)
+                .then(|| crate::persistence::encode_buffer_section(&self.buffer));
+            // A resized buffer section shifts the node section, which must then be
+            // rewritten at its new offset even when its own content is unchanged.
+            let node_moved =
+                buffer_section.as_ref().is_some_and(|b| b.len() as u64 != synced_buffer_len);
+            let node_section = (synced_node_gen != self.node_gen || node_moved)
+                .then(|| crate::persistence::encode_node_section(&self.node_map));
             store
-                .write_tail(self.items_inserted, &tail)
+                .checkpoint(
+                    self.items_inserted,
+                    TailSections {
+                        buffer: buffer_section.as_deref(),
+                        node: node_section.as_deref(),
+                        buffer_gen: self.buffer_gen,
+                        node_gen: self.node_gen,
+                    },
+                )
                 .map_err(|error| PersistenceError::Io(error.to_string()))?;
         }
         Ok(())
+    }
+
+    /// Drops the sketch **without** checkpointing: the backing file and its write-ahead
+    /// log are left exactly as a `SIGKILL` at this point would leave them (the background
+    /// flusher, if any, stops without draining its queue).  Crash tests and the
+    /// `durability_cost` recovery bench use this; for in-memory sketches it is a plain
+    /// drop.
+    pub fn abandon(mut self) {
+        self.sync_on_drop = false;
+        if let RoomStorage::File(store) = &self.matrix {
+            store.abandon();
+        }
     }
 
     /// Which storage backend the matrix uses (`"memory"` or `"file"`).
@@ -218,7 +314,12 @@ impl GssSketch {
 
     /// Detailed structural statistics.
     pub fn detailed_stats(&self) -> GssStats {
+        let durability = self.matrix.as_file().map(FileStore::durability_stats).unwrap_or_default();
         GssStats {
+            wal_bytes: durability.wal_bytes,
+            wal_flushes: durability.wal_flushes,
+            pages_flushed: durability.pages_written + durability.pages_written_background,
+            checkpoints: durability.checkpoints,
             width: self.config.width,
             rooms_per_bucket: self.config.rooms,
             fingerprint_bits: self.config.fingerprint_bits,
@@ -322,10 +423,16 @@ impl GssSketch {
         }
     }
 
-    /// Recovers a neighbour hash from a room found during a successor scan.
+    /// Recovers a neighbour hash from a room found during a successor scan, memoising
+    /// the LCG replay per `(fingerprint, index)` (hub scans hit many matching rooms).
     fn recover_destination_hash(&self, column: usize, fingerprint: u16, index: u8) -> u64 {
         if self.config.square_hashing {
-            self.hasher.recover_hash(column, fingerprint, index as usize)
+            self.hasher.recover_hash_cached(
+                column,
+                fingerprint,
+                index as usize,
+                &self.recover_cache,
+            )
         } else {
             self.hasher.compose(column, fingerprint)
         }
@@ -334,7 +441,7 @@ impl GssSketch {
     /// Recovers a neighbour hash from a room found during a precursor scan.
     fn recover_source_hash(&self, row: usize, fingerprint: u16, index: u8) -> u64 {
         if self.config.square_hashing {
-            self.hasher.recover_hash(row, fingerprint, index as usize)
+            self.hasher.recover_hash_cached(row, fingerprint, index as usize, &self.recover_cache)
         } else {
             self.hasher.compose(row, fingerprint)
         }
@@ -403,11 +510,48 @@ impl GssSketch {
         self.insert_nodes(source_node, destination_node, weight);
     }
 
+    /// Registers a `⟨H(v), v⟩` pair, bumping the node-section generation and write-ahead
+    /// logging the registration when it is new — the single mutation point of the table.
+    fn register_node(&mut self, hash: u64, vertex: VertexId) {
+        if self.node_map.register(hash, vertex) {
+            self.node_gen += 1;
+            if let RoomStorage::File(store) = &self.matrix {
+                store.log_node(hash, vertex);
+            }
+        }
+    }
+
+    /// Marks the completion of an insert/batch in the write-ahead log (under
+    /// [`Durability::Strict`] the log drains before this returns), and checkpoints the
+    /// sketch automatically once the log outgrows
+    /// [`wal_checkpoint_bytes`](Self::set_wal_checkpoint_bytes) — long runs that never
+    /// call [`sync`](Self::sync) still keep bounded sidecar-log size and bounded
+    /// crash-recovery replay time.
+    fn commit_wal(&mut self) {
+        let wal_bytes = match &self.matrix {
+            RoomStorage::File(store) => store.log_commit(self.items_inserted),
+            RoomStorage::Memory(_) => return,
+        };
+        if wal_bytes >= self.wal_checkpoint_bytes {
+            // This is an insert/batch boundary, so the sketch state is consistent.
+            // Hot-path file I/O failures panic by the storage contract.
+            self.sync().unwrap_or_else(|error| {
+                panic!("automatic write-ahead-log checkpoint failed: {error}")
+            });
+        }
+    }
+
+    /// Overrides the write-ahead-log size at which the sketch checkpoints itself during
+    /// ingest (default [`crate::config::WAL_CHECKPOINT_BYTES`]; clamped to at least 1).
+    pub fn set_wal_checkpoint_bytes(&mut self, bytes: u64) {
+        self.wal_checkpoint_bytes = bytes.max(1);
+    }
+
     /// Copies every `⟨H(v), v⟩` registration of `other` into this sketch's id table.
     pub(crate) fn absorb_node_map(&mut self, other: &GssSketch) {
         for (hash, vertices) in other.node_map.iter() {
             for &vertex in vertices {
-                self.node_map.register(hash, vertex);
+                self.register_node(hash, vertex);
             }
         }
     }
@@ -432,6 +576,7 @@ impl GssSketch {
     /// Overrides the inserted-items counter (used by persistence).
     pub(crate) fn set_items_inserted(&mut self, items: u64) {
         self.items_inserted = items;
+        self.commit_wal();
     }
 
     /// Shared insert path over hashed endpoints: probe the candidate buckets in order and
@@ -495,6 +640,10 @@ impl GssSketch {
             }
         }
         self.buffer.insert(source_node.hash, destination_node.hash, weight);
+        self.buffer_gen += 1;
+        if let RoomStorage::File(store) = &self.matrix {
+            store.log_buffer_insert(source_node.hash, destination_node.hash, weight);
+        }
     }
 
     /// Hashes `vertex` once per batch: returns the index of its cache entry, creating it
@@ -510,7 +659,7 @@ impl GssSketch {
         }
         let node = self.hasher.hashed_node(vertex);
         if self.config.track_node_ids {
-            self.node_map.register(node.hash, vertex);
+            self.register_node(node.hash, vertex);
         }
         let mut addresses = [0usize; crate::config::MAX_SEQUENCE_LENGTH];
         if self.config.square_hashing {
@@ -578,9 +727,12 @@ impl GssSketch {
 /// File-backed sketches checkpoint themselves when dropped, so "build, fill, drop,
 /// reopen" works without an explicit [`GssSketch::sync`].  Failures are ignored here
 /// (drop cannot report them); sync explicitly when durability must be confirmed.
+/// [`GssSketch::abandon`] suppresses the checkpoint to simulate a crash.
 impl Drop for GssSketch {
     fn drop(&mut self) {
-        let _ = self.sync();
+        if self.sync_on_drop {
+            let _ = self.sync();
+        }
     }
 }
 
@@ -590,10 +742,11 @@ impl SummaryWrite for GssSketch {
         let source_node = self.hasher.hashed_node(source);
         let destination_node = self.hasher.hashed_node(destination);
         if self.config.track_node_ids {
-            self.node_map.register(source_node.hash, source);
-            self.node_map.register(destination_node.hash, destination);
+            self.register_node(source_node.hash, source);
+            self.register_node(destination_node.hash, destination);
         }
         self.insert_nodes(source_node, destination_node, weight);
+        self.commit_wal();
     }
 
     /// Batched edge updating, observationally identical to per-item [`insert`] but with the
@@ -652,6 +805,7 @@ impl SummaryWrite for GssSketch {
             );
             self.place_edge(source.node, destination.node, &candidates[..count], weight);
         }
+        self.commit_wal();
     }
 
     /// Streams through [`insert_batch`](SummaryWrite::insert_batch) in fixed-size chunks so

@@ -37,6 +37,15 @@ pub struct GssStats {
     pub distinct_hashed_nodes: usize,
     /// Number of hash values shared by two or more original vertices (node collisions).
     pub colliding_hashes: usize,
+    /// Current write-ahead-log bytes of a file-backed sketch (0 for in-memory).
+    pub wal_bytes: u64,
+    /// Drains of the write-ahead-log buffer to disk (one per insert under
+    /// `Durability::Strict`; batched under `Buffered`).
+    pub wal_flushes: u64,
+    /// Dirty pages written back to the sketch file (foreground + background flusher).
+    pub pages_flushed: u64,
+    /// Completed checkpoints of the sketch file.
+    pub checkpoints: u64,
 }
 
 impl GssStats {
@@ -76,6 +85,10 @@ mod tests {
             node_map_bytes: 16_000,
             distinct_hashed_nodes: 500,
             colliding_hashes: 5,
+            wal_bytes: 4_096,
+            wal_flushes: 12,
+            pages_flushed: 30,
+            checkpoints: 2,
         }
     }
 

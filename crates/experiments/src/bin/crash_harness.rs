@@ -1,0 +1,200 @@
+//! Crash-matrix harness: the two halves of CI's kill test (`ci/crash_matrix.sh`).
+//!
+//! * `crash_harness ingest <sketch> <progress> <strict|buffered> <items>` — builds a
+//!   file-backed sketch and feeds it a deterministic stream batch by batch, rewriting
+//!   `<progress>` (atomically) with the acknowledged item count after every batch.  The
+//!   driver SIGKILLs this process at a randomized offset.
+//! * `crash_harness verify <sketch> <progress> <strict|buffered> <window>` — reopens the
+//!   killed sketch (write-ahead-log recovery), asserts the recovered item count is no
+//!   more than `<window>` items behind the last acknowledged progress (`window` is 0 for
+//!   strict), regenerates the same stream and checks every recovered item's edge weight
+//!   against an exact reference — GSS never under-estimates, so a lost item shows up as
+//!   a missing or under-weight edge.
+//!
+//! Exit code 0 means the crash was survived within the documented guarantees.
+
+use gss_core::{Durability, GssConfig, GssSketch, StorageBackend};
+use gss_graph::{StreamEdge, SummaryRead, SummaryWrite};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+/// Items per `insert_batch` call (and per progress update).
+const BATCH: usize = 64;
+/// Distinct vertices of the deterministic stream.
+const VERTICES: u64 = 20_000;
+/// Stream seed: both halves must generate identical items.
+const SEED: u64 = 0xC4A5_41D5;
+/// Page-cache pages: deliberately smaller than the room region so evictions (and, under
+/// buffered durability, the background flusher) are exercised mid-run.
+const CACHE_PAGES: usize = 64;
+/// Cap on exhaustively verified distinct edges (keeps verification seconds-scale).
+const VERIFY_EDGE_CAP: usize = 150_000;
+
+fn config() -> GssConfig {
+    // Small enough to overflow some edges into the left-over buffer (its recovery is
+    // part of what the matrix proves), large enough to be file-I/O bound.
+    GssConfig::paper_small(128)
+}
+
+/// The deterministic stream: an LCG over a fixed vertex universe with weights 1..=5.
+fn stream_item(state: &mut u64, time: usize) -> StreamEdge {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    StreamEdge::new(
+        (*state >> 33) % VERTICES,
+        (*state >> 17) % VERTICES,
+        time as u64,
+        (*state % 5) as i64 + 1,
+    )
+}
+
+fn parse_durability(name: &str) -> Durability {
+    match name {
+        "strict" => Durability::Strict,
+        "buffered" => Durability::Buffered,
+        other => {
+            eprintln!("unknown durability {other:?} (expected strict|buffered)");
+            exit(2);
+        }
+    }
+}
+
+/// Atomically replaces `path` with `value` (write-to-temp + rename), so a kill between
+/// syscalls can never leave a torn progress file.
+fn write_progress(path: &Path, value: u64) {
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, value.to_string()).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+fn read_progress(path: &Path) -> u64 {
+    std::fs::read_to_string(path).ok().and_then(|text| text.trim().parse().ok()).unwrap_or(0)
+}
+
+fn ingest(sketch_path: &Path, progress_path: &Path, durability: Durability, items: usize) {
+    let storage =
+        StorageBackend::File { path: sketch_path.to_path_buf(), cache_pages: CACHE_PAGES };
+    let mut sketch = GssSketch::with_storage_durability(config(), storage, durability)
+        .expect("sketch file creatable");
+    write_progress(progress_path, 0);
+    let mut state = SEED;
+    let mut produced = 0usize;
+    let mut batch = Vec::with_capacity(BATCH);
+    while produced < items {
+        batch.clear();
+        while batch.len() < BATCH && produced + batch.len() < items {
+            batch.push(stream_item(&mut state, produced + batch.len()));
+        }
+        sketch.insert_batch(&batch);
+        produced += batch.len();
+        // insert_batch returned: under strict durability these items are now crash-safe,
+        // so acknowledging them in the progress file is honest.
+        write_progress(progress_path, produced as u64);
+    }
+    sketch.sync().expect("final checkpoint");
+    println!("ingest completed all {produced} items (not killed)");
+}
+
+fn verify(sketch_path: &Path, progress_path: &Path, durability: Durability, window: u64) {
+    let acknowledged = read_progress(progress_path);
+    let sketch = match GssSketch::open_file_durability(sketch_path, CACHE_PAGES, durability) {
+        Ok(sketch) => sketch,
+        Err(error) if acknowledged == 0 => {
+            // Killed before the sketch file finished being created: nothing was
+            // acknowledged, so there is nothing to recover.
+            println!("nothing acknowledged before the kill (open: {error}); vacuous pass");
+            return;
+        }
+        Err(error) => {
+            eprintln!(
+                "FAIL: {acknowledged} items acknowledged but recovery failed: {error} \
+                 ({})",
+                sketch_path.display()
+            );
+            exit(1);
+        }
+    };
+    let recovered = sketch.items_inserted();
+    println!(
+        "recovered {recovered} items ({acknowledged} acknowledged, window {window}, \
+         {} matrix edges, {} buffered)",
+        sketch.stored_edges() - sketch.buffered_edges(),
+        sketch.buffered_edges()
+    );
+    if recovered + window < acknowledged {
+        eprintln!(
+            "FAIL: recovered item count {recovered} is more than {window} behind the \
+             acknowledged {acknowledged}"
+        );
+        exit(1);
+    }
+    // Rebuild the exact weights of the recovered prefix and check one-sidedness: every
+    // recovered item's edge must be present with at least its exact weight.
+    let mut state = SEED;
+    let mut exact: HashMap<(u64, u64), i64> = HashMap::new();
+    for time in 0..recovered as usize {
+        let item = stream_item(&mut state, time);
+        *exact.entry((item.source, item.destination)).or_insert(0) += item.weight;
+    }
+    let step = (exact.len() / VERIFY_EDGE_CAP).max(1);
+    let mut checked = 0usize;
+    for (index, (&(source, destination), &weight)) in exact.iter().enumerate() {
+        if index % step != 0 {
+            continue;
+        }
+        checked += 1;
+        match sketch.edge_weight(source, destination) {
+            Some(reported) if reported >= weight => {}
+            Some(reported) => {
+                eprintln!(
+                    "FAIL: edge ({source}, {destination}) under-estimated after recovery: \
+                     {reported} < {weight}"
+                );
+                exit(1);
+            }
+            None => {
+                eprintln!(
+                    "FAIL: edge ({source}, {destination}) lost after recovery (exact \
+                     weight {weight})"
+                );
+                exit(1);
+            }
+        }
+    }
+    println!(
+        "verified {checked}/{} recovered distinct edges: no loss, no under-count",
+        exact.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("ingest") if args.len() == 6 => {
+            let items: usize = args[5].parse().expect("items must be a number");
+            ingest(
+                &PathBuf::from(&args[2]),
+                &PathBuf::from(&args[3]),
+                parse_durability(&args[4]),
+                items,
+            );
+        }
+        Some("verify") if args.len() == 6 => {
+            let window: u64 = args[5].parse().expect("window must be a number");
+            verify(
+                &PathBuf::from(&args[2]),
+                &PathBuf::from(&args[3]),
+                parse_durability(&args[4]),
+                window,
+            );
+        }
+        _ => {
+            eprintln!(
+                "usage: crash_harness ingest <sketch> <progress> <strict|buffered> <items>\n\
+                 \x20      crash_harness verify <sketch> <progress> <strict|buffered> <window>"
+            );
+            exit(2);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! End-to-end crash recovery: a file-backed sketch killed at *any* durability point must
+//! reopen via write-ahead-log replay with the documented guarantees — zero acknowledged
+//! loss under `Durability::Strict`, a bounded window under `Buffered`, and one-sided
+//! answers (never an under-estimate, never a lost edge) for every recovered item.
+//!
+//! Kill points are simulated two ways:
+//!
+//! * [`GssSketch::abandon`] drops the sketch with no checkpoint and no queue drain — the
+//!   steady-state mid-ingest crash;
+//! * an injectable [`FlushHook`] snapshots the sketch file **and** its log at a chosen
+//!   [`FlushPoint`] occurrence (everything below the point is on disk, nothing above it
+//!   is), covering the windows *between* a WAL append, a page write-back and the tail
+//!   rewrite — exactly the orderings the recovery protocol must tolerate.
+
+use gss::prelude::*;
+use gss_core::wal::wal_path;
+use gss_core::{Durability, FlushPoint};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gss-crash-recovery-{}-{name}.gss", std::process::id()))
+}
+
+fn remove(path: &Path) {
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(wal_path(path)).ok();
+}
+
+/// The deterministic stream shared by ingest and verification.
+fn stream(count: usize) -> Vec<(u64, u64, i64)> {
+    let mut state = 0x5EED_u64;
+    (0..count)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 500, (state >> 17) % 500, (state % 7) as i64 + 1)
+        })
+        .collect()
+}
+
+/// Small matrix + tiny cache: buffer spills and page evictions both happen mid-stream.
+fn build(path: &Path, durability: Durability) -> GssSketch {
+    GssSketch::with_storage_durability(
+        GssConfig::paper_small(24),
+        StorageBackend::File { path: path.to_path_buf(), cache_pages: 2 },
+        durability,
+    )
+    .unwrap()
+}
+
+/// Asserts the recovered sketch answers one-sidedly for its recovered prefix: every
+/// edge of the first `recovered` items is present with at least its exact weight.
+fn assert_no_loss(sketch: &GssSketch, items: &[(u64, u64, i64)]) {
+    let recovered = sketch.items_inserted() as usize;
+    assert!(recovered <= items.len(), "replay never invents items");
+    let mut exact: HashMap<(u64, u64), i64> = HashMap::new();
+    for &(source, destination, weight) in &items[..recovered] {
+        *exact.entry((source, destination)).or_insert(0) += weight;
+    }
+    for (&(source, destination), &weight) in &exact {
+        let reported = sketch
+            .edge_weight(source, destination)
+            .unwrap_or_else(|| panic!("edge ({source}, {destination}) lost in recovery"));
+        assert!(
+            reported >= weight,
+            "edge ({source}, {destination}) under-estimated after recovery: \
+             {reported} < {weight}"
+        );
+    }
+}
+
+#[test]
+fn strict_crash_loses_no_acknowledged_item() {
+    let path = temp_path("strict-no-loss");
+    let items = stream(3_000);
+    let mut sketch = build(&path, Durability::Strict);
+    for &(s, d, w) in &items {
+        sketch.insert(s, d, w);
+    }
+    assert!(sketch.buffered_edges() > 0, "the crash must cover buffer state too");
+    sketch.abandon();
+    let recovered = GssSketch::open_file(&path, 8).expect("strict crash recovers");
+    assert_eq!(recovered.items_inserted(), items.len() as u64, "zero item loss");
+    assert_no_loss(&recovered, &items);
+    // Successor/precursor answers survive too (the node table is WAL-covered).
+    assert!(!recovered.successors(items[0].0).is_empty());
+    drop(recovered);
+    remove(&path);
+}
+
+#[test]
+fn buffered_crash_stays_inside_the_documented_window() {
+    let path = temp_path("buffered-window");
+    let items = stream(20_000);
+    let mut sketch = build(&path, Durability::Buffered);
+    for batch in items.chunks(64) {
+        let edges: Vec<gss_graph::StreamEdge> = batch
+            .iter()
+            .enumerate()
+            .map(|(t, &(s, d, w))| gss_graph::StreamEdge::new(s, d, t as u64, w))
+            .collect();
+        sketch.insert_batch(&edges);
+    }
+    sketch.abandon();
+    let recovered = GssSketch::open_file(&path, 8).expect("buffered crash recovers");
+    let count = recovered.items_inserted();
+    // WAL_BUFFER_BYTES (64 KiB) at ≥ ~30 logged bytes per item bounds the undrained
+    // window below ~2200 items; 4096 adds slack for the in-flight batch.
+    assert!(
+        count as usize + 4_096 >= items.len(),
+        "buffered loss window exceeded: recovered {count} of {}",
+        items.len()
+    );
+    assert_no_loss(&recovered, &items);
+    drop(recovered);
+    remove(&path);
+}
+
+#[test]
+fn snapshot_restored_onto_a_file_backend_survives_a_crash_before_first_sync() {
+    let path = temp_path("restore-crash");
+    let items = stream(3_000);
+    let mut source = GssSketch::new(GssConfig::paper_small(24)).unwrap();
+    for &(s, d, w) in &items {
+        source.insert(s, d, w);
+    }
+    assert!(source.buffered_edges() > 0, "the snapshot must carry buffer content");
+    let snapshot = source.to_snapshot();
+    // Restore straight onto a file backend (the larger-than-RAM path), then crash
+    // immediately: the streamed tail bypassed the WAL, so the restore itself must have
+    // checkpointed — recovery may not come up with an empty buffer or node table.
+    let restored = GssSketch::read_snapshot_into(
+        snapshot.as_slice(),
+        StorageBackend::File { path: path.clone(), cache_pages: 8 },
+    )
+    .unwrap();
+    let expected_buffered = restored.buffered_edges();
+    restored.abandon();
+    let recovered = GssSketch::open_file(&path, 8).expect("crashed restore recovers");
+    assert_eq!(recovered.items_inserted(), items.len() as u64);
+    assert_eq!(recovered.buffered_edges(), expected_buffered, "buffer survives the crash");
+    assert_no_loss(&recovered, &items);
+    assert_eq!(recovered.successors(items[0].0), source.successors(items[0].0));
+    drop(recovered);
+    remove(&path);
+}
+
+#[test]
+fn the_wal_is_bounded_by_automatic_checkpoints() {
+    let path = temp_path("auto-checkpoint");
+    let items = stream(4_000);
+    let mut sketch = build(&path, Durability::Strict);
+    // A tiny bound: a long sync-less ingest must checkpoint itself repeatedly instead
+    // of growing the sidecar log without limit.
+    sketch.set_wal_checkpoint_bytes(16 * 1024);
+    for &(s, d, w) in &items {
+        sketch.insert(s, d, w);
+    }
+    let stats = sketch.detailed_stats();
+    assert!(
+        stats.checkpoints >= 2,
+        "expected repeated automatic checkpoints, saw {}",
+        stats.checkpoints
+    );
+    assert!(
+        stats.wal_bytes < 64 * 1024,
+        "log must stay near its bound, holds {} bytes",
+        stats.wal_bytes
+    );
+    // Crash after the last auto-checkpoint: still zero loss (the log covers the rest).
+    sketch.abandon();
+    let recovered = GssSketch::open_file(&path, 8).expect("recovery succeeds");
+    assert_eq!(recovered.items_inserted(), items.len() as u64);
+    assert_no_loss(&recovered, &items);
+    drop(recovered);
+    remove(&path);
+}
+
+#[test]
+fn recovered_files_are_clean_and_reopen_without_replay() {
+    let path = temp_path("recover-then-clean");
+    let items = stream(1_500);
+    let mut sketch = build(&path, Durability::Strict);
+    for &(s, d, w) in &items {
+        sketch.insert(s, d, w);
+    }
+    sketch.abandon();
+    drop(GssSketch::open_file(&path, 8).expect("first open recovers"));
+    // Recovery checkpointed the file: the log is empty and the second open is clean.
+    let wal = std::fs::read(wal_path(&path)).unwrap();
+    assert_eq!(wal.len(), 8, "recovery truncates the log to its magic");
+    let again = GssSketch::open_file(&path, 8).expect("second open is a plain clean open");
+    assert_eq!(again.items_inserted(), items.len() as u64);
+    drop(again);
+    remove(&path);
+}
+
+/// Snapshots the file + log at the `occurrence`-th firing of `point` during an ingest
+/// run, then proves the snapshot — a byte-exact crash image at that boundary — recovers
+/// with one-sided answers.
+fn kill_at(point: FlushPoint, occurrence: u64, items: &[(u64, u64, i64)]) {
+    let label = format!("killpoint-{point:?}-{occurrence}");
+    let path = temp_path(&label);
+    let copy = temp_path(&format!("{label}-copy"));
+    let mut sketch = build(&path, Durability::Strict);
+    let fired = Arc::new(AtomicU64::new(0));
+    {
+        let fired = Arc::clone(&fired);
+        let (path, copy) = (path.clone(), copy.clone());
+        sketch.room_storage().as_file().expect("file-backed").set_flush_hook(Some(Box::new(
+            move |seen| {
+                if seen == point && fired.fetch_add(1, Ordering::Relaxed) + 1 == occurrence {
+                    std::fs::copy(&path, &copy).expect("snapshot sketch file");
+                    std::fs::copy(wal_path(&path), wal_path(&copy)).expect("snapshot log");
+                }
+            },
+        )));
+    }
+    for &(s, d, w) in items {
+        sketch.insert(s, d, w);
+    }
+    sketch.sync().expect("final checkpoint fires the tail/checkpoint points");
+    drop(sketch);
+    assert!(
+        fired.load(Ordering::Relaxed) >= occurrence,
+        "flush point {point:?} fired only {} times",
+        fired.load(Ordering::Relaxed)
+    );
+    let recovered = GssSketch::open_file(&copy, 8)
+        .unwrap_or_else(|error| panic!("kill at {point:?} #{occurrence} unrecoverable: {error}"));
+    assert_no_loss(&recovered, items);
+    drop(recovered);
+    remove(&path);
+    remove(&copy);
+}
+
+#[test]
+fn kill_points_between_wal_append_page_writeback_and_tail_rewrite_all_recover() {
+    let items = stream(2_000);
+    // WalFlush fires per insert (strict drains at commit); PageWriteBack on each cache
+    // eviction; TailWrite/CheckpointDone inside the final sync.  Early, mid-stream and
+    // late occurrences sample different interleavings of dirty pages vs logged frames.
+    for (point, occurrences) in [
+        (FlushPoint::WalFlush, &[1u64, 100, 1_500][..]),
+        (FlushPoint::PageWriteBack, &[1, 50, 500][..]),
+        (FlushPoint::TailWrite, &[1][..]),
+        (FlushPoint::CheckpointDone, &[1][..]),
+    ] {
+        for &occurrence in occurrences {
+            kill_at(point, occurrence, &items);
+        }
+    }
+}
