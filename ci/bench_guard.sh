@@ -1,38 +1,74 @@
 #!/usr/bin/env bash
-# Throughput regression guard: compare a freshly measured BENCH_ingest.json against the
+# Throughput regression guard: compare freshly measured bench reports against the
 # committed trajectory and fail when smoke ingest throughput drops by more than the
 # tolerance (CI boxes are noisy; 30% is a regression, not jitter).
 #
-# Usage: ci/bench_guard.sh <committed BENCH_ingest.json> <fresh BENCH_ingest.json>
+# Accepts one or more <committed, fresh> pairs, so the memory trajectory
+# (BENCH_ingest.json) and the file-backed trajectory (BENCH_ingest_file.json) are
+# guarded by one invocation.  For each report the single-thread sharded rate is the
+# hard gate; the 4- and 8-writer sharded rates are printed so the multi-writer
+# trajectory is tracked per PR (they gate softly: only a collapse below the tolerance
+# relative to their committed points fails).
+#
+# Usage: ci/bench_guard.sh <committed json> <fresh json> [<committed json> <fresh json>]...
 set -euo pipefail
 
-BASELINE="${1:?usage: bench_guard.sh <committed json> <fresh json>}"
-FRESH="${2:?usage: bench_guard.sh <committed json> <fresh json>}"
-# Fresh must reach at least this fraction of the committed single-thread rate.  The
-# committed trajectory is produced on the dev container class; if CI moves to a much
-# slower runner class, set BENCH_GUARD_TOLERANCE in the workflow instead of letting the
+if [ "$#" -lt 2 ] || [ $(($# % 2)) -ne 0 ]; then
+  echo "usage: bench_guard.sh <committed json> <fresh json> [<committed> <fresh>]..."
+  exit 2
+fi
+
+# Fresh must reach at least this fraction of the committed rate.  The committed
+# trajectory is produced on the dev container class; if CI moves to a much slower
+# runner class, set BENCH_GUARD_TOLERANCE in the workflow instead of letting the
 # guard rot red.
 TOLERANCE="${BENCH_GUARD_TOLERANCE:-0.70}"
 
 # The reports are written by gss_experiments::BenchReport: one result object per line,
-# so the single-thread sharded entry is grep-able without a JSON parser.
-extract() {
-  grep -o '"name": "sharded", "threads": 1\.[0-9]*[^}]*' "$1" |
+# so each sharded entry is grep-able without a JSON parser.
+extract() { # <file> <threads>
+  grep -o "\"name\": \"sharded\", \"threads\": $2\.[0-9]*[^}]*" "$1" |
     grep -o '"mitems_per_sec": [0-9.]*' | head -1 | grep -o '[0-9.]*$'
 }
 
-old=$(extract "$BASELINE")
-new=$(extract "$FRESH")
-if [ -z "$old" ] || [ -z "$new" ]; then
-  echo "bench guard: could not extract single-thread throughput (old='$old' new='$new')"
-  exit 1
-fi
+failures=0
+while [ "$#" -gt 0 ]; do
+  baseline="$1"
+  fresh="$2"
+  shift 2
+  old=$(extract "$baseline" 1)
+  new=$(extract "$fresh" 1)
+  if [ -z "$old" ] || [ -z "$new" ]; then
+    echo "bench guard: could not extract single-thread throughput from" \
+      "$baseline/$fresh (old='$old' new='$new')"
+    failures=$((failures + 1))
+    continue
+  fi
+  echo "bench guard [$fresh]: committed ${old} Mitems/s, fresh ${new} Mitems/s" \
+    "(tolerance ${TOLERANCE}x)"
+  if ! awk -v a="$old" -v b="$new" -v t="$TOLERANCE" 'BEGIN { exit !(b + 0 >= a * t) }'; then
+    echo "bench guard [$fresh]: single-thread ingest regressed more than $(awk \
+      -v t="$TOLERANCE" 'BEGIN { printf "%d", (1 - t) * 100 }')% vs the committed trajectory"
+    failures=$((failures + 1))
+    continue
+  fi
+  # Multi-writer points: tracked (printed) on every run, gated only against collapse.
+  for threads in 4 8; do
+    old_mt=$(extract "$baseline" "$threads")
+    new_mt=$(extract "$fresh" "$threads")
+    [ -z "$old_mt" ] || [ -z "$new_mt" ] && continue
+    echo "bench guard [$fresh]: ${threads}-writer sharded committed ${old_mt}," \
+      "fresh ${new_mt} Mitems/s"
+    if ! awk -v a="$old_mt" -v b="$new_mt" -v t="$TOLERANCE" \
+      'BEGIN { exit !(b + 0 >= a * t) }'; then
+      echo "bench guard [$fresh]: ${threads}-writer ingest collapsed vs the committed point"
+      failures=$((failures + 1))
+    fi
+  done
+done
 
-echo "bench guard: committed ${old} Mitems/s, fresh ${new} Mitems/s (tolerance ${TOLERANCE}x)"
-if awk -v a="$old" -v b="$new" -v t="$TOLERANCE" 'BEGIN { exit !(b + 0 >= a * t) }'; then
-  echo "bench guard: OK"
-else
-  echo "bench guard: ingest throughput regressed more than $(awk -v t="$TOLERANCE" \
-    'BEGIN { printf "%d", (1 - t) * 100 }')% vs the committed trajectory"
+if [ "$failures" -ne 0 ]; then
+  echo "bench guard: $failures failure(s)"
   exit 1
 fi
+echo "bench guard: OK"

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Crash kill-matrix: prove that a SIGKILL'd file-backed ingest run is recoverable.
 #
-# For each durability mode (strict, buffered) this starts `crash_harness ingest`,
-# SIGKILLs it at a randomized offset, then runs `crash_harness verify`, which reopens
-# the sketch file (write-ahead-log replay) and asserts:
+# For each mode (strict, buffered, threaded) this starts the matching `crash_harness`
+# ingest, SIGKILLs it at a randomized offset, then runs the matching verify, which
+# reopens the sketch file(s) (write-ahead-log replay) and asserts:
 #   * strict:   zero acknowledged-item loss (window 0), and
 #   * buffered: loss bounded by the documented WAL buffer window (items), and
-#   * in both:  every recovered item's edge answers with at least its exact weight.
+#   * threaded: 3 concurrent strict writers over a sharded sketch (one file + log per
+#               shard) — zero loss of any thread's acknowledged items, with the killed
+#               process's stale .lock sidecars reclaimed on reopen, and
+#   * in all:   every recovered item's edge answers with at least its exact weight.
 #
 # Usage: ci/crash_matrix.sh [iterations-per-mode]   (default 3)
 set -euo pipefail
@@ -29,25 +32,42 @@ SEED="${CRASH_MATRIX_SEED:-$RANDOM}"
 echo "crash matrix: $ITERATIONS iterations per mode, seed $SEED"
 
 failures=0
-for mode in strict buffered; do
+for mode in strict buffered threaded; do
   window=0
-  [ "$mode" = buffered ] && window=$BUFFERED_WINDOW
+  ingest_cmd=ingest
+  verify_cmd=verify
+  durability="$mode"
+  case "$mode" in
+    buffered) window=$BUFFERED_WINDOW ;;
+    threaded)
+      ingest_cmd=ingest-threaded
+      verify_cmd=verify-threaded
+      durability=strict
+      ;;
+  esac
   for i in $(seq 1 "$ITERATIONS"); do
     sketch="$WORKDIR/crash-$mode-$i.gss"
     progress="$WORKDIR/progress-$mode-$i"
     # Kill offset in [0.30, 1.29] s: from "barely created" to "deep into the stream",
     # varied per mode and per iteration (and per run via the seed).
     delay=$(awk -v s="$SEED" -v i="$i" -v m="$mode" 'BEGIN {
-      srand(s * 31 + i * 7919 + (m == "buffered") * 104729);
+      srand(s * 31 + i * 7919 + (m == "buffered") * 104729 + (m == "threaded") * 611953);
       rand();
       printf "%.2f", 0.30 + rand()
     }')
-    "$BIN" ingest "$sketch" "$progress" "$mode" "$ITEMS" &
+    "$BIN" "$ingest_cmd" "$sketch" "$progress" "$durability" "$ITEMS" &
     pid=$!
     sleep "$delay"
     kill -9 "$pid" 2>/dev/null || true
     wait "$pid" 2>/dev/null || true
-    acknowledged=$(cat "$progress" 2>/dev/null || echo 0)
+    if [ "$mode" = threaded ]; then
+      # The progress files carry no trailing newline: read each one separately.
+      acknowledged=$(for f in "$progress".0 "$progress".1 "$progress".2; do
+        cat "$f" 2>/dev/null; echo
+      done | awk '{ sum += $1 } END { print sum + 0 }')
+    else
+      acknowledged=$(cat "$progress" 2>/dev/null || echo 0)
+    fi
     # A completed ingest means the kill landed after the final sync: the iteration
     # would "verify" a cleanly checkpointed file and prove nothing about recovery.
     if [ "$acknowledged" = "$ITEMS" ]; then
@@ -57,7 +77,7 @@ for mode in strict buffered; do
       continue
     fi
     echo "--- $mode #$i: killed after ${delay}s at $acknowledged acknowledged items"
-    if "$BIN" verify "$sketch" "$progress" "$mode" "$window"; then
+    if "$BIN" "$verify_cmd" "$sketch" "$progress" "$durability" "$window"; then
       echo "--- $mode #$i: OK"
     else
       echo "--- $mode #$i: FAILED"
@@ -70,4 +90,4 @@ if [ "$failures" -ne 0 ]; then
   echo "crash matrix: $failures failure(s)"
   exit 1
 fi
-echo "crash matrix: all $((2 * ITERATIONS)) kills recovered within their windows"
+echo "crash matrix: all $((3 * ITERATIONS)) kills recovered within their windows"

@@ -286,6 +286,9 @@ impl ShardedGss {
             total.wal_flushes += stats.wal_flushes;
             total.pages_flushed += stats.pages_flushed;
             total.checkpoints += stats.checkpoints;
+            total.page_lookups += stats.page_lookups;
+            total.page_faults += stats.page_faults;
+            total.page_latch_waits += stats.page_latch_waits;
         }
         let stored = total.matrix_edges + total.buffered_edges;
         total.buffer_percentage =
@@ -335,6 +338,25 @@ impl ShardedGss {
                 }
                 let sketches: Vec<GssSketch> = sketches.collect();
                 Ok(Self::merge_sketches(config, &sketches))
+            }
+            Err(shards) => Err(Self { config, shards }),
+        }
+    }
+
+    /// Drops every shard with no checkpoint and no background-queue drain
+    /// ([`GssSketch::abandon`] per shard), leaving file-backed shard files exactly as a
+    /// process kill would — for crash tests over concurrent writers.
+    ///
+    /// # Errors
+    /// Returns `self` unchanged when other handles still exist (they could still write).
+    pub fn abandon(self) -> Result<(), Self> {
+        let config = self.config;
+        match Arc::try_unwrap(self.shards) {
+            Ok(shards) => {
+                for shard in shards {
+                    shard.into_inner().abandon();
+                }
+                Ok(())
             }
             Err(shards) => Err(Self { config, shards }),
         }

@@ -3,9 +3,24 @@
 //! The room grid dominates a sketch's footprint (`m² × l` records regardless of the
 //! stream), so a paper-scale matrix can exceed RAM.  `FileStore` keeps the grid in a file
 //! of fixed-size little-endian room records ([`ROOM_RECORD_BYTES`] each, the same layout
-//! snapshots use) and serves reads/writes through an LRU cache of 4-KiB pages with
-//! dirty-page write-back — std-only `seek` + `read`/`write` I/O, no `mmap`, no platform
-//! dependencies.
+//! snapshots use) and serves reads/writes through the [`crate::pager`] module family —
+//! a lock-striped page cache of 4-KiB pages with per-page latches
+//! ([`crate::pager::page_cache`]), positioned I/O over one shared handle
+//! ([`crate::pager::page_file`]) and a background flusher draining dirty pages in
+//! elevator order with adjacent-page write coalescing ([`crate::pager::flusher`]).
+//! Std-only, no `mmap`, no platform dependencies beyond `pread`/`pwrite` on Unix.
+//!
+//! ## Concurrency
+//!
+//! Reads (`&self`) run concurrently: a cache hit takes its stripe's mutex only long
+//! enough to clone a slot reference, then reads the bytes under the page's shared read
+//! latch — hits on distinct pages touch no common lock, and faults on distinct stripes
+//! overlap their disk reads.  Mutation stays `&mut self` (one writer per store; sharded
+//! ingest gives each shard its own store), and the write-ahead log has its own append
+//! mutex so logging never serializes page access.  The occupancy index uses atomic
+//! bitmap words ([`AtomicOccupancyIndex`]) so the writer marks buckets while readers
+//! scan.  See [`crate::pager`] for the full lock map; the one global rule is that the
+//! WAL append mutex is never held while taking a page-table stripe mutex.
 //!
 //! ## File layout (format v2, magic `GSSFILE\x02`)
 //!
@@ -25,8 +40,8 @@
 //! Because the header carries the full configuration and the rooms live in place, **the
 //! sketch file doubles as its own checkpoint**: [`crate::GssSketch::open_file`] re-opens
 //! it with no per-room decode or insert pass — open streams the room region once
-//! (sequential reads of the occupancy flags, rebuilding the in-memory
-//! [`OccupancyIndex`]) plus the (usually tiny) tail.
+//! (sequential reads of the occupancy flags, rebuilding the in-memory occupancy index)
+//! plus the (usually tiny) tail.
 //!
 //! ## Durability and crash recovery
 //!
@@ -41,8 +56,8 @@
 //!
 //! The [`Durability`] knob picks the policy: `Strict` drains the log before every insert
 //! returns and writes evicted pages back synchronously (zero acknowledged-item loss);
-//! `Buffered` batches log drains ([`WAL_BUFFER_BYTES`]) and moves page write-back onto a
-//! background flusher thread (bounded queue, barriered by checkpoint and drop).
+//! `Buffered` batches log drains ([`WAL_BUFFER_BYTES`]) and moves page write-back onto
+//! the background flusher thread (bounded queue, barriered by checkpoint and drop).
 //!
 //! Checkpoints are **incremental**: the buffer and node tail sections carry generation
 //! stamps, and a checkpoint rewrites only the sections whose generation moved (plus the
@@ -51,10 +66,13 @@
 //! **Single-opener contract**: a sketch file (plus its log) must be open in at most one
 //! process at a time.  Recovery *mutates* — it replays the log into the room region and
 //! truncates it — so opening the live file of a running ingester would race its writes
-//! and corrupt both views; even a clean open resets the sidecar log.  Ship a snapshot
+//! and corrupt both views.  This is now **enforced** by an advisory sidecar lock
+//! (`<sketch>.lock`, see [`crate::pager::lock_file`]): create and open claim it
+//! create-exclusively before touching the sketch file (so a concurrent `create` cannot
+//! even truncate a live file), a second opener fails with a "locked by pid N" I/O error,
+//! and locks left by a killed process are reclaimed.  Ship a snapshot
 //! ([`crate::GssSketch::write_snapshot_to`]) to read a live sketch's state from another
-//! process.  (An advisory lock file would enforce this; see ROADMAP — `std` alone has no
-//! portable file locking.)
+//! process.
 //!
 //! Runtime I/O failures (disk full, file removed under us) inside the [`RoomStore`] hot
 //! path panic with a descriptive message — the trait is infallible by design because the
@@ -62,19 +80,25 @@
 
 use crate::config::{Durability, GssConfig, WAL_BUFFER_BYTES};
 use crate::matrix::Room;
+use crate::pager::flusher::Flusher;
+use crate::pager::lock_file::LockFile;
+use crate::pager::page_cache::{PageCache, PageIo};
+use crate::pager::page_file::PageFile;
+use crate::pager::{page_offset, HEADER_BYTES};
 use crate::persistence::PersistenceError;
 use crate::storage::{
-    decode_config, decode_room, encode_config, encode_room, BucketProbe, OccupancyIndex, RoomStore,
-    CONFIG_BYTES, ROOM_OCCUPIED_BYTE, ROOM_RECORD_BYTES,
+    decode_config, decode_room, dense_scan, encode_config, encode_room, AtomicOccupancyIndex,
+    BucketProbe, OccupancyIndex, RoomStore, CONFIG_BYTES, ROOM_OCCUPIED_BYTE, ROOM_RECORD_BYTES,
 };
 use crate::wal::{crc32, read_replay, wal_path, WalWriter};
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+pub use crate::pager::{PageCacheStats, PAGE_BYTES};
 
 /// Magic bytes identifying a GSS sketch file (version 2: per-section tail lengths/CRCs
 /// in the header, write-ahead log sidecar).
@@ -83,13 +107,6 @@ pub const FILE_MAGIC: [u8; 8] = *b"GSSFILE\x02";
 /// Version-1 magic (pre-durability files; clean ones still open, their header upgraded
 /// to v2 in place).
 pub const FILE_MAGIC_V1: [u8; 8] = *b"GSSFILE\x01";
-
-/// Bytes per cache page (and per on-disk page; room records never straddle pages because
-/// [`ROOM_RECORD_BYTES`] divides this).
-pub const PAGE_BYTES: usize = 4096;
-
-/// Size of the header region (one page, so the room region starts page-aligned).
-const HEADER_BYTES: u64 = PAGE_BYTES as u64;
 
 // Header field offsets.
 const OFF_CONFIG: usize = 8;
@@ -103,9 +120,6 @@ const OFF_BUFFER_CRC: usize = OFF_BUFFER_LEN + 8;
 const OFF_NODE_LEN: usize = OFF_BUFFER_CRC + 4;
 const OFF_NODE_CRC: usize = OFF_NODE_LEN + 8;
 const HEADER_FIELDS_END: usize = OFF_NODE_CRC + 4;
-
-/// Pages the background flusher queue may hold before evictions block (1 MiB).
-const FLUSH_QUEUE_PAGES: usize = 256;
 
 /// Everything [`FileStore::open`] recovers from an existing sketch file besides the store
 /// itself: the sketch-level state the file checkpoints.
@@ -141,14 +155,6 @@ pub enum FlushPoint {
 /// An injectable observer of durability points (see [`FlushPoint`]).
 pub type FlushHook = Box<dyn FnMut(FlushPoint) + Send>;
 
-/// One cached page of room records.
-struct Page {
-    data: Box<[u8; PAGE_BYTES]>,
-    dirty: bool,
-    /// LRU stamp: monotonically increasing touch tick.
-    stamp: u64,
-}
-
 /// The tail state of the last completed checkpoint: what [`FileStore::checkpoint`]
 /// compares incoming generation stamps against to skip unchanged sections.
 #[derive(Debug, Clone, Copy, Default)]
@@ -177,50 +183,6 @@ pub struct TailSections<'a> {
     pub node_gen: u64,
 }
 
-struct FileInner {
-    file: File,
-    occupied_rooms: usize,
-    /// Mirrors the header's clean flag so it is only rewritten on transitions.
-    clean: bool,
-    tick: u64,
-    pages: HashMap<u64, Page>,
-    /// Recency index: stamp → page index (stamps are unique ticks), so the LRU victim is
-    /// the first entry — O(log n) eviction instead of scanning the whole cache.
-    recency: std::collections::BTreeMap<u64, u64>,
-    /// In-memory bucket-occupancy bitmaps (never written to the file; rebuilt from the
-    /// room region on [`FileStore::open`]), steering scans past empty buckets so a
-    /// precursor query touches only pages that actually hold matching rooms.
-    index: OccupancyIndex,
-    /// Page-cache lookups served (hits + faults) since creation/open.
-    page_lookups: u64,
-    /// Page-cache misses that faulted a page in from the file.
-    page_faults: u64,
-    /// The write-ahead room log (see [`crate::wal`]).
-    wal: WalWriter,
-    /// Tail state as of the last completed checkpoint.
-    synced: SyncedTail,
-    /// Injectable durability-point observer (kill-point tests).
-    hook: Option<FlushHook>,
-    /// Set by [`FileStore::abandon`]: drop without draining, simulating a crash.
-    abandoned: bool,
-    /// Dirty pages written back on the foreground path.
-    pages_written: u64,
-    /// Cumulative tail-section bytes rewritten by checkpoints.
-    tail_bytes_written: u64,
-    /// Completed checkpoints.
-    checkpoints: u64,
-}
-
-/// Cumulative page-cache counters of a [`FileStore`] (reported by the `query_scaling`
-/// bench to show how many pages a query path actually touches).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PageCacheStats {
-    /// Cache lookups served (every room read/write touches one page).
-    pub lookups: u64,
-    /// Lookups that missed and faulted the page in from disk.
-    pub faults: u64,
-}
-
 /// Cumulative durability counters of a [`FileStore`] (surfaced through
 /// [`GssStats`](crate::GssStats) and the `durability_cost` bench).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -233,6 +195,9 @@ pub struct DurabilityStats {
     pub pages_written: u64,
     /// Dirty pages written back by the background flusher thread.
     pub pages_written_background: u64,
+    /// Positioned writes the background flusher issued; less than
+    /// `pages_written_background` when adjacent pages were coalesced into one write.
+    pub background_write_batches: u64,
     /// Tail-section bytes rewritten by checkpoints (incremental checkpoints keep this
     /// far below `checkpoints × tail size`).
     pub tail_bytes_written: u64,
@@ -240,167 +205,58 @@ pub struct DurabilityStats {
     pub checkpoints: u64,
 }
 
-/// Shared state between a [`FileStore`] and its background flusher thread.
-struct FlusherShared {
-    state: StdMutex<FlusherState>,
-    /// Signalled when the queue gains work or shutdown is requested.
-    work: StdCondvar,
-    /// Signalled when a write lands or the queue shrinks.
-    done: StdCondvar,
-    pages_written: AtomicU64,
+/// Write-ahead-log state behind its own append mutex: the writer plus the header's clean
+/// flag, which transitions exactly with log activity (first frame after a checkpoint
+/// clears it, checkpoint completion sets it).
+struct WalState {
+    writer: WalWriter,
+    /// Mirrors the header's clean flag so it is only rewritten on transitions.
+    clean: bool,
 }
 
-#[derive(Default)]
-struct FlusherState {
-    queue: VecDeque<(u64, Box<[u8; PAGE_BYTES]>)>,
-    /// The page index currently being written (popped from the queue).
-    writing: Option<u64>,
-    shutdown: bool,
-    /// With `shutdown`: exit without writing the remaining queue (crash simulation).
-    discard: bool,
-    error: Option<String>,
+/// Checkpoint bookkeeping, serialized by its own mutex (checkpoints are rare and already
+/// exclusive at the sketch layer; the mutex keeps the store safe regardless).
+struct SyncState {
+    /// Tail state as of the last completed checkpoint.
+    synced: SyncedTail,
+    /// Cumulative tail-section bytes rewritten by checkpoints.
+    tail_bytes_written: u64,
+    /// Completed checkpoints.
+    checkpoints: u64,
 }
 
-/// Handle to the background write-back thread ([`Durability::Buffered`] only).
-struct Flusher {
-    shared: Arc<FlusherShared>,
-    thread: Option<std::thread::JoinHandle<()>>,
-}
-
-impl Flusher {
-    /// Opens an independent handle on the sketch file (own cursor) and spawns the thread.
-    fn spawn(path: &Path) -> io::Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
-        let shared = Arc::new(FlusherShared {
-            state: StdMutex::new(FlusherState::default()),
-            work: StdCondvar::new(),
-            done: StdCondvar::new(),
-            pages_written: AtomicU64::new(0),
-        });
-        let thread_shared = Arc::clone(&shared);
-        let thread = std::thread::Builder::new()
-            .name("gss-flusher".into())
-            .spawn(move || Self::run(&thread_shared, file))?;
-        Ok(Self { shared, thread: Some(thread) })
-    }
-
-    fn run(shared: &FlusherShared, mut file: File) {
-        loop {
-            let (index, data) = {
-                let mut state = shared.state.lock().expect("flusher state lock");
-                loop {
-                    if state.error.is_some() || state.discard {
-                        state.queue.clear();
-                    }
-                    if state.shutdown && state.queue.is_empty() {
-                        shared.done.notify_all();
-                        return;
-                    }
-                    if let Some(job) = state.queue.pop_front() {
-                        state.writing = Some(job.0);
-                        // Queue space freed: wake a blocked evictor.
-                        shared.done.notify_all();
-                        break job;
-                    }
-                    state = shared.work.wait(state).expect("flusher state lock");
-                }
-            };
-            let result = file
-                .seek(SeekFrom::Start(HEADER_BYTES + index * PAGE_BYTES as u64))
-                .and_then(|_| file.write_all(&data[..]));
-            let mut state = shared.state.lock().expect("flusher state lock");
-            state.writing = None;
-            match result {
-                Ok(()) => {
-                    shared.pages_written.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(error) => state.error = Some(error.to_string()),
-            }
-            shared.done.notify_all();
-        }
-    }
-
-    fn check(state: &FlusherState) -> io::Result<()> {
-        match &state.error {
-            Some(message) => {
-                Err(io::Error::other(format!("background page write-back failed: {message}")))
-            }
-            None => Ok(()),
-        }
-    }
-
-    /// Hands a dirty page to the thread, blocking while the bounded queue is full.
-    fn enqueue(&self, index: u64, data: Box<[u8; PAGE_BYTES]>) -> io::Result<()> {
-        let mut state = self.shared.state.lock().expect("flusher state lock");
-        loop {
-            Self::check(&state)?;
-            if state.queue.len() < FLUSH_QUEUE_PAGES {
-                break;
-            }
-            state = self.shared.done.wait(state).expect("flusher state lock");
-        }
-        state.queue.push_back((index, data));
-        self.shared.work.notify_one();
-        Ok(())
-    }
-
-    /// Takes a still-queued page back (a fault on it must not read stale file bytes).
-    /// If the thread is mid-write of exactly this page, waits for the write to land so a
-    /// fresh file read is current, then returns `None`.
-    fn steal(&self, index: u64) -> io::Result<Option<Box<[u8; PAGE_BYTES]>>> {
-        let mut state = self.shared.state.lock().expect("flusher state lock");
-        Self::check(&state)?;
-        if let Some(position) = state.queue.iter().position(|(i, _)| *i == index) {
-            let (_, data) = state.queue.remove(position).expect("position just found");
-            self.shared.done.notify_all();
-            return Ok(Some(data));
-        }
-        while state.writing == Some(index) {
-            state = self.shared.done.wait(state).expect("flusher state lock");
-            Self::check(&state)?;
-        }
-        Ok(None)
-    }
-
-    /// Blocks until every queued page is on disk (checkpoint/drop barrier).
-    fn barrier(&self) -> io::Result<()> {
-        let mut state = self.shared.state.lock().expect("flusher state lock");
-        loop {
-            Self::check(&state)?;
-            if state.queue.is_empty() && state.writing.is_none() {
-                return Ok(());
-            }
-            state = self.shared.done.wait(state).expect("flusher state lock");
-        }
-    }
-
-    fn pages_written(&self) -> u64 {
-        self.shared.pages_written.load(Ordering::Relaxed)
-    }
-
-    fn shutdown(&mut self, discard: bool) {
-        {
-            let mut state = self.shared.state.lock().expect("flusher state lock");
-            state.shutdown = true;
-            state.discard |= discard;
-        }
-        self.shared.work.notify_all();
-        if let Some(thread) = self.thread.take() {
-            let _ = thread.join();
-        }
-    }
-}
-
-/// A paged file-backed [`RoomStore`] with an LRU dirty-page write-back cache, a
-/// write-ahead room log and incremental checkpoints.
+/// A paged file-backed [`RoomStore`]: lock-striped page cache with per-page latches,
+/// write-ahead room log behind its own append mutex, elevator write-back flusher and
+/// incremental checkpoints.  Reads (`&self`) run concurrently; see the module docs.
 pub struct FileStore {
     path: PathBuf,
     width: usize,
     rooms_per_bucket: usize,
     cache_pages: usize,
     durability: Durability,
+    /// Positioned I/O over the sketch file, shared with the background flusher.
+    file: Arc<PageFile>,
+    /// The lock-striped page table (see [`crate::pager::page_cache`]).
+    cache: PageCache,
+    /// Bucket-occupancy bitmaps with atomic words (never written to the file; rebuilt
+    /// from the room region on [`FileStore::open`]), steering scans past empty buckets.
+    index: AtomicOccupancyIndex,
+    occupied_rooms: AtomicUsize,
+    /// Dirty pages written back on the foreground path.
+    pages_written: AtomicU64,
+    /// Set by [`FileStore::abandon`]: drop will not drain the background queue, leaving
+    /// the file exactly as a `SIGKILL` would.
+    abandoned: AtomicBool,
+    /// The write-ahead room log and clean flag (see [`crate::wal`]).  Never held while
+    /// taking a page-table stripe mutex.
+    wal: Mutex<WalState>,
+    /// Injectable durability-point observer (kill-point tests).  Leaf lock.
+    hook: Mutex<Option<FlushHook>>,
+    sync_state: Mutex<SyncState>,
+    /// Background write-back thread ([`Durability::Buffered`] only).
     flusher: Option<Flusher>,
-    inner: Mutex<FileInner>,
+    /// Advisory single-opener lock; released (sidecar removed) when the store drops.
+    _lock: LockFile,
 }
 
 impl std::fmt::Debug for FileStore {
@@ -415,34 +271,37 @@ impl std::fmt::Debug for FileStore {
     }
 }
 
-/// Invokes the installed flush hook, if any.
-fn fire(inner: &mut FileInner, point: FlushPoint) {
-    if let Some(hook) = inner.hook.as_mut() {
-        hook(point);
+/// How the page cache reaches the file: faults read through the flusher's steal-back
+/// path, evictions pass the write-ahead barrier and then go to the file (strict) or the
+/// background queue (buffered).
+impl PageIo for FileStore {
+    fn load_page(&self, index: u64, into: &mut [u8; PAGE_BYTES]) -> io::Result<bool> {
+        // A page sitting in the background queue has not reached the file yet: take it
+        // back (still dirty) instead of reading stale bytes.
+        if let Some(flusher) = &self.flusher {
+            if let Some(data) = flusher.steal(index)? {
+                into.copy_from_slice(&data[..]);
+                return Ok(true);
+            }
+        }
+        self.file.read_exact_at(&mut into[..], page_offset(index))?;
+        Ok(false)
     }
-}
 
-/// Clears the header's clean flag on the first mutation after a checkpoint.  Every
-/// logged mutation — room writes, buffer spills, node registrations, commits — must pass
-/// through here *before* its frames may drain: a file whose log holds acknowledged
-/// frames while its header still reads clean would discard them on reopen.
-fn mark_unclean(inner: &mut FileInner) -> io::Result<()> {
-    if inner.clean {
-        inner.clean = false;
-        inner.file.seek(SeekFrom::Start(OFF_CLEAN as u64))?;
-        inner.file.write_all(&[0])?;
+    fn write_back(&self, index: u64, data: &[u8; PAGE_BYTES]) -> io::Result<()> {
+        // Write-ahead barrier: frames covering this page must be durable before the
+        // page itself is.
+        self.drain_wal()?;
+        match &self.flusher {
+            Some(flusher) => flusher.enqueue(index, Box::new(*data)),
+            None => {
+                self.file.write_all_at(&data[..], page_offset(index))?;
+                self.pages_written.fetch_add(1, Ordering::Relaxed);
+                self.fire(FlushPoint::PageWriteBack);
+                Ok(())
+            }
+        }
     }
-    Ok(())
-}
-
-/// Drains pending write-ahead-log frames to the log file — the write-ahead barrier every
-/// page write-back must pass first.
-fn drain_wal(inner: &mut FileInner) -> io::Result<()> {
-    if inner.wal.pending_bytes() > 0 {
-        inner.wal.flush()?;
-        fire(inner, FlushPoint::WalFlush);
-    }
-    Ok(())
 }
 
 impl FileStore {
@@ -463,6 +322,9 @@ impl FileStore {
         cache_pages: usize,
         durability: Durability,
     ) -> io::Result<Self> {
+        // Claim the single-opener lock before truncating anything: a create aimed at a
+        // live sketch file must fail without destroying it.
+        let lock = LockFile::acquire(path)?;
         let mut file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         let width = config.width;
@@ -489,9 +351,19 @@ impl FileStore {
         // all-zeroes as unoccupied rooms, so no explicit formatting pass is needed.
         file.set_len(Self::tail_offset_for(room_count) + 2 * empty_section_len)?;
         let wal = WalWriter::create(&wal_path(path))?;
+        let synced = SyncedTail {
+            items: 0,
+            buffer_gen: 0,
+            node_gen: 0,
+            buffer_len: empty_section_len,
+            buffer_crc: empty_crc,
+            node_len: empty_section_len,
+            node_crc: empty_crc,
+        };
+        let file = Arc::new(PageFile::new(file));
         let flusher = match durability {
             Durability::Strict => None,
-            Durability::Buffered => Some(Flusher::spawn(path)?),
+            Durability::Buffered => Some(Flusher::spawn(Arc::clone(&file))?),
         };
         Ok(Self {
             path: path.to_path_buf(),
@@ -499,33 +371,17 @@ impl FileStore {
             rooms_per_bucket,
             cache_pages: cache_pages.max(1),
             durability,
+            file,
+            cache: PageCache::new(cache_pages),
+            index: AtomicOccupancyIndex::new(width),
+            occupied_rooms: AtomicUsize::new(0),
+            pages_written: AtomicU64::new(0),
+            abandoned: AtomicBool::new(false),
+            wal: Mutex::new(WalState { writer: wal, clean: true }),
+            hook: Mutex::new(None),
+            sync_state: Mutex::new(SyncState { synced, tail_bytes_written: 0, checkpoints: 0 }),
             flusher,
-            inner: Mutex::new(FileInner {
-                file,
-                occupied_rooms: 0,
-                clean: true,
-                tick: 0,
-                pages: HashMap::new(),
-                recency: std::collections::BTreeMap::new(),
-                index: OccupancyIndex::new(width),
-                page_lookups: 0,
-                page_faults: 0,
-                wal,
-                synced: SyncedTail {
-                    items: 0,
-                    buffer_gen: 0,
-                    node_gen: 0,
-                    buffer_len: empty_section_len,
-                    buffer_crc: empty_crc,
-                    node_len: empty_section_len,
-                    node_crc: empty_crc,
-                },
-                hook: None,
-                abandoned: false,
-                pages_written: 0,
-                tail_bytes_written: 0,
-                checkpoints: 0,
-            }),
+            _lock: lock,
         })
     }
 
@@ -548,6 +404,7 @@ impl FileStore {
         cache_pages: usize,
         durability: Durability,
     ) -> Result<(Self, FileHeader), PersistenceError> {
+        let lock = LockFile::acquire(path)?;
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         let mut header = [0u8; PAGE_BYTES];
         file.read_exact(&mut header)?;
@@ -600,6 +457,7 @@ impl FileStore {
                 synced,
                 cache_pages,
                 durability,
+                lock,
             );
         }
         let room_count = config.room_count();
@@ -630,8 +488,7 @@ impl FileStore {
                 ));
             }
         }
-        let index = Self::rebuild_index(&mut file, &config)?;
-        let rebuilt_occupied = index.1;
+        let (index, rebuilt_occupied) = Self::rebuild_index(&mut file, &config)?;
         if rebuilt_occupied != occupied as usize {
             return Err(PersistenceError::Corrupt(format!(
                 "header claims {occupied} occupied rooms but the room region holds \
@@ -668,9 +525,10 @@ impl FileStore {
             file,
             occupied as usize,
             true,
-            index.0,
+            index,
             wal,
             synced,
+            lock,
         )?;
         Ok((store, FileHeader { config, items_inserted, tail, recovered: false }))
     }
@@ -687,6 +545,7 @@ impl FileStore {
         synced: SyncedTail,
         cache_pages: usize,
         durability: Durability,
+        lock: LockFile,
     ) -> Result<(Self, FileHeader), PersistenceError> {
         let log = wal_path(path);
         let room_count = config.room_count();
@@ -763,6 +622,7 @@ impl FileStore {
             index,
             wal,
             synced,
+            lock,
         )?;
         // Checkpoint the recovered state: tail rewritten whole, header counts re-derived,
         // clean flag set, log truncated.  A crash during *this* checkpoint replays to the
@@ -785,7 +645,7 @@ impl FileStore {
         Ok((store, FileHeader { config, items_inserted: items, tail, recovered: true }))
     }
 
-    /// Shared tail of `create`/`open`/`recover`: builds the store around an open file.
+    /// Shared tail of `open`/`recover`: builds the store around an open file.
     #[allow(clippy::too_many_arguments)]
     fn assemble(
         path: &Path,
@@ -795,13 +655,17 @@ impl FileStore {
         file: File,
         occupied_rooms: usize,
         clean: bool,
-        index: OccupancyIndex,
+        index: AtomicOccupancyIndex,
         wal: WalWriter,
         synced: SyncedTail,
+        lock: LockFile,
     ) -> Result<Self, PersistenceError> {
+        let file = Arc::new(PageFile::new(file));
         let flusher = match durability {
             Durability::Strict => None,
-            Durability::Buffered => Some(Flusher::spawn(path).map_err(PersistenceError::from)?),
+            Durability::Buffered => {
+                Some(Flusher::spawn(Arc::clone(&file)).map_err(PersistenceError::from)?)
+            }
         };
         Ok(Self {
             path: path.to_path_buf(),
@@ -809,25 +673,17 @@ impl FileStore {
             rooms_per_bucket: config.rooms,
             cache_pages: cache_pages.max(1),
             durability,
+            file,
+            cache: PageCache::new(cache_pages),
+            index,
+            occupied_rooms: AtomicUsize::new(occupied_rooms),
+            pages_written: AtomicU64::new(0),
+            abandoned: AtomicBool::new(false),
+            wal: Mutex::new(WalState { writer: wal, clean }),
+            hook: Mutex::new(None),
+            sync_state: Mutex::new(SyncState { synced, tail_bytes_written: 0, checkpoints: 0 }),
             flusher,
-            inner: Mutex::new(FileInner {
-                file,
-                occupied_rooms,
-                clean,
-                tick: 0,
-                pages: HashMap::new(),
-                recency: std::collections::BTreeMap::new(),
-                index,
-                page_lookups: 0,
-                page_faults: 0,
-                wal,
-                synced,
-                hook: None,
-                abandoned: false,
-                pages_written: 0,
-                tail_bytes_written: 0,
-                checkpoints: 0,
-            }),
+            _lock: lock,
         })
     }
 
@@ -838,10 +694,10 @@ impl FileStore {
     fn rebuild_index(
         file: &mut File,
         config: &GssConfig,
-    ) -> Result<(OccupancyIndex, usize), PersistenceError> {
+    ) -> Result<(AtomicOccupancyIndex, usize), PersistenceError> {
         let width = config.width;
         let rooms_per_bucket = config.rooms;
-        let mut index = OccupancyIndex::new(width);
+        let index = AtomicOccupancyIndex::new(width);
         let mut occupied = 0usize;
         let mut page = [0u8; PAGE_BYTES];
         let mut remaining = config.room_count();
@@ -880,13 +736,13 @@ impl FileStore {
 
     /// Installs (or clears) the durability-point observer used by kill-point tests.
     pub fn set_flush_hook(&self, hook: Option<FlushHook>) {
-        self.inner.lock().hook = hook;
+        *self.hook.lock() = hook;
     }
 
     /// Marks the store as crash-simulated: drop will neither drain the background queue
     /// nor checkpoint, leaving the file exactly as a `SIGKILL` would.
     pub fn abandon(&self) {
-        self.inner.lock().abandoned = true;
+        self.abandoned.store(true, Ordering::Relaxed);
     }
 
     /// Byte offset where the tail begins (room region rounded up to whole pages).
@@ -905,112 +761,154 @@ impl FileStore {
         (row * self.width + column) * self.rooms_per_bucket + slot
     }
 
-    /// Runs `f` under the lock, panicking with context on I/O failure (see module docs).
-    fn with_inner<T>(&self, f: impl FnOnce(&mut FileInner) -> io::Result<T>) -> T {
-        let mut inner = self.inner.lock();
-        f(&mut inner).unwrap_or_else(|error| {
+    /// Unwraps a hot-path I/O result, panicking with context on failure (see module docs).
+    fn io_fail<T>(&self, result: io::Result<T>) -> T {
+        result.unwrap_or_else(|error| {
             panic!("sketch file I/O failed on {}: {error}", self.path.display())
         })
     }
 
-    /// Returns the cached page, faulting it in (and evicting the least-recently-used page,
-    /// writing it back if dirty) on a miss.
-    fn page<'a>(&self, inner: &'a mut FileInner, page_index: u64) -> io::Result<&'a mut Page> {
-        inner.tick += 1;
-        inner.page_lookups += 1;
-        let tick = inner.tick;
-        if !inner.pages.contains_key(&page_index) {
-            inner.page_faults += 1;
-            if inner.pages.len() >= self.cache_pages {
-                let (_, victim) =
-                    inner.recency.pop_first().expect("cache is non-empty when at capacity");
-                let page = inner.pages.remove(&victim).expect("victim exists");
-                if page.dirty {
-                    // Write-ahead barrier: frames covering this page must be durable
-                    // before the page itself is.
-                    drain_wal(inner)?;
-                    match &self.flusher {
-                        Some(flusher) => flusher.enqueue(victim, page.data)?,
-                        None => {
-                            Self::write_page(&mut inner.file, victim, &page.data)?;
-                            inner.pages_written += 1;
-                            fire(inner, FlushPoint::PageWriteBack);
-                        }
-                    }
-                }
-            }
-            // A page sitting in the background queue has not reached the file yet: take
-            // it back (still dirty) instead of reading stale bytes.
-            let (data, dirty) = match self.flusher.as_ref().map(|f| f.steal(page_index)) {
-                Some(stolen) => match stolen? {
-                    Some(data) => (data, true),
-                    None => (Self::read_page(&mut inner.file, page_index)?, false),
-                },
-                None => (Self::read_page(&mut inner.file, page_index)?, false),
-            };
-            inner.pages.insert(page_index, Page { data, dirty, stamp: tick });
+    /// Invokes the installed flush hook, if any.  The hook mutex is a leaf lock: safe to
+    /// fire while holding the WAL mutex or a stripe mutex.
+    fn fire(&self, point: FlushPoint) {
+        if let Some(hook) = self.hook.lock().as_mut() {
+            hook(point);
         }
-        let page = inner.pages.get_mut(&page_index).expect("just inserted or present");
-        if page.stamp != tick {
-            inner.recency.remove(&page.stamp);
-        }
-        inner.recency.insert(tick, page_index);
-        page.stamp = tick;
-        Ok(page)
     }
 
-    fn read_page(file: &mut File, page_index: u64) -> io::Result<Box<[u8; PAGE_BYTES]>> {
-        let mut data = Box::new([0u8; PAGE_BYTES]);
-        file.seek(SeekFrom::Start(HEADER_BYTES + page_index * PAGE_BYTES as u64))?;
-        file.read_exact(&mut data[..])?;
-        Ok(data)
+    /// Clears the header's clean flag on the first mutation after a checkpoint.  Every
+    /// logged mutation — room writes, buffer spills, node registrations, commits — must
+    /// pass through here *before* its frames may drain: a file whose log holds
+    /// acknowledged frames while its header still reads clean would discard them on
+    /// reopen.
+    fn mark_unclean_locked(&self, wal: &mut WalState) -> io::Result<()> {
+        if wal.clean {
+            wal.clean = false;
+            self.file.write_all_at(&[0], OFF_CLEAN as u64)?;
+        }
+        Ok(())
     }
 
-    fn write_page(file: &mut File, page_index: u64, data: &[u8; PAGE_BYTES]) -> io::Result<()> {
-        file.seek(SeekFrom::Start(HEADER_BYTES + page_index * PAGE_BYTES as u64))?;
-        file.write_all(&data[..])
+    /// Drains pending write-ahead-log frames to the log file under an already-held
+    /// append lock.
+    fn drain_wal_locked(&self, wal: &mut WalState) -> io::Result<()> {
+        if wal.writer.pending_bytes() > 0 {
+            wal.writer.flush()?;
+            self.fire(FlushPoint::WalFlush);
+        }
+        Ok(())
+    }
+
+    /// Drains pending write-ahead-log frames — the write-ahead barrier every page
+    /// write-back must pass first.  Self-contained (takes and releases the append lock),
+    /// so callers holding a stripe mutex never pin the WAL lock across page traffic.
+    fn drain_wal(&self) -> io::Result<()> {
+        self.drain_wal_locked(&mut self.wal.lock())
     }
 
     /// Reads the room at flat index `index` through the cache.
-    fn read_room(&self, inner: &mut FileInner, index: usize) -> io::Result<Room> {
+    fn read_room(&self, index: usize) -> io::Result<Room> {
         let byte = index * ROOM_RECORD_BYTES;
-        let page = self.page(inner, (byte / PAGE_BYTES) as u64)?;
+        let slot = self.cache.lookup((byte / PAGE_BYTES) as u64, self)?;
+        let data = self.cache.read(&slot);
         let offset = byte % PAGE_BYTES;
         let record: &[u8; ROOM_RECORD_BYTES] =
-            page.data[offset..offset + ROOM_RECORD_BYTES].try_into().expect("length checked");
+            data[offset..offset + ROOM_RECORD_BYTES].try_into().expect("length checked");
         Ok(decode_room(record))
     }
 
     /// Writes the room at flat index `index` through the cache: logs the full post-write
-    /// record to the write-ahead log, marks the page dirty and clears the header's clean
-    /// flag on the first mutation after a checkpoint.
-    fn write_room(&self, inner: &mut FileInner, index: usize, room: &Room) -> io::Result<()> {
+    /// record to the write-ahead log (under the append lock, released before any page
+    /// work), then updates the page under its write latch and marks it dirty.
+    fn write_room(&self, index: usize, room: &Room) -> io::Result<()> {
         let record = encode_room(room);
-        inner.wal.log_room(index as u64, &record);
-        mark_unclean(inner)?;
+        {
+            let mut wal = self.wal.lock();
+            wal.writer.log_room(index as u64, &record);
+            self.mark_unclean_locked(&mut wal)?;
+        }
         let byte = index * ROOM_RECORD_BYTES;
-        let page = self.page(inner, (byte / PAGE_BYTES) as u64)?;
+        let slot = self.cache.lookup((byte / PAGE_BYTES) as u64, self)?;
+        let mut data = self.cache.write(&slot);
         let offset = byte % PAGE_BYTES;
-        page.data[offset..offset + ROOM_RECORD_BYTES].copy_from_slice(&record);
-        page.dirty = true;
+        data[offset..offset + ROOM_RECORD_BYTES].copy_from_slice(&record);
+        slot.mark_dirty();
+        Ok(())
+    }
+
+    /// Visits the rooms of the bucket starting at flat index `start` in slot order,
+    /// batching page traffic: one cache lookup and one latch acquisition per touched
+    /// page (buckets span a page boundary only when `l` is not a power of two).  The
+    /// callback returns `false` to stop early.
+    fn scan_bucket(
+        &self,
+        start: usize,
+        visit: &mut dyn FnMut(usize, Room) -> bool,
+    ) -> io::Result<()> {
+        let mut slot_index = 0usize;
+        while slot_index < self.rooms_per_bucket {
+            let byte = (start + slot_index) * ROOM_RECORD_BYTES;
+            let page = self.cache.lookup((byte / PAGE_BYTES) as u64, self)?;
+            let data = self.cache.read(&page);
+            let mut offset = byte % PAGE_BYTES;
+            while slot_index < self.rooms_per_bucket && offset + ROOM_RECORD_BYTES <= PAGE_BYTES {
+                let record: &[u8; ROOM_RECORD_BYTES] =
+                    data[offset..offset + ROOM_RECORD_BYTES].try_into().expect("length checked");
+                if !visit(slot_index, decode_room(record)) {
+                    return Ok(());
+                }
+                slot_index += 1;
+                offset += ROOM_RECORD_BYTES;
+            }
+        }
+        Ok(())
+    }
+
+    /// Visits the occupied rooms among `count` consecutive records starting at flat
+    /// index `start`, page-batched like [`scan_bucket`](Self::scan_bucket); the callback
+    /// receives the record's offset from `start`.
+    fn scan_records(
+        &self,
+        start: usize,
+        count: usize,
+        visit: &mut dyn FnMut(usize, Room),
+    ) -> io::Result<()> {
+        let mut offset = 0usize;
+        while offset < count {
+            let byte = (start + offset) * ROOM_RECORD_BYTES;
+            let page = self.cache.lookup((byte / PAGE_BYTES) as u64, self)?;
+            let data = self.cache.read(&page);
+            let mut at = byte % PAGE_BYTES;
+            while offset < count && at + ROOM_RECORD_BYTES <= PAGE_BYTES {
+                let record: &[u8; ROOM_RECORD_BYTES] =
+                    data[at..at + ROOM_RECORD_BYTES].try_into().expect("length checked");
+                if record[ROOM_OCCUPIED_BYTE] != 0 {
+                    visit(offset, decode_room(record));
+                }
+                offset += 1;
+                at += ROOM_RECORD_BYTES;
+            }
+        }
         Ok(())
     }
 
     /// Logs a left-over buffer insertion to the write-ahead log (the buffer itself lives
     /// in the sketch, not in room storage — only its durability passes through here).
     pub(crate) fn log_buffer_insert(&self, source: u64, destination: u64, weight: i64) {
-        self.with_inner(|inner| {
-            inner.wal.log_buffer(source, destination, weight);
-            mark_unclean(inner)
-        });
+        let mut wal = self.wal.lock();
+        wal.writer.log_buffer(source, destination, weight);
+        let result = self.mark_unclean_locked(&mut wal);
+        drop(wal);
+        self.io_fail(result);
     }
 
     /// Logs a `⟨H(v), v⟩` registration to the write-ahead log.
     pub(crate) fn log_node(&self, hash: u64, vertex: u64) {
-        self.with_inner(|inner| {
-            inner.wal.log_node(hash, vertex);
-            mark_unclean(inner)
-        });
+        let mut wal = self.wal.lock();
+        wal.writer.log_node(hash, vertex);
+        let result = self.mark_unclean_locked(&mut wal);
+        drop(wal);
+        self.io_fail(result);
     }
 
     /// Logs the completion of an insert/batch and applies the durability policy: under
@@ -1019,67 +917,91 @@ impl FileStore {
     /// buffer exceeds [`WAL_BUFFER_BYTES`].  Returns the total log bytes so the sketch
     /// can trigger an automatic checkpoint when the log grows past its bound.
     pub(crate) fn log_commit(&self, items: u64) -> u64 {
-        self.with_inner(|inner| {
-            inner.wal.log_commit(items);
+        let mut wal = self.wal.lock();
+        let result = (|| {
+            wal.writer.log_commit(items);
             // Unclean-before-drain: a drained log behind a still-clean header would be
             // discarded on reopen, losing the items this commit acknowledges.
-            mark_unclean(inner)?;
+            self.mark_unclean_locked(&mut wal)?;
             if self.durability == Durability::Strict
-                || inner.wal.pending_bytes() >= WAL_BUFFER_BYTES
+                || wal.writer.pending_bytes() >= WAL_BUFFER_BYTES
             {
-                drain_wal(inner)?;
+                self.drain_wal_locked(&mut wal)?;
             }
-            Ok(inner.wal.bytes())
-        })
+            Ok(wal.writer.bytes())
+        })();
+        drop(wal);
+        self.io_fail(result)
     }
 
-    /// Flushes every dirty page to the file (pages stay cached, now clean), barriering
-    /// the background flusher first.  Does **not** checkpoint.
+    /// Flushes every dirty page to the file (pages stay cached, now clean), draining the
+    /// write-ahead log and barriering the background flusher first.  Does **not**
+    /// checkpoint.
     pub fn flush_pages(&self) -> io::Result<()> {
-        self.inner_flush(&mut self.inner.lock())
+        // Write-ahead barrier, then the background queue, then the cache's dirty pages
+        // in ascending page order (a sequentially-filled matrix flushes sequentially).
+        self.drain_wal()?;
+        if let Some(flusher) = &self.flusher {
+            flusher.barrier()?;
+        }
+        let dirty = self.cache.dirty_slots();
+        let wrote = !dirty.is_empty();
+        for slot in &dirty {
+            let data = self.cache.read(slot);
+            self.file.write_all_at(&data[..], page_offset(slot.index()))?;
+            self.pages_written.fetch_add(1, Ordering::Relaxed);
+            self.cache.mark_clean(slot);
+        }
+        if wrote {
+            self.fire(FlushPoint::PageWriteBack);
+        }
+        Ok(())
     }
 
-    /// Cumulative page-cache counters since this store was created or opened.
+    /// Cumulative page-cache counters since this store was created or opened.  Reads only
+    /// atomics — never takes a pager lock, so per-tenant cache pressure is observable
+    /// without perturbing page traffic.
     pub fn page_stats(&self) -> PageCacheStats {
-        let inner = self.inner.lock();
-        PageCacheStats { lookups: inner.page_lookups, faults: inner.page_faults }
+        self.cache.stats()
     }
 
     /// Cumulative durability counters since this store was created or opened.
     pub fn durability_stats(&self) -> DurabilityStats {
-        let inner = self.inner.lock();
+        let (wal_bytes, wal_flushes) = {
+            let wal = self.wal.lock();
+            (wal.writer.bytes(), wal.writer.flushes())
+        };
+        let sync = self.sync_state.lock();
         DurabilityStats {
-            wal_bytes: inner.wal.bytes(),
-            wal_flushes: inner.wal.flushes(),
-            pages_written: inner.pages_written,
+            wal_bytes,
+            wal_flushes,
+            pages_written: self.pages_written.load(Ordering::Relaxed),
             pages_written_background: self.flusher.as_ref().map_or(0, Flusher::pages_written),
-            tail_bytes_written: inner.tail_bytes_written,
-            checkpoints: inner.checkpoints,
+            background_write_batches: self.flusher.as_ref().map_or(0, Flusher::write_batches),
+            tail_bytes_written: sync.tail_bytes_written,
+            checkpoints: sync.checkpoints,
         }
     }
 
     /// Generation stamps of the last checkpointed tail sections, plus the checkpointed
     /// buffer-section length (the sketch uses these to encode only changed sections).
     pub(crate) fn synced_tail_state(&self) -> (u64, u64, u64) {
-        let inner = self.inner.lock();
-        (inner.synced.buffer_gen, inner.synced.node_gen, inner.synced.buffer_len)
+        let sync = self.sync_state.lock();
+        (sync.synced.buffer_gen, sync.synced.node_gen, sync.synced.buffer_len)
     }
 
     /// Full-grid row scan ignoring the occupancy index — the pre-index behaviour, kept as
-    /// the measurable baseline (one lock for the whole scan, every bucket of the row
-    /// probed through the page cache).
+    /// the measurable baseline (every room of the row probed individually through the
+    /// page cache).
     pub fn scan_row_naive(&self, row: usize, visit: &mut dyn FnMut(usize, Room)) {
         let start = self.room_index(row, 0, 0);
         let rooms_per_row = self.width * self.rooms_per_bucket;
-        self.with_inner(|inner| {
-            for offset in 0..rooms_per_row {
-                let room = self.read_room(inner, start + offset)?;
-                if room.occupied {
-                    visit(offset / self.rooms_per_bucket, room);
-                }
+        for offset in 0..rooms_per_row {
+            let room = self.io_fail(self.read_room(start + offset));
+            if room.occupied {
+                visit(offset / self.rooms_per_bucket, room);
             }
-            Ok(())
-        });
+        }
     }
 
     /// Full-grid column scan ignoring the occupancy index (see
@@ -1087,40 +1009,63 @@ impl FileStore {
     /// page once `m·l·16 > 4096`, which is what made naive precursor queries fault in
     /// nearly the whole sketch file.
     pub fn scan_column_naive(&self, column: usize, visit: &mut dyn FnMut(usize, Room)) {
-        self.with_inner(|inner| {
-            for row in 0..self.width {
-                let start = (row * self.width + column) * self.rooms_per_bucket;
-                for slot in 0..self.rooms_per_bucket {
-                    let room = self.read_room(inner, start + slot)?;
-                    if room.occupied {
-                        visit(row, room);
-                    }
+        for row in 0..self.width {
+            let start = (row * self.width + column) * self.rooms_per_bucket;
+            for slot in 0..self.rooms_per_bucket {
+                let room = self.io_fail(self.read_room(start + slot));
+                if room.occupied {
+                    visit(row, room);
                 }
             }
-            Ok(())
-        });
+        }
     }
 
-    /// Drains the write-ahead log, barriers the background flusher and writes every dirty
-    /// cached page to the file (pages stay cached, now clean).
-    fn inner_flush(&self, inner: &mut FileInner) -> io::Result<()> {
-        drain_wal(inner)?;
-        if let Some(flusher) = &self.flusher {
-            flusher.barrier()?;
+    /// Indexed row scan: word-by-word over the row's occupancy bitmap, so only buckets
+    /// that ever received an edge are read — unless the row is dense (≥ 50% of its
+    /// buckets occupied), where the bitmap's skip-ahead win vanishes and a straight
+    /// linear walk of the row's contiguous records is both simpler and sequential I/O.
+    fn scan_row_inner(&self, row: usize, visit: &mut dyn FnMut(usize, Room)) -> io::Result<()> {
+        if dense_scan(self.index.occupied_in_row(row), self.width) {
+            let start = self.room_index(row, 0, 0);
+            let rooms_per_bucket = self.rooms_per_bucket;
+            return self.scan_records(start, self.width * rooms_per_bucket, &mut |offset, room| {
+                visit(offset / rooms_per_bucket, room)
+            });
         }
-        // Write in page order so a sequentially-filled matrix flushes sequentially.
-        let mut dirty: Vec<u64> =
-            inner.pages.iter().filter(|(_, page)| page.dirty).map(|(&index, _)| index).collect();
-        dirty.sort_unstable();
-        let wrote = !dirty.is_empty();
-        for index in dirty {
-            let page = inner.pages.remove(&index).expect("listed page exists");
-            Self::write_page(&mut inner.file, index, &page.data)?;
-            inner.pages_written += 1;
-            inner.pages.insert(index, Page { dirty: false, ..page });
+        for word_index in 0..self.index.words_per_line() {
+            let word = self.index.row_word(row, word_index);
+            for column in OccupancyIndex::set_positions(word_index, word) {
+                let start = self.room_index(row, column, 0);
+                self.scan_records(start, self.rooms_per_bucket, &mut |_, room| {
+                    visit(column, room)
+                })?;
+            }
         }
-        if wrote {
-            fire(inner, FlushPoint::PageWriteBack);
+        Ok(())
+    }
+
+    /// Indexed column scan with the same dense escape hatch as
+    /// [`scan_row_inner`](Self::scan_row_inner) (a dense column visits every row's bucket
+    /// directly, skipping the bitmap arithmetic; column buckets are non-contiguous either
+    /// way).
+    fn scan_column_inner(
+        &self,
+        column: usize,
+        visit: &mut dyn FnMut(usize, Room),
+    ) -> io::Result<()> {
+        if dense_scan(self.index.occupied_in_column(column), self.width) {
+            for row in 0..self.width {
+                let start = self.room_index(row, column, 0);
+                self.scan_records(start, self.rooms_per_bucket, &mut |_, room| visit(row, room))?;
+            }
+            return Ok(());
+        }
+        for word_index in 0..self.index.words_per_line() {
+            let word = self.index.column_word(column, word_index);
+            for row in OccupancyIndex::set_positions(word_index, word) {
+                let start = self.room_index(row, column, 0);
+                self.scan_records(start, self.rooms_per_bucket, &mut |_, room| visit(row, room))?;
+            }
         }
         Ok(())
     }
@@ -1131,19 +1076,23 @@ impl FileStore {
     /// log.  After this the file reopens via [`FileStore::open`] with no replay.
     ///
     /// A fully clean store (no mutations, matching generations) returns immediately.
+    /// Checkpoints run with no concurrent *mutators* (the sketch reaches them through
+    /// `&mut self` paths); concurrent readers are safe throughout.
     pub fn checkpoint(&self, items: u64, sections: TailSections<'_>) -> io::Result<()> {
-        let mut guard = self.inner.lock();
-        let inner = &mut *guard;
-        let synced = inner.synced;
-        if inner.clean
-            && inner.wal.is_empty()
-            && sections.buffer.is_none()
-            && sections.node.is_none()
-            && sections.buffer_gen == synced.buffer_gen
-            && sections.node_gen == synced.node_gen
-            && items == synced.items
+        let mut sync = self.sync_state.lock();
+        let synced = sync.synced;
         {
-            return Ok(());
+            let wal = self.wal.lock();
+            if wal.clean
+                && wal.writer.is_empty()
+                && sections.buffer.is_none()
+                && sections.node.is_none()
+                && sections.buffer_gen == synced.buffer_gen
+                && sections.node_gen == synced.node_gen
+                && items == synced.items
+            {
+                return Ok(());
+            }
         }
         debug_assert!(
             sections.buffer.is_some() || sections.buffer_gen == synced.buffer_gen,
@@ -1160,34 +1109,36 @@ impl FileStore {
             "the node section must be rewritten when the buffer section changes length"
         );
         // 1. The tail image goes to the log first: a crash anywhere below recovers it.
-        inner.wal.log_tail(items, sections.buffer, sections.node);
-        inner.wal.sync()?;
-        fire(inner, FlushPoint::WalFlush);
-        // 2. Mark the file unclean before touching it (a no-op when a mutation already
-        //    did — items-only checkpoints exist): a crash between the partial tail write
-        //    below and the final header update must leave the file routed through
-        //    recovery, never accepted with a torn tail.
-        let was_clean = inner.clean;
-        mark_unclean(inner)?;
-        if was_clean {
-            inner.file.sync_data()?;
+        // 2. Then mark the file unclean before touching it (a no-op when a mutation
+        //    already did — items-only checkpoints exist): a crash between the partial
+        //    tail write below and the final header update must leave the file routed
+        //    through recovery, never accepted with a torn tail.
+        {
+            let mut wal = self.wal.lock();
+            wal.writer.log_tail(items, sections.buffer, sections.node);
+            wal.writer.sync()?;
+            self.fire(FlushPoint::WalFlush);
+            let was_clean = wal.clean;
+            self.mark_unclean_locked(&mut wal)?;
+            if was_clean {
+                self.file.sync_data()?;
+            }
         }
-        // 3. Every dirty page out: background queue barriered, cache flushed.
-        self.inner_flush(inner)?;
+        // 3. Every dirty page out: background queue barriered, cache flushed.  The WAL
+        //    lock is released — drains and page traffic stay independently locked.
+        self.flush_pages()?;
         // 4. Only the tail sections whose generation moved are rewritten.
         let tail_offset = Self::tail_offset_for(self.room_count_internal());
         if let Some(buffer) = sections.buffer {
-            inner.file.seek(SeekFrom::Start(tail_offset))?;
-            inner.file.write_all(buffer)?;
-            inner.tail_bytes_written += buffer.len() as u64;
+            self.file.write_all_at(buffer, tail_offset)?;
+            sync.tail_bytes_written += buffer.len() as u64;
         }
         if let Some(node) = sections.node {
-            inner.file.seek(SeekFrom::Start(tail_offset + buffer_len))?;
-            inner.file.write_all(node)?;
-            inner.tail_bytes_written += node.len() as u64;
+            self.file.write_all_at(node, tail_offset + buffer_len)?;
+            sync.tail_bytes_written += node.len() as u64;
         }
-        inner.file.set_len(tail_offset + buffer_len + node_len)?;
-        fire(inner, FlushPoint::TailWrite);
+        self.file.set_len(tail_offset + buffer_len + node_len)?;
+        self.fire(FlushPoint::TailWrite);
         // 5. Header: magic, counters, section CRCs, clean flag.
         let buffer_crc = sections.buffer.map_or(synced.buffer_crc, crc32);
         let node_crc = sections.node.map_or(synced.node_crc, crc32);
@@ -1195,7 +1146,7 @@ impl FileStore {
         let at = |offset: usize| offset - OFF_ITEMS;
         fields[at(OFF_ITEMS)..at(OFF_ITEMS) + 8].copy_from_slice(&items.to_le_bytes());
         fields[at(OFF_OCCUPIED)..at(OFF_OCCUPIED) + 8]
-            .copy_from_slice(&(inner.occupied_rooms as u64).to_le_bytes());
+            .copy_from_slice(&(self.occupied_rooms.load(Ordering::Relaxed) as u64).to_le_bytes());
         fields[at(OFF_TAIL_LEN)..at(OFF_TAIL_LEN) + 8]
             .copy_from_slice(&(buffer_len + node_len).to_le_bytes());
         fields[at(OFF_CLEAN)] = 1;
@@ -1205,17 +1156,18 @@ impl FileStore {
             .copy_from_slice(&buffer_crc.to_le_bytes());
         fields[at(OFF_NODE_LEN)..at(OFF_NODE_LEN) + 8].copy_from_slice(&node_len.to_le_bytes());
         fields[at(OFF_NODE_CRC)..at(OFF_NODE_CRC) + 4].copy_from_slice(&node_crc.to_le_bytes());
-        inner.file.seek(SeekFrom::Start(0))?;
-        inner.file.write_all(&FILE_MAGIC)?;
-        inner.file.seek(SeekFrom::Start(OFF_ITEMS as u64))?;
-        inner.file.write_all(&fields)?;
-        inner.file.sync_all()?;
-        inner.clean = true;
-        inner.checkpoints += 1;
-        fire(inner, FlushPoint::CheckpointDone);
-        // 6. Every logged frame is now covered by the checkpoint.
-        inner.wal.truncate()?;
-        inner.synced = SyncedTail {
+        self.file.write_all_at(&FILE_MAGIC, 0)?;
+        self.file.write_all_at(&fields, OFF_ITEMS as u64)?;
+        self.file.sync_all()?;
+        {
+            let mut wal = self.wal.lock();
+            wal.clean = true;
+            sync.checkpoints += 1;
+            self.fire(FlushPoint::CheckpointDone);
+            // 6. Every logged frame is now covered by the checkpoint.
+            wal.writer.truncate()?;
+        }
+        sync.synced = SyncedTail {
             items,
             buffer_gen: sections.buffer_gen,
             node_gen: sections.node_gen,
@@ -1233,10 +1185,10 @@ impl FileStore {
     /// for incremental rewrites and CRCs).
     pub fn write_tail(&self, items_inserted: u64, tail: &[u8]) -> io::Result<()> {
         let force_gen = {
-            let inner = self.inner.lock();
+            let sync = self.sync_state.lock();
             // Wrapping: v1 opens poison the stamps to u64::MAX.  Any value works here —
             // both sections are provided, so no skip comparison ever reads it.
-            inner.synced.buffer_gen.max(inner.synced.node_gen).wrapping_add(1)
+            sync.synced.buffer_gen.max(sync.synced.node_gen).wrapping_add(1)
         };
         self.checkpoint(
             items_inserted,
@@ -1256,8 +1208,7 @@ impl FileStore {
 impl Drop for FileStore {
     fn drop(&mut self) {
         if let Some(mut flusher) = self.flusher.take() {
-            let discard = self.inner.lock().abandoned;
-            flusher.shutdown(discard);
+            flusher.shutdown(self.abandoned.load(Ordering::Relaxed));
         }
     }
 }
@@ -1276,12 +1227,12 @@ impl RoomStore for FileStore {
     }
 
     fn occupied_rooms(&self) -> usize {
-        self.inner.lock().occupied_rooms
+        self.occupied_rooms.load(Ordering::Relaxed)
     }
 
     fn room(&self, row: usize, column: usize, slot: usize) -> Room {
         let index = self.room_index(row, column, slot);
-        self.with_inner(|inner| self.read_room(inner, index))
+        self.io_fail(self.read_room(index))
     }
 
     fn find_match(
@@ -1294,32 +1245,35 @@ impl RoomStore for FileStore {
         destination_index: u8,
     ) -> Option<usize> {
         let start = self.room_index(row, column, 0);
-        self.with_inner(|inner| {
-            for slot in 0..self.rooms_per_bucket {
-                let room = self.read_room(inner, start + slot)?;
-                if room.matches(
-                    source_fingerprint,
-                    destination_fingerprint,
-                    source_index,
-                    destination_index,
-                ) {
-                    return Ok(Some(slot));
-                }
+        let mut found = None;
+        self.io_fail(self.scan_bucket(start, &mut |slot, room| {
+            if room.matches(
+                source_fingerprint,
+                destination_fingerprint,
+                source_index,
+                destination_index,
+            ) {
+                found = Some(slot);
+                false
+            } else {
+                true
             }
-            Ok(None)
-        })
+        }));
+        found
     }
 
     fn find_empty(&self, row: usize, column: usize) -> Option<usize> {
         let start = self.room_index(row, column, 0);
-        self.with_inner(|inner| {
-            for slot in 0..self.rooms_per_bucket {
-                if !self.read_room(inner, start + slot)?.occupied {
-                    return Ok(Some(slot));
-                }
+        let mut found = None;
+        self.io_fail(self.scan_bucket(start, &mut |slot, room| {
+            if room.occupied {
+                true
+            } else {
+                found = Some(slot);
+                false
             }
-            Ok(None)
-        })
+        }));
+        found
     }
 
     fn probe_bucket(
@@ -1332,119 +1286,74 @@ impl RoomStore for FileStore {
         destination_index: u8,
     ) -> BucketProbe {
         let start = self.room_index(row, column, 0);
-        self.with_inner(|inner| {
-            let mut first_empty = None;
-            for slot in 0..self.rooms_per_bucket {
-                let room = self.read_room(inner, start + slot)?;
-                if room.matches(
-                    source_fingerprint,
-                    destination_fingerprint,
-                    source_index,
-                    destination_index,
-                ) {
-                    return Ok(BucketProbe::Match(slot));
-                }
+        let mut matched = None;
+        let mut first_empty = None;
+        self.io_fail(self.scan_bucket(start, &mut |slot, room| {
+            if room.matches(
+                source_fingerprint,
+                destination_fingerprint,
+                source_index,
+                destination_index,
+            ) {
+                matched = Some(slot);
+                false
+            } else {
                 if !room.occupied && first_empty.is_none() {
                     first_empty = Some(slot);
                 }
+                true
             }
-            Ok(first_empty.map_or(BucketProbe::Full, BucketProbe::Empty))
-        })
+        }));
+        match (matched, first_empty) {
+            (Some(slot), _) => BucketProbe::Match(slot),
+            (None, Some(slot)) => BucketProbe::Empty(slot),
+            (None, None) => BucketProbe::Full,
+        }
     }
 
     fn add_weight(&mut self, row: usize, column: usize, slot: usize, weight: i64) {
         let index = self.room_index(row, column, slot);
-        self.with_inner(|inner| {
-            let mut room = self.read_room(inner, index)?;
+        let result = self.read_room(index).and_then(|mut room| {
             debug_assert!(room.occupied, "adding weight to an empty room");
             room.weight += weight;
-            self.write_room(inner, index, &room)
+            self.write_room(index, &room)
         });
+        self.io_fail(result);
     }
 
     fn store_room(&mut self, row: usize, column: usize, slot: usize, room: Room) {
         debug_assert!(room.occupied, "storing an unoccupied room");
         let index = self.room_index(row, column, slot);
-        self.with_inner(|inner| {
-            debug_assert!(!self.read_room(inner, index)?.occupied, "overwriting an occupied room");
-            self.write_room(inner, index, &room)?;
-            inner.occupied_rooms += 1;
-            inner.index.mark(row, column);
-            Ok(())
-        });
+        debug_assert!(
+            !self.io_fail(self.read_room(index)).occupied,
+            "overwriting an occupied room"
+        );
+        self.io_fail(self.write_room(index, &room));
+        self.occupied_rooms.fetch_add(1, Ordering::Relaxed);
+        self.index.mark(row, column);
     }
 
     fn scan_row(&self, row: usize, visit: &mut dyn FnMut(usize, Room)) {
-        self.with_inner(|inner| self.scan_row_locked(inner, row, visit));
+        self.io_fail(self.scan_row_inner(row, visit));
     }
 
     fn scan_column(&self, column: usize, visit: &mut dyn FnMut(usize, Room)) {
-        self.with_inner(|inner| {
-            for word_index in 0..inner.index.words_per_line() {
-                let word = inner.index.column_word(column, word_index);
-                for row in OccupancyIndex::set_positions(word_index, word) {
-                    self.visit_bucket(inner, row, column, &mut |room| visit(row, room))?;
-                }
-            }
-            Ok(())
-        });
+        self.io_fail(self.scan_column_inner(column, visit));
     }
 
     fn scan_occupied(&self, visit: &mut dyn FnMut(usize, usize, Room)) {
         // Row-major over the occupancy bitmaps: the same ascending (row, column, slot)
         // order as a flat pass, but sparse matrices skip their empty buckets.
-        self.with_inner(|inner| {
-            for row in 0..self.width {
-                self.scan_row_locked(inner, row, &mut |column, room| visit(row, column, room))?;
-            }
-            Ok(())
-        });
-    }
-}
-
-impl FileStore {
-    /// One indexed row scan under an already-held lock: word-by-word over the row's
-    /// occupancy bitmap (each word is copied out of `inner` before the bucket reads,
-    /// which need `inner` mutably for the page cache), so only buckets that ever
-    /// received an edge are read.  Shared by `scan_row` and `scan_occupied`.
-    fn scan_row_locked(
-        &self,
-        inner: &mut FileInner,
-        row: usize,
-        visit: &mut dyn FnMut(usize, Room),
-    ) -> io::Result<()> {
-        for word_index in 0..inner.index.words_per_line() {
-            let word = inner.index.row_word(row, word_index);
-            for column in OccupancyIndex::set_positions(word_index, word) {
-                self.visit_bucket(inner, row, column, &mut |room| visit(column, room))?;
-            }
+        for row in 0..self.width {
+            self.io_fail(self.scan_row_inner(row, &mut |column, room| visit(row, column, room)));
         }
-        Ok(())
-    }
-
-    /// Reads bucket `(row, column)` through the page cache, visiting its occupied rooms
-    /// in slot order.
-    fn visit_bucket(
-        &self,
-        inner: &mut FileInner,
-        row: usize,
-        column: usize,
-        visit: &mut dyn FnMut(Room),
-    ) -> io::Result<()> {
-        let start = (row * self.width + column) * self.rooms_per_bucket;
-        for slot in 0..self.rooms_per_bucket {
-            let room = self.read_room(inner, start + slot)?;
-            if room.occupied {
-                visit(room);
-            }
-        }
-        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pager::lock_file::lock_path;
 
     fn temp_path(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("gss-file-store-{}-{name}.gss", std::process::id()))
@@ -1513,6 +1422,7 @@ mod tests {
         assert_eq!(store.occupied_rooms(), 40);
         assert!(store.durability_stats().pages_written > 0, "evictions write back");
         store.write_tail(0, &[]).unwrap();
+        drop(store); // release the single-opener lock before reopening
         let (reopened, _) = FileStore::open(&path, 1).unwrap();
         for row in 0..40 {
             assert_eq!(reopened.room(row, (row * 7) % 40, 0).weight, row as i64 + 1);
@@ -1677,6 +1587,24 @@ mod tests {
     fn missing_file_reports_io_error() {
         let path = temp_path("missing-never-created");
         assert!(matches!(FileStore::open(&path, 2), Err(PersistenceError::Io(_))));
+        assert!(!lock_path(&path).exists(), "a failed open releases the advisory lock");
+    }
+
+    #[test]
+    fn second_opener_is_refused_while_the_store_lives() {
+        let path = temp_path("single-opener");
+        let store = FileStore::create(&path, &GssConfig::paper_default(4), 2).unwrap();
+        match FileStore::open(&path, 2) {
+            Err(PersistenceError::Io(message)) => {
+                assert!(message.contains("locked"), "error names the conflict: {message}")
+            }
+            other => panic!("a second opener must be refused, got {other:?}"),
+        }
+        drop(store);
+        // Drop released the lock: the file (clean — no mutations) reopens normally.
+        let (reopened, _) = FileStore::open(&path, 2).unwrap();
+        drop(reopened);
+        remove(&path);
     }
 
     #[test]
@@ -1797,6 +1725,68 @@ mod tests {
                 FlushPoint::CheckpointDone,
             ]
         );
+        remove(&path);
+    }
+
+    #[test]
+    fn concurrent_readers_scan_without_latch_contention() {
+        let path = temp_path("concurrent-readers");
+        let mut store = FileStore::create(&path, &GssConfig::paper_default(48), 64).unwrap();
+        for row in 0..48 {
+            store.store_room(row, (row * 5) % 48, 0, sample_room(row as i64 + 1));
+        }
+        // Warm the cache: 48·48·2 rooms = 72 KiB = 18 pages, well under the 64-page
+        // budget, so the reader threads below run pure hits under shared read latches.
+        store.scan_occupied(&mut |_, _, _| {});
+        let store = Arc::new(store);
+        let waits_before = store.page_stats().latch_waits;
+        let readers: Vec<_> = (0..4usize)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for round in 0..50 {
+                        let row = (round * 7 + t) % 48;
+                        let mut seen = Vec::new();
+                        store.scan_row(row, &mut |column, room| seen.push((column, room.weight)));
+                        assert_eq!(seen, vec![((row * 5) % 48, row as i64 + 1)]);
+                        let column = (row * 5) % 48;
+                        assert_eq!(store.room(row, column, 0).weight, row as i64 + 1);
+                        assert_eq!(store.find_match(row, column, 17, 23, 1, 2), Some(0));
+                    }
+                })
+            })
+            .collect();
+        for reader in readers {
+            reader.join().unwrap();
+        }
+        assert_eq!(
+            store.page_stats().latch_waits,
+            waits_before,
+            "cache-hit readers never block on a page latch"
+        );
+        remove(&path);
+    }
+
+    #[test]
+    fn dense_rows_fall_back_to_the_linear_scan_with_identical_results() {
+        let path = temp_path("dense-escape");
+        let mut store = FileStore::create(&path, &GssConfig::paper_default(8), 8).unwrap();
+        // Row 2: 6 of 8 buckets occupied — well past the 50% dense threshold.
+        for column in 0..6 {
+            store.store_room(2, column, 0, sample_room(column as i64 + 100));
+        }
+        // Row 5 stays sparse (1 of 8): exercises the bitmap path in the same store.
+        store.store_room(5, 3, 0, sample_room(7));
+        for row in [2usize, 5] {
+            let mut indexed = Vec::new();
+            store.scan_row(row, &mut |column, room| indexed.push((column, room.weight)));
+            let mut naive = Vec::new();
+            store.scan_row_naive(row, &mut |column, room| naive.push((column, room.weight)));
+            assert_eq!(indexed, naive, "row {row}: dense and sparse paths agree");
+        }
+        let mut column3 = Vec::new();
+        store.scan_column(3, &mut |row, room| column3.push((row, room.weight)));
+        assert_eq!(column3, vec![(2, 103), (5, 7)]);
         remove(&path);
     }
 }

@@ -62,6 +62,7 @@ pub mod hashing;
 pub mod matrix;
 pub mod merge;
 pub mod node_map;
+pub mod pager;
 pub mod persistence;
 pub mod sketch;
 pub mod stats;
@@ -85,6 +86,6 @@ pub use persistence::PersistenceError;
 pub use sketch::GssSketch;
 pub use stats::GssStats;
 pub use storage::{
-    naive_scan_column, naive_scan_row, BucketProbe, OccupancyIndex, RoomStorage, RoomStore,
-    StorageBackend, ROOM_RECORD_BYTES,
+    naive_scan_column, naive_scan_row, AtomicOccupancyIndex, BucketProbe, OccupancyIndex,
+    RoomStorage, RoomStore, StorageBackend, ROOM_RECORD_BYTES,
 };

@@ -15,7 +15,7 @@
 //! [`MemoryStore`] is the dense default backend of the [`RoomStore`] abstraction; the
 //! paged file backend lives in [`crate::file_store`].
 
-use crate::storage::{BucketProbe, OccupancyIndex, RoomStore};
+use crate::storage::{dense_scan, BucketProbe, OccupancyIndex, RoomStore};
 use serde::{Deserialize, Serialize};
 
 /// One room: storage for a single sketch edge.
@@ -315,8 +315,16 @@ impl RoomStore for MemoryStore {
     }
 
     fn scan_row(&self, row: usize, visit: &mut dyn FnMut(usize, Room)) {
-        // Index-steered: only buckets that ever received an edge are probed, in the same
-        // ascending (column, slot) order the full scan produced.
+        // Dense rows (≥ 50% of buckets occupied) take a straight linear walk: the
+        // bitmap's skip-ahead win has vanished and the contiguous pass is cheaper than
+        // per-word bit arithmetic.  Both paths visit in ascending (column, slot) order.
+        if dense_scan(self.index.occupied_in_row(row), self.width) {
+            for (column, room) in self.row_rooms(row) {
+                visit(column, *room);
+            }
+            return;
+        }
+        // Index-steered: only buckets that ever received an edge are probed.
         self.index.for_each_in_row(row, |column| {
             for room in self.bucket(row, column) {
                 if room.occupied {
@@ -327,6 +335,12 @@ impl RoomStore for MemoryStore {
     }
 
     fn scan_column(&self, column: usize, visit: &mut dyn FnMut(usize, Room)) {
+        if dense_scan(self.index.occupied_in_column(column), self.width) {
+            for (row, room) in self.column_rooms(column) {
+                visit(row, *room);
+            }
+            return;
+        }
         self.index.for_each_in_column(column, |row| {
             for room in self.bucket(row, column) {
                 if room.occupied {
@@ -421,6 +435,26 @@ mod tests {
         assert!(all.contains(&(1, 0, 10)));
         assert!(all.contains(&(1, 2, 20)));
         assert!(all.contains(&(0, 2, 30)));
+    }
+
+    #[test]
+    fn dense_rows_scan_linearly_with_identical_results() {
+        let mut matrix = BucketMatrix::new(8, 2);
+        // Row 4: 6 of 8 buckets occupied — past the 50% dense threshold; row 6 sparse.
+        for column in 0..6 {
+            matrix.store(4, column, 0, 5, 6, 1, 2, column as i64 + 100);
+        }
+        matrix.store(6, 3, 1, 7, 8, 3, 4, 11);
+        for row in [4usize, 6] {
+            let mut indexed = Vec::new();
+            matrix.scan_row(row, &mut |column, room| indexed.push((column, room.weight)));
+            let reference: Vec<(usize, i64)> =
+                matrix.row_rooms(row).map(|(c, r)| (c, r.weight)).collect();
+            assert_eq!(indexed, reference, "row {row}: dense and sparse paths agree");
+        }
+        let mut column3 = Vec::new();
+        matrix.scan_column(3, &mut |row, room| column3.push((row, room.weight)));
+        assert_eq!(column3, vec![(4, 103), (6, 11)]);
     }
 
     #[test]

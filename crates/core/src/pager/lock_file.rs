@@ -1,0 +1,137 @@
+//! Advisory single-opener lock for sketch files: [`LockFile`].
+//!
+//! A [`FileStore`](crate::FileStore) assumes it is the only process mutating its sketch
+//! file — two stores on one file would corrupt both the pages and the write-ahead log.
+//! That contract used to be documentation-only; this sidecar enforces it.  Opening a
+//! sketch first create-exclusively claims `<sketch>.lock` with the owner's PID inside.
+//! A second opener fails with `AlreadyExists` naming the holder.  Locks left behind by a
+//! killed process are detected on Linux by probing `/proc/<pid>` and reclaimed; the
+//! in-process holder removes the sidecar on drop.
+
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Sidecar path guarding `sketch_path`: the same file name with `.lock` appended.
+pub fn lock_path(sketch_path: &Path) -> PathBuf {
+    let mut name = sketch_path.file_name().unwrap_or_default().to_os_string();
+    name.push(".lock");
+    sketch_path.with_file_name(name)
+}
+
+/// An acquired single-opener lock; dropping it releases the sidecar.
+#[derive(Debug)]
+pub struct LockFile {
+    path: PathBuf,
+}
+
+impl LockFile {
+    /// Claims the lock guarding `sketch_path`, writing this process's PID into the
+    /// sidecar.  If the sidecar exists but its recorded PID no longer runs (checkable on
+    /// Linux only), the stale lock is reclaimed once; an unreadable or unparsable PID is
+    /// treated as live, erring toward refusing the open.
+    pub fn acquire(sketch_path: &Path) -> io::Result<Self> {
+        let path = lock_path(sketch_path);
+        for attempt in 0..2 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    file.write_all(std::process::id().to_string().as_bytes())?;
+                    return Ok(Self { path });
+                }
+                Err(error) if error.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|pid| pid.trim().parse::<u32>().ok());
+                    if attempt == 0 && holder.is_some_and(pid_is_dead) {
+                        // Stale lock from a killed process: reclaim and retry once.
+                        std::fs::remove_file(&path).ok();
+                        continue;
+                    }
+                    let holder = holder
+                        .map(|pid| format!("pid {pid}"))
+                        .unwrap_or_else(|| "an unknown process".into());
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        format!(
+                            "sketch file {} is locked by {holder} ({})",
+                            sketch_path.display(),
+                            path.display()
+                        ),
+                    ));
+                }
+                Err(error) => return Err(error),
+            }
+        }
+        unreachable!("second acquire attempt either succeeds or errors")
+    }
+}
+
+/// True only when we can positively tell the PID is not running.
+fn pid_is_dead(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return false;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        !Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        false
+    }
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_sketch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("gss-lockfile-{}-{name}.gss", std::process::id()))
+    }
+
+    #[test]
+    fn second_opener_is_refused_until_the_first_drops() {
+        let sketch = temp_sketch("refuse");
+        let lock = LockFile::acquire(&sketch).unwrap();
+        let error = LockFile::acquire(&sketch).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::AlreadyExists);
+        assert!(
+            error.to_string().contains(&format!("pid {}", std::process::id())),
+            "error names the holder: {error}"
+        );
+        drop(lock);
+        let relock = LockFile::acquire(&sketch).unwrap();
+        drop(relock);
+        assert!(!lock_path(&sketch).exists(), "drop removes the sidecar");
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_process_is_reclaimed() {
+        let sketch = temp_sketch("stale");
+        // No live process has this PID (kernel pid_max is far below u32::MAX).
+        std::fs::write(lock_path(&sketch), u32::MAX.to_string()).unwrap();
+        let reclaimed = LockFile::acquire(&sketch);
+        // Liveness is only provable via /proc, so the dead-holder lock is reclaimed on
+        // linux and conservatively treated as live elsewhere.
+        assert_eq!(reclaimed.is_ok(), cfg!(target_os = "linux"));
+        if reclaimed.is_err() {
+            std::fs::remove_file(lock_path(&sketch)).ok();
+        }
+    }
+
+    #[test]
+    fn unparsable_lock_content_is_treated_as_live() {
+        let sketch = temp_sketch("garbled");
+        std::fs::write(lock_path(&sketch), "not-a-pid").unwrap();
+        let error = LockFile::acquire(&sketch).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::AlreadyExists);
+        std::fs::remove_file(lock_path(&sketch)).ok();
+    }
+}

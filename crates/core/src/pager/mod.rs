@@ -1,0 +1,65 @@
+//! The pager: concurrent paged I/O shared by the file-backed room store.
+//!
+//! [`FileStore`](crate::FileStore) used to funnel every room read and write through one
+//! `Mutex` around its file handle, page table and occupancy index, which serialized all
+//! shards' readers and writers inside a single store.  This module family replaces that
+//! monolith with independently locked pieces:
+//!
+//! * [`page_file::PageFile`] — positioned page I/O (`pread`/`pwrite` on Unix) over one
+//!   shared file handle, so reads and writes of distinct pages need no lock at all;
+//! * [`page_cache::PageCache`] — a lock-striped page table whose entries carry their own
+//!   read/write latch and atomic dirty/recency state: cache hits on distinct pages never
+//!   contend, and faults on distinct stripes read from disk concurrently;
+//! * [`flusher::Flusher`] — the background write-back thread, draining dirty pages in
+//!   elevator (ascending-offset) order and coalescing adjacent pages into single writes;
+//! * [`lock_file::LockFile`] — the advisory single-opener lock enforcing the sketch
+//!   file's one-process contract.
+//!
+//! ## Lock map
+//!
+//! ```text
+//! page hit      stripe mutex (briefly) → per-page RwLock latch
+//! page fault    stripe mutex (held across eviction + insert) → disk read under the
+//!               fresh page's write latch, stripe mutex already released
+//! room write    WAL append mutex (append + clean-flag) → page write latch
+//! eviction      stripe mutex → WAL append mutex (write-ahead drain) → file/flusher
+//! checkpoint    sync-state mutex → WAL append mutex | stripe mutexes (never both)
+//! ```
+//!
+//! The one global ordering rule: the WAL append mutex is **never held while taking a
+//! stripe mutex** — WAL appends and page traffic stay independent, and the
+//! eviction path (stripe → WAL) cannot deadlock against the checkpoint path (which
+//! drains the WAL before touching any stripe).
+
+pub mod flusher;
+pub mod lock_file;
+pub mod page_cache;
+pub mod page_file;
+
+/// Bytes per cache page (and per on-disk page; room records never straddle pages because
+/// [`ROOM_RECORD_BYTES`](crate::storage::ROOM_RECORD_BYTES) divides this).
+pub const PAGE_BYTES: usize = 4096;
+
+/// Size of the sketch-file header region (one page, so the room region that the pager
+/// serves starts page-aligned); the pager adds this to every page offset.
+pub(crate) const HEADER_BYTES: u64 = PAGE_BYTES as u64;
+
+/// File byte offset of room-region page `index`.
+pub(crate) fn page_offset(index: u64) -> u64 {
+    HEADER_BYTES + index * PAGE_BYTES as u64
+}
+
+/// Cumulative page-cache counters of a [`FileStore`](crate::FileStore), maintained as
+/// atomics so they are observable without taking any pager lock (reported by the
+/// `query_scaling` bench and aggregated across shards into
+/// [`GssStats`](crate::GssStats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageCacheStats {
+    /// Cache lookups served (every room read/write touches one page).
+    pub lookups: u64,
+    /// Lookups that missed and faulted the page in from disk.
+    pub faults: u64,
+    /// Page-latch acquisitions that had to block behind another thread (contention on
+    /// one page; a zero here under concurrent load means readers stayed lock-free).
+    pub latch_waits: u64,
+}

@@ -315,11 +315,15 @@ impl GssSketch {
     /// Detailed structural statistics.
     pub fn detailed_stats(&self) -> GssStats {
         let durability = self.matrix.as_file().map(FileStore::durability_stats).unwrap_or_default();
+        let pages = self.matrix.as_file().map(FileStore::page_stats).unwrap_or_default();
         GssStats {
             wal_bytes: durability.wal_bytes,
             wal_flushes: durability.wal_flushes,
             pages_flushed: durability.pages_written + durability.pages_written_background,
             checkpoints: durability.checkpoints,
+            page_lookups: pages.lookups,
+            page_faults: pages.faults,
+            page_latch_waits: pages.latch_waits,
             width: self.config.width,
             rooms_per_bucket: self.config.rooms,
             fingerprint_bits: self.config.fingerprint_bits,

@@ -46,6 +46,13 @@ pub struct GssStats {
     pub pages_flushed: u64,
     /// Completed checkpoints of the sketch file.
     pub checkpoints: u64,
+    /// Page-cache lookups of a file-backed sketch (0 for in-memory).
+    pub page_lookups: u64,
+    /// Page-cache lookups that missed and read the page from disk.
+    pub page_faults: u64,
+    /// Page-latch acquisitions that blocked behind another thread (contention between
+    /// concurrent readers and the writer; 0 under a single thread).
+    pub page_latch_waits: u64,
 }
 
 impl GssStats {
@@ -89,6 +96,9 @@ mod tests {
             wal_flushes: 12,
             pages_flushed: 30,
             checkpoints: 2,
+            page_lookups: 480,
+            page_faults: 35,
+            page_latch_waits: 0,
         }
     }
 

@@ -138,6 +138,121 @@ impl OccupancyIndex {
             }
         }
     }
+
+    /// Number of occupied buckets in `row` (popcount over the row's bitmap words).
+    #[inline]
+    pub fn occupied_in_row(&self, row: usize) -> usize {
+        self.rows[row * self.words_per_line..][..self.words_per_line]
+            .iter()
+            .map(|word| word.count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of occupied buckets in `column`.
+    #[inline]
+    pub fn occupied_in_column(&self, column: usize) -> usize {
+        self.columns[column * self.words_per_line..][..self.words_per_line]
+            .iter()
+            .map(|word| word.count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Whether a row/column with `occupied_buckets` of `width` marked should be scanned with
+/// the naive linear walk instead of the occupancy bitmap: at ≥ 50% occupancy the bitmap's
+/// skip-ahead win shrinks toward 1× while its per-bucket word arithmetic (and, on the
+/// file backend, its non-sequential page visits) still cost — the dense escape hatch.
+#[inline]
+pub(crate) fn dense_scan(occupied_buckets: usize, width: usize) -> bool {
+    occupied_buckets * 2 >= width
+}
+
+/// [`OccupancyIndex`] with atomic bitmap words: the variant the file backend keeps, so
+/// concurrent readers can consult row/column words while a writer marks buckets — no
+/// global storage lock.  Bits are only ever set (rooms are never freed), so relaxed
+/// `fetch_or`/`load` suffice: a reader that misses an in-flight mark simply skips a
+/// bucket it would not have been guaranteed to see under any serialization anyway.
+///
+/// Like its plain counterpart this is a pure acceleration structure — never serialized,
+/// rebuilt from room occupancy on open.
+#[derive(Debug)]
+pub struct AtomicOccupancyIndex {
+    width: usize,
+    words_per_line: usize,
+    rows: Vec<std::sync::atomic::AtomicU64>,
+    columns: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl AtomicOccupancyIndex {
+    /// An all-empty index for a `width × width` bucket grid.
+    pub fn new(width: usize) -> Self {
+        use std::sync::atomic::AtomicU64;
+        let words_per_line = width.div_ceil(64);
+        Self {
+            width,
+            words_per_line,
+            rows: (0..width * words_per_line).map(|_| AtomicU64::new(0)).collect(),
+            columns: (0..width * words_per_line).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Marks bucket `(row, column)` as holding at least one occupied room.  `&self`: safe
+    /// to call while other threads read the index.
+    #[inline]
+    pub fn mark(&self, row: usize, column: usize) {
+        use std::sync::atomic::Ordering;
+        debug_assert!(row < self.width && column < self.width);
+        self.rows[row * self.words_per_line + column / 64]
+            .fetch_or(1u64 << (column % 64), Ordering::Relaxed);
+        self.columns[column * self.words_per_line + row / 64]
+            .fetch_or(1u64 << (row % 64), Ordering::Relaxed);
+    }
+
+    /// Whether bucket `(row, column)` has been marked occupied.
+    #[inline]
+    pub fn contains(&self, row: usize, column: usize) -> bool {
+        use std::sync::atomic::Ordering;
+        self.rows[row * self.words_per_line + column / 64].load(Ordering::Relaxed)
+            & (1u64 << (column % 64))
+            != 0
+    }
+
+    /// Number of 64-bit words per bitmap line.
+    #[inline]
+    pub fn words_per_line(&self) -> usize {
+        self.words_per_line
+    }
+
+    /// The `word`-th bitmap word of row `row` (occupied columns of that row).
+    #[inline]
+    pub fn row_word(&self, row: usize, word: usize) -> u64 {
+        self.rows[row * self.words_per_line + word].load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The `word`-th bitmap word of column `column` (occupied rows of that column).
+    #[inline]
+    pub fn column_word(&self, column: usize, word: usize) -> u64 {
+        self.columns[column * self.words_per_line + word].load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of occupied buckets in `row`.
+    #[inline]
+    pub fn occupied_in_row(&self, row: usize) -> usize {
+        (0..self.words_per_line).map(|word| self.row_word(row, word).count_ones() as usize).sum()
+    }
+
+    /// Number of occupied buckets in `column`.
+    #[inline]
+    pub fn occupied_in_column(&self, column: usize) -> usize {
+        (0..self.words_per_line)
+            .map(|word| self.column_word(column, word).count_ones() as usize)
+            .sum()
+    }
+
+    /// Heap bytes of the two bitmaps.
+    pub fn bytes(&self) -> usize {
+        (self.rows.len() + self.columns.len()) * std::mem::size_of::<u64>()
+    }
 }
 
 /// The outcome of a fused single-pass bucket probe ([`RoomStore::probe_bucket`]).
@@ -272,6 +387,13 @@ impl StorageBackend {
 /// Scan callbacks visit **occupied rooms only** and pass rooms by value (records are 16
 /// bytes), so implementations backed by page caches need not hand out references into
 /// locked internals.
+///
+/// **Concurrency contract**: every read method takes `&self` and both backends keep that
+/// promise literal — concurrent readers never observe torn rooms and (on the file
+/// backend, whose page cache is lock-striped with per-page latches) never serialize on a
+/// store-wide lock.  Mutation stays `&mut self`, so a store has at most one writer at a
+/// time; concurrent ingest scales by sharding (`ShardedGss`), one store per shard, with
+/// readers fanning out across all shards.
 pub trait RoomStore {
     /// Side length `m`.
     fn width(&self) -> usize;
@@ -648,6 +770,51 @@ mod tests {
         let mut empty = Vec::new();
         index.for_each_in_row(33, |column| empty.push(column));
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn atomic_occupancy_index_matches_the_plain_one_under_concurrent_marks() {
+        let index = std::sync::Arc::new(AtomicOccupancyIndex::new(70));
+        assert_eq!(index.words_per_line(), 2);
+        let markers: Vec<_> = (0..4usize)
+            .map(|t| {
+                let index = std::sync::Arc::clone(&index);
+                std::thread::spawn(move || {
+                    for i in 0..70 {
+                        index.mark((i * 13 + t * 17) % 70, i);
+                    }
+                })
+            })
+            .collect();
+        for marker in markers {
+            marker.join().unwrap();
+        }
+        // Replay the same marks into the plain index: every word must agree.
+        let mut plain = OccupancyIndex::new(70);
+        for t in 0..4usize {
+            for i in 0..70 {
+                plain.mark((i * 13 + t * 17) % 70, i);
+            }
+        }
+        for line in 0..70 {
+            for word in 0..2 {
+                assert_eq!(index.row_word(line, word), plain.row_word(line, word));
+                assert_eq!(index.column_word(line, word), plain.column_word(line, word));
+            }
+            assert_eq!(index.occupied_in_row(line), plain.occupied_in_row(line));
+            assert_eq!(index.occupied_in_column(line), plain.occupied_in_column(line));
+        }
+        assert_eq!(index.bytes(), plain.bytes());
+        assert!(index.contains(0, 0) == plain.contains(0, 0));
+    }
+
+    #[test]
+    fn dense_scan_threshold_trips_at_half_occupancy() {
+        assert!(!dense_scan(0, 8));
+        assert!(!dense_scan(3, 8));
+        assert!(dense_scan(4, 8), "50% occupancy switches to the linear walk");
+        assert!(dense_scan(8, 8));
+        assert!(dense_scan(0, 0), "degenerate zero-width rows count as dense");
     }
 
     #[test]

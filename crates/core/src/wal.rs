@@ -38,6 +38,14 @@
 //! * `items_inserted` is taken from the last `COMMIT`/`TAIL` frame; mutations of an
 //!   insert that never reached its `COMMIT` are still replayed (they only ever *add*
 //!   sketch state, preserving GSS's one-sided error).
+//!
+//! ## Locking
+//!
+//! [`WalWriter`] is not itself thread-safe; the store wraps it in a dedicated **append
+//! mutex** separate from every page-cache lock, so log appends never serialize page
+//! reads and concurrent readers never wait behind a logging writer.  The one ordering
+//! rule: the append mutex is never held while a page-table stripe mutex is taken (see
+//! [`crate::pager`] for the full lock map).
 
 use crate::storage::ROOM_RECORD_BYTES;
 use std::fs::{File, OpenOptions};

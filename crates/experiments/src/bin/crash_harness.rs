@@ -1,4 +1,4 @@
-//! Crash-matrix harness: the two halves of CI's kill test (`ci/crash_matrix.sh`).
+//! Crash-matrix harness: the halves of CI's kill test (`ci/crash_matrix.sh`).
 //!
 //! * `crash_harness ingest <sketch> <progress> <strict|buffered> <items>` — builds a
 //!   file-backed sketch and feeds it a deterministic stream batch by batch, rewriting
@@ -10,14 +10,27 @@
 //!   strict), regenerates the same stream and checks every recovered item's edge weight
 //!   against an exact reference — GSS never under-estimates, so a lost item shows up as
 //!   a missing or under-weight edge.
+//! * `crash_harness ingest-threaded <sketch> <progress> strict <items>` — the
+//!   multi-writer variant: [`WRITER_THREADS`] writer threads over one sharded
+//!   file-backed sketch (strict durability, one shard file and write-ahead log per
+//!   shard), each acknowledging its own interleaved sub-stream in `<progress>.<t>`,
+//!   while a reader thread queries concurrently.  The kill lands mid-flight across
+//!   several shard files and their logs at once.
+//! * `crash_harness verify-threaded <sketch> <progress> strict 0` — reopens every shard
+//!   (recovering each through its own log — including reclaiming the killed process's
+//!   stale `.lock` sidecars), asserts the summed recovered item count covers every
+//!   per-thread acknowledgement, and checks the union of the acknowledged prefixes
+//!   against an exact reference.
 //!
 //! Exit code 0 means the crash was survived within the documented guarantees.
 
-use gss_core::{Durability, GssConfig, GssSketch, StorageBackend};
+use gss_core::{Durability, GssConfig, GssSketch, ShardedGss, StorageBackend};
 use gss_graph::{StreamEdge, SummaryRead, SummaryWrite};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Items per `insert_batch` call (and per progress update).
 const BATCH: usize = 64;
@@ -30,6 +43,8 @@ const SEED: u64 = 0xC4A5_41D5;
 const CACHE_PAGES: usize = 64;
 /// Cap on exhaustively verified distinct edges (keeps verification seconds-scale).
 const VERIFY_EDGE_CAP: usize = 150_000;
+/// Writer threads (= shards) of the threaded mode.
+const WRITER_THREADS: usize = 3;
 
 fn config() -> GssConfig {
     // Small enough to overflow some edges into the left-over buffer (its recovery is
@@ -168,6 +183,167 @@ fn verify(sketch_path: &Path, progress_path: &Path, durability: Durability, wind
     );
 }
 
+/// Thread `t`'s sub-stream: the items of the shared stream whose time index is
+/// `t (mod WRITER_THREADS)` — regenerable identically by the verify half.
+fn thread_stream(thread: usize, items: usize) -> Vec<StreamEdge> {
+    let mut state = SEED;
+    (0..items)
+        .map(|time| stream_item(&mut state, time))
+        .enumerate()
+        .filter(|(time, _)| time % WRITER_THREADS == thread)
+        .map(|(_, item)| item)
+        .collect()
+}
+
+fn thread_progress_path(progress_path: &Path, thread: usize) -> PathBuf {
+    let mut name = progress_path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(format!(".{thread}"));
+    progress_path.with_file_name(name)
+}
+
+fn shard_sketch_path(sketch_path: &Path, shard: usize) -> PathBuf {
+    let mut name = sketch_path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(format!(".shard{shard}"));
+    sketch_path.with_file_name(name)
+}
+
+fn ingest_threaded(sketch_path: &Path, progress_path: &Path, durability: Durability, items: usize) {
+    if durability != Durability::Strict {
+        eprintln!("threaded mode proves the strict multi-writer guarantee; use strict");
+        exit(2);
+    }
+    let storage =
+        StorageBackend::File { path: sketch_path.to_path_buf(), cache_pages: CACHE_PAGES };
+    let sharded =
+        ShardedGss::with_storage_durability(config(), WRITER_THREADS, &storage, durability)
+            .expect("shard files creatable");
+    let done = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let sharded = sharded.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            // Concurrent queries while the writers run (and while the kill lands): the
+            // reader must never deadlock, panic, or see malformed answers.
+            let mut vertex = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let successors = sharded.successors(vertex % VERTICES);
+                assert!(successors.windows(2).all(|w| w[0] < w[1]));
+                vertex += 1;
+            }
+        })
+    };
+    let writers: Vec<_> = (0..WRITER_THREADS)
+        .map(|t| {
+            let sharded = sharded.clone();
+            let progress = thread_progress_path(progress_path, t);
+            let stream = thread_stream(t, items);
+            std::thread::spawn(move || {
+                write_progress(&progress, 0);
+                for (index, batch) in stream.chunks(BATCH).enumerate() {
+                    sharded.insert_batch(batch);
+                    // Strict: the batch is durable across every shard it touched.
+                    write_progress(&progress, (index * BATCH + batch.len()) as u64);
+                }
+            })
+        })
+        .collect();
+    for writer in writers {
+        writer.join().expect("writer thread");
+    }
+    done.store(true, Ordering::Relaxed);
+    reader.join().expect("reader thread");
+    sharded.sync().expect("final checkpoint");
+    println!("threaded ingest completed all {items} items (not killed)");
+}
+
+fn verify_threaded(sketch_path: &Path, progress_path: &Path, durability: Durability, window: u64) {
+    let acknowledged: Vec<u64> = (0..WRITER_THREADS)
+        .map(|t| read_progress(&thread_progress_path(progress_path, t)))
+        .collect();
+    let total_acknowledged: u64 = acknowledged.iter().sum();
+    let mut shards = Vec::new();
+    for shard in 0..WRITER_THREADS {
+        match GssSketch::open_file_durability(
+            shard_sketch_path(sketch_path, shard),
+            CACHE_PAGES,
+            durability,
+        ) {
+            Ok(sketch) => shards.push(sketch),
+            Err(error) if total_acknowledged == 0 => {
+                println!("nothing acknowledged before the kill (open: {error}); vacuous pass");
+                return;
+            }
+            Err(error) => {
+                eprintln!(
+                    "FAIL: {total_acknowledged} items acknowledged but shard {shard} failed to \
+                     recover: {error}"
+                );
+                exit(1);
+            }
+        }
+    }
+    let recovered: u64 = shards.iter().map(GssSketch::items_inserted).sum();
+    println!(
+        "recovered {recovered} items across {WRITER_THREADS} shards \
+         ({total_acknowledged} acknowledged: {acknowledged:?})"
+    );
+    if recovered + window < total_acknowledged {
+        eprintln!(
+            "FAIL: recovered item count {recovered} is more than {window} behind the \
+             acknowledged {total_acknowledged}"
+        );
+        exit(1);
+    }
+    // Union of the per-thread acknowledged prefixes: every one of these items was
+    // durable when its writer's progress write happened, so each edge must answer with
+    // at least the union's exact weight (one-sided error permits only over-counting).
+    let mut exact: HashMap<(u64, u64), i64> = HashMap::new();
+    for (t, &count) in acknowledged.iter().enumerate() {
+        // Regenerate enough of the shared stream to cover this thread's first `count`
+        // items, then take exactly the acknowledged prefix.
+        let horizon = count as usize * WRITER_THREADS + WRITER_THREADS;
+        for item in thread_stream(t, horizon).into_iter().take(count as usize) {
+            *exact.entry((item.source, item.destination)).or_insert(0) += item.weight;
+        }
+    }
+    let lookup = |source: u64, destination: u64| {
+        shards
+            .iter()
+            .filter_map(|shard| shard.edge_weight(source, destination))
+            .reduce(|a, b| a + b)
+    };
+    let step = (exact.len() / VERIFY_EDGE_CAP).max(1);
+    let mut checked = 0usize;
+    for (index, (&(source, destination), &weight)) in exact.iter().enumerate() {
+        if index % step != 0 {
+            continue;
+        }
+        checked += 1;
+        match lookup(source, destination) {
+            Some(reported) if reported >= weight => {}
+            Some(reported) => {
+                eprintln!(
+                    "FAIL: edge ({source}, {destination}) under-estimated after threaded \
+                     recovery: {reported} < {weight}"
+                );
+                exit(1);
+            }
+            None => {
+                eprintln!(
+                    "FAIL: edge ({source}, {destination}) lost after threaded recovery \
+                     (exact weight {weight})"
+                );
+                exit(1);
+            }
+        }
+    }
+    println!(
+        "verified {checked}/{} acknowledged distinct edges across shards: no loss, no \
+         under-count",
+        exact.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
@@ -189,10 +365,30 @@ fn main() {
                 window,
             );
         }
+        Some("ingest-threaded") if args.len() == 6 => {
+            let items: usize = args[5].parse().expect("items must be a number");
+            ingest_threaded(
+                &PathBuf::from(&args[2]),
+                &PathBuf::from(&args[3]),
+                parse_durability(&args[4]),
+                items,
+            );
+        }
+        Some("verify-threaded") if args.len() == 6 => {
+            let window: u64 = args[5].parse().expect("window must be a number");
+            verify_threaded(
+                &PathBuf::from(&args[2]),
+                &PathBuf::from(&args[3]),
+                parse_durability(&args[4]),
+                window,
+            );
+        }
         _ => {
             eprintln!(
                 "usage: crash_harness ingest <sketch> <progress> <strict|buffered> <items>\n\
-                 \x20      crash_harness verify <sketch> <progress> <strict|buffered> <window>"
+                 \x20      crash_harness verify <sketch> <progress> <strict|buffered> <window>\n\
+                 \x20      crash_harness ingest-threaded <sketch> <progress> strict <items>\n\
+                 \x20      crash_harness verify-threaded <sketch> <progress> strict 0"
             );
             exit(2);
         }
