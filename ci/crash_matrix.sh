@@ -21,8 +21,10 @@ ITEMS=1200000
 # item is < 2200 items; 4096 adds headroom for the in-flight batch.
 BUFFERED_WINDOW=4096
 
-cargo build --release -p gss-experiments --bin crash_harness
-BIN=target/release/crash_harness
+# release-witness = release + debug-assertions: the kill-matrix doubles as the runtime
+# lock-order witness's integration run — an inversion panics the harness and fails CI.
+cargo build --profile release-witness -p gss-experiments --bin crash_harness
+BIN=target/release-witness/crash_harness
 
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT

@@ -37,6 +37,7 @@
 
 use crate::config::{Durability, GssConfig};
 use crate::error::ConfigError;
+use crate::pager::witness::{self, LockClass};
 use crate::sketch::GssSketch;
 use crate::stats::GssStats;
 use crate::storage::StorageBackend;
@@ -122,6 +123,7 @@ impl ShardedGss {
     /// regardless).
     pub fn sync(&self) -> Result<(), crate::persistence::PersistenceError> {
         for shard in self.shards.iter() {
+            let _shard_held = witness::acquire(LockClass::Shard);
             shard.write().sync()?;
         }
         Ok(())
@@ -211,6 +213,7 @@ impl ShardedGss {
 
     /// Inserts a stream item through a shared reference, locking only the owning shard.
     pub fn insert(&self, source: VertexId, destination: VertexId, weight: Weight) {
+        let _shard_held = witness::acquire(LockClass::Shard);
         self.shards[self.shard_index(source)].write().insert(source, destination, weight);
     }
 
@@ -219,6 +222,7 @@ impl ShardedGss {
     /// batch both amortises hashing *and* takes each lock once instead of per item.
     pub fn insert_batch(&self, items: &[StreamEdge]) {
         if self.shards.len() == 1 {
+            let _shard_held = witness::acquire(LockClass::Shard);
             self.shards[0].write().insert_batch(items);
             return;
         }
@@ -232,6 +236,7 @@ impl ShardedGss {
         }
         for (shard, sub_batch) in self.shards.iter().zip(&per_shard) {
             if !sub_batch.is_empty() {
+                let _shard_held = witness::acquire(LockClass::Shard);
                 shard.write().insert_batch(sub_batch);
             }
         }
@@ -239,11 +244,13 @@ impl ShardedGss {
 
     /// Edge query primitive (answered by the source's shard).
     pub fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight> {
+        let _shard_held = witness::acquire(LockClass::Shard);
         self.shards[self.shard_index(source)].read().edge_weight(source, destination)
     }
 
     /// 1-hop successor query primitive (answered by the vertex's shard).
     pub fn successors(&self, vertex: VertexId) -> Vec<VertexId> {
+        let _shard_held = witness::acquire(LockClass::Shard);
         self.shards[self.shard_index(vertex)].read().successors(vertex)
     }
 
@@ -251,6 +258,7 @@ impl ShardedGss {
     pub fn precursors(&self, vertex: VertexId) -> Vec<VertexId> {
         let mut out: Vec<VertexId> = Vec::new();
         for shard in self.shards.iter() {
+            let _shard_held = witness::acquire(LockClass::Shard);
             out.extend(shard.read().precursors(vertex));
         }
         out.sort_unstable();
@@ -303,6 +311,7 @@ impl ShardedGss {
     /// # Panics
     /// Panics if `index >= self.shard_count()`.
     pub fn with_shard_read<R>(&self, index: usize, f: impl FnOnce(&GssSketch) -> R) -> R {
+        let _shard_held = witness::acquire(LockClass::Shard);
         f(&self.shards[index].read())
     }
 

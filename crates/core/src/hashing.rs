@@ -370,11 +370,14 @@ impl RecoverQCache {
         // Multiplicative scatter so fingerprints differing only in high bits (or only in
         // the index) spread over the slots.
         let slot = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as usize & (Self::SLOTS - 1);
+        // relaxed: each slot is a self-contained (key, value) word — a torn or stale view
+        // is impossible within one load, and a lost race just recomputes the same q.
         let entry = self.slots[slot].load(Ordering::Relaxed);
         if entry >> 32 == key + 1 {
             return entry & 0xFFFF_FFFF;
         }
         let q = compute();
+        // relaxed: last-writer-wins cache fill; both racers store the identical value.
         self.slots[slot].store(((key + 1) << 32) | q, Ordering::Relaxed);
         q
     }
@@ -392,6 +395,7 @@ impl Clone for RecoverQCache {
     fn clone(&self) -> Self {
         let fresh = Self::new();
         for (slot, source) in fresh.slots.iter().zip(self.slots.iter()) {
+            // relaxed: best-effort snapshot; entries racing the clone are benignly lost.
             slot.store(source.load(Ordering::Relaxed), Ordering::Relaxed);
         }
         fresh
@@ -400,6 +404,7 @@ impl Clone for RecoverQCache {
 
 impl std::fmt::Debug for RecoverQCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // relaxed: debug formatting; an approximate fill count is fine.
         let filled = self.slots.iter().filter(|s| s.load(Ordering::Relaxed) != 0).count();
         f.debug_struct("RecoverQCache").field("filled", &filled).finish()
     }

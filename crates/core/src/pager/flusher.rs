@@ -18,6 +18,7 @@
 //! before the page itself).
 
 use super::page_file::PageFile;
+use super::witness::{self, LockClass};
 use super::{page_offset, PAGE_BYTES};
 use std::collections::BTreeMap;
 use std::io;
@@ -83,6 +84,7 @@ impl Flusher {
         let mut batch = Vec::with_capacity(MAX_COALESCED_PAGES * PAGE_BYTES);
         loop {
             let start = {
+                let _queue_held = witness::acquire(LockClass::FlushQueue);
                 let mut state = shared.state.lock().expect("flusher state lock");
                 loop {
                     if state.error.is_some() || state.discard {
@@ -122,6 +124,7 @@ impl Flusher {
             };
             let pages = (batch.len() / PAGE_BYTES) as u64;
             let result = file.write_all_at(&batch, page_offset(start));
+            let _queue_held = witness::acquire(LockClass::FlushQueue);
             let mut state = shared.state.lock().expect("flusher state lock");
             state.writing = None;
             match result {
@@ -147,6 +150,7 @@ impl Flusher {
     /// Hands a dirty page to the thread, blocking while the bounded queue is full.
     /// Re-enqueuing a still-queued page replaces its bytes without growing the queue.
     pub fn enqueue(&self, index: u64, data: Box<[u8; PAGE_BYTES]>) -> io::Result<()> {
+        let _queue_held = witness::acquire(LockClass::FlushQueue);
         let mut state = self.shared.state.lock().expect("flusher state lock");
         loop {
             Self::check(&state)?;
@@ -164,6 +168,7 @@ impl Flusher {
     /// If the thread is mid-write of a batch covering this page, waits for the write to
     /// land so a fresh file read is current, then returns `None`.
     pub fn steal(&self, index: u64) -> io::Result<Option<Box<[u8; PAGE_BYTES]>>> {
+        let _queue_held = witness::acquire(LockClass::FlushQueue);
         let mut state = self.shared.state.lock().expect("flusher state lock");
         Self::check(&state)?;
         if let Some(data) = state.queue.remove(&index) {
@@ -180,6 +185,7 @@ impl Flusher {
 
     /// Blocks until every queued page is on disk (checkpoint/drop barrier).
     pub fn barrier(&self) -> io::Result<()> {
+        let _queue_held = witness::acquire(LockClass::FlushQueue);
         let mut state = self.shared.state.lock().expect("flusher state lock");
         loop {
             Self::check(&state)?;
@@ -205,6 +211,7 @@ impl Flusher {
     /// of draining it.
     pub fn shutdown(&mut self, discard: bool) {
         {
+            let _queue_held = witness::acquire(LockClass::FlushQueue);
             let mut state = self.shared.state.lock().expect("flusher state lock");
             state.shutdown = true;
             state.discard |= discard;

@@ -30,11 +30,18 @@
 //! stripe mutex** — WAL appends and page traffic stay independent, and the
 //! eviction path (stripe → WAL) cannot deadlock against the checkpoint path (which
 //! drains the WAL before touching any stripe).
+//!
+//! This map is enforced, not just documented: `gss-lint` rule **L001** (lock-order)
+//! flags any function that acquires the WAL append mutex while a stripe or latch guard
+//! is live, or a stripe mutex under a latch, and rule **L002** (io-under-stripe) flags
+//! file I/O issued while a stripe guard is held.  At runtime, the [`witness`] module
+//! re-checks the same order dynamically across call chains under `debug_assertions`.
 
 pub mod flusher;
 pub mod lock_file;
 pub mod page_cache;
 pub mod page_file;
+pub mod witness;
 
 /// Bytes per cache page (and per on-disk page; room records never straddle pages because
 /// [`ROOM_RECORD_BYTES`](crate::storage::ROOM_RECORD_BYTES) divides this).

@@ -202,8 +202,11 @@ impl AtomicOccupancyIndex {
     pub fn mark(&self, row: usize, column: usize) {
         use std::sync::atomic::Ordering;
         debug_assert!(row < self.width && column < self.width);
+        // relaxed: the bit is a monotonic hint for scan pruning; readers that miss a
+        // freshly set bit just scan one extra bucket, they never skip occupied data.
         self.rows[row * self.words_per_line + column / 64]
             .fetch_or(1u64 << (column % 64), Ordering::Relaxed);
+        // relaxed: same monotonic-hint contract as the row bit above.
         self.columns[column * self.words_per_line + row / 64]
             .fetch_or(1u64 << (row % 64), Ordering::Relaxed);
     }
@@ -212,6 +215,7 @@ impl AtomicOccupancyIndex {
     #[inline]
     pub fn contains(&self, row: usize, column: usize) -> bool {
         use std::sync::atomic::Ordering;
+        // relaxed: a stale read only widens the scan by one bucket (see `mark`).
         self.rows[row * self.words_per_line + column / 64].load(Ordering::Relaxed)
             & (1u64 << (column % 64))
             != 0
@@ -226,12 +230,14 @@ impl AtomicOccupancyIndex {
     /// The `word`-th bitmap word of row `row` (occupied columns of that row).
     #[inline]
     pub fn row_word(&self, row: usize, word: usize) -> u64 {
+        // relaxed: scan-pruning hint, same contract as `contains`.
         self.rows[row * self.words_per_line + word].load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The `word`-th bitmap word of column `column` (occupied rows of that column).
     #[inline]
     pub fn column_word(&self, column: usize, word: usize) -> u64 {
+        // relaxed: scan-pruning hint, same contract as `contains`.
         self.columns[column * self.words_per_line + word].load(std::sync::atomic::Ordering::Relaxed)
     }
 

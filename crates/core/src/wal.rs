@@ -45,7 +45,11 @@
 //! mutex** separate from every page-cache lock, so log appends never serialize page
 //! reads and concurrent readers never wait behind a logging writer.  The one ordering
 //! rule: the append mutex is never held while a page-table stripe mutex is taken (see
-//! [`crate::pager`] for the full lock map).
+//! [`crate::pager`] for the full lock map).  `gss-lint` enforces this statically: rule
+//! **L001** (lock-order) flags any function acquiring the append mutex under a live
+//! stripe or latch guard, and rule **L003** (panic-in-recovery) keeps this module's
+//! replay path (`read_replay`/`parse_frame`) free of panic sites — damaged log bytes
+//! end the valid prefix, they never abort recovery.
 
 use crate::storage::ROOM_RECORD_BYTES;
 use std::fs::{File, OpenOptions};
@@ -270,7 +274,8 @@ impl<'a> Cursor<'a> {
     }
 
     fn u64(&mut self) -> Option<u64> {
-        Some(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
+        let bytes: [u8; 8] = self.take(8)?.try_into().ok()?;
+        Some(u64::from_le_bytes(bytes))
     }
 }
 
@@ -286,7 +291,7 @@ pub fn read_replay(path: &Path, room_count: u64) -> io::Result<Option<WalReplay>
         Err(error) if error.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(error) => return Err(error),
     };
-    if bytes.len() < WAL_MAGIC.len() || bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+    if !bytes.starts_with(&WAL_MAGIC) {
         return Ok(None);
     }
     let mut replay = WalReplay::default();
@@ -312,7 +317,7 @@ pub fn read_replay(path: &Path, room_count: u64) -> io::Result<Option<WalReplay>
 /// unknown tag (both end the valid prefix), `Some(true)` = frame applied.
 fn parse_frame(cursor: &mut Cursor<'_>, replay: &mut WalReplay, room_count: u64) -> Option<bool> {
     let frame_start = cursor.at;
-    let tag = *cursor.take(1)?.first().expect("length checked");
+    let tag = *cursor.take(1)?.first()?;
     let payload_len = match tag {
         TAG_ROOM => 8 + ROOM_RECORD_BYTES,
         TAG_BUFFER => 24,
@@ -322,7 +327,7 @@ fn parse_frame(cursor: &mut Cursor<'_>, replay: &mut WalReplay, room_count: u64)
             // Variable length: peek items + flags, then the flagged sections.
             let mut probe = Cursor { bytes: cursor.bytes, at: cursor.at };
             probe.u64()?;
-            let flags = *probe.take(1)?.first().expect("length checked");
+            let flags = *probe.take(1)?.first()?;
             if flags & !0b11 != 0 {
                 return Some(false);
             }
@@ -343,54 +348,70 @@ fn parse_frame(cursor: &mut Cursor<'_>, replay: &mut WalReplay, room_count: u64)
         _ => return Some(false),
     };
     let payload = cursor.take(payload_len)?;
-    let stored_crc = u32::from_le_bytes(cursor.take(4)?.try_into().expect("length checked"));
-    let framed = &cursor.bytes[frame_start..frame_start + 1 + payload_len];
+    let crc_bytes: [u8; 4] = cursor.take(4)?.try_into().ok()?;
+    let stored_crc = u32::from_le_bytes(crc_bytes);
+    let framed = cursor.bytes.get(frame_start..frame_start.checked_add(1 + payload_len)?)?;
     if crc32(framed) != stored_crc {
         return Some(false);
     }
+    // The payload parses below cannot fail on a frame that passed its CRC — the lengths
+    // all derive from `payload_len` — but a `?` costs nothing and keeps this path free
+    // of panic sites by construction (gss-lint rule L003: damaged input must end the
+    // valid prefix, never abort recovery).
     let mut p = Cursor { bytes: payload, at: 0 };
     match tag {
         TAG_ROOM => {
-            let index = p.u64().expect("length checked");
+            let index = p.u64()?;
             if index >= room_count {
                 return Some(false);
             }
-            let record: [u8; ROOM_RECORD_BYTES] =
-                p.take(ROOM_RECORD_BYTES).expect("length checked").try_into().expect("sized");
+            let record: [u8; ROOM_RECORD_BYTES] = p.take(ROOM_RECORD_BYTES)?.try_into().ok()?;
             replay.rooms.push((index, record));
         }
         TAG_BUFFER => {
-            let source = p.u64().expect("length checked");
-            let destination = p.u64().expect("length checked");
-            let weight =
-                i64::from_le_bytes(p.take(8).expect("length checked").try_into().expect("sized"));
-            replay.buffer_ops.push((source, destination, weight));
+            let source = p.u64()?;
+            let destination = p.u64()?;
+            let weight_bytes: [u8; 8] = p.take(8)?.try_into().ok()?;
+            replay.buffer_ops.push((source, destination, i64::from_le_bytes(weight_bytes)));
         }
         TAG_NODE => {
-            let hash = p.u64().expect("length checked");
-            let vertex = p.u64().expect("length checked");
+            let hash = p.u64()?;
+            let vertex = p.u64()?;
             replay.node_ops.push((hash, vertex));
         }
         TAG_COMMIT => {
-            replay.items = Some(p.u64().expect("length checked"));
+            replay.items = Some(p.u64()?);
         }
         TAG_TAIL => {
-            let items = p.u64().expect("length checked");
-            let flags = *p.take(1).expect("length checked").first().expect("sized");
+            // Parse both sections into locals *before* touching `replay`: bailing out
+            // halfway after clearing the deltas would corrupt the replayed state.
+            let items = p.u64()?;
+            let flags = *p.take(1)?.first()?;
+            let tail_buffer = if flags & 0b01 != 0 {
+                let len = p.u64()? as usize;
+                Some(p.take(len)?.to_vec())
+            } else {
+                None
+            };
+            let tail_node = if flags & 0b10 != 0 {
+                let len = p.u64()? as usize;
+                Some(p.take(len)?.to_vec())
+            } else {
+                None
+            };
             // The image supersedes every delta logged before it.
             replay.buffer_ops.clear();
             replay.node_ops.clear();
             replay.items = Some(items);
-            if flags & 0b01 != 0 {
-                let len = p.u64().expect("length checked") as usize;
-                replay.tail_buffer = Some(p.take(len).expect("length checked").to_vec());
+            if let Some(bytes) = tail_buffer {
+                replay.tail_buffer = Some(bytes);
             }
-            if flags & 0b10 != 0 {
-                let len = p.u64().expect("length checked") as usize;
-                replay.tail_node = Some(p.take(len).expect("length checked").to_vec());
+            if let Some(bytes) = tail_node {
+                replay.tail_node = Some(bytes);
             }
         }
-        _ => unreachable!("unknown tags rejected above"),
+        // Unknown tags were rejected while sizing the payload above.
+        _ => return Some(false),
     }
     Some(true)
 }

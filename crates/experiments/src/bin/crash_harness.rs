@@ -225,6 +225,7 @@ fn ingest_threaded(sketch_path: &Path, progress_path: &Path, durability: Durabil
             // Concurrent queries while the writers run (and while the kill lands): the
             // reader must never deadlock, panic, or see malformed answers.
             let mut vertex = 0u64;
+            // relaxed: plain stop flag; reading it one iteration late is harmless.
             while !done.load(Ordering::Relaxed) {
                 let successors = sharded.successors(vertex % VERTICES);
                 assert!(successors.windows(2).all(|w| w[0] < w[1]));
@@ -250,6 +251,7 @@ fn ingest_threaded(sketch_path: &Path, progress_path: &Path, durability: Durabil
     for writer in writers {
         writer.join().expect("writer thread");
     }
+    // relaxed: same stop flag; the join below is the actual synchronization point.
     done.store(true, Ordering::Relaxed);
     reader.join().expect("reader thread");
     sharded.sync().expect("final checkpoint");

@@ -143,6 +143,7 @@ pub fn storage_backend_from_env(scale: ExperimentScale, label: &str) -> StorageB
         "file" => {
             let dir = std::env::temp_dir().join("gss-experiments");
             let _ = std::fs::create_dir_all(&dir);
+            // relaxed: a process-unique counter; only atomicity matters, not ordering.
             let sequence = STORAGE_SEQUENCE.fetch_add(1, Ordering::Relaxed);
             // Keep the label filesystem-safe.
             let label: String = label

@@ -1,0 +1,297 @@
+//! A minimal Rust lexer: just enough fidelity for project-invariant linting.
+//!
+//! The rule engine needs a token stream that cannot be fooled by comments, string
+//! literals (including raw and byte strings) or lifetimes — `"wal.lock()"` inside a
+//! string must not look like a lock acquisition, and `'a` must not start a char
+//! literal.  Everything subtler (float literals, exact number grammar) is lexed
+//! loosely: rules only ever match identifiers and single-character punctuation.
+
+/// What a token is; identifier text lives in [`Tok::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`wal`, `fn`, `let`, ...).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char or number.
+    Literal,
+    /// A single punctuation character; multi-char operators arrive as a sequence.
+    Punct(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub line: u32,
+    pub kind: TokKind,
+    /// Identifier text; empty for every other kind.
+    pub text: String,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment with the 1-based line it starts on (block comments are recorded once, at
+/// their opening line; waivers and justifications are line comments in practice).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Token stream plus the comments the rules consult for waivers and justifications.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source`; never fails — unterminated constructs simply run to end of input.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && next == Some('/') {
+            let start = i + 2;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments
+                .push(Comment { line, text: chars[start..i.min(chars.len())].iter().collect() });
+        } else if c == '/' && next == Some('*') {
+            let start_line = line;
+            let start = i + 2;
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                match (chars[i], chars.get(i + 1).copied()) {
+                    ('/', Some('*')) => {
+                        depth += 1;
+                        i += 2;
+                    }
+                    ('*', Some('/')) => {
+                        depth -= 1;
+                        i += 2;
+                    }
+                    ('\n', _) => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            let end = i.saturating_sub(2).max(start);
+            out.comments
+                .push(Comment { line: start_line, text: chars[start..end].iter().collect() });
+        } else if c == '"' {
+            i = skip_string(&chars, i + 1, &mut line);
+            out.tokens.push(Tok { line, kind: TokKind::Literal, text: String::new() });
+        } else if c == '\'' {
+            i = lex_quote(&chars, i, &mut line, &mut out.tokens);
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            // Raw / byte string prefixes: r"..", r#".."#, b"..", br"..", br#".."#.
+            let quote_next = chars.get(i).copied();
+            if (word == "r" || word == "br") && matches!(quote_next, Some('"') | Some('#')) {
+                i = skip_raw_string(&chars, i, &mut line);
+                out.tokens.push(Tok { line, kind: TokKind::Literal, text: String::new() });
+            } else if word == "b" && quote_next == Some('"') {
+                i = skip_string(&chars, i + 1, &mut line);
+                out.tokens.push(Tok { line, kind: TokKind::Literal, text: String::new() });
+            } else if word == "b" && quote_next == Some('\'') {
+                i = lex_quote(&chars, i, &mut line, &mut out.tokens);
+            } else {
+                out.tokens.push(Tok { line, kind: TokKind::Ident, text: word });
+            }
+        } else if c.is_ascii_digit() {
+            // Loose number: digits plus alphanumerics/underscores (hex, suffixes).  The
+            // dot is *not* consumed, so `0..8` yields two adjacent `.` puncts and `1.5`
+            // yields exactly one — which is all the range-detection rule needs.
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.tokens.push(Tok { line, kind: TokKind::Literal, text: String::new() });
+        } else {
+            out.tokens.push(Tok { line, kind: TokKind::Punct(c), text: String::new() });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Consumes a (possibly `b`-prefixed) quoted string body starting *after* the opening
+/// `"`; returns the index just past the closing quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a raw string starting at the `#`/`"` after the `r`/`br` prefix; returns the
+/// index just past the closing delimiter.
+fn skip_raw_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return i; // Not actually a raw string (e.g. `r#ident`): leave the rest alone.
+    }
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if chars[i] == '"'
+            && chars[i + 1..].iter().take(hashes).filter(|&&c| c == '#').count() == hashes
+        {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Disambiguates `'` at index `i`: lifetime (`'a`), char literal (`'a'`, `'\n'`, `'('`).
+/// Returns the index just past whatever it consumed, pushing the token.
+fn lex_quote(chars: &[char], at: usize, line: &mut u32, tokens: &mut Vec<Tok>) -> usize {
+    // `b'x'` arrives with `at` pointing at the `b`; skip to the quote.
+    let quote = if chars[at] == 'b' { at + 1 } else { at };
+    let mut i = quote + 1;
+    match chars.get(i).copied() {
+        Some('\\') => {
+            // Escaped char literal: scan to the closing quote.
+            i += 2; // the backslash and the escaped character
+            while i < chars.len() && chars[i] != '\'' {
+                i += 1;
+            }
+            tokens.push(Tok { line: *line, kind: TokKind::Literal, text: String::new() });
+            i + 1
+        }
+        Some(c) if is_ident_start(c) => {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            if chars.get(i) == Some(&'\'') {
+                tokens.push(Tok { line: *line, kind: TokKind::Literal, text: String::new() });
+                i + 1
+            } else {
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Tok { line: *line, kind: TokKind::Lifetime, text });
+                i
+            }
+        }
+        Some(_) => {
+            // `'('`-style literal of a single punctuation character.
+            while i < chars.len() && chars[i] != '\'' {
+                if chars[i] == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+            tokens.push(Tok { line: *line, kind: TokKind::Literal, text: String::new() });
+            i + 1
+        }
+        None => {
+            tokens.push(Tok { line: *line, kind: TokKind::Punct('\''), text: String::new() });
+            i
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let lexed = lex("let x = \"wal.lock()\"; // wal.lock()\n/* slots.lock() */ done");
+        assert_eq!(idents("let x = \"wal.lock()\"; // c\n done"), ["let", "x", "done"]);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("wal.lock()"));
+        assert!(lexed.comments[1].text.contains("slots.lock()"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_single_literals() {
+        assert_eq!(idents("r#\"one \"quoted\" two\"# b\"bytes\" r\"plain\" tail"), ["tail"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }").tokens;
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let literals = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(literals, 2, "'a' and '\\n' are char literals");
+    }
+
+    #[test]
+    fn ranges_lex_as_adjacent_dots_but_floats_do_not() {
+        let dots = |s: &str| lex(s).tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots("&x[0..8]"), 2);
+        assert_eq!(dots("let f = 1.5;"), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        assert_eq!(idents("/* a /* b */ c */ after"), ["after"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let lexed = lex("a\n\"x\ny\"\nb");
+        let b = lexed.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+}

@@ -1,0 +1,621 @@
+//! `gss-lint`: a project-invariant static analyzer for this workspace's own sources.
+//!
+//! The pager's lock hierarchy, the WAL's never-panic replay contract and the "all raw
+//! I/O lives in the storage layer" convention were prose in module docs until this
+//! crate; here they are mechanized as five rules over a token stream
+//! ([`lexer`]) with intra-procedural guard-liveness tracking:
+//!
+//! | rule | name               | fires when |
+//! |------|--------------------|------------|
+//! | L001 | lock-order         | the WAL append mutex is acquired while a stripe or page-latch guard is live, a stripe mutex while a latch or WAL guard is live |
+//! | L002 | io-under-stripe    | `read_exact_at` / `write_all_at` / `sync_data` / `sync_all` / `set_len` runs while a stripe mutex guard is live |
+//! | L003 | panic-in-recovery  | `unwrap` / `expect` / `panic!` / `unreachable!` / `todo!` / range-indexing inside WAL replay or `FileStore` open/recovery functions |
+//! | L004 | raw-io-containment | `std::fs` / `OpenOptions` / `.seek(` outside `pager/`, `wal.rs`, `file_store.rs` and the snapshot module |
+//! | L005 | unjustified-relaxed| `Ordering::Relaxed` without an adjacent `// relaxed:` justification (stats counters allowlisted) |
+//!
+//! A finding is silenced by `// gss-lint: allow(RULE, reason)` on the same or the
+//! preceding line; the reason is mandatory and surfaced by the binary's waiver
+//! inventory.  Guard liveness is lexical: a `let`-bound guard lives to the end of its
+//! block or until `drop(name)`, so the classic false positive — a guard explicitly
+//! dropped before the next acquisition — does not fire.
+//!
+//! The analysis is deliberately intra-procedural and name-based (`wal.lock()`,
+//! `slots.lock()`, `data.read()` / `cache.write()`): it leans on the repo's own naming
+//! conventions instead of type information, which is exactly the right trade for a
+//! linter that must build in seconds with zero dependencies.
+
+pub mod lexer;
+
+use lexer::{Lexed, Tok, TokKind};
+
+/// The five project-invariant rules, with stable IDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Lock-order: WAL acquired under a stripe/latch guard, stripe under a latch/WAL.
+    L001,
+    /// File I/O issued while a page-table stripe mutex guard is live.
+    L002,
+    /// A panic path inside WAL replay or `FileStore` open/recovery.
+    L003,
+    /// Raw file I/O outside the storage layer.
+    L004,
+    /// `Ordering::Relaxed` without a written justification.
+    L005,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 5] = [Rule::L001, Rule::L002, Rule::L003, Rule::L004, Rule::L005];
+
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L001 => "L001",
+            Rule::L002 => "L002",
+            Rule::L003 => "L003",
+            Rule::L004 => "L004",
+            Rule::L005 => "L005",
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::L001 => "lock-order",
+            Rule::L002 => "io-under-stripe",
+            Rule::L003 => "panic-in-recovery",
+            Rule::L004 => "raw-io-containment",
+            Rule::L005 => "unjustified-relaxed",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == s.trim())
+    }
+}
+
+/// One rule violation at a source line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    pub line: u32,
+    pub message: String,
+    /// Set when an adjacent `gss-lint: allow` waiver covers this finding.
+    pub waived: bool,
+}
+
+/// One `// gss-lint: allow(RULE, reason)` comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub line: u32,
+    pub rule: Option<Rule>,
+    pub reason: String,
+    /// Set when at least one finding was silenced by this waiver (stale otherwise).
+    pub used: bool,
+}
+
+/// Everything the analyzer produced for one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    pub waivers: Vec<Waiver>,
+}
+
+impl FileReport {
+    /// Findings not covered by a waiver.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+}
+
+/// Functions whose bodies rule L003 covers, per file basename: the WAL replay path and
+/// the `FileStore` open/recovery path.  Hot-path panics (`io_fail`) are a deliberate
+/// design decision and stay out of scope.
+fn l003_scope(basename: &str) -> &'static [&'static str] {
+    match basename {
+        "wal.rs" => &["read_replay", "parse_frame", "take", "u64"],
+        "file_store.rs" => &["open", "open_durable", "recover", "assemble", "rebuild_index"],
+        _ => &[],
+    }
+}
+
+/// Modules allowed to touch `std::fs` / `seek` under rule L004: the pager family, the
+/// WAL, the paged store itself, and the streaming-snapshot module.
+fn l004_exempt(path: &str, basename: &str) -> bool {
+    path.contains("/pager/")
+        || path.starts_with("pager/")
+        || matches!(basename, "wal.rs" | "file_store.rs" | "persistence.rs")
+}
+
+/// Atomic counters whose loads and bumps are self-evidently fine under `Relaxed` (pure
+/// statistics: no ordering with any other memory is implied).
+const L005_ALLOWLIST: [&str; 5] =
+    ["lookups", "faults", "latch_waits", "pages_written", "write_batches"];
+
+/// Analyzes one file.  `path` is the workspace-relative path (used for scoping rules);
+/// `source` is the file content.
+pub fn analyze_file(path: &str, source: &str) -> FileReport {
+    let path = path.replace('\\', "/");
+    let basename = path.rsplit('/').next().unwrap_or(&path).to_string();
+    let lexed = lexer::lex(source);
+    let mut report = FileReport { findings: Vec::new(), waivers: parse_waivers(&lexed) };
+    Engine::new(&path, &basename, &lexed).run(&mut report.findings);
+    for finding in &mut report.findings {
+        for waiver in &mut report.waivers {
+            let covers = waiver.rule == Some(finding.rule)
+                && (waiver.line == finding.line || waiver.line + 1 == finding.line);
+            if covers {
+                finding.waived = true;
+                waiver.used = true;
+            }
+        }
+    }
+    report
+}
+
+fn parse_waivers(lexed: &Lexed) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for comment in &lexed.comments {
+        // Doc comments (`///`, `//!`) describe the waiver syntax; only plain `//`
+        // comments can actually waive a finding.
+        if comment.text.starts_with('/') || comment.text.starts_with('!') {
+            continue;
+        }
+        let Some(at) = comment.text.find("gss-lint:") else { continue };
+        let rest = comment.text[at + "gss-lint:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else { continue };
+        let body = args.rfind(')').map_or(args, |end| &args[..end]);
+        let (rule, reason) = match body.split_once(',') {
+            Some((rule, reason)) => (rule, reason.trim()),
+            None => (body, ""),
+        };
+        waivers.push(Waiver {
+            line: comment.line,
+            rule: Rule::parse(rule),
+            reason: reason.to_string(),
+            used: false,
+        });
+    }
+    waivers
+}
+
+/// Lock classes the guard tracker distinguishes (the runtime witness in
+/// `gss_core::pager::witness` mirrors these dynamically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GuardClass {
+    Stripe,
+    Latch,
+    Wal,
+}
+
+impl GuardClass {
+    fn describe(self) -> &'static str {
+        match self {
+            GuardClass::Stripe => "stripe-mutex",
+            GuardClass::Latch => "page-latch",
+            GuardClass::Wal => "WAL-append",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    class: GuardClass,
+    /// Brace depth of the block the binding lives in; popped when the block closes.
+    depth: i32,
+    line: u32,
+}
+
+struct Engine<'a> {
+    toks: &'a [Tok],
+    comments: &'a [lexer::Comment],
+    /// Token indices inside `#[cfg(test)] mod` bodies, which every rule skips.
+    skipped: Vec<bool>,
+    basename: &'a str,
+    l004_applies: bool,
+}
+
+impl<'a> Engine<'a> {
+    fn new(path: &str, basename: &'a str, lexed: &'a Lexed) -> Self {
+        let in_core = path.contains("core/src/");
+        Self {
+            toks: &lexed.tokens,
+            comments: &lexed.comments,
+            skipped: mark_cfg_test(&lexed.tokens),
+            basename,
+            l004_applies: in_core && !l004_exempt(path, basename),
+        }
+    }
+
+    fn run(&self, findings: &mut Vec<Finding>) {
+        let toks = self.toks;
+        let mut depth = 0i32;
+        // Named-function stack: (name, depth the body opened at).  Closures only add
+        // depth, so the top entry is always the innermost *named* function.
+        let mut fns: Vec<(String, i32)> = Vec::new();
+        let mut pending_fn: Option<String> = None;
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut pending_let: Option<String> = None;
+        for i in 0..toks.len() {
+            if self.skipped[i] {
+                continue;
+            }
+            let tok = &toks[i];
+            let in_scope_fn = fns
+                .last()
+                .is_some_and(|(name, _)| l003_scope(self.basename).contains(&name.as_str()));
+            match tok.kind {
+                TokKind::Punct('{') => {
+                    depth += 1;
+                    if let Some(name) = pending_fn.take() {
+                        fns.push((name, depth));
+                    }
+                }
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                    if fns.last().is_some_and(|&(_, d)| d > depth) {
+                        fns.pop();
+                    }
+                }
+                TokKind::Punct(';') => {
+                    pending_let = None;
+                    pending_fn = None; // trait method declarations have no body
+                }
+                TokKind::Punct('[') => {
+                    self.check_range_index(i, in_scope_fn, findings);
+                }
+                TokKind::Ident => match tok.text.as_str() {
+                    "fn" => {
+                        if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                            pending_fn = Some(name.text.clone());
+                        }
+                    }
+                    "let" => {
+                        let mut j = i + 1;
+                        while toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                            j += 1;
+                        }
+                        pending_let = toks
+                            .get(j)
+                            .filter(|t| t.kind == TokKind::Ident)
+                            .map(|t| t.text.clone());
+                    }
+                    // `drop(name)` ends the guard's liveness early.
+                    "drop"
+                        if toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                            && toks.get(i + 3).is_some_and(|t| t.is_punct(')')) =>
+                    {
+                        if let Some(name) = toks.get(i + 2).filter(|t| t.kind == TokKind::Ident) {
+                            guards.retain(|g| g.name != name.text);
+                        }
+                    }
+                    "panic" | "unreachable" | "todo"
+                        if in_scope_fn && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+                    {
+                        findings.push(Finding {
+                            rule: Rule::L003,
+                            line: tok.line,
+                            message: format!(
+                                "`{}!` inside recovery/replay function `{}` — corrupt \
+                                 input must end the valid prefix, not abort",
+                                tok.text,
+                                fns.last().map(|(n, _)| n.as_str()).unwrap_or("?")
+                            ),
+                            waived: false,
+                        });
+                    }
+                    "std"
+                        if self.l004_applies
+                            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                            && toks.get(i + 3).is_some_and(|t| t.is_ident("fs")) =>
+                    {
+                        findings.push(Finding {
+                            rule: Rule::L004,
+                            line: tok.line,
+                            message: "`std::fs` outside the storage layer — route file \
+                                      access through pager/, wal.rs, file_store.rs or \
+                                      persistence.rs"
+                                .to_string(),
+                            waived: false,
+                        });
+                    }
+                    "OpenOptions" if self.l004_applies => {
+                        findings.push(Finding {
+                            rule: Rule::L004,
+                            line: tok.line,
+                            message: "`OpenOptions` outside the storage layer".to_string(),
+                            waived: false,
+                        });
+                    }
+                    "Ordering"
+                        if toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                            && toks.get(i + 3).is_some_and(|t| t.is_ident("Relaxed"))
+                            && !self.relaxed_is_justified(i) =>
+                    {
+                        findings.push(Finding {
+                            rule: Rule::L005,
+                            line: tok.line,
+                            message: "`Ordering::Relaxed` without an adjacent \
+                                      `// relaxed:` justification comment"
+                                .to_string(),
+                            waived: false,
+                        });
+                    }
+                    _ => {}
+                },
+                TokKind::Punct('.') => {
+                    self.check_method(
+                        i,
+                        in_scope_fn,
+                        &mut guards,
+                        &mut pending_let,
+                        depth,
+                        findings,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Handles `recv.method(` windows: lock acquisitions (L001 + guard tracking), file
+    /// I/O under a stripe (L002), `.seek(` containment (L004), `.unwrap()`/`.expect(`
+    /// in recovery scope (L003).
+    #[allow(clippy::too_many_arguments)]
+    fn check_method(
+        &self,
+        i: usize,
+        in_scope_fn: bool,
+        guards: &mut Vec<Guard>,
+        pending_let: &mut Option<String>,
+        depth: i32,
+        findings: &mut Vec<Finding>,
+    ) {
+        let toks = self.toks;
+        let Some(method) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else { return };
+        if !toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            return;
+        }
+        let line = method.line;
+        let receiver =
+            i.checked_sub(1).and_then(|p| toks.get(p)).filter(|t| t.kind == TokKind::Ident);
+        let acquired = match (receiver.map(|t| t.text.as_str()), method.text.as_str()) {
+            (Some("wal"), "lock") => Some(GuardClass::Wal),
+            (Some("slots"), "lock") => Some(GuardClass::Stripe),
+            (Some("data"), "read" | "write" | "try_read" | "try_write") => Some(GuardClass::Latch),
+            (Some("cache"), "read" | "write") => Some(GuardClass::Latch),
+            _ => None,
+        };
+        if let Some(class) = acquired {
+            let conflicts: &[GuardClass] = match class {
+                GuardClass::Wal => &[GuardClass::Stripe, GuardClass::Latch],
+                GuardClass::Stripe => &[GuardClass::Latch, GuardClass::Wal],
+                GuardClass::Latch => &[],
+            };
+            for held in guards.iter().filter(|g| conflicts.contains(&g.class)) {
+                findings.push(Finding {
+                    rule: Rule::L001,
+                    line,
+                    message: format!(
+                        "acquiring the {} lock while the {} guard `{}` (line {}) is live \
+                         inverts the pager lock order",
+                        class.describe(),
+                        held.class.describe(),
+                        held.name,
+                        held.line
+                    ),
+                    waived: false,
+                });
+            }
+            if let Some(name) = pending_let.take() {
+                guards.push(Guard { name, class, depth, line });
+            }
+        }
+        match method.text.as_str() {
+            "read_exact_at" | "write_all_at" | "sync_data" | "sync_all" | "set_len" => {
+                for held in guards.iter().filter(|g| g.class == GuardClass::Stripe) {
+                    findings.push(Finding {
+                        rule: Rule::L002,
+                        line,
+                        message: format!(
+                            "file I/O (`{}`) while the stripe-mutex guard `{}` (line {}) is \
+                             live — stripe mutexes guard map operations only",
+                            method.text, held.name, held.line
+                        ),
+                        waived: false,
+                    });
+                }
+            }
+            "seek" if self.l004_applies => {
+                findings.push(Finding {
+                    rule: Rule::L004,
+                    line,
+                    message: "`.seek(` outside the storage layer".to_string(),
+                    waived: false,
+                });
+            }
+            "unwrap" | "expect" if in_scope_fn => {
+                findings.push(Finding {
+                    rule: Rule::L003,
+                    line,
+                    message: format!(
+                        "`.{}()` inside a recovery/replay function — corrupt input must \
+                         end the valid prefix, not panic",
+                        method.text
+                    ),
+                    waived: false,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// L003 range-indexing: a `[` in index position (previous token is an identifier,
+    /// `)`, `]` or `?`) whose bracket body contains `..` can panic on short slices.
+    fn check_range_index(&self, i: usize, in_scope_fn: bool, findings: &mut Vec<Finding>) {
+        if !in_scope_fn {
+            return;
+        }
+        let toks = self.toks;
+        let indexes = i.checked_sub(1).and_then(|p| toks.get(p)).is_some_and(|t| {
+            t.kind == TokKind::Ident || t.is_punct(')') || t.is_punct(']') || t.is_punct('?')
+        });
+        if !indexes {
+            return;
+        }
+        let mut nest = 1i32;
+        let mut j = i + 1;
+        while j < toks.len() && nest > 0 {
+            match toks[j].kind {
+                TokKind::Punct('[') => nest += 1,
+                TokKind::Punct(']') => nest -= 1,
+                TokKind::Punct('.') if toks.get(j + 1).is_some_and(|t| t.is_punct('.')) => {
+                    findings.push(Finding {
+                        rule: Rule::L003,
+                        line: toks[i].line,
+                        message: "range-indexing inside a recovery/replay function — use \
+                                  `get(..)` so short input ends the prefix instead of \
+                                  panicking"
+                            .to_string(),
+                        waived: false,
+                    });
+                    return;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+
+    /// A `Relaxed` use is justified by a `relaxed:` comment on its own or the three
+    /// preceding lines (multi-line statements), or by an allowlisted stats counter as
+    /// the receiver on the same line.
+    fn relaxed_is_justified(&self, i: usize) -> bool {
+        let line = self.toks[i].line;
+        let commented = self
+            .comments
+            .iter()
+            .any(|c| c.line + 3 >= line && c.line <= line && c.text.contains("relaxed:"));
+        if commented {
+            return true;
+        }
+        self.toks[..i]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == line)
+            .any(|t| t.kind == TokKind::Ident && L005_ALLOWLIST.contains(&t.text.as_str()))
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)] mod ... { ... }` body (tests are exempt
+/// from all rules: they panic on purpose and open their own temp files).
+fn mark_cfg_test(toks: &[Tok]) -> Vec<bool> {
+    let mut skipped = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            // Skip this and any further attributes, then expect `mod name {`.
+            let mut j = skip_attr(toks, i);
+            while toks.get(j).is_some_and(|t| t.is_punct('#')) {
+                j = skip_attr(toks, j);
+            }
+            if toks.get(j).is_some_and(|t| t.is_ident("mod")) {
+                if let Some(open) = (j..toks.len()).find(|&k| toks[k].is_punct('{')) {
+                    let mut nest = 0i32;
+                    let mut k = open;
+                    while k < toks.len() {
+                        match toks[k].kind {
+                            TokKind::Punct('{') => nest += 1,
+                            TokKind::Punct('}') => {
+                                nest -= 1;
+                                if nest == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        skipped[k] = true;
+                        k += 1;
+                    }
+                    if k < toks.len() {
+                        skipped[k] = true;
+                    }
+                    i = k + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    skipped
+}
+
+/// Whether tokens at `i` begin exactly `#[cfg(test)]`.
+fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct('#'))
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+        && toks.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+        && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+        && toks.get(i + 4).is_some_and(|t| t.is_ident("test"))
+        && toks.get(i + 5).is_some_and(|t| t.is_punct(')'))
+        && toks.get(i + 6).is_some_and(|t| t.is_punct(']'))
+}
+
+/// Returns the index just past the `#[...]` attribute starting at `i`.
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    let Some(open) = (i..toks.len()).find(|&k| toks[k].is_punct('[')) else { return i + 1 };
+    let mut nest = 0i32;
+    for (k, tok) in toks.iter().enumerate().skip(open) {
+        match tok.kind {
+            TokKind::Punct('[') => nest += 1,
+            TokKind::Punct(']') => {
+                nest -= 1;
+                if nest == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(path: &str, source: &str) -> Vec<Rule> {
+        analyze_file(path, source).findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn waiver_parsing_extracts_rule_and_reason() {
+        let report = analyze_file(
+            "crates/core/src/x.rs",
+            "// gss-lint: allow(L001, the slot is pinned (strong count > 1))\nfn f() {}\n",
+        );
+        assert_eq!(report.waivers.len(), 1);
+        assert_eq!(report.waivers[0].rule, Some(Rule::L001));
+        assert_eq!(report.waivers[0].reason, "the slot is pinned (strong count > 1)");
+        assert!(!report.waivers[0].used, "no finding: the waiver is stale");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let source = "#[cfg(test)]\nmod tests {\n    fn f() { std::fs::read(\"x\"); }\n}\n";
+        assert!(rules_fired("crates/core/src/plain.rs", source).is_empty());
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_close() {
+        let source = "fn f(&self) {\n    {\n        let slots = self.table.slots.lock();\n    }\n    let wal = self.wal.lock();\n}\n";
+        assert!(rules_fired("crates/core/src/x.rs", source).is_empty());
+    }
+
+    #[test]
+    fn allowlisted_stats_counters_need_no_relaxed_comment() {
+        let source = "fn f(&self) { self.lookups.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(rules_fired("crates/core/src/x.rs", source).is_empty());
+    }
+}

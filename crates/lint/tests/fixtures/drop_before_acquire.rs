@@ -1,0 +1,22 @@
+// Fixture: the classic false positive — a stripe guard explicitly dropped before the
+// WAL acquire.  Liveness tracking must see the `drop(slots)` and stay silent; same for
+// a guard whose block closes first.
+fn handoff(&self) {
+    let mut slots = self.stripe(4).slots.lock();
+    slots.insert(4, 1);
+    drop(slots);
+    let wal = self.wal.lock(); // no finding: the stripe guard is dead
+}
+
+fn scoped(&self) {
+    {
+        let slots = self.stripe(5).slots.lock();
+        slots.len();
+    }
+    let wal = self.wal.lock(); // no finding: the stripe guard's block closed
+}
+
+fn transient(&self) {
+    self.stripe(6).slots.lock().remove(&6); // temporary guard: dead by end of statement
+    let wal = self.wal.lock(); // no finding
+}

@@ -1,0 +1,15 @@
+// Fixture: inverted lock order — the WAL append mutex is acquired while a stripe
+// mutex guard (`slots`) and then a page-latch guard (`data`) are live.
+fn inverted(&self) {
+    let slots = self.stripe(7).slots.lock();
+    let wal = self.wal.lock(); // fires L001: WAL under stripe
+    drop(wal);
+    drop(slots);
+    let data = slot.data.write();
+    let wal = self.wal.lock(); // fires L001: WAL under latch
+}
+
+fn stripe_under_latch(&self) {
+    let data = slot.data.read();
+    let slots = self.stripe(3).slots.lock(); // fires L001: stripe under latch
+}

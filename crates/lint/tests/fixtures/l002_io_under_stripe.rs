@@ -1,0 +1,8 @@
+// Fixture: file I/O while a stripe mutex guard is live — stripe mutexes guard map
+// operations only; I/O belongs outside the critical section.
+fn io_under_stripe(&self, page: &mut [u8]) {
+    let mut slots = self.stripe(0).slots.lock();
+    self.file.read_exact_at(page, 0); // fires L002
+    slots.insert(0, 1);
+    self.file.sync_data(); // fires L002
+}

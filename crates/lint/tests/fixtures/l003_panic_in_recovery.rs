@@ -1,0 +1,15 @@
+// Fixture: panic paths inside WAL replay — analyzed under the synthetic path
+// `crates/core/src/wal.rs`, so `parse_frame` is in L003 scope and `helper` is not.
+fn parse_frame(cursor: &mut Cursor) -> Option<bool> {
+    let tag = cursor.bytes.first().unwrap(); // fires L003
+    let len = cursor.take(4).expect("length checked"); // fires L003
+    let body = &cursor.bytes[2..10]; // fires L003 (range index)
+    match tag {
+        0 => Some(true),
+        _ => unreachable!("tag validated above"), // fires L003
+    }
+}
+
+fn helper(bytes: &[u8]) -> u8 {
+    bytes.first().unwrap() // not in scope: no finding
+}

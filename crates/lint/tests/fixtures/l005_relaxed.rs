@@ -1,0 +1,8 @@
+// Fixture: `Ordering::Relaxed` uses — one bare (fires), one carrying the required
+// justification comment, one on an allowlisted stats counter.
+fn counters(&self) {
+    self.clock.fetch_add(1, Ordering::Relaxed); // fires L005
+    // relaxed: monotone clock; readers only need an eventually-fresh value.
+    self.clock.fetch_add(1, Ordering::Relaxed);
+    self.lookups.fetch_add(1, Ordering::Relaxed);
+}

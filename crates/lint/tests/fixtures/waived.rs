@@ -1,0 +1,14 @@
+// Fixture: a real L001 inversion silenced by a waiver with a written reason, plus a
+// reason-less waiver that --deny-all must reject.
+fn pinned_slot(&self) {
+    let data = slot.data.try_write();
+    // gss-lint: allow(L001, the fresh slot is pinned by a strong reference and can
+    self.stripe(9).slots.lock().remove(&9);
+    drop(data);
+}
+
+fn lazy_waiver(&self) {
+    let slots = self.stripe(1).slots.lock();
+    // gss-lint: allow(L001)
+    let wal = self.wal.lock();
+}

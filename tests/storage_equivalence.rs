@@ -273,6 +273,19 @@ fn concurrent_writers_and_readers_match_memory_and_reopen() {
     assert!(stats.page_faults > 0, "tiny caches must fault");
     assert_eq!(stats.items_inserted, items.len() as u64);
 
+    // The runtime lock-order witness watched every acquisition above: the contended
+    // stripe/latch/WAL traffic must leave its lock-class graph acyclic, and the load
+    // must actually have exercised those classes (otherwise the check is vacuous).
+    #[cfg(debug_assertions)]
+    {
+        use gss_core::pager::witness::{self, LockClass};
+        let report = witness::report();
+        assert!(report.is_acyclic(), "lock-order cycle observed: {:?}", report.cycle());
+        assert!(report.acquisitions_of(LockClass::StripeMap) > 0, "stripe locks were taken");
+        assert!(report.acquisitions_of(LockClass::PageLatch) > 0, "page latches were taken");
+        assert!(report.acquisitions_of(LockClass::WalAppend) > 0, "WAL appends were logged");
+    }
+
     drop(sharded); // drop checkpoints every shard file
     let mut total_items = 0;
     let mut reopened = Vec::new();
@@ -326,6 +339,14 @@ fn concurrent_strict_writers_lose_nothing_across_a_simulated_crash() {
         writer.join().unwrap();
     }
     sharded.abandon().expect("writer handles were dropped with their threads");
+
+    // Same witness check over the strict-durability path (WAL fsync per insert).
+    #[cfg(debug_assertions)]
+    {
+        use gss_core::pager::witness;
+        let report = witness::report();
+        assert!(report.is_acyclic(), "lock-order cycle observed: {:?}", report.cycle());
+    }
 
     let mut reopened = Vec::new();
     for index in 0..SHARDS {
