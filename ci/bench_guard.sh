@@ -4,11 +4,20 @@
 # tolerance (CI boxes are noisy; 30% is a regression, not jitter).
 #
 # Accepts one or more <committed, fresh> pairs, so the memory trajectory
-# (BENCH_ingest.json) and the file-backed trajectory (BENCH_ingest_file.json) are
-# guarded by one invocation.  For each report the single-thread sharded rate is the
-# hard gate; the 4- and 8-writer sharded rates are printed so the multi-writer
-# trajectory is tracked per PR (they gate softly: only a collapse below the tolerance
-# relative to their committed points fails).
+# (BENCH_ingest.json), the file-backed trajectory (BENCH_ingest_file.json) and the
+# durability trajectory (BENCH_durability.json) are guarded by one invocation.
+#
+# Ingest reports: the single-thread sharded rate is the hard gate; the 4- and 8-writer
+# sharded rates are printed so the multi-writer trajectory is tracked per PR (they
+# gate softly: only a collapse below the tolerance relative to their committed points
+# fails).
+#
+# Durability reports (detected via `"bench": "durability"`): the Strict file-ingest
+# rate is the hard gate — it is the number group commit exists to protect — and the
+# Buffered and in-memory rates gate softly the same way.  On top of the trajectory
+# gate, the *fresh* report must keep Strict within GUARD_STRICT_GAP of Buffered
+# (default 0.75x, i.e. Strict may give back at most 25% on a noisy CI box; the
+# committed trajectory itself records Strict within 10%).
 #
 # Usage: ci/bench_guard.sh <committed json> <fresh json> [<committed json> <fresh json>]...
 set -euo pipefail
@@ -24,6 +33,10 @@ fi
 # guard rot red.
 TOLERANCE="${BENCH_GUARD_TOLERANCE:-0.70}"
 
+# The fresh Strict rate must stay within this fraction of the fresh Buffered rate
+# (durability reports only).
+STRICT_GAP="${GUARD_STRICT_GAP:-0.75}"
+
 # The reports are written by gss_experiments::BenchReport: one result object per line,
 # so each sharded entry is grep-able without a JSON parser.
 extract() { # <file> <threads>
@@ -31,11 +44,61 @@ extract() { # <file> <threads>
     grep -o '"mitems_per_sec": [0-9.]*' | head -1 | grep -o '[0-9.]*$'
 }
 
+# Durability rows carry no threads field; they are keyed by name alone.
+extract_named() { # <file> <name>
+  grep -o "\"name\": \"$2\"[^}]*" "$1" |
+    grep -o '"mitems_per_sec": [0-9.]*' | head -1 | grep -o '[0-9.]*$'
+}
+
+# Gates fresh ≥ committed × tolerance; prints the comparison. Returns 1 on regression.
+gate() { # <label> <committed rate> <fresh rate>
+  echo "bench guard: $1 committed ${2} Mitems/s, fresh ${3} Mitems/s (tolerance ${TOLERANCE}x)"
+  awk -v a="$2" -v b="$3" -v t="$TOLERANCE" 'BEGIN { exit !(b + 0 >= a * t) }'
+}
+
 failures=0
 while [ "$#" -gt 0 ]; do
   baseline="$1"
   fresh="$2"
   shift 2
+  if grep -q '"bench": "durability"' "$fresh"; then
+    old=$(extract_named "$baseline" ingest_file_strict)
+    new=$(extract_named "$fresh" ingest_file_strict)
+    if [ -z "$old" ] || [ -z "$new" ]; then
+      echo "bench guard: could not extract strict ingest throughput from" \
+        "$baseline/$fresh (old='$old' new='$new')"
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! gate "[$fresh] strict file ingest" "$old" "$new"; then
+      echo "bench guard [$fresh]: Strict ingest regressed vs the committed trajectory"
+      failures=$((failures + 1))
+      continue
+    fi
+    # Buffered and memory rates: tracked, gated only against collapse.
+    for name in ingest_file_buffered ingest_memory; do
+      old_n=$(extract_named "$baseline" "$name")
+      new_n=$(extract_named "$fresh" "$name")
+      [ -z "$old_n" ] || [ -z "$new_n" ] && continue
+      if ! gate "[$fresh] $name" "$old_n" "$new_n"; then
+        echo "bench guard [$fresh]: $name collapsed vs the committed point"
+        failures=$((failures + 1))
+      fi
+    done
+    # Group commit's whole point: Strict must track Buffered, fresh-vs-fresh.
+    buffered=$(extract_named "$fresh" ingest_file_buffered)
+    if [ -n "$buffered" ]; then
+      echo "bench guard [$fresh]: strict ${new} vs buffered ${buffered} Mitems/s" \
+        "(floor ${STRICT_GAP}x)"
+      if ! awk -v s="$new" -v b="$buffered" -v g="$STRICT_GAP" \
+        'BEGIN { exit !(s + 0 >= b * g) }'; then
+        echo "bench guard [$fresh]: Strict fell below ${STRICT_GAP}x of Buffered —" \
+          "group commit is no longer absorbing the fsync cost"
+        failures=$((failures + 1))
+      fi
+    fi
+    continue
+  fi
   old=$(extract "$baseline" 1)
   new=$(extract "$fresh" 1)
   if [ -z "$old" ] || [ -z "$new" ]; then
@@ -44,9 +107,7 @@ while [ "$#" -gt 0 ]; do
     failures=$((failures + 1))
     continue
   fi
-  echo "bench guard [$fresh]: committed ${old} Mitems/s, fresh ${new} Mitems/s" \
-    "(tolerance ${TOLERANCE}x)"
-  if ! awk -v a="$old" -v b="$new" -v t="$TOLERANCE" 'BEGIN { exit !(b + 0 >= a * t) }'; then
+  if ! gate "[$fresh] single-thread sharded" "$old" "$new"; then
     echo "bench guard [$fresh]: single-thread ingest regressed more than $(awk \
       -v t="$TOLERANCE" 'BEGIN { printf "%d", (1 - t) * 100 }')% vs the committed trajectory"
     failures=$((failures + 1))
@@ -57,10 +118,7 @@ while [ "$#" -gt 0 ]; do
     old_mt=$(extract "$baseline" "$threads")
     new_mt=$(extract "$fresh" "$threads")
     [ -z "$old_mt" ] || [ -z "$new_mt" ] && continue
-    echo "bench guard [$fresh]: ${threads}-writer sharded committed ${old_mt}," \
-      "fresh ${new_mt} Mitems/s"
-    if ! awk -v a="$old_mt" -v b="$new_mt" -v t="$TOLERANCE" \
-      'BEGIN { exit !(b + 0 >= a * t) }'; then
+    if ! gate "[$fresh] ${threads}-writer sharded" "$old_mt" "$new_mt"; then
       echo "bench guard [$fresh]: ${threads}-writer ingest collapsed vs the committed point"
       failures=$((failures + 1))
     fi

@@ -9,6 +9,10 @@
 #   * threaded: 3 concurrent strict writers over a sharded sketch (one file + log per
 #               shard) — zero loss of any thread's acknowledged items, with the killed
 #               process's stale .lock sidecars reclaimed on reopen, and
+#   * group-commit: the threaded run under a deliberately wide group-commit window
+#               (50 ms / 4 MiB), so the kill lands mid-window with the cadence
+#               `fdatasync` still pending — strict acknowledgement is write()-based,
+#               so zero acknowledged loss must hold anyway, and
 #   * in all:   every recovered item's edge answers with at least its exact weight.
 #
 # Usage: ci/crash_matrix.sh [iterations-per-mode]   (default 3)
@@ -34,7 +38,7 @@ SEED="${CRASH_MATRIX_SEED:-$RANDOM}"
 echo "crash matrix: $ITERATIONS iterations per mode, seed $SEED"
 
 failures=0
-for mode in strict buffered threaded; do
+for mode in strict buffered threaded group-commit; do
   window=0
   ingest_cmd=ingest
   verify_cmd=verify
@@ -46,6 +50,11 @@ for mode in strict buffered threaded; do
       verify_cmd=verify-threaded
       durability=strict
       ;;
+    group-commit)
+      ingest_cmd=ingest-group
+      verify_cmd=verify-group
+      durability=strict
+      ;;
   esac
   for i in $(seq 1 "$ITERATIONS"); do
     sketch="$WORKDIR/crash-$mode-$i.gss"
@@ -53,7 +62,8 @@ for mode in strict buffered threaded; do
     # Kill offset in [0.30, 1.29] s: from "barely created" to "deep into the stream",
     # varied per mode and per iteration (and per run via the seed).
     delay=$(awk -v s="$SEED" -v i="$i" -v m="$mode" 'BEGIN {
-      srand(s * 31 + i * 7919 + (m == "buffered") * 104729 + (m == "threaded") * 611953);
+      srand(s * 31 + i * 7919 + (m == "buffered") * 104729 + (m == "threaded") * 611953 \
+        + (m == "group-commit") * 999331);
       rand();
       printf "%.2f", 0.30 + rand()
     }')
@@ -62,7 +72,7 @@ for mode in strict buffered threaded; do
     sleep "$delay"
     kill -9 "$pid" 2>/dev/null || true
     wait "$pid" 2>/dev/null || true
-    if [ "$mode" = threaded ]; then
+    if [ "$mode" = threaded ] || [ "$mode" = group-commit ]; then
       # The progress files carry no trailing newline: read each one separately.
       acknowledged=$(for f in "$progress".0 "$progress".1 "$progress".2; do
         cat "$f" 2>/dev/null; echo
@@ -92,4 +102,4 @@ if [ "$failures" -ne 0 ]; then
   echo "crash matrix: $failures failure(s)"
   exit 1
 fi
-echo "crash matrix: all $((3 * ITERATIONS)) kills recovered within their windows"
+echo "crash matrix: all $((4 * ITERATIONS)) kills recovered within their windows"

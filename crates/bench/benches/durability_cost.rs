@@ -4,8 +4,10 @@
 //! Two sweeps over one Zipf stream:
 //!
 //! * **Ingest throughput** — in-memory baseline vs the file backend under
-//!   `Durability::Strict` (write-ahead log drained per batch, synchronous write-back)
-//!   vs `Durability::Buffered` (batched log drains, background flusher thread).
+//!   `Durability::Strict` (write-ahead log drained per commit through the group-commit
+//!   coordinator, one cadence `fdatasync` per window) vs `Durability::Buffered`
+//!   (batched log drains, background flusher thread).  The cache is sized *below* the
+//!   room region, so page eviction and the flusher show up in the reported numbers.
 //! * **Recovery time vs WAL length** — Strict file sketches abandoned (crash-simulated)
 //!   at growing stream prefixes, then reopened through write-ahead-log replay; reports
 //!   the log length and the wall-clock cost of `GssSketch::open_file`, plus the clean
@@ -82,7 +84,13 @@ fn main() {
     let scale = gss_bench::bench_scale("durability_cost");
     let items = zipf_stream(stream_items(scale), 60_000, 0xD04A_B1E5);
     let config = GssConfig::paper_default(matrix_width(scale));
-    let cache_pages = scale.file_cache_pages();
+    // Cap the cache below the room region so eviction and the background flusher are
+    // actually exercised: with the whole matrix resident (smoke scale used to fit in
+    // `file_cache_pages()`), every run reported `pages_flushed: 0` and the "write-back"
+    // cost it claimed to measure never happened.
+    let room_pages = (config.width * config.width * config.rooms * gss_core::ROOM_RECORD_BYTES)
+        .div_ceil(gss_core::pager::PAGE_BYTES);
+    let cache_pages = scale.file_cache_pages().min(room_pages / 2).max(8);
     let mitems = |count: usize, seconds: f64| count as f64 / seconds / 1e6;
 
     let mut table = Table::new(
@@ -117,10 +125,14 @@ fn main() {
             format!("ingest file ({name})"),
             fmt_float(seconds),
             format!(
-                "{} Mitems/s, {} wal flushes, {} pages flushed",
+                "{} Mitems/s, {} wal flushes, {} pages flushed, \
+                 {} group commits ({} waited), {} fsyncs",
                 fmt_float(mitems(items.len(), seconds)),
                 stats.wal_flushes,
-                stats.pages_flushed
+                stats.pages_flushed,
+                stats.wal_group_commits,
+                stats.wal_group_waits,
+                stats.fsyncs
             ),
         ]);
         report.push(
@@ -130,6 +142,9 @@ fn main() {
                 ("mitems_per_sec", mitems(items.len(), seconds)),
                 ("wal_flushes", stats.wal_flushes as f64),
                 ("pages_flushed", stats.pages_flushed as f64),
+                ("wal_group_commits", stats.wal_group_commits as f64),
+                ("wal_group_waits", stats.wal_group_waits as f64),
+                ("fsyncs", stats.fsyncs as f64),
             ],
         );
     }

@@ -17,14 +17,16 @@
 
 use gss_core::{GssConfig, ShardedGss};
 use gss_datasets::{Xoshiro256, ZipfSampler};
-use gss_experiments::{fmt_float, storage_backend_from_env, BenchReport, ExperimentScale, Table};
+use gss_experiments::{
+    fmt_float, remove_run_files, storage_backend_from_env, BenchReport, ExperimentScale, Table,
+};
 use gss_graph::StreamEdge;
 use std::time::Instant;
 
 /// Writer-thread counts swept by the bench.
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Items handed to one `insert_batch` call per lock acquisition.
-const BATCH: usize = 512;
+const BATCH: usize = 1024;
 /// Timed repetitions per configuration (the minimum is reported).
 const REPEATS: usize = 3;
 
@@ -94,6 +96,11 @@ fn measure(
             items.len() as u64,
             "writers must not lose items"
         );
+        // Unlink this run's shard files before the next one starts: a deleted file's
+        // dirty pages are discarded, so finished repeats stop queueing kernel
+        // write-back behind the higher-thread-count configurations later in the sweep.
+        drop(sketch);
+        remove_run_files(&storage);
         best = best.min(elapsed);
     }
     best

@@ -20,8 +20,9 @@
 //! ```
 
 use crate::concurrent::ShardedGss;
-use crate::config::{Durability, GssConfig};
+use crate::config::{Durability, GroupCommit, GssConfig};
 use crate::error::ConfigError;
+use crate::group_commit::GroupCommitter;
 use crate::sketch::GssSketch;
 use crate::storage::StorageBackend;
 use std::path::PathBuf;
@@ -39,6 +40,7 @@ pub struct GssBuilder {
     storage: StorageBackend,
     durability: Durability,
     wal_checkpoint_bytes: u64,
+    group_commit: GroupCommit,
 }
 
 impl Default for GssBuilder {
@@ -55,6 +57,7 @@ impl GssBuilder {
             storage: StorageBackend::Memory,
             durability: Durability::Strict,
             wal_checkpoint_bytes: crate::config::WAL_CHECKPOINT_BYTES,
+            group_commit: GroupCommit::default(),
         }
     }
 
@@ -153,6 +156,17 @@ impl GssBuilder {
         self
     }
 
+    /// Scheduling knob of the write-ahead log's group-commit coordinator (default
+    /// [`GroupCommit::default`]: sync every 256 KiB of drained log or 2 ms, whichever
+    /// comes first).  A sharded build shares one coordinator across all shard logs, so
+    /// a single cadence `fdatasync` covers every shard that wrote in the window.
+    /// Zero in either field forces a sync on every drain round.  Ignored by the
+    /// in-memory backend.
+    pub fn group_commit(mut self, knob: GroupCommit) -> Self {
+        self.group_commit = knob;
+        self
+    }
+
     /// The configuration accumulated so far (not yet validated).
     pub fn config(&self) -> GssConfig {
         self.config
@@ -164,8 +178,12 @@ impl GssBuilder {
     /// Returns a [`ConfigError`] describing the first invalid knob, or carrying the I/O
     /// failure if a sketch file cannot be created.
     pub fn build(self) -> Result<GssSketch, ConfigError> {
-        let mut sketch =
-            GssSketch::with_storage_durability(self.config, self.storage, self.durability)?;
+        let mut sketch = GssSketch::with_storage_durability_grouped(
+            self.config,
+            self.storage,
+            self.durability,
+            GroupCommitter::new(self.group_commit),
+        )?;
         sketch.set_wal_checkpoint_bytes(self.wal_checkpoint_bytes);
         Ok(sketch)
     }
@@ -178,7 +196,13 @@ impl GssBuilder {
     /// Returns a [`ConfigError`] if the configuration is invalid, `shards == 0`, or a
     /// shard file cannot be created.
     pub fn build_sharded(self, shards: usize) -> Result<ShardedGss, ConfigError> {
-        ShardedGss::with_storage_durability(self.config, shards, &self.storage, self.durability)
+        ShardedGss::with_storage_durability_grouped(
+            self.config,
+            shards,
+            &self.storage,
+            self.durability,
+            self.group_commit,
+        )
     }
 
     /// Like [`build_sharded`](Self::build_sharded), but holds **total** matrix memory at
@@ -189,11 +213,12 @@ impl GssBuilder {
     /// Returns a [`ConfigError`] if the configuration is invalid, `shards == 0`, or a
     /// shard file cannot be created.
     pub fn build_sharded_equal_memory(self, shards: usize) -> Result<ShardedGss, ConfigError> {
-        ShardedGss::with_storage_equal_memory_durability(
+        ShardedGss::with_storage_equal_memory_durability_grouped(
             self.config,
             shards,
             &self.storage,
             self.durability,
+            self.group_commit,
         )
     }
 }
@@ -281,6 +306,28 @@ mod tests {
         let bad =
             GssSketch::builder().width(8).storage_file("/nonexistent-gss-dir/sketch.gss").build();
         assert!(bad.unwrap_err().to_string().contains("sketch file"));
+    }
+
+    #[test]
+    fn group_commit_knob_reaches_the_shard_log() {
+        let path =
+            std::env::temp_dir().join(format!("gss-builder-{}-group.gss", std::process::id()));
+        // A zero budget in either field forces a sync on every drain round, so two
+        // strict inserts must show up as (at least) two group commits and two fsyncs.
+        let mut sketch = GssSketch::builder()
+            .width(32)
+            .storage_file(&path)
+            .group_commit(GroupCommit { max_delay_us: 0, max_bytes: 0 })
+            .build()
+            .unwrap();
+        sketch.insert(1, 2, 1);
+        sketch.insert(3, 4, 1);
+        let stats = sketch.detailed_stats();
+        assert!(stats.wal_group_commits >= 2, "strict inserts lead drain rounds: {stats:?}");
+        assert!(stats.fsyncs >= 2, "zero budget must sync every round: {stats:?}");
+        drop(sketch);
+        std::fs::remove_file(crate::wal::wal_path(&path)).ok();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -35,8 +35,9 @@
 //! candidate probes and reduces buffer spills — the source of the ingest speed-up even
 //! without contention.
 
-use crate::config::{Durability, GssConfig};
+use crate::config::{Durability, GroupCommit, GssConfig};
 use crate::error::ConfigError;
+use crate::group_commit::GroupCommitter;
 use crate::pager::witness::{self, LockClass};
 use crate::sketch::GssSketch;
 use crate::stats::GssStats;
@@ -63,6 +64,10 @@ pub type ConcurrentGss = ShardedGss;
 pub struct ShardedGss {
     config: GssConfig,
     shards: Arc<Vec<RwLock<GssSketch>>>,
+    /// Per-shard lock-free commit acknowledgers (`None` for in-memory shards), captured
+    /// at construction so the batched two-phase commit's acknowledgement pass never
+    /// re-takes a shard lock.
+    ack_handles: Arc<Vec<Option<crate::file_store::WalAckHandle>>>,
 }
 
 impl ShardedGss {
@@ -102,16 +107,46 @@ impl ShardedGss {
         storage: &StorageBackend,
         durability: Durability,
     ) -> Result<Self, ConfigError> {
+        Self::with_storage_durability_grouped(
+            config,
+            shards,
+            storage,
+            durability,
+            GroupCommit::default(),
+        )
+    }
+
+    /// [`with_storage_durability`](Self::with_storage_durability) with an explicit
+    /// group-commit knob.  All shard logs register with **one** coordinator, so a single
+    /// cadence `fdatasync` covers every shard that wrote since the last one — N writer
+    /// threads share one fsync schedule instead of paying one each.
+    ///
+    /// # Errors
+    /// As [`with_storage`](Self::with_storage).
+    pub fn with_storage_durability_grouped(
+        config: GssConfig,
+        shards: usize,
+        storage: &StorageBackend,
+        durability: Durability,
+        group_commit: GroupCommit,
+    ) -> Result<Self, ConfigError> {
         if shards == 0 {
             return Err(ConfigError::new("need at least one shard"));
         }
+        let group = GroupCommitter::new(group_commit);
         let shards = (0..shards)
             .map(|index| {
-                GssSketch::with_storage_durability(config, storage.for_shard(index), durability)
-                    .map(RwLock::new)
+                GssSketch::with_storage_durability_grouped(
+                    config,
+                    storage.for_shard(index),
+                    durability,
+                    Arc::clone(&group),
+                )
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { config, shards: Arc::new(shards) })
+        let ack_handles = shards.iter().map(GssSketch::wal_ack_handle).collect();
+        let shards = shards.into_iter().map(RwLock::new).collect();
+        Ok(Self { config, shards: Arc::new(shards), ack_handles: Arc::new(ack_handles) })
     }
 
     /// Checkpoints every file-backed shard ([`GssSketch::sync`]), taking each shard's
@@ -172,8 +207,30 @@ impl ShardedGss {
         storage: &StorageBackend,
         durability: Durability,
     ) -> Result<Self, ConfigError> {
+        Self::with_storage_equal_memory_durability_grouped(
+            config,
+            shards,
+            storage,
+            durability,
+            GroupCommit::default(),
+        )
+    }
+
+    /// [`with_storage_equal_memory_durability`](Self::with_storage_equal_memory_durability)
+    /// with an explicit group-commit knob (see
+    /// [`with_storage_durability_grouped`](Self::with_storage_durability_grouped)).
+    ///
+    /// # Errors
+    /// As [`with_storage`](Self::with_storage).
+    pub fn with_storage_equal_memory_durability_grouped(
+        config: GssConfig,
+        shards: usize,
+        storage: &StorageBackend,
+        durability: Durability,
+        group_commit: GroupCommit,
+    ) -> Result<Self, ConfigError> {
         let per_shard = GssConfig { width: config.equal_memory_width(shards), ..config };
-        Self::with_storage_durability(per_shard, shards, storage, durability)
+        Self::with_storage_durability_grouped(per_shard, shards, storage, durability, group_commit)
     }
 
     /// Builds a sharded sketch with one shard per available CPU (capped at 16).
@@ -189,7 +246,8 @@ impl ShardedGss {
     /// Wraps an existing sketch as a single-shard (single-lock) handle.
     pub fn from_sketch(sketch: GssSketch) -> Self {
         let config = *sketch.config();
-        Self { config, shards: Arc::new(vec![RwLock::new(sketch)]) }
+        let ack_handles = Arc::new(vec![sketch.wal_ack_handle()]);
+        Self { config, shards: Arc::new(vec![RwLock::new(sketch)]), ack_handles }
     }
 
     /// The configuration every shard was built with.
@@ -234,10 +292,51 @@ impl ShardedGss {
         for item in items {
             per_shard[self.shard_index(item.source)].push(*item);
         }
-        for (shard, sub_batch) in self.shards.iter().zip(&per_shard) {
-            if !sub_batch.is_empty() {
-                let _shard_held = witness::acquire(LockClass::Shard);
-                shard.write().insert_batch(sub_batch);
+        // Two-phase commit across the shards: stage every sub-batch (mutations plus
+        // commit frame) first, acknowledge second.  By the time the acknowledgement
+        // pass runs, drain rounds led by concurrent writers have usually covered the
+        // earlier shards' log bytes, so most acknowledgements return on the
+        // coordinator's already-drained fast path instead of each leading a small
+        // drain round of its own — the per-call round count stops scaling with the
+        // shard count.  The acknowledgement pass runs through the lock-free per-shard
+        // handles, so it never re-takes a shard lock.
+        // Rotation striping: each call starts its shard sweep at a different offset, so
+        // concurrent writers work distinct shards instead of convoying head-of-line on
+        // shard 0, 1, … in lockstep (acute when writer threads outnumber cores and a
+        // preempted lock holder stalls every follower).
+        static SWEEP_OFFSET: std::sync::atomic::AtomicUsize =
+            std::sync::atomic::AtomicUsize::new(0);
+        // relaxed: only the spread of starting offsets matters, not ordering.
+        let start = SWEEP_OFFSET.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut pending: Vec<usize> = (0..self.shards.len())
+            .map(|step| (start + step) % self.shards.len())
+            .filter(|&index| !per_shard[index].is_empty())
+            .collect();
+        let mut acks: Vec<(usize, crate::file_store::WalAck)> = Vec::with_capacity(pending.len());
+        // Opportunistic sweep first: take whichever shard locks are free right now, so a
+        // writer never parks behind a peer while another shard's sub-batch could
+        // proceed.  Whatever stays contended is processed blocking afterwards.
+        pending.retain(|&index| {
+            let _shard_held = witness::acquire(LockClass::Shard);
+            match self.shards[index].try_write() {
+                Some(mut shard) => {
+                    if let Some(ack) = shard.insert_batch_deferred(&per_shard[index]) {
+                        acks.push((index, ack));
+                    }
+                    false
+                }
+                None => true,
+            }
+        });
+        for index in pending {
+            let _shard_held = witness::acquire(LockClass::Shard);
+            if let Some(ack) = self.shards[index].write().insert_batch_deferred(&per_shard[index]) {
+                acks.push((index, ack));
+            }
+        }
+        for (index, ack) in acks {
+            if let Some(handle) = &self.ack_handles[index] {
+                handle.ack(ack);
             }
         }
     }
@@ -292,6 +391,9 @@ impl ShardedGss {
             total.colliding_hashes += stats.colliding_hashes;
             total.wal_bytes += stats.wal_bytes;
             total.wal_flushes += stats.wal_flushes;
+            total.wal_group_commits += stats.wal_group_commits;
+            total.wal_group_waits += stats.wal_group_waits;
+            total.fsyncs += stats.fsyncs;
             total.pages_flushed += stats.pages_flushed;
             total.checkpoints += stats.checkpoints;
             total.page_lookups += stats.page_lookups;
@@ -339,6 +441,7 @@ impl ShardedGss {
     /// Returns `self` unchanged when other handles still exist.
     pub fn try_into_inner(self) -> Result<GssSketch, Self> {
         let config = self.config;
+        let ack_handles = self.ack_handles;
         match Arc::try_unwrap(self.shards) {
             Ok(shards) => {
                 let mut sketches = shards.into_iter().map(RwLock::into_inner);
@@ -348,7 +451,7 @@ impl ShardedGss {
                 let sketches: Vec<GssSketch> = sketches.collect();
                 Ok(Self::merge_sketches(config, &sketches))
             }
-            Err(shards) => Err(Self { config, shards }),
+            Err(shards) => Err(Self { config, shards, ack_handles }),
         }
     }
 
@@ -360,6 +463,7 @@ impl ShardedGss {
     /// Returns `self` unchanged when other handles still exist (they could still write).
     pub fn abandon(self) -> Result<(), Self> {
         let config = self.config;
+        let ack_handles = self.ack_handles;
         match Arc::try_unwrap(self.shards) {
             Ok(shards) => {
                 for shard in shards {
@@ -367,7 +471,7 @@ impl ShardedGss {
                 }
                 Ok(())
             }
-            Err(shards) => Err(Self { config, shards }),
+            Err(shards) => Err(Self { config, shards, ack_handles }),
         }
     }
 }

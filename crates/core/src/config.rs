@@ -70,6 +70,36 @@ pub enum Durability {
 /// ~30 bytes per stream item this is no more than ~2200 items.
 pub const WAL_BUFFER_BYTES: usize = 64 * 1024;
 
+/// Scheduling knob of the group-commit coordinator (see [`crate::group_commit`]).
+///
+/// Every drained write-ahead-log arena is counted against this budget; the coordinator's
+/// cadence thread sweeps on the delay window (woken early when the byte budget trips),
+/// issuing one `fdatasync` per member log with unsynced bytes — one sweep covers every
+/// batch drained in the window, off the commit path.  Smaller values tighten the
+/// power-loss staleness bound at the cost of more syncs; zero in either field forces a
+/// synchronous sweep on every drain round (classic per-commit fsync).
+///
+/// Like [`Durability`] this is a runtime knob — never persisted, and a file written
+/// under one setting reopens under any other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupCommit {
+    /// Maximum microseconds between log syncs while commits are flowing.
+    pub max_delay_us: u64,
+    /// Drained log bytes that force a sync before the delay elapses.
+    pub max_bytes: u64,
+}
+
+impl Default for GroupCommit {
+    /// 20 ms / 256 KiB: at ~250 µs per `fdatasync`, an eight-shard `ShardedGss` costs
+    /// ~2 ms per sweep, so a window an order of magnitude wider keeps the sweep duty
+    /// cycle (and the filesystem-journal commits each sync forces, which stall
+    /// concurrent log appends) down around 10% while the power-loss staleness bound
+    /// stays far below the ~100 ms journal cadences common in document stores.
+    fn default() -> Self {
+        Self { max_delay_us: 20_000, max_bytes: 256 * 1024 }
+    }
+}
+
 /// Default write-ahead-log size at which a file-backed sketch checkpoints itself
 /// automatically (at the next insert/batch boundary), bounding both sidecar-log disk use
 /// and crash-recovery replay time for long runs that never call `sync` explicitly.

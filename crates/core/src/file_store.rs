@@ -17,10 +17,13 @@
 //! latch — hits on distinct pages touch no common lock, and faults on distinct stripes
 //! overlap their disk reads.  Mutation stays `&mut self` (one writer per store; sharded
 //! ingest gives each shard its own store), and the write-ahead log has its own append
-//! mutex so logging never serializes page access.  The occupancy index uses atomic
-//! bitmap words ([`AtomicOccupancyIndex`]) so the writer marks buckets while readers
-//! scan.  See [`crate::pager`] for the full lock map; the one global rule is that the
-//! WAL append mutex is never held while taking a page-table stripe mutex.
+//! mutex so logging never serializes page access — frames are encoded outside that
+//! mutex and drained by the group-commit coordinator ([`crate::group_commit`]), which
+//! double-buffers the pending arena so the positioned log write runs outside every
+//! lock.  The occupancy index uses atomic bitmap words ([`AtomicOccupancyIndex`]) so
+//! the writer marks buckets while readers scan.  See [`crate::pager`] for the full lock
+//! map; the one global rule is that the WAL append mutex is never held while taking a
+//! page-table stripe mutex (the full order is `stripe ≺ latch ≺ group ≺ wal`).
 //!
 //! ## File layout (format v2, magic `GSSFILE\x02`)
 //!
@@ -58,6 +61,9 @@
 //! returns and writes evicted pages back synchronously (zero acknowledged-item loss);
 //! `Buffered` batches log drains ([`WAL_BUFFER_BYTES`]) and moves page write-back onto
 //! the background flusher thread (bounded queue, barriered by checkpoint and drop).
+//! Both route their drains through the group-commit coordinator, which additionally
+//! `fdatasync`s the log on the [`GroupCommit`] cadence — bounding how far a power loss
+//! (not just a process kill) can rewind the stream.
 //!
 //! Checkpoints are **incremental**: the buffer and node tail sections carry generation
 //! stamps, and a checkpoint rewrites only the sections whose generation moved (plus the
@@ -78,11 +84,12 @@
 //! path panic with a descriptive message — the trait is infallible by design because the
 //! in-memory backend is; construction, open and sync report errors properly.
 
-use crate::config::{Durability, GssConfig, WAL_BUFFER_BYTES};
+use crate::config::{Durability, GroupCommit, GssConfig, WAL_BUFFER_BYTES};
+use crate::group_commit::{GroupCommitter, WalMember, WalState};
 use crate::matrix::Room;
 use crate::pager::flusher::Flusher;
 use crate::pager::lock_file::LockFile;
-use crate::pager::page_cache::{PageCache, PageIo};
+use crate::pager::page_cache::{PageCache, PageCursor, PageIo};
 use crate::pager::page_file::PageFile;
 use crate::pager::witness::{self, LockClass};
 use crate::pager::{page_offset, HEADER_BYTES};
@@ -91,7 +98,7 @@ use crate::storage::{
     decode_config, decode_room, dense_scan, encode_config, encode_room, AtomicOccupancyIndex,
     BucketProbe, OccupancyIndex, RoomStore, CONFIG_BYTES, ROOM_OCCUPIED_BYTE, ROOM_RECORD_BYTES,
 };
-use crate::wal::{crc32, read_replay, wal_path, WalWriter};
+use crate::wal::{self, crc32, read_replay, wal_path, WalWriter};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -154,6 +161,11 @@ pub struct FileHeader {
 /// a crash at exactly that boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlushPoint {
+    /// A group-commit drain swapped the pending arena out under the append mutex; the
+    /// positioned write of the taken frames into the log file has not started yet.
+    /// A kill here loses the whole swapped window — which must therefore contain no
+    /// acknowledged commit.
+    WalArenaSwap,
     /// Pending write-ahead-log frames were appended to the log file.
     WalFlush,
     /// A dirty page was written back to the room region (foreground writes only).
@@ -216,15 +228,56 @@ pub struct DurabilityStats {
     pub tail_bytes_written: u64,
     /// Completed checkpoints.
     pub checkpoints: u64,
+    /// Group-commit drain rounds this store's committers led.
+    pub wal_group_commits: u64,
+    /// Commits that parked behind another in-flight drain round instead of leading
+    /// their own (each shared the leader's drain and sync).
+    pub wal_group_waits: u64,
+    /// Sync (`fdatasync`) calls issued against the write-ahead log file.
+    pub wal_fsyncs: u64,
 }
 
-/// Write-ahead-log state behind its own append mutex: the writer plus the header's clean
-/// flag, which transitions exactly with log activity (first frame after a checkpoint
-/// clears it, checkpoint completion sets it).
-struct WalState {
-    writer: WalWriter,
-    /// Mirrors the header's clean flag so it is only rewritten on transitions.
-    clean: bool,
+/// The deferred half of a two-phase commit: [`FileStore::log_commit_deferred`] appends
+/// the commit frame and returns this token; [`FileStore::ack_commit`] consumes it to
+/// apply the durability policy.  Multi-shard batches append every shard's frame before
+/// acknowledging any of them, so concurrent drain rounds cover each other's bytes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WalAck {
+    /// Log bytes that must be drained before the commit is acknowledged.
+    target: u64,
+    /// Pending (undrained) log bytes at append time — decides whether a
+    /// [`Durability::Buffered`] store drains early.
+    pending: usize,
+}
+
+/// A lock-free acknowledger for one store's deferred commits: the durability policy plus
+/// `Arc`s to the group-commit coordinator and the store's log membership — everything
+/// [`FileStore::ack_commit`] touches, none of it behind the sketch lock.  The sharded
+/// batch path captures one per shard at construction so its acknowledgement pass never
+/// re-takes a shard lock.
+#[derive(Clone)]
+pub(crate) struct WalAckHandle {
+    durability: Durability,
+    group: Arc<GroupCommitter>,
+    wal: Arc<WalMember>,
+}
+
+impl std::fmt::Debug for WalAckHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalAckHandle").field("durability", &self.durability).finish_non_exhaustive()
+    }
+}
+
+impl WalAckHandle {
+    /// [`FileStore::ack_commit`] through the handle.  Hot-path I/O failures panic by the
+    /// storage contract, exactly as they do through the store.
+    pub(crate) fn ack(&self, ack: WalAck) {
+        if self.durability == Durability::Strict || ack.pending >= WAL_BUFFER_BYTES {
+            self.group
+                .commit(&self.wal, ack.target)
+                .unwrap_or_else(|error| panic!("write-ahead-log group commit failed: {error}"));
+        }
+    }
 }
 
 /// Checkpoint bookkeeping, serialized by its own mutex (checkpoints are rare and already
@@ -260,11 +313,17 @@ pub struct FileStore {
     /// Set by [`FileStore::abandon`]: drop will not drain the background queue, leaving
     /// the file exactly as a `SIGKILL` would.
     abandoned: AtomicBool,
-    /// The write-ahead room log and clean flag (see [`crate::wal`]).  Never held while
-    /// taking a page-table stripe mutex.
-    wal: Mutex<WalState>,
-    /// Injectable durability-point observer (kill-point tests).  Leaf lock.
-    hook: Mutex<Option<FlushHook>>,
+    /// The write-ahead room log, clean flag and drain arenas (see [`crate::wal`] and
+    /// [`crate::group_commit`]).  Its append mutex is never held while taking a
+    /// page-table stripe mutex.
+    wal: Arc<WalMember>,
+    /// Group-commit coordinator scheduling this store's log drains and syncs; the
+    /// shards of a [`ShardedGss`](crate::ShardedGss) share one.
+    group: Arc<GroupCommitter>,
+    /// Pinned-page write cursor: consecutive room writes landing on the same page skip
+    /// the stripe-map probe (batch ingest sorts its writes by page to maximise runs).
+    /// Taken only on the single-writer mutation path, never by readers.
+    write_cursor: Mutex<PageCursor>,
     sync_state: Mutex<SyncState>,
     /// Background write-back thread ([`Durability::Buffered`] only).
     flusher: Option<Flusher>,
@@ -328,12 +387,31 @@ impl FileStore {
         Self::create_durable(path, config, cache_pages, Durability::Strict)
     }
 
-    /// [`create`](Self::create) with an explicit durability policy.
+    /// [`create`](Self::create) with an explicit durability policy (private group-commit
+    /// coordinator with the default [`GroupCommit`] cadence).
     pub fn create_durable(
         path: &Path,
         config: &GssConfig,
         cache_pages: usize,
         durability: Durability,
+    ) -> io::Result<Self> {
+        Self::create_durable_grouped(
+            path,
+            config,
+            cache_pages,
+            durability,
+            GroupCommitter::new(GroupCommit::default()),
+        )
+    }
+
+    /// [`create_durable`](Self::create_durable) registering the new store's log with a
+    /// shared group-commit coordinator (sharded stores pool their fsync scheduling).
+    pub fn create_durable_grouped(
+        path: &Path,
+        config: &GssConfig,
+        cache_pages: usize,
+        durability: Durability,
+        group: Arc<GroupCommitter>,
     ) -> io::Result<Self> {
         // Claim the single-opener lock before truncating anything: a create aimed at a
         // live sketch file must fail without destroying it.
@@ -378,6 +456,8 @@ impl FileStore {
             Durability::Strict => None,
             Durability::Buffered => Some(Flusher::spawn(Arc::clone(&file))?),
         };
+        let wal = WalMember::new(wal, true);
+        group.register(&wal);
         Ok(Self {
             path: path.to_path_buf(),
             width,
@@ -390,8 +470,9 @@ impl FileStore {
             occupied_rooms: AtomicUsize::new(0),
             pages_written: AtomicU64::new(0),
             abandoned: AtomicBool::new(false),
-            wal: Mutex::new(WalState { writer: wal, clean: true }),
-            hook: Mutex::new(None),
+            wal,
+            group,
+            write_cursor: Mutex::new(PageCursor::default()),
             sync_state: Mutex::new(SyncState { synced, tail_bytes_written: 0, checkpoints: 0 }),
             flusher,
             _lock: lock,
@@ -411,11 +492,28 @@ impl FileStore {
         Self::open_durable(path, cache_pages, Durability::Strict)
     }
 
-    /// [`open`](Self::open) with an explicit durability policy for the reopened store.
+    /// [`open`](Self::open) with an explicit durability policy for the reopened store
+    /// (private group-commit coordinator with the default [`GroupCommit`] cadence).
     pub fn open_durable(
         path: &Path,
         cache_pages: usize,
         durability: Durability,
+    ) -> Result<(Self, FileHeader), PersistenceError> {
+        Self::open_durable_grouped(
+            path,
+            cache_pages,
+            durability,
+            GroupCommitter::new(GroupCommit::default()),
+        )
+    }
+
+    /// [`open_durable`](Self::open_durable) registering the reopened store's log with a
+    /// shared group-commit coordinator (sharded stores pool their fsync scheduling).
+    pub fn open_durable_grouped(
+        path: &Path,
+        cache_pages: usize,
+        durability: Durability,
+        group: Arc<GroupCommitter>,
     ) -> Result<(Self, FileHeader), PersistenceError> {
         let lock = LockFile::acquire(path)?;
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
@@ -464,6 +562,7 @@ impl FileStore {
                 synced,
                 cache_pages,
                 durability,
+                group,
                 lock,
             );
         }
@@ -535,6 +634,7 @@ impl FileStore {
             index,
             wal,
             synced,
+            group,
             lock,
         )?;
         Ok((store, FileHeader { config, items_inserted, tail, recovered: false }))
@@ -552,6 +652,7 @@ impl FileStore {
         synced: SyncedTail,
         cache_pages: usize,
         durability: Durability,
+        group: Arc<GroupCommitter>,
         lock: LockFile,
     ) -> Result<(Self, FileHeader), PersistenceError> {
         let log = wal_path(path);
@@ -629,6 +730,7 @@ impl FileStore {
             index,
             wal,
             synced,
+            group,
             lock,
         )?;
         // Checkpoint the recovered state: tail rewritten whole, header counts re-derived,
@@ -665,6 +767,7 @@ impl FileStore {
         index: AtomicOccupancyIndex,
         wal: WalWriter,
         synced: SyncedTail,
+        group: Arc<GroupCommitter>,
         lock: LockFile,
     ) -> Result<Self, PersistenceError> {
         let file = Arc::new(PageFile::new(file));
@@ -674,6 +777,8 @@ impl FileStore {
                 Some(Flusher::spawn(Arc::clone(&file)).map_err(PersistenceError::from)?)
             }
         };
+        let wal = WalMember::new(wal, clean);
+        group.register(&wal);
         Ok(Self {
             path: path.to_path_buf(),
             width: config.width,
@@ -686,8 +791,9 @@ impl FileStore {
             occupied_rooms: AtomicUsize::new(occupied_rooms),
             pages_written: AtomicU64::new(0),
             abandoned: AtomicBool::new(false),
-            wal: Mutex::new(WalState { writer: wal, clean }),
-            hook: Mutex::new(None),
+            wal,
+            group,
+            write_cursor: Mutex::new(PageCursor::default()),
             sync_state: Mutex::new(SyncState { synced, tail_bytes_written: 0, checkpoints: 0 }),
             flusher,
             _lock: lock,
@@ -744,7 +850,7 @@ impl FileStore {
     /// Installs (or clears) the durability-point observer used by kill-point tests.
     pub fn set_flush_hook(&self, hook: Option<FlushHook>) {
         let _hook_held = witness::acquire(LockClass::Hook);
-        *self.hook.lock() = hook;
+        *self.wal.hook.lock() = hook;
     }
 
     /// Marks the store as crash-simulated: drop will neither drain the background queue
@@ -780,10 +886,7 @@ impl FileStore {
     /// Invokes the installed flush hook, if any.  The hook mutex is a leaf lock: safe to
     /// fire while holding the WAL mutex or a stripe mutex.
     fn fire(&self, point: FlushPoint) {
-        let _hook_held = witness::acquire(LockClass::Hook);
-        if let Some(hook) = self.hook.lock().as_mut() {
-            hook(point);
-        }
+        self.wal.fire(point);
     }
 
     /// Clears the header's clean flag on the first mutation after a checkpoint.  Every
@@ -799,22 +902,13 @@ impl FileStore {
         Ok(())
     }
 
-    /// Drains pending write-ahead-log frames to the log file under an already-held
-    /// append lock.
-    fn drain_wal_locked(&self, wal: &mut WalState) -> io::Result<()> {
-        if wal.writer.pending_bytes() > 0 {
-            wal.writer.flush()?;
-            self.fire(FlushPoint::WalFlush);
-        }
-        Ok(())
-    }
-
     /// Drains pending write-ahead-log frames — the write-ahead barrier every page
-    /// write-back must pass first.  Self-contained (takes and releases the append lock),
-    /// so callers holding a stripe mutex never pin the WAL lock across page traffic.
+    /// write-back must pass first.  Routed through the group-commit coordinator so the
+    /// drain serializes with in-flight rounds; no sync is forced, because the
+    /// write-ahead invariant only needs the frames in the log *image* before the page
+    /// image changes.
     fn drain_wal(&self) -> io::Result<()> {
-        let _wal_held = witness::acquire(LockClass::WalAppend);
-        self.drain_wal_locked(&mut self.wal.lock())
+        self.group.barrier(&self.wal)
     }
 
     /// Reads the room at flat index `index` through the cache.
@@ -829,18 +923,25 @@ impl FileStore {
     }
 
     /// Writes the room at flat index `index` through the cache: logs the full post-write
-    /// record to the write-ahead log (under the append lock, released before any page
-    /// work), then updates the page under its write latch and marks it dirty.
+    /// record to the write-ahead log (frame encoded and checksummed *before* taking the
+    /// append lock, which covers only the arena append), then updates the page under
+    /// its write latch and marks it dirty.  Page lookup goes through the pinned write
+    /// cursor: consecutive writes to the same page skip the stripe-map probe, which is
+    /// what batch ingest's page-ordered writes are sorted for.
     fn write_room(&self, index: usize, room: &Room) -> io::Result<()> {
         let record = encode_room(room);
+        let frame = wal::room_frame(index as u64, &record);
         {
             let _wal_held = witness::acquire(LockClass::WalAppend);
-            let mut wal = self.wal.lock();
-            wal.writer.log_room(index as u64, &record);
+            let mut wal = self.wal.wal.lock();
+            wal.writer.append_encoded(&frame);
             self.mark_unclean_locked(&mut wal)?;
         }
         let byte = index * ROOM_RECORD_BYTES;
-        let slot = self.cache.lookup((byte / PAGE_BYTES) as u64, self)?;
+        let slot = {
+            let mut cursor = self.write_cursor.lock();
+            self.cache.lookup_with(&mut cursor, (byte / PAGE_BYTES) as u64, self)?
+        };
         let mut data = self.cache.write(&slot);
         let offset = byte % PAGE_BYTES;
         data[offset..offset + ROOM_RECORD_BYTES].copy_from_slice(&record);
@@ -907,9 +1008,10 @@ impl FileStore {
     /// Logs a left-over buffer insertion to the write-ahead log (the buffer itself lives
     /// in the sketch, not in room storage — only its durability passes through here).
     pub(crate) fn log_buffer_insert(&self, source: u64, destination: u64, weight: i64) {
+        let frame = wal::buffer_frame(source, destination, weight);
         let wal_held = witness::acquire(LockClass::WalAppend);
-        let mut wal = self.wal.lock();
-        wal.writer.log_buffer(source, destination, weight);
+        let mut wal = self.wal.wal.lock();
+        wal.writer.append_encoded(&frame);
         let result = self.mark_unclean_locked(&mut wal);
         drop(wal);
         drop(wal_held);
@@ -918,38 +1020,65 @@ impl FileStore {
 
     /// Logs a `⟨H(v), v⟩` registration to the write-ahead log.
     pub(crate) fn log_node(&self, hash: u64, vertex: u64) {
+        let frame = wal::node_frame(hash, vertex);
         let wal_held = witness::acquire(LockClass::WalAppend);
-        let mut wal = self.wal.lock();
-        wal.writer.log_node(hash, vertex);
+        let mut wal = self.wal.wal.lock();
+        wal.writer.append_encoded(&frame);
         let result = self.mark_unclean_locked(&mut wal);
         drop(wal);
         drop(wal_held);
         self.io_fail(result);
     }
 
-    /// Logs the completion of an insert/batch and applies the durability policy: under
-    /// [`Durability::Strict`] the log drains before this returns (the acknowledged items
-    /// are now crash-safe); under [`Durability::Buffered`] it drains once the pending
-    /// buffer exceeds [`WAL_BUFFER_BYTES`].  Returns the total log bytes so the sketch
-    /// can trigger an automatic checkpoint when the log grows past its bound.
-    pub(crate) fn log_commit(&self, items: u64) -> u64 {
+    /// Logs the completion of an insert/batch: appends the commit frame and marks the
+    /// header unclean (a drained log behind a still-clean header would be discarded on
+    /// reopen), with the append lock released before any I/O so encoding, the log write
+    /// and the sync all run outside it.  Returns the total log bytes — so the sketch
+    /// can trigger an automatic checkpoint when the log grows past its bound — plus the
+    /// [`WalAck`] token [`ack_commit`](Self::ack_commit) consumes to apply the
+    /// durability policy.  A multi-shard batch appends every shard's frame before
+    /// acknowledging any of them, so drain rounds led by concurrent writers cover the
+    /// earlier shards' bytes and most acknowledgements return on the coordinator's
+    /// already-drained fast path instead of leading a small round each.
+    pub(crate) fn log_commit_deferred(&self, items: u64) -> (u64, WalAck) {
+        let frame = wal::commit_frame(items);
         let wal_held = witness::acquire(LockClass::WalAppend);
-        let mut wal = self.wal.lock();
+        let mut wal = self.wal.wal.lock();
         let result = (|| {
-            wal.writer.log_commit(items);
+            wal.writer.append_encoded(&frame);
             // Unclean-before-drain: a drained log behind a still-clean header would be
             // discarded on reopen, losing the items this commit acknowledges.
             self.mark_unclean_locked(&mut wal)?;
-            if self.durability == Durability::Strict
-                || wal.writer.pending_bytes() >= WAL_BUFFER_BYTES
-            {
-                self.drain_wal_locked(&mut wal)?;
-            }
-            Ok(wal.writer.bytes())
+            Ok((wal.writer.bytes(), wal.writer.appended_bytes(), wal.writer.pending_bytes()))
         })();
         drop(wal);
         drop(wal_held);
-        self.io_fail(result)
+        let (bytes, target, pending) = self.io_fail(result);
+        (bytes, WalAck { target, pending })
+    }
+
+    /// The acknowledgement half of a commit appended by
+    /// [`log_commit_deferred`](Self::log_commit_deferred): under [`Durability::Strict`]
+    /// the commit's frames are in the log file before this returns (the acknowledged
+    /// items are now crash-safe); under [`Durability::Buffered`] the drain waits until
+    /// the pending buffer exceeds [`WAL_BUFFER_BYTES`].  Both drain through the
+    /// group-commit coordinator — concurrent shard commits share one drain round and
+    /// one sync cadence.
+    pub(crate) fn ack_commit(&self, ack: WalAck) {
+        if self.durability == Durability::Strict || ack.pending >= WAL_BUFFER_BYTES {
+            let committed = self.group.commit(&self.wal, ack.target);
+            self.io_fail(committed);
+        }
+    }
+
+    /// A [`WalAckHandle`] for this store — acknowledges deferred commits without the
+    /// sketch lock held.
+    pub(crate) fn ack_handle(&self) -> WalAckHandle {
+        WalAckHandle {
+            durability: self.durability,
+            group: Arc::clone(&self.group),
+            wal: Arc::clone(&self.wal),
+        }
     }
 
     /// Flushes every dirty page to the file (pages stay cached, now clean), draining the
@@ -987,9 +1116,10 @@ impl FileStore {
     pub fn durability_stats(&self) -> DurabilityStats {
         let (wal_bytes, wal_flushes) = {
             let _wal_held = witness::acquire(LockClass::WalAppend);
-            let wal = self.wal.lock();
+            let wal = self.wal.wal.lock();
             (wal.writer.bytes(), wal.writer.flushes())
         };
+        let (wal_group_commits, wal_group_waits, wal_fsyncs) = self.wal.counters();
         let _sync_held = witness::acquire(LockClass::CheckpointState);
         let sync = self.sync_state.lock();
         DurabilityStats {
@@ -1000,6 +1130,9 @@ impl FileStore {
             background_write_batches: self.flusher.as_ref().map_or(0, Flusher::write_batches),
             tail_bytes_written: sync.tail_bytes_written,
             checkpoints: sync.checkpoints,
+            wal_group_commits,
+            wal_group_waits,
+            wal_fsyncs,
         }
     }
 
@@ -1105,7 +1238,7 @@ impl FileStore {
         let synced = sync.synced;
         {
             let _wal_held = witness::acquire(LockClass::WalAppend);
-            let wal = self.wal.lock();
+            let wal = self.wal.wal.lock();
             if wal.clean
                 && wal.writer.is_empty()
                 && sections.buffer.is_none()
@@ -1137,10 +1270,17 @@ impl FileStore {
         //    tail write below and the final header update must leave the file routed
         //    through recovery, never accepted with a torn tail.
         {
+            // The drain token waits out any in-flight group drain before the TAIL
+            // frame is appended and synced: an overlapping arena write completing
+            // *after* this sync would leave a hole in the synced log image in front of
+            // the TAIL, hiding it from replay while step 4 overwrites the file tail.
+            let _drains_excluded = self.group.exclusive(&self.wal);
             let _wal_held = witness::acquire(LockClass::WalAppend);
-            let mut wal = self.wal.lock();
+            let mut wal = self.wal.wal.lock();
             wal.writer.log_tail(items, sections.buffer, sections.node);
+            let pending = wal.writer.pending_bytes() as u64;
             wal.writer.sync()?;
+            self.wal.note_synced_locked(pending);
             self.fire(FlushPoint::WalFlush);
             let was_clean = wal.clean;
             self.mark_unclean_locked(&mut wal)?;
@@ -1187,11 +1327,15 @@ impl FileStore {
         self.file.sync_all()?;
         {
             let _wal_held = witness::acquire(LockClass::WalAppend);
-            let mut wal = self.wal.lock();
+            let mut wal = self.wal.wal.lock();
             wal.clean = true;
             sync.checkpoints += 1;
             self.fire(FlushPoint::CheckpointDone);
-            // 6. Every logged frame is now covered by the checkpoint.
+            // 6. Every logged frame is now covered by the checkpoint.  No drain can be
+            //    in flight here: the pending arena has been empty since step 1-2
+            //    (checkpoints run with no concurrent mutators), so any group round
+            //    since then took nothing.
+            debug_assert_eq!(wal.writer.pending_bytes(), 0, "mutation during checkpoint");
             wal.writer.truncate()?;
         }
         sync.synced = SyncedTail {
@@ -1235,6 +1379,9 @@ impl FileStore {
 /// leaving the file exactly as a crash would.
 impl Drop for FileStore {
     fn drop(&mut self) {
+        // Leave the shared group-commit coordinator (sharded stores outlive each
+        // other): the sync cadence must stop sweeping this store's log file.
+        self.group.deregister(&self.wal);
         if let Some(mut flusher) = self.flusher.take() {
             // relaxed: drop has exclusive access; the flag cannot race anything.
             flusher.shutdown(self.abandoned.load(Ordering::Relaxed));
@@ -1505,7 +1652,8 @@ mod tests {
         {
             let mut store = FileStore::create(&path, &GssConfig::paper_default(4), 2).unwrap();
             store.store_room(0, 0, 0, sample_room(1));
-            store.log_commit(1);
+            let (_, ack) = store.log_commit_deferred(1);
+            store.ack_commit(ack);
             // No write_tail: the clean flag stays cleared, the room lives only in the
             // cache — and in the drained WAL.
         }
@@ -1588,7 +1736,8 @@ mod tests {
             let (mut store, header) = FileStore::open(&path, 4).unwrap();
             assert_eq!(header.tail, v1_tail);
             store.store_room(1, 1, 0, sample_room(4));
-            store.log_commit(6);
+            let (_, ack) = store.log_commit_deferred(6);
+            store.ack_commit(ack);
             store.abandon();
         }
         let (recovered, header) = FileStore::open(&path, 4).unwrap();

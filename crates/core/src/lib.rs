@@ -58,6 +58,7 @@ pub mod concurrent;
 pub mod config;
 pub mod error;
 pub mod file_store;
+pub mod group_commit;
 pub mod hashing;
 pub mod matrix;
 pub mod merge;
@@ -74,11 +75,12 @@ pub use builder::GssBuilder;
 pub use concurrent::ConcurrentGss;
 pub use concurrent::ShardedGss;
 pub use config::{
-    Durability, GssConfig, MAX_FINGERPRINT_BITS, MAX_ROOMS_PER_BUCKET, MAX_SEQUENCE_LENGTH,
-    MAX_TOTAL_ROOMS, MAX_WIDTH, WAL_BUFFER_BYTES,
+    Durability, GroupCommit, GssConfig, MAX_FINGERPRINT_BITS, MAX_ROOMS_PER_BUCKET,
+    MAX_SEQUENCE_LENGTH, MAX_TOTAL_ROOMS, MAX_WIDTH, WAL_BUFFER_BYTES,
 };
 pub use error::ConfigError;
 pub use file_store::{DurabilityStats, FileStore, FlushHook, FlushPoint, PageCacheStats};
+pub use group_commit::GroupCommitter;
 pub use hashing::{HashedNode, NodeHasher, Reciprocal, RecoverQCache};
 pub use matrix::MemoryStore;
 pub use merge::HashedEdge;

@@ -22,18 +22,24 @@
 //! page fault    stripe mutex (held across eviction + insert) → disk read under the
 //!               fresh page's write latch, stripe mutex already released
 //! room write    WAL append mutex (append + clean-flag) → page write latch
-//! eviction      stripe mutex → WAL append mutex (write-ahead drain) → file/flusher
+//! eviction      stripe mutex → group-commit mutex (write-ahead barrier) → file/flusher
+//! group commit  group-commit mutex (leader election, briefly) → WAL append mutex,
+//!               group mutex already released → member log I/O outside all locks
 //! checkpoint    sync-state mutex → WAL append mutex | stripe mutexes (never both)
 //! ```
 //!
-//! The one global ordering rule: the WAL append mutex is **never held while taking a
-//! stripe mutex** — WAL appends and page traffic stay independent, and the
-//! eviction path (stripe → WAL) cannot deadlock against the checkpoint path (which
-//! drains the WAL before touching any stripe).
+//! Two global ordering rules: the WAL append mutex is **never held while taking a
+//! stripe mutex** — WAL appends and page traffic stay independent, and the eviction
+//! path (stripe → group → WAL) cannot deadlock against the checkpoint path (which
+//! drains the WAL before touching any stripe) — and the group-commit mutex is a
+//! **leaf below everything but the WAL**: it may be taken under shard, checkpoint,
+//! stripe or latch guards, but is always released before any member's WAL append
+//! mutex (or its log file) is touched, so no `group → wal` hold ever exists.
 //!
 //! This map is enforced, not just documented: `gss-lint` rule **L001** (lock-order)
-//! flags any function that acquires the WAL append mutex while a stripe or latch guard
-//! is live, or a stripe mutex under a latch, and rule **L002** (io-under-stripe) flags
+//! flags any function that acquires the WAL append mutex while a stripe, latch or
+//! group-commit guard is live, a stripe mutex under a latch, or the group-commit
+//! mutex under a stripe or latch guard, and rule **L002** (io-under-stripe) flags
 //! file I/O issued while a stripe guard is held.  At runtime, the [`witness`] module
 //! re-checks the same order dynamically across call chains under `debug_assertions`.
 

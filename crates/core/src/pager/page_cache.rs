@@ -68,6 +68,24 @@ struct Stripe {
     slots: Mutex<HashMap<u64, Arc<PageSlot>>>,
 }
 
+/// A pinned-page cursor: remembers the slot of the last page it resolved, so a run of
+/// lookups hitting the same page ([`PageCache::lookup_with`]) skips the stripe mutex
+/// and recency bookkeeping entirely.  The held `Arc` pins the slot against eviction
+/// (strong count > 1), which is exactly the existing pin contract — a cursor therefore
+/// keeps at most one extra page resident.  Batch ingest sorts its room writes by page
+/// offset to maximise run length.
+#[derive(Default)]
+pub struct PageCursor {
+    slot: Option<Arc<PageSlot>>,
+}
+
+impl PageCursor {
+    /// Drops the pin, releasing the remembered page for eviction.
+    pub fn release(&mut self) {
+        self.slot = None;
+    }
+}
+
 /// The striped page table (see the module docs).
 pub struct PageCache {
     stripes: Box<[Stripe]>,
@@ -168,6 +186,27 @@ impl PageCache {
         }
         drop(data);
         drop(latch_held);
+        Ok(slot)
+    }
+
+    /// [`lookup`](Self::lookup) through a [`PageCursor`]: a lookup of the same page the
+    /// cursor last resolved returns its pinned slot without touching the stripe mutex
+    /// or the recency clock (the pin itself keeps the slot resident, so no stamp is
+    /// needed); any other page falls back to a full lookup and re-aims the cursor.
+    pub fn lookup_with(
+        &self,
+        cursor: &mut PageCursor,
+        index: u64,
+        io: &impl PageIo,
+    ) -> io::Result<Arc<PageSlot>> {
+        if let Some(slot) = &cursor.slot {
+            if slot.index == index {
+                self.lookups.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(slot));
+            }
+        }
+        let slot = self.lookup(index, io)?;
+        cursor.slot = Some(Arc::clone(&slot));
         Ok(slot)
     }
 
@@ -351,6 +390,31 @@ mod tests {
         }
         // Read latches are shared: concurrent readers never block each other.
         assert_eq!(cache.stats().latch_waits, 0);
+    }
+
+    #[test]
+    fn cursor_reuses_the_pinned_slot_and_survives_eviction_pressure() {
+        let cache = PageCache::new(1);
+        let io = MemIo::new();
+        let mut cursor = PageCursor::default();
+        let slot = cache.lookup_with(&mut cursor, 5, &io).unwrap();
+        cache.write(&slot)[0] = 9;
+        slot.mark_dirty();
+        drop(slot);
+        let faults_after_first = cache.stats().faults;
+        // Same page through the cursor: no fault, and the identical slot comes back —
+        // even after eviction pressure from other pages (the cursor's pin keeps it in).
+        for index in 20..30u64 {
+            cache.lookup(index, &io).unwrap();
+        }
+        let again = cache.lookup_with(&mut cursor, 5, &io).unwrap();
+        assert_eq!(cache.read(&again)[0], 9);
+        assert_eq!(cache.stats().faults, faults_after_first + 10, "no re-fault of page 5");
+        // A different page re-aims the cursor; page 5 becomes evictable again.
+        let moved = cache.lookup_with(&mut cursor, 6, &io).unwrap();
+        assert_eq!(moved.index(), 6);
+        cursor.release();
+        assert!(cursor.slot.is_none());
     }
 
     #[test]

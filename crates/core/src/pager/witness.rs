@@ -43,9 +43,14 @@ pub enum LockClass {
     FlushQueue = 5,
     /// The flush-hook mutex (leaf: user callbacks fire outside all store locks).
     Hook = 6,
+    /// The group-commit coordinator's state mutex (`GroupCommitter::group`).  Sits
+    /// between the stripe/checkpoint layer and the WAL append mutex in the DAG: the
+    /// eviction barrier takes it under a stripe guard, and the elected leader releases
+    /// it *before* draining any member's WAL, so no Group → Wal edge exists at runtime.
+    GroupCommit = 7,
 }
 
-pub const CLASS_COUNT: usize = 7;
+pub const CLASS_COUNT: usize = 8;
 
 impl LockClass {
     pub fn name(self) -> &'static str {
@@ -57,6 +62,7 @@ impl LockClass {
             LockClass::WalAppend => "WalAppend",
             LockClass::FlushQueue => "FlushQueue",
             LockClass::Hook => "Hook",
+            LockClass::GroupCommit => "GroupCommit",
         }
     }
 
@@ -68,7 +74,8 @@ impl LockClass {
             3 => LockClass::PageLatch,
             4 => LockClass::WalAppend,
             5 => LockClass::FlushQueue,
-            _ => LockClass::Hook,
+            6 => LockClass::Hook,
+            _ => LockClass::GroupCommit,
         }
     }
 }

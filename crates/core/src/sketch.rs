@@ -19,18 +19,21 @@
 //!   ids through the `⟨H(v), v⟩` table.
 
 use crate::buffer::LeftoverBuffer;
-use crate::config::{Durability, GssConfig};
+use crate::config::{Durability, GroupCommit, GssConfig};
 use crate::error::ConfigError;
 use crate::file_store::{FileStore, TailSections};
+use crate::group_commit::GroupCommitter;
 use crate::hashing::{HashedNode, NodeHasher, RecoverQCache};
 use crate::matrix::MemoryStore;
 use crate::node_map::NodeIdMap;
+use crate::pager::PAGE_BYTES;
 use crate::persistence::PersistenceError;
 use crate::stats::GssStats;
-use crate::storage::{BucketProbe, RoomStorage, RoomStore, StorageBackend};
+use crate::storage::{BucketProbe, RoomStorage, RoomStore, StorageBackend, ROOM_RECORD_BYTES};
 use gss_graph::{StreamEdge, SummaryRead, SummaryStats, SummaryWrite, VertexId, Weight};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Graph Stream Sketch (GSS), the data structure proposed by the paper.
 ///
@@ -115,20 +118,41 @@ impl GssSketch {
         storage: StorageBackend,
         durability: Durability,
     ) -> Result<Self, ConfigError> {
+        Self::with_storage_durability_grouped(
+            config,
+            storage,
+            durability,
+            GroupCommitter::new(GroupCommit::default()),
+        )
+    }
+
+    /// [`with_storage_durability`](Self::with_storage_durability) against a
+    /// caller-supplied group-commit coordinator, so several file-backed sketches — the
+    /// shards of a [`crate::ShardedGss`] — share one fsync schedule: a single cadence
+    /// sync covers every log that wrote since the last one.  Ignored by the in-memory
+    /// backend.
+    ///
+    /// # Errors
+    /// As [`with_storage`](Self::with_storage).
+    pub fn with_storage_durability_grouped(
+        config: GssConfig,
+        storage: StorageBackend,
+        durability: Durability,
+        group: Arc<GroupCommitter>,
+    ) -> Result<Self, ConfigError> {
         config.validate()?;
         let matrix = match storage {
             StorageBackend::Memory => {
                 RoomStorage::Memory(MemoryStore::new(config.width, config.rooms))
             }
             StorageBackend::File { path, cache_pages } => RoomStorage::File(Box::new(
-                FileStore::create_durable(&path, &config, cache_pages, durability).map_err(
-                    |error| {
-                        ConfigError::new(format!(
-                            "cannot create sketch file {}: {error}",
-                            path.display()
-                        ))
-                    },
-                )?,
+                FileStore::create_durable_grouped(&path, &config, cache_pages, durability, group)
+                    .map_err(|error| {
+                    ConfigError::new(format!(
+                        "cannot create sketch file {}: {error}",
+                        path.display()
+                    ))
+                })?,
             )),
         };
         Ok(Self::from_parts(config, matrix))
@@ -182,7 +206,28 @@ impl GssSketch {
         cache_pages: usize,
         durability: Durability,
     ) -> Result<Self, PersistenceError> {
-        let (store, header) = FileStore::open_durable(path.as_ref(), cache_pages, durability)?;
+        Self::open_file_durability_grouped(
+            path,
+            cache_pages,
+            durability,
+            GroupCommitter::new(GroupCommit::default()),
+        )
+    }
+
+    /// [`open_file_durability`](Self::open_file_durability) against a caller-supplied
+    /// group-commit coordinator (see
+    /// [`with_storage_durability_grouped`](Self::with_storage_durability_grouped)).
+    ///
+    /// # Errors
+    /// As [`open_file`](Self::open_file).
+    pub fn open_file_durability_grouped(
+        path: impl AsRef<Path>,
+        cache_pages: usize,
+        durability: Durability,
+        group: Arc<GroupCommitter>,
+    ) -> Result<Self, PersistenceError> {
+        let (store, header) =
+            FileStore::open_durable_grouped(path.as_ref(), cache_pages, durability, group)?;
         // Decode the tail *before* assembling the sketch: if it is corrupt, returning
         // here drops only the bare store (no Drop), leaving the rejected file byte-for-
         // byte intact — a half-built sketch would checkpoint its partial state over the
@@ -319,6 +364,9 @@ impl GssSketch {
         GssStats {
             wal_bytes: durability.wal_bytes,
             wal_flushes: durability.wal_flushes,
+            wal_group_commits: durability.wal_group_commits,
+            wal_group_waits: durability.wal_group_waits,
+            fsyncs: durability.wal_fsyncs,
             pages_flushed: durability.pages_written + durability.pages_written_background,
             checkpoints: durability.checkpoints,
             page_lookups: pages.lookups,
@@ -532,16 +580,49 @@ impl GssSketch {
     /// call [`sync`](Self::sync) still keep bounded sidecar-log size and bounded
     /// crash-recovery replay time.
     fn commit_wal(&mut self) {
-        let wal_bytes = match &self.matrix {
-            RoomStorage::File(store) => store.log_commit(self.items_inserted),
-            RoomStorage::Memory(_) => return,
+        if let Some(ack) = self.commit_wal_deferred() {
+            self.ack_wal(ack);
+        }
+    }
+
+    /// The append half of [`commit_wal`](Self::commit_wal) for the sharded two-phase
+    /// batch path: logs the commit frame and returns the token the caller must pass to
+    /// [`ack_wal`](Self::ack_wal) once every shard of the batch has appended.  Returns
+    /// `None` for in-memory sketches, and when the log outgrew its checkpoint bound —
+    /// the automatic checkpoint runs inline (it needs the exclusive sketch lock still
+    /// held here) and leaves the log durable past the token's target anyway.
+    pub(crate) fn commit_wal_deferred(&mut self) -> Option<crate::file_store::WalAck> {
+        let (wal_bytes, ack) = match &self.matrix {
+            RoomStorage::File(store) => store.log_commit_deferred(self.items_inserted),
+            RoomStorage::Memory(_) => return None,
         };
         if wal_bytes >= self.wal_checkpoint_bytes {
+            self.ack_wal(ack);
             // This is an insert/batch boundary, so the sketch state is consistent.
             // Hot-path file I/O failures panic by the storage contract.
             self.sync().unwrap_or_else(|error| {
                 panic!("automatic write-ahead-log checkpoint failed: {error}")
             });
+            return None;
+        }
+        Some(ack)
+    }
+
+    /// The acknowledgement half of [`commit_wal_deferred`](Self::commit_wal_deferred):
+    /// applies the durability policy to a deferred commit.  Takes `&self`, so the
+    /// acknowledgement pass can run under a shared sketch lock.
+    pub(crate) fn ack_wal(&self, ack: crate::file_store::WalAck) {
+        if let RoomStorage::File(store) = &self.matrix {
+            store.ack_commit(ack);
+        }
+    }
+
+    /// A lock-free acknowledger for this sketch's deferred commits (`None` for in-memory
+    /// sketches) — see [`WalAckHandle`](crate::file_store::WalAckHandle).
+    pub(crate) fn wal_ack_handle(&self) -> Option<crate::file_store::WalAckHandle> {
+        match &self.matrix {
+            RoomStorage::File(store) => Some(store.ack_handle()),
+            RoomStorage::Memory(_) => None,
         }
     }
 
@@ -740,8 +821,13 @@ impl Drop for GssSketch {
     }
 }
 
-impl SummaryWrite for GssSketch {
-    fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
+/// The staged halves of the write path: every mutation except the commit frame.  The
+/// [`SummaryWrite`] impl stages and commits in one call; the sharded two-phase batch
+/// path stages every shard first and acknowledges second (see
+/// [`commit_wal_deferred`](GssSketch::commit_wal_deferred)).
+impl GssSketch {
+    /// [`SummaryWrite::insert`] without the commit frame.
+    fn insert_staged(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
         self.items_inserted += 1;
         let source_node = self.hasher.hashed_node(source);
         let destination_node = self.hasher.hashed_node(destination);
@@ -750,7 +836,6 @@ impl SummaryWrite for GssSketch {
             self.register_node(destination_node.hash, destination);
         }
         self.insert_nodes(source_node, destination_node, weight);
-        self.commit_wal();
     }
 
     /// Batched edge updating, observationally identical to per-item [`insert`] but with the
@@ -766,12 +851,15 @@ impl SummaryWrite for GssSketch {
     ///   state the per-item path produces.
     ///
     /// [`insert`]: SummaryWrite::insert
-    fn insert_batch(&mut self, items: &[StreamEdge]) {
+    /// [`SummaryWrite::insert_batch`] without the commit frame; returns whether a commit
+    /// is owed (`false` only for an empty batch, which mutates nothing).
+    fn insert_batch_staged(&mut self, items: &[StreamEdge]) -> bool {
         if items.len() < 2 {
-            if let Some(item) = items.first() {
-                self.insert_item(item);
+            match items.first() {
+                Some(item) => self.insert_staged(item.source, item.destination, item.weight),
+                None => return false,
             }
-            return;
+            return true;
         }
         self.items_inserted += items.len() as u64;
         let mut endpoint_index: HashMap<VertexId, u32> =
@@ -797,7 +885,42 @@ impl SummaryWrite for GssSketch {
             }
         }
         let mut candidates = [Candidate::default(); MAX_CANDIDATES];
-        for &(source, destination, weight) in &folded {
+        // Batch locality: the file backend visits the folded edges in page order of each
+        // edge's *first* candidate room, so consecutive room writes land on the same
+        // cache page and ride the pinned write cursor instead of re-probing the stripe
+        // map.  The stable sort keeps first-occurrence order within a page, and
+        // re-ordering across pages is observationally neutral: wherever an edge is
+        // placed relative to the others, it ends up in a room of its own candidate set
+        // or in the exact buffer, and every query answers from either location
+        // identically.  The in-memory backend keeps first-occurrence order outright.
+        let mut order: Vec<u32> = (0..folded.len() as u32).collect();
+        if self.matrix.as_file().is_some() {
+            let rooms = self.config.rooms;
+            let width = self.config.width;
+            let keys: Vec<u64> = folded
+                .iter()
+                .map(|&(source, destination, _)| {
+                    let source = endpoints[source as usize];
+                    let destination = endpoints[destination as usize];
+                    let count = self.collect_candidates_from(
+                        source.node,
+                        destination.node,
+                        &source.addresses,
+                        &destination.addresses,
+                        &mut candidates,
+                    );
+                    if count == 0 {
+                        return u64::MAX;
+                    }
+                    let first = candidates[0];
+                    let byte = (first.row * width + first.column) * rooms * ROOM_RECORD_BYTES;
+                    (byte / PAGE_BYTES) as u64
+                })
+                .collect();
+            order.sort_by_key(|&index| keys[index as usize]);
+        }
+        for &index in &order {
+            let (source, destination, weight) = folded[index as usize];
             let source = endpoints[source as usize];
             let destination = endpoints[destination as usize];
             let count = self.collect_candidates_from(
@@ -809,7 +932,35 @@ impl SummaryWrite for GssSketch {
             );
             self.place_edge(source.node, destination.node, &candidates[..count], weight);
         }
+        true
+    }
+
+    /// [`SummaryWrite::insert_batch`] with the commit deferred: stages the batch, appends
+    /// the commit frame, and returns the acknowledgement token for
+    /// [`ack_wal`](Self::ack_wal) — `None` when nothing is owed (empty batch, in-memory
+    /// sketch, or an inline automatic checkpoint already made the commit durable).
+    pub(crate) fn insert_batch_deferred(
+        &mut self,
+        items: &[StreamEdge],
+    ) -> Option<crate::file_store::WalAck> {
+        if self.insert_batch_staged(items) {
+            self.commit_wal_deferred()
+        } else {
+            None
+        }
+    }
+}
+
+impl SummaryWrite for GssSketch {
+    fn insert(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
+        self.insert_staged(source, destination, weight);
         self.commit_wal();
+    }
+
+    fn insert_batch(&mut self, items: &[StreamEdge]) {
+        if self.insert_batch_staged(items) {
+            self.commit_wal();
+        }
     }
 
     /// Streams through [`insert_batch`](SummaryWrite::insert_batch) in fixed-size chunks so

@@ -42,6 +42,15 @@ pub struct GssStats {
     /// Drains of the write-ahead-log buffer to disk (one per insert under
     /// `Durability::Strict`; batched under `Buffered`).
     pub wal_flushes: u64,
+    /// Group-commit rounds this sketch's log led (each round drains the pending window
+    /// of every committing writer in one positioned write).
+    pub wal_group_commits: u64,
+    /// Commits that parked behind an in-flight group-commit round instead of draining
+    /// themselves — the group-commit batching win in one number.
+    pub wal_group_waits: u64,
+    /// `fdatasync` calls issued for this sketch's log by the group-commit cadence
+    /// (`GroupCommit { max_delay_us, max_bytes }`) and by checkpoints.
+    pub fsyncs: u64,
     /// Dirty pages written back to the sketch file (foreground + background flusher).
     pub pages_flushed: u64,
     /// Completed checkpoints of the sketch file.
@@ -94,6 +103,9 @@ mod tests {
             colliding_hashes: 5,
             wal_bytes: 4_096,
             wal_flushes: 12,
+            wal_group_commits: 10,
+            wal_group_waits: 2,
+            fsyncs: 4,
             pages_flushed: 30,
             checkpoints: 2,
             page_lookups: 480,

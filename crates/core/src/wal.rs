@@ -39,22 +39,34 @@
 //!   insert that never reached its `COMMIT` are still replayed (they only ever *add*
 //!   sketch state, preserving GSS's one-sided error).
 //!
-//! ## Locking
+//! ## Locking and group commit
 //!
 //! [`WalWriter`] is not itself thread-safe; the store wraps it in a dedicated **append
 //! mutex** separate from every page-cache lock, so log appends never serialize page
-//! reads and concurrent readers never wait behind a logging writer.  The one ordering
-//! rule: the append mutex is never held while a page-table stripe mutex is taken (see
-//! [`crate::pager`] for the full lock map).  `gss-lint` enforces this statically: rule
-//! **L001** (lock-order) flags any function acquiring the append mutex under a live
-//! stripe or latch guard, and rule **L003** (panic-in-recovery) keeps this module's
-//! replay path (`read_replay`/`parse_frame`) free of panic sites — damaged log bytes
-//! end the valid prefix, they never abort recovery.
+//! reads and concurrent readers never wait behind a logging writer.  Frames are encoded
+//! and checksummed on the caller's stack (`room_frame`/`buffer_frame`/`node_frame`
+//! /`commit_frame`) *before* the append mutex is taken — an append under the lock is
+//! one `memcpy`.  Draining is double-buffered: `WalWriter::take_pending` swaps the
+//! pending arena out under the mutex and reserves its file range, and the group-commit
+//! coordinator ([`crate::group_commit`]) performs the positioned write outside every
+//! lock, so appends from other writers proceed while a batch is in flight.
+//!
+//! The lock-order rules (enforced by `gss-lint` L001 and the runtime witness): the
+//! append mutex is never held while a page-table stripe mutex is taken, and the
+//! group-commit state mutex sits strictly *between* the stripe layer and the append
+//! mutex — `stripe ≺ group ≺ wal` — because the eviction write-back barrier takes the
+//! coordinator (and, on its already-drained fast path, the append mutex directly)
+//! under a stripe guard while an elected leader releases the coordinator before
+//! touching any member's append mutex.  Rule **L003** (panic-in-recovery) keeps
+//! this module's replay path (`read_replay`/`parse_frame`) free of panic sites — damaged
+//! log bytes end the valid prefix, they never abort recovery.
 
+use crate::pager::page_file::PageFile;
 use crate::storage::ROOM_RECORD_BYTES;
-use std::fs::{File, OpenOptions};
+use std::fs::OpenOptions;
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Magic bytes identifying a GSS write-ahead log (version 1).
 pub const WAL_MAGIC: [u8; 8] = *b"GSSWAL0\x01";
@@ -96,26 +108,89 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Append side of the log: an open file plus an in-memory `pending` buffer so a whole
-/// insert (or, in buffered durability, many inserts) reaches the file in one `write`.
+/// Seals `tag | payload` into one encoded frame with its CRC, entirely on the caller's
+/// stack — the encoding work the append mutex no longer pays for.  `N` must equal
+/// `1 + payload.len() + 4`.
+fn seal<const N: usize>(tag: u8, payload: &[u8]) -> [u8; N] {
+    debug_assert_eq!(N, 1 + payload.len() + 4, "frame size must match its payload");
+    let mut frame = [0u8; N];
+    frame[0] = tag;
+    frame[1..N - 4].copy_from_slice(payload);
+    let crc = crc32(&frame[..N - 4]);
+    frame[N - 4..].copy_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+/// Encoded size of a `ROOM` frame.
+pub(crate) const ROOM_FRAME_BYTES: usize = 1 + 8 + ROOM_RECORD_BYTES + 4;
+/// Encoded size of a `BUFFER` frame.
+pub(crate) const BUFFER_FRAME_BYTES: usize = 1 + 24 + 4;
+/// Encoded size of a `NODE` frame.
+pub(crate) const NODE_FRAME_BYTES: usize = 1 + 16 + 4;
+/// Encoded size of a `COMMIT` frame.
+pub(crate) const COMMIT_FRAME_BYTES: usize = 1 + 8 + 4;
+
+/// Encodes a `ROOM` frame (full post-write record) outside any lock.
+pub(crate) fn room_frame(
+    flat_index: u64,
+    record: &[u8; ROOM_RECORD_BYTES],
+) -> [u8; ROOM_FRAME_BYTES] {
+    let mut payload = [0u8; 8 + ROOM_RECORD_BYTES];
+    payload[0..8].copy_from_slice(&flat_index.to_le_bytes());
+    payload[8..].copy_from_slice(record);
+    seal(TAG_ROOM, &payload)
+}
+
+/// Encodes a `BUFFER` frame (left-over buffer weight delta) outside any lock.
+pub(crate) fn buffer_frame(source: u64, destination: u64, weight: i64) -> [u8; BUFFER_FRAME_BYTES] {
+    let mut payload = [0u8; 24];
+    payload[0..8].copy_from_slice(&source.to_le_bytes());
+    payload[8..16].copy_from_slice(&destination.to_le_bytes());
+    payload[16..24].copy_from_slice(&weight.to_le_bytes());
+    seal(TAG_BUFFER, &payload)
+}
+
+/// Encodes a `NODE` frame (`⟨H(v), v⟩` registration) outside any lock.
+pub(crate) fn node_frame(hash: u64, vertex: u64) -> [u8; NODE_FRAME_BYTES] {
+    let mut payload = [0u8; 16];
+    payload[0..8].copy_from_slice(&hash.to_le_bytes());
+    payload[8..16].copy_from_slice(&vertex.to_le_bytes());
+    seal(TAG_NODE, &payload)
+}
+
+/// Encodes a `COMMIT` frame outside any lock.
+pub(crate) fn commit_frame(items: u64) -> [u8; COMMIT_FRAME_BYTES] {
+    seal(TAG_COMMIT, &items.to_le_bytes())
+}
+
+/// Append side of the log: an open file plus an in-memory `pending` arena so a whole
+/// insert (or, under group commit, many writers' inserts) reaches the file in one
+/// positioned `write`.  The file handle is a shared [`PageFile`] so the group-commit
+/// drain can write a taken arena (and `fdatasync` the log) without the append mutex.
 #[derive(Debug)]
 pub struct WalWriter {
-    file: File,
-    /// Bytes durable in the log file (including the magic).
+    file: Arc<PageFile>,
+    /// Bytes written (or reserved by an in-flight arena drain) in the log file,
+    /// including the magic.
     len: u64,
     /// Encoded frames not yet written to the file.
     pending: Vec<u8>,
     /// Number of drains of `pending` into the file.
     flushes: u64,
+    /// Cumulative bytes of frames ever appended (never reset, not even by
+    /// [`truncate`](Self::truncate)): group commit compares acknowledgement targets
+    /// against cumulative drained bytes, decoupled from file offsets.
+    appended: u64,
 }
 
 impl WalWriter {
     /// Creates (or truncates) the log at `path` and writes the magic.
     pub fn create(path: &Path) -> io::Result<Self> {
-        let mut file =
+        let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
-        file.write_all(&WAL_MAGIC)?;
-        Ok(Self { file, len: WAL_MAGIC.len() as u64, pending: Vec::new(), flushes: 0 })
+        let file = Arc::new(PageFile::new(file));
+        file.write_all_at(&WAL_MAGIC, 0)?;
+        Ok(Self { file, len: WAL_MAGIC.len() as u64, pending: Vec::new(), flushes: 0, appended: 0 })
     }
 
     /// Opens an existing log for appending after the first `valid_len` bytes (used after
@@ -131,10 +206,28 @@ impl WalWriter {
             file.set_len(0)?;
             file.seek(SeekFrom::Start(0))?;
             file.write_all(&WAL_MAGIC)?;
-            return Ok(Self { file, len: WAL_MAGIC.len() as u64, pending: Vec::new(), flushes: 0 });
+            return Ok(Self {
+                file: Arc::new(PageFile::new(file)),
+                len: WAL_MAGIC.len() as u64,
+                pending: Vec::new(),
+                flushes: 0,
+                appended: 0,
+            });
         }
         file.set_len(len)?;
-        Ok(Self { file, len, pending: Vec::new(), flushes: 0 })
+        Ok(Self {
+            file: Arc::new(PageFile::new(file)),
+            len,
+            pending: Vec::new(),
+            flushes: 0,
+            appended: 0,
+        })
+    }
+
+    /// The shared log-file handle, for positioned drain writes and `fdatasync` issued by
+    /// the group-commit coordinator outside the append mutex.
+    pub(crate) fn shared_file(&self) -> Arc<PageFile> {
+        Arc::clone(&self.file)
     }
 
     fn frame(&mut self, tag: u8, payload: &[u8]) {
@@ -143,36 +236,34 @@ impl WalWriter {
         self.pending.extend_from_slice(payload);
         let crc = crc32(&self.pending[start..]);
         self.pending.extend_from_slice(&crc.to_le_bytes());
+        self.appended += (self.pending.len() - start) as u64;
+    }
+
+    /// Appends one pre-encoded frame (see `room_frame` and friends): the only work
+    /// under the append mutex is this `memcpy`.
+    pub(crate) fn append_encoded(&mut self, frame: &[u8]) {
+        self.pending.extend_from_slice(frame);
+        self.appended += frame.len() as u64;
     }
 
     /// Logs the full post-write value of the room at `flat_index`.
     pub fn log_room(&mut self, flat_index: u64, record: &[u8; ROOM_RECORD_BYTES]) {
-        let mut payload = [0u8; 8 + ROOM_RECORD_BYTES];
-        payload[0..8].copy_from_slice(&flat_index.to_le_bytes());
-        payload[8..].copy_from_slice(record);
-        self.frame(TAG_ROOM, &payload);
+        self.append_encoded(&room_frame(flat_index, record));
     }
 
     /// Logs a left-over buffer insertion (a weight delta).
     pub fn log_buffer(&mut self, source: u64, destination: u64, weight: i64) {
-        let mut payload = [0u8; 24];
-        payload[0..8].copy_from_slice(&source.to_le_bytes());
-        payload[8..16].copy_from_slice(&destination.to_le_bytes());
-        payload[16..24].copy_from_slice(&weight.to_le_bytes());
-        self.frame(TAG_BUFFER, &payload);
+        self.append_encoded(&buffer_frame(source, destination, weight));
     }
 
     /// Logs a `⟨H(v), v⟩` registration.
     pub fn log_node(&mut self, hash: u64, vertex: u64) {
-        let mut payload = [0u8; 16];
-        payload[0..8].copy_from_slice(&hash.to_le_bytes());
-        payload[8..16].copy_from_slice(&vertex.to_le_bytes());
-        self.frame(TAG_NODE, &payload);
+        self.append_encoded(&node_frame(hash, vertex));
     }
 
     /// Logs the completion of an insert or batch at `items` total stream items.
     pub fn log_commit(&mut self, items: u64) {
-        self.frame(TAG_COMMIT, &items.to_le_bytes());
+        self.append_encoded(&commit_frame(items));
     }
 
     /// Logs the tail image a checkpoint is about to write (only the sections being
@@ -210,29 +301,51 @@ impl WalWriter {
         self.flushes
     }
 
-    /// Drains the pending buffer into the file in one write.  This is the write-ahead
-    /// barrier: callers must invoke it before any dirty page covered by pending frames is
-    /// written back to the sketch file.
+    /// Cumulative bytes of frames ever appended (see the field docs); monotone across
+    /// truncations, so it serves as a commit acknowledgement target.
+    pub(crate) fn appended_bytes(&self) -> u64 {
+        self.appended
+    }
+
+    /// Swaps the pending arena out into `into` (which must be empty) and reserves its
+    /// file range, returning the write offset.  The caller performs the positioned write
+    /// *outside* the append mutex and hands the old arena back as the next spare — the
+    /// double-buffered half of group commit.  Counts as one drain.
+    pub(crate) fn take_pending(&mut self, into: &mut Vec<u8>) -> u64 {
+        debug_assert!(into.is_empty(), "the spare arena must be empty before a swap");
+        std::mem::swap(&mut self.pending, into);
+        let offset = self.len;
+        self.len += into.len() as u64;
+        self.flushes += 1;
+        offset
+    }
+
+    /// Drains the pending buffer into the file in one positioned write.  This is the
+    /// write-ahead barrier: callers must invoke it (or route through the group-commit
+    /// coordinator) before any dirty page covered by pending frames is written back to
+    /// the sketch file.
     pub fn flush(&mut self) -> io::Result<()> {
         if self.pending.is_empty() {
             return Ok(());
         }
-        self.file.seek(SeekFrom::Start(self.len))?;
-        self.file.write_all(&self.pending)?;
+        self.file.write_all_at(&self.pending, self.len)?;
         self.len += self.pending.len() as u64;
         self.pending.clear();
         self.flushes += 1;
         Ok(())
     }
 
-    /// Flushes and then asks the OS to persist the log (checkpoint boundaries only; the
-    /// hot path relies on `write` ordering, which survives process death).
+    /// Flushes and then asks the OS to persist the log (checkpoint boundaries and the
+    /// group-commit sync cadence; between those points the hot path relies on `write`
+    /// ordering, which survives process death).
     pub fn sync(&mut self) -> io::Result<()> {
         self.flush()?;
         self.file.sync_data()
     }
 
-    /// Discards every frame: the checkpoint that covers them has committed.
+    /// Discards every frame: the checkpoint that covers them has committed.  The
+    /// cumulative `appended` counter is deliberately *not* reset (commit targets
+    /// survive truncation); only file offsets rewind.
     pub fn truncate(&mut self) -> io::Result<()> {
         self.pending.clear();
         self.file.set_len(WAL_MAGIC.len() as u64)?;
@@ -598,6 +711,35 @@ mod tests {
         assert_eq!(replay.rooms, vec![(3, sample_record(1))]);
         assert_eq!(replay.items, Some(1), "nothing after the out-of-range frame applies");
         assert!(replay.buffer_ops.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn take_pending_swaps_the_arena_and_reserves_the_file_range() {
+        let path = temp_wal("arena-swap");
+        let mut writer = WalWriter::create(&path).unwrap();
+        writer.log_commit(1);
+        assert_eq!(writer.appended_bytes(), COMMIT_FRAME_BYTES as u64);
+        let mut arena = Vec::new();
+        let offset = writer.take_pending(&mut arena);
+        assert_eq!(offset, WAL_MAGIC.len() as u64);
+        assert_eq!(arena.len(), COMMIT_FRAME_BYTES);
+        assert_eq!(writer.pending_bytes(), 0);
+        assert_eq!(writer.flushes(), 1, "an arena swap counts as one drain");
+        // Appends continue while the taken arena is in flight; its file range stays
+        // reserved, so the later flush lands *behind* it.
+        writer.log_commit(2);
+        writer.shared_file().write_all_at(&arena, offset).unwrap();
+        writer.flush().unwrap();
+        let replay = read_replay(&path, 1 << 20).unwrap().unwrap();
+        assert_eq!(replay.items, Some(2));
+        assert_eq!(writer.appended_bytes(), 2 * COMMIT_FRAME_BYTES as u64);
+        writer.truncate().unwrap();
+        assert_eq!(
+            writer.appended_bytes(),
+            2 * COMMIT_FRAME_BYTES as u64,
+            "commit targets survive truncation"
+        );
         std::fs::remove_file(&path).ok();
     }
 

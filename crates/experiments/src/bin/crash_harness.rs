@@ -21,10 +21,15 @@
 //!   stale `.lock` sidecars), asserts the summed recovered item count covers every
 //!   per-thread acknowledgement, and checks the union of the acknowledged prefixes
 //!   against an exact reference.
+//! * `crash_harness ingest-group <sketch> <progress> strict <items>` /
+//!   `verify-group <sketch> <progress> strict 0` — the threaded mode run under a
+//!   deliberately **wide** group-commit window ([`GROUP_WINDOW`]), so the randomized
+//!   SIGKILL almost always lands inside an unsynced window: strict acknowledgement is
+//!   `write()`-based, so even a kill mid-window must lose zero acknowledged items.
 //!
 //! Exit code 0 means the crash was survived within the documented guarantees.
 
-use gss_core::{Durability, GssConfig, GssSketch, ShardedGss, StorageBackend};
+use gss_core::{Durability, GroupCommit, GssConfig, GssSketch, ShardedGss, StorageBackend};
 use gss_graph::{StreamEdge, SummaryRead, SummaryWrite};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -45,6 +50,10 @@ const CACHE_PAGES: usize = 64;
 const VERIFY_EDGE_CAP: usize = 150_000;
 /// Writer threads (= shards) of the threaded mode.
 const WRITER_THREADS: usize = 3;
+/// Group-commit window of the `-group` mode: wide enough (50 ms / 4 MiB) that the
+/// randomized kill almost always lands *inside* an unsynced window, proving strict
+/// acknowledgement never leans on the cadence `fdatasync`.
+const GROUP_WINDOW: GroupCommit = GroupCommit { max_delay_us: 50_000, max_bytes: 4 * 1024 * 1024 };
 
 fn config() -> GssConfig {
     // Small enough to overflow some edges into the left-over buffer (its recovery is
@@ -207,16 +216,27 @@ fn shard_sketch_path(sketch_path: &Path, shard: usize) -> PathBuf {
     sketch_path.with_file_name(name)
 }
 
-fn ingest_threaded(sketch_path: &Path, progress_path: &Path, durability: Durability, items: usize) {
+fn ingest_threaded(
+    sketch_path: &Path,
+    progress_path: &Path,
+    durability: Durability,
+    items: usize,
+    group_commit: GroupCommit,
+) {
     if durability != Durability::Strict {
         eprintln!("threaded mode proves the strict multi-writer guarantee; use strict");
         exit(2);
     }
     let storage =
         StorageBackend::File { path: sketch_path.to_path_buf(), cache_pages: CACHE_PAGES };
-    let sharded =
-        ShardedGss::with_storage_durability(config(), WRITER_THREADS, &storage, durability)
-            .expect("shard files creatable");
+    let sharded = ShardedGss::with_storage_durability_grouped(
+        config(),
+        WRITER_THREADS,
+        &storage,
+        durability,
+        group_commit,
+    )
+    .expect("shard files creatable");
     let done = Arc::new(AtomicBool::new(false));
     let reader = {
         let sharded = sharded.clone();
@@ -374,9 +394,20 @@ fn main() {
                 &PathBuf::from(&args[3]),
                 parse_durability(&args[4]),
                 items,
+                GroupCommit::default(),
             );
         }
-        Some("verify-threaded") if args.len() == 6 => {
+        Some("ingest-group") if args.len() == 6 => {
+            let items: usize = args[5].parse().expect("items must be a number");
+            ingest_threaded(
+                &PathBuf::from(&args[2]),
+                &PathBuf::from(&args[3]),
+                parse_durability(&args[4]),
+                items,
+                GROUP_WINDOW,
+            );
+        }
+        Some("verify-threaded" | "verify-group") if args.len() == 6 => {
             let window: u64 = args[5].parse().expect("window must be a number");
             verify_threaded(
                 &PathBuf::from(&args[2]),
@@ -390,7 +421,9 @@ fn main() {
                 "usage: crash_harness ingest <sketch> <progress> <strict|buffered> <items>\n\
                  \x20      crash_harness verify <sketch> <progress> <strict|buffered> <window>\n\
                  \x20      crash_harness ingest-threaded <sketch> <progress> strict <items>\n\
-                 \x20      crash_harness verify-threaded <sketch> <progress> strict 0"
+                 \x20      crash_harness verify-threaded <sketch> <progress> strict 0\n\
+                 \x20      crash_harness ingest-group <sketch> <progress> strict <items>\n\
+                 \x20      crash_harness verify-group <sketch> <progress> strict 0"
             );
             exit(2);
         }

@@ -159,6 +159,26 @@ pub fn storage_backend_from_env(scale: ExperimentScale, label: &str) -> StorageB
     }
 }
 
+/// Deletes the sketch and write-ahead-log files a finished [`StorageBackend::File`] run
+/// left behind: the base path plus every `.shardN` / `.wal` sibling that shares its file
+/// name.  A no-op for [`StorageBackend::Memory`].
+///
+/// Benches call this between repeats.  Unlinking a closed file discards its dirty pages,
+/// so megabytes of write-back from completed configurations stop queueing behind the
+/// later (higher-thread-count) points of a sweep and skewing the tail of the curve.
+pub fn remove_run_files(storage: &StorageBackend) {
+    let StorageBackend::File { path, .. } = storage else { return };
+    let (Some(dir), Some(name)) = (path.parent(), path.file_name().and_then(|n| n.to_str())) else {
+        return;
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        if entry.file_name().to_string_lossy().starts_with(name) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
 /// The durability policy file-backed experiment sketches run under, from the
 /// `GSS_DURABILITY` environment variable: `strict` (default) or `buffered`.  Ignored by
 /// in-memory sketches, so it composes freely with `GSS_STORAGE`.

@@ -7,7 +7,7 @@
 //!
 //! | rule | name               | fires when |
 //! |------|--------------------|------------|
-//! | L001 | lock-order         | the WAL append mutex is acquired while a stripe or page-latch guard is live, a stripe mutex while a latch or WAL guard is live |
+//! | L001 | lock-order         | the WAL append mutex is acquired while a stripe, page-latch or group-commit guard is live; a stripe mutex while a latch or WAL guard is live; the group-commit mutex while a stripe or latch guard is live |
 //! | L002 | io-under-stripe    | `read_exact_at` / `write_all_at` / `sync_data` / `sync_all` / `set_len` runs while a stripe mutex guard is live |
 //! | L003 | panic-in-recovery  | `unwrap` / `expect` / `panic!` / `unreachable!` / `todo!` / range-indexing inside WAL replay or `FileStore` open/recovery functions |
 //! | L004 | raw-io-containment | `std::fs` / `OpenOptions` / `.seek(` outside `pager/`, `wal.rs`, `file_store.rs` and the snapshot module |
@@ -183,6 +183,10 @@ enum GuardClass {
     Stripe,
     Latch,
     Wal,
+    /// The group-commit coordinator's state mutex (`GroupCommitter::group`).  A leaf
+    /// in practice: the elected leader drops it before touching any member's WAL, so
+    /// holding it across a `wal.lock()` is an inversion.
+    Group,
 }
 
 impl GuardClass {
@@ -191,6 +195,7 @@ impl GuardClass {
             GuardClass::Stripe => "stripe-mutex",
             GuardClass::Latch => "page-latch",
             GuardClass::Wal => "WAL-append",
+            GuardClass::Group => "group-commit",
         }
     }
 }
@@ -383,14 +388,16 @@ impl<'a> Engine<'a> {
         let acquired = match (receiver.map(|t| t.text.as_str()), method.text.as_str()) {
             (Some("wal"), "lock") => Some(GuardClass::Wal),
             (Some("slots"), "lock") => Some(GuardClass::Stripe),
+            (Some("group" | "group_token"), "lock") => Some(GuardClass::Group),
             (Some("data"), "read" | "write" | "try_read" | "try_write") => Some(GuardClass::Latch),
             (Some("cache"), "read" | "write") => Some(GuardClass::Latch),
             _ => None,
         };
         if let Some(class) = acquired {
             let conflicts: &[GuardClass] = match class {
-                GuardClass::Wal => &[GuardClass::Stripe, GuardClass::Latch],
+                GuardClass::Wal => &[GuardClass::Stripe, GuardClass::Latch, GuardClass::Group],
                 GuardClass::Stripe => &[GuardClass::Latch, GuardClass::Wal],
+                GuardClass::Group => &[GuardClass::Stripe, GuardClass::Latch],
                 GuardClass::Latch => &[],
             };
             for held in guards.iter().filter(|g| conflicts.contains(&g.class)) {
@@ -617,5 +624,25 @@ mod tests {
     fn allowlisted_stats_counters_need_no_relaxed_comment() {
         let source = "fn f(&self) { self.lookups.fetch_add(1, Ordering::Relaxed); }\n";
         assert!(rules_fired("crates/core/src/x.rs", source).is_empty());
+    }
+
+    #[test]
+    fn wal_acquired_under_a_group_commit_guard_inverts_the_order() {
+        let source =
+            "fn f(&self) {\n    let group = self.group.lock();\n    let wal = member.wal.lock();\n}\n";
+        assert_eq!(rules_fired("crates/core/src/group_commit.rs", source), vec![Rule::L001]);
+    }
+
+    #[test]
+    fn group_commit_acquired_under_a_stripe_guard_inverts_the_order() {
+        let source =
+            "fn f(&self) {\n    let slots = self.slots.lock();\n    let group = self.group.lock();\n}\n";
+        assert_eq!(rules_fired("crates/core/src/x.rs", source), vec![Rule::L001]);
+    }
+
+    #[test]
+    fn group_commit_guard_released_before_the_wal_is_silent() {
+        let source = "fn f(&self) {\n    let group = self.group.lock();\n    drop(group);\n    let wal = member.wal.lock();\n}\n";
+        assert!(rules_fired("crates/core/src/group_commit.rs", source).is_empty());
     }
 }

@@ -239,10 +239,14 @@ fn kill_at(point: FlushPoint, occurrence: u64, items: &[(u64, u64, i64)]) {
 #[test]
 fn kill_points_between_wal_append_page_writeback_and_tail_rewrite_all_recover() {
     let items = stream(2_000);
-    // WalFlush fires per insert (strict drains at commit); PageWriteBack on each cache
-    // eviction; TailWrite/CheckpointDone inside the final sync.  Early, mid-stream and
-    // late occurrences sample different interleavings of dirty pages vs logged frames.
+    // WalArenaSwap fires at the group-commit window boundary (the pending arena has
+    // been swapped but not yet written — a kill here loses the whole window, which by
+    // the ack protocol contains no acknowledged commit); WalFlush fires per insert
+    // (strict drains at commit); PageWriteBack on each cache eviction;
+    // TailWrite/CheckpointDone inside the final sync.  Early, mid-stream and late
+    // occurrences sample different interleavings of dirty pages vs logged frames.
     for (point, occurrences) in [
+        (FlushPoint::WalArenaSwap, &[1u64, 100, 1_500][..]),
         (FlushPoint::WalFlush, &[1u64, 100, 1_500][..]),
         (FlushPoint::PageWriteBack, &[1, 50, 500][..]),
         (FlushPoint::TailWrite, &[1][..]),
