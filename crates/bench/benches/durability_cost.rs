@@ -126,15 +126,22 @@ fn main() {
             fmt_float(seconds),
             format!(
                 "{} Mitems/s, {} wal flushes, {} pages flushed, \
-                 {} group commits ({} waited), {} fsyncs",
+                 {} group commits ({} waited), {} fsyncs, \
+                 {} io retries / {} injected faults / poisoned {}",
                 fmt_float(mitems(items.len(), seconds)),
                 stats.wal_flushes,
                 stats.pages_flushed,
                 stats.wal_group_commits,
                 stats.wal_group_waits,
-                stats.fsyncs
+                stats.fsyncs,
+                stats.io_retries,
+                stats.injected_faults,
+                stats.store_poisoned
             ),
         ]);
+        // The fault-path counters belong in the trajectory precisely because they must
+        // stay zero here: a bench run with injected faults or a poisoned store is not
+        // measuring ingest cost, and any nonzero retry count on healthy I/O is news.
         report.push(
             format!("ingest_file_{name}"),
             &[
@@ -145,6 +152,9 @@ fn main() {
                 ("wal_group_commits", stats.wal_group_commits as f64),
                 ("wal_group_waits", stats.wal_group_waits as f64),
                 ("fsyncs", stats.fsyncs as f64),
+                ("io_retries", stats.io_retries as f64),
+                ("injected_faults", stats.injected_faults as f64),
+                ("store_poisoned", stats.store_poisoned as f64),
             ],
         );
     }

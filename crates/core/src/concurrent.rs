@@ -341,6 +341,61 @@ impl ShardedGss {
         }
     }
 
+    /// [`insert_batch`](Self::insert_batch) with typed fail-stop errors instead of the
+    /// storage-contract panics.  Shards fail independently: a fault poisons only its own
+    /// shard, the remaining shards still stage and acknowledge their sub-batches, and
+    /// the **first** fault encountered is returned.  A failed shard's sub-batch may be
+    /// partially applied and is never acknowledged; its
+    /// [`durability_report`](Self::durability_report) quantifies any breach.
+    pub fn try_insert_batch(&self, items: &[StreamEdge]) -> Result<(), crate::error::GssError> {
+        let mut per_shard: Vec<Vec<StreamEdge>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for item in items {
+            per_shard[self.shard_index(item.source)].push(*item);
+        }
+        let mut first_fault: Option<crate::error::StoreFault> = None;
+        let mut acks: Vec<(usize, crate::file_store::WalAck)> = Vec::new();
+        for (index, sub_batch) in per_shard.iter().enumerate() {
+            if sub_batch.is_empty() {
+                continue;
+            }
+            let _shard_held = witness::acquire(LockClass::Shard);
+            match self.shards[index].write().try_insert_batch_deferred(sub_batch) {
+                Ok(Some(ack)) => acks.push((index, ack)),
+                Ok(None) => {}
+                Err(fault) => first_fault = first_fault.or(Some(fault)),
+            }
+        }
+        for (index, ack) in acks {
+            if let Some(handle) = &self.ack_handles[index] {
+                if let Err(fault) = handle.try_ack(ack) {
+                    first_fault = first_fault.or(Some(fault));
+                }
+            }
+        }
+        match first_fault {
+            Some(fault) => Err(fault.into()),
+            None => Ok(()),
+        }
+    }
+
+    /// The honest durability account aggregated across shards: `poisoned` when **any**
+    /// shard fail-stopped, `cause` the first poisoned shard's fault, counts summed.
+    pub fn durability_report(&self) -> crate::error::DurabilityReport {
+        let mut total = crate::error::DurabilityReport::default();
+        for shard in self.shards.iter() {
+            let report = shard.read().durability_report();
+            total.poisoned |= report.poisoned;
+            if total.cause.is_none() {
+                total.cause = report.cause;
+            }
+            total.acked_items += report.acked_items;
+            total.durable_items += report.durable_items;
+            total.breached_items += report.breached_items;
+        }
+        total
+    }
+
     /// Edge query primitive (answered by the source's shard).
     pub fn edge_weight(&self, source: VertexId, destination: VertexId) -> Option<Weight> {
         let _shard_held = witness::acquire(LockClass::Shard);
@@ -399,6 +454,9 @@ impl ShardedGss {
             total.page_lookups += stats.page_lookups;
             total.page_faults += stats.page_faults;
             total.page_latch_waits += stats.page_latch_waits;
+            total.io_retries += stats.io_retries;
+            total.injected_faults += stats.injected_faults;
+            total.store_poisoned += stats.store_poisoned;
         }
         let stored = total.matrix_edges + total.buffered_edges;
         total.buffer_percentage =

@@ -1,6 +1,22 @@
-//! Error types for sketch construction.
+//! Error types for sketch construction and fail-stop storage:
+//! [`ConfigError`], [`StoreFault`], [`GssError`], [`StoreHealth`],
+//! [`DurabilityReport`].
+//!
+//! ## Fail-stop semantics
+//!
+//! The first failed fsync or unrecoverable write-back flips a store's sticky
+//! [`StoreHealth`] to poisoned.  From then on every fallible write path returns
+//! [`GssError::StoreFailed`] carrying the *original* [`StoreFault`] (first cause
+//! wins), reads keep serving from cache, and no sync/ack path retries a failed
+//! fsync — retrying an fsync whose dirty pages the kernel already dropped and
+//! acknowledging on the retry's success silently loses data (the "fsyncgate"
+//! hazard).  [`DurabilityReport`] quantifies the damage honestly: how many
+//! acknowledged items are covered by a durable log image and how many are not.
 
 use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// An invalid [`GssConfig`](crate::GssConfig) was supplied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +44,167 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// The typed, clonable record of a storage failure: what failed
+/// ([`io::ErrorKind`] preserved for programmatic matching) and a human-readable
+/// description of where.  Clonable so one sticky cause can surface through every
+/// subsequent write attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreFault {
+    kind: io::ErrorKind,
+    message: String,
+}
+
+impl StoreFault {
+    /// Creates a fault record.
+    pub fn new(kind: io::ErrorKind, message: impl Into<String>) -> Self {
+        Self { kind, message: message.into() }
+    }
+
+    /// Captures an [`io::Error`] with added context about the failing operation.
+    pub fn from_io(context: &str, error: &io::Error) -> Self {
+        Self { kind: error.kind(), message: format!("{context}: {error}") }
+    }
+
+    /// The preserved [`io::ErrorKind`] of the original failure.
+    pub fn kind(&self) -> io::ErrorKind {
+        self.kind
+    }
+
+    /// The human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Re-materializes the fault as an [`io::Error`] (same kind) for `io::Result`
+    /// plumbing.
+    pub fn to_io(&self) -> io::Error {
+        io::Error::new(self.kind, self.message.clone())
+    }
+}
+
+impl fmt::Display for StoreFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "store failed ({:?}): {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for StoreFault {}
+
+/// The unified typed error of the fallible sketch API (`try_insert` and friends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GssError {
+    /// An invalid configuration was supplied.
+    Config(ConfigError),
+    /// The backing store fail-stopped; the fault names the original cause (sticky —
+    /// every write after the first failure reports the same cause).
+    StoreFailed(StoreFault),
+}
+
+impl fmt::Display for GssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GssError::Config(error) => error.fmt(f),
+            GssError::StoreFailed(fault) => fault.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for GssError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GssError::Config(error) => Some(error),
+            GssError::StoreFailed(fault) => Some(fault),
+        }
+    }
+}
+
+impl From<ConfigError> for GssError {
+    fn from(error: ConfigError) -> Self {
+        GssError::Config(error)
+    }
+}
+
+impl From<StoreFault> for GssError {
+    fn from(fault: StoreFault) -> Self {
+        GssError::StoreFailed(fault)
+    }
+}
+
+/// The sticky per-store poison state: flipped by the first failed fsync or
+/// unrecoverable write-back, never cleared for the store's lifetime (a clean reopen
+/// builds a fresh store with fresh health).  Shared by the store, its write-ahead-log
+/// membership and its background flusher, so a failure on any of the three paths
+/// fail-stops all writes at once while reads keep serving from cache.
+#[derive(Debug, Default)]
+pub struct StoreHealth {
+    poisoned: AtomicBool,
+    cause: Mutex<Option<StoreFault>>,
+}
+
+impl StoreHealth {
+    /// Creates healthy state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a failure, first cause wins; returns the sticky cause (the argument on
+    /// the first call, the original fault on every later one).  The poison flag is
+    /// published with release ordering *after* the cause is stored, so any thread that
+    /// observes the flag can read the cause.
+    pub fn poison(&self, fault: StoreFault) -> StoreFault {
+        let mut cause = self.cause.lock().unwrap_or_else(PoisonError::into_inner);
+        let sticky = cause.get_or_insert(fault).clone();
+        drop(cause);
+        self.poisoned.store(true, Ordering::Release);
+        sticky
+    }
+
+    /// Whether the store has fail-stopped.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// The original failure, if any.
+    pub fn cause(&self) -> Option<StoreFault> {
+        if !self.is_poisoned() {
+            return None;
+        }
+        self.cause.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// `Err(original fault)` once poisoned — the gate every fallible write path
+    /// checks first.
+    pub fn check(&self) -> Result<(), StoreFault> {
+        if !self.is_poisoned() {
+            return Ok(());
+        }
+        Err(self.cause().unwrap_or_else(|| {
+            StoreFault::new(io::ErrorKind::Other, "store poisoned (cause unavailable)")
+        }))
+    }
+}
+
+/// An honest account of acknowledged-versus-durable items, surfaced by
+/// [`FileStore::durability_report`](crate::FileStore) and the sketch layer: after a
+/// fault, callers learn exactly how many acknowledged items may not survive a crash
+/// instead of discovering it on reopen.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurabilityReport {
+    /// Whether the store has fail-stopped.
+    pub poisoned: bool,
+    /// The original failure when poisoned.
+    pub cause: Option<StoreFault>,
+    /// Stream items whose insert was acknowledged to the caller.
+    pub acked_items: u64,
+    /// Acknowledged items whose commit frames are known to have reached the log file
+    /// image (they replay on reopen after a fail-stop or kill).
+    pub durable_items: u64,
+    /// Acknowledged items *not* covered by the log image — possibly lost.  Zero on a
+    /// healthy store (pending bytes drain on the policy's schedule); on a poisoned
+    /// store this is the breach the acknowledgements overstated.
+    pub breached_items: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +221,33 @@ mod tests {
         let err = ConfigError::new("boom");
         let as_dyn: &dyn std::error::Error = &err;
         assert!(as_dyn.source().is_none());
+    }
+
+    #[test]
+    fn store_fault_preserves_the_error_kind_through_round_trips() {
+        let io_error = io::Error::new(io::ErrorKind::StorageFull, "disk full");
+        let fault = StoreFault::from_io("writing tail", &io_error);
+        assert_eq!(fault.kind(), io::ErrorKind::StorageFull);
+        assert!(fault.message().contains("writing tail"));
+        assert_eq!(fault.to_io().kind(), io::ErrorKind::StorageFull);
+        let error: GssError = fault.clone().into();
+        assert!(matches!(&error, GssError::StoreFailed(f) if *f == fault));
+        assert!(error.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn health_poisons_sticky_with_the_first_cause() {
+        let health = StoreHealth::new();
+        assert!(!health.is_poisoned());
+        assert!(health.check().is_ok());
+        assert!(health.cause().is_none());
+        let first = StoreFault::new(io::ErrorKind::Other, "first failure");
+        let sticky = health.poison(first.clone());
+        assert_eq!(sticky, first);
+        let second = StoreFault::new(io::ErrorKind::StorageFull, "second failure");
+        assert_eq!(health.poison(second), first, "first cause wins");
+        assert!(health.is_poisoned());
+        assert_eq!(health.check().unwrap_err(), first);
+        assert_eq!(health.cause(), Some(first));
     }
 }

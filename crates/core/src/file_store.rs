@@ -85,6 +85,7 @@
 //! in-memory backend is; construction, open and sync report errors properly.
 
 use crate::config::{Durability, GroupCommit, GssConfig, WAL_BUFFER_BYTES};
+use crate::error::{DurabilityReport, StoreFault, StoreHealth};
 use crate::group_commit::{GroupCommitter, WalMember, WalState};
 use crate::matrix::Room;
 use crate::pager::flusher::Flusher;
@@ -235,9 +236,19 @@ pub struct DurabilityStats {
     pub wal_group_waits: u64,
     /// Sync (`fdatasync`) calls issued against the write-ahead log file.
     pub wal_fsyncs: u64,
+    /// Bounded transient-failure retries (`EINTR`, short reads) across the sketch file
+    /// and the write-ahead log (see
+    /// [`MAX_TRANSIENT_RETRIES`](crate::pager::page_file::MAX_TRANSIENT_RETRIES)).
+    pub io_retries: u64,
+    /// Faults injected by an armed [`FaultPlan`](crate::pager::faults::FaultPlan)
+    /// through this store's file handles; zero in production.
+    pub injected_faults: u64,
+    /// Whether the store has fail-stopped (1 when poisoned, 0 when healthy; numeric so
+    /// the flat stats encoding stays uniform).
+    pub store_poisoned: u64,
 }
 
-/// The deferred half of a two-phase commit: [`FileStore::log_commit_deferred`] appends
+/// The deferred half of a two-phase commit: [`FileStore::try_log_commit_deferred`] appends
 /// the commit frame and returns this token; [`FileStore::ack_commit`] consumes it to
 /// apply the durability policy.  Multi-shard batches append every shard's frame before
 /// acknowledging any of them, so concurrent drain rounds cover each other's bytes.
@@ -248,6 +259,9 @@ pub(crate) struct WalAck {
     /// Pending (undrained) log bytes at append time — decides whether a
     /// [`Durability::Buffered`] store drains early.
     pending: usize,
+    /// Cumulative stream items the commit frame covers — credited to the durability
+    /// accounting ([`DurabilityReport`]) when the commit is acknowledged.
+    items: u64,
 }
 
 /// A lock-free acknowledger for one store's deferred commits: the durability policy plus
@@ -272,11 +286,24 @@ impl WalAckHandle {
     /// [`FileStore::ack_commit`] through the handle.  Hot-path I/O failures panic by the
     /// storage contract, exactly as they do through the store.
     pub(crate) fn ack(&self, ack: WalAck) {
+        self.try_ack(ack)
+            .unwrap_or_else(|fault| panic!("write-ahead-log group commit failed: {fault}"));
+    }
+
+    /// Fallible [`ack`](Self::ack): a failed drain or sync surfaces as the store's
+    /// sticky [`StoreFault`] instead of a panic.  On success the acknowledged items are
+    /// credited to the durability accounting.
+    pub(crate) fn try_ack(&self, ack: WalAck) -> Result<(), StoreFault> {
+        self.wal.health().check()?;
         if self.durability == Durability::Strict || ack.pending >= WAL_BUFFER_BYTES {
-            self.group
-                .commit(&self.wal, ack.target)
-                .unwrap_or_else(|error| panic!("write-ahead-log group commit failed: {error}"));
+            self.group.commit(&self.wal, ack.target).map_err(|error| {
+                self.wal
+                    .health()
+                    .poison(StoreFault::from_io("write-ahead-log group commit", &error))
+            })?;
         }
+        self.wal.record_ack(ack.items);
+        Ok(())
     }
 }
 
@@ -327,6 +354,11 @@ pub struct FileStore {
     sync_state: Mutex<SyncState>,
     /// Background write-back thread ([`Durability::Buffered`] only).
     flusher: Option<Flusher>,
+    /// Sticky fail-stop state, shared with the write-ahead-log membership and the
+    /// background flusher: the first failed fsync or unrecoverable write-back poisons
+    /// it, after which every fallible write path returns the original cause while
+    /// reads keep serving from cache (see [`crate::error::StoreHealth`]).
+    health: Arc<StoreHealth>,
     /// Advisory single-opener lock; released (sidecar removed) when the store drops.
     _lock: LockFile,
 }
@@ -451,12 +483,13 @@ impl FileStore {
             node_len: empty_section_len,
             node_crc: empty_crc,
         };
-        let file = Arc::new(PageFile::new(file));
+        let file = Arc::new(PageFile::with_faults(file, crate::pager::faults::plan_for(path)));
+        let health = Arc::new(StoreHealth::new());
         let flusher = match durability {
             Durability::Strict => None,
-            Durability::Buffered => Some(Flusher::spawn(Arc::clone(&file))?),
+            Durability::Buffered => Some(Flusher::spawn(Arc::clone(&file), Arc::clone(&health))?),
         };
-        let wal = WalMember::new(wal, true);
+        let wal = WalMember::new(wal, true, Arc::clone(&health));
         group.register(&wal);
         Ok(Self {
             path: path.to_path_buf(),
@@ -475,6 +508,7 @@ impl FileStore {
             write_cursor: Mutex::new(PageCursor::default()),
             sync_state: Mutex::new(SyncState { synced, tail_bytes_written: 0, checkpoints: 0 }),
             flusher,
+            health,
             _lock: lock,
         })
     }
@@ -770,14 +804,16 @@ impl FileStore {
         group: Arc<GroupCommitter>,
         lock: LockFile,
     ) -> Result<Self, PersistenceError> {
-        let file = Arc::new(PageFile::new(file));
+        let file = Arc::new(PageFile::with_faults(file, crate::pager::faults::plan_for(path)));
+        let health = Arc::new(StoreHealth::new());
         let flusher = match durability {
             Durability::Strict => None,
-            Durability::Buffered => {
-                Some(Flusher::spawn(Arc::clone(&file)).map_err(PersistenceError::from)?)
-            }
+            Durability::Buffered => Some(
+                Flusher::spawn(Arc::clone(&file), Arc::clone(&health))
+                    .map_err(PersistenceError::from)?,
+            ),
         };
-        let wal = WalMember::new(wal, clean);
+        let wal = WalMember::new(wal, clean, Arc::clone(&health));
         group.register(&wal);
         Ok(Self {
             path: path.to_path_buf(),
@@ -796,6 +832,7 @@ impl FileStore {
             write_cursor: Mutex::new(PageCursor::default()),
             sync_state: Mutex::new(SyncState { synced, tail_bytes_written: 0, checkpoints: 0 }),
             flusher,
+            health,
             _lock: lock,
         })
     }
@@ -876,11 +913,41 @@ impl FileStore {
         (row * self.width + column) * self.rooms_per_bucket + slot
     }
 
-    /// Unwraps a hot-path I/O result, panicking with context on failure (see module docs).
+    /// Unwraps a hot-path I/O result, panicking with context on failure (see module
+    /// docs).  The store is poisoned *before* the panic unwinds, so concurrent threads
+    /// and any catch-unwind boundary observe the typed fail-stop state, not just the
+    /// panic message.
     fn io_fail<T>(&self, result: io::Result<T>) -> T {
         result.unwrap_or_else(|error| {
+            self.health.poison(StoreFault::from_io("sketch file I/O", &error));
             panic!("sketch file I/O failed on {}: {error}", self.path.display())
         })
+    }
+
+    /// Poisons the store with a write-path failure and returns the sticky cause.
+    fn poison_fault(&self, context: &str, error: &io::Error) -> StoreFault {
+        self.health.poison(StoreFault::from_io(context, error))
+    }
+
+    /// The store's sticky fail-stop state.
+    pub(crate) fn health(&self) -> &Arc<StoreHealth> {
+        &self.health
+    }
+
+    /// An honest account of acknowledged-versus-durable stream items (see
+    /// [`DurabilityReport`]).  On a healthy store nothing is breached — pending log
+    /// bytes drain on the policy's schedule; once poisoned, every acknowledged item not
+    /// covered by a completed log-file write is reported as possibly lost.
+    pub fn durability_report(&self) -> DurabilityReport {
+        let (acked_items, durable_items) = self.wal.item_counts();
+        let poisoned = self.health.is_poisoned();
+        DurabilityReport {
+            poisoned,
+            cause: self.health.cause(),
+            acked_items,
+            durable_items,
+            breached_items: if poisoned { acked_items.saturating_sub(durable_items) } else { 0 },
+        }
     }
 
     /// Invokes the installed flush hook, if any.  The hook mutex is a leaf lock: safe to
@@ -911,15 +978,38 @@ impl FileStore {
         self.group.barrier(&self.wal)
     }
 
+    /// Runs `read` over one page's bytes: through the cache normally, degrading to an
+    /// uncached image read once the store is poisoned.  A cache *miss* may have to
+    /// evict a dirty page, and a poisoned store can no longer write anything back — so
+    /// instead of surfacing that dead end, misses bypass the cache entirely: newest
+    /// queued write-back bytes if still pending ([`Flusher::peek`]), else the file
+    /// image.  Cache hits (including dirty pages) keep serving either way, which is
+    /// the "reads keep serving from cache" half of the fail-stop contract.
+    fn with_page<T>(&self, page_index: u64, read: impl FnOnce(&[u8]) -> T) -> io::Result<T> {
+        match self.cache.lookup(page_index, self) {
+            Ok(slot) => Ok(read(&self.cache.read(&slot)[..])),
+            Err(_) if self.health.is_poisoned() => {
+                let mut buffer = [0u8; PAGE_BYTES];
+                if let Some(data) = self.flusher.as_ref().and_then(|f| f.peek(page_index)) {
+                    buffer.copy_from_slice(&data[..]);
+                } else {
+                    self.file.read_exact_at(&mut buffer[..], page_offset(page_index))?;
+                }
+                Ok(read(&buffer))
+            }
+            Err(error) => Err(error),
+        }
+    }
+
     /// Reads the room at flat index `index` through the cache.
     fn read_room(&self, index: usize) -> io::Result<Room> {
         let byte = index * ROOM_RECORD_BYTES;
-        let slot = self.cache.lookup((byte / PAGE_BYTES) as u64, self)?;
-        let data = self.cache.read(&slot);
-        let offset = byte % PAGE_BYTES;
-        let record: &[u8; ROOM_RECORD_BYTES] =
-            data[offset..offset + ROOM_RECORD_BYTES].try_into().expect("length checked");
-        Ok(decode_room(record))
+        self.with_page((byte / PAGE_BYTES) as u64, |data| {
+            let offset = byte % PAGE_BYTES;
+            let record: &[u8; ROOM_RECORD_BYTES] =
+                data[offset..offset + ROOM_RECORD_BYTES].try_into().expect("length checked");
+            decode_room(record)
+        })
     }
 
     /// Writes the room at flat index `index` through the cache: logs the full post-write
@@ -961,17 +1051,23 @@ impl FileStore {
         let mut slot_index = 0usize;
         while slot_index < self.rooms_per_bucket {
             let byte = (start + slot_index) * ROOM_RECORD_BYTES;
-            let page = self.cache.lookup((byte / PAGE_BYTES) as u64, self)?;
-            let data = self.cache.read(&page);
-            let mut offset = byte % PAGE_BYTES;
-            while slot_index < self.rooms_per_bucket && offset + ROOM_RECORD_BYTES <= PAGE_BYTES {
-                let record: &[u8; ROOM_RECORD_BYTES] =
-                    data[offset..offset + ROOM_RECORD_BYTES].try_into().expect("length checked");
-                if !visit(slot_index, decode_room(record)) {
-                    return Ok(());
+            let stopped = self.with_page((byte / PAGE_BYTES) as u64, |data| {
+                let mut offset = byte % PAGE_BYTES;
+                while slot_index < self.rooms_per_bucket && offset + ROOM_RECORD_BYTES <= PAGE_BYTES
+                {
+                    let record: &[u8; ROOM_RECORD_BYTES] = data[offset..offset + ROOM_RECORD_BYTES]
+                        .try_into()
+                        .expect("length checked");
+                    if !visit(slot_index, decode_room(record)) {
+                        return true;
+                    }
+                    slot_index += 1;
+                    offset += ROOM_RECORD_BYTES;
                 }
-                slot_index += 1;
-                offset += ROOM_RECORD_BYTES;
+                false
+            })?;
+            if stopped {
+                return Ok(());
             }
         }
         Ok(())
@@ -989,25 +1085,33 @@ impl FileStore {
         let mut offset = 0usize;
         while offset < count {
             let byte = (start + offset) * ROOM_RECORD_BYTES;
-            let page = self.cache.lookup((byte / PAGE_BYTES) as u64, self)?;
-            let data = self.cache.read(&page);
-            let mut at = byte % PAGE_BYTES;
-            while offset < count && at + ROOM_RECORD_BYTES <= PAGE_BYTES {
-                let record: &[u8; ROOM_RECORD_BYTES] =
-                    data[at..at + ROOM_RECORD_BYTES].try_into().expect("length checked");
-                if record[ROOM_OCCUPIED_BYTE] != 0 {
-                    visit(offset, decode_room(record));
+            self.with_page((byte / PAGE_BYTES) as u64, |data| {
+                let mut at = byte % PAGE_BYTES;
+                while offset < count && at + ROOM_RECORD_BYTES <= PAGE_BYTES {
+                    let record: &[u8; ROOM_RECORD_BYTES] =
+                        data[at..at + ROOM_RECORD_BYTES].try_into().expect("length checked");
+                    if record[ROOM_OCCUPIED_BYTE] != 0 {
+                        visit(offset, decode_room(record));
+                    }
+                    offset += 1;
+                    at += ROOM_RECORD_BYTES;
                 }
-                offset += 1;
-                at += ROOM_RECORD_BYTES;
-            }
+            })?;
         }
         Ok(())
     }
 
     /// Logs a left-over buffer insertion to the write-ahead log (the buffer itself lives
-    /// in the sketch, not in room storage — only its durability passes through here).
-    pub(crate) fn log_buffer_insert(&self, source: u64, destination: u64, weight: i64) {
+    /// in the sketch, not in room storage — only its durability passes through here):
+    /// fail-stop gated, and a failed unclean-flag write poisons the store instead of
+    /// panicking.
+    pub(crate) fn try_log_buffer_insert(
+        &self,
+        source: u64,
+        destination: u64,
+        weight: i64,
+    ) -> Result<(), StoreFault> {
+        self.health.check()?;
         let frame = wal::buffer_frame(source, destination, weight);
         let wal_held = witness::acquire(LockClass::WalAppend);
         let mut wal = self.wal.wal.lock();
@@ -1015,11 +1119,12 @@ impl FileStore {
         let result = self.mark_unclean_locked(&mut wal);
         drop(wal);
         drop(wal_held);
-        self.io_fail(result);
+        result.map_err(|error| self.poison_fault("unclean-flag write", &error))
     }
 
-    /// Logs a `⟨H(v), v⟩` registration to the write-ahead log.
-    pub(crate) fn log_node(&self, hash: u64, vertex: u64) {
+    /// Logs a `⟨H(v), v⟩` registration to the write-ahead log (fail-stop gated).
+    pub(crate) fn try_log_node(&self, hash: u64, vertex: u64) -> Result<(), StoreFault> {
+        self.health.check()?;
         let frame = wal::node_frame(hash, vertex);
         let wal_held = witness::acquire(LockClass::WalAppend);
         let mut wal = self.wal.wal.lock();
@@ -1027,7 +1132,7 @@ impl FileStore {
         let result = self.mark_unclean_locked(&mut wal);
         drop(wal);
         drop(wal_held);
-        self.io_fail(result);
+        result.map_err(|error| self.poison_fault("unclean-flag write", &error))
     }
 
     /// Logs the completion of an insert/batch: appends the commit frame and marks the
@@ -1040,7 +1145,12 @@ impl FileStore {
     /// acknowledging any of them, so drain rounds led by concurrent writers cover the
     /// earlier shards' bytes and most acknowledgements return on the coordinator's
     /// already-drained fast path instead of leading a small round each.
-    pub(crate) fn log_commit_deferred(&self, items: u64) -> (u64, WalAck) {
+    ///
+    /// Fail-stop gated, and the commit is registered with the durability accounting so
+    /// [`durability_report`](Self::durability_report) can tell acknowledged items from
+    /// durable ones.
+    pub(crate) fn try_log_commit_deferred(&self, items: u64) -> Result<(u64, WalAck), StoreFault> {
+        self.health.check()?;
         let frame = wal::commit_frame(items);
         let wal_held = witness::acquire(LockClass::WalAppend);
         let mut wal = self.wal.wal.lock();
@@ -1053,22 +1163,120 @@ impl FileStore {
         })();
         drop(wal);
         drop(wal_held);
-        let (bytes, target, pending) = self.io_fail(result);
-        (bytes, WalAck { target, pending })
+        let (bytes, target, pending) =
+            result.map_err(|error: io::Error| self.poison_fault("unclean-flag write", &error))?;
+        self.wal.record_commit(target, items);
+        Ok((bytes, WalAck { target, pending, items }))
     }
 
     /// The acknowledgement half of a commit appended by
-    /// [`log_commit_deferred`](Self::log_commit_deferred): under [`Durability::Strict`]
+    /// [`try_log_commit_deferred`](Self::try_log_commit_deferred): under [`Durability::Strict`]
     /// the commit's frames are in the log file before this returns (the acknowledged
     /// items are now crash-safe); under [`Durability::Buffered`] the drain waits until
     /// the pending buffer exceeds [`WAL_BUFFER_BYTES`].  Both drain through the
     /// group-commit coordinator — concurrent shard commits share one drain round and
     /// one sync cadence.
     pub(crate) fn ack_commit(&self, ack: WalAck) {
+        let result = self.try_ack_commit(ack);
+        self.io_fail(result.map_err(|fault| fault.to_io()));
+    }
+
+    /// Fallible [`ack_commit`](Self::ack_commit): a failed drain or sync returns the
+    /// store's sticky [`StoreFault`]; on success the items are credited as acknowledged.
+    pub(crate) fn try_ack_commit(&self, ack: WalAck) -> Result<(), StoreFault> {
+        self.health.check()?;
         if self.durability == Durability::Strict || ack.pending >= WAL_BUFFER_BYTES {
-            let committed = self.group.commit(&self.wal, ack.target);
-            self.io_fail(committed);
+            self.group
+                .commit(&self.wal, ack.target)
+                .map_err(|error| self.poison_fault("write-ahead-log group commit", &error))?;
         }
+        self.wal.record_ack(ack.items);
+        Ok(())
+    }
+
+    /// Fallible [`RoomStore::add_weight`]: fail-stop gated, poisons on failure instead
+    /// of panicking.
+    pub(crate) fn try_add_weight(
+        &mut self,
+        row: usize,
+        column: usize,
+        slot: usize,
+        weight: i64,
+    ) -> Result<(), StoreFault> {
+        self.health.check()?;
+        let index = self.room_index(row, column, slot);
+        self.read_room(index)
+            .and_then(|mut room| {
+                debug_assert!(room.occupied, "adding weight to an empty room");
+                room.weight += weight;
+                self.write_room(index, &room)
+            })
+            .map_err(|error| self.poison_fault("room write", &error))
+    }
+
+    /// Fallible [`RoomStore::store_room`]: fail-stop gated, poisons on failure instead
+    /// of panicking.
+    pub(crate) fn try_store_room(
+        &mut self,
+        row: usize,
+        column: usize,
+        slot: usize,
+        room: Room,
+    ) -> Result<(), StoreFault> {
+        self.health.check()?;
+        debug_assert!(room.occupied, "storing an unoccupied room");
+        let index = self.room_index(row, column, slot);
+        debug_assert!(
+            // An unreadable room is the write's problem, not the assert's.
+            self.read_room(index).map(|existing| !existing.occupied).unwrap_or(true),
+            "overwriting an occupied room"
+        );
+        self.write_room(index, &room).map_err(|error| self.poison_fault("room write", &error))?;
+        // relaxed: a monotone counter; the occupancy index, not this count, gates scans.
+        self.occupied_rooms.fetch_add(1, Ordering::Relaxed);
+        self.index.mark(row, column);
+        Ok(())
+    }
+
+    /// Fallible [`RoomStore::probe_bucket`]: the probe that opens every edge placement.
+    /// A cache miss here may have to evict a dirty page, so a latched write-back fault
+    /// (or a hard read fault) surfaces as the sticky [`StoreFault`] instead of the
+    /// infallible trait's panic — the typed fail-stop path runs through this.
+    pub(crate) fn try_probe_bucket(
+        &self,
+        row: usize,
+        column: usize,
+        source_fingerprint: u16,
+        destination_fingerprint: u16,
+        source_index: u8,
+        destination_index: u8,
+    ) -> Result<BucketProbe, StoreFault> {
+        self.health.check()?;
+        let start = self.room_index(row, column, 0);
+        let mut matched = None;
+        let mut first_empty = None;
+        self.scan_bucket(start, &mut |slot, room| {
+            if room.matches(
+                source_fingerprint,
+                destination_fingerprint,
+                source_index,
+                destination_index,
+            ) {
+                matched = Some(slot);
+                false
+            } else {
+                if !room.occupied && first_empty.is_none() {
+                    first_empty = Some(slot);
+                }
+                true
+            }
+        })
+        .map_err(|error| self.poison_fault("bucket probe page load", &error))?;
+        Ok(match (matched, first_empty) {
+            (Some(slot), _) => BucketProbe::Match(slot),
+            (None, Some(slot)) => BucketProbe::Empty(slot),
+            (None, None) => BucketProbe::Full,
+        })
     }
 
     /// A [`WalAckHandle`] for this store — acknowledges deferred commits without the
@@ -1133,6 +1341,9 @@ impl FileStore {
             wal_group_commits,
             wal_group_waits,
             wal_fsyncs,
+            io_retries: self.file.io_retries() + self.wal.log_io_retries(),
+            injected_faults: self.file.injected_faults() + self.wal.log_injected_faults(),
+            store_poisoned: u64::from(self.health.is_poisoned()),
         }
     }
 
@@ -1233,6 +1444,15 @@ impl FileStore {
     /// Checkpoints run with no concurrent *mutators* (the sketch reaches them through
     /// `&mut self` paths); concurrent readers are safe throughout.
     pub fn checkpoint(&self, items: u64, sections: TailSections<'_>) -> io::Result<()> {
+        // Fail-stop gate: a poisoned store must not attempt the tail/header rewrite —
+        // and a checkpoint that fails partway poisons the store (its on-disk state is
+        // mid-transition; only the log guarantees recovery).
+        self.health.check().map_err(|fault| fault.to_io())?;
+        self.checkpoint_inner(items, sections)
+            .map_err(|error| self.poison_fault("checkpoint", &error).to_io())
+    }
+
+    fn checkpoint_inner(&self, items: u64, sections: TailSections<'_>) -> io::Result<()> {
         let _sync_held = witness::acquire(LockClass::CheckpointState);
         let mut sync = self.sync_state.lock();
         let synced = sync.synced;
@@ -1462,53 +1682,25 @@ impl RoomStore for FileStore {
         source_index: u8,
         destination_index: u8,
     ) -> BucketProbe {
-        let start = self.room_index(row, column, 0);
-        let mut matched = None;
-        let mut first_empty = None;
-        self.io_fail(self.scan_bucket(start, &mut |slot, room| {
-            if room.matches(
-                source_fingerprint,
-                destination_fingerprint,
-                source_index,
-                destination_index,
-            ) {
-                matched = Some(slot);
-                false
-            } else {
-                if !room.occupied && first_empty.is_none() {
-                    first_empty = Some(slot);
-                }
-                true
-            }
-        }));
-        match (matched, first_empty) {
-            (Some(slot), _) => BucketProbe::Match(slot),
-            (None, Some(slot)) => BucketProbe::Empty(slot),
-            (None, None) => BucketProbe::Full,
-        }
+        let result = self.try_probe_bucket(
+            row,
+            column,
+            source_fingerprint,
+            destination_fingerprint,
+            source_index,
+            destination_index,
+        );
+        self.io_fail(result.map_err(|fault| fault.to_io()))
     }
 
     fn add_weight(&mut self, row: usize, column: usize, slot: usize, weight: i64) {
-        let index = self.room_index(row, column, slot);
-        let result = self.read_room(index).and_then(|mut room| {
-            debug_assert!(room.occupied, "adding weight to an empty room");
-            room.weight += weight;
-            self.write_room(index, &room)
-        });
-        self.io_fail(result);
+        let result = self.try_add_weight(row, column, slot, weight);
+        self.io_fail(result.map_err(|fault| fault.to_io()));
     }
 
     fn store_room(&mut self, row: usize, column: usize, slot: usize, room: Room) {
-        debug_assert!(room.occupied, "storing an unoccupied room");
-        let index = self.room_index(row, column, slot);
-        debug_assert!(
-            !self.io_fail(self.read_room(index)).occupied,
-            "overwriting an occupied room"
-        );
-        self.io_fail(self.write_room(index, &room));
-        // relaxed: a monotone counter; the occupancy index, not this count, gates scans.
-        self.occupied_rooms.fetch_add(1, Ordering::Relaxed);
-        self.index.mark(row, column);
+        let result = self.try_store_room(row, column, slot, room);
+        self.io_fail(result.map_err(|fault| fault.to_io()));
     }
 
     fn scan_row(&self, row: usize, visit: &mut dyn FnMut(usize, Room)) {
@@ -1652,7 +1844,7 @@ mod tests {
         {
             let mut store = FileStore::create(&path, &GssConfig::paper_default(4), 2).unwrap();
             store.store_room(0, 0, 0, sample_room(1));
-            let (_, ack) = store.log_commit_deferred(1);
+            let (_, ack) = store.try_log_commit_deferred(1).unwrap();
             store.ack_commit(ack);
             // No write_tail: the clean flag stays cleared, the room lives only in the
             // cache — and in the drained WAL.
@@ -1736,7 +1928,7 @@ mod tests {
             let (mut store, header) = FileStore::open(&path, 4).unwrap();
             assert_eq!(header.tail, v1_tail);
             store.store_room(1, 1, 0, sample_room(4));
-            let (_, ack) = store.log_commit_deferred(6);
+            let (_, ack) = store.try_log_commit_deferred(6).unwrap();
             store.ack_commit(ack);
             store.abandon();
         }
@@ -1883,6 +2075,47 @@ mod tests {
         let mut expected = buffer.clone();
         expected.extend_from_slice(&node2);
         assert_eq!(header.tail, expected);
+        remove(&path);
+    }
+
+    #[test]
+    fn injected_wal_fault_fail_stops_writes_reads_keep_serving_and_the_report_is_honest() {
+        let path = temp_path("failstop");
+        // Target only the log file: its magic write at create is occurrence 1, the
+        // first drain's arena write is occurrence 2.
+        let token = format!("gss-file-store-{}-failstop.gss.wal", std::process::id());
+        let _guard = crate::pager::faults::install(
+            crate::pager::faults::FaultPlan::parse("write:eio@2")
+                .expect("parse plan")
+                .with_path_token(&token),
+        );
+        let config = GssConfig::paper_default(8);
+        let mut store = FileStore::create_durable(&path, &config, 4, Durability::Buffered).unwrap();
+        store.store_room(0, 0, 0, sample_room(7));
+        let (_, ack) = store.try_log_commit_deferred(1).unwrap();
+        // Buffered with a tiny pending arena: acknowledged without a drain.
+        store.try_ack_commit(ack).unwrap();
+        let healthy = store.durability_report();
+        assert!(!healthy.poisoned);
+        assert_eq!((healthy.acked_items, healthy.breached_items), (1, 0));
+        // The flush forces the drain, which hits the injected EIO.
+        let error = store.flush_pages().expect_err("injected drain failure must surface");
+        assert!(store.health().is_poisoned());
+        // Writes fail-stop with the sticky cause...
+        let fault = store.try_store_room(0, 1, 0, sample_room(1)).unwrap_err();
+        assert_eq!(fault.kind(), error.kind());
+        assert!(store.try_log_commit_deferred(2).is_err());
+        // ...reads keep serving from cache...
+        assert_eq!(store.room(0, 0, 0).weight, 7);
+        // ...and the report names the acked-but-possibly-lost item.
+        let report = store.durability_report();
+        assert!(report.poisoned);
+        assert_eq!(report.cause.as_ref().map(StoreFault::kind), Some(error.kind()));
+        assert_eq!((report.acked_items, report.durable_items, report.breached_items), (1, 0, 1));
+        assert_eq!(store.durability_stats().store_poisoned, 1);
+        assert!(store.durability_stats().injected_faults >= 1);
+        store.abandon();
+        drop(store);
         remove(&path);
     }
 

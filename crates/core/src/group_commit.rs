@@ -43,11 +43,13 @@
 //! [`LockClass::GroupCommit`]).
 
 use crate::config::GroupCommit;
+use crate::error::{StoreFault, StoreHealth};
 use crate::file_store::{FlushHook, FlushPoint};
 use crate::pager::page_file::PageFile;
 use crate::pager::witness::{self, LockClass};
 use crate::wal::WalWriter;
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
@@ -100,10 +102,23 @@ pub(crate) struct WalMember {
     /// Signalled when this member's drain round ends; parked committers re-check their
     /// target.
     done: Condvar,
+    /// The owning store's sticky fail-stop state, shared with the flusher: a failed
+    /// drain or cadence sync poisons it *before* `written` advances, so a parked
+    /// committer waking on its target always observes the poison (the fix for the
+    /// "fsyncgate"-style false acknowledgement).
+    health: Arc<StoreHealth>,
+    /// Stream items acknowledged to callers (cumulative, per this member's log).
+    acked_items: AtomicU64,
+    /// Stream items whose commit frames completed their log-file write (cumulative);
+    /// the honest lower bound [`DurabilityReport`](crate::DurabilityReport) exposes.
+    durable_items: AtomicU64,
+    /// Commits awaiting durability credit: append-target → cumulative item count.
+    /// Plain leaf mutex, never held across I/O or any other lock.
+    pending_acks: StdMutex<BTreeMap<u64, u64>>,
 }
 
 impl WalMember {
-    pub(crate) fn new(writer: WalWriter, clean: bool) -> Arc<Self> {
+    pub(crate) fn new(writer: WalWriter, clean: bool, health: Arc<StoreHealth>) -> Arc<Self> {
         let log_file = writer.shared_file();
         Arc::new(Self {
             wal: Mutex::new(WalState { writer, clean, spare: Vec::new() }),
@@ -116,7 +131,71 @@ impl WalMember {
             fsyncs: AtomicU64::new(0),
             group_token: StdMutex::new(false),
             done: Condvar::new(),
+            health,
+            acked_items: AtomicU64::new(0),
+            durable_items: AtomicU64::new(0),
+            pending_acks: StdMutex::new(BTreeMap::new()),
         })
+    }
+
+    /// The owning store's fail-stop state.
+    pub(crate) fn health(&self) -> &Arc<StoreHealth> {
+        &self.health
+    }
+
+    /// Transient retries performed against this member's log file.
+    pub(crate) fn log_io_retries(&self) -> u64 {
+        self.log_file.io_retries()
+    }
+
+    /// Faults injected through this member's log-file handle.
+    pub(crate) fn log_injected_faults(&self) -> u64 {
+        self.log_file.injected_faults()
+    }
+
+    /// Registers a deferred commit for durability accounting: once `target` appended
+    /// bytes complete their log-file write, `items` total stream items are covered by
+    /// the log image.  Credited immediately when the log is already drained past the
+    /// target (the entry would otherwise never be visited again).
+    pub(crate) fn record_commit(&self, target: u64, items: u64) {
+        unpoison(self.pending_acks.lock()).insert(target, items);
+        self.credit_durable(self.written.load(Ordering::Acquire));
+    }
+
+    /// Marks `items` total stream items as acknowledged to the caller.
+    pub(crate) fn record_ack(&self, items: u64) {
+        // relaxed: a monotone accounting counter, read only by report snapshots.
+        self.acked_items.fetch_max(items, Ordering::Relaxed);
+    }
+
+    /// Credits every pending commit whose target is covered by `written_upto`
+    /// successfully written bytes.  A poisoned member credits nothing: `written` also
+    /// advances for failed drains (to release parked committers), so its value no
+    /// longer proves the bytes reached the file.
+    fn credit_durable(&self, written_upto: u64) {
+        if self.health.is_poisoned() {
+            return;
+        }
+        let mut pending = unpoison(self.pending_acks.lock());
+        if pending.range(..=written_upto).next().is_none() {
+            return;
+        }
+        let still_pending = pending.split_off(&(written_upto.saturating_add(1)));
+        let covered = pending.values().copied().max();
+        *pending = still_pending;
+        drop(pending);
+        if let Some(items) = covered {
+            // relaxed: a monotone accounting counter, read only by report snapshots.
+            self.durable_items.fetch_max(items, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of `(acked_items, durable_items)` for the durability report.
+    pub(crate) fn item_counts(&self) -> (u64, u64) {
+        // relaxed: accounting counters, read only by report snapshots.
+        let acked = self.acked_items.load(Ordering::Relaxed);
+        let durable = self.durable_items.load(Ordering::Relaxed);
+        (acked, durable.min(acked))
     }
 
     /// Attempts to claim this member's drain token.  Returns `false` (after parking
@@ -165,6 +244,7 @@ impl WalMember {
         self.synced.fetch_max(written, Ordering::AcqRel);
         // relaxed: monitoring counter, read only by stats snapshots.
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.credit_durable(written);
     }
 
     /// Snapshot of the drain/sync counters: `(group_commits, group_waits, fsyncs)`.
@@ -203,8 +283,9 @@ struct CadenceState {
     /// A committer tripped the byte budget; coalesced so one sweep answers many kicks.
     kicked: bool,
     /// First background `fdatasync` failure; latched and re-raised to the next writer
-    /// that leads a round, so a broken staleness bound never passes silently.
-    error: Option<String>,
+    /// that leads a round, so a broken staleness bound never passes silently.  Typed so
+    /// the original [`io::ErrorKind`] survives the hop across threads.
+    error: Option<StoreFault>,
 }
 
 /// Group-commit coordinator: schedules WAL drains and log syncs for one or more
@@ -297,7 +378,8 @@ impl GroupCommitter {
                 state.kicked = false;
             }
             if let Err(error) = shared.sweep() {
-                unpoison(shared.cadence.lock()).error.get_or_insert(error.to_string());
+                let fault = StoreFault::from_io("background group-commit sync", &error);
+                unpoison(shared.cadence.lock()).error.get_or_insert(fault);
             }
         }
     }
@@ -314,9 +396,7 @@ impl GroupCommitter {
     /// Re-raises a latched background sync failure to the calling writer.
     fn check_sync_error(&self) -> io::Result<()> {
         match &unpoison(self.shared.cadence.lock()).error {
-            Some(message) => {
-                Err(io::Error::other(format!("background group-commit sync failed: {message}")))
-            }
+            Some(fault) => Err(fault.to_io()),
             None => Ok(()),
         }
     }
@@ -329,8 +409,16 @@ impl GroupCommitter {
             // Acquire pairs with the AcqRel bump after a completed round, so an
             // acknowledged committer also observes the round's writer-side state.
             if member.written.load(Ordering::Acquire) >= target {
+                // `written` also advances for *failed* drains (to release parked
+                // committers), so reaching the target proves nothing by itself: a
+                // member poisoned at or before this point must error every commit
+                // whose bytes the failed round may have covered, not just the
+                // leader's.  The poison store is ordered before the `written`
+                // advance, so this check cannot miss the failure that woke us.
+                member.health.check().map_err(|fault| fault.to_io())?;
                 return Ok(());
             }
+            member.health.check().map_err(|fault| fault.to_io())?;
             if !member.try_claim(&mut counted_wait) {
                 continue;
             }
@@ -338,6 +426,7 @@ impl GroupCommitter {
                 // A barrier drained our frames while we queued for the token; the
                 // round is ours anyway, so just hand the token back.
                 member.release_token();
+                member.health.check().map_err(|fault| fault.to_io())?;
                 return Ok(());
             }
             // relaxed: monitoring counter, read only by stats snapshots.
@@ -406,10 +495,16 @@ impl GroupCommitter {
         }
         // The arena's bytes are consumed even when the write fails: advance `written`
         // either way so parked committers are released instead of spinning on an
-        // unreachable target — the error itself propagates to the leading writer,
-        // which panics through `io_fail`.
-        member.written.fetch_add(bytes, Ordering::AcqRel);
+        // unreachable target.  On failure the member is poisoned *before* `written`
+        // advances (Release before the AcqRel bump), so every parked committer whose
+        // target the failed round covered wakes, observes the poison, and errors out —
+        // a failed round never turns into a silent acknowledgement.
+        if let Err(error) = &result {
+            member.health.poison(StoreFault::from_io("write-ahead-log drain", error));
+        }
+        let end = member.written.fetch_add(bytes, Ordering::AcqRel) + bytes;
         result?;
+        member.credit_durable(end);
         member.fire(FlushPoint::WalFlush);
         Ok(bytes)
     }
@@ -456,9 +551,21 @@ impl SyncShared {
             unpoison(self.group.lock()).clone()
         };
         for m in &members {
+            // A poisoned member is skipped outright: retrying a failed fdatasync and
+            // trusting the retried success is the fsyncgate trap — the kernel may have
+            // dropped the dirty pages the first failure covered.
+            if m.health.is_poisoned() {
+                continue;
+            }
             let written = m.written.load(Ordering::Acquire);
             if written > m.synced.load(Ordering::Acquire) {
-                m.log_file.sync_data()?;
+                // gss-lint: allow(L006, loop iterates distinct members once each — a failed member poisons and the health gate above keeps every later sweep off it)
+                if let Err(error) = m.log_file.sync_data() {
+                    // `synced` must NOT advance: the bytes are not durable, and the
+                    // poison keeps every later sweep from retrying this member.
+                    m.health.poison(StoreFault::from_io("group-commit fdatasync", &error));
+                    return Err(error);
+                }
                 // fetch_max, not store: a concurrent checkpoint sync on another
                 // member may have advanced `synced` past our pre-sync snapshot.
                 m.synced.fetch_max(written, Ordering::AcqRel);
@@ -507,7 +614,7 @@ mod tests {
             &std::env::temp_dir().join(format!("gss-group-{}-{name}.gss", std::process::id())),
         );
         let writer = WalWriter::create(&path).expect("create wal");
-        (WalMember::new(writer, true), TempLog(path))
+        (WalMember::new(writer, true, Arc::new(StoreHealth::new())), TempLog(path))
     }
 
     #[test]
@@ -626,6 +733,82 @@ mod tests {
         // Every acknowledged frame must be in the log image (write-ahead, pre-sync).
         let replay = read_replay(&log.0, 64).expect("replay").expect("decodes");
         assert_eq!(replay.items, Some(1));
+    }
+
+    #[test]
+    fn failed_drain_poisons_the_member_and_errors_every_covered_commit() {
+        let token = format!("gss-group-{}-failstop", std::process::id());
+        // Occurrence 1 is the magic-header write at create; 2 is the drain itself.
+        let _guard = crate::pager::faults::install(
+            crate::pager::faults::FaultPlan::parse("write:eio@2")
+                .expect("parse plan")
+                .with_path_token(&token),
+        );
+        let (member, _log) = member("failstop");
+        let committer = GroupCommitter::new(GroupCommit::default());
+        committer.register(&member);
+
+        let target = {
+            let mut wal = member.wal.lock();
+            wal.writer.log_commit(5);
+            wal.writer.appended_bytes()
+        };
+        member.record_commit(target, 5);
+        let error = committer.commit(&member, target).expect_err("drain write must fail");
+        assert!(member.health().is_poisoned());
+        // `written` advanced (parked committers must be released), but the poison makes
+        // a later commit against the same covered target error instead of acking.
+        assert!(member.written.load(Ordering::Acquire) >= target);
+        let again = committer.commit(&member, target).expect_err("sticky failure");
+        assert_eq!(again.kind(), error.kind());
+        // The failed bytes were never credited as durable.
+        member.record_ack(5);
+        assert_eq!(member.item_counts(), (5, 0));
+    }
+
+    #[test]
+    fn sweep_skips_poisoned_members_and_never_retries_a_failed_sync() {
+        let token = format!("gss-group-{}-syncfail", std::process::id());
+        let _guard = crate::pager::faults::install(
+            crate::pager::faults::FaultPlan::parse("sync_data:eio@1")
+                .expect("parse plan")
+                .with_path_token(&token),
+        );
+        let (member, _log) = member("syncfail");
+        // Zero knob: every led round sweeps inline, so the injected sync fault
+        // surfaces on the first commit.
+        let committer = GroupCommitter::new(GroupCommit { max_delay_us: 0, max_bytes: 0 });
+        committer.register(&member);
+        let target = {
+            let mut wal = member.wal.lock();
+            wal.writer.log_commit(1);
+            wal.writer.appended_bytes()
+        };
+        committer.commit(&member, target).expect_err("fdatasync must fail");
+        assert!(member.health().is_poisoned());
+        assert_eq!(member.synced.load(Ordering::Acquire), 0, "failed sync credits nothing");
+        let (_, _, fsyncs_before) = member.counters();
+        // A later sweep must skip the poisoned member entirely (no fsync retry).
+        committer.shared.sweep().expect("sweep skips poisoned members");
+        let (_, _, fsyncs_after) = member.counters();
+        assert_eq!(fsyncs_after, fsyncs_before, "no sync_data retry against a poisoned log");
+    }
+
+    #[test]
+    fn durable_items_track_the_drained_prefix() {
+        let (member, _log) = member("durable");
+        let committer = GroupCommitter::new(GroupCommit::default());
+        committer.register(&member);
+        let target = {
+            let mut wal = member.wal.lock();
+            wal.writer.log_commit(4);
+            wal.writer.appended_bytes()
+        };
+        member.record_commit(target, 4);
+        member.record_ack(4);
+        assert_eq!(member.item_counts(), (4, 0), "nothing durable before the drain");
+        committer.commit(&member, target).expect("commit");
+        assert_eq!(member.item_counts(), (4, 4), "drained commit frames are durable");
     }
 
     #[test]

@@ -78,12 +78,15 @@ pub use config::{
     Durability, GroupCommit, GssConfig, MAX_FINGERPRINT_BITS, MAX_ROOMS_PER_BUCKET,
     MAX_SEQUENCE_LENGTH, MAX_TOTAL_ROOMS, MAX_WIDTH, WAL_BUFFER_BYTES,
 };
-pub use error::ConfigError;
+pub use error::{ConfigError, DurabilityReport, GssError, StoreFault, StoreHealth};
 pub use file_store::{DurabilityStats, FileStore, FlushHook, FlushPoint, PageCacheStats};
 pub use group_commit::GroupCommitter;
 pub use hashing::{HashedNode, NodeHasher, Reciprocal, RecoverQCache};
 pub use matrix::MemoryStore;
 pub use merge::HashedEdge;
+pub use pager::faults::{
+    install as install_fault_plan, FaultGuard, FaultKind, FaultOp, FaultPlan, FaultSite,
+};
 pub use persistence::PersistenceError;
 pub use sketch::GssSketch;
 pub use stats::GssStats;

@@ -20,6 +20,7 @@
 use super::page_file::PageFile;
 use super::witness::{self, LockClass};
 use super::{page_offset, PAGE_BYTES};
+use crate::error::{StoreFault, StoreHealth};
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,7 +54,11 @@ struct State {
     shutdown: bool,
     /// With `shutdown`: exit without writing the remaining queue (crash simulation).
     discard: bool,
-    error: Option<String>,
+    /// First write-back failure, typed so the original [`io::ErrorKind`] survives into
+    /// every later `enqueue`/`steal`/`barrier` error.  Latched together with the store's
+    /// sticky [`StoreHealth`] poison — the store fail-stops the moment the background
+    /// thread loses a page, not when a foreground call happens to notice.
+    error: Option<StoreFault>,
 }
 
 /// Handle to the background write-back thread.
@@ -64,8 +69,9 @@ pub struct Flusher {
 
 impl Flusher {
     /// Spawns the thread over a shared positioned-I/O handle (no separate file open, no
-    /// cursor to race).
-    pub fn spawn(file: Arc<PageFile>) -> io::Result<Self> {
+    /// cursor to race).  `health` is the owning store's fail-stop state: a write-back
+    /// failure poisons it immediately, from the background thread.
+    pub fn spawn(file: Arc<PageFile>, health: Arc<StoreHealth>) -> io::Result<Self> {
         let shared = Arc::new(Shared {
             state: Mutex::new(State::default()),
             work: Condvar::new(),
@@ -76,11 +82,11 @@ impl Flusher {
         let thread_shared = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
             .name("gss-flusher".into())
-            .spawn(move || Self::run(&thread_shared, &file))?;
+            .spawn(move || Self::run(&thread_shared, &file, &health))?;
         Ok(Self { shared, thread: Some(thread) })
     }
 
-    fn run(shared: &Shared, file: &PageFile) {
+    fn run(shared: &Shared, file: &PageFile, health: &StoreHealth) {
         let mut batch = Vec::with_capacity(MAX_COALESCED_PAGES * PAGE_BYTES);
         loop {
             let start = {
@@ -132,7 +138,15 @@ impl Flusher {
                     shared.pages_written.fetch_add(pages, Ordering::Relaxed);
                     shared.write_batches.fetch_add(1, Ordering::Relaxed);
                 }
-                Err(error) => state.error = Some(error.to_string()),
+                Err(error) => {
+                    // Poison the store *now*, from the background thread: a lost page
+                    // must fail-stop writes immediately, not wait for the next
+                    // foreground call to trip over the latched error.  The sticky
+                    // (first) cause is what every later caller sees.
+                    let fault =
+                        health.poison(StoreFault::from_io("background page write-back", &error));
+                    state.error.get_or_insert(fault);
+                }
             }
             shared.done.notify_all();
         }
@@ -140,9 +154,7 @@ impl Flusher {
 
     fn check(state: &State) -> io::Result<()> {
         match &state.error {
-            Some(message) => {
-                Err(io::Error::other(format!("background page write-back failed: {message}")))
-            }
+            Some(fault) => Err(fault.to_io()),
             None => Ok(()),
         }
     }
@@ -181,6 +193,17 @@ impl Flusher {
             Self::check(&state)?;
         }
         Ok(None)
+    }
+
+    /// Non-consuming, never-failing queue probe for the poisoned-store degraded read
+    /// path: returns a copy of `index`'s queued (newest) bytes if it is still waiting
+    /// for write-back.  Unlike [`steal`](Self::steal) it ignores the latched error —
+    /// once the store has fail-stopped, reads are best-effort by contract and the
+    /// queued image is strictly fresher than the file's.
+    pub fn peek(&self, index: u64) -> Option<Box<[u8; PAGE_BYTES]>> {
+        let _queue_held = witness::acquire(LockClass::FlushQueue);
+        let state = self.shared.state.lock().expect("flusher state lock");
+        state.queue.get(&index).cloned()
     }
 
     /// Blocks until every queued page is on disk (checkpoint/drop barrier).
@@ -243,6 +266,12 @@ mod tests {
         (path, Arc::new(PageFile::new(file)))
     }
 
+    fn spawn_healthy(file: &Arc<PageFile>) -> (Flusher, Arc<StoreHealth>) {
+        let health = Arc::new(StoreHealth::new());
+        let flusher = Flusher::spawn(Arc::clone(file), Arc::clone(&health)).unwrap();
+        (flusher, health)
+    }
+
     fn page_filled(byte: u8) -> Box<[u8; PAGE_BYTES]> {
         Box::new([byte; PAGE_BYTES])
     }
@@ -250,7 +279,7 @@ mod tests {
     #[test]
     fn adjacent_pages_coalesce_into_fewer_writes() {
         let (path, file) = temp_file("coalesce");
-        let mut flusher = Flusher::spawn(Arc::clone(&file)).unwrap();
+        let (mut flusher, _health) = spawn_healthy(&file);
         // Enqueued out of order: the elevator drains 3,4,5,6 as one batch and 20 alone.
         for &index in &[5u64, 3, 20, 4, 6] {
             flusher.enqueue(index, page_filled(index as u8)).unwrap();
@@ -275,7 +304,7 @@ mod tests {
     #[test]
     fn steal_returns_queued_bytes_and_reenqueue_replaces_them() {
         let (path, file) = temp_file("steal");
-        let mut flusher = Flusher::spawn(Arc::clone(&file)).unwrap();
+        let (mut flusher, _health) = spawn_healthy(&file);
         // Keep the thread busy elsewhere so page 7 stays queued long enough to steal...
         flusher.enqueue(7, page_filled(1)).unwrap();
         flusher.enqueue(7, page_filled(2)).unwrap(); // ...and folding replaces version 1.
@@ -296,12 +325,41 @@ mod tests {
     #[test]
     fn shutdown_drains_the_queue_unless_discarding() {
         let (path, file) = temp_file("shutdown");
-        let mut flusher = Flusher::spawn(Arc::clone(&file)).unwrap();
+        let (mut flusher, _health) = spawn_healthy(&file);
         flusher.enqueue(1, page_filled(9)).unwrap();
         flusher.shutdown(false);
         let mut buf = [0u8; PAGE_BYTES];
         file.read_exact_at(&mut buf, page_offset(1)).unwrap();
         assert_eq!(buf[0], 9, "normal shutdown drains");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_back_failure_poisons_the_store_and_latches_the_error_kind() {
+        let token = format!("gss-flusher-{}-failstop", std::process::id());
+        let _guard = crate::pager::faults::install(
+            crate::pager::faults::FaultPlan::parse("write:enospc@1")
+                .expect("parse plan")
+                .with_path_token(&token),
+        );
+        let path = std::env::temp_dir().join(format!("{token}.bin"));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        file.set_len(page_offset(64)).unwrap();
+        let file = Arc::new(PageFile::with_faults(file, crate::pager::faults::plan_for(&path)));
+        let (mut flusher, health) = spawn_healthy(&file);
+        flusher.enqueue(2, page_filled(7)).unwrap();
+        let error = flusher.barrier().expect_err("the injected ENOSPC must surface");
+        assert_eq!(error.kind(), io::ErrorKind::StorageFull, "original kind preserved");
+        assert!(health.is_poisoned(), "the background thread poisons the store itself");
+        let again = flusher.enqueue(3, page_filled(8)).expect_err("fail-stop rejects writes");
+        assert_eq!(again.kind(), io::ErrorKind::StorageFull, "sticky first cause");
+        flusher.shutdown(true);
         std::fs::remove_file(&path).ok();
     }
 }

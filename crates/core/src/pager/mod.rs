@@ -13,7 +13,10 @@
 //! * [`flusher::Flusher`] — the background write-back thread, draining dirty pages in
 //!   elevator (ascending-offset) order and coalescing adjacent pages into single writes;
 //! * [`lock_file::LockFile`] — the advisory single-opener lock enforcing the sketch
-//!   file's one-process contract.
+//!   file's one-process contract;
+//! * [`faults::FaultPlan`] — deterministic I/O fault injection beneath every
+//!   [`page_file::PageFile`] (scheduled `EIO`/`ENOSPC`/short-read/torn-write/failed-
+//!   fsync occurrences), zero-cost when disarmed.
 //!
 //! ## Lock map
 //!
@@ -43,6 +46,7 @@
 //! file I/O issued while a stripe guard is held.  At runtime, the [`witness`] module
 //! re-checks the same order dynamically across call chains under `debug_assertions`.
 
+pub mod faults;
 pub mod flusher;
 pub mod lock_file;
 pub mod page_cache;

@@ -5,46 +5,172 @@
 //! `&File` — no locking, the kernel serializes per-call; elsewhere the handle falls back
 //! to a mutex around `seek` + `read`/`write`, preserving correctness at the cost of
 //! serializing the I/O itself.
+//!
+//! This is also the single choke point where two robustness concerns live:
+//!
+//! * **Deterministic fault injection** ([`crate::pager::faults`]): a handle opened
+//!   with [`PageFile::with_faults`] consults its [`FaultPlan`] before every real I/O
+//!   call and fails the scheduled occurrences.  An unfaulted handle pays one `Option`
+//!   branch per call.
+//! * **Bounded transient retry**: genuinely transient failures — `EINTR`
+//!   ([`io::ErrorKind::Interrupted`]) and injected short reads — are retried up to
+//!   [`MAX_TRANSIENT_RETRIES`] times, counted in [`PageFile::io_retries`].  Hard
+//!   errors and every `sync_data`/`sync_all` failure are **never** retried here:
+//!   after a failed fsync the kernel may have dropped the dirty pages, so a retry
+//!   that succeeds proves nothing (the "fsyncgate" hazard) — those propagate to the
+//!   caller, which fail-stops the store (see [`crate::error::StoreHealth`]).
 
+use crate::pager::faults::{FaultKind, FaultOp, FaultPlan};
 use std::fs::File;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Upper bound on retries of one transient (`EINTR`/short-read) failure before it is
+/// reported as a hard error.
+pub const MAX_TRANSIENT_RETRIES: u32 = 8;
+
+/// Builds the injected error for a scheduled hard fault.
+// `ErrorKind::StorageFull` stabilized in 1.83, after the declared MSRV — the recovery
+// tests assert on this exact kind, so the injected error must carry it regardless.
+#[allow(clippy::incompatible_msrv)]
+fn fault_error(kind: FaultKind, op: &str) -> io::Error {
+    match kind {
+        FaultKind::Enospc => {
+            io::Error::new(io::ErrorKind::StorageFull, format!("injected ENOSPC on {op}"))
+        }
+        FaultKind::Eintr | FaultKind::ShortRead => {
+            io::Error::new(io::ErrorKind::Interrupted, format!("injected transient fault on {op}"))
+        }
+        FaultKind::Eio | FaultKind::TornWrite => io::Error::other(format!("injected EIO on {op}")),
+    }
+}
+
+/// The fault/retry bookkeeping shared by both platform variants.
+#[derive(Debug, Default)]
+struct Instrumentation {
+    faults: Option<Arc<FaultPlan>>,
+    retries: AtomicU64,
+    /// Faults injected through *this handle* — distinct from the plan's global count,
+    /// so stats summed over handles sharing one plan never double-count.
+    injected: AtomicU64,
+}
+
+impl Instrumentation {
+    fn next_fault(&self, op: FaultOp) -> Option<FaultKind> {
+        let kind = self.faults.as_ref()?.next(op);
+        if kind.is_some() {
+            // relaxed: a statistics counter.
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        kind
+    }
+
+    fn count_retry(&self) {
+        // relaxed: a statistics counter.
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 #[cfg(unix)]
 #[derive(Debug)]
 pub struct PageFile {
     file: File,
+    instr: Instrumentation,
 }
 
 #[cfg(unix)]
 impl PageFile {
-    /// Wraps an open handle (read + write).
+    /// Wraps an open handle (read + write) with no fault plan.
     pub fn new(file: File) -> Self {
-        Self { file }
+        Self { file, instr: Instrumentation::default() }
+    }
+
+    /// Wraps an open handle with an optional fault plan (see
+    /// [`crate::pager::faults::plan_for`]).
+    pub fn with_faults(file: File, faults: Option<Arc<FaultPlan>>) -> Self {
+        Self { file, instr: Instrumentation { faults, ..Instrumentation::default() } }
     }
 
     /// Reads exactly `buf.len()` bytes at `offset`, leaving no shared cursor state.
+    /// Transient failures (`EINTR`, injected short reads) retry bounded.
     pub fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
-        std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset)
+        let mut attempts = 0u32;
+        loop {
+            let result = match self.instr.next_fault(FaultOp::Read) {
+                Some(kind) => Err(fault_error(kind, "read_exact_at")),
+                None => std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset),
+            };
+            match result {
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {
+                    attempts += 1;
+                    if attempts > MAX_TRANSIENT_RETRIES {
+                        return Err(error);
+                    }
+                    self.instr.count_retry();
+                }
+                other => return other,
+            }
+        }
     }
 
-    /// Writes all of `buf` at `offset`.
+    /// Writes all of `buf` at `offset`.  Transient failures retry bounded; an injected
+    /// torn write leaves the first half of `buf` in the file and fails hard.
     pub fn write_all_at(&self, buf: &[u8], offset: u64) -> io::Result<()> {
-        std::os::unix::fs::FileExt::write_all_at(&self.file, buf, offset)
+        let mut attempts = 0u32;
+        loop {
+            let result = match self.instr.next_fault(FaultOp::Write) {
+                Some(FaultKind::TornWrite) => {
+                    // The partial image reaches the file before the error — the torn
+                    // state WAL replay's longest-valid-prefix rule must absorb.  The
+                    // result of the partial write is deliberately unused: the hard
+                    // error below is what the caller must see either way.
+                    let half = buf.len() / 2;
+                    let _ =
+                        std::os::unix::fs::FileExt::write_all_at(&self.file, &buf[..half], offset);
+                    Err(fault_error(FaultKind::TornWrite, "write_all_at"))
+                }
+                Some(kind) => Err(fault_error(kind, "write_all_at")),
+                None => std::os::unix::fs::FileExt::write_all_at(&self.file, buf, offset),
+            };
+            match result {
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {
+                    attempts += 1;
+                    if attempts > MAX_TRANSIENT_RETRIES {
+                        return Err(error);
+                    }
+                    self.instr.count_retry();
+                }
+                other => return other,
+            }
+        }
     }
 
-    /// Truncates or extends the file.
+    /// Truncates or extends the file.  Failures are hard (never retried).
     pub fn set_len(&self, len: u64) -> io::Result<()> {
-        self.file.set_len(len)
+        match self.instr.next_fault(FaultOp::SetLen) {
+            Some(kind) => Err(fault_error(kind, "set_len")),
+            None => self.file.set_len(len),
+        }
     }
 
-    /// Flushes file data (not metadata) to disk.
+    /// Flushes file data (not metadata) to disk.  A failure is hard and must **not**
+    /// be retried by any caller: the kernel may already have dropped the dirty pages,
+    /// so a succeeding retry proves nothing about the lost write-back.
     pub fn sync_data(&self) -> io::Result<()> {
-        self.file.sync_data()
+        match self.instr.next_fault(FaultOp::SyncData) {
+            Some(kind) => Err(fault_error(kind, "sync_data")),
+            None => self.file.sync_data(),
+        }
     }
 
-    /// Flushes file data and metadata to disk.
+    /// Flushes file data and metadata to disk.  Same no-retry contract as
+    /// [`sync_data`](Self::sync_data).
     pub fn sync_all(&self) -> io::Result<()> {
-        self.file.sync_all()
+        match self.instr.next_fault(FaultOp::SyncAll) {
+            Some(kind) => Err(fault_error(kind, "sync_all")),
+            None => self.file.sync_all(),
+        }
     }
 }
 
@@ -52,51 +178,125 @@ impl PageFile {
 #[derive(Debug)]
 pub struct PageFile {
     file: parking_lot::Mutex<File>,
+    instr: Instrumentation,
 }
 
 #[cfg(not(unix))]
 impl PageFile {
     pub fn new(file: File) -> Self {
-        Self { file: parking_lot::Mutex::new(file) }
+        Self { file: parking_lot::Mutex::new(file), instr: Instrumentation::default() }
+    }
+
+    pub fn with_faults(file: File, faults: Option<Arc<FaultPlan>>) -> Self {
+        Self {
+            file: parking_lot::Mutex::new(file),
+            instr: Instrumentation { faults, ..Instrumentation::default() },
+        }
     }
 
     pub fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
         use std::io::{Read, Seek, SeekFrom};
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(offset))?;
-        file.read_exact(buf)
+        let mut attempts = 0u32;
+        loop {
+            let result = match self.instr.next_fault(FaultOp::Read) {
+                Some(kind) => Err(fault_error(kind, "read_exact_at")),
+                None => {
+                    let mut file = self.file.lock();
+                    file.seek(SeekFrom::Start(offset)).and_then(|_| file.read_exact(buf))
+                }
+            };
+            match result {
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {
+                    attempts += 1;
+                    if attempts > MAX_TRANSIENT_RETRIES {
+                        return Err(error);
+                    }
+                    self.instr.count_retry();
+                }
+                other => return other,
+            }
+        }
     }
 
     pub fn write_all_at(&self, buf: &[u8], offset: u64) -> io::Result<()> {
         use std::io::{Seek, SeekFrom, Write};
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(offset))?;
-        file.write_all(buf)
+        let mut attempts = 0u32;
+        loop {
+            let result = match self.instr.next_fault(FaultOp::Write) {
+                Some(FaultKind::TornWrite) => {
+                    let half = buf.len() / 2;
+                    let mut file = self.file.lock();
+                    let _ = file
+                        .seek(SeekFrom::Start(offset))
+                        .and_then(|_| file.write_all(&buf[..half]));
+                    Err(fault_error(FaultKind::TornWrite, "write_all_at"))
+                }
+                Some(kind) => Err(fault_error(kind, "write_all_at")),
+                None => {
+                    let mut file = self.file.lock();
+                    file.seek(SeekFrom::Start(offset)).and_then(|_| file.write_all(buf))
+                }
+            };
+            match result {
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {
+                    attempts += 1;
+                    if attempts > MAX_TRANSIENT_RETRIES {
+                        return Err(error);
+                    }
+                    self.instr.count_retry();
+                }
+                other => return other,
+            }
+        }
     }
 
     pub fn set_len(&self, len: u64) -> io::Result<()> {
-        self.file.lock().set_len(len)
+        match self.instr.next_fault(FaultOp::SetLen) {
+            Some(kind) => Err(fault_error(kind, "set_len")),
+            None => self.file.lock().set_len(len),
+        }
     }
 
     pub fn sync_data(&self) -> io::Result<()> {
-        self.file.lock().sync_data()
+        match self.instr.next_fault(FaultOp::SyncData) {
+            Some(kind) => Err(fault_error(kind, "sync_data")),
+            None => self.file.lock().sync_data(),
+        }
     }
 
     pub fn sync_all(&self) -> io::Result<()> {
-        self.file.lock().sync_all()
+        match self.instr.next_fault(FaultOp::SyncAll) {
+            Some(kind) => Err(fault_error(kind, "sync_all")),
+            None => self.file.lock().sync_all(),
+        }
+    }
+}
+
+impl PageFile {
+    /// Transient retries performed by this handle.
+    pub fn io_retries(&self) -> u64 {
+        // relaxed: a statistics read.
+        self.instr.retries.load(Ordering::Relaxed)
+    }
+
+    /// Faults injected through this handle (per-handle, so sums over handles sharing
+    /// one plan never double-count); zero for unfaulted handles.
+    pub fn injected_faults(&self) -> u64 {
+        // relaxed: a statistics read.
+        self.instr.injected.load(Ordering::Relaxed)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pager::faults::{FaultPlan, FaultSite};
     use std::fs::OpenOptions;
-    use std::sync::Arc;
+    use std::path::PathBuf;
 
-    #[test]
-    fn positioned_reads_and_writes_do_not_disturb_each_other() {
-        let path = std::env::temp_dir()
-            .join(format!("gss-page-file-{}-positional.bin", std::process::id()));
+    fn temp_file(name: &str) -> (PathBuf, File) {
+        let path =
+            std::env::temp_dir().join(format!("gss-page-file-{}-{name}.bin", std::process::id()));
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -104,6 +304,12 @@ mod tests {
             .truncate(true)
             .open(&path)
             .unwrap();
+        (path, file)
+    }
+
+    #[test]
+    fn positioned_reads_and_writes_do_not_disturb_each_other() {
+        let (path, file) = temp_file("positional");
         let file = Arc::new(PageFile::new(file));
         file.set_len(8192).unwrap();
         file.write_all_at(b"tail", 8000).unwrap();
@@ -132,6 +338,67 @@ mod tests {
             file.read_exact_at(&mut pair, 100 + i * 2).unwrap();
             assert_eq!(pair, [i as u8, 49]);
         }
+        assert_eq!(file.io_retries(), 0);
+        assert_eq!(file.injected_faults(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_faults_retry_and_are_counted() {
+        let (path, file) = temp_file("transient");
+        let plan = Arc::new(FaultPlan::parse("read:eintr@1;write:short@2").unwrap());
+        let file = PageFile::with_faults(file, Some(Arc::clone(&plan)));
+        file.set_len(64).unwrap();
+        file.write_all_at(b"abcd", 0).unwrap(); // write occurrence 1: clean
+        file.write_all_at(b"efgh", 4).unwrap(); // occurrence 2: transient, retried
+        let mut buf = [0u8; 8];
+        file.read_exact_at(&mut buf, 0).unwrap(); // read occurrence 1: transient
+        assert_eq!(&buf, b"abcdefgh");
+        assert_eq!(file.io_retries(), 2);
+        assert_eq!(file.injected_faults(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hard_faults_fail_without_retry_and_torn_writes_leave_a_partial_image() {
+        let (path, file) = temp_file("hard");
+        let plan =
+            Arc::new(FaultPlan::parse("write:torn@1;sync_data:eio@1;set_len:enospc@2").unwrap());
+        let file = PageFile::with_faults(file, Some(plan));
+        file.set_len(64).unwrap();
+        let error = file.write_all_at(b"ABCDEFGH", 0).unwrap_err();
+        assert_ne!(error.kind(), io::ErrorKind::Interrupted);
+        let mut buf = [0u8; 4];
+        file.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"ABCD", "the first half of a torn write reaches the file");
+        assert!(file.sync_data().is_err(), "scheduled fsync failure fires once");
+        assert!(file.sync_data().is_ok(), "later fsyncs are clean (no sticky retry here)");
+        assert_eq!(
+            file.set_len(32).unwrap_err().kind(),
+            io::ErrorKind::StorageFull,
+            "ENOSPC surfaces as StorageFull"
+        );
+        assert_eq!(file.io_retries(), 0, "hard faults are never retried");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unbroken_transient_storms_give_up_after_the_bound() {
+        let (path, file) = temp_file("storm");
+        // Schedule more consecutive EINTRs than the retry budget on one read.
+        let sites: Vec<FaultSite> = (1..=(MAX_TRANSIENT_RETRIES as u64 + 2))
+            .map(|at| FaultSite {
+                op: crate::pager::faults::FaultOp::Read,
+                kind: FaultKind::Eintr,
+                at,
+            })
+            .collect();
+        let file = PageFile::with_faults(file, Some(Arc::new(FaultPlan::new(sites))));
+        file.set_len(16).unwrap();
+        let mut buf = [0u8; 4];
+        let error = file.read_exact_at(&mut buf, 0).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(file.io_retries(), MAX_TRANSIENT_RETRIES as u64);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -20,7 +20,7 @@
 
 use crate::buffer::LeftoverBuffer;
 use crate::config::{Durability, GroupCommit, GssConfig};
-use crate::error::ConfigError;
+use crate::error::{ConfigError, DurabilityReport, GssError, StoreFault};
 use crate::file_store::{FileStore, TailSections};
 use crate::group_commit::GroupCommitter;
 use crate::hashing::{HashedNode, NodeHasher, RecoverQCache};
@@ -372,6 +372,9 @@ impl GssSketch {
             page_lookups: pages.lookups,
             page_faults: pages.faults,
             page_latch_waits: pages.latch_waits,
+            io_retries: durability.io_retries,
+            injected_faults: durability.injected_faults,
+            store_poisoned: durability.store_poisoned,
             width: self.config.width,
             rooms_per_bucket: self.config.rooms,
             fingerprint_bits: self.config.fingerprint_bits,
@@ -565,12 +568,19 @@ impl GssSketch {
     /// Registers a `⟨H(v), v⟩` pair, bumping the node-section generation and write-ahead
     /// logging the registration when it is new — the single mutation point of the table.
     fn register_node(&mut self, hash: u64, vertex: VertexId) {
+        self.try_register_node(hash, vertex)
+            .unwrap_or_else(|fault| panic!("node registration failed: {fault}"));
+    }
+
+    /// Fallible [`register_node`](Self::register_node): the typed fail-stop path.
+    fn try_register_node(&mut self, hash: u64, vertex: VertexId) -> Result<(), StoreFault> {
         if self.node_map.register(hash, vertex) {
             self.node_gen += 1;
             if let RoomStorage::File(store) = &self.matrix {
-                store.log_node(hash, vertex);
+                store.try_log_node(hash, vertex)?;
             }
         }
+        Ok(())
     }
 
     /// Marks the completion of an insert/batch in the write-ahead log (under
@@ -585,6 +595,14 @@ impl GssSketch {
         }
     }
 
+    /// Fallible [`commit_wal`](Self::commit_wal): the typed fail-stop path.
+    fn try_commit_wal(&mut self) -> Result<(), StoreFault> {
+        if let Some(ack) = self.try_commit_wal_deferred()? {
+            self.try_ack_wal(ack)?;
+        }
+        Ok(())
+    }
+
     /// The append half of [`commit_wal`](Self::commit_wal) for the sharded two-phase
     /// batch path: logs the commit frame and returns the token the caller must pass to
     /// [`ack_wal`](Self::ack_wal) once every shard of the batch has appended.  Returns
@@ -592,20 +610,40 @@ impl GssSketch {
     /// the automatic checkpoint runs inline (it needs the exclusive sketch lock still
     /// held here) and leaves the log durable past the token's target anyway.
     pub(crate) fn commit_wal_deferred(&mut self) -> Option<crate::file_store::WalAck> {
+        self.try_commit_wal_deferred()
+            .unwrap_or_else(|fault| panic!("write-ahead-log commit failed: {fault}"))
+    }
+
+    /// Fallible [`commit_wal_deferred`](Self::commit_wal_deferred): on a poisoned or
+    /// newly failing store the sticky [`StoreFault`] comes back instead of a panic —
+    /// including when the inline automatic checkpoint fails (the checkpoint poisons the
+    /// store, so the fault it latched is returned).
+    pub(crate) fn try_commit_wal_deferred(
+        &mut self,
+    ) -> Result<Option<crate::file_store::WalAck>, StoreFault> {
         let (wal_bytes, ack) = match &self.matrix {
-            RoomStorage::File(store) => store.log_commit_deferred(self.items_inserted),
-            RoomStorage::Memory(_) => return None,
+            RoomStorage::File(store) => store.try_log_commit_deferred(self.items_inserted)?,
+            RoomStorage::Memory(_) => return Ok(None),
         };
         if wal_bytes >= self.wal_checkpoint_bytes {
-            self.ack_wal(ack);
+            self.try_ack_wal(ack)?;
             // This is an insert/batch boundary, so the sketch state is consistent.
-            // Hot-path file I/O failures panic by the storage contract.
-            self.sync().unwrap_or_else(|error| {
-                panic!("automatic write-ahead-log checkpoint failed: {error}")
-            });
-            return None;
+            if let Err(error) = self.sync() {
+                // The failed checkpoint poisoned the store; report its latched cause.
+                let fault = match &self.matrix {
+                    RoomStorage::File(store) => store.health().cause(),
+                    RoomStorage::Memory(_) => None,
+                };
+                return Err(fault.unwrap_or_else(|| {
+                    StoreFault::new(
+                        std::io::ErrorKind::Other,
+                        format!("automatic write-ahead-log checkpoint failed: {error}"),
+                    )
+                }));
+            }
+            return Ok(None);
         }
-        Some(ack)
+        Ok(Some(ack))
     }
 
     /// The acknowledgement half of [`commit_wal_deferred`](Self::commit_wal_deferred):
@@ -614,6 +652,14 @@ impl GssSketch {
     pub(crate) fn ack_wal(&self, ack: crate::file_store::WalAck) {
         if let RoomStorage::File(store) = &self.matrix {
             store.ack_commit(ack);
+        }
+    }
+
+    /// Fallible [`ack_wal`](Self::ack_wal): the typed fail-stop path.
+    pub(crate) fn try_ack_wal(&self, ack: crate::file_store::WalAck) -> Result<(), StoreFault> {
+        match &self.matrix {
+            RoomStorage::File(store) => store.try_ack_commit(ack),
+            RoomStorage::Memory(_) => Ok(()),
         }
     }
 
@@ -675,9 +721,20 @@ impl GssSketch {
         destination_node: HashedNode,
         weight: Weight,
     ) {
+        self.try_insert_nodes(source_node, destination_node, weight)
+            .unwrap_or_else(|fault| panic!("sketch write failed: {fault}"));
+    }
+
+    /// Fallible [`insert_nodes`](Self::insert_nodes): the typed fail-stop path.
+    fn try_insert_nodes(
+        &mut self,
+        source_node: HashedNode,
+        destination_node: HashedNode,
+        weight: Weight,
+    ) -> Result<(), StoreFault> {
         let mut candidates = [Candidate::default(); MAX_CANDIDATES];
         let count = self.collect_candidates(source_node, destination_node, &mut candidates);
-        self.place_edge(source_node, destination_node, &candidates[..count], weight);
+        self.try_place_edge(source_node, destination_node, &candidates[..count], weight)
     }
 
     /// Walks `candidates` in probe order and places the edge: add to a matching room, claim
@@ -685,28 +742,32 @@ impl GssSketch {
     /// ([`RoomStore::probe_bucket`]) that answers match/first-empty/full together,
     /// replacing the former `find_match`-then-`find_empty` double scan — half the bucket
     /// reads per candidate, and half the page-cache lookups on the file backend.
-    fn place_edge(
+    fn try_place_edge(
         &mut self,
         source_node: HashedNode,
         destination_node: HashedNode,
         candidates: &[Candidate],
         weight: Weight,
-    ) {
+    ) -> Result<(), StoreFault> {
         for candidate in candidates {
-            match self.matrix.probe_bucket(
+            match self.matrix.try_probe_bucket(
                 candidate.row,
                 candidate.column,
                 source_node.fingerprint,
                 destination_node.fingerprint,
                 candidate.source_index,
                 candidate.destination_index,
-            ) {
+            )? {
                 BucketProbe::Match(slot) => {
-                    self.matrix.add_weight(candidate.row, candidate.column, slot, weight);
-                    return;
+                    return self.matrix.try_add_weight(
+                        candidate.row,
+                        candidate.column,
+                        slot,
+                        weight,
+                    );
                 }
                 BucketProbe::Empty(slot) => {
-                    self.matrix.store_room(
+                    return self.matrix.try_store_room(
                         candidate.row,
                         candidate.column,
                         slot,
@@ -719,7 +780,6 @@ impl GssSketch {
                             occupied: true,
                         },
                     );
-                    return;
                 }
                 BucketProbe::Full => {}
             }
@@ -727,24 +787,25 @@ impl GssSketch {
         self.buffer.insert(source_node.hash, destination_node.hash, weight);
         self.buffer_gen += 1;
         if let RoomStorage::File(store) = &self.matrix {
-            store.log_buffer_insert(source_node.hash, destination_node.hash, weight);
+            store.try_log_buffer_insert(source_node.hash, destination_node.hash, weight)?;
         }
+        Ok(())
     }
 
     /// Hashes `vertex` once per batch: returns the index of its cache entry, creating it
     /// (and registering the `⟨H(v), v⟩` pair) on first sight.
-    fn batch_endpoint(
+    fn try_batch_endpoint(
         &mut self,
         vertex: VertexId,
         index: &mut HashMap<VertexId, u32>,
         cached: &mut Vec<BatchEndpoint>,
-    ) -> u32 {
+    ) -> Result<u32, StoreFault> {
         if let Some(&slot) = index.get(&vertex) {
-            return slot;
+            return Ok(slot);
         }
         let node = self.hasher.hashed_node(vertex);
         if self.config.track_node_ids {
-            self.register_node(node.hash, vertex);
+            self.try_register_node(node.hash, vertex)?;
         }
         let mut addresses = [0usize; crate::config::MAX_SEQUENCE_LENGTH];
         if self.config.square_hashing {
@@ -753,7 +814,7 @@ impl GssSketch {
         let slot = cached.len() as u32;
         cached.push(BatchEndpoint { node, addresses });
         index.insert(vertex, slot);
-        slot
+        Ok(slot)
     }
 
     /// 1-hop successor query in the *hashed* space: the sketch-node hashes reported as
@@ -824,18 +885,29 @@ impl Drop for GssSketch {
 /// The staged halves of the write path: every mutation except the commit frame.  The
 /// [`SummaryWrite`] impl stages and commits in one call; the sharded two-phase batch
 /// path stages every shard first and acknowledges second (see
-/// [`commit_wal_deferred`](GssSketch::commit_wal_deferred)).
+/// `commit_wal_deferred`).
 impl GssSketch {
     /// [`SummaryWrite::insert`] without the commit frame.
     fn insert_staged(&mut self, source: VertexId, destination: VertexId, weight: Weight) {
+        self.try_insert_staged(source, destination, weight)
+            .unwrap_or_else(|fault| panic!("sketch write failed: {fault}"));
+    }
+
+    /// Fallible [`insert_staged`](Self::insert_staged): the typed fail-stop path.
+    fn try_insert_staged(
+        &mut self,
+        source: VertexId,
+        destination: VertexId,
+        weight: Weight,
+    ) -> Result<(), StoreFault> {
         self.items_inserted += 1;
         let source_node = self.hasher.hashed_node(source);
         let destination_node = self.hasher.hashed_node(destination);
         if self.config.track_node_ids {
-            self.register_node(source_node.hash, source);
-            self.register_node(destination_node.hash, destination);
+            self.try_register_node(source_node.hash, source)?;
+            self.try_register_node(destination_node.hash, destination)?;
         }
-        self.insert_nodes(source_node, destination_node, weight);
+        self.try_insert_nodes(source_node, destination_node, weight)
     }
 
     /// Batched edge updating, observationally identical to per-item [`insert`] but with the
@@ -854,12 +926,22 @@ impl GssSketch {
     /// [`SummaryWrite::insert_batch`] without the commit frame; returns whether a commit
     /// is owed (`false` only for an empty batch, which mutates nothing).
     fn insert_batch_staged(&mut self, items: &[StreamEdge]) -> bool {
+        self.try_insert_batch_staged(items)
+            .unwrap_or_else(|fault| panic!("sketch write failed: {fault}"))
+    }
+
+    /// Fallible [`insert_batch_staged`](Self::insert_batch_staged): on a fault the store
+    /// is already poisoned and the batch may be partially applied — the caller must not
+    /// acknowledge it.
+    fn try_insert_batch_staged(&mut self, items: &[StreamEdge]) -> Result<bool, StoreFault> {
         if items.len() < 2 {
             match items.first() {
-                Some(item) => self.insert_staged(item.source, item.destination, item.weight),
-                None => return false,
+                Some(item) => {
+                    self.try_insert_staged(item.source, item.destination, item.weight)?;
+                }
+                None => return Ok(false),
             }
-            return true;
+            return Ok(true);
         }
         self.items_inserted += items.len() as u64;
         let mut endpoint_index: HashMap<VertexId, u32> =
@@ -871,9 +953,10 @@ impl GssSketch {
         let mut edge_index: HashMap<(VertexId, VertexId), u32> =
             HashMap::with_capacity(items.len().min(4096));
         for item in items {
-            let source = self.batch_endpoint(item.source, &mut endpoint_index, &mut endpoints);
+            let source =
+                self.try_batch_endpoint(item.source, &mut endpoint_index, &mut endpoints)?;
             let destination =
-                self.batch_endpoint(item.destination, &mut endpoint_index, &mut endpoints);
+                self.try_batch_endpoint(item.destination, &mut endpoint_index, &mut endpoints)?;
             match edge_index.entry((item.source, item.destination)) {
                 std::collections::hash_map::Entry::Occupied(slot) => {
                     folded[*slot.get() as usize].2 += item.weight;
@@ -930,9 +1013,9 @@ impl GssSketch {
                 &destination.addresses,
                 &mut candidates,
             );
-            self.place_edge(source.node, destination.node, &candidates[..count], weight);
+            self.try_place_edge(source.node, destination.node, &candidates[..count], weight)?;
         }
-        true
+        Ok(true)
     }
 
     /// [`SummaryWrite::insert_batch`] with the commit deferred: stages the batch, appends
@@ -948,6 +1031,59 @@ impl GssSketch {
         } else {
             None
         }
+    }
+
+    /// Fallible [`insert_batch_deferred`](Self::insert_batch_deferred): the typed
+    /// fail-stop path of the sharded two-phase commit.
+    pub(crate) fn try_insert_batch_deferred(
+        &mut self,
+        items: &[StreamEdge],
+    ) -> Result<Option<crate::file_store::WalAck>, StoreFault> {
+        if self.try_insert_batch_staged(items)? {
+            self.try_commit_wal_deferred()
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// [`insert`](SummaryWrite::insert) with typed fail-stop errors instead of the
+    /// infallible trait's storage-contract panics: on a poisoned store (or the write
+    /// that first poisons it) the sticky [`GssError::StoreFailed`] comes back, reads
+    /// keep working, and [`durability_report`](Self::durability_report) quantifies any
+    /// acknowledged-but-possibly-lost items.  In-memory sketches never fail.
+    pub fn try_insert(
+        &mut self,
+        source: VertexId,
+        destination: VertexId,
+        weight: Weight,
+    ) -> Result<(), GssError> {
+        self.try_insert_staged(source, destination, weight)?;
+        self.try_commit_wal()?;
+        Ok(())
+    }
+
+    /// [`insert_batch`](SummaryWrite::insert_batch) with typed fail-stop errors (see
+    /// [`try_insert`](Self::try_insert)).  On an error the batch may be partially
+    /// applied and is **not** acknowledged; the store rejects all further writes with
+    /// the same sticky cause.
+    pub fn try_insert_batch(&mut self, items: &[StreamEdge]) -> Result<(), GssError> {
+        if self.try_insert_batch_staged(items)? {
+            self.try_commit_wal()?;
+        }
+        Ok(())
+    }
+
+    /// Whether the backing store has fail-stopped (always `false` for in-memory
+    /// sketches).
+    pub fn is_poisoned(&self) -> bool {
+        self.matrix.as_file().is_some_and(|store| store.health().is_poisoned())
+    }
+
+    /// The honest durability account of a file-backed sketch (all-zero for in-memory
+    /// sketches): acknowledged items, items covered by a durable log image, and — after
+    /// a fault — the acknowledged-but-possibly-lost difference.
+    pub fn durability_report(&self) -> DurabilityReport {
+        self.matrix.as_file().map(FileStore::durability_report).unwrap_or_default()
     }
 }
 

@@ -62,6 +62,15 @@ pub struct GssStats {
     /// Page-latch acquisitions that blocked behind another thread (contention between
     /// concurrent readers and the writer; 0 under a single thread).
     pub page_latch_waits: u64,
+    /// Transient I/O errors (`EINTR`, short reads) absorbed by the pager's bounded
+    /// retry loop instead of surfacing to callers.
+    pub io_retries: u64,
+    /// Faults injected by the deterministic fault plan ([`crate::pager::faults`]);
+    /// always 0 outside fault-injection runs.
+    pub injected_faults: u64,
+    /// 1 when the store has fail-stopped (sticky poisoned state after an unrecoverable
+    /// I/O failure), else 0; summed across shards it counts poisoned shards.
+    pub store_poisoned: u64,
 }
 
 impl GssStats {
@@ -111,6 +120,9 @@ mod tests {
             page_lookups: 480,
             page_faults: 35,
             page_latch_waits: 0,
+            io_retries: 1,
+            injected_faults: 0,
+            store_poisoned: 0,
         }
     }
 

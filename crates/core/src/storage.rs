@@ -526,6 +526,76 @@ pub enum RoomStorage {
 }
 
 impl RoomStorage {
+    /// Fallible [`RoomStore::add_weight`]: the in-memory backend cannot fail, the file
+    /// backend health-gates the write and returns the sticky
+    /// [`StoreFault`](crate::error::StoreFault) instead of panicking — the typed
+    /// fail-stop path ([`GssSketch::try_insert`](crate::GssSketch::try_insert)) runs
+    /// through this.
+    pub fn try_add_weight(
+        &mut self,
+        row: usize,
+        column: usize,
+        slot: usize,
+        weight: i64,
+    ) -> Result<(), crate::error::StoreFault> {
+        match self {
+            Self::Memory(store) => {
+                store.add_weight(row, column, slot, weight);
+                Ok(())
+            }
+            Self::File(store) => store.try_add_weight(row, column, slot, weight),
+        }
+    }
+
+    /// Fallible [`RoomStore::probe_bucket`] (see [`try_add_weight`](Self::try_add_weight)):
+    /// on the file backend a probe's cache miss may have to evict a dirty page, so even
+    /// this read-side step can trip over a latched write-back fault.
+    pub fn try_probe_bucket(
+        &self,
+        row: usize,
+        column: usize,
+        source_fingerprint: u16,
+        destination_fingerprint: u16,
+        source_index: u8,
+        destination_index: u8,
+    ) -> Result<BucketProbe, crate::error::StoreFault> {
+        match self {
+            Self::Memory(store) => Ok(store.probe_bucket(
+                row,
+                column,
+                source_fingerprint,
+                destination_fingerprint,
+                source_index,
+                destination_index,
+            )),
+            Self::File(store) => store.try_probe_bucket(
+                row,
+                column,
+                source_fingerprint,
+                destination_fingerprint,
+                source_index,
+                destination_index,
+            ),
+        }
+    }
+
+    /// Fallible [`RoomStore::store_room`] (see [`try_add_weight`](Self::try_add_weight)).
+    pub fn try_store_room(
+        &mut self,
+        row: usize,
+        column: usize,
+        slot: usize,
+        room: Room,
+    ) -> Result<(), crate::error::StoreFault> {
+        match self {
+            Self::Memory(store) => {
+                store.store_room(row, column, slot, room);
+                Ok(())
+            }
+            Self::File(store) => store.try_store_room(row, column, slot, room),
+        }
+    }
+
     /// Which backend this is, for stats and display.
     pub fn backend_name(&self) -> &'static str {
         match self {

@@ -188,7 +188,7 @@ impl WalWriter {
     pub fn create(path: &Path) -> io::Result<Self> {
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
-        let file = Arc::new(PageFile::new(file));
+        let file = Arc::new(PageFile::with_faults(file, crate::pager::faults::plan_for(path)));
         file.write_all_at(&WAL_MAGIC, 0)?;
         Ok(Self { file, len: WAL_MAGIC.len() as u64, pending: Vec::new(), flushes: 0, appended: 0 })
     }
@@ -207,7 +207,7 @@ impl WalWriter {
             file.seek(SeekFrom::Start(0))?;
             file.write_all(&WAL_MAGIC)?;
             return Ok(Self {
-                file: Arc::new(PageFile::new(file)),
+                file: Arc::new(PageFile::with_faults(file, crate::pager::faults::plan_for(path))),
                 len: WAL_MAGIC.len() as u64,
                 pending: Vec::new(),
                 flushes: 0,
@@ -216,7 +216,7 @@ impl WalWriter {
         }
         file.set_len(len)?;
         Ok(Self {
-            file: Arc::new(PageFile::new(file)),
+            file: Arc::new(PageFile::with_faults(file, crate::pager::faults::plan_for(path))),
             len,
             pending: Vec::new(),
             flushes: 0,

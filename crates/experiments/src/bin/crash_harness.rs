@@ -26,10 +26,24 @@
 //!   deliberately **wide** group-commit window ([`GROUP_WINDOW`]), so the randomized
 //!   SIGKILL almost always lands inside an unsynced window: strict acknowledgement is
 //!   `write()`-based, so even a kill mid-window must lose zero acknowledged items.
+//! * `crash_harness fault-ingest <sketch> <progress> <strict|buffered> <items>` — the
+//!   fault-matrix half (`ci/fault_matrix.sh`): the driver sets `GSS_FAULT_PLAN` to a
+//!   randomized schedule of injected I/O faults (`EIO`, `ENOSPC`, torn writes, failed
+//!   fsync — see `gss_core::pager::faults`), and ingest runs on the typed
+//!   `try_insert_batch` path.  A hard fault must fail stop — sticky poison, writes
+//!   rejected, reads still served — and the run writes `<progress>.fault` with the
+//!   [`DurabilityReport`] numbers so the verify half knows what was promised.
+//! * `crash_harness fault-verify <sketch> <progress> <strict|buffered> 0` — reopens
+//!   with the schedule cleared and holds the report to its word: every item the report
+//!   called durable must be recovered (acked ⇒ recovered ∨ reported breached), and the
+//!   recovered prefix's edges must answer with at least their exact weights.
 //!
 //! Exit code 0 means the crash was survived within the documented guarantees.
 
-use gss_core::{Durability, GroupCommit, GssConfig, GssSketch, ShardedGss, StorageBackend};
+use gss_core::{
+    Durability, DurabilityReport, GroupCommit, GssConfig, GssError, GssSketch, ShardedGss,
+    StorageBackend,
+};
 use gss_graph::{StreamEdge, SummaryRead, SummaryWrite};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -153,8 +167,48 @@ fn verify(sketch_path: &Path, progress_path: &Path, durability: Durability, wind
         );
         exit(1);
     }
-    // Rebuild the exact weights of the recovered prefix and check one-sidedness: every
-    // recovered item's edge must be present with at least its exact weight.
+    // One-sidedness of the recovered prefix: every recovered item's edge must be
+    // present with at least its exact weight.
+    check_prefix_weights(&sketch, recovered);
+}
+
+/// Sidecar carrying the ingest half's [`DurabilityReport`] numbers to the verify half.
+fn fault_report_path(progress_path: &Path) -> PathBuf {
+    let mut name = progress_path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".fault");
+    progress_path.with_file_name(name)
+}
+
+fn write_fault_report(progress_path: &Path, report: &DurabilityReport) {
+    let line = format!(
+        "poisoned={} acked={} durable={} breached={}",
+        report.poisoned as u8, report.acked_items, report.durable_items, report.breached_items
+    );
+    if std::fs::write(fault_report_path(progress_path), line).is_err() {
+        eprintln!("FAIL: could not record the fault report");
+        exit(1);
+    }
+}
+
+fn read_fault_report(progress_path: &Path) -> DurabilityReport {
+    let text = std::fs::read_to_string(fault_report_path(progress_path)).unwrap_or_default();
+    let mut report = DurabilityReport::default();
+    for field in text.split_whitespace() {
+        match field.split_once('=') {
+            Some(("poisoned", value)) => report.poisoned = value == "1",
+            Some(("acked", value)) => report.acked_items = value.parse().unwrap_or(0),
+            Some(("durable", value)) => report.durable_items = value.parse().unwrap_or(0),
+            Some(("breached", value)) => report.breached_items = value.parse().unwrap_or(0),
+            _ => {}
+        }
+    }
+    report
+}
+
+/// One-sided weight check of the recovered prefix: regenerates the exact weights of
+/// the stream's first `recovered` items and requires every sampled edge to answer
+/// with at least its exact weight — GSS never under-estimates, so any loss shows up.
+fn check_prefix_weights(sketch: &GssSketch, recovered: u64) {
     let mut state = SEED;
     let mut exact: HashMap<(u64, u64), i64> = HashMap::new();
     for time in 0..recovered as usize {
@@ -190,6 +244,174 @@ fn verify(sketch_path: &Path, progress_path: &Path, durability: Durability, wind
         "verified {checked}/{} recovered distinct edges: no loss, no under-count",
         exact.len()
     );
+}
+
+/// Fault-matrix ingest: the library picks the schedule up from `GSS_FAULT_PLAN`; this
+/// half ingests on the typed fail-stop path and checks the poisoned-store contract at
+/// the moment the first hard fault lands.
+fn fault_ingest(sketch_path: &Path, progress_path: &Path, durability: Durability, items: usize) {
+    let storage =
+        StorageBackend::File { path: sketch_path.to_path_buf(), cache_pages: CACHE_PAGES };
+    write_progress(progress_path, 0);
+    let mut sketch = match GssSketch::with_storage_durability(config(), storage, durability) {
+        Ok(sketch) => sketch,
+        Err(error) => {
+            // The schedule hit creation itself: nothing acknowledged, nothing durable —
+            // fail-stop at birth, recorded so the verify half expects an absent store.
+            write_fault_report(
+                progress_path,
+                &DurabilityReport { poisoned: true, ..DurabilityReport::default() },
+            );
+            println!("fault at creation ({error}); fail-stop at birth, nothing acknowledged");
+            return;
+        }
+    };
+    let mut state = SEED;
+    let mut produced = 0usize;
+    let mut batch = Vec::with_capacity(BATCH);
+    let mut probe = None;
+    while produced < items {
+        batch.clear();
+        while batch.len() < BATCH && produced + batch.len() < items {
+            batch.push(stream_item(&mut state, produced + batch.len()));
+        }
+        match sketch.try_insert_batch(&batch) {
+            Ok(()) => {
+                probe.get_or_insert((batch[0].source, batch[0].destination));
+                produced += batch.len();
+                write_progress(progress_path, produced as u64);
+            }
+            Err(GssError::StoreFailed(fault)) => {
+                // The poisoned-store contract, checked at the scene of the fault:
+                if !sketch.is_poisoned() {
+                    eprintln!("FAIL: StoreFailed ingest left the store unpoisoned");
+                    exit(1);
+                }
+                // ...writes are rejected with the same sticky cause...
+                if sketch.try_insert(1, 2, 3).is_ok() {
+                    eprintln!("FAIL: poisoned store accepted a write");
+                    exit(1);
+                }
+                // ...and reads keep serving (cache hits and degraded image reads).
+                if let Some((source, destination)) = probe {
+                    let _ = sketch.edge_weight(source, destination);
+                }
+                let report = sketch.durability_report();
+                if report.durable_items > report.acked_items {
+                    eprintln!("FAIL: report claims more durable than acknowledged items");
+                    exit(1);
+                }
+                if report.breached_items != report.acked_items - report.durable_items {
+                    eprintln!("FAIL: breach count disagrees with acked - durable");
+                    exit(1);
+                }
+                let stats = sketch.detailed_stats();
+                write_fault_report(progress_path, &report);
+                sketch.abandon();
+                println!(
+                    "fail-stopped after {produced} acknowledged items: {fault} \
+                     (acked {} durable {} breached {}; injected_faults {} io_retries {} \
+                     store_poisoned {})",
+                    report.acked_items,
+                    report.durable_items,
+                    report.breached_items,
+                    stats.injected_faults,
+                    stats.io_retries,
+                    stats.store_poisoned,
+                );
+                return;
+            }
+            Err(other) => {
+                eprintln!("FAIL: unexpected error class from try_insert_batch: {other}");
+                exit(1);
+            }
+        }
+    }
+    // The schedule never fired mid-stream (or held only transient faults): the run
+    // must finish like any healthy ingest, including the final checkpoint — but a
+    // sync-shaped schedule can land exactly there, and `checkpoint` fail-stops rather
+    // than panics, so a checkpoint error is a legitimate fail-stop outcome too.
+    if let Err(error) = sketch.sync() {
+        if !sketch.is_poisoned() {
+            eprintln!("FAIL: failed final checkpoint left the store unpoisoned: {error}");
+            exit(1);
+        }
+        let report = sketch.durability_report();
+        if report.durable_items > report.acked_items
+            || report.breached_items != report.acked_items - report.durable_items
+        {
+            eprintln!("FAIL: incoherent report after checkpoint fail-stop");
+            exit(1);
+        }
+        let stats = sketch.detailed_stats();
+        write_fault_report(progress_path, &report);
+        sketch.abandon();
+        println!(
+            "fail-stopped at the final checkpoint after {produced} acknowledged items: \
+             {error} (acked {} durable {} breached {}; injected_faults {} io_retries {} \
+             store_poisoned {})",
+            report.acked_items,
+            report.durable_items,
+            report.breached_items,
+            stats.injected_faults,
+            stats.io_retries,
+            stats.store_poisoned,
+        );
+        return;
+    }
+    let report = sketch.durability_report();
+    let stats = sketch.detailed_stats();
+    write_fault_report(progress_path, &report);
+    println!(
+        "fault ingest completed all {produced} items (schedule unfired or transient; \
+         injected_faults {} io_retries {})",
+        stats.injected_faults, stats.io_retries,
+    );
+}
+
+/// Fault-matrix verify: runs with the schedule cleared and holds the ingest half's
+/// report to its word.
+fn fault_verify(sketch_path: &Path, progress_path: &Path, durability: Durability) {
+    let acknowledged = read_progress(progress_path);
+    let report = read_fault_report(progress_path);
+    let sketch = match GssSketch::open_file_durability(sketch_path, CACHE_PAGES, durability) {
+        Ok(sketch) => sketch,
+        Err(error) if report.poisoned && report.durable_items == 0 => {
+            println!(
+                "store unrecoverable after confessed fault with nothing durable \
+                 (open: {error}); honest fail-stop"
+            );
+            return;
+        }
+        Err(error) => {
+            eprintln!(
+                "FAIL: {} durable items promised (poisoned={}) but recovery failed: {error}",
+                report.durable_items, report.poisoned
+            );
+            exit(1);
+        }
+    };
+    let recovered = sketch.items_inserted();
+    println!(
+        "recovered {recovered} items (report: acked {} durable {} breached {} poisoned {}; \
+         progress file {acknowledged})",
+        report.acked_items, report.durable_items, report.breached_items, report.poisoned,
+    );
+    if recovered < report.durable_items {
+        eprintln!(
+            "FAIL: recovered {recovered} items but the report promised {} durable",
+            report.durable_items
+        );
+        exit(1);
+    }
+    if !report.poisoned && recovered < acknowledged {
+        eprintln!(
+            "FAIL: no fault was reported, yet {acknowledged} acknowledged items shrank \
+             to {recovered}"
+        );
+        exit(1);
+    }
+    check_prefix_weights(&sketch, recovered);
 }
 
 /// Thread `t`'s sub-stream: the items of the shared stream whose time index is
@@ -416,6 +638,22 @@ fn main() {
                 window,
             );
         }
+        Some("fault-ingest") if args.len() == 6 => {
+            let items: usize = args[5].parse().expect("items must be a number");
+            fault_ingest(
+                &PathBuf::from(&args[2]),
+                &PathBuf::from(&args[3]),
+                parse_durability(&args[4]),
+                items,
+            );
+        }
+        Some("fault-verify") if args.len() == 6 => {
+            fault_verify(
+                &PathBuf::from(&args[2]),
+                &PathBuf::from(&args[3]),
+                parse_durability(&args[4]),
+            );
+        }
         _ => {
             eprintln!(
                 "usage: crash_harness ingest <sketch> <progress> <strict|buffered> <items>\n\
@@ -423,7 +661,10 @@ fn main() {
                  \x20      crash_harness ingest-threaded <sketch> <progress> strict <items>\n\
                  \x20      crash_harness verify-threaded <sketch> <progress> strict 0\n\
                  \x20      crash_harness ingest-group <sketch> <progress> strict <items>\n\
-                 \x20      crash_harness verify-group <sketch> <progress> strict 0"
+                 \x20      crash_harness verify-group <sketch> <progress> strict 0\n\
+                 \x20      crash_harness fault-ingest <sketch> <progress> <strict|buffered> \
+                 <items>   (schedule from GSS_FAULT_PLAN)\n\
+                 \x20      crash_harness fault-verify <sketch> <progress> <strict|buffered> 0"
             );
             exit(2);
         }

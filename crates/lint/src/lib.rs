@@ -2,7 +2,7 @@
 //!
 //! The pager's lock hierarchy, the WAL's never-panic replay contract and the "all raw
 //! I/O lives in the storage layer" convention were prose in module docs until this
-//! crate; here they are mechanized as five rules over a token stream
+//! crate; here they are mechanized as six rules over a token stream
 //! ([`lexer`]) with intra-procedural guard-liveness tracking:
 //!
 //! | rule | name               | fires when |
@@ -12,6 +12,7 @@
 //! | L003 | panic-in-recovery  | `unwrap` / `expect` / `panic!` / `unreachable!` / `todo!` / range-indexing inside WAL replay or `FileStore` open/recovery functions |
 //! | L004 | raw-io-containment | `std::fs` / `OpenOptions` / `.seek(` outside `pager/`, `wal.rs`, `file_store.rs` and the snapshot module |
 //! | L005 | unjustified-relaxed| `Ordering::Relaxed` without an adjacent `// relaxed:` justification (stats counters allowlisted) |
+//! | L006 | sync-result-hygiene| in pager/, `wal.rs`, `file_store.rs` or `group_commit.rs`: a `sync_data` / `sync_all` / `write_all_at` / `set_len` call whose `Result` is dropped in statement position, or an fsync (`sync_data` / `sync_all`) lexically inside a `loop` / `while` / `for` body — a dropped sync result lies about durability, and a retried fsync re-acknowledges bytes the kernel may already have thrown away (the "fsyncgate" hazard) |
 //!
 //! A finding is silenced by `// gss-lint: allow(RULE, reason)` on the same or the
 //! preceding line; the reason is mandatory and surfaced by the binary's waiver
@@ -28,7 +29,7 @@ pub mod lexer;
 
 use lexer::{Lexed, Tok, TokKind};
 
-/// The five project-invariant rules, with stable IDs.
+/// The six project-invariant rules, with stable IDs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// Lock-order: WAL acquired under a stripe/latch guard, stripe under a latch/WAL.
@@ -41,10 +42,14 @@ pub enum Rule {
     L004,
     /// `Ordering::Relaxed` without a written justification.
     L005,
+    /// A dropped sync/write `Result`, or an fsync inside a retry loop, in the
+    /// fail-stop-critical storage files.
+    L006,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 5] = [Rule::L001, Rule::L002, Rule::L003, Rule::L004, Rule::L005];
+    pub const ALL: [Rule; 6] =
+        [Rule::L001, Rule::L002, Rule::L003, Rule::L004, Rule::L005, Rule::L006];
 
     pub fn id(self) -> &'static str {
         match self {
@@ -53,6 +58,7 @@ impl Rule {
             Rule::L003 => "L003",
             Rule::L004 => "L004",
             Rule::L005 => "L005",
+            Rule::L006 => "L006",
         }
     }
 
@@ -63,6 +69,7 @@ impl Rule {
             Rule::L003 => "panic-in-recovery",
             Rule::L004 => "raw-io-containment",
             Rule::L005 => "unjustified-relaxed",
+            Rule::L006 => "sync-result-hygiene",
         }
     }
 
@@ -122,6 +129,15 @@ fn l004_exempt(path: &str, basename: &str) -> bool {
     path.contains("/pager/")
         || path.starts_with("pager/")
         || matches!(basename, "wal.rs" | "file_store.rs" | "persistence.rs")
+}
+
+/// Files rule L006 covers: the fail-stop-critical storage layer, where a dropped sync
+/// result silently lies about durability and a retried fsync re-acknowledges bytes the
+/// kernel may already have dropped.
+fn l006_applies(path: &str, basename: &str) -> bool {
+    path.contains("core/src/")
+        && (path.contains("/pager/")
+            || matches!(basename, "wal.rs" | "file_store.rs" | "group_commit.rs"))
 }
 
 /// Atomic counters whose loads and bumps are self-evidently fine under `Relaxed` (pure
@@ -216,6 +232,7 @@ struct Engine<'a> {
     skipped: Vec<bool>,
     basename: &'a str,
     l004_applies: bool,
+    l006_applies: bool,
 }
 
 impl<'a> Engine<'a> {
@@ -227,6 +244,7 @@ impl<'a> Engine<'a> {
             skipped: mark_cfg_test(&lexed.tokens),
             basename,
             l004_applies: in_core && !l004_exempt(path, basename),
+            l006_applies: l006_applies(path, basename),
         }
     }
 
@@ -239,6 +257,10 @@ impl<'a> Engine<'a> {
         let mut pending_fn: Option<String> = None;
         let mut guards: Vec<Guard> = Vec::new();
         let mut pending_let: Option<String> = None;
+        // Loop-body stack for L006: brace depths at which a `loop`/`while`/`for` body
+        // opened.  Non-empty means the current token is lexically inside a loop.
+        let mut loops: Vec<i32> = Vec::new();
+        let mut pending_loop = false;
         for i in 0..toks.len() {
             if self.skipped[i] {
                 continue;
@@ -253,10 +275,15 @@ impl<'a> Engine<'a> {
                     if let Some(name) = pending_fn.take() {
                         fns.push((name, depth));
                     }
+                    if pending_loop {
+                        loops.push(depth);
+                        pending_loop = false;
+                    }
                 }
                 TokKind::Punct('}') => {
                     depth -= 1;
                     guards.retain(|g| g.depth <= depth);
+                    loops.retain(|&d| d <= depth);
                     if fns.last().is_some_and(|&(_, d)| d > depth) {
                         fns.pop();
                     }
@@ -264,6 +291,7 @@ impl<'a> Engine<'a> {
                 TokKind::Punct(';') => {
                     pending_let = None;
                     pending_fn = None; // trait method declarations have no body
+                    pending_loop = false;
                 }
                 TokKind::Punct('[') => {
                     self.check_range_index(i, in_scope_fn, findings);
@@ -272,6 +300,21 @@ impl<'a> Engine<'a> {
                     "fn" => {
                         if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
                             pending_fn = Some(name.text.clone());
+                        }
+                    }
+                    "loop" | "while" => {
+                        pending_loop = true;
+                    }
+                    // `for` opens a loop body only in `for pat in iter {` — an `in`
+                    // before the brace distinguishes it from `impl Trait for Type {`.
+                    "for" => {
+                        let mut j = i + 1;
+                        while toks.get(j).is_some_and(|t| !t.is_punct('{') && !t.is_punct(';')) {
+                            if toks[j].is_ident("in") {
+                                pending_loop = true;
+                                break;
+                            }
+                            j += 1;
                         }
                     }
                     "let" => {
@@ -353,6 +396,9 @@ impl<'a> Engine<'a> {
                     self.check_method(
                         i,
                         in_scope_fn,
+                        // A `while cond` expression re-runs per iteration even though
+                        // its body brace has not opened yet — pending counts.
+                        !loops.is_empty() || pending_loop,
                         &mut guards,
                         &mut pending_let,
                         depth,
@@ -372,6 +418,7 @@ impl<'a> Engine<'a> {
         &self,
         i: usize,
         in_scope_fn: bool,
+        in_loop: bool,
         guards: &mut Vec<Guard>,
         pending_let: &mut Option<String>,
         depth: i32,
@@ -419,6 +466,38 @@ impl<'a> Engine<'a> {
                 guards.push(Guard { name, class, depth, line });
             }
         }
+        if self.l006_applies {
+            match method.text.as_str() {
+                "sync_data" | "sync_all" | "write_all_at" | "set_len" => {
+                    if self.sync_result_dropped(i) {
+                        findings.push(Finding {
+                            rule: Rule::L006,
+                            line,
+                            message: format!(
+                                "`{}` result dropped in statement position — a failed \
+                                 write/sync must poison the store, not vanish",
+                                method.text
+                            ),
+                            waived: false,
+                        });
+                    }
+                    if in_loop && matches!(method.text.as_str(), "sync_data" | "sync_all") {
+                        findings.push(Finding {
+                            rule: Rule::L006,
+                            line,
+                            message: format!(
+                                "`{}` inside a loop body — a failed fsync clears the \
+                                 kernel's dirty flags, so retrying it re-acknowledges \
+                                 bytes that may already be lost; fail stop instead",
+                                method.text
+                            ),
+                            waived: false,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
         match method.text.as_str() {
             "read_exact_at" | "write_all_at" | "sync_data" | "sync_all" | "set_len" => {
                 for held in guards.iter().filter(|g| g.class == GuardClass::Stripe) {
@@ -456,6 +535,49 @@ impl<'a> Engine<'a> {
             }
             _ => {}
         }
+    }
+
+    /// L006 pattern A: is the call at `i` (the `.` token of `recv.method(...)`) a bare
+    /// statement whose `Result` nothing consumes?  Forward: the matching `)` must be
+    /// followed directly by `;` — a trailing `?`, `.map_err(`, `.expect(` or an
+    /// enclosing call all consume the value.  Backward: the receiver chain (idents and
+    /// `.` only) must start at a statement boundary — `let _ =`, `return`, `=`, or an
+    /// argument position mean the caller sees the `Result`.
+    fn sync_result_dropped(&self, i: usize) -> bool {
+        let toks = self.toks;
+        let mut nest = 0i32;
+        let mut j = i + 2;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct('(') => nest += 1,
+                TokKind::Punct(')') => {
+                    nest -= 1;
+                    if nest == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !toks.get(j + 1).is_some_and(|t| t.is_punct(';')) {
+            return false;
+        }
+        let mut k = i;
+        while k > 0 {
+            let prev = &toks[k - 1];
+            match prev.kind {
+                TokKind::Ident
+                    if matches!(prev.text.as_str(), "return" | "let" | "else" | "break") =>
+                {
+                    return false;
+                }
+                TokKind::Ident | TokKind::Punct('.') => k -= 1,
+                TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') => return true,
+                _ => return false,
+            }
+        }
+        true
     }
 
     /// L003 range-indexing: a `[` in index position (previous token is an identifier,

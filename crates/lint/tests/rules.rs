@@ -69,6 +69,35 @@ fn l005_fires_bare_but_not_justified_or_allowlisted() {
 }
 
 #[test]
+fn l006_fires_on_dropped_sync_results_and_fsync_retry_loops() {
+    let report = analyze_fixture("l006_sync_result.rs", "crates/core/src/file_store.rs");
+    let lines = fired(&report, Rule::L006);
+    assert_eq!(
+        lines.len(),
+        7,
+        "sync_data, sync_all, write_all_at, set_len, chained-receiver drop, \
+         fsync-in-for, fsync-in-while: {lines:?}"
+    );
+    // The `?` / `let` / `map_err` / `return` / argument-position uses and the
+    // EINTR write-retry loop stay silent; the waived drop is recorded but not fired.
+    assert_eq!(report.findings.iter().filter(|f| f.rule == Rule::L006 && f.waived).count(), 1);
+}
+
+#[test]
+fn l006_is_scoped_to_the_fail_stop_storage_files() {
+    for (path, in_scope) in [
+        ("crates/core/src/pager/page_file.rs", true),
+        ("crates/core/src/wal.rs", true),
+        ("crates/core/src/group_commit.rs", true),
+        ("crates/core/src/persistence.rs", false), // snapshot I/O surfaces errors itself
+        ("crates/experiments/src/bin/crash_harness.rs", false),
+    ] {
+        let report = analyze_fixture("l006_sync_result.rs", path);
+        assert_eq!(!fired(&report, Rule::L006).is_empty(), in_scope, "{path}");
+    }
+}
+
+#[test]
 fn waivers_silence_findings_and_reasonless_waivers_are_flagged() {
     let report = analyze_fixture("waived.rs", "crates/core/src/pager/page_cache.rs");
     assert!(fired(&report, Rule::L001).is_empty(), "both findings are waived");
