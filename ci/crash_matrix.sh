@@ -33,9 +33,21 @@ BIN=target/release-witness/crash_harness
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT
 
-# Deterministic-but-varied kill offsets; override with CRASH_MATRIX_SEED to reproduce.
-SEED="${CRASH_MATRIX_SEED:-$RANDOM}"
+# Deterministic-but-varied kill offsets; rerun with SEED=<n> (or the legacy
+# CRASH_MATRIX_SEED) to reproduce a failing run exactly.
+SEED="${SEED:-${CRASH_MATRIX_SEED:-$RANDOM}}"
 echo "crash matrix: $ITERATIONS iterations per mode, seed $SEED"
+
+# Failing iterations park their progress sidecars (plus the seed) here so CI can
+# upload them as artifacts; the workdir itself is a mktemp and vanishes on exit.
+ARTIFACTS="target/matrix-artifacts"
+save_artifacts() {
+  mkdir -p "$ARTIFACTS"
+  echo "$SEED" > "$ARTIFACTS/crash-matrix-seed"
+  for f in "$@"; do
+    [ -e "$f" ] && cp "$f" "$ARTIFACTS/" || true
+  done
+}
 
 failures=0
 for mode in strict buffered threaded group-commit; do
@@ -86,6 +98,7 @@ for mode in strict buffered threaded group-commit; do
       echo "--- $mode #$i: ingest finished all $ITEMS items before the ${delay}s kill —"
       echo "    vacuous iteration; raise ITEMS for this runner class"
       failures=$((failures + 1))
+      save_artifacts "$progress" "$progress".0 "$progress".1 "$progress".2
       continue
     fi
     echo "--- $mode #$i: killed after ${delay}s at $acknowledged acknowledged items"
@@ -94,12 +107,14 @@ for mode in strict buffered threaded group-commit; do
     else
       echo "--- $mode #$i: FAILED"
       failures=$((failures + 1))
+      save_artifacts "$progress" "$progress".0 "$progress".1 "$progress".2
     fi
   done
 done
 
 if [ "$failures" -ne 0 ]; then
-  echo "crash matrix: $failures failure(s)"
+  echo "crash matrix: $failures failure(s) — reproduce with SEED=$SEED;" \
+    "progress sidecars saved under $ARTIFACTS/"
   exit 1
 fi
 echo "crash matrix: all $((4 * ITERATIONS)) kills recovered within their windows"

@@ -32,9 +32,21 @@ BIN=target/release-witness/crash_harness
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT
 
-# Deterministic-but-varied schedules; override with FAULT_MATRIX_SEED to reproduce.
-SEED="${FAULT_MATRIX_SEED:-$RANDOM}"
+# Deterministic-but-varied schedules; rerun with SEED=<n> (or the legacy
+# FAULT_MATRIX_SEED) to reproduce a failing run exactly.
+SEED="${SEED:-${FAULT_MATRIX_SEED:-$RANDOM}}"
 echo "fault matrix: $SCHEDULES randomized schedules, seed $SEED"
+
+# Failing schedules park their progress/fault sidecars and ingest log (plus the
+# seed) here so CI can upload them as artifacts.
+ARTIFACTS="target/matrix-artifacts"
+save_artifacts() {
+  mkdir -p "$ARTIFACTS"
+  echo "$SEED" > "$ARTIFACTS/fault-matrix-seed"
+  for f in "$@"; do
+    [ -e "$f" ] && cp "$f" "$ARTIFACTS/" || true
+  done
+}
 
 failures=0
 fired=0
@@ -79,6 +91,7 @@ for i in $(seq 1 "$SCHEDULES"); do
     echo "--- schedule #$i: FAILED (ingest half broke the fail-stop contract)"
     cat "$ingest_log"
     failures=$((failures + 1))
+    save_artifacts "$progress" "$progress.fault" "$ingest_log"
     continue
   fi
   sed 's/^/    /' "$ingest_log"
@@ -95,6 +108,7 @@ for i in $(seq 1 "$SCHEDULES"); do
   else
     echo "--- schedule #$i: FAILED"
     failures=$((failures + 1))
+    save_artifacts "$progress" "$progress.fault" "$ingest_log"
   fi
 done
 
@@ -103,12 +117,13 @@ echo "fault matrix: $fired/$SCHEDULES schedules fired" \
 # Vacuous-pass guard: a matrix where most schedules never inject anything proves
 # nothing — the occurrence ranges above are tuned so the large majority fire.
 if [ $((fired * 3)) -lt $((SCHEDULES * 2)) ]; then
-  echo "fault matrix: vacuous — fewer than 2/3 of schedules injected a fault;"
-  echo "    retune the occurrence ranges for this ITEMS setting"
+  echo "fault matrix: vacuous — fewer than 2/3 of schedules injected a fault"
+  echo "    (seed $SEED); retune the occurrence ranges for this ITEMS setting"
   exit 1
 fi
 if [ "$failures" -ne 0 ]; then
-  echo "fault matrix: $failures failure(s)"
+  echo "fault matrix: $failures failure(s) — reproduce with SEED=$SEED;" \
+    "sidecars saved under $ARTIFACTS/"
   exit 1
 fi
 echo "fault matrix: all $SCHEDULES schedules survived without panics or false acks"

@@ -137,6 +137,15 @@ impl GssBuilder {
         self.storage(StorageBackend::file(path))
     }
 
+    /// Namespace-friendly file storage: the sketch file lives at `<dir>/<name>.gss`, so
+    /// the file name carries the namespace name (which also makes
+    /// [`crate::pager::faults`] path-token scoping line up with tenant names — the
+    /// `gss-server` tenant layout and its isolation tests rely on this).  Sharded
+    /// builds fan out to `<dir>/<name>.gss.shardN` as usual.
+    pub fn storage_dir(self, dir: impl Into<PathBuf>, name: &str) -> Self {
+        self.storage_file(dir.into().join(format!("{name}.gss")))
+    }
+
     /// Durability policy of a file-backed sketch (default [`Durability::Strict`]):
     /// `Strict` drains the write-ahead log and writes evicted pages back synchronously
     /// on the ingest path (zero acknowledged-item loss under `SIGKILL`); `Buffered`
@@ -287,6 +296,22 @@ mod tests {
         sharded.insert(1, 2, 3);
         assert_eq!(sharded.edge_weight(1, 2), Some(3));
         assert!(GssSketch::builder().width(100).build_sharded_equal_memory(0).is_err());
+    }
+
+    #[test]
+    fn storage_dir_places_the_file_under_the_namespace_name() {
+        let dir = std::env::temp_dir().join(format!("gss-builder-{}-ns", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut sketch =
+            GssSketch::builder().width(32).storage_dir(&dir, "tenant-a").build().unwrap();
+        sketch.insert(5, 6, 2);
+        drop(sketch);
+        let path = dir.join("tenant-a.gss");
+        assert!(path.exists(), "sketch file must carry the namespace name");
+        let reopened = GssSketch::open_file(&path, 8).unwrap();
+        assert_eq!(reopened.edge_weight(5, 6), Some(2));
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -149,6 +149,68 @@ impl ShardedGss {
         Ok(Self { config, shards: Arc::new(shards), ack_handles: Arc::new(ack_handles) })
     }
 
+    /// Reopens an existing sharded, file-backed sketch **in place**: the per-shard
+    /// files a previous run created at `<base>.shard0 … <base>.shard{N-1}` (see
+    /// [`with_storage`](Self::with_storage)) become this handle's live storage, each
+    /// shard recovering independently through its own write-ahead log — this is the
+    /// restart path of a long-lived service (`gss-server` reopens every tenant this
+    /// way).  All shard logs register with one fresh group-commit coordinator built
+    /// from `group_commit`.
+    ///
+    /// # Errors
+    /// Returns a [`PersistenceError`](crate::PersistenceError) if `shards == 0`, any shard file is missing or
+    /// unrecoverable, or the shards disagree on their configuration (files from
+    /// different builds mixed in one directory).
+    pub fn open_sharded(
+        base: impl AsRef<std::path::Path>,
+        shards: usize,
+        cache_pages: usize,
+        durability: Durability,
+        group_commit: GroupCommit,
+    ) -> Result<Self, crate::persistence::PersistenceError> {
+        use crate::persistence::PersistenceError;
+        if shards == 0 {
+            return Err(PersistenceError::InvalidConfig("need at least one shard".to_string()));
+        }
+        let backend = StorageBackend::File { path: base.as_ref().to_path_buf(), cache_pages };
+        let group = GroupCommitter::new(group_commit);
+        let opened = (0..shards)
+            .map(|index| {
+                let StorageBackend::File { path, cache_pages } = backend.for_shard(index) else {
+                    unreachable!("file backend shards stay file-backed");
+                };
+                GssSketch::open_file_durability_grouped(
+                    path,
+                    cache_pages,
+                    durability,
+                    Arc::clone(&group),
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let config = *opened[0].config();
+        if let Some(odd) = opened.iter().find(|sketch| *sketch.config() != config) {
+            return Err(PersistenceError::Corrupt(format!(
+                "shard files disagree on their configuration (width {} vs {}) — \
+                 mixed builds in one directory?",
+                config.width,
+                odd.config().width
+            )));
+        }
+        let ack_handles = opened.iter().map(GssSketch::wal_ack_handle).collect();
+        let shards = opened.into_iter().map(RwLock::new).collect();
+        Ok(Self { config, shards: Arc::new(shards), ack_handles: Arc::new(ack_handles) })
+    }
+
+    /// Whether **any** shard's backing store has fail-stopped (always `false` for
+    /// in-memory shards) — the cheap health probe a serving layer checks before
+    /// translating [`try_insert_batch`](Self::try_insert_batch) failures to the wire.
+    pub fn is_poisoned(&self) -> bool {
+        self.shards.iter().any(|shard| {
+            let _shard_held = witness::acquire(LockClass::Shard);
+            shard.read().is_poisoned()
+        })
+    }
+
     /// Checkpoints every file-backed shard ([`GssSketch::sync`]), taking each shard's
     /// write lock in turn.  A no-op for in-memory shards.
     ///
@@ -812,6 +874,48 @@ mod tests {
             std::fs::remove_file(&path).ok();
         }
         assert_eq!(total_items, 1200);
+    }
+
+    #[test]
+    fn open_sharded_reopens_every_shard_in_place() {
+        let base =
+            std::env::temp_dir().join(format!("gss-sharded-{}-reopen.gss", std::process::id()));
+        let config = GssConfig::paper_small(24);
+        let items = stream(41, 900);
+        {
+            let sharded = ShardedGss::with_storage(
+                config,
+                3,
+                &StorageBackend::File { path: base.clone(), cache_pages: 16 },
+            )
+            .unwrap();
+            sharded.insert_batch(&items);
+            sharded.sync().unwrap();
+        }
+        let reopened =
+            ShardedGss::open_sharded(&base, 3, 16, Durability::Strict, GroupCommit::default())
+                .unwrap();
+        assert_eq!(reopened.config(), &config);
+        assert_eq!(reopened.stats().items_inserted, 900);
+        assert!(!reopened.is_poisoned());
+        // Still writable after reopen, and queries see both old and new items.
+        reopened.insert(123_456, 654_321, 9);
+        assert_eq!(reopened.edge_weight(123_456, 654_321), Some(9));
+        assert!(reopened.edge_weight(items[0].source, items[0].destination).is_some());
+        drop(reopened);
+        for index in 0..3 {
+            let path = base.with_file_name(format!(
+                "{}.shard{index}",
+                base.file_name().unwrap().to_string_lossy()
+            ));
+            std::fs::remove_file(crate::wal::wal_path(&path)).ok();
+            std::fs::remove_file(&path).ok();
+        }
+        // Zero shards and missing files are typed errors, not panics.
+        assert!(ShardedGss::open_sharded(&base, 0, 16, Durability::Strict, GroupCommit::default())
+            .is_err());
+        assert!(ShardedGss::open_sharded(&base, 2, 16, Durability::Strict, GroupCommit::default())
+            .is_err());
     }
 
     #[test]

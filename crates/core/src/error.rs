@@ -80,6 +80,49 @@ impl StoreFault {
     pub fn to_io(&self) -> io::Error {
         io::Error::new(self.kind, self.message.clone())
     }
+
+    /// The stable wire code of this fault's [`io::ErrorKind`] for network protocols
+    /// (`gss-server` sends it in `STORE_FAILED` responses).  `io::ErrorKind` has no
+    /// stable discriminant of its own, so the mapping here is the contract: codes are
+    /// append-only and never reused.  Kinds without an entry collapse to `0` (other).
+    pub fn wire_code(&self) -> u16 {
+        match self.kind {
+            io::ErrorKind::NotFound => 1,
+            io::ErrorKind::PermissionDenied => 2,
+            io::ErrorKind::WriteZero => 3,
+            io::ErrorKind::UnexpectedEof => 4,
+            k if k == storage_full_kind() => 5,
+            io::ErrorKind::Interrupted => 6,
+            io::ErrorKind::InvalidData => 7,
+            io::ErrorKind::TimedOut => 8,
+            _ => 0,
+        }
+    }
+
+    /// Rebuilds a fault from a wire code and message (the client half of
+    /// [`wire_code`](Self::wire_code)).  Unknown codes collapse to
+    /// [`io::ErrorKind::Other`], mirroring the forward map.
+    pub fn from_wire(code: u16, message: impl Into<String>) -> Self {
+        let kind = match code {
+            1 => io::ErrorKind::NotFound,
+            2 => io::ErrorKind::PermissionDenied,
+            3 => io::ErrorKind::WriteZero,
+            4 => io::ErrorKind::UnexpectedEof,
+            5 => storage_full_kind(),
+            6 => io::ErrorKind::Interrupted,
+            7 => io::ErrorKind::InvalidData,
+            8 => io::ErrorKind::TimedOut,
+            _ => io::ErrorKind::Other,
+        };
+        Self { kind, message: message.into() }
+    }
+}
+
+/// `io::ErrorKind::StorageFull` without naming it: the variant was stabilized in Rust
+/// 1.83, after this workspace's MSRV (1.75), but the kernel's `ENOSPC` has decoded to
+/// it in std for far longer — so derive the kind from the errno value instead.
+fn storage_full_kind() -> io::ErrorKind {
+    io::Error::from_raw_os_error(28).kind() // 28 = ENOSPC on every Unix this targets
 }
 
 impl fmt::Display for StoreFault {
@@ -127,6 +170,30 @@ impl From<ConfigError> for GssError {
 impl From<StoreFault> for GssError {
     fn from(fault: StoreFault) -> Self {
         GssError::StoreFailed(fault)
+    }
+}
+
+impl GssError {
+    /// The stable wire code of this error for network protocols: the high byte selects
+    /// the variant (`0x01` config, `0x02` store-failed), the low byte carries the
+    /// fault's [`StoreFault::wire_code`] (0 for config errors).  Append-only, like the
+    /// fault codes.
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            GssError::Config(_) => 0x0100,
+            GssError::StoreFailed(fault) => 0x0200 | fault.wire_code(),
+        }
+    }
+
+    /// Rebuilds an error from a wire code and message (the client half of
+    /// [`wire_code`](Self::wire_code)).  Codes outside the known variants rebuild as a
+    /// store failure with an unknown kind, the conservative reading for a caller
+    /// deciding whether to retry.
+    pub fn from_wire(code: u16, message: impl Into<String>) -> Self {
+        match code & 0xFF00 {
+            0x0100 => GssError::Config(ConfigError::new(message)),
+            _ => GssError::StoreFailed(StoreFault::from_wire(code & 0x00FF, message)),
+        }
     }
 }
 
@@ -233,6 +300,46 @@ mod tests {
         let error: GssError = fault.clone().into();
         assert!(matches!(&error, GssError::StoreFailed(f) if *f == fault));
         assert!(error.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn wire_codes_round_trip_per_kind() {
+        for kind in [
+            io::ErrorKind::NotFound,
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::WriteZero,
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::StorageFull,
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::InvalidData,
+            io::ErrorKind::TimedOut,
+        ] {
+            let fault = StoreFault::new(kind, "x");
+            let back = StoreFault::from_wire(fault.wire_code(), "x");
+            assert_eq!(back.kind(), kind, "wire round-trip must preserve {kind:?}");
+        }
+        // Unmapped kinds collapse to code 0 and rebuild as Other.
+        let fault = StoreFault::new(io::ErrorKind::BrokenPipe, "x");
+        assert_eq!(fault.wire_code(), 0);
+        assert_eq!(StoreFault::from_wire(0, "x").kind(), io::ErrorKind::Other);
+    }
+
+    #[test]
+    fn gss_error_wire_codes_select_the_variant() {
+        let config: GssError = ConfigError::new("bad width").into();
+        assert_eq!(config.wire_code(), 0x0100);
+        assert!(matches!(GssError::from_wire(0x0100, "bad width"), GssError::Config(_)));
+
+        let store: GssError = StoreFault::new(io::ErrorKind::StorageFull, "disk full").into();
+        assert_eq!(store.wire_code(), 0x0205);
+        match GssError::from_wire(store.wire_code(), "disk full") {
+            GssError::StoreFailed(fault) => {
+                assert_eq!(fault.kind(), io::ErrorKind::StorageFull);
+            }
+            other => panic!("expected StoreFailed, got {other:?}"),
+        }
+        // Unknown variant bytes rebuild conservatively as a store failure.
+        assert!(matches!(GssError::from_wire(0x7700, "?"), GssError::StoreFailed(_)));
     }
 
     #[test]

@@ -29,16 +29,22 @@
 //! ## Spec grammar
 //!
 //! ```text
-//! spec  := site (';' site)*
+//! spec  := segment (';' segment)*
+//! segment := site | scope
 //! site  := op ':' kind '@' n         — the n-th occurrence (1-based) of op fails
+//! scope := 'path=' token             — plan applies only to files whose name
+//!                                      contains token (last scope segment wins)
 //! op    := read | write | sync_data | sync_all | set_len
 //! kind  := eio | enospc | eintr | short | torn
 //! ```
 //!
 //! Example: `write:torn@120;sync_data:eio@3` tears the 120th positioned write and
-//! fails the third `fdatasync`.  `eintr`/`short` are *transient* (the page layer
-//! retries them, bounded); `eio`/`enospc`/`torn` are hard faults that poison the
-//! store (see [`crate::error::StoreHealth`]).
+//! fails the third `fdatasync`; `path=gamma;write:eio@10` fails the 10th write of
+//! files whose name contains `gamma` only (how the server smoke test poisons one
+//! tenant of a multi-tenant `gss-server` while its neighbours keep serving).
+//! `eintr`/`short` are *transient* (the page layer retries them, bounded);
+//! `eio`/`enospc`/`torn` are hard faults that poison the store (see
+//! [`crate::error::StoreHealth`]).
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -169,7 +175,16 @@ impl FaultPlan {
     /// Parses the `GSS_FAULT_PLAN` spec grammar (see the module docs).
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut sites = Vec::new();
+        let mut path_token = None;
         for part in spec.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            if let Some(token) = part.strip_prefix("path=") {
+                let token = token.trim();
+                if token.is_empty() {
+                    return Err(format!("empty path token in `{part}`"));
+                }
+                path_token = Some(token.to_string());
+                continue;
+            }
             let (op_text, rest) =
                 part.split_once(':').ok_or_else(|| format!("missing ':' in `{part}`"))?;
             let (kind_text, at_text) =
@@ -187,7 +202,11 @@ impl FaultPlan {
             }
             sites.push(FaultSite { op, kind, at });
         }
-        Ok(Self::new(sites))
+        let plan = Self::new(sites);
+        Ok(match path_token {
+            Some(token) => plan.with_path_token(token),
+            None => plan,
+        })
     }
 
     /// Counts one occurrence of `op` and returns the fault scheduled for it, if any.
@@ -279,7 +298,9 @@ pub fn install(plan: FaultPlan) -> FaultGuard {
 
 /// Resolves the fault plan covering a file about to be opened at `path`: the most
 /// recently installed registry plan whose token matches wins, then the environment
-/// plan.  Returns `None` (one atomic load) when fault injection was never armed.
+/// plan — which honours its own `path=` token, so an env spec scoped to one
+/// tenant's files leaves every other file on healthy I/O.  Returns `None` (one
+/// atomic load) when fault injection was never armed.
 pub fn plan_for(path: &Path) -> Option<Arc<FaultPlan>> {
     // The environment cache must initialize before the armed check: a process started
     // with GSS_FAULT_PLAN arms itself on its first open.
@@ -293,7 +314,7 @@ pub fn plan_for(path: &Path) -> Option<Arc<FaultPlan>> {
         return Some(Arc::clone(plan));
     }
     drop(plans);
-    env.cloned()
+    env.filter(|plan| plan.matches(&name)).cloned()
 }
 
 #[cfg(test)]
@@ -315,6 +336,20 @@ mod tests {
         assert!(FaultPlan::parse("chmod:eio@1").is_err(), "unknown op");
         assert!(FaultPlan::parse("write:eio@0").is_err(), "occurrences are 1-based");
         assert!(FaultPlan::parse("").unwrap().sites.is_empty(), "empty plan is valid");
+    }
+
+    #[test]
+    fn parse_accepts_a_path_scope_segment() {
+        let plan = FaultPlan::parse("path=gamma;write:eio@10").unwrap();
+        assert_eq!(plan.sites.len(), 1);
+        assert!(plan.matches("gamma.gss.shard0"));
+        assert!(!plan.matches("alpha.gss.shard0"));
+        // Last scope segment wins; an empty token is rejected.
+        let plan = FaultPlan::parse("path=alpha; write:eio@1; path=beta").unwrap();
+        assert!(plan.matches("beta.gss") && !plan.matches("alpha.gss"));
+        assert!(FaultPlan::parse("path=").is_err());
+        // Unscoped plans keep matching everything.
+        assert!(FaultPlan::parse("write:eio@1").unwrap().matches("anything.gss"));
     }
 
     #[test]

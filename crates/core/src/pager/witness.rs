@@ -48,9 +48,17 @@ pub enum LockClass {
     /// eviction barrier takes it under a stripe guard, and the elected leader releases
     /// it *before* draining any member's WAL, so no Group → Wal edge exists at runtime.
     GroupCommit = 7,
+    /// The `gss-server` namespace-registry `RwLock` (tenant name → open tenant map).
+    /// Sits *above* [`LockClass::Shard`] at the very top of the DAG: a request handler
+    /// resolves its tenant under the registry lock (holding it across lazy tenant
+    /// construction, which opens sketch files but acquires no shard lock), and every
+    /// sketch operation afterwards takes shard locks with the registry lock already
+    /// released — or still held read-side, making `NamespaceRegistry → Shard` the only
+    /// legal direction.  Sketch code must never call back up into the registry.
+    NamespaceRegistry = 8,
 }
 
-pub const CLASS_COUNT: usize = 8;
+pub const CLASS_COUNT: usize = 9;
 
 impl LockClass {
     pub fn name(self) -> &'static str {
@@ -63,6 +71,7 @@ impl LockClass {
             LockClass::FlushQueue => "FlushQueue",
             LockClass::Hook => "Hook",
             LockClass::GroupCommit => "GroupCommit",
+            LockClass::NamespaceRegistry => "NamespaceRegistry",
         }
     }
 
@@ -75,7 +84,8 @@ impl LockClass {
             4 => LockClass::WalAppend,
             5 => LockClass::FlushQueue,
             6 => LockClass::Hook,
-            _ => LockClass::GroupCommit,
+            7 => LockClass::GroupCommit,
+            _ => LockClass::NamespaceRegistry,
         }
     }
 }
@@ -440,6 +450,20 @@ mod tests {
             !report.edges.contains(&(LockClass::PageLatch, LockClass::StripeMap)),
             "declared edges stay out of the checked set"
         );
+        assert!(report.is_acyclic());
+    }
+
+    #[test]
+    fn namespace_registry_sits_above_the_shard_class() {
+        // The server's request path: resolve the tenant under the registry lock, then
+        // take shard locks.  The forward edge must record silently; the reverse
+        // (sketch code calling back up into the registry) would close a cycle.
+        let registry = acquire(LockClass::NamespaceRegistry);
+        let shard = acquire(LockClass::Shard);
+        drop(shard);
+        drop(registry);
+        let report = report();
+        assert!(report.edges.contains(&(LockClass::NamespaceRegistry, LockClass::Shard)));
         assert!(report.is_acyclic());
     }
 

@@ -23,5 +23,7 @@ pub mod triangles;
 pub use matching::{count_pattern_matches, find_pattern_matches, PatternGraph};
 pub use node_query::{node_in_weight, node_out_weight};
 pub use reconstruct::reconstruct_graph;
-pub use traversal::{bfs_reachable_set, is_reachable, k_hop_successors, shortest_hop_distance};
+pub use traversal::{
+    bfs_reachable_set, is_reachable, is_reachable_bounded, k_hop_successors, shortest_hop_distance,
+};
 pub use triangles::{count_triangles, local_triangle_count};

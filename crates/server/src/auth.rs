@@ -1,0 +1,38 @@
+//! Static per-tenant token authentication.
+//!
+//! Each tenant is configured with one shared-secret token; a connection presents it
+//! in its HELLO frame and is bound to that tenant for its lifetime.  The comparison
+//! is length-independent and content-independent in running time so the check does
+//! not leak token bytes through response timing.
+
+/// Compares a presented token against the configured one without early exit: the
+/// loop always walks `max(len)` bytes and folds every difference into one
+/// accumulator, so timing reveals neither the match prefix length nor the token
+/// length.
+pub fn token_matches(presented: &str, expected: &str) -> bool {
+    let a = presented.as_bytes();
+    let b = expected.as_bytes();
+    let len = a.len().max(b.len());
+    let mut diff = a.len() ^ b.len();
+    for i in 0..len {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_only() {
+        assert!(token_matches("s3cret", "s3cret"));
+        assert!(!token_matches("s3cret", "s3cres"));
+        assert!(!token_matches("s3cre", "s3cret"));
+        assert!(!token_matches("s3cretX", "s3cret"));
+        assert!(!token_matches("", "s3cret"));
+        assert!(token_matches("", ""));
+    }
+}

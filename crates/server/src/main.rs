@@ -1,0 +1,103 @@
+//! The `gss-server` binary: bind, load tenants, serve until killed.
+//!
+//! ```text
+//! gss-server --listen 127.0.0.1:0 --data-dir /var/lib/gss --config tenants.conf \
+//!            [--max-connections 64]
+//! ```
+//!
+//! On success it prints exactly one line, `listening on <addr>`, to stdout before
+//! serving — the CI smoke job parses that line to learn the OS-assigned port.
+
+use gss_server::{net, Server, ServerConfig, DEFAULT_MAX_CONNECTIONS};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    listen: String,
+    data_dir: PathBuf,
+    config: Option<PathBuf>,
+    max_connections: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:7464".to_string(),
+        data_dir: PathBuf::from("gss-data"),
+        config: None,
+        max_connections: DEFAULT_MAX_CONNECTIONS,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--data-dir" => args.data_dir = PathBuf::from(value("--data-dir")?),
+            "--config" => args.config = Some(PathBuf::from(value("--config")?)),
+            "--max-connections" => {
+                args.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|_| "--max-connections needs a number".to_string())?
+            }
+            "--help" | "-h" => {
+                return Err("usage: gss-server --listen ADDR --data-dir DIR \
+                            --config FILE [--max-connections N]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("gss-server: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match &args.config {
+        None => ServerConfig::default(),
+        Some(path) => {
+            let text = match net::read_file_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("gss-server: cannot read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match ServerConfig::parse(&text) {
+                Ok(config) => config,
+                Err(message) => {
+                    eprintln!("gss-server: {}: {message}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    if config.tenants.is_empty() {
+        eprintln!("gss-server: warning: no tenants configured; only HEALTH will answer");
+    }
+    let server = match Server::bind(&args.listen, args.data_dir, config, args.max_connections) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("gss-server: cannot bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // The smoke job parses this exact line to find the OS-assigned port.
+            println!("listening on {addr}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("gss-server: cannot resolve bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    server.run();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,164 @@
+//! All raw I/O of the server crate lives here: socket framing plus the handful of
+//! file-system touches the serving layer needs (config loading, tenant directory
+//! creation, existence probes).
+//!
+//! This is the server-side analogue of `gss-core`'s storage-layer containment rule
+//! (gss-lint L004): every other module in this crate is pure — `protocol` never sees
+//! a byte source, `namespace`/`server`/`client` route every file or socket operation
+//! through this module — so the fault surface reviewers must audit for partial reads,
+//! interrupted writes and resource leaks is one file.  The module is accordingly on
+//! the lint's L004 allowlist; nothing outside it may name `std::fs` or `OpenOptions`.
+
+use crate::protocol::{self, ProtocolError, HEADER_BYTES};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// How a frame read can fail: transport death and protocol damage are distinct —
+/// the server drops the connection on the former and answers a typed error frame on
+/// the latter.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed or closed.
+    Io(io::Error),
+    /// The bytes arrived but do not form a valid frame.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ProtocolError> for FrameError {
+    fn from(e: ProtocolError) -> Self {
+        Self::Protocol(e)
+    }
+}
+
+/// A framed connection: one TCP stream carrying GSSP frames in both directions.
+pub struct FrameConn {
+    stream: TcpStream,
+}
+
+impl FrameConn {
+    /// Wraps an accepted or connected stream.  `TCP_NODELAY` is set because the
+    /// protocol is request/response — Nagle would add a round-trip of latency to
+    /// every small query frame for no batching benefit.
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Bounds how long a blocking read may stall (used by the server so a silent
+    /// client cannot pin a connection-cap slot forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Reads exactly one frame and returns `(kind, payload)`.
+    ///
+    /// The header is read and validated *before* the payload is, so a lying length
+    /// field is rejected without allocating; `Ok` means magic, version, length bound
+    /// and CRC all checked out.  An EOF cleanly between frames surfaces as
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn read_frame(&mut self) -> Result<(u8, Vec<u8>), FrameError> {
+        let mut header = [0u8; HEADER_BYTES];
+        self.stream.read_exact(&mut header)?;
+        let (kind, len) = protocol::decode_header(&header)?;
+        let mut payload = vec![0u8; len];
+        self.stream.read_exact(&mut payload)?;
+        protocol::check_crc(&header, &payload)?;
+        Ok((kind, payload))
+    }
+
+    /// Writes one already-encoded frame (from `protocol::encode_request` /
+    /// `encode_response`) and flushes it.
+    pub fn write_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.stream.write_all(frame)?;
+        self.stream.flush()
+    }
+
+    /// Writes raw bytes without any framing — the `wirecheck` path of the client
+    /// binary uses this to assert byte-level behaviour against a live server.
+    pub fn write_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Half-closes the write side so the peer sees EOF after our final frame.
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+}
+
+/// Reads a whole file as UTF-8 (server config loading).
+pub fn read_file_string(path: &Path) -> io::Result<String> {
+    std::fs::read_to_string(path)
+}
+
+/// Creates a directory and its parents if missing (tenant data directories).
+pub fn ensure_dir(path: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(path)
+}
+
+/// Whether a path exists on disk — the namespace registry probes for a tenant's
+/// shard-0 file to choose between first-boot create and restart reopen.
+pub fn path_exists(path: &Path) -> bool {
+    path.exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_request, Request};
+    use std::net::TcpListener;
+
+    #[test]
+    fn frames_cross_a_real_socket_intact() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = FrameConn::new(stream).unwrap();
+            let (kind, payload) = conn.read_frame().unwrap();
+            conn.write_frame(&protocol::encode_frame(kind, &payload)).unwrap();
+        });
+        let mut conn = FrameConn::new(TcpStream::connect(addr).unwrap()).unwrap();
+        let frame = encode_request(&Request::Hello { tenant: "a".into(), token: "t".into() });
+        conn.write_frame(&frame).unwrap();
+        let (kind, payload) = conn.read_frame().unwrap();
+        assert_eq!(protocol::encode_frame(kind, &payload), frame);
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn garbage_on_the_wire_is_a_protocol_error_not_a_hang() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = FrameConn::new(stream).unwrap();
+            conn.write_raw(b"HTTP/1.1 GET / please").unwrap();
+        });
+        let mut conn = FrameConn::new(TcpStream::connect(addr).unwrap()).unwrap();
+        match conn.read_frame() {
+            Err(FrameError::Protocol(ProtocolError::BadMagic)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+        sender.join().unwrap();
+    }
+}

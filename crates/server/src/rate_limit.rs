@@ -1,0 +1,95 @@
+//! Per-tenant token-bucket rate limiting.
+//!
+//! Each namespace owns one bucket; every request drains it — queries cost one
+//! token, ingest costs one token **per stream item**, so the limit is an item-rate
+//! bound on the expensive path and a request-rate bound on the cheap ones.  An
+//! empty bucket yields a typed `RATE_LIMITED` error response (the connection stays
+//! open); one throttled tenant never slows another, because buckets are per-tenant
+//! state with no shared locks.
+
+use std::time::Instant;
+
+/// A classic token bucket: `capacity` bounds the burst, `refill_per_sec` the
+/// sustained rate.  Time is taken from a caller-supplied [`Instant`] so tests drive
+/// it deterministically.
+#[derive(Debug)]
+pub struct TokenBucket {
+    capacity: f64,
+    refill_per_sec: f64,
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// A full bucket.  A `refill_per_sec` of zero disables rate limiting entirely
+    /// (the bucket always grants) — the configuration default, so tenants opt *in*
+    /// to throttling.
+    pub fn new(capacity: u64, refill_per_sec: u64, now: Instant) -> Self {
+        Self {
+            capacity: capacity as f64,
+            refill_per_sec: refill_per_sec as f64,
+            tokens: capacity as f64,
+            last_refill: now,
+        }
+    }
+
+    /// Whether limiting is disabled (zero refill rate).
+    pub fn unlimited(&self) -> bool {
+        self.refill_per_sec == 0.0
+    }
+
+    /// Attempts to take `cost` tokens at time `now`; `false` means rate-limited.
+    /// Costs larger than the whole capacity are granted when the bucket is full
+    /// (otherwise a single oversized batch could never be admitted at all).
+    pub fn try_take(&mut self, cost: u64, now: Instant) -> bool {
+        if self.unlimited() {
+            return true;
+        }
+        let elapsed = now.saturating_duration_since(self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+        self.last_refill = now;
+        let cost = cost as f64;
+        if self.tokens >= cost || (cost > self.capacity && self.tokens >= self.capacity) {
+            self.tokens = (self.tokens - cost).max(0.0);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_then_throttle_then_refill() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(10, 10, t0);
+        assert!(bucket.try_take(10, t0));
+        assert!(!bucket.try_take(1, t0));
+        // Half a second refills five tokens.
+        let t1 = t0 + Duration::from_millis(500);
+        assert!(bucket.try_take(5, t1));
+        assert!(!bucket.try_take(1, t1));
+    }
+
+    #[test]
+    fn zero_rate_means_unlimited() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(0, 0, t0);
+        assert!(bucket.unlimited());
+        assert!(bucket.try_take(u64::MAX, t0));
+    }
+
+    #[test]
+    fn oversized_batches_are_admitted_only_from_a_full_bucket() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(5, 5, t0);
+        assert!(bucket.try_take(100, t0), "full bucket admits an oversized batch");
+        assert!(!bucket.try_take(100, t0), "drained bucket does not");
+        let t1 = t0 + Duration::from_secs(2);
+        assert!(bucket.try_take(100, t1), "refilled-to-capacity bucket admits again");
+    }
+}

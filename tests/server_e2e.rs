@@ -1,0 +1,145 @@
+//! End-to-end tests for `gss-server`: a real TCP server on a random port, driven
+//! through `GssClient`, including the full restart-recovery path (tenant stores
+//! reopen in place through per-shard WAL recovery).
+
+use gss_server::{ClientError, GssClient, Server, ServerConfig, ServerHandle};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gss-e2e-{tag}-{}", std::process::id()))
+}
+
+fn boot(dir: &Path, config: &str) -> ServerHandle {
+    let config = ServerConfig::parse(config).unwrap();
+    Server::bind("127.0.0.1:0", dir.to_path_buf(), config, 16).unwrap().spawn().unwrap()
+}
+
+/// HELLOs with retries: after an in-process restart the previous server's stores
+/// may still be dropping (single-opener lock), so the first resolves can answer
+/// `TENANT_UNAVAILABLE` briefly.
+fn hello_with_retry(client: &mut GssClient, tenant: &str, token: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client.hello(tenant, token) {
+            Ok(()) => return,
+            Err(ClientError::Server { code, message })
+                if code == gss_server::protocol::err::TENANT_UNAVAILABLE
+                    && Instant::now() < deadline =>
+            {
+                let _ = message;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(other) => panic!("hello {tenant}: {other}"),
+        }
+    }
+}
+
+#[test]
+fn ingested_data_survives_a_server_restart() {
+    let dir = temp_dir("restart");
+    std::fs::remove_dir_all(&dir).ok();
+    let config = "tenant alpha token=secret durability=strict shards=2 width=64";
+
+    // First server lifetime: ingest a chain, snapshot, tear everything down.
+    let handle = boot(&dir, config);
+    {
+        let mut client = GssClient::connect(handle.addr()).unwrap();
+        client.hello("alpha", "secret").unwrap();
+        let items: Vec<(u64, u64, i64)> = (1..=200).map(|i| (i, i + 1, i as i64)).collect();
+        let ack = client.ingest(&items).unwrap();
+        assert_eq!(ack.accepted, 200);
+        client.snapshot().unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.items_inserted, 200);
+        assert_eq!(stats.shards, 2);
+        assert!(!stats.poisoned);
+        assert_eq!(stats.breached_items, 0, "strict tenants never breach");
+    }
+    handle.shutdown();
+
+    // Second lifetime on the same directory: every acked edge must still answer.
+    let handle = boot(&dir, config);
+    {
+        let mut client = GssClient::connect(handle.addr()).unwrap();
+        hello_with_retry(&mut client, "alpha", "secret");
+        for i in [1u64, 57, 123, 200] {
+            let weight = client.edge(i, i + 1).unwrap();
+            assert!(
+                weight.is_some_and(|w| w >= i as i64),
+                "edge {i}->{} lost across restart: {weight:?}",
+                i + 1
+            );
+        }
+        assert!(client.reachable(1, 201, 0).unwrap(), "chain reachability survives restart");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.items_inserted, 200, "restart must not lose or invent items");
+
+        // Timestamps resume past the recovered count: new ingest keeps working.
+        let ack = client.ingest(&[(500, 501, 7)]).unwrap();
+        assert_eq!(ack.accepted, 1);
+        assert_eq!(client.edge(500, 501).unwrap(), Some(7));
+    }
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn one_connection_per_client_sessions_are_independent() {
+    let dir = temp_dir("sessions");
+    std::fs::remove_dir_all(&dir).ok();
+    let handle = boot(&dir, "tenant alpha token=secret shards=1 width=64");
+
+    let mut writer = GssClient::connect(handle.addr()).unwrap();
+    writer.hello("alpha", "secret").unwrap();
+    writer.ingest(&[(10, 20, 5)]).unwrap();
+
+    // A second, unauthenticated connection cannot piggyback on the first's HELLO.
+    let mut freeloader = GssClient::connect(handle.addr()).unwrap();
+    match freeloader.edge(10, 20) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, gss_server::protocol::err::AUTH_REQUIRED);
+        }
+        other => panic!("expected AUTH_REQUIRED, got {other:?}"),
+    }
+    // But once authenticated it sees the same tenant state.
+    freeloader.hello("alpha", "secret").unwrap();
+    assert_eq!(freeloader.edge(10, 20).unwrap(), Some(5));
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_payloads_do_not_kill_the_connection_but_bad_frames_do() {
+    let dir = temp_dir("frames");
+    std::fs::remove_dir_all(&dir).ok();
+    let handle = boot(&dir, "tenant alpha token=secret");
+
+    // A well-framed message with a malformed payload earns a typed PROTOCOL error
+    // and the connection keeps serving.
+    let mut client = GssClient::connect(handle.addr()).unwrap();
+    let bogus_ingest = gss_server::protocol::encode_frame(0x02, &u32::MAX.to_le_bytes());
+    let (kind, payload) = client.raw_exchange(&bogus_ingest).unwrap();
+    match gss_server::protocol::decode_response(kind, &payload).unwrap() {
+        gss_server::Response::Error { code, .. } => {
+            assert_eq!(code, gss_server::protocol::err::PROTOCOL);
+        }
+        other => panic!("expected PROTOCOL error, got {other:?}"),
+    }
+    client.health().expect("connection survives a malformed payload");
+
+    // Unframeable garbage earns the typed error and then the close.
+    let mut vandal = GssClient::connect(handle.addr()).unwrap();
+    let (kind, payload) = vandal.raw_exchange(b"not a gss frame at all").unwrap();
+    match gss_server::protocol::decode_response(kind, &payload).unwrap() {
+        gss_server::Response::Error { code, .. } => {
+            assert_eq!(code, gss_server::protocol::err::PROTOCOL);
+        }
+        other => panic!("expected PROTOCOL error, got {other:?}"),
+    }
+    assert!(vandal.health().is_err(), "framing damage closes the connection");
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

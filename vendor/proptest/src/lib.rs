@@ -2,8 +2,9 @@
 //!
 //! The build environment has no crates.io access, so this shim implements the subset of
 //! the proptest API the workspace's property tests use: the [`Strategy`] trait with
-//! `prop_map`, integer-range / tuple / `collection::vec` / `sample::select` / `any`
-//! strategies, the [`proptest!`] macro, `prop_assert*` macros and [`ProptestConfig`].
+//! `prop_map`/`boxed`, integer-range / tuple / `collection::vec` / `sample::select` /
+//! `sample::Index` / `option::of` / `any` strategies, the [`proptest!`] and
+//! [`prop_oneof!`] macros, `prop_assert*` macros and [`ProptestConfig`].
 //!
 //! Differences from real proptest, by design:
 //!
@@ -71,6 +72,59 @@ pub trait Strategy {
     {
         Map { strategy: self, map }
     }
+
+    /// Type-erases this strategy so heterogeneous strategies of one value type can
+    /// share a container, mirroring `Strategy::boxed` (the [`prop_oneof!`] macro
+    /// relies on it).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy, mirroring `proptest::strategy::BoxedStrategy`.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Uniform choice among heterogeneous strategies of one value type — the engine
+/// behind [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`; each sample picks one uniformly.  (Real proptest
+    /// supports per-arm weights; the workspace's tests only use uniform arms.)
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! requires at least one arm");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].sample(rng)
+    }
+}
+
+/// Uniform choice among strategies, mirroring `proptest::prop_oneof!` (uniform
+/// arms only — no `weight =>` syntax).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -261,9 +315,59 @@ pub mod collection {
     }
 }
 
+/// `Option` strategies (`prop::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Output of [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Strategy producing `None` half the time and `Some(inner)` otherwise,
+    /// mirroring `proptest::option::of`'s default probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
 /// Sampling strategies (`prop::sample`).
 pub mod sample {
-    use super::{Strategy, TestRng};
+    use super::{Arbitrary, Strategy, TestRng};
+
+    /// A position into a collection whose length is unknown at strategy time,
+    /// mirroring `proptest::sample::Index`: draw one with `any::<Index>()`, then
+    /// project it onto a concrete length with [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps this draw onto `0..len`.  Panics if `len == 0`, as real proptest
+        /// does.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Self(rng.next_u64())
+        }
+    }
 
     /// Output of [`select`].
     #[derive(Debug, Clone)]
@@ -288,7 +392,7 @@ pub mod sample {
 
 /// Namespace mirror of `proptest::prelude::prop`.
 pub mod prop {
-    pub use crate::{collection, sample};
+    pub use crate::{collection, option, sample};
 }
 
 /// Per-`proptest!` configuration, mirroring `proptest::test_runner::Config`.
@@ -320,8 +424,8 @@ pub mod test_runner {
 /// The commonly used items, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
-        ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, Union,
     };
 }
 
@@ -414,6 +518,29 @@ mod tests {
         let first = a.next_u64();
         assert_eq!(first, b.next_u64());
         assert_ne!(first, c.next_u64());
+    }
+
+    #[test]
+    fn oneof_index_and_option_strategies_sample_sanely() {
+        let choice = prop_oneof![Just(1u8), 10u8..20, Just(30u8)];
+        let maybe = prop::option::of(5u32..8);
+        let mut rng = crate::TestRng::new(11);
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..500 {
+            let value = crate::Strategy::sample(&choice, &mut rng);
+            assert!(value == 1 || (10..20).contains(&value) || value == 30);
+            let position = crate::Strategy::sample(&any::<prop::sample::Index>(), &mut rng);
+            assert!(position.index(7) < 7);
+            match crate::Strategy::sample(&maybe, &mut rng) {
+                Some(inner) => {
+                    assert!((5..8).contains(&inner));
+                    saw_some = true;
+                }
+                None => saw_none = true,
+            }
+        }
+        assert!(saw_none && saw_some, "option::of must produce both variants");
     }
 
     proptest! {
